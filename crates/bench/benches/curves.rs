@@ -1,0 +1,60 @@
+//! Space-filling-curve mapping throughput: the inner loop of HCAM-style
+//! declustering and the justification for the paper's O(N) cost claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pargrid_geom::{GrayCurve, HilbertCurve, ScanCurve, SpaceFillingCurve, ZOrderCurve};
+use std::hint::black_box;
+
+const N: u64 = 4096;
+
+fn bench_index_of(c: &mut Criterion) {
+    let curves: Vec<(&str, Box<dyn SpaceFillingCurve>)> = vec![
+        ("hilbert", Box::new(HilbertCurve::new(3, 10))),
+        ("zorder", Box::new(ZOrderCurve::new(3, 10))),
+        ("gray", Box::new(GrayCurve::new(3, 10))),
+        ("scan", Box::new(ScanCurve::new(3, 10))),
+    ];
+    let coords: Vec<[u32; 3]> = (0..N)
+        .map(|i| {
+            let x = i.wrapping_mul(2654435761);
+            [
+                (x % 1024) as u32,
+                ((x >> 10) % 1024) as u32,
+                ((x >> 20) % 1024) as u32,
+            ]
+        })
+        .collect();
+    let mut group = c.benchmark_group("curve_index_of");
+    group.throughput(Throughput::Elements(N));
+    for (name, curve) in &curves {
+        group.bench_with_input(BenchmarkId::from_parameter(name), curve, |b, curve| {
+            b.iter(|| {
+                let mut acc = 0u128;
+                for cs in &coords {
+                    acc ^= curve.index_of(black_box(cs));
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_coords_of(c: &mut Criterion) {
+    let curve = HilbertCurve::new(3, 10);
+    let mut group = c.benchmark_group("curve_coords_of");
+    group.throughput(Throughput::Elements(N));
+    group.bench_function("hilbert_3d", |b| {
+        let mut out = [0u32; 3];
+        b.iter(|| {
+            for i in 0..N as u128 {
+                curve.coords_of(black_box(i * 524287 % curve.len()), &mut out);
+            }
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_of, bench_coords_of);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! One Criterion bench per paper figure/table, at reduced scale: these keep
+//! the cost of regenerating every experiment visible in CI. The `repro`
+//! binary produces the full-scale tables; `DESIGN.md` §4 maps ids to paper
+//! artifacts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pargrid_bench::experiments as exp;
+use pargrid_bench::Params;
+use std::hint::black_box;
+
+fn tiny_params() -> Params {
+    let mut p = Params::quick();
+    p.queries = 60;
+    p.disks = vec![4, 16];
+    p.even_disks = vec![4, 16];
+    p
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let p = tiny_params();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig2_grid_builds", |b| {
+        b.iter(|| black_box(exp::fig2::run(&p)))
+    });
+    group.bench_function("fig3_conflict_resolution", |b| {
+        b.iter(|| black_box(exp::fig3::run(&p)))
+    });
+    group.bench_function("fig4_index_schemes", |b| {
+        b.iter(|| black_box(exp::fig4::run(&p)))
+    });
+    group.bench_function("table1_data_balance", |b| {
+        b.iter(|| black_box(exp::table1::run(&p)))
+    });
+    group.bench_function("theorems_analytic", |b| {
+        b.iter(|| black_box(exp::theorems::run(&p)))
+    });
+    group.bench_function("fig5_distributions", |b| {
+        b.iter(|| black_box(exp::fig5::run(&p)))
+    });
+    group.finish();
+
+    // The heavier sweeps get their own group with fewer samples.
+    let mut heavy = c.benchmark_group("figures_heavy");
+    heavy.sample_size(10);
+    heavy.bench_function("fig6_five_algorithms", |b| {
+        b.iter(|| black_box(exp::fig6::run(&p)))
+    });
+    heavy.bench_function("tables23_closest_pairs", |b| {
+        b.iter(|| black_box(exp::tables23::run(&p)))
+    });
+    heavy.bench_function("fig7_query_ratio", |b| {
+        b.iter(|| black_box(exp::fig7::run(&p)))
+    });
+    heavy.bench_function("ablation_curves", |b| {
+        b.iter(|| black_box(exp::ablations::run_curves(&p)))
+    });
+    heavy.bench_function("ablation_minimax", |b| {
+        b.iter(|| black_box(exp::ablations::run_minimax(&p)))
+    });
+    heavy.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Core grid-file operation throughput: bulk loading, point lookups, range
+//! queries and partial-match queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pargrid_datagen::{hot2d, uniform2d};
+use pargrid_geom::Rect;
+use pargrid_sim::QueryWorkload;
+use std::hint::black_box;
+
+fn bench_bulk_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gridfile_bulk_load");
+    group.sample_size(10);
+    for (name, ds) in [("uniform.2d", uniform2d(42)), ("hot.2d", hot2d(42))] {
+        group.throughput(Throughput::Elements(ds.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &ds, |b, ds| {
+            b.iter(|| black_box(ds.build_grid_file()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let ds = hot2d(42);
+    let gf = ds.build_grid_file();
+    let mut group = c.benchmark_group("gridfile_queries");
+    for r in [0.01, 0.05, 0.1] {
+        let w = QueryWorkload::square(&ds.domain, r, 256, 7);
+        group.throughput(Throughput::Elements(w.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("range_buckets", r),
+            &w,
+            |b, w: &QueryWorkload| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for q in &w.queries {
+                        total += gf.range_query_buckets(black_box(q)).len();
+                    }
+                    black_box(total)
+                })
+            },
+        );
+    }
+    // Full record retrieval.
+    let q = Rect::new2(500.0, 500.0, 1500.0, 1500.0);
+    group.bench_function("range_records_25pct", |b| {
+        b.iter(|| black_box(gf.range_query(black_box(&q))))
+    });
+    // Point lookups.
+    group.bench_function("lookup_hit", |b| {
+        let p = ds.points[1234];
+        b.iter(|| black_box(gf.lookup(black_box(&p))))
+    });
+    // Partial match.
+    group.bench_function("partial_match", |b| {
+        b.iter(|| black_box(gf.partial_match_buckets(black_box(&[Some(1000.0), None]))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bulk_load, bench_queries);
+criterion_main!(benches);

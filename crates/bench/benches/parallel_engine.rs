@@ -1,0 +1,71 @@
+//! SPMD engine throughput (Tables 4–5 at reduced scale): query latency
+//! through the coordinator/worker protocol at 4, 8 and 16 workers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pargrid_core::{DeclusterInput, DeclusterMethod, EdgeWeight};
+use pargrid_datagen::dsmc4d;
+use pargrid_parallel::{EngineConfig, ParallelGridFile};
+use pargrid_sim::QueryWorkload;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_engine(c: &mut Criterion) {
+    let ds = dsmc4d(42, 16, 60_000);
+    let gf = Arc::new(ds.build_grid_file());
+    let input = DeclusterInput::from_grid_file(&gf);
+    let workload = QueryWorkload::square(&ds.domain, 0.01, 64, 7);
+
+    let mut group = c.benchmark_group("parallel_engine");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(workload.len() as u64));
+    for workers in [4usize, 8, 16] {
+        let assignment = DeclusterMethod::Minimax(EdgeWeight::Proximity).assign(&input, workers, 1);
+        group.bench_with_input(
+            BenchmarkId::new("random_queries", workers),
+            &workload,
+            |b, w| {
+                // Engine construction outside the measured loop; caches are
+                // reused across iterations, as a long-lived server's would be.
+                let mut engine =
+                    ParallelGridFile::build(Arc::clone(&gf), &assignment, EngineConfig::default());
+                b.iter(|| black_box(engine.run_workload(w)))
+            },
+        );
+    }
+
+    // Animation workload: the cache-friendly access pattern of Table 4.
+    let animation = QueryWorkload::animation(&ds.domain, 0.1, 16);
+    group.throughput(Throughput::Elements(animation.len() as u64));
+    let assignment = DeclusterMethod::Minimax(EdgeWeight::Proximity).assign(&input, 8, 1);
+    group.bench_with_input(BenchmarkId::new("animation", 8), &animation, |b, w| {
+        let mut engine =
+            ParallelGridFile::build(Arc::clone(&gf), &assignment, EngineConfig::default());
+        b.iter(|| black_box(engine.run_workload(w)))
+    });
+
+    // Pipelined execution: up to 8 queries in flight.
+    group.throughput(Throughput::Elements(workload.len() as u64));
+    group.bench_with_input(
+        BenchmarkId::new("pipelined_window8", 8),
+        &workload,
+        |b, w| {
+            let mut engine =
+                ParallelGridFile::build(Arc::clone(&gf), &assignment, EngineConfig::default());
+            b.iter(|| black_box(engine.run_workload_pipelined(w, 8)))
+        },
+    );
+
+    // The SP-2 seven-disks-per-processor configuration.
+    group.bench_with_input(BenchmarkId::new("seven_disks", 8), &workload, |b, w| {
+        let mut engine = ParallelGridFile::build(
+            Arc::clone(&gf),
+            &assignment,
+            EngineConfig::sp2_seven_disks(),
+        );
+        b.iter(|| black_box(engine.run_workload(w)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p pargrid-bench --bin repro -- all
+//! cargo run --release -p pargrid-bench --bin repro -- fig4 table1
+//! cargo run --release -p pargrid-bench --bin repro -- table4 --full
+//! cargo run --release -p pargrid-bench --bin repro -- all --quick
+//! ```
+//!
+//! Tables print to stdout and are also written as CSV under `results/`.
+
+use pargrid_bench::experiments as exp;
+use pargrid_bench::{NamedTable, Params};
+use std::process::ExitCode;
+
+const EXPERIMENTS: &[&str] = &[
+    "fig2",
+    "fig3",
+    "fig4",
+    "table1",
+    "theorems",
+    "fig5",
+    "fig6",
+    "table2",
+    "table3",
+    "fig7",
+    "table4",
+    "table5",
+    "ablation-curves",
+    "ablation-minimax",
+    "ablation-cost",
+    "ablation-gdm",
+    "ablation-robustness",
+    "ablation-growth",
+    "ablation-query-dist",
+    "tracing",
+];
+
+fn usage() -> ExitCode {
+    eprintln!("usage: repro [--quick] [--full] [--out DIR] <experiment>... | all");
+    eprintln!("experiments: {}", EXPERIMENTS.join(" "));
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut params = Params::paper();
+    let mut out_dir = "results".to_string();
+    let mut chosen: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => params = Params::quick(),
+            "--full" => params.full_scale = true,
+            "--seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(s) => params.seed = s,
+                None => return usage(),
+            },
+            "--queries" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(q) => params.queries = q,
+                None => return usage(),
+            },
+            "--out" => match args.next() {
+                Some(d) => out_dir = d,
+                None => return usage(),
+            },
+            "all" => chosen.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
+            name if EXPERIMENTS.contains(&name) => chosen.push(name.to_string()),
+            other => {
+                eprintln!("unknown argument: {other}");
+                return usage();
+            }
+        }
+    }
+    if chosen.is_empty() {
+        return usage();
+    }
+    chosen.dedup();
+
+    // `table4`/`table5` share one expensive dataset build; if both are
+    // requested, run them together.
+    if let (Some(i4), Some(_)) = (
+        chosen.iter().position(|c| c == "table4"),
+        chosen.iter().position(|c| c == "table5"),
+    ) {
+        chosen.retain(|c| c != "table4" && c != "table5");
+        chosen.insert(i4.min(chosen.len()), "tables45".to_string());
+    }
+
+    for name in &chosen {
+        let t0 = std::time::Instant::now();
+        let tables: Vec<NamedTable> = match name.as_str() {
+            "fig2" => exp::fig2::run(&params),
+            "fig3" => exp::fig3::run(&params),
+            "fig4" => exp::fig4::run(&params),
+            "table1" => exp::table1::run(&params),
+            "theorems" => exp::theorems::run(&params),
+            "fig5" => exp::fig5::run(&params),
+            "fig6" => exp::fig6::run(&params),
+            "table2" => exp::tables23::run_table2(&params),
+            "table3" => exp::tables23::run_table3(&params),
+            "fig7" => exp::fig7::run(&params),
+            "tables45" => exp::tables45::run(&params),
+            "table4" | "table5" => exp::tables45::run(&params),
+            "ablation-curves" => exp::ablations::run_curves(&params),
+            "ablation-minimax" => exp::ablations::run_minimax(&params),
+            "ablation-cost" => exp::ablations::run_cost(&params),
+            "ablation-gdm" => exp::ablations::run_gdm(&params),
+            "ablation-robustness" => exp::ablations::run_robustness(&params),
+            "ablation-growth" => exp::growth::run(&params),
+            "ablation-query-dist" => exp::ablations::run_query_distribution(&params),
+            "tracing" => exp::tracing::run(&params),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                return usage();
+            }
+        };
+        for t in &tables {
+            println!("\n## {}\n", t.title);
+            print!("{}", t.table.to_text());
+            let path = format!("{out_dir}/{}.csv", t.id);
+            if let Err(e) = t.table.write_csv(&path) {
+                eprintln!("warning: could not write {path}: {e}");
+            } else {
+                println!("[written {path}]");
+            }
+            if let Some(chart) = &t.chart {
+                let path = format!("{out_dir}/{}.svg", t.id);
+                if let Err(e) = chart.write_svg(&path) {
+                    eprintln!("warning: could not write {path}: {e}");
+                } else {
+                    println!("[written {path}]");
+                }
+            }
+        }
+        eprintln!("[{name} done in {:.1}s]", t0.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,56 @@
+//! Figure 3: conflict-resolution heuristics on `hot.2d` (r = 0.05).
+//!
+//! Left graph: HCAM under all four heuristics (response nearly insensitive).
+//! Right graph: FX under all four (spread much wider; *data balance* best).
+
+use crate::{NamedTable, Params};
+use pargrid_core::{ConflictPolicy, DeclusterMethod, IndexScheme};
+use pargrid_datagen::hot2d;
+
+const POLICIES: [ConflictPolicy; 4] = [
+    ConflictPolicy::Random,
+    ConflictPolicy::MostFrequent,
+    ConflictPolicy::DataBalance,
+    ConflictPolicy::AreaBalance,
+];
+
+/// Runs the experiment.
+pub fn run(params: &Params) -> Vec<NamedTable> {
+    let ds = hot2d(params.seed);
+    let mut out = Vec::new();
+    for (scheme, side) in [
+        (IndexScheme::Hilbert, "left"),
+        (IndexScheme::FieldwiseXor, "right"),
+    ] {
+        let methods: Vec<DeclusterMethod> = POLICIES
+            .iter()
+            .map(|&p| DeclusterMethod::Index(scheme, p))
+            .collect();
+        out.push(crate::experiments::response_sweep_table(
+            &format!("fig3_{}", scheme.label().to_lowercase()),
+            &format!(
+                "Figure 3 ({side}): {} with each conflict-resolution heuristic, hot.2d, r=0.05",
+                scheme.label()
+            ),
+            &ds,
+            &methods,
+            params,
+            0.05,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_tables_with_all_policies() {
+        let tables = run(&Params::quick());
+        assert_eq!(tables.len(), 2);
+        for t in &tables {
+            assert_eq!(t.table.n_rows(), Params::quick().disks.len());
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Figure 4: DM/D vs FX/D vs HCAM/D vs optimal on the three 2-D datasets
+//! (r = 0.05, data-balance conflict resolution).
+
+use crate::{NamedTable, Params};
+use pargrid_core::{ConflictPolicy, DeclusterMethod, IndexScheme};
+use pargrid_datagen::{correl2d, hot2d, uniform2d};
+
+/// Runs the experiment.
+pub fn run(params: &Params) -> Vec<NamedTable> {
+    let methods = [
+        DeclusterMethod::Index(IndexScheme::DiskModulo, ConflictPolicy::DataBalance),
+        DeclusterMethod::Index(IndexScheme::FieldwiseXor, ConflictPolicy::DataBalance),
+        DeclusterMethod::Index(IndexScheme::Hilbert, ConflictPolicy::DataBalance),
+    ];
+    [
+        (uniform2d(params.seed), "left"),
+        (hot2d(params.seed), "center"),
+        (correl2d(params.seed), "right"),
+    ]
+    .iter()
+    .map(|(ds, side)| {
+        crate::experiments::response_sweep_table(
+            &format!("fig4_{}", ds.name.replace('.', "_")),
+            &format!(
+                "Figure 4 ({side}): index-based declustering on {}, r=0.05",
+                ds.name
+            ),
+            ds,
+            &methods,
+            params,
+            0.05,
+        )
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_dataset_tables() {
+        let tables = run(&Params::quick());
+        assert_eq!(tables.len(), 3);
+        assert!(tables[0].id.contains("uniform"));
+    }
+}

@@ -1,0 +1,48 @@
+//! Figure 6: the five algorithms (DM/D, FX/D, HCAM/D, SSP, MiniMax) on
+//! `hot.2d`, `DSMC.3d` and `stock.3d` at r = 0.01.
+//!
+//! Paper shape: MiniMax consistently lowest (rare exceptions at small M),
+//! SSP second, HCAM/D close behind, DM and FX distant fourth and fifth.
+
+use crate::{NamedTable, Params};
+use pargrid_core::DeclusterMethod;
+use pargrid_datagen::{dsmc3d, hot2d, stock3d};
+
+/// Runs the experiment.
+pub fn run(params: &Params) -> Vec<NamedTable> {
+    let methods = DeclusterMethod::paper_five();
+    [
+        (hot2d(params.seed), "left"),
+        (dsmc3d(params.seed), "center"),
+        (stock3d(params.seed), "right"),
+    ]
+    .iter()
+    .map(|(ds, side)| {
+        crate::experiments::response_sweep_table(
+            &format!("fig6_{}", ds.name.replace('.', "_")),
+            &format!(
+                "Figure 6 ({side}): all five algorithms on {}, r=0.01",
+                ds.name
+            ),
+            ds,
+            &methods,
+            params,
+            0.01,
+        )
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_tables_five_methods() {
+        let mut p = Params::quick();
+        p.queries = 40;
+        p.disks = vec![4, 16];
+        let tables = run(&p);
+        assert_eq!(tables.len(), 3);
+    }
+}

@@ -1,0 +1,118 @@
+//! Figure 7: effect of the query-size ratio on `stock.3d` — response time
+//! (left) and speedup relative to 4 disks (right), HCAM/D vs MiniMax at
+//! r in {0.01, 0.05, 0.1}.
+//!
+//! Paper shape: MiniMax beats HCAM on both metrics at every r, and its
+//! advantage grows as queries shrink.
+
+use crate::{NamedTable, Params};
+use pargrid_core::{ConflictPolicy, DeclusterInput, DeclusterMethod, IndexScheme};
+use pargrid_datagen::stock3d;
+use pargrid_sim::table::{fmt2, ResultTable};
+use pargrid_sim::{evaluate, QueryWorkload};
+
+const RATIOS: [f64; 3] = [0.01, 0.05, 0.1];
+
+/// Runs the experiment.
+pub fn run(params: &Params) -> Vec<NamedTable> {
+    let ds = stock3d(params.seed);
+    let gf = ds.build_grid_file();
+    let input = DeclusterInput::from_grid_file(&gf);
+    let methods = [
+        DeclusterMethod::Index(IndexScheme::Hilbert, ConflictPolicy::DataBalance),
+        DeclusterMethod::Minimax(pargrid_core::EdgeWeight::Proximity),
+    ];
+
+    let mut header = vec!["disks".to_string()];
+    for method in &methods {
+        for r in RATIOS {
+            header.push(format!("{} r={r}", method.label()));
+        }
+    }
+    let mut resp = ResultTable::new(header.clone());
+    let mut speedup = ResultTable::new(header);
+
+    // response[method][ratio][disk index]
+    let mut series = vec![vec![Vec::new(); RATIOS.len()]; methods.len()];
+    for (mi, method) in methods.iter().enumerate() {
+        for (ri, &r) in RATIOS.iter().enumerate() {
+            let workload = QueryWorkload::square(&ds.domain, r, params.queries, params.seed);
+            for &m in &params.disks {
+                let a = method.assign(&input, m, params.seed);
+                series[mi][ri].push(evaluate(&gf, &a, &workload).mean_response);
+            }
+        }
+    }
+    for (di, &m) in params.disks.iter().enumerate() {
+        let mut resp_row = vec![m.to_string()];
+        let mut sp_row = vec![m.to_string()];
+        for per_method in &series {
+            for per_ratio in per_method {
+                let v = per_ratio[di];
+                resp_row.push(fmt2(v));
+                sp_row.push(fmt2(per_ratio[0] / v));
+            }
+        }
+        resp.push_row(resp_row);
+        speedup.push_row(sp_row);
+    }
+    // Charts mirroring the two panels of the figure.
+    use pargrid_sim::plot::{LineChart, Series};
+    let mut resp_chart = LineChart::new(
+        "Figure 7 (left): response time, stock.3d",
+        "number of disks",
+        "average response time (buckets)",
+    );
+    let mut sp_chart = LineChart::new(
+        "Figure 7 (right): speedup vs smallest configuration, stock.3d",
+        "number of disks",
+        "speedup",
+    );
+    for (mi, method) in methods.iter().enumerate() {
+        for (ri, &r) in RATIOS.iter().enumerate() {
+            let label = format!("{} r={r}", method.label());
+            let pts: Vec<(f64, f64)> = params
+                .disks
+                .iter()
+                .zip(&series[mi][ri])
+                .map(|(&m, &v)| (m as f64, v))
+                .collect();
+            let sp: Vec<(f64, f64)> = pts
+                .iter()
+                .map(|&(m, v)| (m, series[mi][ri][0] / v))
+                .collect();
+            resp_chart.push(Series::new(label.clone(), pts));
+            sp_chart.push(Series::new(label, sp));
+        }
+    }
+
+    vec![
+        NamedTable::new(
+            "fig7_response",
+            "Figure 7 (left): response time vs query ratio, stock.3d",
+            resp,
+        )
+        .with_chart(resp_chart),
+        NamedTable::new(
+            "fig7_speedup",
+            "Figure 7 (right): speedup relative to the smallest disk count, stock.3d",
+            speedup,
+        )
+        .with_chart(sp_chart),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_and_speedup_tables() {
+        let mut p = Params::quick();
+        p.queries = 30;
+        p.disks = vec![4, 16];
+        let tables = run(&p);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].table.n_rows(), 2);
+    }
+}

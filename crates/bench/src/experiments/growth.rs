@@ -1,0 +1,125 @@
+//! A7: incremental redeclustering under dataset growth.
+//!
+//! The paper's motivating workloads append snapshots over time (§1). After
+//! declustering the first half of a dataset with minimax, the second half
+//! arrives; compare three policies on the grown file:
+//!
+//! * **fresh** — rerun minimax from scratch (best quality, `O(N^2)` cost and
+//!   full data migration),
+//! * **incremental** — keep old placements, place only the new buckets with
+//!   the minimax criterion (`O(N_new * N)`, zero migration),
+//! * **naive** — keep old placements, deal new buckets round-robin (the
+//!   cheapest thing an operator might do).
+//!
+//! Reported: response time on the grown file, balance, and how many of the
+//! old buckets each policy would migrate.
+
+use crate::{NamedTable, Params};
+use pargrid_core::incremental::extend_assignment;
+use pargrid_core::{Assignment, DeclusterInput, DeclusterMethod, EdgeWeight};
+use pargrid_datagen::hot2d;
+use pargrid_gridfile::GridFile;
+use pargrid_sim::table::{fmt2, ResultTable};
+use pargrid_sim::{evaluate, QueryWorkload};
+
+/// Runs the experiment.
+pub fn run(params: &Params) -> Vec<NamedTable> {
+    let ds = hot2d(params.seed);
+    let half = ds.len() / 2;
+    let mut gf = GridFile::new(ds.grid_config());
+    for rec in ds.records().take(half) {
+        gf.insert(rec);
+    }
+    let old_input = DeclusterInput::from_grid_file(&gf);
+    for rec in ds.records().skip(half) {
+        gf.insert(rec);
+    }
+    let new_input = DeclusterInput::from_grid_file(&gf);
+    let workload = QueryWorkload::square(&ds.domain, 0.05, params.queries, params.seed);
+
+    let mut table = ResultTable::new(vec![
+        "disks",
+        "fresh resp",
+        "incremental resp",
+        "naive resp",
+        "incr balance",
+        "migrated (fresh)",
+        "migrated (incremental)",
+    ]);
+    for &m in &params.disks {
+        let base =
+            DeclusterMethod::Minimax(EdgeWeight::Proximity).assign(&old_input, m, params.seed);
+        let fresh =
+            DeclusterMethod::Minimax(EdgeWeight::Proximity).assign(&new_input, m, params.seed);
+        let incr = extend_assignment(&old_input, &base, &new_input, EdgeWeight::Proximity);
+
+        // Naive: keep old, deal the rest round-robin.
+        let mut naive_disks = vec![u32::MAX; new_input.n_buckets()];
+        let mut next = 0u32;
+        let old_ids: std::collections::HashMap<u32, u32> = old_input
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(pos, b)| (b.id, base.disk_at(pos)))
+            .collect();
+        for (pos, b) in new_input.buckets.iter().enumerate() {
+            naive_disks[pos] = match old_ids.get(&b.id) {
+                Some(&d) => d,
+                None => {
+                    let d = next % m as u32;
+                    next += 1;
+                    d
+                }
+            };
+        }
+        let naive = Assignment::new(&new_input, m, naive_disks);
+
+        let migrated = |a: &Assignment| {
+            old_input
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(pos, b)| base.disk_at(*pos) != a.disk_of_id(b.id))
+                .count()
+        };
+
+        table.push_row(vec![
+            m.to_string(),
+            fmt2(evaluate(&gf, &fresh, &workload).mean_response),
+            fmt2(evaluate(&gf, &incr, &workload).mean_response),
+            fmt2(evaluate(&gf, &naive, &workload).mean_response),
+            fmt2(incr.data_balance_degree()),
+            migrated(&fresh).to_string(),
+            migrated(&incr).to_string(),
+        ]);
+    }
+    vec![NamedTable::new(
+        "ablation_growth",
+        format!(
+            "Ablation A7: dataset growth {} -> {} buckets (hot.2d, r=0.05): \
+             fresh vs incremental vs naive placement",
+            old_input.n_buckets(),
+            new_input.n_buckets()
+        ),
+        table,
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn growth_table_fills_and_incremental_never_migrates() {
+        let mut p = Params::quick();
+        p.queries = 40;
+        p.disks = vec![8];
+        let tables = run(&p);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].table.n_rows(), 1);
+        // "migrated (incremental)" column is 0 by construction.
+        let csv = tables[0].table.to_csv();
+        let last_field = csv.lines().nth(1).expect("data row").split(',').next_back();
+        assert_eq!(last_field, Some("0"));
+    }
+}

@@ -1,0 +1,88 @@
+//! One module per paper artifact (figure/table) plus ablations.
+
+pub mod ablations;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod growth;
+pub mod table1;
+pub mod tables23;
+pub mod tables45;
+pub mod theorems;
+pub mod tracing;
+
+use crate::{NamedTable, Params};
+use pargrid_core::{DeclusterInput, DeclusterMethod};
+use pargrid_datagen::Dataset;
+use pargrid_sim::plot::{LineChart, Series};
+use pargrid_sim::table::{fmt2, ResultTable};
+use pargrid_sim::{evaluate, QueryWorkload};
+
+/// Runs `methods` over `params.disks` on one dataset and formats the
+/// response-time figure both as a table (one row per disk count, one column
+/// per method, plus the paper's optimal-response column) and as an SVG line
+/// chart mirroring the paper's figure.
+pub fn response_sweep_table(
+    id: &str,
+    title: &str,
+    ds: &Dataset,
+    methods: &[DeclusterMethod],
+    params: &Params,
+    r: f64,
+) -> NamedTable {
+    let gf = ds.build_grid_file();
+    let input = DeclusterInput::from_grid_file(&gf);
+    let workload = QueryWorkload::square(&ds.domain, r, params.queries, params.seed);
+
+    let mut header = vec!["disks".to_string()];
+    header.extend(methods.iter().map(|m| m.label()));
+    header.push("optimal".to_string());
+    let mut table = ResultTable::new(header);
+    let mut series: Vec<Vec<(f64, f64)>> = vec![Vec::new(); methods.len()];
+    let mut optimal_series = Vec::new();
+
+    for &m in &params.disks {
+        let mut row = vec![m.to_string()];
+        let mut optimal = 0.0;
+        for (mi, method) in methods.iter().enumerate() {
+            let assignment = method.assign(&input, m, params.seed);
+            let stats = evaluate(&gf, &assignment, &workload);
+            row.push(fmt2(stats.mean_response));
+            series[mi].push((m as f64, stats.mean_response));
+            optimal = stats.mean_optimal;
+        }
+        row.push(fmt2(optimal));
+        optimal_series.push((m as f64, optimal));
+        table.push_row(row);
+    }
+
+    let mut chart = LineChart::new(title, "number of disks", "average response time (buckets)");
+    for (method, points) in methods.iter().zip(series) {
+        chart.push(Series::new(method.label(), points));
+    }
+    chart.push(Series::dashed("optimal", optimal_series));
+    NamedTable::new(id, title, table).with_chart(chart)
+}
+
+/// Formats a grid file's summary statistics as a one-row table.
+pub fn grid_stats_row(ds: &Dataset) -> Vec<String> {
+    let gf = ds.build_grid_file();
+    let st = gf.stats();
+    vec![
+        ds.name.clone(),
+        st.n_records.to_string(),
+        st.cells_per_dim
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join("x"),
+        st.n_cells.to_string(),
+        st.n_buckets.to_string(),
+        st.n_merged_buckets.to_string(),
+        fmt2(st.avg_occupancy),
+        st.oversize_buckets.to_string(),
+    ]
+}

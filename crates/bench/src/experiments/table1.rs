@@ -1,0 +1,50 @@
+//! Table 1: degree of data balance on `hot.2d` for DM/D, FX/D and HCAM/D
+//! over even disk counts.
+//!
+//! Paper shape: HCAM closest to 1.00, then DM, with FX clearly worst.
+
+use crate::{NamedTable, Params};
+use pargrid_core::{ConflictPolicy, DeclusterInput, DeclusterMethod, IndexScheme};
+use pargrid_datagen::hot2d;
+use pargrid_sim::table::{fmt2, ResultTable};
+
+/// Runs the experiment.
+pub fn run(params: &Params) -> Vec<NamedTable> {
+    let ds = hot2d(params.seed);
+    let gf = ds.build_grid_file();
+    let input = DeclusterInput::from_grid_file(&gf);
+    let methods = [
+        DeclusterMethod::Index(IndexScheme::DiskModulo, ConflictPolicy::DataBalance),
+        DeclusterMethod::Index(IndexScheme::FieldwiseXor, ConflictPolicy::DataBalance),
+        DeclusterMethod::Index(IndexScheme::Hilbert, ConflictPolicy::DataBalance),
+    ];
+
+    let mut header = vec!["method".to_string()];
+    header.extend(params.even_disks.iter().map(|m| m.to_string()));
+    let mut table = ResultTable::new(header);
+    for method in &methods {
+        let mut row = vec![method.label()];
+        for &m in &params.even_disks {
+            let a = method.assign(&input, m, params.seed);
+            row.push(fmt2(a.data_balance_degree()));
+        }
+        table.push_row(row);
+    }
+    vec![NamedTable::new(
+        "table1",
+        "Table 1: degree of data balance (B_max * M / B_sum), hot.2d",
+        table,
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_methods_by_disk_columns() {
+        let tables = run(&Params::quick());
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].table.n_rows(), 3);
+    }
+}

@@ -1,0 +1,79 @@
+//! Tables 2 and 3: number of closest bucket pairs assigned to the same disk,
+//! for `DSMC.3d` (Table 2) and `stock.3d` (Table 3).
+//!
+//! Paper shape: DM and FX keep a high, flat count; HCAM/D decays with disks;
+//! SSP second lowest; MiniMax at or near zero almost everywhere.
+
+use crate::{NamedTable, Params};
+use pargrid_core::{DeclusterInput, DeclusterMethod};
+use pargrid_datagen::{dsmc3d, stock3d, Dataset};
+use pargrid_sim::metrics::{closest_pairs, count_pairs_on_same_disk};
+use pargrid_sim::table::ResultTable;
+
+/// Runs both tables.
+pub fn run(params: &Params) -> Vec<NamedTable> {
+    vec![
+        one_table("table2", "Table 2", &dsmc3d(params.seed), params),
+        one_table("table3", "Table 3", &stock3d(params.seed), params),
+    ]
+}
+
+/// Runs Table 2 only (used by the `table2` subcommand).
+pub fn run_table2(params: &Params) -> Vec<NamedTable> {
+    vec![one_table("table2", "Table 2", &dsmc3d(params.seed), params)]
+}
+
+/// Runs Table 3 only (used by the `table3` subcommand).
+pub fn run_table3(params: &Params) -> Vec<NamedTable> {
+    vec![one_table(
+        "table3",
+        "Table 3",
+        &stock3d(params.seed),
+        params,
+    )]
+}
+
+fn one_table(id: &str, label: &str, ds: &Dataset, params: &Params) -> NamedTable {
+    let gf = ds.build_grid_file();
+    let input = DeclusterInput::from_grid_file(&gf);
+    let pairs = closest_pairs(&input);
+    let methods = DeclusterMethod::paper_five();
+
+    let mut header = vec!["method".to_string()];
+    header.extend(params.even_disks.iter().map(|m| m.to_string()));
+    let mut table = ResultTable::new(header);
+    for method in &methods {
+        let mut row = vec![method.label()];
+        for &m in &params.even_disks {
+            let a = method.assign(&input, m, params.seed);
+            row.push(count_pairs_on_same_disk(&pairs, &a).to_string());
+        }
+        table.push_row(row);
+    }
+    NamedTable::new(
+        id,
+        format!(
+            "{label}: closest pairs ({} of {} buckets) on the same disk, {}",
+            pairs.len(),
+            input.n_buckets(),
+            ds.name
+        ),
+        table,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_tables_have_five_method_rows() {
+        let mut p = Params::quick();
+        p.even_disks = vec![4, 16];
+        let tables = run(&p);
+        assert_eq!(tables.len(), 2);
+        for t in &tables {
+            assert_eq!(t.table.n_rows(), 5);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Particle tracing on the SPMD engine (A4) — the access pattern §4 names
+//! as future work ("we will continue to work on various access patterns
+//! such as particle tracing"), run on both spatio-temporal datasets the
+//! conclusions mention (DSMC and MHD).
+//!
+//! A trace follows one particle through every snapshot with a small moving
+//! window (r = 0.002 of the spatial volume per step). Unlike animation
+//! sweeps, traces touch few buckets per step, so declustering quality —
+//! whether the consecutive, spatially-adjacent buckets of the trace live on
+//! different disks — shows up directly in blocks-per-step.
+
+use crate::{NamedTable, Params};
+use pargrid_core::{ConflictPolicy, DeclusterInput, DeclusterMethod, EdgeWeight, IndexScheme};
+use pargrid_datagen::{dsmc4d, mhd4d};
+use pargrid_parallel::{EngineConfig, ParallelGridFile};
+use pargrid_sim::table::{fmt2, ResultTable};
+use pargrid_sim::QueryWorkload;
+use std::sync::Arc;
+
+const SNAPSHOTS: usize = 40;
+const TRACES: usize = 32;
+
+/// Runs the experiment.
+pub fn run(params: &Params) -> Vec<NamedTable> {
+    let scale = if params.full_scale {
+        1_000_000
+    } else {
+        300_000
+    };
+    [
+        dsmc4d(params.seed, SNAPSHOTS, scale),
+        mhd4d(params.seed, SNAPSHOTS, scale),
+    ]
+    .into_iter()
+    .map(|ds| {
+        let gf = Arc::new(ds.build_grid_file());
+        let input = DeclusterInput::from_grid_file(&gf);
+        let methods = [
+            DeclusterMethod::Index(IndexScheme::Hilbert, ConflictPolicy::DataBalance),
+            DeclusterMethod::Minimax(EdgeWeight::Proximity),
+        ];
+        let mut table = ResultTable::new(vec![
+            "workers",
+            "method",
+            "blocks/step",
+            "comm (ms/step)",
+            "elapsed (ms/step)",
+            "cache hit",
+        ]);
+        for &workers in &[4usize, 8, 16] {
+            for method in &methods {
+                let assignment = method.assign(&input, workers, params.seed);
+                let mut engine =
+                    ParallelGridFile::build(Arc::clone(&gf), &assignment, EngineConfig::default());
+                let mut totals = pargrid_parallel::RunStats::default();
+                for t in 0..TRACES {
+                    let trace = QueryWorkload::particle_trace(
+                        &ds.domain,
+                        0.002,
+                        SNAPSHOTS,
+                        0.03,
+                        params.seed + t as u64,
+                    );
+                    let s = engine.run_workload(&trace);
+                    totals.queries += s.queries;
+                    totals.response_blocks += s.response_blocks;
+                    totals.total_blocks += s.total_blocks;
+                    totals.cache_hits += s.cache_hits;
+                    totals.comm_us += s.comm_us;
+                    totals.elapsed_us += s.elapsed_us;
+                }
+                let steps = totals.queries as f64;
+                table.push_row(vec![
+                    workers.to_string(),
+                    method.label(),
+                    fmt2(totals.response_blocks as f64 / steps),
+                    fmt2(totals.comm_us as f64 / steps / 1e3),
+                    fmt2(totals.elapsed_us as f64 / steps / 1e3),
+                    fmt2(totals.cache_hits as f64 / totals.total_blocks.max(1) as f64),
+                ]);
+            }
+        }
+        NamedTable::new(
+            format!("tracing_{}", ds.name.replace('.', "_")),
+            format!(
+                "A4: particle tracing on {} ({} traces x {} steps, r=0.002)",
+                ds.name, TRACES, SNAPSHOTS
+            ),
+            table,
+        )
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracing_runs_at_tiny_scale() {
+        let ds = dsmc4d(1, 6, 12_000);
+        let gf = Arc::new(ds.build_grid_file());
+        let input = DeclusterInput::from_grid_file(&gf);
+        let a = DeclusterMethod::Minimax(EdgeWeight::Proximity).assign(&input, 4, 1);
+        let mut engine = ParallelGridFile::build(Arc::clone(&gf), &a, EngineConfig::default());
+        let trace = QueryWorkload::particle_trace(&ds.domain, 0.01, 6, 0.05, 3);
+        let s = engine.run_workload(&trace);
+        assert_eq!(s.queries, 6);
+        assert!(s.total_blocks > 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! Each experiment module builds its datasets, runs the paper's methodology
+//! (1,000 random square queries per configuration unless stated otherwise)
+//! and returns [`NamedTable`]s that the `repro` binary prints and writes to
+//! `results/*.csv`. The experiment ids (`fig4`, `table2`, ...) match the
+//! paper's numbering; `DESIGN.md` §4 maps each to its modules and expected
+//! shape, `EXPERIMENTS.md` records paper-vs-measured.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+use pargrid_sim::plot::LineChart;
+use pargrid_sim::table::ResultTable;
+
+/// A titled result table produced by an experiment, optionally paired with
+/// the figure it plots.
+pub struct NamedTable {
+    /// Stable id; also the CSV/SVG file stem (`fig4_hot2d`).
+    pub id: String,
+    /// Human-readable title printed above the table.
+    pub title: String,
+    /// The data.
+    pub table: ResultTable,
+    /// The rendered figure, for experiments that are figures in the paper.
+    pub chart: Option<LineChart>,
+}
+
+impl NamedTable {
+    /// Creates a named table without a chart.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, table: ResultTable) -> Self {
+        NamedTable {
+            id: id.into(),
+            title: title.into(),
+            table,
+            chart: None,
+        }
+    }
+
+    /// Attaches a chart.
+    pub fn with_chart(mut self, chart: LineChart) -> Self {
+        self.chart = Some(chart);
+        self
+    }
+}
+
+/// Global experiment parameters.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Queries per configuration (the paper uses 1,000).
+    pub queries: usize,
+    /// Disk counts to sweep (the paper uses 4..=32).
+    pub disks: Vec<usize>,
+    /// Even disk counts only (Table 1 prints those).
+    pub even_disks: Vec<usize>,
+    /// Master seed for dataset generation and workloads.
+    pub seed: u64,
+    /// Run the SP-2 reproduction at the paper's full 3M-record scale.
+    pub full_scale: bool,
+}
+
+impl Params {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        Params {
+            queries: 1000,
+            disks: (2..=16).map(|i| i * 2).collect(), // 4, 6, ..., 32
+            even_disks: (2..=16).map(|i| i * 2).collect(),
+            seed: 42,
+            full_scale: false,
+        }
+    }
+
+    /// A scaled-down configuration for smoke tests and CI.
+    pub fn quick() -> Self {
+        Params {
+            queries: 150,
+            disks: vec![4, 8, 16, 32],
+            even_disks: vec![4, 8, 16, 32],
+            seed: 42,
+            full_scale: false,
+        }
+    }
+}

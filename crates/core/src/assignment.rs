@@ -1,0 +1,150 @@
+//! Bucket-to-disk assignments.
+
+use crate::input::DeclusterInput;
+
+/// A complete assignment of every bucket of an instance to one of `M` disks.
+///
+/// Positions are aligned with `DeclusterInput::buckets`; an id-indexed table
+/// supports O(1) lookup from grid-file bucket ids (the form queries use).
+#[derive(Clone, Debug)]
+pub struct Assignment {
+    n_disks: usize,
+    /// Disk per bucket position (aligned with the input's bucket order).
+    disks: Vec<u32>,
+    /// Bucket id -> disk, dense table (`u32::MAX` = no such bucket).
+    by_id: Vec<u32>,
+}
+
+impl Assignment {
+    /// Wraps a per-position disk vector produced by an algorithm.
+    ///
+    /// # Panics
+    /// Panics if the vector length does not match the instance or any disk
+    /// is out of range.
+    pub fn new(input: &DeclusterInput, n_disks: usize, disks: Vec<u32>) -> Self {
+        assert_eq!(disks.len(), input.n_buckets(), "assignment length mismatch");
+        assert!(n_disks >= 1, "need at least one disk");
+        assert!(
+            disks.iter().all(|&d| (d as usize) < n_disks),
+            "disk out of range"
+        );
+        let mut by_id = vec![u32::MAX; input.max_id_bound()];
+        for (pos, b) in input.buckets.iter().enumerate() {
+            assert_eq!(
+                by_id[b.id as usize],
+                u32::MAX,
+                "duplicate bucket id {}",
+                b.id
+            );
+            by_id[b.id as usize] = disks[pos];
+        }
+        Assignment {
+            n_disks,
+            disks,
+            by_id,
+        }
+    }
+
+    /// Number of disks.
+    #[inline]
+    pub fn n_disks(&self) -> usize {
+        self.n_disks
+    }
+
+    /// Disk of the bucket at input position `pos`.
+    #[inline]
+    pub fn disk_at(&self, pos: usize) -> u32 {
+        self.disks[pos]
+    }
+
+    /// Disk of the bucket with grid-file id `id`.
+    ///
+    /// # Panics
+    /// Panics if no bucket with that id exists in the instance.
+    #[inline]
+    pub fn disk_of_id(&self, id: u32) -> u32 {
+        let d = self.by_id[id as usize];
+        assert_ne!(d, u32::MAX, "bucket id {id} not in assignment");
+        d
+    }
+
+    /// Per-position disks.
+    #[inline]
+    pub fn disks(&self) -> &[u32] {
+        &self.disks
+    }
+
+    /// Number of buckets on each disk.
+    pub fn bucket_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_disks];
+        for &d in &self.disks {
+            counts[d as usize] += 1;
+        }
+        counts
+    }
+
+    /// The paper's *degree of data balance*: `B_max * M / B_sum`
+    /// (1.0 = perfectly even; larger = more skewed).
+    pub fn data_balance_degree(&self) -> f64 {
+        let counts = self.bucket_counts();
+        let max = *counts.iter().max().expect("at least one disk") as f64;
+        let sum: usize = counts.iter().sum();
+        if sum == 0 {
+            return 1.0;
+        }
+        max * self.n_disks as f64 / sum as f64
+    }
+
+    /// Whether no disk holds more than `ceil(N / M)` buckets — the balance
+    /// guarantee minimax provides by construction.
+    pub fn is_perfectly_balanced(&self) -> bool {
+        let n = self.disks.len();
+        let cap = n.div_ceil(self.n_disks);
+        self.bucket_counts().iter().all(|&c| c <= cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::DeclusterInput;
+    use pargrid_gridfile::CartesianProductFile;
+
+    fn instance_2x2() -> DeclusterInput {
+        DeclusterInput::from_cartesian(&CartesianProductFile::new(&[2, 2]))
+    }
+
+    #[test]
+    fn roundtrip_lookup() {
+        let input = instance_2x2();
+        let a = Assignment::new(&input, 2, vec![0, 1, 1, 0]);
+        assert_eq!(a.n_disks(), 2);
+        assert_eq!(a.disk_at(1), 1);
+        assert_eq!(a.disk_of_id(input.buckets[1].id), 1);
+        assert_eq!(a.bucket_counts(), vec![2, 2]);
+        assert!((a.data_balance_degree() - 1.0).abs() < 1e-12);
+        assert!(a.is_perfectly_balanced());
+    }
+
+    #[test]
+    fn skewed_balance_degree() {
+        let input = instance_2x2();
+        let a = Assignment::new(&input, 2, vec![0, 0, 0, 1]);
+        assert_eq!(a.data_balance_degree(), 1.5);
+        assert!(!a.is_perfectly_balanced());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_length_rejected() {
+        let input = instance_2x2();
+        let _ = Assignment::new(&input, 2, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn disk_out_of_range_rejected() {
+        let input = instance_2x2();
+        let _ = Assignment::new(&input, 2, vec![0, 1, 2, 0]);
+    }
+}

@@ -1,0 +1,270 @@
+//! Conflict-resolution heuristics for index-based schemes on grid files
+//! (paper §2.1).
+//!
+//! A merged bucket's cells may map to several disks; the heuristics pick one:
+//!
+//! * **Random selection** — uniform choice among the candidate disks.
+//! * **Most frequent** — the disk that the largest number of the bucket's
+//!   cells map to (ties broken randomly).
+//! * **Data balance** (Algorithm 1) — unambiguous buckets first; then each
+//!   conflicted bucket goes to its candidate disk currently holding the
+//!   fewest buckets.
+//! * **Area balance** — like data balance but balancing the total spatial
+//!   volume per disk instead of the bucket count.
+
+use crate::assignment::Assignment;
+use crate::index_based::{candidate_sets, IndexScheme};
+use crate::input::DeclusterInput;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The four heuristics of §2.1.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConflictPolicy {
+    /// Uniform random choice among candidates.
+    Random,
+    /// Candidate disk covering the most cells of the bucket.
+    MostFrequent,
+    /// Algorithm 1: greedily even out the bucket count per disk.
+    DataBalance,
+    /// Greedily even out the spatial volume per disk.
+    AreaBalance,
+}
+
+impl ConflictPolicy {
+    /// Short label used in result tables (`R`, `F`, `D`, `A`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ConflictPolicy::Random => "R",
+            ConflictPolicy::MostFrequent => "F",
+            ConflictPolicy::DataBalance => "D",
+            ConflictPolicy::AreaBalance => "A",
+        }
+    }
+}
+
+/// Runs an index-based scheme plus conflict resolution on a grid-file
+/// instance. `seed` feeds the random choices of `Random`/`MostFrequent`.
+pub fn index_based_assign(
+    input: &DeclusterInput,
+    m: usize,
+    scheme: IndexScheme,
+    policy: ConflictPolicy,
+    seed: u64,
+) -> Assignment {
+    assert!(m >= 1, "need at least one disk");
+    let cs = candidate_sets(input, scheme, m as u32);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = input.n_buckets();
+    let mut disks = vec![u32::MAX; n];
+
+    match policy {
+        ConflictPolicy::Random => {
+            for (p, cands) in cs.candidates.iter().enumerate() {
+                disks[p] = if cands.len() == 1 {
+                    cands[0].0
+                } else {
+                    cands[rng.random_range(0..cands.len())].0
+                };
+            }
+        }
+        ConflictPolicy::MostFrequent => {
+            for (p, cands) in cs.candidates.iter().enumerate() {
+                let best = cands.iter().map(|&(_, c)| c).max().expect("non-empty");
+                let top: Vec<u32> = cands
+                    .iter()
+                    .filter(|&&(_, c)| c == best)
+                    .map(|&(d, _)| d)
+                    .collect();
+                disks[p] = if top.len() == 1 {
+                    top[0]
+                } else {
+                    top[rng.random_range(0..top.len())]
+                };
+            }
+        }
+        ConflictPolicy::DataBalance => {
+            // Algorithm 1, step 2: unambiguous buckets first.
+            let mut load = vec![0u64; m];
+            for (p, cands) in cs.candidates.iter().enumerate() {
+                if cands.len() == 1 {
+                    disks[p] = cands[0].0;
+                    load[cands[0].0 as usize] += 1;
+                }
+            }
+            // Step 3: each conflicted bucket to its least-loaded candidate.
+            for (p, cands) in cs.candidates.iter().enumerate() {
+                if cands.len() > 1 {
+                    let d = cands
+                        .iter()
+                        .map(|&(d, _)| d)
+                        .min_by_key(|&d| load[d as usize])
+                        .expect("non-empty");
+                    disks[p] = d;
+                    load[d as usize] += 1;
+                }
+            }
+        }
+        ConflictPolicy::AreaBalance => {
+            // Same structure, accumulating spatial volume instead of counts.
+            let mut load = vec![0.0f64; m];
+            for (p, cands) in cs.candidates.iter().enumerate() {
+                if cands.len() == 1 {
+                    disks[p] = cands[0].0;
+                    load[cands[0].0 as usize] += input.buckets[p].rect.volume();
+                }
+            }
+            for (p, cands) in cs.candidates.iter().enumerate() {
+                if cands.len() > 1 {
+                    let d = cands
+                        .iter()
+                        .map(|&(d, _)| d)
+                        .min_by(|&a, &b| {
+                            load[a as usize]
+                                .partial_cmp(&load[b as usize])
+                                .expect("volumes are never NaN")
+                        })
+                        .expect("non-empty");
+                    disks[p] = d;
+                    load[d as usize] += input.buckets[p].rect.volume();
+                }
+            }
+        }
+    }
+    debug_assert!(disks.iter().all(|&d| d != u32::MAX));
+    Assignment::new(input, m, disks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pargrid_geom::{Point, Rect};
+    use pargrid_gridfile::{CartesianProductFile, GridConfig, GridFile, Record};
+
+    fn merged_instance() -> DeclusterInput {
+        let cfg = GridConfig::with_capacity(Rect::new2(0.0, 0.0, 100.0, 100.0), 4);
+        let mut recs = Vec::new();
+        let mut x = 77u64;
+        for i in 0..500u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Heavy center cluster + sparse background.
+            let (a, b) = if i % 4 == 0 {
+                (
+                    ((x >> 16) % 10000) as f64 / 100.0,
+                    ((x >> 40) % 10000) as f64 / 100.0,
+                )
+            } else {
+                (
+                    40.0 + ((x >> 16) % 2000) as f64 / 100.0,
+                    40.0 + ((x >> 40) % 2000) as f64 / 100.0,
+                )
+            };
+            recs.push(Record::new(i, Point::new2(a, b)));
+        }
+        DeclusterInput::from_grid_file(&GridFile::bulk_load(cfg, recs))
+    }
+
+    #[test]
+    fn all_policies_produce_valid_assignments() {
+        let input = merged_instance();
+        for scheme in [
+            IndexScheme::DiskModulo,
+            IndexScheme::FieldwiseXor,
+            IndexScheme::Hilbert,
+        ] {
+            for policy in [
+                ConflictPolicy::Random,
+                ConflictPolicy::MostFrequent,
+                ConflictPolicy::DataBalance,
+                ConflictPolicy::AreaBalance,
+            ] {
+                let a = index_based_assign(&input, 8, scheme, policy, 42);
+                assert_eq!(a.disks().len(), input.n_buckets());
+                assert!(a.disks().iter().all(|&d| d < 8));
+            }
+        }
+    }
+
+    #[test]
+    fn unambiguous_buckets_keep_their_disk_under_every_policy() {
+        // On a Cartesian product file there are no conflicts, so all four
+        // policies must yield the identical assignment.
+        let input = DeclusterInput::from_cartesian(&CartesianProductFile::new(&[8, 8]));
+        let base = index_based_assign(
+            &input,
+            4,
+            IndexScheme::DiskModulo,
+            ConflictPolicy::Random,
+            1,
+        );
+        for policy in [
+            ConflictPolicy::MostFrequent,
+            ConflictPolicy::DataBalance,
+            ConflictPolicy::AreaBalance,
+        ] {
+            let a = index_based_assign(&input, 4, IndexScheme::DiskModulo, policy, 99);
+            assert_eq!(a.disks(), base.disks());
+        }
+    }
+
+    #[test]
+    fn data_balance_beats_random_on_balance_degree() {
+        let input = merged_instance();
+        let mut rand_deg = 0.0;
+        let mut bal_deg = 0.0;
+        for seed in 0..5 {
+            rand_deg += index_based_assign(
+                &input,
+                8,
+                IndexScheme::FieldwiseXor,
+                ConflictPolicy::Random,
+                seed,
+            )
+            .data_balance_degree();
+            bal_deg += index_based_assign(
+                &input,
+                8,
+                IndexScheme::FieldwiseXor,
+                ConflictPolicy::DataBalance,
+                seed,
+            )
+            .data_balance_degree();
+        }
+        assert!(
+            bal_deg <= rand_deg + 1e-9,
+            "data balance {bal_deg} vs random {rand_deg}"
+        );
+    }
+
+    #[test]
+    fn most_frequent_picks_majority_disk() {
+        let input = merged_instance();
+        let cs = candidate_sets(&input, IndexScheme::DiskModulo, 4);
+        let a = index_based_assign(
+            &input,
+            4,
+            IndexScheme::DiskModulo,
+            ConflictPolicy::MostFrequent,
+            7,
+        );
+        for (p, cands) in cs.candidates.iter().enumerate() {
+            let max = cands.iter().map(|&(_, c)| c).max().expect("non-empty");
+            let chosen_count = cands
+                .iter()
+                .find(|&&(d, _)| d == a.disk_at(p))
+                .map(|&(_, c)| c)
+                .expect("chosen disk must be a candidate");
+            assert_eq!(chosen_count, max);
+        }
+    }
+
+    #[test]
+    fn assignments_are_deterministic_per_seed() {
+        let input = merged_instance();
+        let a = index_based_assign(&input, 6, IndexScheme::Hilbert, ConflictPolicy::Random, 5);
+        let b = index_based_assign(&input, 6, IndexScheme::Hilbert, ConflictPolicy::Random, 5);
+        assert_eq!(a.disks(), b.disks());
+    }
+}

@@ -1,0 +1,197 @@
+//! Exhaustive (provably optimal) declustering for tiny instances.
+//!
+//! The declustering problem is NP-complete (a Max-Cut variant, §3.1), so no
+//! algorithm in this crate is optimal in general. For instances small enough
+//! to enumerate, this module finds the assignment minimizing the intra-disk
+//! proximity mass — the objective minimax greedily attacks — by branch and
+//! bound. That gives the test suite a ground truth: how far from optimal is
+//! minimax on instances where optimal is knowable at all?
+
+use crate::assignment::Assignment;
+use crate::input::DeclusterInput;
+use crate::weights::EdgeWeight;
+
+/// Hard cap on the search size (`m^n` grows fast).
+const MAX_STATES: u64 = 20_000_000;
+
+/// Finds the assignment minimizing total same-disk similarity by exhaustive
+/// branch-and-bound search. Only feasible for tiny instances.
+///
+/// # Panics
+/// Panics if `m^n` exceeds the internal state cap (≈2·10^7).
+pub fn optimal_assignment(input: &DeclusterInput, m: usize, weight: EdgeWeight) -> Assignment {
+    assert!(m >= 1);
+    let n = input.n_buckets();
+    let states = (m as u64).checked_pow(n as u32).unwrap_or(u64::MAX);
+    assert!(
+        states <= MAX_STATES,
+        "instance too large for exhaustive search ({m}^{n} states)"
+    );
+
+    // Precompute the similarity matrix (n is tiny).
+    let sim: Vec<Vec<f64>> = (0..n)
+        .map(|u| (0..n).map(|v| weight.similarity(input, u, v)).collect())
+        .collect();
+
+    // Seed the bound with the round-robin baseline so pruning bites early.
+    let mut best: Vec<u32> = (0..n).map(|i| (i % m) as u32).collect();
+    let mut best_cost = 0.0;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if best[u] == best[v] {
+                best_cost += sim[u][v];
+            }
+        }
+    }
+
+    let mut current = vec![0u32; n];
+    // Depth-first with incremental cost and symmetry breaking: bucket `i`
+    // may only open disk `i` (first unused disk), killing the m! relabeling
+    // symmetry.
+    fn dfs(
+        depth: usize,
+        cost_so_far: f64,
+        max_disk_used: u32,
+        n: usize,
+        m: usize,
+        sim: &[Vec<f64>],
+        current: &mut Vec<u32>,
+        best: &mut Vec<u32>,
+        best_cost: &mut f64,
+    ) {
+        if cost_so_far >= *best_cost {
+            return; // prune: costs only grow
+        }
+        if depth == n {
+            *best_cost = cost_so_far;
+            best.copy_from_slice(current);
+            return;
+        }
+        let open_limit = (max_disk_used + 1).min(m as u32 - 1);
+        for d in 0..=open_limit {
+            let mut added = 0.0;
+            for prev in 0..depth {
+                if current[prev] == d {
+                    added += sim[prev][depth];
+                }
+            }
+            current[depth] = d;
+            dfs(
+                depth + 1,
+                cost_so_far + added,
+                max_disk_used.max(d),
+                n,
+                m,
+                sim,
+                current,
+                best,
+                best_cost,
+            );
+        }
+    }
+    dfs(
+        0,
+        0.0,
+        0,
+        n,
+        m,
+        &sim,
+        &mut current,
+        &mut best,
+        &mut best_cost,
+    );
+    Assignment::new(input, m, best)
+}
+
+/// Total same-disk similarity of an assignment (the objective above).
+pub fn intra_cost(input: &DeclusterInput, a: &Assignment, weight: EdgeWeight) -> f64 {
+    let n = input.n_buckets();
+    let mut cost = 0.0;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if a.disk_at(u) == a.disk_at(v) {
+                cost += weight.similarity(input, u, v);
+            }
+        }
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::DeclusterMethod;
+    use pargrid_gridfile::CartesianProductFile;
+
+    fn tiny(w: u32, h: u32) -> DeclusterInput {
+        DeclusterInput::from_cartesian(&CartesianProductFile::new(&[w, h]))
+    }
+
+    #[test]
+    fn two_disks_on_2x2_is_a_checkerboard() {
+        // The optimal 2-way split of a 2x2 grid pairs diagonal cells
+        // (diagonal neighbors are the least similar pairs).
+        let input = tiny(2, 2);
+        let opt = optimal_assignment(&input, 2, EdgeWeight::Proximity);
+        // Row-major ids: (0,0)=0,(0,1)=1,(1,0)=2,(1,1)=3.
+        assert_eq!(opt.disk_at(0), opt.disk_at(3));
+        assert_eq!(opt.disk_at(1), opt.disk_at(2));
+        assert_ne!(opt.disk_at(0), opt.disk_at(1));
+    }
+
+    #[test]
+    fn optimal_is_a_lower_bound_for_every_heuristic() {
+        let input = tiny(3, 3);
+        for m in [2usize, 3] {
+            let opt_cost = intra_cost(
+                &input,
+                &optimal_assignment(&input, m, EdgeWeight::Proximity),
+                EdgeWeight::Proximity,
+            );
+            for method in DeclusterMethod::paper_five() {
+                let a = method.assign(&input, m, 1);
+                let c = intra_cost(&input, &a, EdgeWeight::Proximity);
+                assert!(
+                    c >= opt_cost - 1e-9,
+                    "{} beat the optimum?! {c} < {opt_cost}",
+                    method.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn minimax_is_near_optimal_on_tiny_instances() {
+        // The headline check: on every instance small enough to solve
+        // exactly, minimax lands within 25% of the optimal objective.
+        for (w, h, m) in [(3u32, 3u32, 2usize), (3, 3, 3), (4, 3, 2), (4, 2, 3)] {
+            let input = tiny(w, h);
+            let opt = intra_cost(
+                &input,
+                &optimal_assignment(&input, m, EdgeWeight::Proximity),
+                EdgeWeight::Proximity,
+            );
+            // Best of a few seeds, as one would run it in practice.
+            let mm = (0..4)
+                .map(|s| {
+                    intra_cost(
+                        &input,
+                        &DeclusterMethod::Minimax(EdgeWeight::Proximity).assign(&input, m, s),
+                        EdgeWeight::Proximity,
+                    )
+                })
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                mm <= opt * 1.25 + 1e-9,
+                "{w}x{h}/{m}: minimax {mm} vs optimal {opt}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_instance_rejected() {
+        let input = tiny(8, 8);
+        let _ = optimal_assignment(&input, 8, EdgeWeight::Proximity);
+    }
+}

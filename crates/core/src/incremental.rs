@@ -1,0 +1,228 @@
+//! Incremental declustering for growing datasets.
+//!
+//! The paper's motivating workloads are long-running simulations that
+//! *periodically* append snapshots (§1); rerunning the `O(N^2)` minimax
+//! algorithm from scratch after every append — and migrating every bucket
+//! it reassigns — is exactly the cost a production deployment would refuse
+//! to pay. This module extends an existing assignment to cover a grown grid
+//! file **without moving any already-placed bucket**:
+//!
+//! * surviving buckets keep their disk;
+//! * each new bucket is placed with the **same minimax criterion** applied
+//!   incrementally — it goes to the disk minimizing the maximum proximity
+//!   between the bucket and that disk's current residents — subject to a
+//!   balance cap of `ceil(N/M)` buckets per disk.
+//!
+//! The cost is `O(N_new * N)` similarities instead of `O(N^2)`, and zero
+//! migration. Ablation A7 measures the response-time gap between this and a
+//! fresh minimax run.
+
+use crate::assignment::Assignment;
+use crate::input::DeclusterInput;
+use crate::weights::EdgeWeight;
+
+/// Extends `old_assignment` (over `old_input`) to the grown instance
+/// `new_input`. Buckets are matched by id; every bucket of the old instance
+/// must still exist in the new one (grid files never renumber live buckets
+/// on insertion).
+///
+/// # Panics
+/// Panics if an old bucket id is missing from the new instance or the disk
+/// counts disagree.
+pub fn extend_assignment(
+    old_input: &DeclusterInput,
+    old_assignment: &Assignment,
+    new_input: &DeclusterInput,
+    weight: EdgeWeight,
+) -> Assignment {
+    let m = old_assignment.n_disks();
+    let n = new_input.n_buckets();
+    assert!(
+        n >= old_input.n_buckets(),
+        "new instance is smaller than the old one"
+    );
+
+    // Map old bucket ids to their disks.
+    let old_bound = old_input.max_id_bound();
+    let mut disk_of_old_id = vec![u32::MAX; old_bound];
+    for (pos, b) in old_input.buckets.iter().enumerate() {
+        disk_of_old_id[b.id as usize] = old_assignment.disk_at(pos);
+    }
+
+    let cap = n.div_ceil(m);
+    let mut disks = vec![u32::MAX; n];
+    let mut load = vec![0usize; m];
+    // Residents per disk (positions in the new instance), for the minimax
+    // criterion.
+    let mut residents: Vec<Vec<usize>> = vec![Vec::new(); m];
+    let mut fresh = Vec::new();
+    for (pos, b) in new_input.buckets.iter().enumerate() {
+        let prior = disk_of_old_id
+            .get(b.id as usize)
+            .copied()
+            .unwrap_or(u32::MAX);
+        if prior != u32::MAX {
+            disks[pos] = prior;
+            load[prior as usize] += 1;
+            residents[prior as usize].push(pos);
+        } else {
+            fresh.push(pos);
+        }
+    }
+    assert_eq!(
+        fresh.len(),
+        n - old_input.n_buckets(),
+        "every old bucket id must survive"
+    );
+
+    // Place new buckets one at a time: disk with the minimum of maximum
+    // proximity to its residents, among disks under the balance cap.
+    for &pos in &fresh {
+        let mut best_disk = u32::MAX;
+        let mut best_score = f64::INFINITY;
+        for d in 0..m {
+            if load[d] >= cap {
+                continue;
+            }
+            let score = residents[d]
+                .iter()
+                .map(|&r| weight.similarity(new_input, pos, r))
+                .fold(0.0f64, f64::max);
+            if score < best_score {
+                best_score = score;
+                best_disk = d as u32;
+            }
+        }
+        // All disks at the cap can only happen transiently when the old
+        // assignment was itself above the new cap; fall back to least load.
+        if best_disk == u32::MAX {
+            best_disk = (0..m).min_by_key(|&d| load[d]).expect("m >= 1") as u32;
+        }
+        disks[pos] = best_disk;
+        load[best_disk as usize] += 1;
+        residents[best_disk as usize].push(pos);
+    }
+
+    Assignment::new(new_input, m, disks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::DeclusterMethod;
+    use pargrid_geom::{Point, Rect};
+    use pargrid_gridfile::{GridConfig, GridFile, Record};
+
+    fn grow_file(n_initial: u64, n_extra: u64) -> (DeclusterInput, DeclusterInput) {
+        let cfg = GridConfig::with_capacity(Rect::new2(0.0, 0.0, 100.0, 100.0), 6);
+        let mut x = 11u64;
+        let mut gen = move || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (
+                ((x >> 16) % 10000) as f64 / 100.0,
+                ((x >> 40) % 10000) as f64 / 100.0,
+            )
+        };
+        let mut gf = GridFile::new(cfg);
+        for i in 0..n_initial {
+            let (a, b) = gen();
+            gf.insert(Record::new(i, Point::new2(a, b)));
+        }
+        let old = DeclusterInput::from_grid_file(&gf);
+        for i in 0..n_extra {
+            let (a, b) = gen();
+            gf.insert(Record::new(n_initial + i, Point::new2(a, b)));
+        }
+        let new = DeclusterInput::from_grid_file(&gf);
+        (old, new)
+    }
+
+    #[test]
+    fn old_buckets_never_move() {
+        let (old, new) = grow_file(400, 400);
+        let m = 8;
+        let base = DeclusterMethod::Minimax(EdgeWeight::Proximity).assign(&old, m, 3);
+        let ext = extend_assignment(&old, &base, &new, EdgeWeight::Proximity);
+        for (pos, b) in old.buckets.iter().enumerate() {
+            assert_eq!(
+                base.disk_at(pos),
+                ext.disk_of_id(b.id),
+                "bucket {} migrated",
+                b.id
+            );
+        }
+    }
+
+    #[test]
+    fn extension_is_balanced() {
+        let (old, new) = grow_file(300, 600);
+        let m = 7;
+        let base = DeclusterMethod::Minimax(EdgeWeight::Proximity).assign(&old, m, 3);
+        let ext = extend_assignment(&old, &base, &new, EdgeWeight::Proximity);
+        assert!(
+            ext.is_perfectly_balanced(),
+            "counts {:?}",
+            ext.bucket_counts()
+        );
+    }
+
+    #[test]
+    fn no_growth_is_identity() {
+        let (old, _) = grow_file(300, 0);
+        let m = 4;
+        let base = DeclusterMethod::Minimax(EdgeWeight::Proximity).assign(&old, m, 9);
+        let ext = extend_assignment(&old, &base, &old, EdgeWeight::Proximity);
+        assert_eq!(base.disks(), ext.disks());
+    }
+
+    #[test]
+    fn quality_close_to_fresh_minimax() {
+        // The incremental extension should separate closest pairs nearly as
+        // well as running minimax from scratch.
+        use pargrid_sim_free::count_closest_same;
+        let (old, new) = grow_file(400, 400);
+        let m = 8;
+        let base = DeclusterMethod::Minimax(EdgeWeight::Proximity).assign(&old, m, 3);
+        let ext = extend_assignment(&old, &base, &new, EdgeWeight::Proximity);
+        let fresh = DeclusterMethod::Minimax(EdgeWeight::Proximity).assign(&new, m, 3);
+        let (ext_bad, total) = count_closest_same(&new, &ext);
+        let (fresh_bad, _) = count_closest_same(&new, &fresh);
+        assert!(
+            ext_bad <= fresh_bad + total / 20,
+            "incremental {ext_bad} vs fresh {fresh_bad} (of {total})"
+        );
+    }
+
+    /// Tiny local reimplementation of the closest-pair metric (the real one
+    /// lives in `pargrid-sim`, which depends on this crate).
+    mod pargrid_sim_free {
+        use super::*;
+
+        pub fn count_closest_same(input: &DeclusterInput, a: &Assignment) -> (usize, usize) {
+            let n = input.n_buckets();
+            let w = EdgeWeight::Proximity;
+            let mut same = 0;
+            let mut total = 0;
+            for u in 0..n {
+                let mut best = f64::NEG_INFINITY;
+                let mut best_v = usize::MAX;
+                for v in 0..n {
+                    if v != u {
+                        let s = w.similarity(input, u, v);
+                        if s > best {
+                            best = s;
+                            best_v = v;
+                        }
+                    }
+                }
+                total += 1;
+                if a.disk_at(u) == a.disk_at(best_v) {
+                    same += 1;
+                }
+            }
+            (same, total)
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Index-based declustering schemes (paper §2).
+//!
+//! These schemes assign each grid **cell** to a disk from its integer
+//! coordinates alone:
+//!
+//! * **Disk modulo (DM)** — Du & Sobolewski: `(i_1 + ... + i_d) mod M`.
+//! * **Fieldwise XOR (FX)** — Kim & Pramanik: `(i_1 ^ ... ^ i_d) mod M`.
+//! * **Curve allocation (HCAM et al.)** — Faloutsos & Bhagwat: linearize the
+//!   cells with a space-filling curve and deal round-robin:
+//!   `H(i_1, ..., i_d) mod M`.
+//!
+//! On a grid file, a *merged* bucket covers several cells whose per-cell
+//! disks may differ; the scheme therefore produces a **candidate multiset**
+//! per bucket, which a [`crate::conflict::ConflictPolicy`] resolves.
+
+use crate::input::DeclusterInput;
+use pargrid_geom::{
+    curves::bits_for_sides, GrayCurve, HilbertCurve, ScanCurve, SpaceFillingCurve, ZOrderCurve,
+};
+
+/// Which per-cell mapping to use.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IndexScheme {
+    /// Disk modulo: `(sum of coords) mod M`.
+    DiskModulo,
+    /// Fieldwise XOR: `(xor of coords) mod M`.
+    FieldwiseXor,
+    /// Hilbert curve allocation (the paper's HCAM).
+    Hilbert,
+    /// Z-order curve allocation (ablation).
+    ZOrder,
+    /// Gray-code curve allocation (ablation).
+    GrayCode,
+    /// Row-major scan allocation (ablation).
+    Scan,
+    /// Generalized disk modulo (Du & Sobolewski): `(sum a_k * i_k) mod M`
+    /// with fixed odd coefficients `a = (1, 3, 5, 7, 11, 13)`. Breaking the
+    /// unit-coefficient symmetry spreads diagonal runs that plain DM maps to
+    /// one disk (ablation).
+    GeneralizedDiskModulo,
+}
+
+/// The coefficient vector used by [`IndexScheme::GeneralizedDiskModulo`].
+pub const GDM_COEFFS: [u64; pargrid_geom::MAX_DIM] = [1, 3, 5, 7, 11, 13];
+
+impl IndexScheme {
+    /// Short label used in result tables (`DM`, `FX`, `HCAM`, ...).
+    pub fn label(&self) -> &'static str {
+        match self {
+            IndexScheme::DiskModulo => "DM",
+            IndexScheme::FieldwiseXor => "FX",
+            IndexScheme::Hilbert => "HCAM",
+            IndexScheme::ZOrder => "ZCAM",
+            IndexScheme::GrayCode => "GCAM",
+            IndexScheme::Scan => "SCAN",
+            IndexScheme::GeneralizedDiskModulo => "GDM",
+        }
+    }
+
+    /// Builds the per-cell disk mapping for a grid with the given cell
+    /// counts. Curve schemes embed the grid in the enclosing power-of-two
+    /// cube, the standard HCAM treatment.
+    pub fn cell_mapper(&self, cells_per_dim: &[u32]) -> CellMapper {
+        let dim = cells_per_dim.len();
+        match self {
+            IndexScheme::DiskModulo => CellMapper::Sum,
+            IndexScheme::FieldwiseXor => CellMapper::Xor,
+            IndexScheme::GeneralizedDiskModulo => CellMapper::LinearSum(GDM_COEFFS),
+            _ => {
+                let sides: Vec<usize> = cells_per_dim.iter().map(|&c| c as usize).collect();
+                let bits = bits_for_sides(&sides);
+                let curve: Box<dyn SpaceFillingCurve + Send + Sync> = match self {
+                    IndexScheme::Hilbert => Box::new(HilbertCurve::new(dim, bits)),
+                    IndexScheme::ZOrder => Box::new(ZOrderCurve::new(dim, bits)),
+                    IndexScheme::GrayCode => Box::new(GrayCurve::new(dim, bits)),
+                    IndexScheme::Scan => Box::new(ScanCurve::new(dim, bits)),
+                    _ => unreachable!("non-curve schemes handled above"),
+                };
+                CellMapper::Curve(curve)
+            }
+        }
+    }
+}
+
+/// A concrete per-cell disk mapping.
+pub enum CellMapper {
+    /// Disk modulo.
+    Sum,
+    /// Fieldwise XOR.
+    Xor,
+    /// Generalized disk modulo with per-dimension coefficients.
+    LinearSum([u64; pargrid_geom::MAX_DIM]),
+    /// Space-filling curve round-robin.
+    Curve(Box<dyn SpaceFillingCurve + Send + Sync>),
+}
+
+impl CellMapper {
+    /// The disk assigned to a cell for an `m`-disk farm.
+    pub fn disk_of_cell(&self, cell: &[u32], m: u32) -> u32 {
+        debug_assert!(m >= 1);
+        match self {
+            CellMapper::Sum => {
+                let s: u64 = cell.iter().map(|&c| c as u64).sum();
+                (s % m as u64) as u32
+            }
+            CellMapper::Xor => {
+                let x = cell.iter().fold(0u32, |acc, &c| acc ^ c);
+                x % m
+            }
+            CellMapper::LinearSum(coeffs) => {
+                let s: u64 = cell.iter().zip(coeffs).map(|(&c, &a)| c as u64 * a).sum();
+                (s % m as u64) as u32
+            }
+            CellMapper::Curve(curve) => (curve.index_of(cell) % m as u128) as u32,
+        }
+    }
+}
+
+/// Per-bucket candidate disks with multiplicities.
+///
+/// `candidates[p]` lists, for the bucket at input position `p`, the distinct
+/// disks its cells map to and how many of its cells map to each — the input
+/// to conflict resolution.
+pub struct CandidateSets {
+    /// `(disk, cell_count)` per bucket position, sorted by disk.
+    pub candidates: Vec<Vec<(u32, u32)>>,
+}
+
+/// Computes the candidate multiset of every bucket under a scheme.
+pub fn candidate_sets(input: &DeclusterInput, scheme: IndexScheme, m: u32) -> CandidateSets {
+    let mapper = scheme.cell_mapper(&input.cells_per_dim);
+    let mut candidates = Vec::with_capacity(input.n_buckets());
+    let mut counts: Vec<u32> = vec![0; m as usize];
+    for b in &input.buckets {
+        counts.fill(0);
+        b.region.for_each_cell(|cell| {
+            counts[mapper.disk_of_cell(cell, m) as usize] += 1;
+        });
+        let set: Vec<(u32, u32)> = counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(d, &c)| (d as u32, c))
+            .collect();
+        debug_assert!(!set.is_empty());
+        candidates.push(set);
+    }
+    CandidateSets { candidates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::DeclusterInput;
+    use pargrid_gridfile::CartesianProductFile;
+
+    #[test]
+    fn dm_is_coordinate_sum() {
+        let m = IndexScheme::DiskModulo.cell_mapper(&[8, 8]);
+        assert_eq!(m.disk_of_cell(&[3, 4], 5), 2);
+        assert_eq!(m.disk_of_cell(&[0, 0], 5), 0);
+        assert_eq!(m.disk_of_cell(&[4, 1], 5), 0);
+    }
+
+    #[test]
+    fn fx_is_coordinate_xor() {
+        let m = IndexScheme::FieldwiseXor.cell_mapper(&[8, 8]);
+        assert_eq!(m.disk_of_cell(&[3, 5], 8), 6);
+        assert_eq!(m.disk_of_cell(&[7, 7], 8), 0);
+    }
+
+    #[test]
+    fn hcam_deals_round_robin_along_the_curve() {
+        let mapper = IndexScheme::Hilbert.cell_mapper(&[4, 4]);
+        let curve = HilbertCurve::new(2, 2);
+        let mut c = [0u32; 2];
+        for i in 0..16u128 {
+            curve.coords_of(i, &mut c);
+            assert_eq!(mapper.disk_of_cell(&c, 3), (i % 3) as u32);
+        }
+    }
+
+    #[test]
+    fn curve_mapper_handles_non_power_of_two_grids() {
+        // 5x3 grid embeds in an 8x8 curve; all cells must map somewhere.
+        let mapper = IndexScheme::Hilbert.cell_mapper(&[5, 3]);
+        for x in 0..5 {
+            for y in 0..3 {
+                let d = mapper.disk_of_cell(&[x, y], 4);
+                assert!(d < 4);
+            }
+        }
+    }
+
+    #[test]
+    fn gdm_with_unit_coefficient_on_dim0() {
+        // GDM's first coefficient is 1, so on 1-D grids it equals DM.
+        let gdm = IndexScheme::GeneralizedDiskModulo.cell_mapper(&[32]);
+        let dm = IndexScheme::DiskModulo.cell_mapper(&[32]);
+        for i in 0..32u32 {
+            assert_eq!(gdm.disk_of_cell(&[i], 5), dm.disk_of_cell(&[i], 5));
+        }
+    }
+
+    #[test]
+    fn gdm_breaks_antidiagonal_collisions() {
+        // DM maps the whole antidiagonal i + j = c to one disk; GDM's
+        // coefficients (1, 3) spread it.
+        let gdm = IndexScheme::GeneralizedDiskModulo.cell_mapper(&[8, 8]);
+        let mut disks: Vec<u32> = (0..8).map(|i| gdm.disk_of_cell(&[i, 7 - i], 8)).collect();
+        disks.sort_unstable();
+        disks.dedup();
+        assert!(disks.len() > 1, "antidiagonal still collapsed: {disks:?}");
+    }
+
+    #[test]
+    fn gdm_is_optimal_for_single_unspecified_partial_match() {
+        // Coefficient 1 on some dimension keeps the Du-Sobolewski line
+        // optimality for that dimension; other lines advance by an odd
+        // stride, which is coprime to any power-of-two disk count.
+        use crate::partial_match::{for_each_partial_match_query, is_optimal_for};
+        let sides = [8u32, 8, 8];
+        let gdm = IndexScheme::GeneralizedDiskModulo.cell_mapper(&sides);
+        for m in [2u32, 4, 8] {
+            for_each_partial_match_query(&sides, u64::MAX, |q| {
+                if q.iter().filter(|v| v.is_none()).count() == 1 {
+                    assert!(is_optimal_for(&gdm, &sides, q, m), "m={m}, q={q:?}");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn cartesian_file_has_singleton_candidates() {
+        let input = DeclusterInput::from_cartesian(&CartesianProductFile::new(&[4, 4]));
+        for scheme in [
+            IndexScheme::DiskModulo,
+            IndexScheme::FieldwiseXor,
+            IndexScheme::Hilbert,
+        ] {
+            let cs = candidate_sets(&input, scheme, 4);
+            assert!(cs.candidates.iter().all(|c| c.len() == 1));
+        }
+    }
+
+    #[test]
+    fn dm_on_cartesian_uses_all_disks_evenly() {
+        let input = DeclusterInput::from_cartesian(&CartesianProductFile::new(&[6, 6]));
+        let cs = candidate_sets(&input, IndexScheme::DiskModulo, 6);
+        let mut per_disk = [0u32; 6];
+        for c in &cs.candidates {
+            per_disk[c[0].0 as usize] += 1;
+        }
+        assert_eq!(per_disk, [6; 6]);
+    }
+
+    #[test]
+    fn candidate_multiplicities_sum_to_cell_count() {
+        // Build a grid file instance with merged buckets.
+        use pargrid_geom::{Point, Rect};
+        use pargrid_gridfile::{GridConfig, GridFile, Record};
+        let cfg = GridConfig::with_capacity(Rect::new2(0.0, 0.0, 100.0, 100.0), 4);
+        let mut recs = Vec::new();
+        let mut x = 3u64;
+        for i in 0..300u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            // clustered: forces merged buckets elsewhere
+            let a = 10.0 + ((x >> 16) % 2000) as f64 / 100.0;
+            let b = 10.0 + ((x >> 40) % 2000) as f64 / 100.0;
+            recs.push(Record::new(i, Point::new2(a, b)));
+        }
+        let gf = GridFile::bulk_load(cfg, recs);
+        let input = DeclusterInput::from_grid_file(&gf);
+        let cs = candidate_sets(&input, IndexScheme::DiskModulo, 4);
+        for (b, cands) in input.buckets.iter().zip(&cs.candidates) {
+            let total: u64 = cands.iter().map(|&(_, c)| c as u64).sum();
+            assert_eq!(total, b.region.cell_count());
+        }
+        // At least one bucket has a real conflict.
+        assert!(cs.candidates.iter().any(|c| c.len() > 1));
+    }
+}

@@ -1,0 +1,146 @@
+//! The declustering problem instance.
+
+use pargrid_geom::Rect;
+use pargrid_gridfile::{CartesianProductFile, CellRegion, GridFile};
+
+/// One bucket of the instance.
+#[derive(Clone, Debug)]
+pub struct BucketInfo {
+    /// The grid file's bucket id (used to join assignments back to queries).
+    pub id: u32,
+    /// The box of grid cells the bucket covers.
+    pub region: CellRegion,
+    /// The spatial box the bucket covers.
+    pub rect: Rect,
+    /// Records stored in the bucket.
+    pub n_records: usize,
+}
+
+/// A declustering problem: the grid geometry plus every bucket.
+#[derive(Clone, Debug)]
+pub struct DeclusterInput {
+    /// Cells along each dimension of the grid.
+    pub cells_per_dim: Vec<u32>,
+    /// The spatial domain (needed by the proximity index).
+    pub domain: Rect,
+    /// The buckets to distribute.
+    pub buckets: Vec<BucketInfo>,
+}
+
+impl DeclusterInput {
+    /// Builds the instance for a grid file.
+    pub fn from_grid_file(gf: &GridFile) -> Self {
+        let buckets = gf
+            .live_buckets()
+            .map(|(id, region, n_records)| BucketInfo {
+                id,
+                region: *region,
+                rect: gf.region_rect(region),
+                n_records,
+            })
+            .collect();
+        DeclusterInput {
+            cells_per_dim: gf.cells_per_dim(),
+            domain: gf.config().domain,
+            buckets,
+        }
+    }
+
+    /// Builds the instance for a Cartesian product file: one single-cell
+    /// bucket per grid cell, ids in row-major order, unit-cube geometry.
+    pub fn from_cartesian(cpf: &CartesianProductFile) -> Self {
+        let d = cpf.dim();
+        let sides = cpf.sides();
+        let mut buckets = Vec::with_capacity(cpf.n_cells() as usize);
+        let lo = vec![0u32; d];
+        let full = CellRegion::new(&lo, &sides.iter().map(|&s| s - 1).collect::<Vec<_>>());
+        let mut id = 0u32;
+        full.for_each_cell(|cell| {
+            let mut rlo = [0.0; pargrid_geom::MAX_DIM];
+            let mut rhi = [0.0; pargrid_geom::MAX_DIM];
+            for k in 0..d {
+                rlo[k] = cell[k] as f64;
+                rhi[k] = cell[k] as f64 + 1.0;
+            }
+            buckets.push(BucketInfo {
+                id,
+                region: CellRegion::single(cell),
+                rect: Rect::new(
+                    pargrid_geom::Point::new(&rlo[..d]),
+                    pargrid_geom::Point::new(&rhi[..d]),
+                ),
+                n_records: 1,
+            });
+            id += 1;
+        });
+        let mut dlo = [0.0; pargrid_geom::MAX_DIM];
+        let mut dhi = [0.0; pargrid_geom::MAX_DIM];
+        for k in 0..d {
+            dlo[k] = 0.0;
+            dhi[k] = sides[k] as f64;
+        }
+        DeclusterInput {
+            cells_per_dim: sides.to_vec(),
+            domain: Rect::new(
+                pargrid_geom::Point::new(&dlo[..d]),
+                pargrid_geom::Point::new(&dhi[..d]),
+            ),
+            buckets,
+        }
+    }
+
+    /// Dimensionality of the grid.
+    pub fn dim(&self) -> usize {
+        self.cells_per_dim.len()
+    }
+
+    /// Number of buckets.
+    pub fn n_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Largest bucket id plus one (size for id-indexed lookup tables).
+    pub fn max_id_bound(&self) -> usize {
+        self.buckets
+            .iter()
+            .map(|b| b.id as usize + 1)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pargrid_geom::Point;
+    use pargrid_gridfile::{GridConfig, Record};
+
+    #[test]
+    fn from_grid_file_covers_all_buckets() {
+        let cfg = GridConfig::with_capacity(Rect::new2(0.0, 0.0, 100.0, 100.0), 4);
+        let gf = GridFile::bulk_load(
+            cfg,
+            (0..100)
+                .map(|i| Record::new(i, Point::new2((i % 10) as f64 * 9.0, (i / 10) as f64 * 9.0))),
+        );
+        let input = DeclusterInput::from_grid_file(&gf);
+        assert_eq!(input.n_buckets(), gf.n_buckets());
+        assert_eq!(input.dim(), 2);
+        let total_cells: u64 = input.buckets.iter().map(|b| b.region.cell_count()).sum();
+        assert_eq!(total_cells, gf.stats().n_cells);
+        // Every bucket rect sits inside the domain.
+        for b in &input.buckets {
+            assert!(input.domain.contains_rect(&b.rect));
+        }
+    }
+
+    #[test]
+    fn from_cartesian_is_one_bucket_per_cell() {
+        let cpf = CartesianProductFile::new(&[4, 3]);
+        let input = DeclusterInput::from_cartesian(&cpf);
+        assert_eq!(input.n_buckets(), 12);
+        assert!(input.buckets.iter().all(|b| b.region.is_single_cell()));
+        // Ids are dense row-major.
+        assert_eq!(input.max_id_bound(), 12);
+    }
+}

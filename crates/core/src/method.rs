@@ -1,0 +1,103 @@
+//! The uniform entry point over all declustering algorithms.
+
+use crate::assignment::Assignment;
+use crate::conflict::{index_based_assign, ConflictPolicy};
+use crate::index_based::IndexScheme;
+use crate::input::DeclusterInput;
+use crate::kl::kl_assign;
+use crate::minimax::minimax_assign;
+use crate::mst::mst_assign;
+use crate::ssp::ssp_assign;
+use crate::weights::EdgeWeight;
+
+/// Any of the declustering algorithms studied in the paper (plus ablations).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DeclusterMethod {
+    /// An index-based scheme with a conflict-resolution heuristic.
+    Index(IndexScheme, ConflictPolicy),
+    /// The paper's minimax spanning-tree algorithm (Algorithm 2).
+    Minimax(EdgeWeight),
+    /// Short spanning path (Fang et al.).
+    Ssp(EdgeWeight),
+    /// Maximum-similarity spanning tree coloring (Fang et al., generalized).
+    Mst(EdgeWeight),
+    /// Bounded Kernighan–Lin max-cut (ablation).
+    KernighanLin(EdgeWeight),
+}
+
+impl DeclusterMethod {
+    /// Runs the method on an instance for `m` disks.
+    ///
+    /// `seed` drives every random choice (index-based tie-breaks, minimax
+    /// seeding, SSP/MST start vertices); identical seeds give identical
+    /// assignments.
+    pub fn assign(&self, input: &DeclusterInput, m: usize, seed: u64) -> Assignment {
+        match *self {
+            DeclusterMethod::Index(scheme, policy) => {
+                index_based_assign(input, m, scheme, policy, seed)
+            }
+            DeclusterMethod::Minimax(w) => minimax_assign(input, m, w, seed),
+            DeclusterMethod::Ssp(w) => ssp_assign(input, m, w, seed),
+            DeclusterMethod::Mst(w) => mst_assign(input, m, w, seed),
+            DeclusterMethod::KernighanLin(w) => kl_assign(input, m, w, seed),
+        }
+    }
+
+    /// The label the paper's tables use (`DM/D`, `HCAM/D`, `MiniMax`, ...).
+    pub fn label(&self) -> String {
+        match *self {
+            DeclusterMethod::Index(s, p) => format!("{}/{}", s.label(), p.label()),
+            DeclusterMethod::Minimax(EdgeWeight::Proximity) => "MiniMax".to_string(),
+            DeclusterMethod::Minimax(w) => format!("MiniMax[{}]", w.label()),
+            DeclusterMethod::Ssp(EdgeWeight::Proximity) => "SSP".to_string(),
+            DeclusterMethod::Ssp(w) => format!("SSP[{}]", w.label()),
+            DeclusterMethod::Mst(EdgeWeight::Proximity) => "MST".to_string(),
+            DeclusterMethod::Mst(w) => format!("MST[{}]", w.label()),
+            DeclusterMethod::KernighanLin(EdgeWeight::Proximity) => "KL".to_string(),
+            DeclusterMethod::KernighanLin(w) => format!("KL[{}]", w.label()),
+        }
+    }
+
+    /// The five algorithms compared in the paper's Figure 6 and
+    /// Tables 2–3: DM/D, FX/D, HCAM/D, SSP, MiniMax.
+    pub fn paper_five() -> Vec<DeclusterMethod> {
+        vec![
+            DeclusterMethod::Index(IndexScheme::DiskModulo, ConflictPolicy::DataBalance),
+            DeclusterMethod::Index(IndexScheme::FieldwiseXor, ConflictPolicy::DataBalance),
+            DeclusterMethod::Index(IndexScheme::Hilbert, ConflictPolicy::DataBalance),
+            DeclusterMethod::Ssp(EdgeWeight::Proximity),
+            DeclusterMethod::Minimax(EdgeWeight::Proximity),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pargrid_gridfile::CartesianProductFile;
+
+    #[test]
+    fn labels_match_paper_convention() {
+        let five = DeclusterMethod::paper_five();
+        let labels: Vec<String> = five.iter().map(|m| m.label()).collect();
+        assert_eq!(labels, vec!["DM/D", "FX/D", "HCAM/D", "SSP", "MiniMax"]);
+    }
+
+    #[test]
+    fn every_method_runs_on_a_small_instance() {
+        let input = DeclusterInput::from_cartesian(&CartesianProductFile::new(&[6, 6]));
+        let methods = [
+            DeclusterMethod::Index(IndexScheme::DiskModulo, ConflictPolicy::DataBalance),
+            DeclusterMethod::Index(IndexScheme::Hilbert, ConflictPolicy::Random),
+            DeclusterMethod::Minimax(EdgeWeight::Proximity),
+            DeclusterMethod::Ssp(EdgeWeight::Proximity),
+            DeclusterMethod::Mst(EdgeWeight::Proximity),
+            DeclusterMethod::KernighanLin(EdgeWeight::Proximity),
+        ];
+        for method in methods {
+            let a = method.assign(&input, 4, 42);
+            assert_eq!(a.disks().len(), 36, "{}", method.label());
+            assert!(a.disks().iter().all(|&d| d < 4));
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! The paper's **minimax spanning tree** declustering algorithm
+//! (Algorithm 2, §3.1).
+//!
+//! The grid-file declustering problem is mapped to M-way graph partitioning
+//! of the complete bucket graph, edges weighted by co-access probability
+//! (the proximity index). The algorithm extends Prim's MST construction:
+//!
+//! 1. **Random seeding** — pick M mutually distinct random buckets as the
+//!    roots of M trees (one per disk).
+//! 2. **Expanding** — grow the trees round-robin. For every unassigned
+//!    bucket `x` and tree `K`, maintain `MAX_x(K)`, the maximum edge weight
+//!    between `x` and the members of `A_K`; tree `K` takes the bucket with
+//!    the **minimum** such maximum (the *minimax* criterion: the bucket
+//!    least likely to be co-accessed with anything already on that disk).
+//!
+//! Round-robin growth guarantees perfect balance: every disk receives at
+//! most `ceil(N / M)` buckets. The cost is `O(N^2)` similarity evaluations
+//! and `O(N * M)` memory for the `MAX` table.
+
+use crate::assignment::Assignment;
+use crate::input::DeclusterInput;
+use crate::weights::EdgeWeight;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Runs the minimax spanning-tree algorithm.
+///
+/// `seed` drives the random seeding phase; the expansion is deterministic
+/// given the seeds.
+pub fn minimax_assign(
+    input: &DeclusterInput,
+    m: usize,
+    weight: EdgeWeight,
+    seed: u64,
+) -> Assignment {
+    assert!(m >= 1, "need at least one disk");
+    let n = input.n_buckets();
+    let mut disks = vec![u32::MAX; n];
+    if n == 0 {
+        return Assignment::new(input, m, disks);
+    }
+    if m >= n {
+        // Degenerate: every bucket gets its own disk.
+        for (p, d) in disks.iter_mut().enumerate() {
+            *d = p as u32;
+        }
+        return Assignment::new(input, m, disks);
+    }
+
+    // Phase 1: random seeding — M distinct seed buckets.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    let seeds = &order[..m];
+
+    // MAX table, row-major: max_tab[x * m + k] = MAX_x(k).
+    // Initialized from the seeds (Phase 2 step 1).
+    let mut max_tab = vec![0.0f64; n * m];
+    let mut unassigned: Vec<usize> = Vec::with_capacity(n - m);
+    for x in 0..n {
+        if seeds.contains(&x) {
+            continue;
+        }
+        for (k, &s) in seeds.iter().enumerate() {
+            max_tab[x * m + k] = weight.similarity(input, x, s);
+        }
+        unassigned.push(x);
+    }
+    for (k, &s) in seeds.iter().enumerate() {
+        disks[s] = k as u32;
+    }
+
+    // Phase 2 steps 2-5: round-robin expansion.
+    let mut tree = 0usize; // K
+    while !unassigned.is_empty() {
+        // Find y minimizing MAX_y(tree).
+        let (best_idx, &y) = unassigned
+            .iter()
+            .enumerate()
+            .min_by(|(_, &a), (_, &b)| {
+                max_tab[a * m + tree]
+                    .partial_cmp(&max_tab[b * m + tree])
+                    .expect("similarities are never NaN")
+            })
+            .expect("unassigned is non-empty");
+        disks[y] = tree as u32;
+        unassigned.swap_remove(best_idx);
+
+        // Update MAX_x(tree) for the remaining vertices.
+        for &x in &unassigned {
+            let c = weight.similarity(input, y, x);
+            let slot = &mut max_tab[x * m + tree];
+            if c > *slot {
+                *slot = c;
+            }
+        }
+        tree = (tree + 1) % m;
+    }
+
+    Assignment::new(input, m, disks)
+}
+
+/// Multithreaded minimax: identical algorithm, with the `O(N)` inner
+/// operations (the `MAX` scan and the `MAX` update) data-parallel over
+/// `threads` chunks via scoped threads.
+///
+/// Tie-breaking differs from [`minimax_assign`] (candidates are scanned in
+/// bucket-position order rather than insertion order), so assignments are
+/// deterministic per seed but not bit-identical to the serial variant;
+/// quality and the balance guarantee are the same.
+pub fn minimax_assign_parallel(
+    input: &DeclusterInput,
+    m: usize,
+    weight: EdgeWeight,
+    seed: u64,
+    threads: usize,
+) -> Assignment {
+    assert!(m >= 1, "need at least one disk");
+    assert!(threads >= 1, "need at least one thread");
+    let n = input.n_buckets();
+    let mut disks = vec![u32::MAX; n];
+    if n == 0 {
+        return Assignment::new(input, m, disks);
+    }
+    if m >= n {
+        for (p, d) in disks.iter_mut().enumerate() {
+            *d = p as u32;
+        }
+        return Assignment::new(input, m, disks);
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    let seeds = &order[..m];
+
+    // Transposed MAX table: one column per tree, full length n; `assigned`
+    // marks rows no longer in B. Full-range scans keep chunks contiguous
+    // for `chunks_mut`, at the same O(N^2) total as the serial variant.
+    let mut assigned = vec![false; n];
+    let mut tabs: Vec<Vec<f64>> = vec![vec![0.0; n]; m];
+    for (k, &s) in seeds.iter().enumerate() {
+        disks[s] = k as u32;
+        assigned[s] = true;
+    }
+    let chunk = n.div_ceil(threads).max(1);
+    std::thread::scope(|scope| {
+        for (k, tab) in tabs.iter_mut().enumerate() {
+            let s = seeds[k];
+            for (mut start, slice) in tab
+                .chunks_mut(chunk)
+                .enumerate()
+                .map(|(i, c)| (i * chunk, c))
+            {
+                let assigned = &assigned;
+                scope.spawn(move || {
+                    for v in slice.iter_mut() {
+                        if !assigned[start] {
+                            *v = weight.similarity(input, start, s);
+                        }
+                        start += 1;
+                    }
+                });
+            }
+        }
+    });
+
+    let mut remaining = n - m;
+    let mut tree = 0usize;
+    while remaining > 0 {
+        // Parallel arg-min over unassigned rows of tabs[tree].
+        let tab = &tabs[tree];
+        let mut best: Vec<(usize, f64)> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for t in 0..threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                if lo >= hi {
+                    break;
+                }
+                let assigned = &assigned;
+                handles.push(scope.spawn(move || {
+                    let mut arg = usize::MAX;
+                    let mut val = f64::INFINITY;
+                    for x in lo..hi {
+                        if !assigned[x] && tab[x] < val {
+                            val = tab[x];
+                            arg = x;
+                        }
+                    }
+                    (arg, val)
+                }));
+            }
+            for h in handles {
+                best.push(h.join().expect("worker thread panicked"));
+            }
+        });
+        let (y, _) = best
+            .into_iter()
+            .filter(|&(arg, _)| arg != usize::MAX)
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN").then(a.0.cmp(&b.0)))
+            .expect("some bucket remains");
+        disks[y] = tree as u32;
+        assigned[y] = true;
+        remaining -= 1;
+
+        // Parallel MAX update for the tree that just grew.
+        let tab = &mut tabs[tree];
+        std::thread::scope(|scope| {
+            for (mut start, slice) in tab
+                .chunks_mut(chunk)
+                .enumerate()
+                .map(|(i, c)| (i * chunk, c))
+            {
+                let assigned = &assigned;
+                scope.spawn(move || {
+                    for v in slice.iter_mut() {
+                        if !assigned[start] {
+                            let c = weight.similarity(input, y, start);
+                            if c > *v {
+                                *v = c;
+                            }
+                        }
+                        start += 1;
+                    }
+                });
+            }
+        });
+        tree = (tree + 1) % m;
+    }
+    Assignment::new(input, m, disks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pargrid_gridfile::CartesianProductFile;
+
+    fn grid_instance(w: u32, h: u32) -> DeclusterInput {
+        DeclusterInput::from_cartesian(&CartesianProductFile::new(&[w, h]))
+    }
+
+    #[test]
+    fn perfect_balance_guarantee() {
+        for (w, h, m) in [(8, 8, 4), (8, 8, 7), (10, 10, 16), (5, 5, 3)] {
+            let input = grid_instance(w, h);
+            let a = minimax_assign(&input, m, EdgeWeight::Proximity, 42);
+            assert!(
+                a.is_perfectly_balanced(),
+                "{w}x{h} over {m} disks: counts {:?}",
+                a.bucket_counts()
+            );
+        }
+    }
+
+    #[test]
+    fn uses_every_disk() {
+        let input = grid_instance(8, 8);
+        let a = minimax_assign(&input, 8, EdgeWeight::Proximity, 1);
+        let counts = a.bucket_counts();
+        assert!(counts.iter().all(|&c| c == 8), "{counts:?}");
+    }
+
+    #[test]
+    fn adjacent_cells_rarely_share_a_disk() {
+        // The defining quality property: grid neighbors (the most likely
+        // co-accessed pairs) land on different disks almost always.
+        let w = 12u32;
+        let input = grid_instance(w, w);
+        let a = minimax_assign(&input, 8, EdgeWeight::Proximity, 7);
+        let idx = |x: u32, y: u32| (x * w + y) as usize; // row-major ids
+        let mut same = 0;
+        let mut total = 0;
+        for x in 0..w {
+            for y in 0..w {
+                if x + 1 < w {
+                    total += 1;
+                    if a.disk_at(idx(x, y)) == a.disk_at(idx(x + 1, y)) {
+                        same += 1;
+                    }
+                }
+                if y + 1 < w {
+                    total += 1;
+                    if a.disk_at(idx(x, y)) == a.disk_at(idx(x, y + 1)) {
+                        same += 1;
+                    }
+                }
+            }
+        }
+        let frac = same as f64 / total as f64;
+        assert!(
+            frac < 0.08,
+            "{same}/{total} adjacent pairs share a disk ({frac})"
+        );
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let input = grid_instance(2, 2);
+        // One disk: all buckets on it.
+        let a = minimax_assign(&input, 1, EdgeWeight::Proximity, 0);
+        assert!(a.disks().iter().all(|&d| d == 0));
+        // More disks than buckets: injective assignment.
+        let a = minimax_assign(&input, 16, EdgeWeight::Proximity, 0);
+        let mut seen = a.disks().to_vec();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let input = grid_instance(6, 6);
+        let a = minimax_assign(&input, 4, EdgeWeight::Proximity, 9);
+        let b = minimax_assign(&input, 4, EdgeWeight::Proximity, 9);
+        assert_eq!(a.disks(), b.disks());
+    }
+
+    #[test]
+    fn works_with_euclidean_weight() {
+        let input = grid_instance(6, 6);
+        let a = minimax_assign(&input, 4, EdgeWeight::EuclideanCenter, 3);
+        assert!(a.is_perfectly_balanced());
+    }
+
+    #[test]
+    fn parallel_variant_is_balanced_and_deterministic() {
+        let input = grid_instance(10, 10);
+        for threads in [1usize, 2, 4, 7] {
+            let a = minimax_assign_parallel(&input, 8, EdgeWeight::Proximity, 5, threads);
+            assert!(a.is_perfectly_balanced(), "threads={threads}");
+            // Same result regardless of thread count (scan-order selection).
+            let b = minimax_assign_parallel(&input, 8, EdgeWeight::Proximity, 5, 3);
+            assert_eq!(a.disks(), b.disks(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_variant_quality_matches_serial() {
+        // Not bit-identical (different tie-breaking) but the same quality
+        // class: count adjacent same-disk pairs for both.
+        let w = 12u32;
+        let input = grid_instance(w, w);
+        let count_adjacent_same = |a: &Assignment| {
+            let idx = |x: u32, y: u32| (x * w + y) as usize;
+            let mut same = 0;
+            for x in 0..w {
+                for y in 0..w {
+                    if x + 1 < w && a.disk_at(idx(x, y)) == a.disk_at(idx(x + 1, y)) {
+                        same += 1;
+                    }
+                    if y + 1 < w && a.disk_at(idx(x, y)) == a.disk_at(idx(x, y + 1)) {
+                        same += 1;
+                    }
+                }
+            }
+            same
+        };
+        let serial = minimax_assign(&input, 8, EdgeWeight::Proximity, 7);
+        let parallel = minimax_assign_parallel(&input, 8, EdgeWeight::Proximity, 7, 4);
+        let s = count_adjacent_same(&serial);
+        let p = count_adjacent_same(&parallel);
+        assert!(p <= s + 6, "parallel {p} much worse than serial {s}");
+    }
+
+    #[test]
+    fn parallel_degenerate_cases() {
+        let input = grid_instance(2, 2);
+        let a = minimax_assign_parallel(&input, 1, EdgeWeight::Proximity, 0, 4);
+        assert!(a.disks().iter().all(|&d| d == 0));
+        let a = minimax_assign_parallel(&input, 16, EdgeWeight::Proximity, 0, 4);
+        let mut seen = a.disks().to_vec();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 4);
+    }
+}

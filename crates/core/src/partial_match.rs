@@ -1,0 +1,258 @@
+//! Analytic study of **partial-match** queries — the query class DM and FX
+//! were originally designed for (paper §2, citing Du & Sobolewski and
+//! Kim & Pramanik).
+//!
+//! A partial-match query fixes some attributes to single values and leaves
+//! the rest unspecified; on a Cartesian product file it touches the
+//! sub-grid obtained by fixing the specified coordinates. Two classical
+//! results the paper builds on, both machine-checkable here:
+//!
+//! * **Du & Sobolewski:** disk modulo is strictly optimal for every
+//!   partial-match query with exactly **one** unspecified attribute
+//!   (it visits one full axis line: consecutive coordinate sums hit
+//!   consecutive residues, so the buckets spread perfectly).
+//! * **Kim & Pramanik:** when the number of disks and every field size are
+//!   powers of two, the set of partial-match queries on which FX is optimal
+//!   is a **superset** of DM's.
+
+use crate::index_based::CellMapper;
+use pargrid_geom::MAX_DIM;
+
+/// A partial-match query over an integer grid: `Some(i)` fixes that
+/// attribute to interval `i`, `None` leaves it unspecified.
+pub type PartialMatchQuery = Vec<Option<u32>>;
+
+/// Response time of a per-cell mapping on a partial-match query over a grid
+/// with the given `sides`: the maximum number of touched cells on one disk.
+pub fn partial_match_response(
+    mapper: &CellMapper,
+    sides: &[u32],
+    query: &[Option<u32>],
+    m: u32,
+) -> u64 {
+    assert_eq!(sides.len(), query.len());
+    let d = sides.len();
+    assert!(d <= MAX_DIM);
+    let mut counts = vec![0u64; m as usize];
+    let mut cur = [0u32; MAX_DIM];
+    for (k, q) in query.iter().enumerate() {
+        if let Some(v) = q {
+            assert!(*v < sides[k], "fixed coordinate out of range");
+            cur[k] = *v;
+        }
+    }
+    // Odometer over the unspecified dimensions only.
+    let free: Vec<usize> = (0..d).filter(|&k| query[k].is_none()).collect();
+    loop {
+        counts[mapper.disk_of_cell(&cur[..d], m) as usize] += 1;
+        let mut advanced = false;
+        for &k in free.iter().rev() {
+            cur[k] += 1;
+            if cur[k] < sides[k] {
+                advanced = true;
+                break;
+            }
+            cur[k] = 0;
+        }
+        if !advanced {
+            break;
+        }
+    }
+    counts.into_iter().max().expect("m >= 1")
+}
+
+/// Number of cells a partial-match query touches.
+pub fn partial_match_cells(sides: &[u32], query: &[Option<u32>]) -> u64 {
+    sides
+        .iter()
+        .zip(query)
+        .map(|(&s, q)| if q.is_none() { s as u64 } else { 1 })
+        .product()
+}
+
+/// The optimal (perfectly parallel) response: `ceil(cells / m)`.
+pub fn partial_match_optimal(sides: &[u32], query: &[Option<u32>], m: u32) -> u64 {
+    partial_match_cells(sides, query).div_ceil(m as u64)
+}
+
+/// Whether the mapping answers the query with optimal response time.
+pub fn is_optimal_for(mapper: &CellMapper, sides: &[u32], query: &[Option<u32>], m: u32) -> bool {
+    partial_match_response(mapper, sides, query, m) == partial_match_optimal(sides, query, m)
+}
+
+/// Enumerates every partial-match query of a (small) grid with at least one
+/// unspecified attribute and at most `max_cells` touched cells, invoking `f`
+/// on each. Used to compare the optimal-query *sets* of two mappings.
+pub fn for_each_partial_match_query<F: FnMut(&[Option<u32>])>(
+    sides: &[u32],
+    max_cells: u64,
+    mut f: F,
+) {
+    let d = sides.len();
+    // Iterate over specification patterns (bitmask: 1 = specified), skipping
+    // the all-specified pattern (exact match, not partial).
+    for mask in 0..(1u32 << d) - 1 {
+        // Odometer over the specified dimensions' values.
+        let spec: Vec<usize> = (0..d).filter(|&k| mask >> k & 1 == 1).collect();
+        let mut query: PartialMatchQuery = (0..d)
+            .map(|k| (mask >> k & 1 == 1).then_some(0u32))
+            .collect();
+        if partial_match_cells(sides, &query) > max_cells {
+            continue;
+        }
+        loop {
+            f(&query);
+            let mut advanced = false;
+            for &k in spec.iter().rev() {
+                let v = query[k].expect("specified dim") + 1;
+                if v < sides[k] {
+                    query[k] = Some(v);
+                    advanced = true;
+                    break;
+                }
+                query[k] = Some(0);
+            }
+            if !advanced {
+                break;
+            }
+        }
+    }
+}
+
+/// Counts, over all partial-match queries of the grid, how many each mapping
+/// answers optimally, and how many FX answers optimally while DM does not
+/// (and vice versa). Returns `(n_queries, dm_optimal, fx_optimal,
+/// fx_only, dm_only)`.
+pub fn compare_dm_fx_partial_match(sides: &[u32], m: u32) -> (u64, u64, u64, u64, u64) {
+    let dm = crate::index_based::IndexScheme::DiskModulo.cell_mapper(sides);
+    let fx = crate::index_based::IndexScheme::FieldwiseXor.cell_mapper(sides);
+    let mut n = 0;
+    let mut dm_opt = 0;
+    let mut fx_opt = 0;
+    let mut fx_only = 0;
+    let mut dm_only = 0;
+    for_each_partial_match_query(sides, u64::MAX, |q| {
+        n += 1;
+        let d_ok = is_optimal_for(&dm, sides, q, m);
+        let f_ok = is_optimal_for(&fx, sides, q, m);
+        dm_opt += u64::from(d_ok);
+        fx_opt += u64::from(f_ok);
+        fx_only += u64::from(f_ok && !d_ok);
+        dm_only += u64::from(d_ok && !f_ok);
+    });
+    (n, dm_opt, fx_opt, fx_only, dm_only)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index_based::IndexScheme;
+
+    #[test]
+    fn cell_counting() {
+        assert_eq!(partial_match_cells(&[4, 5, 6], &[None, Some(2), None]), 24);
+        assert_eq!(partial_match_cells(&[4, 5], &[None, None]), 20);
+        assert_eq!(partial_match_optimal(&[4, 5], &[Some(1), None], 3), 2);
+    }
+
+    #[test]
+    fn response_counts_line_queries() {
+        // DM on a line query: consecutive sums hit consecutive residues.
+        let dm = IndexScheme::DiskModulo.cell_mapper(&[8, 8]);
+        let r = partial_match_response(&dm, &[8, 8], &[Some(3), None], 4);
+        assert_eq!(r, 2); // 8 cells over 4 disks, perfectly
+    }
+
+    #[test]
+    fn du_sobolewski_dm_optimal_one_unspecified() {
+        // DM is strictly optimal for every partial-match query with exactly
+        // one unspecified attribute — checked exhaustively on several grids
+        // and disk counts.
+        for sides in [vec![6u32, 9], vec![5, 7, 4], vec![8, 8, 8]] {
+            let dm = IndexScheme::DiskModulo.cell_mapper(&sides);
+            for m in 2..=8u32 {
+                for_each_partial_match_query(&sides, u64::MAX, |q| {
+                    let unspecified = q.iter().filter(|v| v.is_none()).count();
+                    if unspecified == 1 {
+                        assert!(
+                            is_optimal_for(&dm, &sides, q, m),
+                            "DM not optimal: sides {sides:?}, m={m}, q={q:?}"
+                        );
+                    }
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn kim_pramanik_fx_superset_on_power_of_two_grids() {
+        // With power-of-two disks and field sizes, FX's optimal query set
+        // contains DM's.
+        for (sides, m) in [
+            (vec![8u32, 8], 4u32),
+            (vec![8, 8], 8),
+            (vec![4, 4, 4], 4),
+            (vec![16, 8], 8),
+        ] {
+            let (n, dm_opt, fx_opt, _fx_only, dm_only) = compare_dm_fx_partial_match(&sides, m);
+            assert!(n > 0);
+            assert_eq!(
+                dm_only, 0,
+                "sides {sides:?}, m={m}: DM optimal on {dm_only} queries FX misses"
+            );
+            assert!(fx_opt >= dm_opt);
+        }
+    }
+
+    #[test]
+    fn both_universally_optimal_in_fully_aligned_regime() {
+        // A sharper statement our enumeration reveals: with power-of-two
+        // field sizes all at least the (power-of-two) disk count, every
+        // unspecified field contributes a residue-uniform factor, so *both*
+        // DM and FX are optimal on every partial-match query — the
+        // Kim-Pramanik superset is an equality here, and FX's strict
+        // advantage must come from configurations outside this regime.
+        for (sides, m) in [(vec![8u32, 8], 4u32), (vec![8, 8], 8), (vec![16, 8], 8)] {
+            let (n, dm_opt, fx_opt, fx_only, dm_only) = compare_dm_fx_partial_match(&sides, m);
+            assert_eq!(dm_opt, n, "sides {sides:?}, m={m}");
+            assert_eq!(fx_opt, n, "sides {sides:?}, m={m}");
+            assert_eq!((fx_only, dm_only), (0, 0));
+        }
+    }
+
+    #[test]
+    fn superset_fails_off_powers_of_two() {
+        // The Kim-Pramanik condition is needed: with a non-power-of-two
+        // disk count DM can win queries FX loses.
+        let mut dm_only_total = 0;
+        for sides in [vec![6u32, 6], vec![9, 9], vec![6, 9]] {
+            for m in [3u32, 5, 6] {
+                let (_, _, _, _, dm_only) = compare_dm_fx_partial_match(&sides, m);
+                dm_only_total += dm_only;
+            }
+        }
+        assert!(
+            dm_only_total > 0,
+            "expected DM-only optimal queries off powers of two"
+        );
+    }
+
+    #[test]
+    fn enumeration_counts_queries() {
+        // 2x2 grid: masks {00, 01, 10} -> 1 + 2 + 2 queries.
+        let mut n = 0;
+        for_each_partial_match_query(&[2, 2], u64::MAX, |_| n += 1);
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn max_cells_filters() {
+        let mut n = 0;
+        for_each_partial_match_query(&[4, 4], 4, |q| {
+            assert!(partial_match_cells(&[4, 4], q) <= 4);
+            n += 1;
+        });
+        // Only the one-unspecified queries (4 cells each): 4 + 4.
+        assert_eq!(n, 8);
+    }
+}

@@ -1,0 +1,79 @@
+//! Edge weights for the proximity-based algorithms.
+//!
+//! The bucket graph is complete; an edge weight estimates the probability
+//! that a range query touches both endpoint buckets. The paper uses the
+//! Kamel–Faloutsos proximity index and argues Euclidean center distance is
+//! inadequate for partially-overlapping box regions; both are provided so
+//! the claim can be measured (ablation A3).
+
+use crate::input::DeclusterInput;
+use pargrid_geom::proximity::{center_distance, proximity_index};
+
+/// Similarity measure between two buckets (larger = more likely co-accessed).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EdgeWeight {
+    /// The Kamel–Faloutsos proximity index (the paper's choice).
+    Proximity,
+    /// `1 / (1 + Euclidean distance between centers)` — the rejected
+    /// alternative, kept for ablation.
+    EuclideanCenter,
+}
+
+impl EdgeWeight {
+    /// Short label used in result tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EdgeWeight::Proximity => "prox",
+            EdgeWeight::EuclideanCenter => "euclid",
+        }
+    }
+
+    /// Similarity between buckets at positions `a` and `b` of the instance.
+    #[inline]
+    pub fn similarity(&self, input: &DeclusterInput, a: usize, b: usize) -> f64 {
+        let ra = &input.buckets[a].rect;
+        let rb = &input.buckets[b].rect;
+        match self {
+            EdgeWeight::Proximity => proximity_index(ra, rb, &input.domain),
+            EdgeWeight::EuclideanCenter => {
+                // Normalize distance by the domain diagonal so the weight is
+                // scale-free like the proximity index.
+                let mut diag2 = 0.0;
+                for k in 0..input.domain.dim() {
+                    let s = input.domain.side(k);
+                    diag2 += s * s;
+                }
+                1.0 / (1.0 + center_distance(ra, rb) / diag2.sqrt())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pargrid_gridfile::CartesianProductFile;
+
+    #[test]
+    fn both_weights_rank_neighbors_above_distant_cells() {
+        let input =
+            crate::input::DeclusterInput::from_cartesian(&CartesianProductFile::new(&[8, 8]));
+        // Bucket ids are row-major; (0,0)=0, (0,1)=1, (7,7)=63.
+        for w in [EdgeWeight::Proximity, EdgeWeight::EuclideanCenter] {
+            let near = w.similarity(&input, 0, 1);
+            let far = w.similarity(&input, 0, 63);
+            assert!(near > far, "{w:?}: near {near} <= far {far}");
+        }
+    }
+
+    #[test]
+    fn similarity_is_symmetric() {
+        let input =
+            crate::input::DeclusterInput::from_cartesian(&CartesianProductFile::new(&[5, 5]));
+        for w in [EdgeWeight::Proximity, EdgeWeight::EuclideanCenter] {
+            for (a, b) in [(0, 3), (7, 20), (11, 24)] {
+                assert_eq!(w.similarity(&input, a, b), w.similarity(&input, b, a));
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Synthetic dataset generators reproducing the paper's benchmark inputs.
+//!
+//! Three 2-D synthetic sets follow §2.2 exactly (`uniform.2d`, `hot.2d`,
+//! `correl.2d`: 10,000 points in `[0, 2000]^2`). The paper's two *real*
+//! datasets are not redistributable, so this crate generates structural
+//! stand-ins (see `DESIGN.md` §3 for the substitution argument):
+//!
+//! * [`dsmc::dsmc3d`] — a rarefied-gas particle snapshot: free-stream
+//!   background plus a wake density hump behind a body, ≈52,857 points.
+//! * [`stock::stock3d`] — a synthetic market: 383 stocks over ~530 trading
+//!   days, geometric-random-walk prices, ≈127,000 quotes over
+//!   (stock id, price, date).
+//! * [`dsmc::dsmc4d`] — the SP-2 experiment's spatio-temporal dataset:
+//!   59 snapshots of a drifting wake.
+//!
+//! All generators are deterministic given a seed.
+//!
+//! ```
+//! use pargrid_datagen::hot2d;
+//!
+//! let dataset = hot2d(42);
+//! assert_eq!(dataset.len(), 10_000);
+//! // Same seed, same data.
+//! assert_eq!(dataset.points, hot2d(42).points);
+//! // Loads into a grid file shaped like the paper's (≈241 buckets).
+//! let grid = dataset.build_grid_file();
+//! assert!((150..350).contains(&grid.stats().n_buckets));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod dsmc;
+pub mod mhd;
+pub mod rng;
+pub mod stock;
+pub mod synthetic2d;
+
+pub use dataset::Dataset;
+pub use dsmc::{dsmc3d, dsmc3d_sized, dsmc4d, dsmc4d_paper_scale};
+pub use mhd::{mhd3d, mhd3d_sized, mhd4d};
+pub use stock::{stock3d, stock3d_sized};
+pub use synthetic2d::{correl2d, hot2d, uniform2d};

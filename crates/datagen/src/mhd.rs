@@ -1,0 +1,207 @@
+//! Synthetic magneto-hydro-dynamics (MHD) snapshot dataset.
+//!
+//! The paper's conclusions (§4) mention an ongoing evaluation on "two large
+//! data sets consisting of snapshots from DSMC and MHD respectively" — the
+//! MHD case being Tanaka-style simulations of the solar wind around a
+//! planet. We provide the structural stand-in so that evaluation can be run
+//! here too: sample points follow the density structure of a magnetosphere,
+//!
+//! * the **solar wind** upstream: near-uniform background with a density
+//!   jump across a paraboloid **bow shock**,
+//! * the **magnetosheath**: compressed plasma in a shell between the bow
+//!   shock and the magnetopause,
+//! * a low-density **cavity** inside the magnetopause, and
+//! * a dense **magnetotail** stretching downstream.
+//!
+//! Spatial structure is what grid files and declustering respond to; the
+//! exact plasma physics is irrelevant to the paper's metrics.
+
+use crate::dataset::Dataset;
+use crate::rng::truncated_normal;
+use pargrid_geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Default record count: same order as the DSMC.3d snapshot.
+pub const MHD3D_POINTS: usize = 60_000;
+
+/// Domain: the planet sits at the origin-third of the x axis, the solar
+/// wind flows in +x direction.
+fn domain3() -> Rect {
+    Rect::new(Point::new3(0.0, 0.0, 0.0), Point::new3(24.0, 16.0, 16.0))
+}
+
+/// Planet position.
+const PLANET: [f64; 3] = [8.0, 8.0, 8.0];
+/// Magnetopause stand-off distance.
+const MP_RADIUS: f64 = 2.2;
+/// Bow-shock stand-off distance.
+const BS_RADIUS: f64 = 3.6;
+
+fn dist_to_planet(x: f64, y: f64, z: f64) -> f64 {
+    let dx = x - PLANET[0];
+    let dy = y - PLANET[1];
+    let dz = z - PLANET[2];
+    (dx * dx + dy * dy + dz * dz).sqrt()
+}
+
+/// Samples one plasma "macro-particle" of the snapshot at time `t ∈ [0, 1)`
+/// (the tail flaps slowly with `t` in the 4-D variant).
+fn sample_point<R: Rng + ?Sized>(rng: &mut R, dom: &Rect, t: f64) -> Point {
+    loop {
+        let u: f64 = rng.random();
+        let (x, y, z) = if u < 0.40 {
+            // Solar wind background (whole box, rejection below removes the
+            // cavity).
+            (
+                rng.random::<f64>() * dom.side(0),
+                rng.random::<f64>() * dom.side(1),
+                rng.random::<f64>() * dom.side(2),
+            )
+        } else if u < 0.75 {
+            // Magnetosheath shell between magnetopause and bow shock.
+            let r = MP_RADIUS + (BS_RADIUS - MP_RADIUS) * rng.random::<f64>();
+            // Biased to the dayside (small x).
+            let theta = std::f64::consts::PI * (0.5 + 0.5 * rng.random::<f64>());
+            let phi = std::f64::consts::TAU * rng.random::<f64>();
+            (
+                PLANET[0] + r * theta.cos(),
+                PLANET[1] + r * theta.sin() * phi.cos(),
+                PLANET[2] + r * theta.sin() * phi.sin(),
+            )
+        } else {
+            // Magnetotail: elongated lobe downstream (+x), flapping with t.
+            let flap = 1.5 * (std::f64::consts::TAU * t).sin();
+            let x = PLANET[0] + 2.0 + rng.random::<f64>().powi(2) * (dom.side(0) - PLANET[0] - 2.0);
+            let y = truncated_normal(rng, PLANET[1] + flap, 1.3, 0.0, dom.side(1));
+            let z = truncated_normal(rng, PLANET[2], 1.3, 0.0, dom.side(2));
+            (x, y, z)
+        };
+        // Reject points inside the magnetospheric cavity (low density) with
+        // high probability, and anything outside the box.
+        if x < 0.0 || x >= dom.side(0) || y < 0.0 || y >= dom.side(1) || z < 0.0 || z >= dom.side(2)
+        {
+            continue;
+        }
+        if dist_to_planet(x, y, z) < MP_RADIUS && rng.random::<f64>() < 0.9 {
+            continue;
+        }
+        return Point::new3(x, y, z);
+    }
+}
+
+/// `MHD.3d`: one magnetosphere snapshot.
+pub fn mhd3d(seed: u64) -> Dataset {
+    mhd3d_sized(seed, MHD3D_POINTS)
+}
+
+/// `MHD.3d` with an explicit record count.
+pub fn mhd3d_sized(seed: u64, n: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dom = domain3();
+    let points = (0..n).map(|_| sample_point(&mut rng, &dom, 0.0)).collect();
+    Dataset::new("MHD.3d", points, dom, 4096, 0)
+}
+
+/// The 4-D spatio-temporal MHD dataset (snapshot sequence, tail flapping
+/// over time) — the second SP-2 evaluation dataset of §4.
+pub fn mhd4d(seed: u64, snapshots: usize, n_total: usize) -> Dataset {
+    assert!(snapshots > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dom3 = domain3();
+    let dom = Rect::new(
+        Point::new4(0.0, 0.0, 0.0, 0.0),
+        Point::new4(snapshots as f64, dom3.side(0), dom3.side(1), dom3.side(2)),
+    );
+    let per_snap = n_total / snapshots;
+    let mut points = Vec::with_capacity(per_snap * snapshots);
+    for s in 0..snapshots {
+        let t = s as f64 / snapshots as f64;
+        for _ in 0..per_snap {
+            let p = sample_point(&mut rng, &dom3, t);
+            points.push(Point::new4(s as f64 + 0.5, p.get(0), p.get(1), p.get(2)));
+        }
+    }
+    Dataset::new("MHD.4d", points, dom, 8192, 14)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_and_domain() {
+        let ds = mhd3d_sized(1, 10_000);
+        assert_eq!(ds.len(), 10_000);
+        for p in &ds.points {
+            assert!(ds.domain.contains_closed(p));
+        }
+    }
+
+    #[test]
+    fn cavity_is_underdense_sheath_overdense() {
+        let ds = mhd3d(2);
+        let count_in_shell = |lo: f64, hi: f64| {
+            ds.points
+                .iter()
+                .filter(|p| {
+                    let r = dist_to_planet(p.get(0), p.get(1), p.get(2));
+                    r >= lo && r < hi
+                })
+                .count() as f64
+        };
+        let cavity_vol = MP_RADIUS.powi(3);
+        let sheath_vol = BS_RADIUS.powi(3) - MP_RADIUS.powi(3);
+        let cavity_density = count_in_shell(0.0, MP_RADIUS) / cavity_vol;
+        let sheath_density = count_in_shell(MP_RADIUS, BS_RADIUS) / sheath_vol;
+        assert!(
+            sheath_density > 3.0 * cavity_density,
+            "sheath {sheath_density} vs cavity {cavity_density}"
+        );
+    }
+
+    #[test]
+    fn tail_extends_downstream() {
+        let ds = mhd3d(3);
+        // More points downstream of the planet than upstream at equal
+        // volumes (the magnetotail).
+        let down = ds
+            .points
+            .iter()
+            .filter(|p| p.get(0) > PLANET[0] + 4.0 && (p.get(1) - PLANET[1]).abs() < 3.0)
+            .count();
+        let up = ds
+            .points
+            .iter()
+            .filter(|p| p.get(0) < PLANET[0] - 4.0 && (p.get(1) - PLANET[1]).abs() < 3.0)
+            .count();
+        assert!(down > 2 * up, "down {down} vs up {up}");
+    }
+
+    #[test]
+    fn grid_file_loads_cleanly() {
+        let ds = mhd3d_sized(4, 15_000);
+        let gf = ds.build_grid_file();
+        gf.check_invariants();
+        assert!(gf.stats().n_merged_buckets > 0);
+    }
+
+    #[test]
+    fn mhd4d_snapshots_populated_and_tail_flaps() {
+        let ds = mhd4d(5, 8, 24_000);
+        assert_eq!(ds.dim(), 4);
+        // Mean y of tail points differs between snapshots 1 and 5 (flapping).
+        let tail_mean_y = |s: f64| {
+            let ys: Vec<f64> = ds
+                .points
+                .iter()
+                .filter(|p| p.get(0) > s && p.get(0) < s + 1.0 && p.get(1) > PLANET[0] + 4.0)
+                .map(|p| p.get(2))
+                .collect();
+            ys.iter().sum::<f64>() / ys.len().max(1) as f64
+        };
+        let a = tail_mean_y(1.0);
+        let b = tail_mean_y(5.0);
+        assert!((a - b).abs() > 0.3, "tail static: {a} vs {b}");
+    }
+}

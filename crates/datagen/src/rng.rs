@@ -1,0 +1,88 @@
+//! Small sampling helpers on top of `rand`.
+//!
+//! We need only normals and log-normals; implementing Box–Muller here keeps
+//! the dependency set to the crates allowed for this project (`rand` core
+//! only, no `rand_distr`).
+
+use rand::Rng;
+
+/// Samples a standard normal via the Box–Muller transform.
+pub fn std_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Draw u1 in (0, 1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples `N(mu, sigma^2)`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    mu + sigma * std_normal(rng)
+}
+
+/// Samples `N(mu, sigma^2)` truncated (by resampling) to `[lo, hi]`.
+pub fn truncated_normal<R: Rng + ?Sized>(
+    rng: &mut R,
+    mu: f64,
+    sigma: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    debug_assert!(lo < hi);
+    for _ in 0..64 {
+        let x = normal(rng, mu, sigma);
+        if (lo..=hi).contains(&x) {
+            return x;
+        }
+    }
+    // Pathological parameters: fall back to clamping rather than spinning.
+    normal(rng, mu, sigma).clamp(lo, hi)
+}
+
+/// Samples `LogNormal(mu, sigma)` (parameters of the underlying normal).
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let x = truncated_normal(&mut rng, 0.0, 5.0, -1.0, 1.0);
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..10_000 {
+            assert!(lognormal(&mut rng, 0.0, 1.5) > 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(std_normal(&mut a), std_normal(&mut b));
+        }
+    }
+}

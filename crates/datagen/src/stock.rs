@@ -1,0 +1,141 @@
+//! Synthetic stock-market dataset.
+//!
+//! Substitute for the paper's `stock.3d` (MIT AI lab experimental stock
+//! data: 383 stocks from 08/30/93 to 09/15/95, 127,026 quote records, keys =
+//! (stock id, closing price, date)). The structural properties the paper's
+//! analysis relies on (§3.3):
+//!
+//! * the (date, stock id) and (date, price) slices look uniform,
+//! * the (stock id, price) slice is a series of per-stock **hot spots** —
+//!   each stock's price random-walks inside a band around its base price,
+//! * correlations similar to `hot.2d` + `correl.2d`.
+//!
+//! A geometric random walk per stock with log-normally distributed base
+//! prices reproduces all three.
+
+use crate::dataset::Dataset;
+use crate::rng::{lognormal, std_normal};
+use pargrid_geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of distinct stocks, matching the paper.
+pub const N_STOCKS: usize = 383;
+/// Trading days between 08/30/93 and 09/15/95.
+pub const N_DAYS: usize = 530;
+/// Price ceiling of the synthetic exchange (quotes are clamped under it).
+pub const PRICE_CAP: f64 = 400.0;
+
+/// `stock.3d` substitute with the paper's shape: ≈127,000 quotes.
+pub fn stock3d(seed: u64) -> Dataset {
+    stock3d_sized(seed, N_STOCKS, N_DAYS)
+}
+
+/// `stock.3d` substitute with explicit stock and day counts.
+pub fn stock3d_sized(seed: u64, n_stocks: usize, n_days: usize) -> Dataset {
+    assert!(n_stocks > 0 && n_days > 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut points = Vec::with_capacity(n_stocks * n_days * 2 / 3);
+    for stock in 0..n_stocks {
+        // Base price: log-normal around $25, like real exchanges' spread
+        // between penny stocks and blue chips.
+        let mut price = lognormal(&mut rng, 25.0f64.ln(), 0.8).min(PRICE_CAP * 0.8);
+        // Listing period: not every stock trades the whole window — the
+        // paper's record count (127,026 < 383 * 530) implies the same.
+        let start = rng.random_range(0..n_days / 3);
+        let len_frac: f64 = rng.random::<f64>() * 0.5 + 0.5; // 50%..100%
+        let end = (start + ((n_days - start) as f64 * len_frac) as usize).min(n_days);
+        for day in start..end {
+            // Daily geometric step, sigma = 2%.
+            price = (price * (0.02 * std_normal(&mut rng)).exp()).clamp(0.5, PRICE_CAP);
+            points.push(Point::new3(stock as f64 + 0.5, price, day as f64 + 0.5));
+        }
+    }
+    let domain = Rect::new(
+        Point::new3(0.0, 0.0, 0.0),
+        Point::new3(n_stocks as f64, PRICE_CAP, n_days as f64),
+    );
+    // 8 KB pages; 32-byte records + 22-byte payload = 54 bytes →
+    // ~151 records per bucket; ≈127k records / (151 * 0.7) ≈ 1,200 buckets,
+    // matching the paper's 1,218 buckets over 6,336 subspaces.
+    Dataset::new("stock.3d", points, domain, 8192, 22)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_count_near_paper() {
+        let ds = stock3d(1);
+        // The paper had 127,026 records; require the same regime.
+        assert!(
+            (90_000..=180_000).contains(&ds.len()),
+            "record count {}",
+            ds.len()
+        );
+        assert_eq!(ds.dim(), 3);
+        for p in &ds.points {
+            assert!(ds.domain.contains_closed(p));
+        }
+    }
+
+    #[test]
+    fn per_stock_prices_form_bands() {
+        let ds = stock3d(5);
+        // For a handful of stocks, the price spread must be far narrower
+        // than the global price range — the per-stock hot spots of Fig. 5.
+        for stock in [3usize, 50, 200, 380] {
+            let prices: Vec<f64> = ds
+                .points
+                .iter()
+                .filter(|p| p.get(0) as usize == stock)
+                .map(|p| p.get(1))
+                .collect();
+            if prices.len() < 10 {
+                continue;
+            }
+            let min = prices.iter().cloned().fold(f64::MAX, f64::min);
+            let max = prices.iter().cloned().fold(f64::MIN, f64::max);
+            assert!(
+                max - min < PRICE_CAP * 0.5,
+                "stock {stock} band too wide: {min}..{max}"
+            );
+        }
+    }
+
+    #[test]
+    fn date_slice_roughly_uniform() {
+        let ds = stock3d(5);
+        let h = ds.marginal_histogram(2, 10);
+        // Later deciles have at least as many listings (stocks only start
+        // during the first third), and no decile is empty.
+        assert!(h.iter().all(|&c| c > 0));
+        let first = h[0] as f64;
+        let last = h[9] as f64;
+        assert!(last > first * 0.8, "dates collapsed: {h:?}");
+    }
+
+    #[test]
+    fn grid_file_bucket_regime() {
+        let ds = stock3d(42);
+        let gf = ds.build_grid_file();
+        let st = gf.stats();
+        // Paper: 6,336 subspaces merged into 1,218 buckets.
+        assert!(
+            (700..=2_200).contains(&st.n_buckets),
+            "bucket count {} out of regime (cells {:?})",
+            st.n_buckets,
+            st.cells_per_dim
+        );
+        assert!(st.n_merged_buckets > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            stock3d_sized(9, 20, 50).points,
+            stock3d_sized(9, 20, 50).points
+        );
+    }
+}

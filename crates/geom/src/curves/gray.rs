@@ -1,0 +1,122 @@
+//! Gray-code curve: rank of the interleaved coordinate word in the
+//! reflected-Gray-code enumeration.
+//!
+//! This is the "Gray coding" linearization compared against the Hilbert
+//! curve by Faloutsos & Roseman and Jagadish (paper references [5, 11]): the
+//! cell word obtained by bit interleaving is interpreted as a Gray code and
+//! its rank in the Gray sequence is the linear index. Consecutive indices
+//! differ in exactly one *bit* of the interleaved word (not necessarily one
+//! grid step, unlike Hilbert).
+
+use super::{check_coords, check_params, deinterleave, interleave, SpaceFillingCurve};
+
+/// The Gray-code curve over `[0, 2^bits)^dim`.
+#[derive(Clone, Copy, Debug)]
+pub struct GrayCurve {
+    dim: usize,
+    bits: u32,
+}
+
+impl GrayCurve {
+    /// Creates a Gray-code curve.
+    ///
+    /// # Panics
+    /// Panics if `dim` or `bits` is out of the supported range.
+    pub fn new(dim: usize, bits: u32) -> Self {
+        check_params(dim, bits);
+        GrayCurve { dim, bits }
+    }
+}
+
+/// `rank -> Gray codeword`.
+#[inline]
+fn gray_encode(rank: u128) -> u128 {
+    rank ^ (rank >> 1)
+}
+
+/// `Gray codeword -> rank` (prefix-XOR inverse).
+#[inline]
+fn gray_decode(mut code: u128) -> u128 {
+    let mut rank = code;
+    while code != 0 {
+        code >>= 1;
+        rank ^= code;
+    }
+    rank
+}
+
+impl SpaceFillingCurve for GrayCurve {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn index_of(&self, coords: &[u32]) -> u128 {
+        check_coords(coords, self.dim, self.bits);
+        gray_decode(interleave(coords, self.bits))
+    }
+
+    fn coords_of(&self, index: u128, out: &mut [u32]) {
+        assert_eq!(out.len(), self.dim, "output length mismatch");
+        assert!(index < self.len(), "index {index} out of range");
+        deinterleave(gray_encode(index), self.bits, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gray_code_roundtrip() {
+        for v in 0..4096u128 {
+            assert_eq!(gray_decode(gray_encode(v)), v);
+        }
+    }
+
+    #[test]
+    fn gray_neighbors_differ_in_one_bit() {
+        for v in 0..4095u128 {
+            let diff = gray_encode(v) ^ gray_encode(v + 1);
+            assert_eq!(diff.count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn curve_roundtrip_exhaustive() {
+        for (dim, bits) in [(2usize, 4u32), (3, 2), (4, 2)] {
+            let g = GrayCurve::new(dim, bits);
+            let mut c = vec![0u32; dim];
+            for i in 0..g.len() {
+                g.coords_of(i, &mut c);
+                assert_eq!(g.index_of(&c), i);
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_cells_differ_in_one_interleaved_bit() {
+        let g = GrayCurve::new(2, 3);
+        let mut prev = [0u32; 2];
+        let mut cur = [0u32; 2];
+        g.coords_of(0, &mut prev);
+        for i in 1..g.len() {
+            g.coords_of(i, &mut cur);
+            let w_prev = super::super::interleave(&prev, 3);
+            let w_cur = super::super::interleave(&cur, 3);
+            assert_eq!((w_prev ^ w_cur).count_ones(), 1);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn starts_at_origin() {
+        let g = GrayCurve::new(3, 2);
+        let mut c = [9u32; 3];
+        g.coords_of(0, &mut c);
+        assert_eq!(c, [0, 0, 0]);
+    }
+}

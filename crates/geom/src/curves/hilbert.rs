@@ -1,0 +1,230 @@
+//! d-dimensional Hilbert curve.
+//!
+//! Implementation of John Skilling's transpose algorithm ("Programming the
+//! Hilbert curve", AIP Conf. Proc. 707, 2004): coordinates are converted to
+//! and from a *transposed* representation in which the Hilbert index's bits
+//! are distributed across the coordinate words; bit interleaving then yields
+//! the scalar index. Both directions run in `O(dim * bits)`.
+
+use super::{check_coords, check_params, deinterleave, interleave, SpaceFillingCurve};
+
+/// A Hilbert curve over `[0, 2^bits)^dim`.
+#[derive(Clone, Copy, Debug)]
+pub struct HilbertCurve {
+    dim: usize,
+    bits: u32,
+}
+
+impl HilbertCurve {
+    /// Creates a Hilbert curve of the given dimensionality and resolution.
+    ///
+    /// # Panics
+    /// Panics if `dim` or `bits` is out of the supported range (see
+    /// [`SpaceFillingCurve`]).
+    pub fn new(dim: usize, bits: u32) -> Self {
+        check_params(dim, bits);
+        HilbertCurve { dim, bits }
+    }
+
+    /// Skilling: axes -> transposed Hilbert index (in place).
+    fn axes_to_transpose(x: &mut [u32], bits: u32) {
+        let n = x.len();
+        // For bits == 1 the "inverse undo" loop body never runs (q starts at
+        // 1) and the curve degenerates to plain Gray order, as it should.
+        let mut q: u32 = 1 << (bits - 1);
+        while q > 1 {
+            let p = q - 1;
+            for i in 0..n {
+                if x[i] & q != 0 {
+                    x[0] ^= p;
+                } else {
+                    let t = (x[0] ^ x[i]) & p;
+                    x[0] ^= t;
+                    x[i] ^= t;
+                }
+            }
+            q >>= 1;
+        }
+        // Gray encode.
+        for i in 1..n {
+            x[i] ^= x[i - 1];
+        }
+        let mut t = 0u32;
+        q = 1 << (bits - 1);
+        while q > 1 {
+            if x[n - 1] & q != 0 {
+                t ^= q - 1;
+            }
+            q >>= 1;
+        }
+        for xi in x.iter_mut() {
+            *xi ^= t;
+        }
+    }
+
+    /// Skilling: transposed Hilbert index -> axes (in place).
+    fn transpose_to_axes(x: &mut [u32], bits: u32) {
+        let n = x.len();
+        let top: u32 = if bits >= 32 { 0 } else { 1u32 << bits };
+        // Gray decode by H ^ (H/2).
+        let t = x[n - 1] >> 1;
+        for i in (1..n).rev() {
+            x[i] ^= x[i - 1];
+        }
+        x[0] ^= t;
+        // Undo excess work.
+        let mut q = 2u32;
+        while q != top {
+            let p = q - 1;
+            for i in (0..n).rev() {
+                if x[i] & q != 0 {
+                    x[0] ^= p;
+                } else {
+                    let t = (x[0] ^ x[i]) & p;
+                    x[0] ^= t;
+                    x[i] ^= t;
+                }
+            }
+            q <<= 1;
+        }
+    }
+}
+
+impl SpaceFillingCurve for HilbertCurve {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn index_of(&self, coords: &[u32]) -> u128 {
+        check_coords(coords, self.dim, self.bits);
+        let mut x = [0u32; crate::point::MAX_DIM];
+        x[..self.dim].copy_from_slice(coords);
+        Self::axes_to_transpose(&mut x[..self.dim], self.bits);
+        interleave(&x[..self.dim], self.bits)
+    }
+
+    fn coords_of(&self, index: u128, out: &mut [u32]) {
+        assert_eq!(out.len(), self.dim, "output length mismatch");
+        assert!(index < self.len(), "index {index} out of range");
+        deinterleave(index, self.bits, out);
+        Self::transpose_to_axes(out, self.bits);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn walk(curve: &HilbertCurve) -> Vec<Vec<u32>> {
+        let mut path = Vec::with_capacity(curve.len() as usize);
+        let mut c = vec![0u32; curve.dim()];
+        for i in 0..curve.len() {
+            curve.coords_of(i, &mut c);
+            path.push(c.clone());
+        }
+        path
+    }
+
+    #[test]
+    fn order1_2d_is_canonical() {
+        // The first-order 2-D Hilbert curve visits the four quadrant cells
+        // in a "U" shape: each consecutive pair is grid-adjacent.
+        let h = HilbertCurve::new(2, 1);
+        let path = walk(&h);
+        assert_eq!(path.len(), 4);
+        // All cells visited exactly once.
+        let mut sorted = path.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+    }
+
+    #[test]
+    fn consecutive_cells_are_adjacent() {
+        // The defining property of the Hilbert curve: every step moves to a
+        // grid neighbor (L1 distance exactly 1). Check several shapes.
+        for (dim, bits) in [
+            (1usize, 4u32),
+            (2, 1),
+            (2, 2),
+            (2, 4),
+            (3, 2),
+            (3, 3),
+            (4, 2),
+        ] {
+            let h = HilbertCurve::new(dim, bits);
+            let mut prev = vec![0u32; dim];
+            let mut cur = vec![0u32; dim];
+            h.coords_of(0, &mut prev);
+            for i in 1..h.len() {
+                h.coords_of(i, &mut cur);
+                let l1: u32 = prev.iter().zip(&cur).map(|(&a, &b)| a.abs_diff(b)).sum();
+                assert_eq!(l1, 1, "non-adjacent step at {i} for dim={dim}, bits={bits}");
+                std::mem::swap(&mut prev, &mut cur);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_exhaustive_small() {
+        for (dim, bits) in [(2usize, 3u32), (3, 2), (4, 2), (5, 1)] {
+            let h = HilbertCurve::new(dim, bits);
+            let mut c = vec![0u32; dim];
+            for i in 0..h.len() {
+                h.coords_of(i, &mut c);
+                assert_eq!(h.index_of(&c), i, "roundtrip failed dim={dim}, bits={bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn bijective_small() {
+        let h = HilbertCurve::new(2, 3);
+        let mut seen = vec![false; h.len() as usize];
+        for x in 0..8u32 {
+            for y in 0..8u32 {
+                let i = h.index_of(&[x, y]) as usize;
+                assert!(!seen[i], "index {i} hit twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn starts_at_origin() {
+        for (dim, bits) in [(2usize, 4u32), (3, 3), (4, 2)] {
+            let h = HilbertCurve::new(dim, bits);
+            let mut c = vec![99u32; dim];
+            h.coords_of(0, &mut c);
+            assert!(c.iter().all(|&v| v == 0), "curve must start at the origin");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn coordinate_out_of_range_panics() {
+        let h = HilbertCurve::new(2, 2);
+        let _ = h.index_of(&[4, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_out_of_range_panics() {
+        let h = HilbertCurve::new(2, 2);
+        let mut c = [0u32; 2];
+        h.coords_of(16, &mut c);
+    }
+
+    #[test]
+    fn one_dimensional_is_identity() {
+        let h = HilbertCurve::new(1, 5);
+        for v in 0..32u32 {
+            assert_eq!(h.index_of(&[v]), v as u128);
+        }
+    }
+}

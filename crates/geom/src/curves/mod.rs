@@ -1,0 +1,156 @@
+//! Space-filling curves used by index-based declustering.
+//!
+//! The HCAM scheme (Faloutsos & Bhagwat, PDIS '93) linearizes the grid cells
+//! with a Hilbert curve and deals them to disks round-robin. The paper also
+//! cites the folklore result that the Hilbert curve clusters better than
+//! column-wise scan, Z-curve and Gray coding; we implement all four so the
+//! claim can be measured (ablation A2 in `DESIGN.md`).
+//!
+//! All curves map integer cell coordinates in `[0, 2^bits)^dim` to a linear
+//! index in `[0, 2^(bits*dim))` and back. Grids whose side is not a power of
+//! two are embedded in the enclosing power-of-two cube (the standard HCAM
+//! treatment): indices are still unique, only their density changes.
+
+mod gray;
+mod hilbert;
+mod scan;
+mod zorder;
+
+pub use gray::GrayCurve;
+pub use hilbert::HilbertCurve;
+pub use scan::ScanCurve;
+pub use zorder::ZOrderCurve;
+
+/// A bijective linearization of the integer grid `[0, 2^bits)^dim`.
+pub trait SpaceFillingCurve {
+    /// Number of dimensions the curve traverses.
+    fn dim(&self) -> usize;
+
+    /// Bits of resolution per dimension; coordinates must be `< 2^bits`.
+    fn bits(&self) -> u32;
+
+    /// Maps grid coordinates to the curve's linear index.
+    ///
+    /// # Panics
+    /// Panics if `coords.len() != self.dim()` or any coordinate is out of
+    /// range.
+    fn index_of(&self, coords: &[u32]) -> u128;
+
+    /// Maps a linear index back to grid coordinates, writing into `out`.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.dim()` or the index is out of range.
+    fn coords_of(&self, index: u128, out: &mut [u32]);
+
+    /// Total number of cells traversed (`2^(bits*dim)`).
+    fn len(&self) -> u128 {
+        1u128 << (self.bits() as u128 * self.dim() as u128)
+    }
+
+    /// Whether the curve covers zero cells (never true for valid curves).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Validates constructor arguments shared by all curve types.
+pub(crate) fn check_params(dim: usize, bits: u32) {
+    assert!(
+        (1..=crate::point::MAX_DIM).contains(&dim),
+        "curve dimensionality must be in 1..={}, got {dim}",
+        crate::point::MAX_DIM
+    );
+    assert!(
+        (1..=31).contains(&bits),
+        "bits must be in 1..=31, got {bits}"
+    );
+    assert!(
+        (bits as usize) * dim <= 126,
+        "index would overflow u128: bits={bits}, dim={dim}"
+    );
+}
+
+/// Validates coordinates against the curve's extent.
+pub(crate) fn check_coords(coords: &[u32], dim: usize, bits: u32) {
+    assert_eq!(coords.len(), dim, "coordinate count mismatch");
+    let max = 1u32 << bits;
+    for (i, &c) in coords.iter().enumerate() {
+        assert!(c < max, "coordinate {c} on dim {i} out of range (< {max})");
+    }
+}
+
+/// Smallest `bits` such that every side of a grid with the given cell counts
+/// fits in `2^bits`.
+pub fn bits_for_sides(sides: &[usize]) -> u32 {
+    let max_side = sides.iter().copied().max().unwrap_or(1).max(1);
+    let mut bits = 1;
+    while (1usize << bits) < max_side {
+        bits += 1;
+    }
+    bits
+}
+
+/// Interleaves `dim` coordinate words of `bits` bits each into a single
+/// index, most-significant bit plane first, dimension 0 highest.
+pub(crate) fn interleave(coords: &[u32], bits: u32) -> u128 {
+    let dim = coords.len();
+    let mut out: u128 = 0;
+    for plane in (0..bits).rev() {
+        for &c in coords.iter().take(dim) {
+            out = (out << 1) | (((c >> plane) & 1) as u128);
+        }
+    }
+    out
+}
+
+/// Inverse of [`interleave`].
+pub(crate) fn deinterleave(index: u128, bits: u32, out: &mut [u32]) {
+    let dim = out.len();
+    out.fill(0);
+    let mut idx = index;
+    for plane in 0..bits {
+        for i in (0..dim).rev() {
+            out[i] |= ((idx & 1) as u32) << plane;
+            idx >>= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleave_roundtrip() {
+        let coords = [0b101u32, 0b011u32];
+        let idx = interleave(&coords, 3);
+        // bit planes MSB-first: (1,0) (0,1) (1,1) -> 0b10_01_11
+        assert_eq!(idx, 0b100111);
+        let mut out = [0u32; 2];
+        deinterleave(idx, 3, &mut out);
+        assert_eq!(out, coords);
+    }
+
+    #[test]
+    fn bits_for_sides_works() {
+        assert_eq!(bits_for_sides(&[1]), 1);
+        assert_eq!(bits_for_sides(&[2]), 1);
+        assert_eq!(bits_for_sides(&[3]), 2);
+        assert_eq!(bits_for_sides(&[4]), 2);
+        assert_eq!(bits_for_sides(&[5, 16, 9]), 4);
+        assert_eq!(bits_for_sides(&[]), 1);
+        assert_eq!(bits_for_sides(&[1000]), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be")]
+    fn zero_bits_rejected() {
+        check_params(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_rejected() {
+        check_params(6, 22);
+    }
+}

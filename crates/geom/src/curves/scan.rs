@@ -1,0 +1,152 @@
+//! Column-wise scan (row-major order), with an optional boustrophedon
+//! ("snake") variant.
+//!
+//! The simplest linearization the paper's references compare against: cells
+//! are visited dimension-0-major. The snake variant reverses direction on
+//! alternate columns so that consecutive indices are always grid-adjacent,
+//! at the cost of no hierarchical locality.
+
+use super::{check_coords, check_params, SpaceFillingCurve};
+
+/// Row-major scan order over `[0, 2^bits)^dim`.
+#[derive(Clone, Copy, Debug)]
+pub struct ScanCurve {
+    dim: usize,
+    bits: u32,
+    snake: bool,
+}
+
+impl ScanCurve {
+    /// Creates a plain row-major scan curve.
+    ///
+    /// # Panics
+    /// Panics if `dim` or `bits` is out of the supported range.
+    pub fn new(dim: usize, bits: u32) -> Self {
+        check_params(dim, bits);
+        ScanCurve {
+            dim,
+            bits,
+            snake: false,
+        }
+    }
+
+    /// Creates the boustrophedon variant (direction alternates on every
+    /// higher-dimension step, so consecutive cells are always adjacent).
+    pub fn snake(dim: usize, bits: u32) -> Self {
+        check_params(dim, bits);
+        ScanCurve {
+            dim,
+            bits,
+            snake: true,
+        }
+    }
+}
+
+impl SpaceFillingCurve for ScanCurve {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn index_of(&self, coords: &[u32]) -> u128 {
+        check_coords(coords, self.dim, self.bits);
+        let side = 1u128 << self.bits;
+        let mut idx: u128 = 0;
+        // Row-major with dim 0 as the most significant digit. For the snake
+        // variant, a digit is reflected whenever the sum of more significant
+        // digits is odd.
+        let mut flip = false;
+        for &c in coords.iter().take(self.dim) {
+            let digit = if self.snake && flip {
+                side - 1 - c as u128
+            } else {
+                c as u128
+            };
+            idx = idx * side + digit;
+            // Track parity of the *logical* digit consumed so far.
+            flip ^= (digit & 1) == 1;
+        }
+        idx
+    }
+
+    fn coords_of(&self, index: u128, out: &mut [u32]) {
+        assert_eq!(out.len(), self.dim, "output length mismatch");
+        assert!(index < self.len(), "index {index} out of range");
+        let side = 1u128 << self.bits;
+        // Extract digits most-significant first.
+        let mut rem = index;
+        let mut digits = [0u128; crate::point::MAX_DIM];
+        for i in (0..self.dim).rev() {
+            digits[i] = rem % side;
+            rem /= side;
+        }
+        let mut flip = false;
+        for i in 0..self.dim {
+            let digit = digits[i];
+            out[i] = if self.snake && flip {
+                (side - 1 - digit) as u32
+            } else {
+                digit as u32
+            };
+            flip ^= (digit & 1) == 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_2d() {
+        let s = ScanCurve::new(2, 2);
+        assert_eq!(s.index_of(&[0, 0]), 0);
+        assert_eq!(s.index_of(&[0, 3]), 3);
+        assert_eq!(s.index_of(&[1, 0]), 4);
+        assert_eq!(s.index_of(&[3, 3]), 15);
+    }
+
+    #[test]
+    fn roundtrip_exhaustive() {
+        for (dim, bits) in [(2usize, 3u32), (3, 2), (4, 2)] {
+            for curve in [ScanCurve::new(dim, bits), ScanCurve::snake(dim, bits)] {
+                let mut c = vec![0u32; dim];
+                for i in 0..curve.len() {
+                    curve.coords_of(i, &mut c);
+                    assert_eq!(curve.index_of(&c), i, "dim={dim} bits={bits}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snake_consecutive_cells_adjacent_2d() {
+        let s = ScanCurve::snake(2, 3);
+        let mut prev = [0u32; 2];
+        let mut cur = [0u32; 2];
+        s.coords_of(0, &mut prev);
+        for i in 1..s.len() {
+            s.coords_of(i, &mut cur);
+            let l1: u32 = prev.iter().zip(&cur).map(|(&a, &b)| a.abs_diff(b)).sum();
+            assert_eq!(l1, 1, "snake scan must move one cell at a time (step {i})");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn bijective() {
+        let s = ScanCurve::snake(2, 3);
+        let mut seen = vec![false; s.len() as usize];
+        for x in 0..8u32 {
+            for y in 0..8u32 {
+                let i = s.index_of(&[x, y]) as usize;
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

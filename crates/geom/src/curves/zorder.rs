@@ -1,0 +1,91 @@
+//! Z-order (Morton) curve: plain bit interleaving.
+
+use super::{check_coords, check_params, deinterleave, interleave, SpaceFillingCurve};
+
+/// The Z-order (Morton) curve over `[0, 2^bits)^dim`.
+///
+/// Cheapest linearization to compute, but consecutive indices can be far
+/// apart in space (the long "Z" jumps), which is exactly the clustering
+/// deficiency the Hilbert curve fixes.
+#[derive(Clone, Copy, Debug)]
+pub struct ZOrderCurve {
+    dim: usize,
+    bits: u32,
+}
+
+impl ZOrderCurve {
+    /// Creates a Z-order curve.
+    ///
+    /// # Panics
+    /// Panics if `dim` or `bits` is out of the supported range.
+    pub fn new(dim: usize, bits: u32) -> Self {
+        check_params(dim, bits);
+        ZOrderCurve { dim, bits }
+    }
+}
+
+impl SpaceFillingCurve for ZOrderCurve {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn index_of(&self, coords: &[u32]) -> u128 {
+        check_coords(coords, self.dim, self.bits);
+        interleave(coords, self.bits)
+    }
+
+    fn coords_of(&self, index: u128, out: &mut [u32]) {
+        assert_eq!(out.len(), self.dim, "output length mismatch");
+        assert!(index < self.len(), "index {index} out of range");
+        deinterleave(index, self.bits, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_quadrant_order() {
+        // 2x2 Z curve visits (0,0), (0,1), (1,0), (1,1) with dim-0 as the
+        // high bit.
+        let z = ZOrderCurve::new(2, 1);
+        assert_eq!(z.index_of(&[0, 0]), 0);
+        assert_eq!(z.index_of(&[0, 1]), 1);
+        assert_eq!(z.index_of(&[1, 0]), 2);
+        assert_eq!(z.index_of(&[1, 1]), 3);
+    }
+
+    #[test]
+    fn roundtrip_exhaustive() {
+        for (dim, bits) in [(2usize, 4u32), (3, 2), (4, 2)] {
+            let z = ZOrderCurve::new(dim, bits);
+            let mut c = vec![0u32; dim];
+            for i in 0..z.len() {
+                z.coords_of(i, &mut c);
+                assert_eq!(z.index_of(&c), i);
+            }
+        }
+    }
+
+    #[test]
+    fn locality_within_quadrants() {
+        // All indices of the low quadrant precede all of the high quadrant
+        // along dim 0 (the recursive block property of Z order).
+        let z = ZOrderCurve::new(2, 3);
+        for x in 0..4u32 {
+            for y in 0..8u32 {
+                let lo = z.index_of(&[x, y]);
+                for x2 in 4..8u32 {
+                    for y2 in 0..8u32 {
+                        assert!(lo < z.index_of(&[x2, y2]));
+                    }
+                }
+            }
+        }
+    }
+}

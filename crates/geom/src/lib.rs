@@ -1,0 +1,44 @@
+//! Geometry substrate for the `pargrid` workspace.
+//!
+//! This crate provides the low-level geometric machinery that the grid file
+//! and the declustering algorithms are built on:
+//!
+//! * [`Point`] / [`Rect`] — fixed-capacity, stack-allocated d-dimensional
+//!   points and axis-aligned boxes (up to [`MAX_DIM`] dimensions),
+//! * [`proximity`] — the Kamel–Faloutsos *proximity index* used by the
+//!   `minimax` declustering algorithm, plus Euclidean measures,
+//! * [`curves`] — space-filling curves (d-dimensional Hilbert, Z-order,
+//!   Gray-code and column scan) used by index-based declustering (HCAM and
+//!   its ablation variants).
+//!
+//! Everything here is pure computation with no I/O and no global state, so it
+//! is trivially `Send + Sync` and safe to use from the parallel engine.
+//!
+//! ```
+//! use pargrid_geom::{HilbertCurve, SpaceFillingCurve, Rect, proximity::proximity_index};
+//!
+//! // Hilbert curve: bijective, and consecutive indices are grid neighbors.
+//! let curve = HilbertCurve::new(2, 4); // 16x16 grid
+//! let idx = curve.index_of(&[3, 5]);
+//! let mut back = [0u32; 2];
+//! curve.coords_of(idx, &mut back);
+//! assert_eq!(back, [3, 5]);
+//!
+//! // Proximity index: adjacent boxes score higher than distant ones.
+//! let domain = Rect::new2(0.0, 0.0, 10.0, 10.0);
+//! let a = Rect::new2(0.0, 0.0, 1.0, 1.0);
+//! let near = Rect::new2(1.0, 0.0, 2.0, 1.0);
+//! let far = Rect::new2(8.0, 8.0, 9.0, 9.0);
+//! assert!(proximity_index(&a, &near, &domain) > proximity_index(&a, &far, &domain));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod curves;
+pub mod point;
+pub mod proximity;
+pub mod rect;
+
+pub use curves::{GrayCurve, HilbertCurve, ScanCurve, SpaceFillingCurve, ZOrderCurve};
+pub use point::{Point, MAX_DIM};
+pub use rect::Rect;

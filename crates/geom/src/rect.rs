@@ -1,0 +1,299 @@
+//! Axis-aligned d-dimensional rectangles (boxes).
+//!
+//! Grid-file buckets and range queries are both axis-aligned boxes; the
+//! declustering algorithms reason about their overlap and separation.
+//! Boxes are closed on the low side and open on the high side
+//! (`lo <= x < hi`) except where noted — this is the natural convention for
+//! grid cells, which tile the domain without double-counting boundaries.
+
+use crate::point::{Point, MAX_DIM};
+
+/// An axis-aligned box `[lo, hi)` in d-dimensional space.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Rect {
+    lo: Point,
+    hi: Point,
+}
+
+impl Rect {
+    /// Creates a box from its low and high corners.
+    ///
+    /// # Panics
+    /// Panics if the corners have different dimensionality or if
+    /// `lo[i] > hi[i]` for any dimension (empty boxes with `lo == hi`
+    /// are allowed).
+    #[inline]
+    pub fn new(lo: Point, hi: Point) -> Self {
+        assert_eq!(lo.dim(), hi.dim(), "corner dimensionality mismatch");
+        for i in 0..lo.dim() {
+            assert!(
+                lo.get(i) <= hi.get(i),
+                "inverted box on dim {i}: {} > {}",
+                lo.get(i),
+                hi.get(i)
+            );
+        }
+        Rect { lo, hi }
+    }
+
+    /// Creates a 2-D box from `(x0, y0)`–`(x1, y1)`.
+    #[inline]
+    pub fn new2(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        Rect::new(Point::new2(x0, y0), Point::new2(x1, y1))
+    }
+
+    /// The dimensionality of the box.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.lo.dim()
+    }
+
+    /// Low corner.
+    #[inline]
+    pub fn lo(&self) -> &Point {
+        &self.lo
+    }
+
+    /// High corner.
+    #[inline]
+    pub fn hi(&self) -> &Point {
+        &self.hi
+    }
+
+    /// Side length along dimension `i`.
+    #[inline]
+    pub fn side(&self, i: usize) -> f64 {
+        self.hi.get(i) - self.lo.get(i)
+    }
+
+    /// Volume (area in 2-D) of the box.
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        let mut v = 1.0;
+        for i in 0..self.dim() {
+            v *= self.side(i);
+        }
+        v
+    }
+
+    /// Center point of the box.
+    #[inline]
+    pub fn center(&self) -> Point {
+        let mut c = [0.0; MAX_DIM];
+        for (i, ci) in c.iter_mut().take(self.dim()).enumerate() {
+            *ci = 0.5 * (self.lo.get(i) + self.hi.get(i));
+        }
+        Point::new(&c[..self.dim()])
+    }
+
+    /// Whether the point lies in the half-open box `[lo, hi)`.
+    #[inline]
+    pub fn contains(&self, p: &Point) -> bool {
+        debug_assert_eq!(self.dim(), p.dim());
+        for i in 0..self.dim() {
+            let x = p.get(i);
+            if x < self.lo.get(i) || x >= self.hi.get(i) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether the point lies in the *closed* box `[lo, hi]`.
+    ///
+    /// Range queries use the closed convention so that a query whose high
+    /// edge coincides with the domain boundary still matches boundary points.
+    #[inline]
+    pub fn contains_closed(&self, p: &Point) -> bool {
+        debug_assert_eq!(self.dim(), p.dim());
+        for i in 0..self.dim() {
+            let x = p.get(i);
+            if x < self.lo.get(i) || x > self.hi.get(i) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether two boxes intersect (closed-interval test on every axis).
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        debug_assert_eq!(self.dim(), other.dim());
+        for i in 0..self.dim() {
+            if self.lo.get(i) > other.hi.get(i) || other.lo.get(i) > self.hi.get(i) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether `other` is fully contained in `self` (closed comparison).
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        debug_assert_eq!(self.dim(), other.dim());
+        for i in 0..self.dim() {
+            if other.lo.get(i) < self.lo.get(i) || other.hi.get(i) > self.hi.get(i) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The intersection box, or `None` if the boxes are disjoint.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        let d = self.dim();
+        let mut lo = [0.0; MAX_DIM];
+        let mut hi = [0.0; MAX_DIM];
+        for i in 0..d {
+            lo[i] = self.lo.get(i).max(other.lo.get(i));
+            hi[i] = self.hi.get(i).min(other.hi.get(i));
+        }
+        Some(Rect::new(Point::new(&lo[..d]), Point::new(&hi[..d])))
+    }
+
+    /// The smallest box containing both inputs.
+    pub fn union(&self, other: &Rect) -> Rect {
+        debug_assert_eq!(self.dim(), other.dim());
+        let d = self.dim();
+        let mut lo = [0.0; MAX_DIM];
+        let mut hi = [0.0; MAX_DIM];
+        for i in 0..d {
+            lo[i] = self.lo.get(i).min(other.lo.get(i));
+            hi[i] = self.hi.get(i).max(other.hi.get(i));
+        }
+        Rect::new(Point::new(&lo[..d]), Point::new(&hi[..d]))
+    }
+
+    /// Clamps the box so it lies inside `domain`.
+    pub fn clamp_to(&self, domain: &Rect) -> Rect {
+        debug_assert_eq!(self.dim(), domain.dim());
+        let d = self.dim();
+        let mut lo = [0.0; MAX_DIM];
+        let mut hi = [0.0; MAX_DIM];
+        for i in 0..d {
+            lo[i] = self.lo.get(i).clamp(domain.lo.get(i), domain.hi.get(i));
+            hi[i] = self.hi.get(i).clamp(domain.lo.get(i), domain.hi.get(i));
+            if lo[i] > hi[i] {
+                lo[i] = hi[i];
+            }
+        }
+        Rect::new(Point::new(&lo[..d]), Point::new(&hi[..d]))
+    }
+
+    /// Length of the overlap of the two boxes' projections on axis `i`
+    /// (zero if disjoint on that axis).
+    #[inline]
+    pub fn overlap_on(&self, other: &Rect, i: usize) -> f64 {
+        let lo = self.lo.get(i).max(other.lo.get(i));
+        let hi = self.hi.get(i).min(other.hi.get(i));
+        (hi - lo).max(0.0)
+    }
+
+    /// Gap between the two boxes' projections on axis `i`
+    /// (zero if they touch or overlap on that axis).
+    #[inline]
+    pub fn gap_on(&self, other: &Rect, i: usize) -> f64 {
+        let lo = self.lo.get(i).max(other.lo.get(i));
+        let hi = self.hi.get(i).min(other.hi.get(i));
+        (lo - hi).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r2(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::new2(x0, y0, x1, y1)
+    }
+
+    #[test]
+    fn basic_properties() {
+        let r = r2(0.0, 0.0, 2.0, 3.0);
+        assert_eq!(r.dim(), 2);
+        assert_eq!(r.side(0), 2.0);
+        assert_eq!(r.side(1), 3.0);
+        assert_eq!(r.volume(), 6.0);
+        assert_eq!(r.center(), Point::new2(1.0, 1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted box")]
+    fn inverted_rejected() {
+        let _ = r2(1.0, 0.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn empty_box_allowed() {
+        let r = r2(1.0, 1.0, 1.0, 1.0);
+        assert_eq!(r.volume(), 0.0);
+    }
+
+    #[test]
+    fn half_open_contains() {
+        let r = r2(0.0, 0.0, 1.0, 1.0);
+        assert!(r.contains(&Point::new2(0.0, 0.0)));
+        assert!(!r.contains(&Point::new2(1.0, 0.5)));
+        assert!(r.contains_closed(&Point::new2(1.0, 1.0)));
+        assert!(!r.contains_closed(&Point::new2(1.0001, 1.0)));
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let a = r2(0.0, 0.0, 2.0, 2.0);
+        let b = r2(1.0, 1.0, 3.0, 3.0);
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, r2(1.0, 1.0, 2.0, 2.0));
+        let u = a.union(&b);
+        assert_eq!(u, r2(0.0, 0.0, 3.0, 3.0));
+    }
+
+    #[test]
+    fn disjoint_boxes() {
+        let a = r2(0.0, 0.0, 1.0, 1.0);
+        let b = r2(2.0, 2.0, 3.0, 3.0);
+        assert!(!a.intersects(&b));
+        assert!(a.intersection(&b).is_none());
+        assert_eq!(a.gap_on(&b, 0), 1.0);
+        assert_eq!(a.overlap_on(&b, 0), 0.0);
+    }
+
+    #[test]
+    fn touching_boxes_intersect() {
+        // Closed test: boxes sharing an edge count as intersecting,
+        // which is what the proximity index formula expects.
+        let a = r2(0.0, 0.0, 1.0, 1.0);
+        let b = r2(1.0, 0.0, 2.0, 1.0);
+        assert!(a.intersects(&b));
+        assert_eq!(a.overlap_on(&b, 0), 0.0);
+        assert_eq!(a.gap_on(&b, 0), 0.0);
+    }
+
+    #[test]
+    fn containment() {
+        let outer = r2(0.0, 0.0, 10.0, 10.0);
+        let inner = r2(2.0, 2.0, 3.0, 3.0);
+        assert!(outer.contains_rect(&inner));
+        assert!(!inner.contains_rect(&outer));
+        assert!(outer.contains_rect(&outer));
+    }
+
+    #[test]
+    fn clamping() {
+        let domain = r2(0.0, 0.0, 10.0, 10.0);
+        let q = r2(-5.0, 8.0, 5.0, 15.0);
+        let c = q.clamp_to(&domain);
+        assert_eq!(c, r2(0.0, 8.0, 5.0, 10.0));
+    }
+
+    #[test]
+    fn overlap_len() {
+        let a = r2(0.0, 0.0, 2.0, 2.0);
+        let b = r2(1.0, 0.0, 4.0, 2.0);
+        assert_eq!(a.overlap_on(&b, 0), 1.0);
+        assert_eq!(a.overlap_on(&b, 1), 2.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the space-filling curves and proximity index.
+
+use pargrid_geom::{
+    proximity::{center_distance, min_distance, proximity_index},
+    GrayCurve, HilbertCurve, Point, Rect, ScanCurve, SpaceFillingCurve, ZOrderCurve,
+};
+use proptest::prelude::*;
+
+fn coords_strategy(dim: usize, bits: u32) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0u32..(1u32 << bits), dim)
+}
+
+fn roundtrip_holds<C: SpaceFillingCurve>(curve: &C, coords: &[u32]) {
+    let idx = curve.index_of(coords);
+    assert!(idx < curve.len());
+    let mut back = vec![0u32; curve.dim()];
+    curve.coords_of(idx, &mut back);
+    assert_eq!(&back, coords);
+}
+
+proptest! {
+    #[test]
+    fn hilbert_roundtrip((dim, bits) in (1usize..=5, 1u32..=8), seed in any::<u64>()) {
+        // Derive in-range coordinates from the seed so dim/bits can vary.
+        let curve = HilbertCurve::new(dim, bits);
+        let mask = (1u64 << bits) - 1;
+        let coords: Vec<u32> =
+            (0..dim).map(|i| ((seed >> (i * 8)) & mask) as u32).collect();
+        roundtrip_holds(&curve, &coords);
+    }
+
+    #[test]
+    fn zorder_roundtrip(coords in coords_strategy(3, 6)) {
+        roundtrip_holds(&ZOrderCurve::new(3, 6), &coords);
+    }
+
+    #[test]
+    fn gray_roundtrip(coords in coords_strategy(3, 6)) {
+        roundtrip_holds(&GrayCurve::new(3, 6), &coords);
+    }
+
+    #[test]
+    fn scan_roundtrip(coords in coords_strategy(4, 5)) {
+        roundtrip_holds(&ScanCurve::new(4, 5), &coords);
+        roundtrip_holds(&ScanCurve::snake(4, 5), &coords);
+    }
+
+    #[test]
+    fn hilbert_step_is_unit(start in 0u32..4000) {
+        // Locality property along a random window of the big curve.
+        let curve = HilbertCurve::new(2, 6);
+        let mut a = [0u32; 2];
+        let mut b = [0u32; 2];
+        curve.coords_of(start as u128, &mut a);
+        curve.coords_of(start as u128 + 1, &mut b);
+        let l1 = a[0].abs_diff(b[0]) + a[1].abs_diff(b[1]);
+        prop_assert_eq!(l1, 1);
+    }
+
+    #[test]
+    fn proximity_is_symmetric_bounded(
+        ax in 0.0f64..900.0, ay in 0.0f64..900.0,
+        aw in 1.0f64..100.0, ah in 1.0f64..100.0,
+        bx in 0.0f64..900.0, by in 0.0f64..900.0,
+        bw in 1.0f64..100.0, bh in 1.0f64..100.0,
+    ) {
+        let domain = Rect::new2(0.0, 0.0, 1000.0, 1000.0);
+        let a = Rect::new2(ax, ay, ax + aw, ay + ah);
+        let b = Rect::new2(bx, by, bx + bw, by + bh);
+        let pab = proximity_index(&a, &b, &domain);
+        let pba = proximity_index(&b, &a, &domain);
+        prop_assert!((pab - pba).abs() < 1e-12);
+        prop_assert!(pab > 0.0 && pab <= 1.0);
+    }
+
+    #[test]
+    fn self_proximity_dominates_translates(
+        x in 0.0f64..500.0, y in 0.0f64..500.0,
+        w in 10.0f64..100.0, h in 10.0f64..100.0,
+        shift in 0.0f64..400.0,
+    ) {
+        // Moving a copy of the box away never increases proximity.
+        let domain = Rect::new2(0.0, 0.0, 1000.0, 1000.0);
+        let a = Rect::new2(x, y, x + w, y + h);
+        let b = Rect::new2(x + shift, y, x + shift + w, y + h);
+        let p_self = proximity_index(&a, &a, &domain);
+        let p_b = proximity_index(&a, &b, &domain);
+        prop_assert!(p_b <= p_self + 1e-12);
+    }
+
+    #[test]
+    fn min_distance_le_center_distance(
+        ax in 0.0f64..900.0, ay in 0.0f64..900.0,
+        bx in 0.0f64..900.0, by in 0.0f64..900.0,
+    ) {
+        let a = Rect::new2(ax, ay, ax + 50.0, ay + 50.0);
+        let b = Rect::new2(bx, by, bx + 50.0, by + 50.0);
+        prop_assert!(min_distance(&a, &b) <= center_distance(&a, &b) + 1e-9);
+    }
+
+    #[test]
+    fn rect_intersection_is_contained(
+        ax in 0.0f64..500.0, ay in 0.0f64..500.0,
+        bx in 0.0f64..500.0, by in 0.0f64..500.0,
+    ) {
+        let a = Rect::new2(ax, ay, ax + 300.0, ay + 300.0);
+        let b = Rect::new2(bx, by, bx + 300.0, by + 300.0);
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+            prop_assert!(a.union(&b).contains_rect(&i));
+        }
+    }
+
+    #[test]
+    fn point_distance_triangle_inequality(
+        a in prop::array::uniform2(-100.0f64..100.0),
+        b in prop::array::uniform2(-100.0f64..100.0),
+        c in prop::array::uniform2(-100.0f64..100.0),
+    ) {
+        let pa = Point::new(&a);
+        let pb = Point::new(&b);
+        let pc = Point::new(&c);
+        prop_assert!(pa.dist(&pc) <= pa.dist(&pb) + pb.dist(&pc) + 1e-9);
+    }
+}
+
+/// All four curves are bijections on the same small grid.
+#[test]
+fn all_curves_bijective_8x8() {
+    let curves: Vec<Box<dyn SpaceFillingCurve>> = vec![
+        Box::new(HilbertCurve::new(2, 3)),
+        Box::new(ZOrderCurve::new(2, 3)),
+        Box::new(GrayCurve::new(2, 3)),
+        Box::new(ScanCurve::new(2, 3)),
+        Box::new(ScanCurve::snake(2, 3)),
+    ];
+    for curve in &curves {
+        let mut seen = [false; 64];
+        for x in 0..8u32 {
+            for y in 0..8u32 {
+                let i = curve.index_of(&[x, y]) as usize;
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,145 @@
+//! Cartesian product files: the special case the analytic study works on.
+//!
+//! A Cartesian product file partitions every attribute domain into fixed
+//! intervals and stores **every** cell `[i_1, ..., i_d]` in its own disk
+//! bucket — no merging. This is the structure for which DM and FX were
+//! originally proposed, and the structure over which Theorems 1 and 2 are
+//! stated. It supports exactly what the theorems need: enumerate the cells of
+//! an axis-aligned window.
+
+use pargrid_geom::MAX_DIM;
+
+/// A Cartesian product file: a dense integer grid of buckets.
+#[derive(Clone, Debug)]
+pub struct CartesianProductFile {
+    sides: Vec<u32>,
+}
+
+impl CartesianProductFile {
+    /// Creates a file with the given number of intervals per attribute.
+    ///
+    /// # Panics
+    /// Panics if `sides` is empty, longer than [`MAX_DIM`], or contains a
+    /// zero.
+    pub fn new(sides: &[u32]) -> Self {
+        assert!(
+            !sides.is_empty() && sides.len() <= MAX_DIM,
+            "dimensionality out of range"
+        );
+        assert!(sides.iter().all(|&s| s > 0), "zero-width dimension");
+        CartesianProductFile {
+            sides: sides.to_vec(),
+        }
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.sides.len()
+    }
+
+    /// Cells per dimension.
+    #[inline]
+    pub fn sides(&self) -> &[u32] {
+        &self.sides
+    }
+
+    /// Total number of cells (= buckets).
+    pub fn n_cells(&self) -> u64 {
+        self.sides.iter().map(|&s| s as u64).product()
+    }
+
+    /// Invokes `f` for every cell of the window `[lo, lo+len)` (per-dim,
+    /// clamped to the grid).
+    ///
+    /// # Panics
+    /// Panics if the slice lengths disagree with the dimensionality.
+    pub fn for_each_cell_in_window<F: FnMut(&[u32])>(&self, lo: &[u32], len: &[u32], mut f: F) {
+        assert_eq!(lo.len(), self.dim());
+        assert_eq!(len.len(), self.dim());
+        let d = self.dim();
+        let mut hi = [0u32; MAX_DIM];
+        for k in 0..d {
+            if lo[k] >= self.sides[k] || len[k] == 0 {
+                return; // empty window
+            }
+            hi[k] = (lo[k] + len[k]).min(self.sides[k]); // exclusive
+        }
+        let mut cur = [0u32; MAX_DIM];
+        cur[..d].copy_from_slice(lo);
+        loop {
+            f(&cur[..d]);
+            let mut k = d;
+            loop {
+                if k == 0 {
+                    return;
+                }
+                k -= 1;
+                cur[k] += 1;
+                if cur[k] < hi[k] {
+                    break;
+                }
+                cur[k] = lo[k];
+            }
+        }
+    }
+
+    /// Number of cells of the window (after clamping).
+    pub fn window_cell_count(&self, lo: &[u32], len: &[u32]) -> u64 {
+        let mut n = 1u64;
+        for k in 0..self.dim() {
+            if lo[k] >= self.sides[k] || len[k] == 0 {
+                return 0;
+            }
+            let hi = (lo[k] + len[k]).min(self.sides[k]);
+            n *= (hi - lo[k]) as u64;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_counts() {
+        let f = CartesianProductFile::new(&[4, 5, 6]);
+        assert_eq!(f.n_cells(), 120);
+        assert_eq!(f.dim(), 3);
+    }
+
+    #[test]
+    fn window_enumeration() {
+        let f = CartesianProductFile::new(&[8, 8]);
+        let mut cells = Vec::new();
+        f.for_each_cell_in_window(&[1, 2], &[2, 3], |c| cells.push((c[0], c[1])));
+        assert_eq!(cells, vec![(1, 2), (1, 3), (1, 4), (2, 2), (2, 3), (2, 4)]);
+        assert_eq!(f.window_cell_count(&[1, 2], &[2, 3]), 6);
+    }
+
+    #[test]
+    fn window_clamps_at_edges() {
+        let f = CartesianProductFile::new(&[4, 4]);
+        assert_eq!(f.window_cell_count(&[3, 3], &[5, 5]), 1);
+        let mut n = 0;
+        f.for_each_cell_in_window(&[3, 3], &[5, 5], |_| n += 1);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn empty_windows() {
+        let f = CartesianProductFile::new(&[4, 4]);
+        assert_eq!(f.window_cell_count(&[4, 0], &[1, 1]), 0);
+        assert_eq!(f.window_cell_count(&[0, 0], &[0, 1]), 0);
+        let mut n = 0;
+        f.for_each_cell_in_window(&[4, 0], &[1, 1], |_| n += 1);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-width")]
+    fn zero_side_rejected() {
+        let _ = CartesianProductFile::new(&[4, 0]);
+    }
+}

@@ -1,0 +1,273 @@
+//! Integer cell regions: the box of grid cells a bucket covers.
+
+use pargrid_geom::MAX_DIM;
+
+/// An inclusive box `[lo, hi]` of integer cell coordinates.
+///
+/// The grid-file invariant is that every bucket's region is a *box* (a
+/// Cartesian product of index intervals) — merging is only ever box-shaped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CellRegion {
+    lo: [u32; MAX_DIM],
+    hi: [u32; MAX_DIM],
+    dim: u8,
+}
+
+impl CellRegion {
+    /// Creates a region from inclusive corner cells.
+    ///
+    /// # Panics
+    /// Panics if the slices disagree in length, exceed [`MAX_DIM`], or are
+    /// inverted on any axis.
+    pub fn new(lo: &[u32], hi: &[u32]) -> Self {
+        assert_eq!(lo.len(), hi.len(), "corner dimensionality mismatch");
+        assert!(
+            !lo.is_empty() && lo.len() <= MAX_DIM,
+            "region dimensionality out of range"
+        );
+        for i in 0..lo.len() {
+            assert!(lo[i] <= hi[i], "inverted region on dim {i}");
+        }
+        let mut l = [0u32; MAX_DIM];
+        let mut h = [0u32; MAX_DIM];
+        l[..lo.len()].copy_from_slice(lo);
+        h[..hi.len()].copy_from_slice(hi);
+        CellRegion {
+            lo: l,
+            hi: h,
+            dim: lo.len() as u8,
+        }
+    }
+
+    /// A region covering the single cell `cell`.
+    pub fn single(cell: &[u32]) -> Self {
+        Self::new(cell, cell)
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim as usize
+    }
+
+    /// Inclusive low corner.
+    #[inline]
+    pub fn lo(&self) -> &[u32] {
+        &self.lo[..self.dim as usize]
+    }
+
+    /// Inclusive high corner.
+    #[inline]
+    pub fn hi(&self) -> &[u32] {
+        &self.hi[..self.dim as usize]
+    }
+
+    /// Number of cells covered along dimension `k`.
+    #[inline]
+    pub fn span(&self, k: usize) -> u32 {
+        self.hi[k] - self.lo[k] + 1
+    }
+
+    /// Total number of cells covered.
+    pub fn cell_count(&self) -> u64 {
+        let mut n = 1u64;
+        for k in 0..self.dim as usize {
+            n *= self.span(k) as u64;
+        }
+        n
+    }
+
+    /// Whether the region covers exactly one cell.
+    #[inline]
+    pub fn is_single_cell(&self) -> bool {
+        (0..self.dim as usize).all(|k| self.lo[k] == self.hi[k])
+    }
+
+    /// Whether the region contains the given cell.
+    pub fn contains_cell(&self, cell: &[u32]) -> bool {
+        debug_assert_eq!(cell.len(), self.dim as usize);
+        (0..self.dim as usize).all(|k| self.lo[k] <= cell[k] && cell[k] <= self.hi[k])
+    }
+
+    /// Splits the region into two along dimension `k` after cell offset
+    /// `mid` (absolute cell index): the lower part keeps `[lo_k, mid]`,
+    /// the upper part gets `[mid+1, hi_k]`.
+    ///
+    /// # Panics
+    /// Panics unless `lo_k <= mid < hi_k`.
+    pub fn split_at(&self, k: usize, mid: u32) -> (CellRegion, CellRegion) {
+        assert!(
+            self.lo[k] <= mid && mid < self.hi[k],
+            "split position {mid} not interior to [{}, {}] on dim {k}",
+            self.lo[k],
+            self.hi[k]
+        );
+        let mut low = *self;
+        let mut high = *self;
+        low.hi[k] = mid;
+        high.lo[k] = mid + 1;
+        (low, high)
+    }
+
+    /// Records that the linear scale of dimension `k` split its cell `c`
+    /// into cells `c` and `c + 1`: cell indices above `c` shift up, and a
+    /// region covering `c` now also covers `c + 1`.
+    pub fn apply_scale_split(&mut self, k: usize, c: u32) {
+        if self.lo[k] > c {
+            self.lo[k] += 1;
+        }
+        if self.hi[k] >= c {
+            self.hi[k] += 1;
+        }
+    }
+
+    /// Whether `self` and `other` are *buddies*: disjoint boxes whose union
+    /// is again a box (adjacent along exactly one axis, identical on all
+    /// others). Buddy pairs are the only merge candidates.
+    pub fn is_buddy_of(&self, other: &CellRegion) -> bool {
+        debug_assert_eq!(self.dim, other.dim);
+        let mut adjacent_axis = None;
+        for k in 0..self.dim as usize {
+            if self.lo[k] == other.lo[k] && self.hi[k] == other.hi[k] {
+                continue;
+            }
+            // Must be adjacent on this axis, and only one such axis allowed.
+            let touching = self.hi[k] + 1 == other.lo[k] || other.hi[k] + 1 == self.lo[k];
+            if !touching || adjacent_axis.is_some() {
+                return false;
+            }
+            adjacent_axis = Some(k);
+        }
+        adjacent_axis.is_some()
+    }
+
+    /// The union box of two buddy regions.
+    ///
+    /// # Panics
+    /// Panics if the regions are not buddies.
+    pub fn merge_with(&self, other: &CellRegion) -> CellRegion {
+        assert!(self.is_buddy_of(other), "regions are not buddies");
+        let mut out = *self;
+        for k in 0..self.dim as usize {
+            out.lo[k] = self.lo[k].min(other.lo[k]);
+            out.hi[k] = self.hi[k].max(other.hi[k]);
+        }
+        out
+    }
+
+    /// Iterates over all cells in the region in row-major order, invoking
+    /// `f` with each cell coordinate.
+    pub fn for_each_cell<F: FnMut(&[u32])>(&self, mut f: F) {
+        let d = self.dim as usize;
+        let mut cur = [0u32; MAX_DIM];
+        cur[..d].copy_from_slice(self.lo());
+        loop {
+            f(&cur[..d]);
+            // Odometer increment, last dimension fastest.
+            let mut k = d;
+            loop {
+                if k == 0 {
+                    return;
+                }
+                k -= 1;
+                if cur[k] < self.hi[k] {
+                    cur[k] += 1;
+                    break;
+                }
+                cur[k] = self.lo[k];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let r = CellRegion::new(&[1, 2], &[3, 2]);
+        assert_eq!(r.dim(), 2);
+        assert_eq!(r.span(0), 3);
+        assert_eq!(r.span(1), 1);
+        assert_eq!(r.cell_count(), 3);
+        assert!(!r.is_single_cell());
+        assert!(CellRegion::single(&[5, 5]).is_single_cell());
+    }
+
+    #[test]
+    fn contains_cell_works() {
+        let r = CellRegion::new(&[1, 1], &[2, 3]);
+        assert!(r.contains_cell(&[1, 1]));
+        assert!(r.contains_cell(&[2, 3]));
+        assert!(!r.contains_cell(&[0, 1]));
+        assert!(!r.contains_cell(&[2, 4]));
+    }
+
+    #[test]
+    fn split_region() {
+        let r = CellRegion::new(&[0, 0], &[3, 1]);
+        let (lo, hi) = r.split_at(0, 1);
+        assert_eq!(lo, CellRegion::new(&[0, 0], &[1, 1]));
+        assert_eq!(hi, CellRegion::new(&[2, 0], &[3, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "not interior")]
+    fn split_at_boundary_rejected() {
+        let r = CellRegion::new(&[0, 0], &[3, 1]);
+        let _ = r.split_at(0, 3);
+    }
+
+    #[test]
+    fn scale_split_shifts() {
+        // Scale splits cell 2 on dim 0.
+        let mut below = CellRegion::new(&[0, 0], &[1, 0]);
+        let mut covering = CellRegion::new(&[1, 1], &[3, 1]);
+        let mut above = CellRegion::new(&[3, 2], &[4, 2]);
+        below.apply_scale_split(0, 2);
+        covering.apply_scale_split(0, 2);
+        above.apply_scale_split(0, 2);
+        assert_eq!(below, CellRegion::new(&[0, 0], &[1, 0]));
+        assert_eq!(covering, CellRegion::new(&[1, 1], &[4, 1]));
+        assert_eq!(above, CellRegion::new(&[4, 2], &[5, 2]));
+    }
+
+    #[test]
+    fn buddy_detection() {
+        let a = CellRegion::new(&[0, 0], &[1, 1]);
+        let b = CellRegion::new(&[2, 0], &[2, 1]);
+        assert!(a.is_buddy_of(&b));
+        assert!(b.is_buddy_of(&a));
+        let merged = a.merge_with(&b);
+        assert_eq!(merged, CellRegion::new(&[0, 0], &[2, 1]));
+
+        // Diagonal: not buddies.
+        let c = CellRegion::new(&[2, 2], &[2, 2]);
+        assert!(!a.is_buddy_of(&c));
+        // Gap: not buddies.
+        let d = CellRegion::new(&[3, 0], &[3, 1]);
+        assert!(!a.is_buddy_of(&d));
+        // Mismatched cross-section: not buddies.
+        let e = CellRegion::new(&[2, 0], &[2, 2]);
+        assert!(!a.is_buddy_of(&e));
+        // Identical: not buddies (overlap, not adjacency).
+        assert!(!a.is_buddy_of(&a));
+    }
+
+    #[test]
+    fn cell_iteration_row_major() {
+        let r = CellRegion::new(&[1, 2], &[2, 3]);
+        let mut cells = Vec::new();
+        r.for_each_cell(|c| cells.push(c.to_vec()));
+        assert_eq!(cells, vec![vec![1, 2], vec![1, 3], vec![2, 2], vec![2, 3]]);
+    }
+
+    #[test]
+    fn cell_iteration_single() {
+        let r = CellRegion::single(&[7, 8, 9]);
+        let mut cells = Vec::new();
+        r.for_each_cell(|c| cells.push(c.to_vec()));
+        assert_eq!(cells, vec![vec![7, 8, 9]]);
+    }
+}

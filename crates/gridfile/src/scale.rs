@@ -1,0 +1,208 @@
+//! Linear scales: the per-dimension partitions of a grid file.
+//!
+//! A linear scale divides one axis of the domain `[lo, hi)` into cells by a
+//! sorted sequence of interior cut points. Cell `i` covers
+//! `[boundary(i), boundary(i+1))` where `boundary(0) = lo` and
+//! `boundary(n) = hi`.
+
+/// A one-dimensional partition of `[lo, hi)`.
+#[derive(Clone, Debug)]
+pub struct LinearScale {
+    lo: f64,
+    hi: f64,
+    /// Sorted interior cut points, all strictly inside `(lo, hi)`.
+    cuts: Vec<f64>,
+}
+
+impl LinearScale {
+    /// Creates a scale with no interior cuts (a single cell).
+    ///
+    /// # Panics
+    /// Panics unless `lo < hi` and both are finite.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        assert!(lo < hi, "scale interval is empty: [{lo}, {hi})");
+        LinearScale {
+            lo,
+            hi,
+            cuts: Vec::new(),
+        }
+    }
+
+    /// Creates a scale with the given interior cuts (will be sorted,
+    /// deduplicated and validated).
+    pub fn with_cuts(lo: f64, hi: f64, mut cuts: Vec<f64>) -> Self {
+        let mut s = Self::new(lo, hi);
+        cuts.retain(|&c| c > lo && c < hi);
+        cuts.sort_by(|a, b| a.partial_cmp(b).expect("cuts must not be NaN"));
+        cuts.dedup();
+        s.cuts = cuts;
+        s
+    }
+
+    /// Lower bound of the scale's domain.
+    #[inline]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the scale's domain.
+    #[inline]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Number of cells (always `cuts + 1`).
+    #[inline]
+    pub fn n_cells(&self) -> usize {
+        self.cuts.len() + 1
+    }
+
+    /// The sorted interior cut points.
+    #[inline]
+    pub fn cuts(&self) -> &[f64] {
+        &self.cuts
+    }
+
+    /// The cell containing coordinate `x`.
+    ///
+    /// Values below the domain clamp to the first cell, values at or above
+    /// `hi` clamp to the last cell — boundary records always land somewhere,
+    /// the closed-query convention of the simulator.
+    #[inline]
+    pub fn cell_of(&self, x: f64) -> usize {
+        // partition_point returns the number of cuts <= x, which is exactly
+        // the index of the cell whose half-open interval contains x.
+        self.cuts.partition_point(|&c| c <= x)
+    }
+
+    /// The `[lo, hi)` interval of cell `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= n_cells()`.
+    #[inline]
+    pub fn cell_bounds(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.n_cells(), "cell index {i} out of range");
+        let lo = if i == 0 { self.lo } else { self.cuts[i - 1] };
+        let hi = if i == self.cuts.len() {
+            self.hi
+        } else {
+            self.cuts[i]
+        };
+        (lo, hi)
+    }
+
+    /// Inserts a new cut at `x`, splitting the cell that contains it.
+    /// Returns the index of the cell that was split (the lower of the two
+    /// resulting cells keeps that index; every higher cell shifts up by one).
+    ///
+    /// # Panics
+    /// Panics if `x` is outside `(lo, hi)` or coincides with an existing cut
+    /// (which would create an empty cell).
+    pub fn insert_cut(&mut self, x: f64) -> usize {
+        assert!(
+            x > self.lo && x < self.hi,
+            "cut {x} outside open interval ({}, {})",
+            self.lo,
+            self.hi
+        );
+        let idx = self.cuts.partition_point(|&c| c < x);
+        assert!(
+            idx == self.cuts.len() || self.cuts[idx] != x,
+            "duplicate cut at {x}"
+        );
+        self.cuts.insert(idx, x);
+        idx
+    }
+
+    /// Removes the cut between cells `i` and `i + 1`, merging them.
+    ///
+    /// # Panics
+    /// Panics if there is no such cut.
+    pub fn remove_cut_after(&mut self, i: usize) {
+        assert!(i < self.cuts.len(), "no cut after cell {i}");
+        self.cuts.remove(i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cell_scale() {
+        let s = LinearScale::new(0.0, 10.0);
+        assert_eq!(s.n_cells(), 1);
+        assert_eq!(s.cell_of(0.0), 0);
+        assert_eq!(s.cell_of(9.99), 0);
+        assert_eq!(s.cell_of(10.0), 0); // clamps
+        assert_eq!(s.cell_bounds(0), (0.0, 10.0));
+    }
+
+    #[test]
+    fn cell_lookup_with_cuts() {
+        let s = LinearScale::with_cuts(0.0, 10.0, vec![2.0, 5.0]);
+        assert_eq!(s.n_cells(), 3);
+        assert_eq!(s.cell_of(0.0), 0);
+        assert_eq!(s.cell_of(1.999), 0);
+        assert_eq!(s.cell_of(2.0), 1); // boundary belongs to upper cell
+        assert_eq!(s.cell_of(4.999), 1);
+        assert_eq!(s.cell_of(5.0), 2);
+        assert_eq!(s.cell_of(100.0), 2); // clamps
+        assert_eq!(s.cell_bounds(1), (2.0, 5.0));
+    }
+
+    #[test]
+    fn insert_cut_splits_correct_cell() {
+        let mut s = LinearScale::with_cuts(0.0, 10.0, vec![5.0]);
+        let split = s.insert_cut(2.5);
+        assert_eq!(split, 0);
+        assert_eq!(s.n_cells(), 3);
+        assert_eq!(s.cell_bounds(0), (0.0, 2.5));
+        assert_eq!(s.cell_bounds(1), (2.5, 5.0));
+        let split = s.insert_cut(7.5);
+        assert_eq!(split, 2);
+        assert_eq!(s.cell_bounds(3), (7.5, 10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate cut")]
+    fn duplicate_cut_rejected() {
+        let mut s = LinearScale::with_cuts(0.0, 10.0, vec![5.0]);
+        s.insert_cut(5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside open interval")]
+    fn out_of_range_cut_rejected() {
+        let mut s = LinearScale::new(0.0, 10.0);
+        s.insert_cut(10.0);
+    }
+
+    #[test]
+    fn remove_cut() {
+        let mut s = LinearScale::with_cuts(0.0, 10.0, vec![2.0, 5.0]);
+        s.remove_cut_after(0);
+        assert_eq!(s.n_cells(), 2);
+        assert_eq!(s.cell_bounds(0), (0.0, 5.0));
+    }
+
+    #[test]
+    fn with_cuts_sanitizes() {
+        let s = LinearScale::with_cuts(0.0, 10.0, vec![5.0, 2.0, 5.0, -1.0, 11.0]);
+        assert_eq!(s.cuts(), &[2.0, 5.0]);
+    }
+
+    #[test]
+    fn cell_bounds_tile_domain() {
+        let s = LinearScale::with_cuts(0.0, 1.0, vec![0.25, 0.5, 0.75]);
+        let mut expected_lo = 0.0;
+        for i in 0..s.n_cells() {
+            let (lo, hi) = s.cell_bounds(i);
+            assert_eq!(lo, expected_lo);
+            assert!(hi > lo);
+            expected_lo = hi;
+        }
+        assert_eq!(expected_lo, 1.0);
+    }
+}

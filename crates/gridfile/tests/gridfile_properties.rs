@@ -1,0 +1,140 @@
+//! Property-based tests on grid-file invariants.
+
+use pargrid_geom::{Point, Rect};
+use pargrid_gridfile::{GridConfig, GridFile, Record};
+use proptest::prelude::*;
+
+fn build_file(points: &[(f64, f64)], capacity: usize) -> GridFile {
+    let cfg = GridConfig::with_capacity(Rect::new2(0.0, 0.0, 1000.0, 1000.0), capacity);
+    GridFile::bulk_load(
+        cfg,
+        points
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Record::new(i as u64, Point::new2(x, y))),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn invariants_hold_after_random_inserts(
+        points in prop::collection::vec((0.0f64..1000.0, 0.0f64..1000.0), 0..400),
+        capacity in 2usize..20,
+    ) {
+        let gf = build_file(&points, capacity);
+        gf.check_invariants();
+        prop_assert_eq!(gf.len(), points.len() as u64);
+    }
+
+    #[test]
+    fn every_point_remains_findable(
+        points in prop::collection::vec((0.0f64..1000.0, 0.0f64..1000.0), 1..200),
+        capacity in 2usize..10,
+    ) {
+        let gf = build_file(&points, capacity);
+        for (i, &(x, y)) in points.iter().enumerate() {
+            let found = gf.lookup(&Point::new2(x, y));
+            prop_assert!(
+                found.iter().any(|r| r.id == i as u64),
+                "record {i} at ({x}, {y}) lost"
+            );
+        }
+    }
+
+    #[test]
+    fn range_query_matches_brute_force(
+        points in prop::collection::vec((0.0f64..1000.0, 0.0f64..1000.0), 0..200),
+        capacity in 2usize..10,
+        qx in 0.0f64..900.0,
+        qy in 0.0f64..900.0,
+        qw in 0.0f64..500.0,
+        qh in 0.0f64..500.0,
+    ) {
+        let gf = build_file(&points, capacity);
+        let q = Rect::new2(qx, qy, qx + qw, qy + qh);
+        let (buckets, recs) = gf.range_query(&q);
+        let expected: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(x, y))| q.contains_closed(&Point::new2(x, y)))
+            .map(|(i, _)| i)
+            .collect();
+        let mut got: Vec<usize> = recs.iter().map(|r| r.id as usize).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, expected);
+        // Bucket list is sorted and unique.
+        let mut sorted = buckets.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(buckets, sorted);
+    }
+
+    #[test]
+    fn bucket_regions_partition_the_grid(
+        points in prop::collection::vec((0.0f64..1000.0, 0.0f64..1000.0), 0..300),
+        capacity in 2usize..8,
+    ) {
+        // Sum of region cell counts over live buckets == total cells.
+        let gf = build_file(&points, capacity);
+        let total: u64 = gf.live_buckets().map(|(_, r, _)| r.cell_count()).sum();
+        prop_assert_eq!(total, gf.stats().n_cells);
+    }
+
+    #[test]
+    fn deletions_restore_emptiness(
+        points in prop::collection::vec((0.0f64..1000.0, 0.0f64..1000.0), 1..150),
+        capacity in 2usize..8,
+    ) {
+        let mut gf = build_file(&points, capacity);
+        for (i, &(x, y)) in points.iter().enumerate() {
+            prop_assert!(gf.delete(i as u64, &Point::new2(x, y)));
+        }
+        prop_assert!(gf.is_empty());
+        gf.check_invariants();
+    }
+
+    #[test]
+    fn partial_match_matches_brute_force(
+        points in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..200),
+        capacity in 2usize..8,
+        pick in 0usize..200,
+    ) {
+        let gf = build_file(&points, capacity);
+        // Query one existing x value with y unspecified.
+        let x = points[pick % points.len()].0;
+        let (_, recs) = gf.partial_match(&[Some(x), None]);
+        let expected = points.iter().filter(|&&(px, _)| px == x).count();
+        prop_assert_eq!(recs.len(), expected);
+    }
+}
+
+/// Grid files over 3-D data keep invariants too (regression guard for the
+/// odometer loops that are easy to get wrong beyond 2-D).
+#[test]
+fn three_dimensional_file() {
+    let cfg = GridConfig::with_capacity(
+        Rect::new(Point::new3(0.0, 0.0, 0.0), Point::new3(10.0, 10.0, 10.0)),
+        4,
+    );
+    let mut x = 42u64;
+    let recs: Vec<Record> = (0..800u64)
+        .map(|i| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = ((x >> 8) % 1000) as f64 / 100.0;
+            let b = ((x >> 24) % 1000) as f64 / 100.0;
+            let c = ((x >> 40) % 1000) as f64 / 100.0;
+            Record::new(i, Point::new3(a, b, c))
+        })
+        .collect();
+    let gf = GridFile::bulk_load(cfg, recs.iter().copied());
+    gf.check_invariants();
+    assert_eq!(gf.len(), 800);
+    let q = Rect::new(Point::new3(2.0, 2.0, 2.0), Point::new3(8.0, 8.0, 8.0));
+    let (_, got) = gf.range_query(&q);
+    let expected = recs.iter().filter(|r| q.contains_closed(&r.point)).count();
+    assert_eq!(got.len(), expected);
+}

@@ -1,0 +1,142 @@
+//! Property tests for the lower-level grid-file structures: directory
+//! growth, page codec, scales and persistence.
+
+use pargrid_geom::{Point, Rect};
+use pargrid_gridfile::page::{decode_page, encode_page};
+use pargrid_gridfile::{Directory, GridConfig, GridFile, LinearScale, Record};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random sequences of directory growths keep every cell mapped and
+    /// agree with a naive model.
+    #[test]
+    fn directory_growth_matches_naive_model(
+        splits in prop::collection::vec((0usize..2, 0u32..6), 0..10),
+    ) {
+        let mut dir = Directory::new(2);
+        // Naive model: 2-D vector of bucket ids.
+        let mut model: Vec<Vec<u32>> = vec![vec![0]];
+        for (step, (k, c)) in splits.into_iter().enumerate() {
+            let stamp = step as u32 + 1;
+            let sizes = [model.len() as u32, model[0].len() as u32];
+            let c = c % sizes[k];
+            dir.grow(k, c);
+            match k {
+                0 => model.insert(c as usize + 1, model[c as usize].clone()),
+                _ => {
+                    for row in &mut model {
+                        let v = row[c as usize];
+                        row.insert(c as usize + 1, v);
+                    }
+                }
+            }
+            // Mutate one random-ish cell through both representations so
+            // later splits propagate non-trivial content.
+            let x = (stamp as usize * 7) % model.len();
+            let y = (stamp as usize * 13) % model[0].len();
+            dir.set_bucket_at(&[x as u32, y as u32], stamp);
+            model[x][y] = stamp;
+        }
+        prop_assert_eq!(dir.sizes(), &[model.len() as u32, model[0].len() as u32]);
+        for (x, row) in model.iter().enumerate() {
+            for (y, &b) in row.iter().enumerate() {
+                prop_assert_eq!(dir.bucket_at(&[x as u32, y as u32]), b);
+            }
+        }
+    }
+
+    /// Page encode/decode round-trips arbitrary records.
+    #[test]
+    fn page_roundtrip(
+        coords in prop::collection::vec((any::<u64>(), -1e9f64..1e9, -1e9f64..1e9), 0..40),
+        payload in 0usize..32,
+    ) {
+        let records: Vec<Record> = coords
+            .iter()
+            .map(|&(id, x, y)| Record::new(id, Point::new2(x, y)))
+            .collect();
+        let rec_size = Record::encoded_size(2, payload);
+        let page = encode_page(&records, 2, payload, 40 * rec_size);
+        prop_assert_eq!(decode_page(&page, payload), records);
+    }
+
+    /// Scales: cell_of is the inverse of cell_bounds on interior points.
+    #[test]
+    fn scale_cell_of_inverts_bounds(
+        cuts in prop::collection::vec(0.01f64..0.99, 0..12),
+        probe in 0.0f64..1.0,
+    ) {
+        let s = LinearScale::with_cuts(0.0, 1.0, cuts);
+        let cell = s.cell_of(probe);
+        let (lo, hi) = s.cell_bounds(cell);
+        prop_assert!(lo <= probe && (probe < hi || probe >= s.hi() - f64::EPSILON));
+        // Bounds tile the domain.
+        let mut edge = 0.0;
+        for i in 0..s.n_cells() {
+            let (lo, hi) = s.cell_bounds(i);
+            prop_assert_eq!(lo, edge);
+            prop_assert!(hi > lo);
+            edge = hi;
+        }
+        prop_assert_eq!(edge, 1.0);
+    }
+
+    /// Persistence round-trips arbitrary files built from random points.
+    #[test]
+    fn persist_roundtrip(
+        points in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..200),
+        capacity in 2usize..10,
+    ) {
+        let cfg = GridConfig::with_capacity(Rect::new2(0.0, 0.0, 100.0, 100.0), capacity);
+        let gf = GridFile::bulk_load(
+            cfg,
+            points
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| Record::new(i as u64, Point::new2(x, y))),
+        );
+        let back = GridFile::from_bytes(&gf.to_bytes()).expect("roundtrip");
+        back.check_invariants();
+        prop_assert_eq!(back.len(), gf.len());
+        prop_assert_eq!(back.cells_per_dim(), gf.cells_per_dim());
+        // A probe query agrees.
+        let q = Rect::new2(10.0, 10.0, 60.0, 60.0);
+        let (b1, r1) = gf.range_query(&q);
+        let (_b2, r2) = back.range_query(&q);
+        let mut ids1: Vec<u64> = r1.iter().map(|r| r.id).collect();
+        let mut ids2: Vec<u64> = r2.iter().map(|r| r.id).collect();
+        ids1.sort_unstable();
+        ids2.sort_unstable();
+        prop_assert_eq!(ids1, ids2);
+        let any_inside = points
+            .iter()
+            .any(|&(x, y)| (10.0..=60.0).contains(&x) && (10.0..=60.0).contains(&y));
+        prop_assert!(!b1.is_empty() || !any_inside);
+    }
+
+    /// Random corruption of a persisted image never panics: it either fails
+    /// cleanly or yields a file that still satisfies its own invariants.
+    #[test]
+    fn persist_rejects_or_survives_corruption(
+        flip_at in 0usize..4096,
+        flip_bits in 1u8..=255,
+    ) {
+        let cfg = GridConfig::with_capacity(Rect::new2(0.0, 0.0, 100.0, 100.0), 4);
+        let gf = GridFile::bulk_load(
+            cfg,
+            (0..100u64).map(|i| {
+                Record::new(i, Point::new2((i % 10) as f64 * 9.9, (i / 10) as f64 * 9.9))
+            }),
+        );
+        let mut bytes = gf.to_bytes();
+        let idx = flip_at % bytes.len();
+        bytes[idx] ^= flip_bits;
+        // Must not panic; Ok is acceptable when the flipped byte is benign
+        // (e.g. inside a record coordinate).
+        if let Ok(loaded) = GridFile::from_bytes(&bytes) {
+            prop_assert_eq!(loaded.cells_per_dim().len(), 2);
+        }
+    }
+}

@@ -1,0 +1,643 @@
+//! The coordinator and the public engine API.
+//!
+//! `ParallelGridFile::build` declusters a grid file onto `P` worker threads
+//! (one simulated disk each, exactly the paper's one-disk-per-processor
+//! simplification), then `query`/`run_workload` drive the SPMD protocol:
+//!
+//! 1. the coordinator translates the range query into block requests using
+//!    the grid directory (which the paper stores on the coordinator's disk),
+//! 2. involved workers read their blocks (virtual disk time, LRU cache),
+//!    decode the real pages and filter records,
+//! 3. replies stream back; the coordinator merges them.
+//!
+//! Virtual elapsed time of a query = slowest worker's (disk + CPU) time plus
+//! communication time; communication = one broadcast latency plus each
+//! reply's (latency + bytes / bandwidth), serialized at the coordinator's
+//! adapter — which is why the paper's communication column grows with the
+//! query ratio `r` (§ 3.5: "the size of answer sets tends to grow").
+
+use crate::disk::DiskParams;
+use crate::message::{FromWorker, ToWorker};
+use crate::worker::{run_worker, WorkerState};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use pargrid_core::Assignment;
+use pargrid_geom::Rect;
+use pargrid_gridfile::page::encode_page;
+use pargrid_gridfile::{GridFile, Record};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Interconnect cost model (SP-2-class switch).
+#[derive(Clone, Copy, Debug)]
+pub struct NetParams {
+    /// Per-message latency in virtual microseconds.
+    pub latency_us: u64,
+    /// Bandwidth in bytes per virtual microsecond (35 ≈ 35 MB/s).
+    pub bytes_per_us: u64,
+}
+
+impl Default for NetParams {
+    fn default() -> Self {
+        NetParams {
+            latency_us: 40,
+            bytes_per_us: 35,
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Clone, Debug, Default)]
+pub struct EngineConfig {
+    /// Disk model parameters (per worker).
+    pub disk: DiskParams,
+    /// Network parameters.
+    pub net: NetParams,
+    /// When set, each worker's blocks are written to a real file
+    /// `<spill_dir>/worker-<i>.blocks` and served with positioned reads —
+    /// the paper's "separate files corresponding to every disk" layout.
+    /// `None` keeps blocks in memory.
+    pub spill_dir: Option<std::path::PathBuf>,
+    /// Disks per worker (0 is treated as 1). The paper's SP-2 had seven
+    /// disks per processor; its simulation study assumes one.
+    pub disks_per_worker: usize,
+}
+
+impl EngineConfig {
+    /// In-memory configuration with default disk and network models.
+    pub fn in_memory() -> Self {
+        Self::default()
+    }
+
+    /// File-backed configuration (see [`EngineConfig::spill_dir`]).
+    pub fn file_backed<P: Into<std::path::PathBuf>>(dir: P) -> Self {
+        EngineConfig {
+            spill_dir: Some(dir.into()),
+            ..Self::default()
+        }
+    }
+
+    /// The paper's SP-2 hardware configuration: seven disks per processor.
+    pub fn sp2_seven_disks() -> Self {
+        EngineConfig {
+            disks_per_worker: 7,
+            ..Self::default()
+        }
+    }
+}
+
+/// Result of a single query.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// Qualifying records, merged from all workers (sorted by id).
+    pub records: Vec<Record>,
+    /// The §2.2 response time in blocks: `max_i N_i(q)`.
+    pub response_blocks: u64,
+    /// Total blocks requested across workers.
+    pub total_blocks: u64,
+    /// Buffer-cache hits among them.
+    pub cache_hits: u64,
+    /// Virtual elapsed time of the query (microseconds).
+    pub elapsed_us: u64,
+    /// Virtual communication time of the query (microseconds).
+    pub comm_us: u64,
+}
+
+/// Accumulated results of a workload run — the columns of Tables 4 and 5.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Number of queries processed.
+    pub queries: u64,
+    /// Sum of per-query response times in blocks fetched
+    /// ("response time by definition").
+    pub response_blocks: u64,
+    /// Total blocks requested.
+    pub total_blocks: u64,
+    /// Total cache hits.
+    pub cache_hits: u64,
+    /// Total records returned.
+    pub records: u64,
+    /// Total virtual communication time (microseconds).
+    pub comm_us: u64,
+    /// Total virtual elapsed time (microseconds).
+    pub elapsed_us: u64,
+}
+
+impl RunStats {
+    /// Communication time in seconds (the paper's unit).
+    pub fn comm_seconds(&self) -> f64 {
+        self.comm_us as f64 / 1e6
+    }
+
+    /// Elapsed time in seconds (the paper's unit).
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.elapsed_us as f64 / 1e6
+    }
+}
+
+/// A parallel grid file: coordinator-side handle plus worker threads.
+pub struct ParallelGridFile {
+    gf: Arc<GridFile>,
+    net: NetParams,
+    record_bytes: usize,
+    /// bucket id -> (worker, blocks of that bucket).
+    placement: HashMap<u32, (usize, Vec<u32>)>,
+    to_workers: Vec<Sender<ToWorker>>,
+    from_workers: Receiver<FromWorker>,
+    handles: Vec<JoinHandle<()>>,
+    next_query_id: u64,
+}
+
+impl ParallelGridFile {
+    /// Distributes the grid file's buckets over `assignment.n_disks()`
+    /// workers (one disk per worker) and spawns the worker threads.
+    ///
+    /// Each bucket becomes one 8 KB-class block on its worker; oversize
+    /// buckets (inseparable duplicates) spill into additional consecutive
+    /// blocks. Block ids are consecutive per worker in bucket order, so
+    /// spatially-clustered buckets benefit from the sequential-read rate.
+    pub fn build(gf: Arc<GridFile>, assignment: &Assignment, config: EngineConfig) -> Self {
+        let n_workers = assignment.n_disks();
+        assert!(n_workers >= 1, "need at least one worker");
+        let dim = gf.dim();
+        let payload = gf.config().payload_bytes;
+        let page_bytes = gf.config().page_bytes;
+        let capacity = gf.bucket_capacity();
+
+        let block_bytes = pargrid_gridfile::page::HEADER_BYTES + page_bytes;
+        let mut workers: Vec<WorkerState> = (0..n_workers)
+            .map(|w| {
+                let store = match &config.spill_dir {
+                    None => crate::store::BlockStore::memory(),
+                    Some(dir) => crate::store::BlockStore::file(
+                        dir.join(format!("worker-{w}.blocks")),
+                        block_bytes,
+                    )
+                    .expect("cannot create worker block file"),
+                };
+                WorkerState::with_disks(
+                    w,
+                    payload,
+                    config.disk,
+                    store,
+                    config.disks_per_worker.max(1),
+                )
+            })
+            .collect();
+        let mut next_block = vec![0u32; n_workers];
+        let mut placement = HashMap::new();
+
+        for (id, _region, _len) in gf.live_buckets() {
+            let w = assignment.disk_of_id(id) as usize;
+            let records = gf.bucket_records(id);
+            let mut blocks = Vec::with_capacity(records.len().div_ceil(capacity.max(1)).max(1));
+            for chunk in records.chunks(capacity.max(1)) {
+                let block = next_block[w];
+                next_block[w] += 1;
+                workers[w]
+                    .store
+                    .put(block, encode_page(chunk, dim, payload, page_bytes))
+                    .expect("cannot write block");
+                blocks.push(block);
+            }
+            if blocks.is_empty() {
+                // Empty bucket still occupies one (empty) block on disk.
+                let block = next_block[w];
+                next_block[w] += 1;
+                workers[w]
+                    .store
+                    .put(block, encode_page(&[], dim, payload, page_bytes))
+                    .expect("cannot write block");
+                blocks.push(block);
+            }
+            placement.insert(id, (w, blocks));
+        }
+
+        let (from_tx, from_workers) = unbounded();
+        let mut to_workers = Vec::with_capacity(n_workers);
+        let mut handles = Vec::with_capacity(n_workers);
+        for state in workers {
+            let (to_tx, to_rx) = unbounded();
+            handles.push(run_worker(state, to_rx, from_tx.clone()));
+            to_workers.push(to_tx);
+        }
+
+        ParallelGridFile {
+            record_bytes: gf.config().record_bytes(),
+            gf,
+            net: config.net,
+            placement,
+            to_workers,
+            from_workers,
+            handles,
+            next_query_id: 0,
+        }
+    }
+
+    /// Number of workers.
+    pub fn n_workers(&self) -> usize {
+        self.to_workers.len()
+    }
+
+    /// Executes one range query through the SPMD protocol.
+    pub fn query(&mut self, rect: &Rect) -> QueryOutcome {
+        let query_id = self.next_query_id;
+        self.next_query_id += 1;
+
+        // Coordinator: translate the query into per-worker block requests.
+        let buckets = self.gf.range_query_buckets(rect);
+        let mut per_worker: HashMap<usize, Vec<u32>> = HashMap::new();
+        for b in &buckets {
+            let (w, blocks) = &self.placement[b];
+            per_worker.entry(*w).or_default().extend_from_slice(blocks);
+        }
+
+        let involved = per_worker.len();
+        let mut response_blocks = 0u64;
+        for (&w, blocks) in &per_worker {
+            response_blocks = response_blocks.max(blocks.len() as u64);
+            self.to_workers[w]
+                .send(ToWorker::Read {
+                    query_id,
+                    blocks: blocks.clone(),
+                    query: *rect,
+                })
+                .expect("worker channel closed");
+        }
+
+        // Collect replies; virtual times accumulate per the model in the
+        // module docs.
+        let mut records = Vec::new();
+        let mut max_worker_us = 0u64;
+        let mut comm_us = if involved > 0 { self.net.latency_us } else { 0 };
+        let mut total_blocks = 0u64;
+        let mut cache_hits = 0u64;
+        for _ in 0..involved {
+            let reply = self.from_workers.recv().expect("worker died");
+            assert_eq!(reply.query_id, query_id, "out-of-order reply");
+            max_worker_us = max_worker_us.max(reply.disk_us + reply.cpu_us);
+            total_blocks += reply.blocks_requested;
+            cache_hits += reply.cache_hits;
+            let reply_bytes = 32 + reply.records.len() * self.record_bytes;
+            comm_us += self.net.latency_us + reply_bytes as u64 / self.net.bytes_per_us.max(1);
+            records.extend(reply.records);
+        }
+        records.sort_unstable_by_key(|r| r.id);
+
+        QueryOutcome {
+            records,
+            response_blocks,
+            total_blocks,
+            cache_hits,
+            elapsed_us: max_worker_us + comm_us,
+            comm_us,
+        }
+    }
+
+    /// Runs a whole workload, accumulating the Tables 4–5 columns.
+    pub fn run_workload(&mut self, workload: &pargrid_sim::QueryWorkload) -> RunStats {
+        let mut stats = RunStats::default();
+        for q in &workload.queries {
+            let out = self.query(q);
+            stats.queries += 1;
+            stats.response_blocks += out.response_blocks;
+            stats.total_blocks += out.total_blocks;
+            stats.cache_hits += out.cache_hits;
+            stats.records += out.records.len() as u64;
+            stats.comm_us += out.comm_us;
+            stats.elapsed_us += out.elapsed_us;
+        }
+        stats
+    }
+
+    /// Runs a workload with up to `window` queries in flight at once.
+    ///
+    /// The sequential [`ParallelGridFile::query`] leaves every disk idle
+    /// while the slowest one finishes; pipelining keeps all disks busy
+    /// across query boundaries (the "various access patterns" §4 anticipates
+    /// for a multi-user front end). Virtual time is accounted as a makespan:
+    /// each worker's disk busy time accumulates independently and the run's
+    /// elapsed time is the busiest worker's total plus communication — a
+    /// lower bound a real scheduler can approach.
+    ///
+    /// Returns the per-query outcomes (records identical to sequential
+    /// execution) plus the aggregate stats, whose `elapsed_us` is the
+    /// pipelined makespan.
+    pub fn run_workload_pipelined(
+        &mut self,
+        workload: &pargrid_sim::QueryWorkload,
+        window: usize,
+    ) -> (Vec<QueryOutcome>, RunStats) {
+        assert!(window >= 1, "window must be at least 1");
+        let n = workload.queries.len();
+        let mut outcomes: Vec<Option<QueryOutcome>> = (0..n).map(|_| None).collect();
+        let mut stats = RunStats::default();
+        let mut worker_busy_us = vec![0u64; self.n_workers()];
+
+        // Per in-flight query bookkeeping.
+        struct InFlight {
+            awaiting: usize,
+            response_blocks: u64,
+            total_blocks: u64,
+            cache_hits: u64,
+            comm_us: u64,
+            records: Vec<Record>,
+        }
+        let mut in_flight: HashMap<u64, (usize, InFlight)> = HashMap::new();
+        let base_id = self.next_query_id;
+        let mut issued = 0usize;
+        let mut completed = 0usize;
+
+        while completed < n {
+            // Keep the window full.
+            while issued < n && in_flight.len() < window {
+                let rect = &workload.queries[issued];
+                let query_id = self.next_query_id;
+                self.next_query_id += 1;
+                let buckets = self.gf.range_query_buckets(rect);
+                let mut per_worker: HashMap<usize, Vec<u32>> = HashMap::new();
+                for b in &buckets {
+                    let (w, blocks) = &self.placement[b];
+                    per_worker.entry(*w).or_default().extend_from_slice(blocks);
+                }
+                let mut response_blocks = 0;
+                for (&w, blocks) in &per_worker {
+                    response_blocks = response_blocks.max(blocks.len() as u64);
+                    self.to_workers[w]
+                        .send(ToWorker::Read {
+                            query_id,
+                            blocks: blocks.clone(),
+                            query: *rect,
+                        })
+                        .expect("worker channel closed");
+                }
+                let awaiting = per_worker.len();
+                let comm_us = if awaiting > 0 { self.net.latency_us } else { 0 };
+                in_flight.insert(
+                    query_id,
+                    (
+                        issued,
+                        InFlight {
+                            awaiting,
+                            response_blocks,
+                            total_blocks: 0,
+                            cache_hits: 0,
+                            comm_us,
+                            records: Vec::new(),
+                        },
+                    ),
+                );
+                issued += 1;
+                // Zero-touch queries complete immediately.
+                if awaiting == 0 {
+                    let (pos, fl) = in_flight.remove(&query_id).expect("just inserted");
+                    outcomes[pos] = Some(QueryOutcome {
+                        records: Vec::new(),
+                        response_blocks: 0,
+                        total_blocks: 0,
+                        cache_hits: 0,
+                        elapsed_us: 0,
+                        comm_us: fl.comm_us,
+                    });
+                    completed += 1;
+                }
+            }
+            if completed == n {
+                break;
+            }
+            // Drain one reply.
+            let reply = self.from_workers.recv().expect("worker died");
+            assert!(reply.query_id >= base_id, "stale reply");
+            let (_, fl) = in_flight
+                .get_mut(&reply.query_id)
+                .expect("reply for unknown query");
+            worker_busy_us[reply.worker_id] += reply.disk_us + reply.cpu_us;
+            fl.total_blocks += reply.blocks_requested;
+            fl.cache_hits += reply.cache_hits;
+            let reply_bytes = 32 + reply.records.len() * self.record_bytes;
+            fl.comm_us += self.net.latency_us + reply_bytes as u64 / self.net.bytes_per_us.max(1);
+            fl.records.extend(reply.records);
+            fl.awaiting -= 1;
+            if fl.awaiting == 0 {
+                let (pos, mut fl) = in_flight.remove(&reply.query_id).expect("present");
+                fl.records.sort_unstable_by_key(|r| r.id);
+                outcomes[pos] = Some(QueryOutcome {
+                    response_blocks: fl.response_blocks,
+                    total_blocks: fl.total_blocks,
+                    cache_hits: fl.cache_hits,
+                    elapsed_us: 0, // per-query latency is not defined under pipelining
+                    comm_us: fl.comm_us,
+                    records: fl.records,
+                });
+                completed += 1;
+            }
+        }
+
+        let outcomes: Vec<QueryOutcome> = outcomes
+            .into_iter()
+            .map(|o| o.expect("all queries completed"))
+            .collect();
+        for o in &outcomes {
+            stats.queries += 1;
+            stats.response_blocks += o.response_blocks;
+            stats.total_blocks += o.total_blocks;
+            stats.cache_hits += o.cache_hits;
+            stats.records += o.records.len() as u64;
+            stats.comm_us += o.comm_us;
+        }
+        stats.elapsed_us = worker_busy_us.iter().copied().max().unwrap_or(0) + stats.comm_us;
+        (outcomes, stats)
+    }
+}
+
+impl Drop for ParallelGridFile {
+    fn drop(&mut self) {
+        for tx in &self.to_workers {
+            let _ = tx.send(ToWorker::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pargrid_core::{DeclusterInput, DeclusterMethod, EdgeWeight};
+    use pargrid_geom::Point;
+    use pargrid_gridfile::{GridConfig, Record};
+    use pargrid_sim::QueryWorkload;
+
+    fn build_engine(n_workers: usize) -> (Arc<GridFile>, ParallelGridFile, Vec<Record>) {
+        let cfg = GridConfig::with_capacity(Rect::new2(0.0, 0.0, 100.0, 100.0), 8);
+        let mut recs = Vec::new();
+        let mut x = 1u64;
+        for i in 0..600u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            recs.push(Record::new(
+                i,
+                Point::new2(
+                    ((x >> 16) % 10000) as f64 / 100.0,
+                    ((x >> 40) % 10000) as f64 / 100.0,
+                ),
+            ));
+        }
+        let gf = Arc::new(GridFile::bulk_load(cfg, recs.iter().copied()));
+        let input = DeclusterInput::from_grid_file(&gf);
+        let assignment =
+            DeclusterMethod::Minimax(EdgeWeight::Proximity).assign(&input, n_workers, 7);
+        let engine = ParallelGridFile::build(Arc::clone(&gf), &assignment, EngineConfig::default());
+        (gf, engine, recs)
+    }
+
+    #[test]
+    fn query_returns_exactly_the_matching_records() {
+        let (_gf, mut engine, recs) = build_engine(4);
+        let q = Rect::new2(20.0, 20.0, 60.0, 60.0);
+        let out = engine.query(&q);
+        let mut expected: Vec<u64> = recs
+            .iter()
+            .filter(|r| q.contains_closed(&r.point))
+            .map(|r| r.id)
+            .collect();
+        expected.sort_unstable();
+        let got: Vec<u64> = out.records.iter().map(|r| r.id).collect();
+        assert_eq!(got, expected);
+        assert!(out.response_blocks > 0);
+        assert!(out.total_blocks >= out.response_blocks);
+        assert!(out.elapsed_us > out.comm_us);
+    }
+
+    #[test]
+    fn parallel_equals_sequential_results() {
+        let (gf, mut engine, _recs) = build_engine(8);
+        for (i, q) in [
+            Rect::new2(0.0, 0.0, 100.0, 100.0),
+            Rect::new2(90.0, 0.0, 100.0, 100.0),
+            Rect::new2(33.0, 33.0, 34.0, 34.0),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let out = engine.query(q);
+            let (_, mut expected) = gf.range_query(q);
+            expected.sort_unstable_by_key(|r| r.id);
+            assert_eq!(out.records, expected, "query {i}");
+        }
+    }
+
+    #[test]
+    fn more_workers_reduce_response_blocks() {
+        let w = QueryWorkload::square(&Rect::new2(0.0, 0.0, 100.0, 100.0), 0.1, 40, 3);
+        let (_g4, mut e4, _) = build_engine(4);
+        let (_g16, mut e16, _) = build_engine(16);
+        let s4 = e4.run_workload(&w);
+        let s16 = e16.run_workload(&w);
+        assert!(
+            (s16.response_blocks as f64) < 0.6 * s4.response_blocks as f64,
+            "4 workers: {}, 16 workers: {}",
+            s4.response_blocks,
+            s16.response_blocks
+        );
+        assert!(s16.elapsed_seconds() < s4.elapsed_seconds());
+        // Identical answers regardless of parallelism.
+        assert_eq!(s4.records, s16.records);
+    }
+
+    #[test]
+    fn empty_query_is_cheap_and_empty() {
+        let (_gf, mut engine, _recs) = build_engine(4);
+        let out = engine.query(&Rect::new2(200.0, 200.0, 300.0, 300.0));
+        assert!(out.records.is_empty());
+        assert_eq!(out.total_blocks, 0);
+        assert_eq!(out.comm_us, 0);
+        assert_eq!(out.elapsed_us, 0);
+    }
+
+    #[test]
+    fn repeated_queries_hit_worker_caches() {
+        let (_gf, mut engine, _recs) = build_engine(4);
+        let q = Rect::new2(10.0, 10.0, 50.0, 50.0);
+        let first = engine.query(&q);
+        let second = engine.query(&q);
+        assert_eq!(first.cache_hits, 0);
+        assert_eq!(second.cache_hits, second.total_blocks);
+        assert!(second.elapsed_us < first.elapsed_us);
+    }
+
+    #[test]
+    fn shutdown_is_clean() {
+        let (_gf, engine, _recs) = build_engine(3);
+        drop(engine); // must not hang or panic
+    }
+
+    #[test]
+    fn pipelined_matches_sequential_results() {
+        let (_gf, mut seq, _recs) = build_engine(6);
+        let (_gf2, mut pip, _recs2) = build_engine(6);
+        let w = QueryWorkload::square(&Rect::new2(0.0, 0.0, 100.0, 100.0), 0.05, 40, 21);
+        let (outcomes, pstats) = pip.run_workload_pipelined(&w, 8);
+        assert_eq!(outcomes.len(), 40);
+        let mut sstats = RunStats::default();
+        for (q, out) in w.queries.iter().zip(&outcomes) {
+            let s = seq.query(q);
+            assert_eq!(s.records, out.records);
+            assert_eq!(s.total_blocks, out.total_blocks);
+            sstats.elapsed_us += s.elapsed_us;
+        }
+        // Pipelining never exceeds sequential elapsed time (cache state
+        // matches because both engines saw the same query order).
+        assert!(
+            pstats.elapsed_us <= sstats.elapsed_us,
+            "pipelined {} > sequential {}",
+            pstats.elapsed_us,
+            sstats.elapsed_us
+        );
+        assert!(pstats.elapsed_us > 0);
+    }
+
+    #[test]
+    fn pipelined_window_one_equals_sequential_totals() {
+        let (_gf, mut a, _r) = build_engine(4);
+        let (_gf2, mut b, _r2) = build_engine(4);
+        let w = QueryWorkload::square(&Rect::new2(0.0, 0.0, 100.0, 100.0), 0.05, 15, 5);
+        let sa = a.run_workload(&w);
+        let (_, sb) = b.run_workload_pipelined(&w, 1);
+        assert_eq!(sa.total_blocks, sb.total_blocks);
+        assert_eq!(sa.records, sb.records);
+        assert_eq!(sa.response_blocks, sb.response_blocks);
+    }
+
+    #[test]
+    fn file_backed_store_matches_memory() {
+        let dir = std::env::temp_dir().join("pargrid_engine_spill_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let (gf, mut mem_engine, _recs) = build_engine(4);
+        let input = DeclusterInput::from_grid_file(&gf);
+        let assignment = DeclusterMethod::Minimax(EdgeWeight::Proximity).assign(&input, 4, 7);
+        let mut file_engine = ParallelGridFile::build(
+            Arc::clone(&gf),
+            &assignment,
+            EngineConfig::file_backed(&dir),
+        );
+        let w = QueryWorkload::square(&Rect::new2(0.0, 0.0, 100.0, 100.0), 0.08, 25, 13);
+        for q in &w.queries {
+            let a = mem_engine.query(q);
+            let b = file_engine.query(q);
+            assert_eq!(a.records, b.records);
+            assert_eq!(a.total_blocks, b.total_blocks);
+        }
+        // Real block files exist with the expected geometry.
+        let f = std::fs::metadata(dir.join("worker-0.blocks")).expect("file exists");
+        assert!(f.len() > 0);
+        assert_eq!(
+            f.len() % (gf.config().page_bytes as u64 + 4),
+            0,
+            "file is whole blocks"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,39 @@
+//! Coordinator <-> worker message protocol.
+
+use pargrid_geom::Rect;
+use pargrid_gridfile::Record;
+
+/// Messages the coordinator sends to a worker.
+#[derive(Debug)]
+pub enum ToWorker {
+    /// Read the given blocks, filter records against the query box, reply.
+    Read {
+        /// Query sequence number (echoed in the reply).
+        query_id: u64,
+        /// Block ids on this worker's disk.
+        blocks: Vec<u32>,
+        /// The range query (closed box) records must satisfy.
+        query: Rect,
+    },
+    /// Terminate the worker loop.
+    Shutdown,
+}
+
+/// A worker's reply to one `Read`.
+#[derive(Debug)]
+pub struct FromWorker {
+    /// Echo of the request's query id.
+    pub query_id: u64,
+    /// Which worker replied.
+    pub worker_id: usize,
+    /// Blocks requested of this worker for the query.
+    pub blocks_requested: u64,
+    /// How many of those were buffer-cache hits.
+    pub cache_hits: u64,
+    /// Virtual disk time consumed (microseconds).
+    pub disk_us: u64,
+    /// Virtual CPU time for decoding and filtering (microseconds).
+    pub cpu_us: u64,
+    /// The qualifying records.
+    pub records: Vec<Record>,
+}

@@ -1,0 +1,198 @@
+//! Worker block stores: in-memory or backed by a real per-worker file.
+//!
+//! The paper's simulator "declusters [the dataset] to separate files
+//! corresponding to every disk being simulated". The file-backed store
+//! reproduces that layout: each worker owns one file of fixed-size blocks
+//! and serves reads with positioned I/O (`pread`), so the data path of the
+//! SPMD engine can exercise the real filesystem while timing stays on the
+//! virtual disk model.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::Path;
+
+#[cfg(unix)]
+use std::os::unix::fs::FileExt;
+
+/// Where a worker's blocks live.
+pub enum BlockStore {
+    /// Blocks held in memory (the default; fastest, fully deterministic).
+    Memory(HashMap<u32, Vec<u8>>),
+    /// Blocks in a single file of `block_bytes`-sized slots, block id =
+    /// slot index.
+    File {
+        /// The backing file.
+        file: File,
+        /// Size of every block.
+        block_bytes: usize,
+        /// Number of blocks written.
+        n_blocks: u32,
+    },
+}
+
+impl BlockStore {
+    /// Creates an empty in-memory store.
+    pub fn memory() -> Self {
+        BlockStore::Memory(HashMap::new())
+    }
+
+    /// Creates a file-backed store at `path` (truncating any existing file).
+    pub fn file<P: AsRef<Path>>(path: P, block_bytes: usize) -> io::Result<Self> {
+        if let Some(parent) = path.as_ref().parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(BlockStore::File {
+            file,
+            block_bytes,
+            n_blocks: 0,
+        })
+    }
+
+    /// Stores a block. For file stores, blocks must be appended in id order
+    /// (the engine allocates ids sequentially per worker).
+    ///
+    /// # Panics
+    /// Panics on id gaps or size mismatches for file stores.
+    pub fn put(&mut self, block: u32, bytes: Vec<u8>) -> io::Result<()> {
+        match self {
+            BlockStore::Memory(map) => {
+                map.insert(block, bytes);
+                Ok(())
+            }
+            BlockStore::File {
+                file,
+                block_bytes,
+                n_blocks,
+            } => {
+                assert_eq!(
+                    bytes.len(),
+                    *block_bytes,
+                    "block size mismatch: {} vs {block_bytes}",
+                    bytes.len()
+                );
+                assert_eq!(block, *n_blocks, "file store requires sequential block ids");
+                let offset = block as u64 * *block_bytes as u64;
+                write_all_at(file, &bytes, offset)?;
+                *n_blocks += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Reads a block's bytes.
+    ///
+    /// # Panics
+    /// Panics if the block does not exist.
+    pub fn get(&self, block: u32) -> io::Result<Vec<u8>> {
+        match self {
+            BlockStore::Memory(map) => Ok(map
+                .get(&block)
+                .unwrap_or_else(|| panic!("no block {block}"))
+                .clone()),
+            BlockStore::File {
+                file,
+                block_bytes,
+                n_blocks,
+            } => {
+                assert!(block < *n_blocks, "no block {block}");
+                let mut buf = vec![0u8; *block_bytes];
+                read_exact_at(file, &mut buf, block as u64 * *block_bytes as u64)?;
+                Ok(buf)
+            }
+        }
+    }
+
+    /// Number of stored blocks.
+    pub fn len(&self) -> usize {
+        match self {
+            BlockStore::Memory(map) => map.len(),
+            BlockStore::File { n_blocks, .. } => *n_blocks as usize,
+        }
+    }
+
+    /// Whether the store holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(unix)]
+fn write_all_at(file: &File, buf: &[u8], offset: u64) -> io::Result<()> {
+    file.write_all_at(buf, offset)
+}
+
+#[cfg(unix)]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    file.read_exact_at(buf, offset)
+}
+
+#[cfg(not(unix))]
+fn write_all_at(file: &File, buf: &[u8], offset: u64) -> io::Result<()> {
+    use std::io::{Seek, SeekFrom, Write};
+    let mut f = file;
+    f.seek(SeekFrom::Start(offset))?;
+    f.write_all(buf)
+}
+
+#[cfg(not(unix))]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut f = file;
+    f.seek(SeekFrom::Start(offset))?;
+    f.read_exact(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_roundtrip() {
+        let mut s = BlockStore::memory();
+        s.put(0, vec![1, 2, 3]).expect("put");
+        s.put(5, vec![9]).expect("put");
+        assert_eq!(s.get(0).expect("get"), vec![1, 2, 3]);
+        assert_eq!(s.get(5).expect("get"), vec![9]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("pargrid_store_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut s = BlockStore::file(dir.join("w0.blocks"), 64).expect("create");
+        for i in 0..10u32 {
+            s.put(i, vec![i as u8; 64]).expect("put");
+        }
+        for i in (0..10u32).rev() {
+            assert_eq!(s.get(i).expect("get"), vec![i as u8; 64]);
+        }
+        assert_eq!(s.len(), 10);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequential block ids")]
+    fn file_store_rejects_gaps() {
+        let dir = std::env::temp_dir().join("pargrid_store_gap_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut s = BlockStore::file(dir.join("w.blocks"), 16).expect("create");
+        let _ = s.put(3, vec![0; 16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no block")]
+    fn missing_block_panics() {
+        let s = BlockStore::memory();
+        let _ = s.get(7);
+    }
+}

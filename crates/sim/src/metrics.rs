@@ -1,0 +1,315 @@
+//! The paper's performance metrics (§2.2, §3.3).
+
+use crate::workload::QueryWorkload;
+use pargrid_core::{Assignment, DeclusterInput, EdgeWeight};
+use pargrid_gridfile::GridFile;
+
+/// Aggregate results of running a workload against one assignment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EvalStats {
+    /// Mean over queries of `max_i N_i(q)` — the paper's response time.
+    pub mean_response: f64,
+    /// The paper's optimal response time: mean buckets accessed divided by
+    /// the number of disks (a lower bound that ignores integrality).
+    pub mean_optimal: f64,
+    /// Mean over queries of `ceil(buckets / disks)` — the integral optimum.
+    pub mean_optimal_ceil: f64,
+    /// Mean number of distinct buckets each query touches.
+    pub mean_buckets: f64,
+    /// Total buckets fetched across the workload (the SP-2 tables' "response
+    /// time by definition" column sums per-query responses instead; see
+    /// `total_response`).
+    pub total_buckets: u64,
+    /// Sum of per-query response times (in buckets).
+    pub total_response: u64,
+    /// The degree of data balance of the assignment (`B_max * M / B_sum`).
+    pub balance_degree: f64,
+    /// Standard deviation of per-query response times.
+    pub std_response: f64,
+    /// 95th percentile of per-query response times (tail latency).
+    pub p95_response: u64,
+    /// Worst per-query response time.
+    pub max_response: u64,
+}
+
+/// Response time of one query: buckets per disk are counted through the
+/// assignment; the slowest disk defines the response. Returns
+/// `(max_per_disk, total_buckets)`.
+pub fn query_response(
+    gf: &GridFile,
+    assign: &Assignment,
+    query: &pargrid_geom::Rect,
+) -> (u64, u64) {
+    let buckets = gf.range_query_buckets(query);
+    let mut per_disk = vec![0u64; assign.n_disks()];
+    for &b in &buckets {
+        per_disk[assign.disk_of_id(b) as usize] += 1;
+    }
+    (
+        per_disk.into_iter().max().unwrap_or(0),
+        buckets.len() as u64,
+    )
+}
+
+/// Runs a whole workload and aggregates the paper's metrics.
+pub fn evaluate(gf: &GridFile, assign: &Assignment, workload: &QueryWorkload) -> EvalStats {
+    assert!(!workload.is_empty(), "empty workload");
+    let m = assign.n_disks() as f64;
+    let mut responses = Vec::with_capacity(workload.len());
+    let mut total_buckets = 0u64;
+    let mut total_opt_ceil = 0u64;
+    for q in &workload.queries {
+        let (resp, n) = query_response(gf, assign, q);
+        responses.push(resp);
+        total_buckets += n;
+        total_opt_ceil += n.div_ceil(assign.n_disks() as u64);
+    }
+    let nq = workload.len() as f64;
+    let total_response: u64 = responses.iter().sum();
+    let mean = total_response as f64 / nq;
+    let var = responses
+        .iter()
+        .map(|&r| (r as f64 - mean) * (r as f64 - mean))
+        .sum::<f64>()
+        / nq;
+    responses.sort_unstable();
+    // Nearest-rank 95th percentile.
+    let p95_idx = ((0.95 * nq).ceil() as usize).clamp(1, responses.len()) - 1;
+    EvalStats {
+        mean_response: mean,
+        mean_optimal: total_buckets as f64 / nq / m,
+        mean_optimal_ceil: total_opt_ceil as f64 / nq,
+        mean_buckets: total_buckets as f64 / nq,
+        total_buckets,
+        total_response,
+        balance_degree: assign.data_balance_degree(),
+        std_response: var.sqrt(),
+        p95_response: responses[p95_idx],
+        max_response: *responses.last().expect("non-empty"),
+    }
+}
+
+/// Response time on **heterogeneous** disks: disk `i` takes `slowdown[i]`
+/// time units per bucket (the paper's simulator assumes all-equal disks;
+/// this relaxation measures how robust each declustering scheme's balance
+/// is when that assumption breaks). Returns the mean over queries of
+/// `max_i N_i(q) * slowdown[i]`.
+pub fn evaluate_heterogeneous(
+    gf: &GridFile,
+    assign: &Assignment,
+    workload: &QueryWorkload,
+    slowdown: &[f64],
+) -> f64 {
+    assert_eq!(slowdown.len(), assign.n_disks(), "one slowdown per disk");
+    assert!(!workload.is_empty(), "empty workload");
+    assert!(
+        slowdown.iter().all(|&s| s > 0.0),
+        "slowdowns must be positive"
+    );
+    let mut total = 0.0;
+    for q in &workload.queries {
+        let buckets = gf.range_query_buckets(q);
+        let mut per_disk = vec![0u64; assign.n_disks()];
+        for &b in &buckets {
+            per_disk[assign.disk_of_id(b) as usize] += 1;
+        }
+        total += per_disk
+            .iter()
+            .zip(slowdown)
+            .map(|(&n, &s)| n as f64 * s)
+            .fold(0.0, f64::max);
+    }
+    total / workload.len() as f64
+}
+
+/// The minimax objective itself: total proximity mass between same-disk
+/// bucket pairs. Lower means likely-co-accessed buckets are better spread;
+/// its correlation with the *measured* response time (ablation A6) is the
+/// empirical justification for using the proximity index as the edge
+/// weight. `O(N^2)`.
+pub fn intra_disk_proximity(input: &DeclusterInput, assign: &Assignment) -> f64 {
+    let w = EdgeWeight::Proximity;
+    let n = input.n_buckets();
+    let mut total = 0.0;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if assign.disk_at(u) == assign.disk_at(v) {
+                total += w.similarity(input, u, v);
+            }
+        }
+    }
+    total
+}
+
+/// For every bucket, its *closest* companion under the proximity index —
+/// the pair most likely to be co-accessed. Returns deduplicated unordered
+/// pairs of input positions. `O(N^2)`, computed once per dataset and reused
+/// across methods and disk counts (Tables 2–3).
+pub fn closest_pairs(input: &DeclusterInput) -> Vec<(usize, usize)> {
+    let n = input.n_buckets();
+    let w = EdgeWeight::Proximity;
+    let mut pairs = Vec::with_capacity(n);
+    for u in 0..n {
+        let mut best = f64::NEG_INFINITY;
+        let mut best_v = usize::MAX;
+        for v in 0..n {
+            if v == u {
+                continue;
+            }
+            let s = w.similarity(input, u, v);
+            if s > best {
+                best = s;
+                best_v = v;
+            }
+        }
+        if best_v != usize::MAX {
+            pairs.push((u.min(best_v), u.max(best_v)));
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+/// Tables 2–3: how many closest pairs the assignment places on one disk.
+pub fn count_pairs_on_same_disk(pairs: &[(usize, usize)], assign: &Assignment) -> usize {
+    pairs
+        .iter()
+        .filter(|&&(u, v)| assign.disk_at(u) == assign.disk_at(v))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pargrid_core::{Assignment, DeclusterInput};
+    use pargrid_geom::{Point, Rect};
+    use pargrid_gridfile::{CartesianProductFile, GridConfig, GridFile, Record};
+
+    fn small_file() -> (GridFile, DeclusterInput) {
+        let cfg = GridConfig::with_capacity(Rect::new2(0.0, 0.0, 100.0, 100.0), 4);
+        let gf = GridFile::bulk_load(
+            cfg,
+            (0..64u64).map(|i| {
+                Record::new(
+                    i,
+                    Point::new2((i % 8) as f64 * 12.0 + 6.0, (i / 8) as f64 * 12.0 + 6.0),
+                )
+            }),
+        );
+        let input = DeclusterInput::from_grid_file(&gf);
+        (gf, input)
+    }
+
+    #[test]
+    fn response_counts_max_per_disk() {
+        let (gf, input) = small_file();
+        // All buckets on one disk: response == total buckets.
+        let all_one = Assignment::new(&input, 2, vec![0; input.n_buckets()]);
+        let q = Rect::new2(0.0, 0.0, 100.0, 100.0);
+        let (resp, total) = query_response(&gf, &all_one, &q);
+        assert_eq!(resp, total);
+        assert_eq!(total, gf.n_buckets() as u64);
+    }
+
+    #[test]
+    fn better_spread_lowers_response() {
+        let (gf, input) = small_file();
+        let n = input.n_buckets();
+        let spread = Assignment::new(&input, 4, (0..n).map(|i| (i % 4) as u32).collect());
+        let lumped = Assignment::new(&input, 4, vec![0; n]);
+        let w = QueryWorkload::square(&gf.config().domain, 0.1, 50, 7);
+        let s = evaluate(&gf, &spread, &w);
+        let l = evaluate(&gf, &lumped, &w);
+        assert!(s.mean_response < l.mean_response);
+        assert_eq!(s.mean_buckets, l.mean_buckets); // same buckets touched
+        assert!(s.mean_response >= s.mean_optimal - 1e-12);
+        assert!(s.mean_optimal_ceil >= s.mean_optimal);
+    }
+
+    #[test]
+    fn optimal_is_buckets_over_disks() {
+        let (gf, input) = small_file();
+        let n = input.n_buckets();
+        let a = Assignment::new(&input, 5, (0..n).map(|i| (i % 5) as u32).collect());
+        let w = QueryWorkload::square(&gf.config().domain, 0.05, 20, 9);
+        let s = evaluate(&gf, &a, &w);
+        assert!((s.mean_optimal - s.mean_buckets / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distribution_metrics_consistent() {
+        let (gf, input) = small_file();
+        let n = input.n_buckets();
+        let a = Assignment::new(&input, 4, (0..n).map(|i| (i % 4) as u32).collect());
+        let w = QueryWorkload::square(&gf.config().domain, 0.1, 100, 3);
+        let s = evaluate(&gf, &a, &w);
+        assert!(s.max_response as f64 >= s.mean_response);
+        assert!(s.p95_response <= s.max_response);
+        assert!(s.p95_response as f64 + 1.0 > s.mean_response);
+        assert!(s.std_response >= 0.0);
+    }
+
+    #[test]
+    fn heterogeneous_equal_speeds_match_homogeneous() {
+        let (gf, input) = small_file();
+        let n = input.n_buckets();
+        let a = Assignment::new(&input, 4, (0..n).map(|i| (i % 4) as u32).collect());
+        let w = QueryWorkload::square(&gf.config().domain, 0.1, 50, 3);
+        let s = evaluate(&gf, &a, &w);
+        let h = evaluate_heterogeneous(&gf, &a, &w, &[1.0; 4]);
+        assert!((h - s.mean_response).abs() < 1e-9);
+        // A slow disk makes things worse.
+        let h_slow = evaluate_heterogeneous(&gf, &a, &w, &[1.0, 1.0, 1.0, 3.0]);
+        assert!(h_slow > h);
+    }
+
+    #[test]
+    fn intra_disk_proximity_tracks_quality() {
+        // All buckets on one of two disks maximizes co-located proximity;
+        // a checkerboard minimizes it among 2-disk assignments.
+        let input = DeclusterInput::from_cartesian(&CartesianProductFile::new(&[4, 4]));
+        let n = input.n_buckets();
+        let lumped = Assignment::new(&input, 2, vec![0; n]);
+        let checker = Assignment::new(
+            &input,
+            2,
+            (0..n).map(|i| (((i / 4) + (i % 4)) % 2) as u32).collect(),
+        );
+        let lp = intra_disk_proximity(&input, &lumped);
+        let cp = intra_disk_proximity(&input, &checker);
+        assert!(lp > cp, "lumped {lp} <= checker {cp}");
+        assert!(cp > 0.0);
+    }
+
+    #[test]
+    fn closest_pairs_are_grid_neighbors() {
+        let input = DeclusterInput::from_cartesian(&CartesianProductFile::new(&[4, 4]));
+        let pairs = closest_pairs(&input);
+        // Every closest pair of equal square cells is an orthogonal neighbor.
+        for &(u, v) in &pairs {
+            let (ux, uy) = ((u / 4) as i64, (u % 4) as i64);
+            let (vx, vy) = ((v / 4) as i64, (v % 4) as i64);
+            let l1 = (ux - vx).abs() + (uy - vy).abs();
+            assert_eq!(l1, 1, "pair ({u}, {v}) not adjacent");
+        }
+        assert!(!pairs.is_empty());
+    }
+
+    #[test]
+    fn same_disk_pair_counting() {
+        let input = DeclusterInput::from_cartesian(&CartesianProductFile::new(&[4, 4]));
+        let pairs = closest_pairs(&input);
+        let n = input.n_buckets();
+        // Everything on one disk: all pairs collide.
+        let lumped = Assignment::new(&input, 2, vec![0; n]);
+        assert_eq!(count_pairs_on_same_disk(&pairs, &lumped), pairs.len());
+        // Checkerboard: no orthogonal neighbors collide.
+        let checker = Assignment::new(
+            &input,
+            2,
+            (0..n).map(|i| (((i / 4) + (i % 4)) % 2) as u32).collect(),
+        );
+        assert_eq!(count_pairs_on_same_disk(&pairs, &checker), 0);
+    }
+}

@@ -1,0 +1,327 @@
+//! Minimal SVG line-chart renderer for the experiment harness.
+//!
+//! The paper's results are figures; this module lets `repro` regenerate them
+//! as actual plots (`results/*.svg`) without pulling in a plotting
+//! dependency. Hand-rolled on purpose: a few hundred lines of plain SVG is
+//! all a response-time-vs-disks chart needs.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// One plotted series.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points in data coordinates.
+    pub points: Vec<(f64, f64)>,
+    /// Dash the line (used for the "optimal" reference curve).
+    pub dashed: bool,
+}
+
+impl Series {
+    /// Creates a solid series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+            dashed: false,
+        }
+    }
+
+    /// Creates a dashed series.
+    pub fn dashed(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+            dashed: true,
+        }
+    }
+}
+
+/// A line chart.
+#[derive(Clone, Debug)]
+pub struct LineChart {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series to draw.
+    pub series: Vec<Series>,
+}
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 150.0; // room for the legend
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 52.0;
+const PALETTE: [&str; 8] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+];
+
+impl LineChart {
+    /// Creates an empty chart.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        LineChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn push(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Data bounds across all series (`None` when there are no points).
+    fn bounds(&self) -> Option<(f64, f64, f64, f64)> {
+        let mut b: Option<(f64, f64, f64, f64)> = None;
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                b = Some(match b {
+                    None => (x, x, y, y),
+                    Some((x0, x1, y0, y1)) => (x0.min(x), x1.max(x), y0.min(y), y1.max(y)),
+                });
+            }
+        }
+        b
+    }
+
+    /// Renders the chart as an SVG document.
+    ///
+    /// # Panics
+    /// Panics if the chart has no data points or contains non-finite values.
+    pub fn to_svg(&self) -> String {
+        let (x0, x1, y0, y1) = self.bounds().expect("chart has no data");
+        assert!(
+            [x0, x1, y0, y1].iter().all(|v| v.is_finite()),
+            "non-finite data"
+        );
+        // Pad degenerate ranges; anchor y at 0 for response-time charts.
+        let x_span = (x1 - x0).max(1e-9);
+        let y_lo = 0.0f64.min(y0);
+        let y_span = (y1 - y_lo).max(1e-9) * 1.05;
+
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let px = |x: f64| MARGIN_L + (x - x0) / x_span * plot_w;
+        let py = |y: f64| MARGIN_T + plot_h - (y - y_lo) / y_span * plot_h;
+
+        let mut svg = String::with_capacity(8192);
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
+        );
+        let _ = write!(
+            svg,
+            r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+        );
+        // Title and axis labels.
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="22" text-anchor="middle" font-size="14">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            escape(&self.title)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}" text-anchor="middle" font-size="12">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            HEIGHT - 12.0,
+            escape(&self.x_label)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="16" y="{}" text-anchor="middle" font-size="12" transform="rotate(-90 16 {})">{}</text>"#,
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            escape(&self.y_label)
+        );
+        // Frame and ticks.
+        let _ = write!(
+            svg,
+            r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w}" height="{plot_h}" fill="none" stroke="#333"/>"##
+        );
+        for i in 0..=5 {
+            let fx = x0 + x_span * i as f64 / 5.0;
+            let fy = y_lo + y_span * i as f64 / 5.0;
+            let gx = px(fx);
+            let gy = py(fy);
+            let _ = write!(
+                svg,
+                r##"<line x1="{gx}" y1="{MARGIN_T}" x2="{gx}" y2="{}" stroke="#ddd"/>"##,
+                MARGIN_T + plot_h
+            );
+            let _ = write!(
+                svg,
+                r##"<line x1="{MARGIN_L}" y1="{gy}" x2="{}" y2="{gy}" stroke="#ddd"/>"##,
+                MARGIN_L + plot_w
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{gx}" y="{}" text-anchor="middle" font-size="10">{}</text>"#,
+                MARGIN_T + plot_h + 16.0,
+                trim_num(fx)
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{}" y="{}" text-anchor="end" font-size="10">{}</text>"#,
+                MARGIN_L - 6.0,
+                gy + 3.0,
+                trim_num(fy)
+            );
+        }
+        // Series.
+        for (i, s) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let dash = if s.dashed {
+                r#" stroke-dasharray="6 4""#
+            } else {
+                ""
+            };
+            let mut path = String::new();
+            for (j, &(x, y)) in s.points.iter().enumerate() {
+                let _ = write!(
+                    path,
+                    "{}{:.1},{:.1}",
+                    if j == 0 { "M" } else { " L" },
+                    px(x),
+                    py(y)
+                );
+            }
+            let _ = write!(
+                svg,
+                r#"<path d="{path}" fill="none" stroke="{color}" stroke-width="1.8"{dash}/>"#
+            );
+            for &(x, y) in &s.points {
+                let _ = write!(
+                    svg,
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="2.4" fill="{color}"/>"#,
+                    px(x),
+                    py(y)
+                );
+            }
+            // Legend entry.
+            let ly = MARGIN_T + 14.0 + i as f64 * 18.0;
+            let lx = WIDTH - MARGIN_R + 12.0;
+            let _ = write!(
+                svg,
+                r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="1.8"{dash}/>"#,
+                lx + 22.0
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{}" y="{}" font-size="11">{}</text>"#,
+                lx + 28.0,
+                ly + 4.0,
+                escape(&s.label)
+            );
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+
+    /// Writes the SVG to a file, creating parent directories.
+    pub fn write_svg<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        if let Some(parent) = path.as_ref().parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_svg())
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+fn trim_num(v: f64) -> String {
+    if v.abs() >= 100.0 || (v.fract() == 0.0 && v.abs() < 1e6) {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LineChart {
+        let mut c = LineChart::new("Figure", "disks", "response");
+        c.push(Series::new(
+            "DM/D",
+            vec![(4.0, 4.8), (16.0, 3.8), (32.0, 3.8)],
+        ));
+        c.push(Series::dashed(
+            "optimal",
+            vec![(4.0, 4.4), (16.0, 1.1), (32.0, 0.6)],
+        ));
+        c
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let svg = sample().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6);
+        assert!(svg.contains("DM/D"));
+        assert!(svg.contains("stroke-dasharray"));
+    }
+
+    #[test]
+    fn escapes_labels() {
+        let mut c = LineChart::new("a < b & c", "x", "y");
+        c.push(Series::new("s<1>", vec![(0.0, 1.0), (1.0, 2.0)]));
+        let svg = c.to_svg();
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(!svg.contains("s<1>"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_chart_panics() {
+        let c = LineChart::new("t", "x", "y");
+        let _ = c.to_svg();
+    }
+
+    #[test]
+    fn write_creates_dirs() {
+        let dir = std::env::temp_dir().join("pargrid_plot_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/fig.svg");
+        sample().write_svg(&path).expect("write");
+        assert!(std::fs::read_to_string(&path)
+            .expect("read")
+            .contains("<svg"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn coordinates_stay_inside_canvas() {
+        let svg = sample().to_svg();
+        // All circle centers inside the viewbox.
+        for part in svg.split("<circle ").skip(1) {
+            let cx: f64 = part
+                .split("cx=\"")
+                .nth(1)
+                .and_then(|s| s.split('"').next())
+                .and_then(|s| s.parse().ok())
+                .expect("cx");
+            assert!((0.0..=WIDTH).contains(&cx));
+        }
+    }
+}

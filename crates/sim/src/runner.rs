@@ -1,0 +1,135 @@
+//! Experiment sweep runner: evaluates a set of declustering methods over a
+//! range of disk counts, producing the rows behind every figure of §2–3.
+
+use crate::metrics::{count_pairs_on_same_disk, evaluate, EvalStats};
+use crate::workload::QueryWorkload;
+use pargrid_core::{DeclusterInput, DeclusterMethod};
+use pargrid_gridfile::GridFile;
+
+/// One configuration's results: a (method, disk count) point of a figure.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Method label (`DM/D`, `MiniMax`, ...).
+    pub method: String,
+    /// Number of disks.
+    pub m: usize,
+    /// The workload metrics.
+    pub stats: EvalStats,
+    /// Closest pairs placed on the same disk (Tables 2–3), if requested.
+    pub closest_same_disk: Option<usize>,
+}
+
+/// Runs `methods x disk_counts` over one grid file and workload.
+///
+/// `closest_pairs`, if provided, is the precomputed nearest-neighbor pair
+/// list of [`crate::metrics::closest_pairs`]; passing it fills
+/// [`SweepPoint::closest_same_disk`].
+pub fn sweep(
+    gf: &GridFile,
+    input: &DeclusterInput,
+    methods: &[DeclusterMethod],
+    disk_counts: &[usize],
+    workload: &QueryWorkload,
+    closest_pairs: Option<&[(usize, usize)]>,
+    seed: u64,
+) -> Vec<SweepPoint> {
+    let mut out = Vec::with_capacity(methods.len() * disk_counts.len());
+    for method in methods {
+        for &m in disk_counts {
+            let assignment = method.assign(input, m, seed);
+            let stats = evaluate(gf, &assignment, workload);
+            let closest_same_disk =
+                closest_pairs.map(|pairs| count_pairs_on_same_disk(pairs, &assignment));
+            out.push(SweepPoint {
+                method: method.label(),
+                m,
+                stats,
+                closest_same_disk,
+            });
+        }
+    }
+    out
+}
+
+/// Speedup relative to the smallest configuration in the sweep (Figure 7
+/// right: response time at the base disk count divided by response time at
+/// `m` disks). Returns `(m, speedup)` pairs for the given method label.
+pub fn speedup_series(points: &[SweepPoint], method: &str) -> Vec<(usize, f64)> {
+    let mut series: Vec<&SweepPoint> = points.iter().filter(|p| p.method == method).collect();
+    series.sort_by_key(|p| p.m);
+    let Some(base) = series.first() else {
+        return Vec::new();
+    };
+    let base_resp = base.stats.mean_response;
+    series
+        .iter()
+        .map(|p| (p.m, base_resp / p.stats.mean_response))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pargrid_core::{ConflictPolicy, DeclusterMethod, EdgeWeight, IndexScheme};
+    use pargrid_geom::{Point, Rect};
+    use pargrid_gridfile::{GridConfig, Record};
+
+    fn tiny_setup() -> (GridFile, DeclusterInput, QueryWorkload) {
+        let cfg = GridConfig::with_capacity(Rect::new2(0.0, 0.0, 100.0, 100.0), 4);
+        let gf = GridFile::bulk_load(
+            cfg,
+            (0..144u64).map(|i| {
+                Record::new(
+                    i,
+                    Point::new2((i % 12) as f64 * 8.0 + 4.0, (i / 12) as f64 * 8.0 + 4.0),
+                )
+            }),
+        );
+        let input = DeclusterInput::from_grid_file(&gf);
+        let w = QueryWorkload::square(&gf.config().domain, 0.05, 60, 11);
+        (gf, input, w)
+    }
+
+    #[test]
+    fn sweep_produces_full_grid_of_points() {
+        let (gf, input, w) = tiny_setup();
+        let methods = [
+            DeclusterMethod::Index(IndexScheme::DiskModulo, ConflictPolicy::DataBalance),
+            DeclusterMethod::Minimax(EdgeWeight::Proximity),
+        ];
+        let disks = [2usize, 4, 8];
+        let pairs = crate::metrics::closest_pairs(&input);
+        let points = sweep(&gf, &input, &methods, &disks, &w, Some(&pairs), 42);
+        assert_eq!(points.len(), 6);
+        assert!(points.iter().all(|p| p.closest_same_disk.is_some()));
+        // Response decreases (weakly) with more disks for each method.
+        for label in ["DM/D", "MiniMax"] {
+            let series: Vec<f64> = points
+                .iter()
+                .filter(|p| p.method == label)
+                .map(|p| p.stats.mean_response)
+                .collect();
+            assert!(
+                series.windows(2).all(|w| w[1] <= w[0] + 1e-9),
+                "{label}: {series:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn speedup_is_one_at_base() {
+        let (gf, input, w) = tiny_setup();
+        let methods = [DeclusterMethod::Minimax(EdgeWeight::Proximity)];
+        let points = sweep(&gf, &input, &methods, &[2, 4, 8], &w, None, 1);
+        let s = speedup_series(&points, "MiniMax");
+        assert_eq!(s.len(), 3);
+        assert!((s[0].1 - 1.0).abs() < 1e-12);
+        assert!(s[2].1 >= s[0].1);
+    }
+
+    #[test]
+    fn unknown_method_gives_empty_series() {
+        let points: Vec<SweepPoint> = Vec::new();
+        assert!(speedup_series(&points, "nope").is_empty());
+    }
+}

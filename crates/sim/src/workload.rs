@@ -1,0 +1,380 @@
+//! Query workload generators (paper §2.2 and §3.5).
+
+use pargrid_geom::{Point, Rect, MAX_DIM};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A sequence of range queries.
+#[derive(Clone, Debug)]
+pub struct QueryWorkload {
+    /// The queries, in issue order.
+    pub queries: Vec<Rect>,
+}
+
+impl QueryWorkload {
+    /// The paper's random square range queries: `n` queries whose centers
+    /// are uniform over the domain and whose side along dimension `k` is
+    /// `r^(1/d) * L_k`, so each query covers a fraction `r` of the domain
+    /// volume. Queries are clamped to the domain.
+    ///
+    /// # Panics
+    /// Panics unless `0 < r < 1`.
+    pub fn square(domain: &Rect, r: f64, n: usize, seed: u64) -> Self {
+        assert!(r > 0.0 && r < 1.0, "query ratio must be in (0, 1), got {r}");
+        let d = domain.dim();
+        let frac = r.powf(1.0 / d as f64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let queries = (0..n)
+            .map(|_| {
+                let mut lo = [0.0; MAX_DIM];
+                let mut hi = [0.0; MAX_DIM];
+                for k in 0..d {
+                    let side = frac * domain.side(k);
+                    let center = domain.lo().get(k) + rng.random::<f64>() * domain.side(k);
+                    lo[k] = center - side / 2.0;
+                    hi[k] = center + side / 2.0;
+                }
+                Rect::new(Point::new(&lo[..d]), Point::new(&hi[..d])).clamp_to(domain)
+            })
+            .collect();
+        QueryWorkload { queries }
+    }
+
+    /// Square range queries whose centers are drawn from the *data points*
+    /// instead of uniformly — the realistic regime where analysts query
+    /// where the data is. The paper uses uniform centers throughout; the
+    /// query-distribution ablation (A8) measures how much that choice
+    /// matters for the algorithm ranking.
+    pub fn square_data_centered(
+        domain: &Rect,
+        centers: &[Point],
+        r: f64,
+        n: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(r > 0.0 && r < 1.0, "query ratio must be in (0, 1), got {r}");
+        assert!(!centers.is_empty(), "need at least one center point");
+        let d = domain.dim();
+        let frac = r.powf(1.0 / d as f64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let queries = (0..n)
+            .map(|_| {
+                let c = &centers[rng.random_range(0..centers.len())];
+                let mut lo = [0.0; MAX_DIM];
+                let mut hi = [0.0; MAX_DIM];
+                for k in 0..d {
+                    let side = frac * domain.side(k);
+                    lo[k] = c.get(k) - side / 2.0;
+                    hi[k] = c.get(k) + side / 2.0;
+                }
+                Rect::new(Point::new(&lo[..d]), Point::new(&hi[..d])).clamp_to(domain)
+            })
+            .collect();
+        QueryWorkload { queries }
+    }
+
+    /// Partial-match queries: each query specifies a random subset of
+    /// attributes (at least one unspecified, as the paper defines them) at a
+    /// uniformly drawn key value. Returned as key vectors rather than
+    /// rectangles.
+    pub fn partial_match(domain: &Rect, n: usize, seed: u64) -> Vec<Vec<Option<f64>>> {
+        let d = domain.dim();
+        assert!(d >= 2, "partial match needs at least two attributes");
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                loop {
+                    let keys: Vec<Option<f64>> = (0..d)
+                        .map(|k| {
+                            rng.random::<bool>()
+                                .then(|| domain.lo().get(k) + rng.random::<f64>() * domain.side(k))
+                        })
+                        .collect();
+                    let unspecified = keys.iter().filter(|k| k.is_none()).count();
+                    // The paper requires >= 1 unspecified; all-unspecified is
+                    // a full scan, which we also skip to keep queries selective.
+                    if unspecified >= 1 && unspecified < d {
+                        return keys;
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// The SP-2 animation workload (§3.5): for every time step, a set of
+    /// spatial queries that in aggregate covers the whole spatial volume.
+    /// Dimension 0 is time; each query spans exactly one time step, and the
+    /// spatial sides are `r^(1/(d-1)) * L_k` (so each covers a fraction `r`
+    /// of the volume), tiled to cover the domain.
+    pub fn animation(domain: &Rect, r: f64, snapshots: usize) -> Self {
+        assert!(r > 0.0 && r < 1.0);
+        let d = domain.dim();
+        assert!(d >= 2, "animation needs a time dimension plus space");
+        let sd = d - 1; // spatial dims
+        let frac = r.powf(1.0 / sd as f64);
+        // Tiles per spatial dimension (rounded, min 1): 2.15 -> 2 tiles,
+        // which reproduces the paper's "approximately 10 queries per step".
+        let tiles: Vec<usize> = (1..d)
+            .map(|_| ((1.0 / frac).round() as usize).max(1))
+            .collect();
+        let mut queries = Vec::new();
+        let step = domain.side(0) / snapshots as f64;
+        for s in 0..snapshots {
+            let t0 = domain.lo().get(0) + s as f64 * step;
+            let t1 = t0 + step;
+            // Odometer over spatial tiles.
+            let mut idx = vec![0usize; sd];
+            loop {
+                let mut lo = [0.0; MAX_DIM];
+                let mut hi = [0.0; MAX_DIM];
+                lo[0] = t0;
+                hi[0] = t1;
+                for k in 0..sd {
+                    let full = domain.side(k + 1);
+                    let side = frac * full;
+                    let start = domain.lo().get(k + 1)
+                        + if tiles[k] > 1 {
+                            (full - side) * idx[k] as f64 / (tiles[k] - 1) as f64
+                        } else {
+                            0.0
+                        };
+                    lo[k + 1] = start;
+                    hi[k + 1] = start + side;
+                }
+                queries
+                    .push(Rect::new(Point::new(&lo[..d]), Point::new(&hi[..d])).clamp_to(domain));
+                // Increment odometer.
+                let mut k = sd;
+                loop {
+                    if k == 0 {
+                        break;
+                    }
+                    k -= 1;
+                    idx[k] += 1;
+                    if idx[k] < tiles[k] {
+                        break;
+                    }
+                    idx[k] = 0;
+                    if k == 0 {
+                        break;
+                    }
+                }
+                if idx.iter().all(|&i| i == 0) {
+                    break;
+                }
+            }
+        }
+        QueryWorkload { queries }
+    }
+
+    /// Particle-tracing workload — the access pattern §4 names as future
+    /// work: follow a particle through a spatio-temporal dataset by issuing,
+    /// for each consecutive time step, a small spatial window centered on
+    /// the (drifting) particle position.
+    ///
+    /// Dimension 0 is time; the spatial window covers a fraction `r` of the
+    /// spatial volume; the trace starts at a random spatial position and
+    /// performs a bounded random walk with per-step drift up to
+    /// `drift_frac` of each spatial extent.
+    pub fn particle_trace(
+        domain: &Rect,
+        r: f64,
+        snapshots: usize,
+        drift_frac: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(r > 0.0 && r < 1.0);
+        assert!((0.0..1.0).contains(&drift_frac));
+        let d = domain.dim();
+        assert!(d >= 2, "tracing needs a time dimension plus space");
+        let sd = d - 1;
+        let frac = r.powf(1.0 / sd as f64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let step = domain.side(0) / snapshots as f64;
+
+        let mut pos = [0.0; MAX_DIM];
+        for (k, slot) in pos.iter_mut().take(sd).enumerate() {
+            *slot = domain.lo().get(k + 1) + rng.random::<f64>() * domain.side(k + 1);
+        }
+        let mut queries = Vec::with_capacity(snapshots);
+        for s in 0..snapshots {
+            let t0 = domain.lo().get(0) + s as f64 * step;
+            let mut lo = [0.0; MAX_DIM];
+            let mut hi = [0.0; MAX_DIM];
+            lo[0] = t0;
+            hi[0] = t0 + step;
+            for k in 0..sd {
+                let side = frac * domain.side(k + 1);
+                lo[k + 1] = pos[k] - side / 2.0;
+                hi[k + 1] = pos[k] + side / 2.0;
+            }
+            queries.push(Rect::new(Point::new(&lo[..d]), Point::new(&hi[..d])).clamp_to(domain));
+            // Drift for the next step, reflecting at the walls.
+            for (k, slot) in pos.iter_mut().take(sd).enumerate() {
+                let full = domain.side(k + 1);
+                let delta = (rng.random::<f64>() * 2.0 - 1.0) * drift_frac * full;
+                let mut next = *slot + delta;
+                let lo_k = domain.lo().get(k + 1);
+                let hi_k = domain.hi().get(k + 1);
+                if next < lo_k {
+                    next = 2.0 * lo_k - next;
+                }
+                if next > hi_k {
+                    next = 2.0 * hi_k - next;
+                }
+                *slot = next.clamp(lo_k, hi_k);
+            }
+        }
+        QueryWorkload { queries }
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dom2() -> Rect {
+        Rect::new2(0.0, 0.0, 2000.0, 2000.0)
+    }
+
+    #[test]
+    fn square_queries_have_requested_volume() {
+        let w = QueryWorkload::square(&dom2(), 0.05, 100, 1);
+        assert_eq!(w.len(), 100);
+        let expected_side = 0.05f64.sqrt() * 2000.0;
+        for q in &w.queries {
+            // Interior queries (not clamped) have exactly the right sides.
+            if q.lo().get(0) > 0.0 && q.hi().get(0) < 2000.0 {
+                assert!((q.side(0) - expected_side).abs() < 1e-9);
+            }
+            assert!(dom2().contains_rect(q));
+        }
+    }
+
+    #[test]
+    fn square_queries_cover_the_domain() {
+        // Centers are uniform: all four quadrants must receive queries.
+        let w = QueryWorkload::square(&dom2(), 0.01, 400, 2);
+        let mut quadrants = [0usize; 4];
+        for q in &w.queries {
+            let c = q.center();
+            let qx = usize::from(c.get(0) > 1000.0);
+            let qy = usize::from(c.get(1) > 1000.0);
+            quadrants[qx * 2 + qy] += 1;
+        }
+        assert!(quadrants.iter().all(|&c| c > 50), "{quadrants:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "query ratio")]
+    fn bad_ratio_rejected() {
+        let _ = QueryWorkload::square(&dom2(), 1.5, 10, 0);
+    }
+
+    #[test]
+    fn data_centered_queries_follow_the_data() {
+        use pargrid_geom::Point;
+        // Centers clustered in one corner: the workload must stay there.
+        let centers: Vec<Point> = (0..50)
+            .map(|i| Point::new2(100.0 + i as f64, 100.0 + i as f64))
+            .collect();
+        let w = QueryWorkload::square_data_centered(&dom2(), &centers, 0.01, 200, 5);
+        assert_eq!(w.len(), 200);
+        for q in &w.queries {
+            assert!(dom2().contains_rect(q));
+            let c = q.center();
+            assert!(c.get(0) < 400.0 && c.get(1) < 400.0, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn partial_match_always_leaves_attributes_unspecified() {
+        let keys = QueryWorkload::partial_match(&dom2(), 200, 3);
+        for q in &keys {
+            let unspecified = q.iter().filter(|k| k.is_none()).count();
+            assert!(unspecified >= 1 && unspecified < q.len());
+        }
+    }
+
+    #[test]
+    fn animation_covers_every_step_and_the_volume() {
+        use pargrid_geom::Point;
+        let dom = Rect::new(
+            Point::new4(0.0, 0.0, 0.0, 0.0),
+            Point::new4(59.0, 16.0, 12.0, 8.0),
+        );
+        let w = QueryWorkload::animation(&dom, 0.1, 59);
+        // r = 0.1 -> frac = 0.464 -> 2 tiles per spatial dim -> 8 per step.
+        assert_eq!(w.len(), 8 * 59);
+        // Every step's queries jointly cover the spatial extremes.
+        let first_step: Vec<&Rect> = w.queries.iter().filter(|q| q.lo().get(0) == 0.0).collect();
+        assert_eq!(first_step.len(), 8);
+        let covers = |x: f64, y: f64, z: f64| {
+            first_step
+                .iter()
+                .any(|q| q.contains_closed(&Point::new4(0.5, x, y, z)))
+        };
+        assert!(covers(0.1, 0.1, 0.1));
+        assert!(covers(15.9, 11.9, 7.9));
+        assert!(covers(15.9, 0.1, 7.9));
+    }
+
+    #[test]
+    fn particle_trace_is_one_query_per_step_and_contiguous() {
+        use pargrid_geom::Point;
+        let dom = Rect::new(
+            Point::new4(0.0, 0.0, 0.0, 0.0),
+            Point::new4(20.0, 16.0, 12.0, 8.0),
+        );
+        let w = QueryWorkload::particle_trace(&dom, 0.02, 20, 0.05, 9);
+        assert_eq!(w.len(), 20);
+        for (s, q) in w.queries.iter().enumerate() {
+            // One time step each, in order.
+            assert!((q.lo().get(0) - s as f64).abs() < 1e-9);
+            assert!((q.side(0) - 1.0).abs() < 1e-9);
+            assert!(dom.contains_rect(q));
+        }
+        // Consecutive windows overlap spatially (small drift).
+        for pair in w.queries.windows(2) {
+            for k in 1..4 {
+                assert!(
+                    pair[0].overlap_on(&pair[1], k) > 0.0,
+                    "trace jumped on dim {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn particle_trace_deterministic_and_seed_sensitive() {
+        use pargrid_geom::Point;
+        let dom = Rect::new(Point::new2(0.0, 0.0), Point::new2(10.0, 100.0));
+        let a = QueryWorkload::particle_trace(&dom, 0.05, 10, 0.1, 1);
+        let b = QueryWorkload::particle_trace(&dom, 0.05, 10, 0.1, 1);
+        let c = QueryWorkload::particle_trace(&dom, 0.05, 10, 0.1, 2);
+        assert_eq!(a.queries, b.queries);
+        assert_ne!(a.queries, c.queries);
+    }
+
+    #[test]
+    fn animation_queries_span_one_time_step() {
+        use pargrid_geom::Point;
+        let dom = Rect::new(Point::new2(0.0, 0.0), Point::new2(10.0, 100.0));
+        let w = QueryWorkload::animation(&dom, 0.25, 10);
+        for q in &w.queries {
+            assert!((q.side(0) - 1.0).abs() < 1e-9);
+        }
+        // 0.25 -> frac 0.25^(1/1) -> 4 tiles per step.
+        assert_eq!(w.len(), 4 * 10);
+    }
+}

@@ -1,0 +1,67 @@
+//! Gallery of the space-filling curves behind HCAM and its ablations:
+//! walks each curve over a 16x16 grid and prints the visit order, plus the
+//! round-robin disk pattern each induces.
+//!
+//! ```sh
+//! cargo run --example curve_gallery
+//! ```
+
+use pargrid::geom::{GrayCurve, HilbertCurve, ScanCurve, SpaceFillingCurve, ZOrderCurve};
+
+const BITS: u32 = 4; // 16x16
+const DISKS: u128 = 4;
+
+fn main() {
+    let curves: Vec<(&str, Box<dyn SpaceFillingCurve>)> = vec![
+        ("Hilbert (HCAM)", Box::new(HilbertCurve::new(2, BITS))),
+        ("Z-order", Box::new(ZOrderCurve::new(2, BITS))),
+        ("Gray-code", Box::new(GrayCurve::new(2, BITS))),
+        ("snake scan", Box::new(ScanCurve::snake(2, BITS))),
+    ];
+    for (name, curve) in &curves {
+        println!("\n=== {name} ===");
+        print_disk_pattern(curve.as_ref());
+        println!(
+            "mean step length: {:.3} (1.0 = always grid-adjacent)",
+            mean_step(curve.as_ref())
+        );
+    }
+    println!("\nEach cell shows (curve index mod {DISKS}) — the disk the cell lands on.");
+    println!("Good declustering looks \"speckled\": neighbors rarely share a digit.");
+}
+
+/// Prints each cell's round-robin disk as one hex digit.
+fn print_disk_pattern(curve: &dyn SpaceFillingCurve) {
+    let side = 1u32 << curve.bits();
+    for y in (0..side).rev() {
+        let mut line = String::with_capacity(side as usize);
+        for x in 0..side {
+            let d = curve.index_of(&[x, y]) % DISKS;
+            line.push(char::from_digit(d as u32, 16).expect("single hex digit"));
+        }
+        println!("  {line}");
+    }
+}
+
+/// Average Euclidean distance between consecutively visited cells.
+fn mean_step(curve: &dyn SpaceFillingCurve) -> f64 {
+    let mut prev = vec![0u32; curve.dim()];
+    let mut cur = vec![0u32; curve.dim()];
+    curve.coords_of(0, &mut prev);
+    let mut total = 0.0;
+    let n = curve.len();
+    for i in 1..n {
+        curve.coords_of(i, &mut cur);
+        let d2: f64 = prev
+            .iter()
+            .zip(&cur)
+            .map(|(&a, &b)| {
+                let d = a as f64 - b as f64;
+                d * d
+            })
+            .sum();
+        total += d2.sqrt();
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    total / (n - 1) as f64
+}

@@ -1,0 +1,51 @@
+//! Quickstart: load a dataset, decluster it, and measure range-query
+//! response times for every algorithm the paper studies.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pargrid::prelude::*;
+
+fn main() {
+    // A 10,000-point dataset with a central hot spot (the paper's hot.2d),
+    // stored in a grid file with 4 KB buckets.
+    let dataset = pargrid::datagen::hot2d(42);
+    let grid = dataset.build_grid_file();
+    let stats = grid.stats();
+    println!(
+        "grid file: {} records in {} buckets over a {:?} grid ({} merged buckets)",
+        stats.n_records, stats.n_buckets, stats.cells_per_dim, stats.n_merged_buckets
+    );
+
+    // Decluster over 16 disks with each algorithm and compare the paper's
+    // response-time metric on 500 random square queries covering 5% of the
+    // domain each.
+    let input = DeclusterInput::from_grid_file(&grid);
+    let workload = QueryWorkload::square(&dataset.domain, 0.05, 500, 7);
+    let disks = 16;
+
+    println!(
+        "\n{:<10} {:>10} {:>10} {:>9}",
+        "method", "response", "optimal", "balance"
+    );
+    for method in DeclusterMethod::paper_five() {
+        let assignment = method.assign(&input, disks, 1);
+        let result = evaluate(&grid, &assignment, &workload);
+        println!(
+            "{:<10} {:>10.2} {:>10.2} {:>9.2}",
+            method.label(),
+            result.mean_response,
+            result.mean_optimal,
+            result.balance_degree
+        );
+    }
+
+    // The minimax assignment is perfectly balanced by construction.
+    let minimax = DeclusterMethod::Minimax(EdgeWeight::Proximity).assign(&input, disks, 1);
+    assert!(minimax.is_perfectly_balanced());
+    println!(
+        "\nminimax bucket counts per disk: {:?}",
+        minimax.bucket_counts()
+    );
+}

@@ -1,0 +1,51 @@
+//! The paper's motivating scenario: animating snapshots of a time-dependent
+//! scientific simulation from a parallel disk farm.
+//!
+//! A 4-D (time, x, y, z) particle dataset is declustered over worker
+//! processes with minimax; an animation then sweeps every time step with
+//! range queries that jointly cover the volume — exactly the SP-2 experiment
+//! behind Table 4.
+//!
+//! ```sh
+//! cargo run --release --example snapshot_animation
+//! ```
+
+use pargrid::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // 24 snapshots, 150k particles — a laptop-sized stand-in for the
+    // paper's 59-snapshot, 3M-particle DSMC dataset.
+    let snapshots = 24;
+    let dataset = pargrid::datagen::dsmc4d(42, snapshots, 150_000);
+    let grid = Arc::new(dataset.build_grid_file());
+    let stats = grid.stats();
+    println!(
+        "spatio-temporal grid file: {} records, {} subspaces -> {} buckets",
+        stats.n_records, stats.n_cells, stats.n_buckets
+    );
+
+    let input = DeclusterInput::from_grid_file(&grid);
+
+    println!(
+        "\n{:>10} {:>16} {:>12} {:>12} {:>10}",
+        "workers", "blocks fetched", "comm (s)", "elapsed (s)", "cache hit"
+    );
+    for workers in [2usize, 4, 8, 16] {
+        let assignment = DeclusterMethod::Minimax(EdgeWeight::Proximity).assign(&input, workers, 1);
+        let mut engine =
+            ParallelGridFile::build(Arc::clone(&grid), &assignment, EngineConfig::default());
+        let workload = pargrid::sim::QueryWorkload::animation(&dataset.domain, 0.1, snapshots);
+        let run = engine.run_workload(&workload);
+        println!(
+            "{:>10} {:>16} {:>12.2} {:>12.2} {:>9.0}%",
+            workers,
+            run.response_blocks,
+            run.comm_seconds(),
+            run.elapsed_seconds(),
+            100.0 * run.cache_hits as f64 / run.total_blocks.max(1) as f64
+        );
+    }
+    println!("\n(blocks fetched ~halve per worker doubling; caching kicks in because");
+    println!(" consecutive snapshots share temporal grid partitions — §3.5 of the paper)");
+}

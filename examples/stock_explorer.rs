@@ -1,0 +1,69 @@
+//! Interactive-style analyst queries over the stock.3d dataset: range scans
+//! and partial-match lookups against a declustered grid file.
+//!
+//! Shows the two query families grid files serve:
+//! * **range queries** — "all quotes between $20 and $40 during days
+//!   100–200" (drives the declustering comparison),
+//! * **partial-match queries** — "the full history of stock 137" (the query
+//!   class DM was designed for).
+//!
+//! ```sh
+//! cargo run --release --example stock_explorer
+//! ```
+
+use pargrid::prelude::*;
+
+fn main() {
+    let dataset = pargrid::datagen::stock3d(42);
+    let grid = dataset.build_grid_file();
+    let stats = grid.stats();
+    println!(
+        "stock.3d: {} quotes, grid {:?}, {} buckets",
+        stats.n_records, stats.cells_per_dim, stats.n_buckets
+    );
+
+    // --- Partial-match: one stock's full history -------------------------
+    let stock_id = 137.5; // center of stock 137's id slot
+    let (buckets, records) = grid.partial_match(&[Some(stock_id), None, None]);
+    println!(
+        "\nhistory of stock 137: {} quotes from {} buckets",
+        records.len(),
+        buckets.len()
+    );
+    if let (Some(first), Some(last)) = (records.first(), records.last()) {
+        println!(
+            "  first quote ${:.2} (day {}), last ${:.2} (day {})",
+            first.point.get(1),
+            first.point.get(2) as u64,
+            last.point.get(1),
+            last.point.get(2) as u64
+        );
+    }
+
+    // --- Range scan: mid-priced quotes in a date window -------------------
+    let window = Rect::new(
+        Point::new3(0.0, 20.0, 100.0),
+        Point::new3(383.0, 40.0, 200.0),
+    );
+    let (buckets, records) = grid.range_query(&window);
+    println!(
+        "\n$20-$40 quotes in days 100-200: {} quotes from {} buckets",
+        records.len(),
+        buckets.len()
+    );
+
+    // --- How much does declustering help this workload? ------------------
+    let input = DeclusterInput::from_grid_file(&grid);
+    let workload = QueryWorkload::square(&dataset.domain, 0.01, 300, 9);
+    println!("\nresponse time for r=0.01 range queries (16 disks):");
+    for method in DeclusterMethod::paper_five() {
+        let assignment = method.assign(&input, 16, 1);
+        let result = evaluate(&grid, &assignment, &workload);
+        println!(
+            "  {:<8} {:>6.2}  (optimal {:.2})",
+            method.label(),
+            result.mean_response,
+            result.mean_optimal
+        );
+    }
+}

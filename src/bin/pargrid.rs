@@ -1,0 +1,373 @@
+//! `pargrid` — command-line front end for parallel grid files.
+//!
+//! ```text
+//! pargrid gen hot2d --out hot.pgf                # built-in dataset -> grid file
+//! pargrid gen stock3d --csv quotes.csv           # ... or CSV export
+//! pargrid build --csv points.csv --out my.pgf    # CSV records -> grid file
+//! pargrid stats my.pgf                           # structure summary
+//! pargrid query my.pgf --range 0..500,0..500     # range query
+//! pargrid pmatch my.pgf --keys 137.5,*,*         # partial-match query
+//! pargrid decluster my.pgf --method minimax --disks 16 --out assign.csv
+//! pargrid evaluate my.pgf --method hcam --disks 16 --ratio 0.05
+//! ```
+
+use pargrid::prelude::*;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         pargrid gen <uniform2d|hot2d|correl2d|dsmc3d|stock3d|mhd3d> [--seed N] [--out FILE.pgf] [--csv FILE.csv]\n  \
+         pargrid build --csv FILE.csv --out FILE.pgf [--capacity N] [--page BYTES]\n  \
+         pargrid stats FILE.pgf\n  \
+         pargrid query FILE.pgf --range LO..HI,LO..HI[,...] [--count-only]\n  \
+         pargrid pmatch FILE.pgf --keys V|*,V|*[,...]\n  \
+         pargrid decluster FILE.pgf --method M --disks N [--seed N] [--out FILE.csv]\n  \
+         pargrid evaluate FILE.pgf --method M --disks N [--ratio R] [--queries N] [--seed N]\n\n  \
+         methods: dm fx gdm hcam zcam gcam scan ssp mst kl minimax minimax-euclid"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "gen" => cmd_gen(rest),
+        "build" => cmd_build(rest),
+        "stats" => cmd_stats(rest),
+        "query" => cmd_query(rest),
+        "pmatch" => cmd_pmatch(rest),
+        "decluster" => cmd_decluster(rest),
+        "evaluate" => cmd_evaluate(rest),
+        _ => Err("unknown command".into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage()
+        }
+    }
+}
+
+type CliResult = Result<(), String>;
+
+/// Fetches the value following `--flag`, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .map(|s| Some(s.as_str()))
+            .ok_or_else(|| format!("{flag} needs a value")),
+    }
+}
+
+fn flag_parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+    match flag_value(args, flag)? {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad value for {flag}: {v}")),
+    }
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Flags that take no value (everything else consumes the next argument).
+const BOOLEAN_FLAGS: &[&str] = &["--count-only"];
+
+fn positional(args: &[String]) -> Option<&str> {
+    // First argument that is neither a flag nor a flag's value.
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip = !BOOLEAN_FLAGS.contains(&a.as_str());
+            continue;
+        }
+        return Some(a);
+    }
+    None
+}
+
+fn parse_method(name: &str) -> Result<DeclusterMethod, String> {
+    let m = match name {
+        "dm" => DeclusterMethod::Index(IndexScheme::DiskModulo, ConflictPolicy::DataBalance),
+        "fx" => DeclusterMethod::Index(IndexScheme::FieldwiseXor, ConflictPolicy::DataBalance),
+        "gdm" => DeclusterMethod::Index(
+            IndexScheme::GeneralizedDiskModulo,
+            ConflictPolicy::DataBalance,
+        ),
+        "hcam" => DeclusterMethod::Index(IndexScheme::Hilbert, ConflictPolicy::DataBalance),
+        "zcam" => DeclusterMethod::Index(IndexScheme::ZOrder, ConflictPolicy::DataBalance),
+        "gcam" => DeclusterMethod::Index(IndexScheme::GrayCode, ConflictPolicy::DataBalance),
+        "scan" => DeclusterMethod::Index(IndexScheme::Scan, ConflictPolicy::DataBalance),
+        "ssp" => DeclusterMethod::Ssp(EdgeWeight::Proximity),
+        "mst" => DeclusterMethod::Mst(EdgeWeight::Proximity),
+        "kl" => DeclusterMethod::KernighanLin(EdgeWeight::Proximity),
+        "minimax" => DeclusterMethod::Minimax(EdgeWeight::Proximity),
+        "minimax-euclid" => DeclusterMethod::Minimax(EdgeWeight::EuclideanCenter),
+        other => return Err(format!("unknown method: {other}")),
+    };
+    Ok(m)
+}
+
+fn load_file(args: &[String]) -> Result<GridFile, String> {
+    let path = positional(args).ok_or("missing grid file path")?;
+    GridFile::load(path).map_err(|e| format!("cannot load {path}: {e}"))
+}
+
+fn cmd_gen(args: &[String]) -> CliResult {
+    let name = positional(args).ok_or("missing dataset name")?;
+    let seed: u64 = flag_parse(args, "--seed", 42)?;
+    let ds = match name {
+        "uniform2d" => pargrid::datagen::uniform2d(seed),
+        "hot2d" => pargrid::datagen::hot2d(seed),
+        "correl2d" => pargrid::datagen::correl2d(seed),
+        "dsmc3d" => pargrid::datagen::dsmc3d(seed),
+        "stock3d" => pargrid::datagen::stock3d(seed),
+        "mhd3d" => pargrid::datagen::mhd3d(seed),
+        other => return Err(format!("unknown dataset: {other}")),
+    };
+    if let Some(csv) = flag_value(args, "--csv")? {
+        let mut out = String::with_capacity(ds.len() * 24);
+        for (i, p) in ds.points.iter().enumerate() {
+            out.push_str(&i.to_string());
+            for c in p.coords() {
+                out.push(',');
+                out.push_str(&format!("{c}"));
+            }
+            out.push('\n');
+        }
+        std::fs::write(csv, out).map_err(|e| e.to_string())?;
+        println!("wrote {} records to {csv}", ds.len());
+    }
+    if let Some(path) = flag_value(args, "--out")? {
+        let gf = ds.build_grid_file();
+        gf.save(path).map_err(|e| e.to_string())?;
+        let st = gf.stats();
+        println!(
+            "wrote {path}: {} records, {} buckets over {:?} grid",
+            st.n_records, st.n_buckets, st.cells_per_dim
+        );
+    }
+    if flag_value(args, "--csv")?.is_none() && flag_value(args, "--out")?.is_none() {
+        return Err("gen needs --out and/or --csv".into());
+    }
+    Ok(())
+}
+
+fn cmd_build(args: &[String]) -> CliResult {
+    let csv = flag_value(args, "--csv")?.ok_or("build needs --csv")?;
+    let out = flag_value(args, "--out")?.ok_or("build needs --out")?;
+    let text = std::fs::read_to_string(csv).map_err(|e| format!("{csv}: {e}"))?;
+    let mut records = Vec::new();
+    let mut dim = 0usize;
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() < 2 {
+            return Err(format!("{csv}:{}: need id plus coordinates", ln + 1));
+        }
+        let id: u64 = fields[0]
+            .trim()
+            .parse()
+            .map_err(|_| format!("{csv}:{}: bad id", ln + 1))?;
+        let coords: Result<Vec<f64>, String> = fields[1..]
+            .iter()
+            .map(|f| {
+                f.trim()
+                    .parse::<f64>()
+                    .map_err(|_| format!("{csv}:{}: bad coordinate {f}", ln + 1))
+            })
+            .collect();
+        let coords = coords?;
+        if dim == 0 {
+            dim = coords.len();
+        } else if coords.len() != dim {
+            return Err(format!("{csv}:{}: inconsistent dimensionality", ln + 1));
+        }
+        records.push(Record::new(id, Point::new(&coords)));
+    }
+    if records.is_empty() {
+        return Err("no records in CSV".into());
+    }
+    // Domain: bounding box of the data, padded so max coordinates stay
+    // strictly inside.
+    let mut lo = vec![f64::MAX; dim];
+    let mut hi = vec![f64::MIN; dim];
+    for r in &records {
+        for k in 0..dim {
+            lo[k] = lo[k].min(r.point.get(k));
+            hi[k] = hi[k].max(r.point.get(k));
+        }
+    }
+    for k in 0..dim {
+        let pad = (hi[k] - lo[k]).max(1.0) * 1e-6;
+        hi[k] += pad;
+    }
+    let domain = Rect::new(Point::new(&lo), Point::new(&hi));
+    let page: usize = flag_parse(args, "--page", 4096)?;
+    let capacity: usize = flag_parse(args, "--capacity", 0)?;
+    let cfg = if capacity > 0 {
+        GridConfig::with_capacity(domain, capacity).with_page_bytes(page)
+    } else {
+        GridConfig::new(domain, 0).with_page_bytes(page)
+    };
+    let gf = GridFile::bulk_load(cfg, records);
+    gf.save(out).map_err(|e| e.to_string())?;
+    let st = gf.stats();
+    println!(
+        "wrote {out}: {} records, {} buckets ({} merged) over {:?} grid",
+        st.n_records, st.n_buckets, st.n_merged_buckets, st.cells_per_dim
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> CliResult {
+    let gf = load_file(args)?;
+    let st = gf.stats();
+    println!("records        {}", st.n_records);
+    println!("dimensionality {}", gf.dim());
+    println!(
+        "grid           {:?} ({} cells)",
+        st.cells_per_dim, st.n_cells
+    );
+    println!(
+        "buckets        {} ({} merged, {} oversize)",
+        st.n_buckets, st.n_merged_buckets, st.oversize_buckets
+    );
+    println!("capacity       {} records/bucket", gf.bucket_capacity());
+    println!("occupancy      {:.1}%", st.avg_occupancy * 100.0);
+    println!("page size      {} bytes", gf.config().page_bytes);
+    Ok(())
+}
+
+fn parse_range(spec: &str, dim: usize) -> Result<Rect, String> {
+    let parts: Vec<&str> = spec.split(',').collect();
+    if parts.len() != dim {
+        return Err(format!("range has {} dims, file has {dim}", parts.len()));
+    }
+    let mut lo = Vec::with_capacity(dim);
+    let mut hi = Vec::with_capacity(dim);
+    for p in parts {
+        let (a, b) = p
+            .split_once("..")
+            .ok_or_else(|| format!("bad interval {p} (want LO..HI)"))?;
+        let a: f64 = a.parse().map_err(|_| format!("bad number {a}"))?;
+        let b: f64 = b.parse().map_err(|_| format!("bad number {b}"))?;
+        if !a.is_finite() || !b.is_finite() || a > b {
+            return Err(format!(
+                "empty or invalid interval {p} (want LO..HI with LO <= HI)"
+            ));
+        }
+        lo.push(a);
+        hi.push(b);
+    }
+    Ok(Rect::new(Point::new(&lo), Point::new(&hi)))
+}
+
+fn cmd_query(args: &[String]) -> CliResult {
+    let gf = load_file(args)?;
+    let spec = flag_value(args, "--range")?.ok_or("query needs --range")?;
+    let rect = parse_range(spec, gf.dim())?;
+    let (buckets, records) = gf.range_query(&rect);
+    println!("buckets read: {}", buckets.len());
+    println!("records:      {}", records.len());
+    if !has_flag(args, "--count-only") {
+        for r in records.iter().take(20) {
+            println!("  {} @ {:?}", r.id, r.point.coords());
+        }
+        if records.len() > 20 {
+            println!("  ... ({} more)", records.len() - 20);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_pmatch(args: &[String]) -> CliResult {
+    let gf = load_file(args)?;
+    let spec = flag_value(args, "--keys")?.ok_or("pmatch needs --keys")?;
+    let keys: Result<Vec<Option<f64>>, String> = spec
+        .split(',')
+        .map(|p| {
+            if p == "*" {
+                Ok(None)
+            } else {
+                p.parse::<f64>()
+                    .map(Some)
+                    .map_err(|_| format!("bad key {p}"))
+            }
+        })
+        .collect();
+    let keys = keys?;
+    if keys.len() != gf.dim() {
+        return Err(format!("{} keys for a {}-d file", keys.len(), gf.dim()));
+    }
+    let (buckets, records) = gf.partial_match(&keys);
+    println!("buckets read: {}", buckets.len());
+    println!("records:      {}", records.len());
+    Ok(())
+}
+
+fn cmd_decluster(args: &[String]) -> CliResult {
+    let gf = load_file(args)?;
+    let method = parse_method(flag_value(args, "--method")?.ok_or("needs --method")?)?;
+    let disks: usize = flag_parse(args, "--disks", 0)?;
+    if disks == 0 {
+        return Err("needs --disks N".into());
+    }
+    let seed: u64 = flag_parse(args, "--seed", 42)?;
+    let input = DeclusterInput::from_grid_file(&gf);
+    let assignment = method.assign(&input, disks, seed);
+    println!(
+        "{} over {disks} disks: balance degree {:.3}, counts {:?}",
+        method.label(),
+        assignment.data_balance_degree(),
+        assignment.bucket_counts()
+    );
+    if let Some(out) = flag_value(args, "--out")? {
+        let mut csv = String::from("bucket_id,disk\n");
+        for b in &input.buckets {
+            csv.push_str(&format!("{},{}\n", b.id, assignment.disk_of_id(b.id)));
+        }
+        std::fs::write(out, csv).map_err(|e| e.to_string())?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}
+
+fn cmd_evaluate(args: &[String]) -> CliResult {
+    let gf = load_file(args)?;
+    let method = parse_method(flag_value(args, "--method")?.ok_or("needs --method")?)?;
+    let disks: usize = flag_parse(args, "--disks", 0)?;
+    if disks == 0 {
+        return Err("needs --disks N".into());
+    }
+    let ratio: f64 = flag_parse(args, "--ratio", 0.05)?;
+    let queries: usize = flag_parse(args, "--queries", 1000)?;
+    let seed: u64 = flag_parse(args, "--seed", 42)?;
+    let input = DeclusterInput::from_grid_file(&gf);
+    let assignment = method.assign(&input, disks, seed);
+    let workload = QueryWorkload::square(&gf.config().domain, ratio, queries, seed);
+    let stats = pargrid::sim::evaluate(&gf, &assignment, &workload);
+    println!("method          {}", method.label());
+    println!("disks           {disks}");
+    println!("queries         {queries} (ratio {ratio})");
+    println!("mean response   {:.3} buckets", stats.mean_response);
+    println!("optimal         {:.3}", stats.mean_optimal);
+    println!("mean buckets    {:.2} per query", stats.mean_buckets);
+    println!("balance degree  {:.3}", stats.balance_degree);
+    Ok(())
+}

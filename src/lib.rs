@@ -1,0 +1,58 @@
+//! # pargrid — scalable declustering for parallel grid files
+//!
+//! A Rust reproduction of Moon, Acharya & Saltz, *Study of Scalable
+//! Declustering Algorithms for Parallel Grid Files* (IPPS 1996).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`geom`] | `pargrid-geom` | points, boxes, proximity index, space-filling curves |
+//! | [`gridfile`] | `pargrid-gridfile` | grid file + Cartesian product file |
+//! | [`datagen`] | `pargrid-datagen` | the paper's datasets (synthetic + substitutes) |
+//! | [`decluster`] | `pargrid-core` | DM, FX, HCAM, conflict resolution, SSP, **minimax**, analytic models |
+//! | [`sim`] | `pargrid-sim` | workloads, response-time metrics, sweep runner |
+//! | [`parallel`] | `pargrid-parallel` | shared-nothing SPMD engine (SP-2 substitute) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pargrid::prelude::*;
+//!
+//! // 1. Generate a skewed dataset and load it into a grid file.
+//! let dataset = pargrid::datagen::hot2d(42);
+//! let grid = dataset.build_grid_file();
+//!
+//! // 2. Decluster its buckets over 16 disks with the paper's minimax
+//! //    algorithm.
+//! let input = DeclusterInput::from_grid_file(&grid);
+//! let assignment = DeclusterMethod::Minimax(EdgeWeight::Proximity)
+//!     .assign(&input, 16, 1);
+//! assert!(assignment.is_perfectly_balanced());
+//!
+//! // 3. Measure the average response time of 100 random range queries.
+//! let workload = QueryWorkload::square(&dataset.domain, 0.05, 100, 7);
+//! let stats = evaluate(&grid, &assignment, &workload);
+//! assert!(stats.mean_response >= stats.mean_optimal);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use pargrid_core as decluster;
+pub use pargrid_datagen as datagen;
+pub use pargrid_geom as geom;
+pub use pargrid_gridfile as gridfile;
+pub use pargrid_parallel as parallel;
+pub use pargrid_sim as sim;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use pargrid_core::{
+        Assignment, ConflictPolicy, DeclusterInput, DeclusterMethod, EdgeWeight, IndexScheme,
+    };
+    pub use pargrid_datagen::Dataset;
+    pub use pargrid_geom::{Point, Rect};
+    pub use pargrid_gridfile::{GridConfig, GridFile, Record};
+    pub use pargrid_parallel::{EngineConfig, ParallelGridFile};
+    pub use pargrid_sim::{evaluate, QueryWorkload};
+}

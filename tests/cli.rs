@@ -1,0 +1,201 @@
+//! Integration tests driving the `pargrid` CLI binary end-to-end.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pargrid"))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pargrid_cli_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = bin().output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = bin().arg("frobnicate").output().expect("run");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn gen_stats_query_decluster_evaluate_pipeline() {
+    let dir = temp_dir("pipeline");
+    let pgf = dir.join("u.pgf");
+
+    // gen
+    let out = bin()
+        .args(["gen", "uniform2d", "--seed", "7", "--out"])
+        .arg(&pgf)
+        .output()
+        .expect("gen");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(pgf.exists());
+
+    // stats
+    let out = bin().arg("stats").arg(&pgf).output().expect("stats");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("records        10000"), "{text}");
+    assert!(text.contains("dimensionality 2"));
+
+    // query
+    let out = bin()
+        .arg("query")
+        .arg(&pgf)
+        .args(["--range", "0..1000,0..1000", "--count-only"])
+        .output()
+        .expect("query");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    // A quarter of the domain holds roughly a quarter of 10k uniform points.
+    let records: u64 = text
+        .lines()
+        .find(|l| l.starts_with("records:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .expect("records line");
+    assert!((2000..3000).contains(&records), "{records}");
+
+    // decluster with CSV output
+    let assign = dir.join("assign.csv");
+    let out = bin()
+        .arg("decluster")
+        .arg(&pgf)
+        .args(["--method", "minimax", "--disks", "8", "--out"])
+        .arg(&assign)
+        .output()
+        .expect("decluster");
+    assert!(out.status.success());
+    let csv = std::fs::read_to_string(&assign).expect("assignment csv");
+    assert!(csv.starts_with("bucket_id,disk\n"));
+    assert!(csv.lines().count() > 100);
+
+    // evaluate
+    let out = bin()
+        .arg("evaluate")
+        .arg(&pgf)
+        .args([
+            "--method",
+            "hcam",
+            "--disks",
+            "16",
+            "--ratio",
+            "0.05",
+            "--queries",
+            "100",
+        ])
+        .output()
+        .expect("evaluate");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("mean response"), "{text}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn csv_roundtrip_build() {
+    let dir = temp_dir("csv");
+    let csv = dir.join("points.csv");
+    let pgf = dir.join("points.pgf");
+    let mut content = String::from("# id,x,y\n");
+    for i in 0..200 {
+        content.push_str(&format!("{i},{},{}\n", (i % 20) as f64, (i / 20) as f64));
+    }
+    std::fs::write(&csv, content).expect("write csv");
+
+    let out = bin()
+        .args(["build", "--csv"])
+        .arg(&csv)
+        .arg("--out")
+        .arg(&pgf)
+        .args(["--capacity", "8"])
+        .output()
+        .expect("build");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = bin()
+        .arg("pmatch")
+        .arg(&pgf)
+        .args(["--keys", "5,*"])
+        .output()
+        .expect("pmatch");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("records:      10"), "{text}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_csv_reports_line() {
+    let dir = temp_dir("badcsv");
+    let csv = dir.join("bad.csv");
+    std::fs::write(&csv, "0,1.0,2.0\n1,oops,3.0\n").expect("write");
+    let out = bin()
+        .args(["build", "--csv"])
+        .arg(&csv)
+        .arg("--out")
+        .arg(dir.join("x.pgf"))
+        .output()
+        .expect("build");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains(":2:"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn inverted_and_nonfinite_ranges_error_cleanly() {
+    // Regression: an inverted --range must produce a CLI error, not a panic.
+    let dir = temp_dir("range");
+    let pgf = dir.join("u.pgf");
+    assert!(bin()
+        .args(["gen", "uniform2d", "--out"])
+        .arg(&pgf)
+        .output()
+        .expect("gen")
+        .status
+        .success());
+    for bad in ["100..50,0..10", "nan..10,0..10", "0..inf,0..10"] {
+        let out = bin()
+            .arg("query")
+            .arg(&pgf)
+            .args(["--range", bad])
+            .output()
+            .expect("query");
+        assert!(!out.status.success(), "{bad} accepted");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("interval"), "{bad}: {err}");
+        assert!(!err.contains("panicked"), "{bad} panicked");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_grid_file_is_rejected() {
+    let dir = temp_dir("corrupt");
+    let pgf = dir.join("bad.pgf");
+    std::fs::write(&pgf, b"not a grid file at all").expect("write");
+    let out = bin().arg("stats").arg(&pgf).output().expect("stats");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("corrupt"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,159 @@
+//! Cross-crate integration: the whole pipeline from dataset generation to
+//! parallel execution, checking consistency between layers.
+
+use pargrid::prelude::*;
+use pargrid::sim::{evaluate, metrics::query_response};
+use std::sync::Arc;
+
+/// The simulator's per-query response (counted through the assignment) and
+/// the parallel engine's `response_blocks` must agree whenever every bucket
+/// fits one block.
+#[test]
+fn simulator_and_engine_agree_on_response() {
+    let ds = pargrid::datagen::hot2d(1);
+    let grid = Arc::new(ds.build_grid_file());
+    assert_eq!(
+        grid.stats().oversize_buckets,
+        0,
+        "precondition: one block per bucket"
+    );
+    let input = DeclusterInput::from_grid_file(&grid);
+    let assignment = DeclusterMethod::Minimax(EdgeWeight::Proximity).assign(&input, 8, 1);
+    let mut engine =
+        ParallelGridFile::build(Arc::clone(&grid), &assignment, EngineConfig::default());
+
+    let workload = QueryWorkload::square(&ds.domain, 0.05, 50, 3);
+    for q in &workload.queries {
+        let (sim_resp, sim_total) = query_response(&grid, &assignment, q);
+        let out = engine.query(q);
+        assert_eq!(out.response_blocks, sim_resp, "query {q:?}");
+        assert_eq!(out.total_blocks, sim_total, "query {q:?}");
+    }
+}
+
+/// The engine returns exactly the records a sequential scan finds, for
+/// every dataset family.
+#[test]
+fn engine_queries_match_sequential_ground_truth() {
+    let datasets = [
+        pargrid::datagen::uniform2d(5),
+        pargrid::datagen::dsmc3d_sized(5, 8_000),
+        pargrid::datagen::stock3d_sized(5, 60, 120),
+    ];
+    for ds in datasets {
+        let grid = Arc::new(ds.build_grid_file());
+        let input = DeclusterInput::from_grid_file(&grid);
+        let assignment = DeclusterMethod::Ssp(EdgeWeight::Proximity).assign(&input, 6, 2);
+        let mut engine =
+            ParallelGridFile::build(Arc::clone(&grid), &assignment, EngineConfig::default());
+        let workload = QueryWorkload::square(&ds.domain, 0.05, 20, 11);
+        for q in &workload.queries {
+            let out = engine.query(q);
+            let mut expected: Vec<u64> = ds
+                .points
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| q.contains_closed(p))
+                .map(|(i, _)| i as u64)
+                .collect();
+            expected.sort_unstable();
+            let got: Vec<u64> = out.records.iter().map(|r| r.id).collect();
+            assert_eq!(got, expected, "{} query {q:?}", ds.name);
+        }
+    }
+}
+
+/// Every method produces a complete, in-range, deterministic assignment on
+/// every dataset family.
+#[test]
+fn all_methods_on_all_dataset_families() {
+    let datasets = [
+        pargrid::datagen::uniform2d(9),
+        pargrid::datagen::correl2d(9),
+        pargrid::datagen::dsmc3d_sized(9, 6_000),
+    ];
+    let methods = [
+        DeclusterMethod::Index(IndexScheme::DiskModulo, ConflictPolicy::Random),
+        DeclusterMethod::Index(IndexScheme::FieldwiseXor, ConflictPolicy::MostFrequent),
+        DeclusterMethod::Index(IndexScheme::Hilbert, ConflictPolicy::DataBalance),
+        DeclusterMethod::Index(IndexScheme::ZOrder, ConflictPolicy::AreaBalance),
+        DeclusterMethod::Index(IndexScheme::GrayCode, ConflictPolicy::DataBalance),
+        DeclusterMethod::Index(IndexScheme::Scan, ConflictPolicy::DataBalance),
+        DeclusterMethod::Minimax(EdgeWeight::Proximity),
+        DeclusterMethod::Minimax(EdgeWeight::EuclideanCenter),
+        DeclusterMethod::Ssp(EdgeWeight::Proximity),
+        DeclusterMethod::Mst(EdgeWeight::Proximity),
+        DeclusterMethod::KernighanLin(EdgeWeight::Proximity),
+    ];
+    for ds in &datasets {
+        let grid = ds.build_grid_file();
+        let input = DeclusterInput::from_grid_file(&grid);
+        for method in &methods {
+            let a = method.assign(&input, 12, 77);
+            let b = method.assign(&input, 12, 77);
+            assert_eq!(a.disks(), b.disks(), "{} not deterministic", method.label());
+            assert_eq!(a.disks().len(), input.n_buckets());
+            assert!(a.disks().iter().all(|&d| d < 12));
+        }
+    }
+}
+
+/// Response time is monotonically bounded below by the optimal and above by
+/// the single-disk response, for every method.
+#[test]
+fn response_time_bounds() {
+    let ds = pargrid::datagen::hot2d(3);
+    let grid = ds.build_grid_file();
+    let input = DeclusterInput::from_grid_file(&grid);
+    let w = QueryWorkload::square(&ds.domain, 0.05, 100, 5);
+    let single = {
+        let a = DeclusterMethod::Minimax(EdgeWeight::Proximity).assign(&input, 1, 1);
+        evaluate(&grid, &a, &w).mean_response
+    };
+    for method in DeclusterMethod::paper_five() {
+        let a = method.assign(&input, 16, 1);
+        let s = evaluate(&grid, &a, &w);
+        assert!(
+            s.mean_response >= s.mean_optimal - 1e-9,
+            "{} below optimal",
+            method.label()
+        );
+        assert!(
+            s.mean_response <= single + 1e-9,
+            "{} above single-disk response",
+            method.label()
+        );
+    }
+}
+
+/// Grid files survive a full insert-query-delete lifecycle on real dataset
+/// distributions (not just uniform proptest inputs).
+#[test]
+fn grid_file_lifecycle_on_skewed_data() {
+    let ds = pargrid::datagen::correl2d(8);
+    let mut grid = GridFile::new(ds.grid_config());
+    for (i, p) in ds.points.iter().take(3_000).enumerate() {
+        grid.insert(Record::new(i as u64, *p));
+    }
+    grid.check_invariants();
+    let (_, records) = grid.range_query(&ds.domain);
+    assert_eq!(records.len(), 3_000);
+    for (i, p) in ds.points.iter().take(3_000).enumerate() {
+        assert!(grid.delete(i as u64, p), "record {i} lost");
+    }
+    assert!(grid.is_empty());
+    grid.check_invariants();
+}
+
+/// The facade's doc-quickstart pipeline holds together (mirrors lib.rs).
+#[test]
+fn facade_quickstart_pipeline() {
+    let dataset = pargrid::datagen::hot2d(42);
+    let grid = dataset.build_grid_file();
+    let input = DeclusterInput::from_grid_file(&grid);
+    let assignment = DeclusterMethod::Minimax(EdgeWeight::Proximity).assign(&input, 16, 1);
+    assert!(assignment.is_perfectly_balanced());
+    let workload = QueryWorkload::square(&dataset.domain, 0.05, 100, 7);
+    let stats = evaluate(&grid, &assignment, &workload);
+    assert!(stats.mean_response >= stats.mean_optimal);
+}
