@@ -1,0 +1,259 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements enough of criterion's API for this workspace's benches to
+//! compile and produce useful numbers offline: `criterion_group!` /
+//! `criterion_main!`, benchmark groups, `BenchmarkId`, `Throughput`, and
+//! `Bencher::iter`. Measurement is a simple mean over a fixed number of
+//! timed iterations (after one warm-up), printed as
+//! `group/function/param  time: [... per iter]  thrpt: [...]`. No
+//! statistical analysis, HTML reports, or saved baselines.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` id.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::from("bench"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: Some(s.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: Some(s),
+            parameter: None,
+        }
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    iters: u64,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Calls `body` repeatedly and records the mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // One warm-up call, untimed.
+        let _ = body();
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            let _ = std::hint::black_box(body());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Sets the throughput denominator for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark without an input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iters: self.sample_size,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        self.report(&id, b.mean_ns);
+        self
+    }
+
+    /// Runs a benchmark against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            iters: self.sample_size,
+            mean_ns: 0.0,
+        };
+        f(&mut b, input);
+        self.report(&id, b.mean_ns);
+        self
+    }
+
+    fn report(&self, id: &BenchmarkId, mean_ns: f64) {
+        let mut line = format!(
+            "{}/{:<40} time: [{} per iter]",
+            self.name,
+            id.label(),
+            fmt_time(mean_ns)
+        );
+        if let Some(t) = self.throughput {
+            let (units, suffix) = match t {
+                Throughput::Elements(n) => (n as f64, "elem/s"),
+                Throughput::Bytes(n) => (n as f64, "B/s"),
+            };
+            if mean_ns > 0.0 {
+                line.push_str(&format!(
+                    "  thrpt: [{:.1} {suffix}]",
+                    units / (mean_ns / 1e9)
+                ));
+            }
+        }
+        println!("{line}");
+    }
+
+    /// Ends the group (printing is incremental; nothing left to flush).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(name, f);
+        self
+    }
+}
+
+/// Declares a group function that runs the given benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in favor
+/// of `std::hint::black_box`, which the benches here use directly).
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("compat");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function(BenchmarkId::from_parameter(7), |b| b.iter(|| 7 * 6));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

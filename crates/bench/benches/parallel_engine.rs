@@ -1,5 +1,6 @@
 //! SPMD engine throughput (Tables 4–5 at reduced scale): query latency
-//! through the coordinator/worker protocol at 4, 8 and 16 workers.
+//! through the coordinator/worker protocol at 4, 8 and 16 workers, plus the
+//! concurrent query service's window sweep.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pargrid_core::{DeclusterInput, DeclusterMethod, EdgeWeight};
@@ -26,7 +27,7 @@ fn bench_engine(c: &mut Criterion) {
             |b, w| {
                 // Engine construction outside the measured loop; caches are
                 // reused across iterations, as a long-lived server's would be.
-                let mut engine =
+                let engine =
                     ParallelGridFile::build(Arc::clone(&gf), &assignment, EngineConfig::default());
                 b.iter(|| black_box(engine.run_workload(w)))
             },
@@ -38,26 +39,46 @@ fn bench_engine(c: &mut Criterion) {
     group.throughput(Throughput::Elements(animation.len() as u64));
     let assignment = DeclusterMethod::Minimax(EdgeWeight::Proximity).assign(&input, 8, 1);
     group.bench_with_input(BenchmarkId::new("animation", 8), &animation, |b, w| {
-        let mut engine =
-            ParallelGridFile::build(Arc::clone(&gf), &assignment, EngineConfig::default());
+        let engine = ParallelGridFile::build(Arc::clone(&gf), &assignment, EngineConfig::default());
         b.iter(|| black_box(engine.run_workload(w)))
     });
 
-    // Pipelined execution: up to 8 queries in flight.
+    // Concurrent service: sweep the in-flight window at 8 workers. Measures
+    // the real coordinator overhead of round admission + batched replies.
     group.throughput(Throughput::Elements(workload.len() as u64));
-    group.bench_with_input(
-        BenchmarkId::new("pipelined_window8", 8),
-        &workload,
-        |b, w| {
-            let mut engine =
-                ParallelGridFile::build(Arc::clone(&gf), &assignment, EngineConfig::default());
-            b.iter(|| black_box(engine.run_workload_pipelined(w, 8)))
-        },
-    );
+    for window in [1usize, 4, 8, 16, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("concurrent_window", window),
+            &workload,
+            |b, w| {
+                let engine =
+                    ParallelGridFile::build(Arc::clone(&gf), &assignment, EngineConfig::default());
+                b.iter(|| black_box(engine.run_workload_concurrent(w, window)))
+            },
+        );
+    }
+
+    // Shared-session service: 4 client threads querying one engine at once.
+    group.bench_with_input(BenchmarkId::new("shared_sessions", 4), &workload, |b, w| {
+        let engine = ParallelGridFile::build(Arc::clone(&gf), &assignment, EngineConfig::default());
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                for chunk in w.queries.chunks(w.queries.len().div_ceil(4)) {
+                    let engine = &engine;
+                    scope.spawn(move || {
+                        let mut session = engine.session();
+                        for q in chunk {
+                            black_box(session.query(q));
+                        }
+                    });
+                }
+            })
+        })
+    });
 
     // The SP-2 seven-disks-per-processor configuration.
     group.bench_with_input(BenchmarkId::new("seven_disks", 8), &workload, |b, w| {
-        let mut engine = ParallelGridFile::build(
+        let engine = ParallelGridFile::build(
             Arc::clone(&gf),
             &assignment,
             EngineConfig::sp2_seven_disks(),

@@ -26,6 +26,7 @@ const EXPERIMENTS: &[&str] = &[
     "fig7",
     "table4",
     "table5",
+    "throughput",
     "ablation-curves",
     "ablation-minimax",
     "ablation-cost",
@@ -102,6 +103,7 @@ fn main() -> ExitCode {
             "fig7" => exp::fig7::run(&params),
             "tables45" => exp::tables45::run(&params),
             "table4" | "table5" => exp::tables45::run(&params),
+            "throughput" => exp::throughput::run(&params),
             "ablation-curves" => exp::ablations::run_curves(&params),
             "ablation-minimax" => exp::ablations::run_minimax(&params),
             "ablation-cost" => exp::ablations::run_cost(&params),

@@ -12,6 +12,7 @@ pub mod table1;
 pub mod tables23;
 pub mod tables45;
 pub mod theorems;
+pub mod throughput;
 pub mod tracing;
 
 use crate::{NamedTable, Params};

@@ -65,8 +65,7 @@ pub fn run(params: &Params) -> Vec<NamedTable> {
             DeclusterMethod::Minimax(EdgeWeight::Proximity).assign(&input, p, params.seed);
 
         // Table 4: animation sweep over all snapshots.
-        let mut engine =
-            ParallelGridFile::build(Arc::clone(&gf), &assignment, EngineConfig::default());
+        let engine = ParallelGridFile::build(Arc::clone(&gf), &assignment, EngineConfig::default());
         let animation = QueryWorkload::animation(&ds.domain, 0.1, 59);
         let stats = engine.run_workload(&animation);
         t4.push_row(vec![
@@ -80,7 +79,7 @@ pub fn run(params: &Params) -> Vec<NamedTable> {
         // Table 5: 100 random range queries per ratio, on a fresh engine so
         // Table 4's warm caches do not leak in.
         for r in [0.01, 0.05, 0.1] {
-            let mut engine =
+            let engine =
                 ParallelGridFile::build(Arc::clone(&gf), &assignment, EngineConfig::default());
             let workload = QueryWorkload::square(&ds.domain, r, 100, params.seed);
             let stats = engine.run_workload(&workload);
@@ -110,7 +109,7 @@ pub fn run(params: &Params) -> Vec<NamedTable> {
             ("16 procs x 1 disk", EngineConfig::default()),
             ("16 procs x 7 disks (SP-2)", EngineConfig::sp2_seven_disks()),
         ] {
-            let mut engine = ParallelGridFile::build(Arc::clone(&gf), &assignment, config);
+            let engine = ParallelGridFile::build(Arc::clone(&gf), &assignment, config);
             let animation = QueryWorkload::animation(&ds.domain, 0.1, 59);
             let stats = engine.run_workload(&animation);
             t4b.push_row(vec![
@@ -152,7 +151,7 @@ mod tests {
         let gf = Arc::new(ds.build_grid_file());
         let input = DeclusterInput::from_grid_file(&gf);
         let a = DeclusterMethod::Minimax(EdgeWeight::Proximity).assign(&input, 4, 1);
-        let mut engine = ParallelGridFile::build(Arc::clone(&gf), &a, EngineConfig::default());
+        let engine = ParallelGridFile::build(Arc::clone(&gf), &a, EngineConfig::default());
         let w = QueryWorkload::animation(&ds.domain, 0.1, 8);
         let stats = engine.run_workload(&w);
         assert!(stats.response_blocks > 0);

@@ -50,7 +50,7 @@ pub fn run(params: &Params) -> Vec<NamedTable> {
         for &workers in &[4usize, 8, 16] {
             for method in &methods {
                 let assignment = method.assign(&input, workers, params.seed);
-                let mut engine =
+                let engine =
                     ParallelGridFile::build(Arc::clone(&gf), &assignment, EngineConfig::default());
                 let mut totals = pargrid_parallel::RunStats::default();
                 for t in 0..TRACES {
@@ -102,7 +102,7 @@ mod tests {
         let gf = Arc::new(ds.build_grid_file());
         let input = DeclusterInput::from_grid_file(&gf);
         let a = DeclusterMethod::Minimax(EdgeWeight::Proximity).assign(&input, 4, 1);
-        let mut engine = ParallelGridFile::build(Arc::clone(&gf), &a, EngineConfig::default());
+        let engine = ParallelGridFile::build(Arc::clone(&gf), &a, EngineConfig::default());
         let trace = QueryWorkload::particle_trace(&ds.domain, 0.01, 6, 0.05, 3);
         let s = engine.run_workload(&trace);
         assert_eq!(s.queries, 6);

@@ -48,6 +48,7 @@ pub fn optimal_assignment(input: &DeclusterInput, m: usize, weight: EdgeWeight) 
     // Depth-first with incremental cost and symmetry breaking: bucket `i`
     // may only open disk `i` (first unused disk), killing the m! relabeling
     // symmetry.
+    #[allow(clippy::too_many_arguments)]
     fn dfs(
         depth: usize,
         cost_so_far: f64,

@@ -72,24 +72,28 @@ impl DiskModel {
         blocks.sort_unstable();
         let mut batch_us = 0;
         for &b in blocks.iter() {
-            batch_us += self.read_one(b);
+            batch_us += self.read_block(b).us;
         }
         batch_us
     }
 
-    fn read_one(&mut self, block: u32) -> u64 {
+    /// Services one block read at the current arm position, returning its
+    /// cost. Callers batching several queries together (the worker's elevator
+    /// pass) are responsible for issuing blocks in sorted order; this method
+    /// charges whatever the arm movement actually costs.
+    pub fn read_block(&mut self, block: u32) -> BlockCost {
         self.blocks_read += 1;
-        let us = if self.cache.touch(block) {
+        let (us, hit) = if self.cache.touch(block) {
             self.cache_hits += 1;
-            self.params.hit_us
+            (self.params.hit_us, true)
         } else if self.last_block == Some(block.wrapping_sub(1)) {
-            self.params.sequential_us
+            (self.params.sequential_us, false)
         } else {
-            self.params.miss_us
+            (self.params.miss_us, false)
         };
         self.last_block = Some(block);
         self.busy_us += us;
-        us
+        BlockCost { us, hit }
     }
 
     /// Total virtual busy time so far.
@@ -106,6 +110,25 @@ impl DiskModel {
     pub fn cache_hits(&self) -> u64 {
         self.cache_hits
     }
+
+    /// Pages currently resident in the buffer cache.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Buffer-cache capacity in pages.
+    pub fn cache_capacity(&self) -> usize {
+        self.params.cache_pages
+    }
+}
+
+/// Cost of one block read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockCost {
+    /// Virtual time consumed, microseconds.
+    pub us: u64,
+    /// Whether the read was a buffer-cache hit.
+    pub hit: bool,
 }
 
 #[cfg(test)]
@@ -166,6 +189,31 @@ mod tests {
         assert_eq!(d.cache_hits(), 0);
         // Re-reading the same block is not "sequential" (block != last+1).
         assert_eq!(d.busy_us(), 2000);
+    }
+
+    #[test]
+    fn read_block_tags_hits() {
+        let mut d = DiskModel::new(params());
+        let first = d.read_block(9);
+        assert_eq!(
+            first,
+            BlockCost {
+                us: 1000,
+                hit: false
+            }
+        );
+        let seq = d.read_block(10);
+        assert_eq!(
+            seq,
+            BlockCost {
+                us: 100,
+                hit: false
+            }
+        );
+        let hit = d.read_block(9);
+        assert_eq!(hit, BlockCost { us: 10, hit: true });
+        assert_eq!(d.cache_len(), 2);
+        assert_eq!(d.cache_capacity(), 4);
     }
 
     #[test]

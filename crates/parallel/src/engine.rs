@@ -2,13 +2,21 @@
 //!
 //! `ParallelGridFile::build` declusters a grid file onto `P` worker threads
 //! (one simulated disk each, exactly the paper's one-disk-per-processor
-//! simplification), then `query`/`run_workload` drive the SPMD protocol:
+//! simplification), then the query API drives the SPMD protocol:
 //!
 //! 1. the coordinator translates the range query into block requests using
 //!    the grid directory (which the paper stores on the coordinator's disk),
 //! 2. involved workers read their blocks (virtual disk time, LRU cache),
 //!    decode the real pages and filter records,
 //! 3. replies stream back; the coordinator merges them.
+//!
+//! The engine is a **shared service**: every query method takes `&self`, so
+//! any number of threads can hold the same engine and open independent
+//! [`QuerySession`]s against it. Each session owns a private reply channel;
+//! workers answer to whichever session asked, and queries from concurrent
+//! sessions that land in a worker's queue together are serviced as one
+//! elevator batch (see [`crate::worker`]) while their virtual completion
+//! times stay independently accounted.
 //!
 //! Virtual elapsed time of a query = slowest worker's (disk + CPU) time plus
 //! communication time; communication = one broadcast latency plus each
@@ -17,14 +25,17 @@
 //! query ratio `r` (§ 3.5: "the size of answer sets tends to grow").
 
 use crate::disk::DiskParams;
-use crate::message::{FromWorker, ToWorker};
+use crate::message::{FromWorker, QueryPriority, ReadRequest, ToWorker};
+use crate::stats::{EngineStats, SharedStats};
 use crate::worker::{run_worker, WorkerState};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use pargrid_core::Assignment;
 use pargrid_geom::Rect;
 use pargrid_gridfile::page::encode_page;
 use pargrid_gridfile::{GridFile, Record};
+use pargrid_sim::{QueryWorkload, ThroughputStats};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -91,13 +102,18 @@ impl EngineConfig {
 pub struct QueryOutcome {
     /// Qualifying records, merged from all workers (sorted by id).
     pub records: Vec<Record>,
+    /// Grid-directory buckets the query touched (sorted by id).
+    pub buckets: Vec<u32>,
     /// The §2.2 response time in blocks: `max_i N_i(q)`.
     pub response_blocks: u64,
     /// Total blocks requested across workers.
     pub total_blocks: u64,
     /// Buffer-cache hits among them.
     pub cache_hits: u64,
-    /// Virtual elapsed time of the query (microseconds).
+    /// Virtual elapsed time of the query (microseconds), accounted
+    /// independently of any concurrently-serviced queries: the slowest
+    /// involved worker's own disk + CPU charges plus this query's
+    /// communication time.
     pub elapsed_us: u64,
     /// Virtual communication time of the query (microseconds).
     pub comm_us: u64,
@@ -133,9 +149,25 @@ impl RunStats {
     pub fn elapsed_seconds(&self) -> f64 {
         self.elapsed_us as f64 / 1e6
     }
+
+    fn absorb(&mut self, out: &QueryOutcome) {
+        self.queries += 1;
+        self.response_blocks += out.response_blocks;
+        self.total_blocks += out.total_blocks;
+        self.cache_hits += out.cache_hits;
+        self.records += out.records.len() as u64;
+        self.comm_us += out.comm_us;
+        self.elapsed_us += out.elapsed_us;
+    }
 }
 
 /// A parallel grid file: coordinator-side handle plus worker threads.
+///
+/// The handle is `Sync`: share it behind an `Arc` (or plain `&`) and open a
+/// [`QuerySession`] per client thread. The legacy one-shot methods
+/// ([`ParallelGridFile::query`], [`ParallelGridFile::run_workload`], ...)
+/// take `&self` and open a session internally, so pre-redesign call sites —
+/// including those holding `&mut` — compile unchanged.
 pub struct ParallelGridFile {
     gf: Arc<GridFile>,
     net: NetParams,
@@ -143,9 +175,9 @@ pub struct ParallelGridFile {
     /// bucket id -> (worker, blocks of that bucket).
     placement: HashMap<u32, (usize, Vec<u32>)>,
     to_workers: Vec<Sender<ToWorker>>,
-    from_workers: Receiver<FromWorker>,
     handles: Vec<JoinHandle<()>>,
-    next_query_id: u64,
+    next_query_id: AtomicU64,
+    shared: Arc<SharedStats>,
 }
 
 impl ParallelGridFile {
@@ -213,12 +245,16 @@ impl ParallelGridFile {
             placement.insert(id, (w, blocks));
         }
 
-        let (from_tx, from_workers) = unbounded();
+        let shared = Arc::new(SharedStats::new(n_workers));
         let mut to_workers = Vec::with_capacity(n_workers);
         let mut handles = Vec::with_capacity(n_workers);
-        for state in workers {
+        for (w, state) in workers.into_iter().enumerate() {
             let (to_tx, to_rx) = unbounded();
-            handles.push(run_worker(state, to_rx, from_tx.clone()));
+            handles.push(run_worker(
+                state,
+                to_rx,
+                Some(Arc::clone(&shared.workers[w])),
+            ));
             to_workers.push(to_tx);
         }
 
@@ -228,9 +264,9 @@ impl ParallelGridFile {
             net: config.net,
             placement,
             to_workers,
-            from_workers,
             handles,
-            next_query_id: 0,
+            next_query_id: AtomicU64::new(0),
+            shared,
         }
     }
 
@@ -239,214 +275,298 @@ impl ParallelGridFile {
         self.to_workers.len()
     }
 
-    /// Executes one range query through the SPMD protocol.
-    pub fn query(&mut self, rect: &Rect) -> QueryOutcome {
-        let query_id = self.next_query_id;
-        self.next_query_id += 1;
+    /// Snapshot of the engine's lifetime counters (queries issued, per-worker
+    /// blocks/cache/busy-time/batch-size/cache-occupancy). Exact once no
+    /// query is in flight.
+    pub fn stats(&self) -> EngineStats {
+        self.shared.snapshot()
+    }
 
-        // Coordinator: translate the query into per-worker block requests.
-        let buckets = self.gf.range_query_buckets(rect);
+    /// Opens a client session: an independent stream of queries against the
+    /// shared engine. Sessions are cheap (one channel); open one per thread.
+    pub fn session(&self) -> QuerySession<'_> {
+        let (reply_tx, reply_rx) = unbounded();
+        QuerySession {
+            engine: self,
+            reply_tx,
+            reply_rx,
+            priority: QueryPriority::Interactive,
+            stats: RunStats::default(),
+        }
+    }
+
+    /// Translates a query into its touched buckets (sorted) and per-worker
+    /// block lists.
+    fn plan(&self, rect: &Rect) -> (Vec<u32>, HashMap<usize, Vec<u32>>) {
+        let mut buckets = self.gf.range_query_buckets(rect);
+        buckets.sort_unstable();
         let mut per_worker: HashMap<usize, Vec<u32>> = HashMap::new();
         for b in &buckets {
             let (w, blocks) = &self.placement[b];
             per_worker.entry(*w).or_default().extend_from_slice(blocks);
         }
-
-        let involved = per_worker.len();
-        let mut response_blocks = 0u64;
-        for (&w, blocks) in &per_worker {
-            response_blocks = response_blocks.max(blocks.len() as u64);
-            self.to_workers[w]
-                .send(ToWorker::Read {
-                    query_id,
-                    blocks: blocks.clone(),
-                    query: *rect,
-                })
-                .expect("worker channel closed");
-        }
-
-        // Collect replies; virtual times accumulate per the model in the
-        // module docs.
-        let mut records = Vec::new();
-        let mut max_worker_us = 0u64;
-        let mut comm_us = if involved > 0 { self.net.latency_us } else { 0 };
-        let mut total_blocks = 0u64;
-        let mut cache_hits = 0u64;
-        for _ in 0..involved {
-            let reply = self.from_workers.recv().expect("worker died");
-            assert_eq!(reply.query_id, query_id, "out-of-order reply");
-            max_worker_us = max_worker_us.max(reply.disk_us + reply.cpu_us);
-            total_blocks += reply.blocks_requested;
-            cache_hits += reply.cache_hits;
-            let reply_bytes = 32 + reply.records.len() * self.record_bytes;
-            comm_us += self.net.latency_us + reply_bytes as u64 / self.net.bytes_per_us.max(1);
-            records.extend(reply.records);
-        }
-        records.sort_unstable_by_key(|r| r.id);
-
-        QueryOutcome {
-            records,
-            response_blocks,
-            total_blocks,
-            cache_hits,
-            elapsed_us: max_worker_us + comm_us,
-            comm_us,
-        }
+        (buckets, per_worker)
     }
 
-    /// Runs a whole workload, accumulating the Tables 4–5 columns.
-    pub fn run_workload(&mut self, workload: &pargrid_sim::QueryWorkload) -> RunStats {
-        let mut stats = RunStats::default();
+    /// Executes one range query through the SPMD protocol.
+    ///
+    /// Convenience for one-shot callers; opens a throwaway session. Clients
+    /// issuing several queries should hold a [`QuerySession`] instead.
+    pub fn query(&self, rect: &Rect) -> QueryOutcome {
+        self.session().query(rect)
+    }
+
+    /// Runs a whole workload sequentially, accumulating the Tables 4–5
+    /// columns.
+    pub fn run_workload(&self, workload: &QueryWorkload) -> RunStats {
+        let mut session = self.session();
         for q in &workload.queries {
-            let out = self.query(q);
-            stats.queries += 1;
-            stats.response_blocks += out.response_blocks;
-            stats.total_blocks += out.total_blocks;
-            stats.cache_hits += out.cache_hits;
-            stats.records += out.records.len() as u64;
-            stats.comm_us += out.comm_us;
-            stats.elapsed_us += out.elapsed_us;
+            session.query(q);
         }
-        stats
+        session.stats
     }
 
-    /// Runs a workload with up to `window` queries in flight at once.
+    /// Runs a workload with up to `in_flight` queries admitted at once,
+    /// returning per-query outcomes plus aggregate throughput metrics.
     ///
-    /// The sequential [`ParallelGridFile::query`] leaves every disk idle
-    /// while the slowest one finishes; pipelining keeps all disks busy
-    /// across query boundaries (the "various access patterns" §4 anticipates
-    /// for a multi-user front end). Virtual time is accounted as a makespan:
-    /// each worker's disk busy time accumulates independently and the run's
-    /// elapsed time is the busiest worker's total plus communication — a
-    /// lower bound a real scheduler can approach.
+    /// The coordinator admits the workload in rounds of `in_flight` queries:
+    /// each round's block requests are grouped per worker and dispatched as
+    /// one batch, which the worker's disks service in elevator (sorted)
+    /// order. Admission rounds are the unit of determinism — batch
+    /// composition depends only on the workload and the window, never on
+    /// thread timing — so repeated runs produce identical block counts,
+    /// cache behavior, and virtual times.
     ///
-    /// Returns the per-query outcomes (records identical to sequential
-    /// execution) plus the aggregate stats, whose `elapsed_us` is the
-    /// pipelined makespan.
-    pub fn run_workload_pipelined(
-        &mut self,
-        workload: &pargrid_sim::QueryWorkload,
-        window: usize,
-    ) -> (Vec<QueryOutcome>, RunStats) {
-        assert!(window >= 1, "window must be at least 1");
-        let n = workload.queries.len();
-        let mut outcomes: Vec<Option<QueryOutcome>> = (0..n).map(|_| None).collect();
-        let mut stats = RunStats::default();
-        let mut worker_busy_us = vec![0u64; self.n_workers()];
+    /// Per-query `elapsed_us` stays independently accounted (each query is
+    /// charged only its own blocks' costs), while
+    /// [`ThroughputStats::makespan_us`] reflects the shared schedule: the
+    /// busiest worker's total busy time plus all communication.
+    pub fn run_workload_concurrent(
+        &self,
+        workload: &QueryWorkload,
+        in_flight: usize,
+    ) -> (Vec<QueryOutcome>, ThroughputStats) {
+        assert!(in_flight >= 1, "in_flight must be at least 1");
+        let n_workers = self.n_workers();
+        let (reply_tx, reply_rx) = unbounded();
+        let mut outcomes: Vec<QueryOutcome> = Vec::with_capacity(workload.len());
+        let mut tp = ThroughputStats {
+            in_flight,
+            worker_busy_us: vec![0; n_workers],
+            ..ThroughputStats::default()
+        };
 
-        // Per in-flight query bookkeeping.
-        struct InFlight {
+        struct Pending {
+            round_pos: usize,
+            buckets: Vec<u32>,
             awaiting: usize,
             response_blocks: u64,
             total_blocks: u64,
             cache_hits: u64,
             comm_us: u64,
+            max_worker_us: u64,
             records: Vec<Record>,
         }
-        let mut in_flight: HashMap<u64, (usize, InFlight)> = HashMap::new();
-        let base_id = self.next_query_id;
-        let mut issued = 0usize;
-        let mut completed = 0usize;
 
-        while completed < n {
-            // Keep the window full.
-            while issued < n && in_flight.len() < window {
-                let rect = &workload.queries[issued];
-                let query_id = self.next_query_id;
-                self.next_query_id += 1;
-                let buckets = self.gf.range_query_buckets(rect);
-                let mut per_worker: HashMap<usize, Vec<u32>> = HashMap::new();
-                for b in &buckets {
-                    let (w, blocks) = &self.placement[b];
-                    per_worker.entry(*w).or_default().extend_from_slice(blocks);
-                }
-                let mut response_blocks = 0;
-                for (&w, blocks) in &per_worker {
+        for round in workload.queries.chunks(in_flight) {
+            let mut per_worker: Vec<Vec<ReadRequest>> =
+                (0..n_workers).map(|_| Vec::new()).collect();
+            let mut pending: HashMap<u64, Pending> = HashMap::new();
+            let mut awaiting_total = 0usize;
+            for (round_pos, rect) in round.iter().enumerate() {
+                let query_id = self.next_query_id.fetch_add(1, Ordering::Relaxed);
+                self.shared.queries.fetch_add(1, Ordering::Relaxed);
+                let (buckets, plan) = self.plan(rect);
+                let mut response_blocks = 0u64;
+                let mut awaiting = 0usize;
+                for (w, blocks) in plan {
                     response_blocks = response_blocks.max(blocks.len() as u64);
-                    self.to_workers[w]
-                        .send(ToWorker::Read {
-                            query_id,
-                            blocks: blocks.clone(),
-                            query: *rect,
-                        })
-                        .expect("worker channel closed");
+                    per_worker[w].push(ReadRequest {
+                        query_id,
+                        blocks,
+                        query: *rect,
+                        reply: reply_tx.clone(),
+                        priority: QueryPriority::Batch,
+                    });
+                    awaiting += 1;
                 }
-                let awaiting = per_worker.len();
+                awaiting_total += awaiting;
                 let comm_us = if awaiting > 0 { self.net.latency_us } else { 0 };
-                in_flight.insert(
+                pending.insert(
                     query_id,
-                    (
-                        issued,
-                        InFlight {
-                            awaiting,
-                            response_blocks,
-                            total_blocks: 0,
-                            cache_hits: 0,
-                            comm_us,
-                            records: Vec::new(),
-                        },
-                    ),
-                );
-                issued += 1;
-                // Zero-touch queries complete immediately.
-                if awaiting == 0 {
-                    let (pos, fl) = in_flight.remove(&query_id).expect("just inserted");
-                    outcomes[pos] = Some(QueryOutcome {
-                        records: Vec::new(),
-                        response_blocks: 0,
+                    Pending {
+                        round_pos,
+                        buckets,
+                        awaiting,
+                        response_blocks,
                         total_blocks: 0,
                         cache_hits: 0,
-                        elapsed_us: 0,
-                        comm_us: fl.comm_us,
-                    });
-                    completed += 1;
+                        comm_us,
+                        max_worker_us: 0,
+                        records: Vec::new(),
+                    },
+                );
+            }
+
+            for (w, requests) in per_worker.into_iter().enumerate() {
+                if requests.is_empty() {
+                    continue;
                 }
+                tp.batches += 1;
+                tp.batched_requests += requests.len() as u64;
+                tp.max_batch = tp.max_batch.max(requests.len() as u64);
+                self.to_workers[w]
+                    .send(ToWorker::Process(requests))
+                    .expect("worker channel closed");
             }
-            if completed == n {
-                break;
+
+            for _ in 0..awaiting_total {
+                let reply = reply_rx.recv().expect("worker died");
+                let p = pending
+                    .get_mut(&reply.query_id)
+                    .expect("reply for unknown query");
+                tp.worker_busy_us[reply.worker_id] += reply.disk_us + reply.cpu_us;
+                p.total_blocks += reply.blocks_requested;
+                p.cache_hits += reply.cache_hits;
+                p.max_worker_us = p.max_worker_us.max(reply.disk_us + reply.cpu_us);
+                let reply_bytes = 32 + reply.records.len() * self.record_bytes;
+                p.comm_us +=
+                    self.net.latency_us + reply_bytes as u64 / self.net.bytes_per_us.max(1);
+                p.records.extend(reply.records);
+                p.awaiting -= 1;
             }
-            // Drain one reply.
-            let reply = self.from_workers.recv().expect("worker died");
-            assert!(reply.query_id >= base_id, "stale reply");
-            let (_, fl) = in_flight
-                .get_mut(&reply.query_id)
-                .expect("reply for unknown query");
-            worker_busy_us[reply.worker_id] += reply.disk_us + reply.cpu_us;
-            fl.total_blocks += reply.blocks_requested;
-            fl.cache_hits += reply.cache_hits;
-            let reply_bytes = 32 + reply.records.len() * self.record_bytes;
-            fl.comm_us += self.net.latency_us + reply_bytes as u64 / self.net.bytes_per_us.max(1);
-            fl.records.extend(reply.records);
-            fl.awaiting -= 1;
-            if fl.awaiting == 0 {
-                let (pos, mut fl) = in_flight.remove(&reply.query_id).expect("present");
-                fl.records.sort_unstable_by_key(|r| r.id);
-                outcomes[pos] = Some(QueryOutcome {
-                    response_blocks: fl.response_blocks,
-                    total_blocks: fl.total_blocks,
-                    cache_hits: fl.cache_hits,
-                    elapsed_us: 0, // per-query latency is not defined under pipelining
-                    comm_us: fl.comm_us,
-                    records: fl.records,
+
+            // Emit this round's outcomes in submission order.
+            let mut finished: Vec<Pending> = pending.into_values().collect();
+            finished.sort_unstable_by_key(|p| p.round_pos);
+            for mut p in finished {
+                debug_assert_eq!(p.awaiting, 0);
+                p.records.sort_unstable_by_key(|r| r.id);
+                tp.queries += 1;
+                tp.comm_us += p.comm_us;
+                tp.total_blocks += p.total_blocks;
+                tp.cache_hits += p.cache_hits;
+                outcomes.push(QueryOutcome {
+                    records: p.records,
+                    buckets: p.buckets,
+                    response_blocks: p.response_blocks,
+                    total_blocks: p.total_blocks,
+                    cache_hits: p.cache_hits,
+                    elapsed_us: p.max_worker_us + p.comm_us,
+                    comm_us: p.comm_us,
                 });
-                completed += 1;
             }
         }
 
-        let outcomes: Vec<QueryOutcome> = outcomes
-            .into_iter()
-            .map(|o| o.expect("all queries completed"))
-            .collect();
+        tp.makespan_us = tp.worker_busy_us.iter().copied().max().unwrap_or(0) + tp.comm_us;
+        (outcomes, tp)
+    }
+
+    /// Runs a workload with up to `window` queries in flight at once.
+    ///
+    /// Compatibility wrapper over
+    /// [`ParallelGridFile::run_workload_concurrent`]: returns the per-query
+    /// outcomes plus [`RunStats`] whose `elapsed_us` is the run's makespan
+    /// (busiest worker plus communication) rather than the sum of per-query
+    /// elapsed times.
+    pub fn run_workload_pipelined(
+        &self,
+        workload: &QueryWorkload,
+        window: usize,
+    ) -> (Vec<QueryOutcome>, RunStats) {
+        let (outcomes, tp) = self.run_workload_concurrent(workload, window);
+        let mut stats = RunStats::default();
         for o in &outcomes {
-            stats.queries += 1;
-            stats.response_blocks += o.response_blocks;
-            stats.total_blocks += o.total_blocks;
-            stats.cache_hits += o.cache_hits;
-            stats.records += o.records.len() as u64;
-            stats.comm_us += o.comm_us;
+            stats.absorb(o);
         }
-        stats.elapsed_us = worker_busy_us.iter().copied().max().unwrap_or(0) + stats.comm_us;
+        stats.elapsed_us = tp.makespan_us;
         (outcomes, stats)
+    }
+}
+
+/// A client's private stream of queries against a shared engine.
+///
+/// Holds its own reply channel (workers answer to the session that asked)
+/// and accumulates [`RunStats`] across its queries. Obtained from
+/// [`ParallelGridFile::session`]; one session per client thread.
+pub struct QuerySession<'e> {
+    engine: &'e ParallelGridFile,
+    reply_tx: Sender<FromWorker>,
+    reply_rx: Receiver<FromWorker>,
+    priority: QueryPriority,
+    stats: RunStats,
+}
+
+impl QuerySession<'_> {
+    /// Sets the scheduling class of this session's requests (default
+    /// [`QueryPriority::Interactive`]).
+    pub fn with_priority(mut self, priority: QueryPriority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Executes one range query through the SPMD protocol.
+    pub fn query(&mut self, rect: &Rect) -> QueryOutcome {
+        let engine = self.engine;
+        let query_id = engine.next_query_id.fetch_add(1, Ordering::Relaxed);
+        engine.shared.queries.fetch_add(1, Ordering::Relaxed);
+        let (buckets, per_worker) = engine.plan(rect);
+
+        let involved = per_worker.len();
+        let mut response_blocks = 0u64;
+        for (w, blocks) in per_worker {
+            response_blocks = response_blocks.max(blocks.len() as u64);
+            engine.to_workers[w]
+                .send(ToWorker::Process(vec![ReadRequest {
+                    query_id,
+                    blocks,
+                    query: *rect,
+                    reply: self.reply_tx.clone(),
+                    priority: self.priority,
+                }]))
+                .expect("worker channel closed");
+        }
+
+        // Collect replies; virtual times accumulate per the model in the
+        // module docs. Only this session's replies arrive on this channel,
+        // and the session issues one query at a time, so every reply is ours.
+        let mut records = Vec::new();
+        let mut max_worker_us = 0u64;
+        let mut comm_us = if involved > 0 {
+            engine.net.latency_us
+        } else {
+            0
+        };
+        let mut total_blocks = 0u64;
+        let mut cache_hits = 0u64;
+        for _ in 0..involved {
+            let reply = self.reply_rx.recv().expect("worker died");
+            assert_eq!(reply.query_id, query_id, "out-of-order reply");
+            max_worker_us = max_worker_us.max(reply.disk_us + reply.cpu_us);
+            total_blocks += reply.blocks_requested;
+            cache_hits += reply.cache_hits;
+            let reply_bytes = 32 + reply.records.len() * engine.record_bytes;
+            comm_us += engine.net.latency_us + reply_bytes as u64 / engine.net.bytes_per_us.max(1);
+            records.extend(reply.records);
+        }
+        records.sort_unstable_by_key(|r| r.id);
+
+        let outcome = QueryOutcome {
+            records,
+            buckets,
+            response_blocks,
+            total_blocks,
+            cache_hits,
+            elapsed_us: max_worker_us + comm_us,
+            comm_us,
+        };
+        self.stats.absorb(&outcome);
+        outcome
+    }
+
+    /// Stats accumulated by this session so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
     }
 }
 
@@ -495,7 +615,7 @@ mod tests {
 
     #[test]
     fn query_returns_exactly_the_matching_records() {
-        let (_gf, mut engine, recs) = build_engine(4);
+        let (_gf, engine, recs) = build_engine(4);
         let q = Rect::new2(20.0, 20.0, 60.0, 60.0);
         let out = engine.query(&q);
         let mut expected: Vec<u64> = recs
@@ -509,11 +629,12 @@ mod tests {
         assert!(out.response_blocks > 0);
         assert!(out.total_blocks >= out.response_blocks);
         assert!(out.elapsed_us > out.comm_us);
+        assert!(!out.buckets.is_empty());
     }
 
     #[test]
     fn parallel_equals_sequential_results() {
-        let (gf, mut engine, _recs) = build_engine(8);
+        let (gf, engine, _recs) = build_engine(8);
         for (i, q) in [
             Rect::new2(0.0, 0.0, 100.0, 100.0),
             Rect::new2(90.0, 0.0, 100.0, 100.0),
@@ -532,8 +653,8 @@ mod tests {
     #[test]
     fn more_workers_reduce_response_blocks() {
         let w = QueryWorkload::square(&Rect::new2(0.0, 0.0, 100.0, 100.0), 0.1, 40, 3);
-        let (_g4, mut e4, _) = build_engine(4);
-        let (_g16, mut e16, _) = build_engine(16);
+        let (_g4, e4, _) = build_engine(4);
+        let (_g16, e16, _) = build_engine(16);
         let s4 = e4.run_workload(&w);
         let s16 = e16.run_workload(&w);
         assert!(
@@ -549,9 +670,10 @@ mod tests {
 
     #[test]
     fn empty_query_is_cheap_and_empty() {
-        let (_gf, mut engine, _recs) = build_engine(4);
+        let (_gf, engine, _recs) = build_engine(4);
         let out = engine.query(&Rect::new2(200.0, 200.0, 300.0, 300.0));
         assert!(out.records.is_empty());
+        assert!(out.buckets.is_empty());
         assert_eq!(out.total_blocks, 0);
         assert_eq!(out.comm_us, 0);
         assert_eq!(out.elapsed_us, 0);
@@ -559,7 +681,7 @@ mod tests {
 
     #[test]
     fn repeated_queries_hit_worker_caches() {
-        let (_gf, mut engine, _recs) = build_engine(4);
+        let (_gf, engine, _recs) = build_engine(4);
         let q = Rect::new2(10.0, 10.0, 50.0, 50.0);
         let first = engine.query(&q);
         let second = engine.query(&q);
@@ -569,15 +691,82 @@ mod tests {
     }
 
     #[test]
+    fn legacy_mut_call_sites_still_compile() {
+        // The API redesign moved query methods to `&self`; holders of
+        // `&mut ParallelGridFile` (the pre-redesign contract) coerce.
+        let (_gf, mut engine, _recs) = build_engine(2);
+        let q = Rect::new2(0.0, 0.0, 10.0, 10.0);
+        let handle: &mut ParallelGridFile = &mut engine;
+        let _ = handle.query(&q);
+        let _ = handle.run_workload(&QueryWorkload { queries: vec![q] });
+    }
+
+    #[test]
     fn shutdown_is_clean() {
         let (_gf, engine, _recs) = build_engine(3);
         drop(engine); // must not hang or panic
     }
 
     #[test]
+    fn session_accumulates_stats() {
+        let (_gf, engine, _recs) = build_engine(4);
+        let mut session = engine.session();
+        let q = Rect::new2(10.0, 10.0, 50.0, 50.0);
+        session.query(&q);
+        session.query(&q);
+        let stats = session.stats();
+        assert_eq!(stats.queries, 2);
+        assert!(stats.total_blocks > 0);
+        assert!(stats.cache_hits > 0, "second query should hit cache");
+        let engine_stats = engine.stats();
+        assert_eq!(engine_stats.queries, 2);
+        assert_eq!(engine_stats.total_blocks(), stats.total_blocks);
+    }
+
+    #[test]
+    fn concurrent_sessions_share_one_engine() {
+        // The tentpole contract: multiple client threads query one engine
+        // through `&self` simultaneously and each gets exactly its own
+        // query's answers.
+        let (gf, engine, _recs) = build_engine(4);
+        let queries = [
+            Rect::new2(0.0, 0.0, 30.0, 30.0),
+            Rect::new2(40.0, 40.0, 80.0, 80.0),
+            Rect::new2(10.0, 60.0, 90.0, 95.0),
+            Rect::new2(0.0, 0.0, 100.0, 100.0),
+        ];
+        let mut expected = Vec::new();
+        for q in &queries {
+            let (_, mut e) = gf.range_query(q);
+            e.sort_unstable_by_key(|r| r.id);
+            expected.push(e);
+        }
+        std::thread::scope(|scope| {
+            let mut joins = Vec::new();
+            for q in &queries {
+                let engine = &engine;
+                joins.push(scope.spawn(move || {
+                    let mut session = engine.session();
+                    let mut out = Vec::new();
+                    for _ in 0..3 {
+                        out.push(session.query(q).records);
+                    }
+                    out
+                }));
+            }
+            for (join, expect) in joins.into_iter().zip(&expected) {
+                for got in join.join().expect("client thread") {
+                    assert_eq!(&got, expect);
+                }
+            }
+        });
+        assert_eq!(engine.stats().queries, 12);
+    }
+
+    #[test]
     fn pipelined_matches_sequential_results() {
-        let (_gf, mut seq, _recs) = build_engine(6);
-        let (_gf2, mut pip, _recs2) = build_engine(6);
+        let (_gf, seq, _recs) = build_engine(6);
+        let (_gf2, pip, _recs2) = build_engine(6);
         let w = QueryWorkload::square(&Rect::new2(0.0, 0.0, 100.0, 100.0), 0.05, 40, 21);
         let (outcomes, pstats) = pip.run_workload_pipelined(&w, 8);
         assert_eq!(outcomes.len(), 40);
@@ -588,8 +777,9 @@ mod tests {
             assert_eq!(s.total_blocks, out.total_blocks);
             sstats.elapsed_us += s.elapsed_us;
         }
-        // Pipelining never exceeds sequential elapsed time (cache state
-        // matches because both engines saw the same query order).
+        // Batched servicing never exceeds sequential elapsed time (shared
+        // elevator passes only remove seeks; cache contents match because
+        // both engines saw the same query order).
         assert!(
             pstats.elapsed_us <= sstats.elapsed_us,
             "pipelined {} > sequential {}",
@@ -601,8 +791,8 @@ mod tests {
 
     #[test]
     fn pipelined_window_one_equals_sequential_totals() {
-        let (_gf, mut a, _r) = build_engine(4);
-        let (_gf2, mut b, _r2) = build_engine(4);
+        let (_gf, a, _r) = build_engine(4);
+        let (_gf2, b, _r2) = build_engine(4);
         let w = QueryWorkload::square(&Rect::new2(0.0, 0.0, 100.0, 100.0), 0.05, 15, 5);
         let sa = a.run_workload(&w);
         let (_, sb) = b.run_workload_pipelined(&w, 1);
@@ -612,13 +802,71 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_run_is_deterministic_and_matches_serial() {
+        // The ISSUE acceptance test: a seeded workload run serially and with
+        // in_flight > 1 fetches the identical total number of blocks from
+        // each worker and touches identical per-query bucket sets.
+        let w = QueryWorkload::square(&Rect::new2(0.0, 0.0, 100.0, 100.0), 0.06, 30, 17);
+
+        let (_g1, serial, _r1) = build_engine(6);
+        let mut serial_session = serial.session();
+        let serial_outcomes: Vec<QueryOutcome> =
+            w.queries.iter().map(|q| serial_session.query(q)).collect();
+        let serial_stats = serial.stats();
+
+        let (_g2, concurrent, _r2) = build_engine(6);
+        let (conc_outcomes, tp) = concurrent.run_workload_concurrent(&w, 8);
+        let conc_stats = concurrent.stats();
+
+        assert_eq!(conc_outcomes.len(), serial_outcomes.len());
+        for (s, c) in serial_outcomes.iter().zip(&conc_outcomes) {
+            assert_eq!(s.buckets, c.buckets, "per-query bucket sets differ");
+            assert_eq!(s.records, c.records);
+            assert_eq!(s.total_blocks, c.total_blocks);
+        }
+        // Identical per-worker block totals, worker by worker.
+        for (ws, wc) in serial_stats.workers.iter().zip(&conc_stats.workers) {
+            assert_eq!(ws.blocks_fetched, wc.blocks_fetched);
+        }
+        assert_eq!(tp.total_blocks, serial_session.stats().total_blocks);
+
+        // And the concurrent run itself is reproducible.
+        let (_g3, again, _r3) = build_engine(6);
+        let (again_outcomes, tp2) = again.run_workload_concurrent(&w, 8);
+        assert_eq!(tp2.makespan_us, tp.makespan_us);
+        assert_eq!(tp2.cache_hits, tp.cache_hits);
+        for (a, b) in conc_outcomes.iter().zip(&again_outcomes) {
+            assert_eq!(a.elapsed_us, b.elapsed_us);
+        }
+    }
+
+    #[test]
+    fn wider_window_raises_throughput() {
+        let (_g, engine, _r) = build_engine(4);
+        let w = QueryWorkload::square(&Rect::new2(0.0, 0.0, 100.0, 100.0), 0.05, 48, 9);
+        let (_g2, engine2, _r2) = build_engine(4);
+        let (_, tp1) = engine.run_workload_concurrent(&w, 1);
+        let (_, tp8) = engine2.run_workload_concurrent(&w, 8);
+        assert_eq!(tp1.queries, 48);
+        assert_eq!(tp8.queries, 48);
+        assert!(
+            tp8.queries_per_second() > tp1.queries_per_second(),
+            "window 8 ({:.1} q/s) not faster than window 1 ({:.1} q/s)",
+            tp8.queries_per_second(),
+            tp1.queries_per_second()
+        );
+        assert!(tp8.mean_batch() > tp1.mean_batch());
+        assert!(tp8.max_batch >= tp8.in_flight as u64 / 2);
+    }
+
+    #[test]
     fn file_backed_store_matches_memory() {
         let dir = std::env::temp_dir().join("pargrid_engine_spill_test");
         let _ = std::fs::remove_dir_all(&dir);
-        let (gf, mut mem_engine, _recs) = build_engine(4);
+        let (gf, mem_engine, _recs) = build_engine(4);
         let input = DeclusterInput::from_grid_file(&gf);
         let assignment = DeclusterMethod::Minimax(EdgeWeight::Proximity).assign(&input, 4, 7);
-        let mut file_engine = ParallelGridFile::build(
+        let file_engine = ParallelGridFile::build(
             Arc::clone(&gf),
             &assignment,
             EngineConfig::file_backed(&dir),

@@ -19,6 +19,15 @@
 //! observations (sub-linear elapsed-time speedup, communication growing with
 //! the query ratio, cache effects on animation workloads).
 //!
+//! The engine is a **shared query service**: all query methods take `&self`,
+//! so one engine serves any number of client threads, each through its own
+//! [`engine::QuerySession`]. A coordinator-side concurrent runner
+//! ([`engine::ParallelGridFile::run_workload_concurrent`]) admits a window
+//! of in-flight queries whose block requests workers service as combined
+//! elevator batches, yielding throughput metrics
+//! ([`pargrid_sim::ThroughputStats`]) on top of the paper's per-query
+//! response times.
+//!
 //! ```
 //! use pargrid_core::{DeclusterInput, DeclusterMethod, EdgeWeight};
 //! use pargrid_datagen::uniform2d;
@@ -32,12 +41,15 @@
 //! let assignment = DeclusterMethod::Minimax(EdgeWeight::Proximity)
 //!     .assign(&input, 4, 1);
 //!
-//! // Four worker threads, each owning one simulated disk.
-//! let mut engine = ParallelGridFile::build(Arc::clone(&grid), &assignment,
-//!                                          EngineConfig::default());
-//! let out = engine.query(&Rect::new2(0.0, 0.0, 500.0, 500.0));
+//! // Four worker threads, each owning one simulated disk. The handle is
+//! // shared (`&self`): clients open sessions against it.
+//! let engine = ParallelGridFile::build(Arc::clone(&grid), &assignment,
+//!                                      EngineConfig::default());
+//! let mut session = engine.session();
+//! let out = session.query(&Rect::new2(0.0, 0.0, 500.0, 500.0));
 //! assert!(!out.records.is_empty());
 //! assert!(out.elapsed_us > 0);
+//! assert_eq!(engine.stats().queries, 1);
 //! ```
 
 #![warn(missing_docs)]
@@ -46,10 +58,14 @@ pub mod cache;
 pub mod disk;
 pub mod engine;
 pub mod message;
+pub mod stats;
 pub mod store;
 pub mod worker;
 
 pub use cache::LruCache;
-pub use disk::{DiskModel, DiskParams};
-pub use engine::{EngineConfig, NetParams, ParallelGridFile, QueryOutcome, RunStats};
+pub use disk::{BlockCost, DiskModel, DiskParams};
+pub use engine::{EngineConfig, NetParams, ParallelGridFile, QueryOutcome, QuerySession, RunStats};
+pub use message::QueryPriority;
+pub use pargrid_sim::ThroughputStats;
+pub use stats::{EngineStats, WorkerStats};
 pub use store::BlockStore;

@@ -1,25 +1,60 @@
 //! Coordinator <-> worker message protocol.
+//!
+//! Replies are routed through a per-request `reply` channel rather than one
+//! global coordinator channel, so any number of clients can have queries in
+//! flight concurrently: each [`crate::engine::QuerySession`] (and each
+//! concurrent-run round) owns its own reply channel and workers simply
+//! answer to wherever the request came from.
 
+use crossbeam::channel::Sender;
 use pargrid_geom::Rect;
 use pargrid_gridfile::Record;
+
+/// Scheduling class of a request within a worker's batch.
+///
+/// When a worker drains its queue into one elevator pass, interactive
+/// requests are serviced in a first pass and batch requests in a second, so
+/// a long analytical scan cannot delay a short interactive query that is
+/// already queued.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum QueryPriority {
+    /// Serviced first (sessions default to this).
+    #[default]
+    Interactive,
+    /// Serviced after all interactive requests in the same batch.
+    Batch,
+}
+
+/// One query's block requests for one worker.
+#[derive(Debug)]
+pub struct ReadRequest {
+    /// Query sequence number (echoed in the reply).
+    pub query_id: u64,
+    /// Block ids on this worker's disk.
+    pub blocks: Vec<u32>,
+    /// The range query (closed box) records must satisfy.
+    pub query: Rect,
+    /// Where to send the [`FromWorker`] reply.
+    pub reply: Sender<FromWorker>,
+    /// Scheduling class (interactive requests are serviced before batch
+    /// requests within one elevator pass).
+    pub priority: QueryPriority,
+}
 
 /// Messages the coordinator sends to a worker.
 #[derive(Debug)]
 pub enum ToWorker {
-    /// Read the given blocks, filter records against the query box, reply.
-    Read {
-        /// Query sequence number (echoed in the reply).
-        query_id: u64,
-        /// Block ids on this worker's disk.
-        blocks: Vec<u32>,
-        /// The range query (closed box) records must satisfy.
-        query: Rect,
-    },
+    /// Service the given requests as one batch: all blocks of all requests
+    /// go through the disks in one elevator (sorted) pass, but virtual time
+    /// and cache hits are accounted per request. The worker additionally
+    /// drains any further `Process` messages already queued before starting
+    /// the pass, so concurrent sessions batch together naturally.
+    Process(Vec<ReadRequest>),
     /// Terminate the worker loop.
     Shutdown,
 }
 
-/// A worker's reply to one `Read`.
+/// A worker's reply to one [`ReadRequest`].
 #[derive(Debug)]
 pub struct FromWorker {
     /// Echo of the request's query id.
@@ -30,7 +65,7 @@ pub struct FromWorker {
     pub blocks_requested: u64,
     /// How many of those were buffer-cache hits.
     pub cache_hits: u64,
-    /// Virtual disk time consumed (microseconds).
+    /// Virtual disk time consumed by this query's blocks (microseconds).
     pub disk_us: u64,
     /// Virtual CPU time for decoding and filtering (microseconds).
     pub cpu_us: u64,

@@ -1,0 +1,169 @@
+//! Shared engine counters and their snapshot types.
+//!
+//! Workers publish lifetime totals and gauges into lock-free atomics after
+//! every batch they service; the coordinator-side handle exposes them as an
+//! [`EngineStats`] snapshot via `ParallelGridFile::stats`. This is what lets
+//! the engine API take `&self`: observability no longer requires exclusive
+//! access to worker state.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One worker's atomically-published counters.
+#[derive(Debug, Default)]
+pub struct WorkerCounters {
+    /// Lifetime blocks fetched (cache hits included).
+    pub blocks_fetched: AtomicU64,
+    /// Lifetime buffer-cache hits.
+    pub cache_hits: AtomicU64,
+    /// Lifetime virtual disk busy time, microseconds (summed over the
+    /// worker's disks).
+    pub disk_busy_us: AtomicU64,
+    /// Number of batches serviced (each `ToWorker::Process` drain is one).
+    pub batches: AtomicU64,
+    /// Total requests across all batches (mean batch size = this / batches).
+    pub batched_requests: AtomicU64,
+    /// Largest batch serviced so far (queue-depth high-water mark).
+    pub max_batch: AtomicU64,
+    /// Current pages in the fullest of this worker's LRU caches (gauge).
+    pub cache_len: AtomicU64,
+    /// High-water mark of `cache_len`.
+    pub max_cache_len: AtomicU64,
+}
+
+/// Counters shared between the engine handle and its worker threads.
+#[derive(Debug)]
+pub struct SharedStats {
+    /// Queries issued through any session of the engine.
+    pub queries: AtomicU64,
+    /// Per-worker counters, indexed by worker id (each behind an `Arc` so
+    /// the owning worker thread can hold its slot directly).
+    pub workers: Vec<Arc<WorkerCounters>>,
+}
+
+impl SharedStats {
+    /// Zeroed counters for `n_workers` workers.
+    pub fn new(n_workers: usize) -> Self {
+        SharedStats {
+            queries: AtomicU64::new(0),
+            workers: (0..n_workers)
+                .map(|_| Arc::new(WorkerCounters::default()))
+                .collect(),
+        }
+    }
+
+    /// Consistent-enough snapshot of all counters (relaxed loads; exact once
+    /// the workers are quiescent).
+    pub fn snapshot(&self) -> EngineStats {
+        EngineStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            workers: self
+                .workers
+                .iter()
+                .map(|w| WorkerStats {
+                    blocks_fetched: w.blocks_fetched.load(Ordering::Relaxed),
+                    cache_hits: w.cache_hits.load(Ordering::Relaxed),
+                    disk_busy_us: w.disk_busy_us.load(Ordering::Relaxed),
+                    batches: w.batches.load(Ordering::Relaxed),
+                    batched_requests: w.batched_requests.load(Ordering::Relaxed),
+                    max_batch: w.max_batch.load(Ordering::Relaxed),
+                    cache_len: w.cache_len.load(Ordering::Relaxed),
+                    max_cache_len: w.max_cache_len.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time view of one worker's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Lifetime blocks fetched (cache hits included).
+    pub blocks_fetched: u64,
+    /// Lifetime buffer-cache hits.
+    pub cache_hits: u64,
+    /// Lifetime virtual disk busy time, microseconds.
+    pub disk_busy_us: u64,
+    /// Batches serviced.
+    pub batches: u64,
+    /// Total requests across all batches.
+    pub batched_requests: u64,
+    /// Largest batch serviced.
+    pub max_batch: u64,
+    /// Current pages in the fullest local LRU cache.
+    pub cache_len: u64,
+    /// High-water mark of `cache_len`.
+    pub max_cache_len: u64,
+}
+
+/// Point-in-time view of the whole engine's counters.
+#[derive(Clone, Debug, Default)]
+pub struct EngineStats {
+    /// Queries issued so far.
+    pub queries: u64,
+    /// Per-worker snapshots, indexed by worker id.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl EngineStats {
+    /// Total blocks fetched across workers.
+    pub fn total_blocks(&self) -> u64 {
+        self.workers.iter().map(|w| w.blocks_fetched).sum()
+    }
+
+    /// Total cache hits across workers.
+    pub fn total_cache_hits(&self) -> u64 {
+        self.workers.iter().map(|w| w.cache_hits).sum()
+    }
+
+    /// Busy time of the busiest worker, microseconds.
+    pub fn max_disk_busy_us(&self) -> u64 {
+        self.workers
+            .iter()
+            .map(|w| w.disk_busy_us)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean requests per serviced batch, over all workers.
+    pub fn mean_batch(&self) -> f64 {
+        let batches: u64 = self.workers.iter().map(|w| w.batches).sum();
+        if batches == 0 {
+            return 0.0;
+        }
+        let requests: u64 = self.workers.iter().map(|w| w.batched_requests).sum();
+        requests as f64 / batches as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_stores() {
+        let shared = SharedStats::new(2);
+        shared.queries.store(5, Ordering::Relaxed);
+        shared.workers[1]
+            .blocks_fetched
+            .store(40, Ordering::Relaxed);
+        shared.workers[1].cache_hits.store(7, Ordering::Relaxed);
+        shared.workers[0].batches.store(2, Ordering::Relaxed);
+        shared.workers[0]
+            .batched_requests
+            .store(6, Ordering::Relaxed);
+        let snap = shared.snapshot();
+        assert_eq!(snap.queries, 5);
+        assert_eq!(snap.total_blocks(), 40);
+        assert_eq!(snap.total_cache_hits(), 7);
+        assert_eq!(snap.mean_batch(), 3.0);
+    }
+
+    #[test]
+    fn empty_engine_stats_are_zero() {
+        let snap = SharedStats::new(0).snapshot();
+        assert_eq!(snap.total_blocks(), 0);
+        assert_eq!(snap.max_disk_busy_us(), 0);
+        assert_eq!(snap.mean_batch(), 0.0);
+    }
+}

@@ -1,15 +1,36 @@
-//! Worker processes: own a local disk, serve block-read requests, filter
-//! records, ship qualifying records back to the coordinator.
+//! Worker processes: own a local disk array, serve batched block-read
+//! requests, filter records, ship qualifying records back to whichever
+//! session asked.
+//!
+//! A worker's loop blocks on its queue, then opportunistically drains every
+//! `Process` message already waiting and services the union as **one
+//! elevator batch**: all requests' blocks go through the disks in sorted
+//! order (interactive requests in a first pass, batch requests in a second),
+//! but virtual time and cache hits are attributed to each request
+//! individually, so per-query response-time metrics stay paper-faithful
+//! while concurrent queries share arm movement.
 
 use crate::disk::{DiskModel, DiskParams};
-use crate::message::{FromWorker, ToWorker};
+use crate::message::{FromWorker, QueryPriority, ToWorker};
+use crate::stats::WorkerCounters;
 use crate::store::BlockStore;
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::Receiver;
+use pargrid_geom::Rect;
 use pargrid_gridfile::page::decode_page;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 /// Virtual CPU cost of decoding and filtering one record, nanoseconds.
 /// (A ~60 MHz POWER2 node touching a 50-byte record: a few hundred ns.)
 const CPU_NS_PER_RECORD: u64 = 300;
+
+/// One request of a batch, borrowed from wherever it arrived.
+struct RequestSpec<'a> {
+    query_id: u64,
+    blocks: &'a [u32],
+    query: &'a Rect,
+    priority: QueryPriority,
+}
 
 /// A worker's local state: its disk blocks and disk array.
 ///
@@ -68,71 +89,156 @@ impl WorkerState {
 
     /// Handles one read request synchronously (also used directly by unit
     /// tests, without threads).
-    pub fn handle_read(
-        &mut self,
-        query_id: u64,
-        blocks: Vec<u32>,
-        query: &pargrid_geom::Rect,
-    ) -> FromWorker {
-        let requested = blocks.len() as u64;
-        let hits_before: u64 = self.disks.iter().map(DiskModel::cache_hits).sum();
-        // Stripe the batch over the local disks; they service in parallel,
-        // so the batch takes as long as the busiest disk. Each disk sees its
-        // *local* block index (b / d): consecutive stripes of one disk are
-        // physically consecutive sectors there, so the sequential-read rate
-        // and the per-disk cache key both work in local coordinates.
-        let d = self.disks.len() as u32;
-        let mut per_disk: Vec<Vec<u32>> = vec![Vec::new(); d as usize];
-        for &b in &blocks {
-            per_disk[(b % d) as usize].push(b / d);
-        }
-        let disk_us = per_disk
-            .iter_mut()
-            .zip(&mut self.disks)
-            .map(|(batch, disk)| disk.read_batch(batch))
-            .max()
-            .unwrap_or(0);
-        let mut records = Vec::new();
-        let mut scanned = 0u64;
-        for &b in &blocks {
-            let page = self
-                .store
-                .get(b)
-                .unwrap_or_else(|e| panic!("worker {} cannot read block {b}: {e}", self.worker_id));
-            for r in decode_page(&page, self.payload_bytes) {
-                scanned += 1;
-                if query.contains_closed(&r.point) {
-                    records.push(r);
+    pub fn handle_read(&mut self, query_id: u64, blocks: Vec<u32>, query: &Rect) -> FromWorker {
+        self.service_batch(&[RequestSpec {
+            query_id,
+            blocks: &blocks,
+            query,
+            priority: QueryPriority::Interactive,
+        }])
+        .pop()
+        .expect("one request in, one reply out")
+    }
+
+    /// Services several requests as one combined elevator batch.
+    ///
+    /// Per disk, all requests' blocks are issued in sorted order (stripe
+    /// `b % D` to disk, local index `b / D`), interactive pass before batch
+    /// pass. Each block's cost is charged to the request that asked for it;
+    /// a request's disk time is the maximum over disks of its own charges,
+    /// since the disks seek in parallel.
+    fn service_batch(&mut self, requests: &[RequestSpec<'_>]) -> Vec<FromWorker> {
+        let d = self.disks.len();
+        let mut disk_us = vec![0u64; requests.len() * d];
+        let mut hits = vec![0u64; requests.len()];
+        for pass in [QueryPriority::Interactive, QueryPriority::Batch] {
+            // Per disk: (local block, request index), sorted for the
+            // elevator. The request index tiebreak keeps duplicate blocks
+            // deterministically ordered.
+            let mut per_disk: Vec<Vec<(u32, usize)>> = vec![Vec::new(); d];
+            for (idx, req) in requests.iter().enumerate() {
+                if req.priority != pass {
+                    continue;
+                }
+                for &b in req.blocks {
+                    per_disk[b as usize % d].push((b / d as u32, idx));
+                }
+            }
+            for (di, list) in per_disk.iter_mut().enumerate() {
+                list.sort_unstable();
+                for &(local, idx) in list.iter() {
+                    let cost = self.disks[di].read_block(local);
+                    disk_us[idx * d + di] += cost.us;
+                    hits[idx] += cost.hit as u64;
                 }
             }
         }
-        let hits_after: u64 = self.disks.iter().map(DiskModel::cache_hits).sum();
-        FromWorker {
-            query_id,
-            worker_id: self.worker_id,
-            blocks_requested: requested,
-            cache_hits: hits_after - hits_before,
-            disk_us,
-            cpu_us: scanned * CPU_NS_PER_RECORD / 1000,
-            records,
-        }
+
+        requests
+            .iter()
+            .enumerate()
+            .map(|(idx, req)| {
+                let mut records = Vec::new();
+                let mut scanned = 0u64;
+                for &b in req.blocks {
+                    let page = self.store.get(b).unwrap_or_else(|e| {
+                        panic!("worker {} cannot read block {b}: {e}", self.worker_id)
+                    });
+                    for r in decode_page(&page, self.payload_bytes) {
+                        scanned += 1;
+                        if req.query.contains_closed(&r.point) {
+                            records.push(r);
+                        }
+                    }
+                }
+                FromWorker {
+                    query_id: req.query_id,
+                    worker_id: self.worker_id,
+                    blocks_requested: req.blocks.len() as u64,
+                    cache_hits: hits[idx],
+                    disk_us: disk_us[idx * d..(idx + 1) * d]
+                        .iter()
+                        .copied()
+                        .max()
+                        .unwrap_or(0),
+                    cpu_us: scanned * CPU_NS_PER_RECORD / 1000,
+                    records,
+                }
+            })
+            .collect()
+    }
+
+    /// Publishes lifetime totals and cache gauges after a batch.
+    fn publish(&self, counters: &WorkerCounters, batch_len: u64) {
+        let blocks: u64 = self.disks.iter().map(DiskModel::blocks_read).sum();
+        let hits: u64 = self.disks.iter().map(DiskModel::cache_hits).sum();
+        let busy: u64 = self.disks.iter().map(DiskModel::busy_us).sum();
+        let cache_len = self
+            .disks
+            .iter()
+            .map(DiskModel::cache_len)
+            .max()
+            .unwrap_or(0) as u64;
+        counters.blocks_fetched.store(blocks, Ordering::Relaxed);
+        counters.cache_hits.store(hits, Ordering::Relaxed);
+        counters.disk_busy_us.store(busy, Ordering::Relaxed);
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        counters
+            .batched_requests
+            .fetch_add(batch_len, Ordering::Relaxed);
+        counters.max_batch.fetch_max(batch_len, Ordering::Relaxed);
+        counters.cache_len.store(cache_len, Ordering::Relaxed);
+        counters
+            .max_cache_len
+            .fetch_max(cache_len, Ordering::Relaxed);
     }
 
     /// The worker's message loop: consumed by [`run_worker`].
-    pub fn run(mut self, rx: Receiver<ToWorker>, tx: Sender<FromWorker>) {
-        while let Ok(msg) = rx.recv() {
-            match msg {
-                ToWorker::Read {
-                    query_id,
-                    blocks,
-                    query,
-                } => {
-                    let reply = self.handle_read(query_id, blocks, &query);
-                    if tx.send(reply).is_err() {
-                        return; // coordinator gone
+    ///
+    /// Each iteration blocks for one message, then drains everything already
+    /// queued into a single batch — the queue depth at that instant *is* the
+    /// batch size, so concurrent sessions coalesce without any coordinator
+    /// involvement. Replies go to each request's own `reply` channel.
+    pub fn run(mut self, rx: Receiver<ToWorker>, counters: Option<Arc<WorkerCounters>>) {
+        loop {
+            let mut batch = Vec::new();
+            let mut shutdown = false;
+            match rx.recv() {
+                Ok(ToWorker::Process(reqs)) => batch.extend(reqs),
+                Ok(ToWorker::Shutdown) | Err(_) => return,
+            }
+            loop {
+                match rx.try_recv() {
+                    Ok(ToWorker::Process(reqs)) => batch.extend(reqs),
+                    Ok(ToWorker::Shutdown) => {
+                        shutdown = true;
+                        break;
                     }
+                    Err(_) => break,
                 }
-                ToWorker::Shutdown => return,
+            }
+            if !batch.is_empty() {
+                let specs: Vec<RequestSpec<'_>> = batch
+                    .iter()
+                    .map(|r| RequestSpec {
+                        query_id: r.query_id,
+                        blocks: &r.blocks,
+                        query: &r.query,
+                        priority: r.priority,
+                    })
+                    .collect();
+                let replies = self.service_batch(&specs);
+                if let Some(c) = &counters {
+                    self.publish(c, batch.len() as u64);
+                }
+                for (req, reply) in batch.iter().zip(replies) {
+                    // A session may have been dropped mid-flight; that is
+                    // its problem, not the worker's.
+                    let _ = req.reply.send(reply);
+                }
+            }
+            if shutdown {
+                return;
             }
         }
     }
@@ -142,17 +248,18 @@ impl WorkerState {
 pub fn run_worker(
     state: WorkerState,
     rx: Receiver<ToWorker>,
-    tx: Sender<FromWorker>,
+    counters: Option<Arc<WorkerCounters>>,
 ) -> std::thread::JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("pargrid-worker-{}", state.worker_id))
-        .spawn(move || state.run(rx, tx))
+        .spawn(move || state.run(rx, counters))
         .expect("failed to spawn worker thread")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::message::ReadRequest;
     use pargrid_geom::{Point, Rect};
     use pargrid_gridfile::page::encode_page;
     use pargrid_gridfile::Record;
@@ -244,19 +351,80 @@ mod tests {
     }
 
     #[test]
+    fn combined_batch_accounts_per_query() {
+        // Two queries batched together: both want blocks 0 and 1, so the
+        // second one's reads come out of the cache that the first one's
+        // elevator pass just filled — but each query is charged its own
+        // cache hits and disk time.
+        let mut w = worker_with_two_blocks();
+        let all = Rect::new2(0.0, 0.0, 100.0, 100.0);
+        let low = Rect::new2(0.0, 0.0, 5.0, 5.0);
+        let replies = w.service_batch(&[
+            RequestSpec {
+                query_id: 1,
+                blocks: &[0, 1],
+                query: &all,
+                priority: QueryPriority::Interactive,
+            },
+            RequestSpec {
+                query_id: 2,
+                blocks: &[0, 1],
+                query: &low,
+                priority: QueryPriority::Interactive,
+            },
+        ]);
+        assert_eq!(replies.len(), 2);
+        assert_eq!(replies[0].cache_hits, 0);
+        assert_eq!(replies[1].cache_hits, 2);
+        assert!(replies[1].disk_us < replies[0].disk_us);
+        assert_eq!(replies[0].records.len(), 20);
+        assert_eq!(replies[1].records.len(), 6);
+    }
+
+    #[test]
+    fn interactive_pass_precedes_batch_pass() {
+        // The interactive request is serviced first even though it is listed
+        // second, so it pays the cold reads and the batch request hits cache.
+        let mut w = worker_with_two_blocks();
+        let all = Rect::new2(0.0, 0.0, 100.0, 100.0);
+        let replies = w.service_batch(&[
+            RequestSpec {
+                query_id: 1,
+                blocks: &[0, 1],
+                query: &all,
+                priority: QueryPriority::Batch,
+            },
+            RequestSpec {
+                query_id: 2,
+                blocks: &[0, 1],
+                query: &all,
+                priority: QueryPriority::Interactive,
+            },
+        ]);
+        assert_eq!(replies[1].cache_hits, 0, "interactive went first");
+        assert_eq!(replies[0].cache_hits, 2, "batch rode the warm cache");
+    }
+
+    #[test]
     fn threaded_loop_round_trip() {
         let (to_tx, to_rx) = crossbeam::channel::unbounded();
-        let (from_tx, from_rx) = crossbeam::channel::unbounded();
-        let handle = run_worker(worker_with_two_blocks(), to_rx, from_tx);
+        let (reply_tx, reply_rx) = crossbeam::channel::unbounded();
+        let counters = Arc::new(WorkerCounters::default());
+        let handle = run_worker(worker_with_two_blocks(), to_rx, Some(Arc::clone(&counters)));
         to_tx
-            .send(ToWorker::Read {
+            .send(ToWorker::Process(vec![ReadRequest {
                 query_id: 1,
                 blocks: vec![0],
                 query: Rect::new2(0.0, 0.0, 5.0, 5.0),
-            })
+                reply: reply_tx,
+                priority: QueryPriority::Interactive,
+            }]))
             .expect("send");
-        let reply = from_rx.recv().expect("reply");
+        let reply = reply_rx.recv().expect("reply");
         assert_eq!(reply.records.len(), 6); // ids 0..=5 within [0,5] closed
+        assert_eq!(counters.blocks_fetched.load(Ordering::Relaxed), 1);
+        assert_eq!(counters.batches.load(Ordering::Relaxed), 1);
+        assert_eq!(counters.max_batch.load(Ordering::Relaxed), 1);
         to_tx.send(ToWorker::Shutdown).expect("send shutdown");
         handle.join().expect("worker joins cleanly");
     }

@@ -1,0 +1,112 @@
+//! Property tests for the concurrent query service: the shared-session
+//! engine must preserve the per-worker cache invariants and determinism no
+//! matter how queries are windowed.
+
+use pargrid_core::{DeclusterInput, DeclusterMethod, EdgeWeight};
+use pargrid_geom::{Point, Rect};
+use pargrid_gridfile::{GridConfig, GridFile, Record};
+use pargrid_parallel::{DiskParams, EngineConfig, ParallelGridFile};
+use pargrid_sim::QueryWorkload;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn build_engine(n_workers: usize, cache_pages: usize) -> ParallelGridFile {
+    let cfg = GridConfig::with_capacity(Rect::new2(0.0, 0.0, 100.0, 100.0), 6);
+    let mut x = 9u64;
+    let recs: Vec<Record> = (0..400u64)
+        .map(|i| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            Record::new(
+                i,
+                Point::new2(
+                    ((x >> 16) % 10000) as f64 / 100.0,
+                    ((x >> 40) % 10000) as f64 / 100.0,
+                ),
+            )
+        })
+        .collect();
+    let gf = Arc::new(GridFile::bulk_load(cfg, recs));
+    let input = DeclusterInput::from_grid_file(&gf);
+    let assignment = DeclusterMethod::Minimax(EdgeWeight::Proximity).assign(&input, n_workers, 3);
+    let config = EngineConfig {
+        disk: DiskParams {
+            cache_pages,
+            ..DiskParams::default()
+        },
+        ..EngineConfig::default()
+    };
+    ParallelGridFile::build(gf, &assignment, config)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Concurrent admission never overfills a worker's LRU cache: whatever
+    /// the window and workload, every disk's resident page count stays
+    /// within its configured capacity (tracked as a high-water mark).
+    #[test]
+    fn concurrent_admission_respects_cache_capacity(
+        workers in 2usize..=6,
+        cache_pages in 1usize..=24,
+        in_flight in 1usize..=12,
+        n_queries in 1usize..=30,
+        ratio in 1u32..=12,
+        seed in 0u64..=1000,
+    ) {
+        let engine = build_engine(workers, cache_pages);
+        let w = QueryWorkload::square(
+            &Rect::new2(0.0, 0.0, 100.0, 100.0),
+            ratio as f64 / 100.0,
+            n_queries,
+            seed,
+        );
+        let (outcomes, tp) = engine.run_workload_concurrent(&w, in_flight);
+        prop_assert_eq!(outcomes.len(), n_queries);
+        prop_assert_eq!(tp.queries, n_queries as u64);
+        let stats = engine.stats();
+        prop_assert_eq!(stats.workers.len(), workers);
+        for (wid, ws) in stats.workers.iter().enumerate() {
+            prop_assert!(
+                ws.max_cache_len <= cache_pages as u64,
+                "worker {} cache grew to {} pages, capacity {}",
+                wid,
+                ws.max_cache_len,
+                cache_pages
+            );
+            prop_assert!(ws.cache_len <= ws.max_cache_len);
+        }
+    }
+
+    /// Windowed execution is a pure scheduling choice: per-query answers,
+    /// bucket sets, and total blocks match the serial run exactly.
+    #[test]
+    fn windowing_never_changes_answers(
+        in_flight in 2usize..=10,
+        n_queries in 1usize..=20,
+        seed in 0u64..=1000,
+    ) {
+        let serial = build_engine(4, 64);
+        let concurrent = build_engine(4, 64);
+        let w = QueryWorkload::square(
+            &Rect::new2(0.0, 0.0, 100.0, 100.0),
+            0.05,
+            n_queries,
+            seed,
+        );
+        let mut session = serial.session();
+        let (conc, _tp) = concurrent.run_workload_concurrent(&w, in_flight);
+        for (q, c) in w.queries.iter().zip(&conc) {
+            let s = session.query(q);
+            prop_assert_eq!(&s.records, &c.records);
+            prop_assert_eq!(&s.buckets, &c.buckets);
+            prop_assert_eq!(s.total_blocks, c.total_blocks);
+        }
+        let serial_stats = serial.stats();
+        let conc_stats = concurrent.stats();
+        for (a, b) in serial_stats.workers.iter().zip(&conc_stats.workers) {
+            prop_assert_eq!(a.blocks_fetched, b.blocks_fetched);
+        }
+    }
+}

@@ -37,8 +37,8 @@ pub mod workload;
 
 pub use metrics::{
     closest_pairs, count_pairs_on_same_disk, evaluate, evaluate_heterogeneous,
-    intra_disk_proximity, EvalStats,
+    intra_disk_proximity, EvalStats, ThroughputStats,
 };
 pub use plot::{LineChart, Series};
-pub use runner::{sweep, SweepPoint};
+pub use runner::{relative_throughput, sweep, SweepPoint};
 pub use workload::QueryWorkload;

@@ -179,6 +179,82 @@ pub fn count_pairs_on_same_disk(pairs: &[(usize, usize)], assign: &Assignment) -
         .count()
 }
 
+/// Aggregate throughput metrics of a concurrent workload run.
+///
+/// Produced by the parallel engine's concurrent service (a window of
+/// `in_flight` queries admitted at once, workers servicing batches in
+/// elevator order); the paper's per-query response-time columns stay in the
+/// per-query outcomes, while this captures what a multi-user front end sees:
+/// queries per second, per-disk utilization, and queue depth.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ThroughputStats {
+    /// Queries completed.
+    pub queries: u64,
+    /// Admission window (queries in flight at once).
+    pub in_flight: usize,
+    /// Virtual wall-clock of the whole run, microseconds: the busiest
+    /// worker's disk+CPU time plus all communication (serialized at the
+    /// coordinator's adapter).
+    pub makespan_us: u64,
+    /// Total virtual communication time, microseconds.
+    pub comm_us: u64,
+    /// Total blocks requested.
+    pub total_blocks: u64,
+    /// Buffer-cache hits among them.
+    pub cache_hits: u64,
+    /// Per-worker virtual busy time (disk + CPU), microseconds.
+    pub worker_busy_us: Vec<u64>,
+    /// Batches dispatched to workers (one per worker per admission round).
+    pub batches: u64,
+    /// Total requests across those batches.
+    pub batched_requests: u64,
+    /// Largest single batch (peak queue depth seen by a worker).
+    pub max_batch: u64,
+}
+
+impl ThroughputStats {
+    /// Makespan in seconds (the paper's unit).
+    pub fn makespan_seconds(&self) -> f64 {
+        self.makespan_us as f64 / 1e6
+    }
+
+    /// Completed queries per virtual second.
+    pub fn queries_per_second(&self) -> f64 {
+        if self.makespan_us == 0 {
+            return 0.0;
+        }
+        self.queries as f64 / self.makespan_seconds()
+    }
+
+    /// Each worker's busy fraction of the makespan.
+    pub fn utilization(&self) -> Vec<f64> {
+        if self.makespan_us == 0 {
+            return vec![0.0; self.worker_busy_us.len()];
+        }
+        self.worker_busy_us
+            .iter()
+            .map(|&b| b as f64 / self.makespan_us as f64)
+            .collect()
+    }
+
+    /// Mean busy fraction over all workers.
+    pub fn mean_utilization(&self) -> f64 {
+        let u = self.utilization();
+        if u.is_empty() {
+            return 0.0;
+        }
+        u.iter().sum::<f64>() / u.len() as f64
+    }
+
+    /// Mean requests per dispatched batch (mean queue depth).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.batched_requests as f64 / self.batches as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,5 +387,38 @@ mod tests {
             (0..n).map(|i| (((i / 4) + (i % 4)) % 2) as u32).collect(),
         );
         assert_eq!(count_pairs_on_same_disk(&pairs, &checker), 0);
+    }
+
+    #[test]
+    fn throughput_stats_derived_metrics() {
+        let t = ThroughputStats {
+            queries: 100,
+            in_flight: 8,
+            makespan_us: 2_000_000,
+            comm_us: 500_000,
+            total_blocks: 400,
+            cache_hits: 40,
+            worker_busy_us: vec![1_000_000, 1_500_000],
+            batches: 25,
+            batched_requests: 100,
+            max_batch: 8,
+        };
+        assert_eq!(t.makespan_seconds(), 2.0);
+        assert_eq!(t.queries_per_second(), 50.0);
+        assert_eq!(t.utilization(), vec![0.5, 0.75]);
+        assert!((t.mean_utilization() - 0.625).abs() < 1e-12);
+        assert_eq!(t.mean_batch(), 4.0);
+    }
+
+    #[test]
+    fn throughput_stats_zero_makespan_is_safe() {
+        let t = ThroughputStats {
+            worker_busy_us: vec![0, 0],
+            ..ThroughputStats::default()
+        };
+        assert_eq!(t.queries_per_second(), 0.0);
+        assert_eq!(t.utilization(), vec![0.0, 0.0]);
+        assert_eq!(t.mean_utilization(), 0.0);
+        assert_eq!(t.mean_batch(), 0.0);
     }
 }

@@ -67,6 +67,20 @@ pub fn speedup_series(points: &[SweepPoint], method: &str) -> Vec<(usize, f64)> 
         .collect()
 }
 
+/// Normalizes a `(x, throughput)` series by its first point, giving the
+/// relative speedup curve of a throughput sweep (e.g. queries/sec versus the
+/// in-flight window, normalized to window = 1). Returns an empty vector for
+/// an empty series; a zero baseline yields zeros.
+pub fn relative_throughput(series: &[(usize, f64)]) -> Vec<(usize, f64)> {
+    let Some(&(_, base)) = series.first() else {
+        return Vec::new();
+    };
+    series
+        .iter()
+        .map(|&(x, v)| (x, if base == 0.0 { 0.0 } else { v / base }))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,5 +145,16 @@ mod tests {
     fn unknown_method_gives_empty_series() {
         let points: Vec<SweepPoint> = Vec::new();
         assert!(speedup_series(&points, "nope").is_empty());
+    }
+
+    #[test]
+    fn relative_throughput_normalizes_by_first() {
+        let s = relative_throughput(&[(1, 50.0), (4, 100.0), (8, 125.0)]);
+        assert_eq!(s, vec![(1, 1.0), (4, 2.0), (8, 2.5)]);
+        assert!(relative_throughput(&[]).is_empty());
+        assert_eq!(
+            relative_throughput(&[(1, 0.0), (2, 3.0)]),
+            vec![(1, 0.0), (2, 0.0)]
+        );
     }
 }

@@ -237,6 +237,43 @@ impl QueryWorkload {
     pub fn is_empty(&self) -> bool {
         self.queries.is_empty()
     }
+
+    /// Splits the workload into `clients` round-robin streams (query `i`
+    /// goes to client `i % clients`), modeling independent front-end users
+    /// each submitting a share of the load.
+    ///
+    /// # Panics
+    /// Panics if `clients` is zero.
+    pub fn split_round_robin(&self, clients: usize) -> Vec<QueryWorkload> {
+        assert!(clients >= 1, "need at least one client");
+        let mut out = vec![
+            QueryWorkload {
+                queries: Vec::new()
+            };
+            clients
+        ];
+        for (i, q) in self.queries.iter().enumerate() {
+            out[i % clients].queries.push(*q);
+        }
+        out
+    }
+
+    /// Merges client streams back into one submission order, taking one
+    /// query from each client in turn — the arrival order a coordinator
+    /// sees when `clients.len()` users submit concurrently at equal rates.
+    pub fn interleave(clients: &[QueryWorkload]) -> QueryWorkload {
+        let total: usize = clients.iter().map(QueryWorkload::len).sum();
+        let mut queries = Vec::with_capacity(total);
+        let longest = clients.iter().map(QueryWorkload::len).max().unwrap_or(0);
+        for i in 0..longest {
+            for c in clients {
+                if let Some(q) = c.queries.get(i) {
+                    queries.push(*q);
+                }
+            }
+        }
+        QueryWorkload { queries }
+    }
 }
 
 #[cfg(test)]
@@ -245,6 +282,36 @@ mod tests {
 
     fn dom2() -> Rect {
         Rect::new2(0.0, 0.0, 2000.0, 2000.0)
+    }
+
+    #[test]
+    fn split_and_interleave_round_trip() {
+        let w = QueryWorkload::square(&dom2(), 0.05, 10, 3);
+        let clients = w.split_round_robin(3);
+        assert_eq!(clients.len(), 3);
+        assert_eq!(clients[0].len(), 4); // queries 0, 3, 6, 9
+        assert_eq!(clients[1].len(), 3);
+        assert_eq!(clients[2].len(), 3);
+        // Round-robin split then one-from-each merge restores issue order.
+        let merged = QueryWorkload::interleave(&clients);
+        assert_eq!(merged.queries, w.queries);
+    }
+
+    #[test]
+    fn interleave_handles_uneven_streams() {
+        let w = QueryWorkload::square(&dom2(), 0.05, 5, 3);
+        let a = QueryWorkload {
+            queries: w.queries[..4].to_vec(),
+        };
+        let b = QueryWorkload {
+            queries: w.queries[4..].to_vec(),
+        };
+        let merged = QueryWorkload::interleave(&[a, b]);
+        assert_eq!(merged.len(), 5);
+        assert_eq!(merged.queries[0], w.queries[0]);
+        assert_eq!(merged.queries[1], w.queries[4]);
+        assert_eq!(merged.queries[2], w.queries[1]);
+        assert!(QueryWorkload::interleave(&[]).is_empty());
     }
 
     #[test]

@@ -33,7 +33,7 @@ fn main() {
     );
     for workers in [2usize, 4, 8, 16] {
         let assignment = DeclusterMethod::Minimax(EdgeWeight::Proximity).assign(&input, workers, 1);
-        let mut engine =
+        let engine =
             ParallelGridFile::build(Arc::clone(&grid), &assignment, EngineConfig::default());
         let workload = pargrid::sim::QueryWorkload::animation(&dataset.domain, 0.1, snapshots);
         let run = engine.run_workload(&workload);

@@ -9,6 +9,7 @@
 //! pargrid pmatch my.pgf --keys 137.5,*,*         # partial-match query
 //! pargrid decluster my.pgf --method minimax --disks 16 --out assign.csv
 //! pargrid evaluate my.pgf --method hcam --disks 16 --ratio 0.05
+//! pargrid evaluate my.pgf --method minimax --disks 16 --clients 8   # + engine throughput
 //! ```
 
 use pargrid::prelude::*;
@@ -23,7 +24,7 @@ fn usage() -> ExitCode {
          pargrid query FILE.pgf --range LO..HI,LO..HI[,...] [--count-only]\n  \
          pargrid pmatch FILE.pgf --keys V|*,V|*[,...]\n  \
          pargrid decluster FILE.pgf --method M --disks N [--seed N] [--out FILE.csv]\n  \
-         pargrid evaluate FILE.pgf --method M --disks N [--ratio R] [--queries N] [--seed N]\n\n  \
+         pargrid evaluate FILE.pgf --method M --disks N [--ratio R] [--queries N] [--seed N] [--clients K]\n\n  \
          methods: dm fx gdm hcam zcam gcam scan ssp mst kl minimax minimax-euclid"
     );
     ExitCode::FAILURE
@@ -358,6 +359,10 @@ fn cmd_evaluate(args: &[String]) -> CliResult {
     let ratio: f64 = flag_parse(args, "--ratio", 0.05)?;
     let queries: usize = flag_parse(args, "--queries", 1000)?;
     let seed: u64 = flag_parse(args, "--seed", 42)?;
+    let clients: usize = flag_parse(args, "--clients", 1)?;
+    if clients == 0 {
+        return Err("--clients must be at least 1".into());
+    }
     let input = DeclusterInput::from_grid_file(&gf);
     let assignment = method.assign(&input, disks, seed);
     let workload = QueryWorkload::square(&gf.config().domain, ratio, queries, seed);
@@ -369,5 +374,52 @@ fn cmd_evaluate(args: &[String]) -> CliResult {
     println!("optimal         {:.3}", stats.mean_optimal);
     println!("mean buckets    {:.2} per query", stats.mean_buckets);
     println!("balance degree  {:.3}", stats.balance_degree);
+
+    if clients > 1 {
+        // Run the same workload through the parallel engine as `clients`
+        // concurrent front-end streams: the submission order interleaves one
+        // query per client, and the admission window equals the client count.
+        let gf = std::sync::Arc::new(gf);
+        let streams = workload.split_round_robin(clients);
+        let arrival = QueryWorkload::interleave(&streams);
+        // Fresh engine per run so both start with cold caches.
+        let baseline = ParallelGridFile::build(
+            std::sync::Arc::clone(&gf),
+            &assignment,
+            EngineConfig::default(),
+        );
+        let (_, serial) = baseline.run_workload_concurrent(&arrival, 1);
+        let engine = ParallelGridFile::build(
+            std::sync::Arc::clone(&gf),
+            &assignment,
+            EngineConfig::default(),
+        );
+        let (_, concurrent) = engine.run_workload_concurrent(&arrival, clients);
+        println!("clients         {clients}");
+        println!(
+            "serial          {:.2} queries/s (makespan {:.3} s)",
+            serial.queries_per_second(),
+            serial.makespan_seconds()
+        );
+        println!(
+            "concurrent      {:.2} queries/s (makespan {:.3} s)",
+            concurrent.queries_per_second(),
+            concurrent.makespan_seconds()
+        );
+        println!(
+            "speedup         {:.2}x",
+            if serial.queries_per_second() > 0.0 {
+                concurrent.queries_per_second() / serial.queries_per_second()
+            } else {
+                0.0
+            }
+        );
+        println!(
+            "utilization     {:.1}% mean over {} workers",
+            concurrent.mean_utilization() * 100.0,
+            disks
+        );
+        println!("mean batch      {:.2} requests", concurrent.mean_batch());
+    }
     Ok(())
 }

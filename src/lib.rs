@@ -34,6 +34,15 @@
 //! let workload = QueryWorkload::square(&dataset.domain, 0.05, 100, 7);
 //! let stats = evaluate(&grid, &assignment, &workload);
 //! assert!(stats.mean_response >= stats.mean_optimal);
+//!
+//! // 4. Serve the same workload through the shared-session parallel
+//! //    engine: 16 worker threads, 8 queries in flight at once.
+//! let engine = ParallelGridFile::build(
+//!     std::sync::Arc::new(grid), &assignment, EngineConfig::default());
+//! let (outcomes, throughput) = engine.run_workload_concurrent(&workload, 8);
+//! assert_eq!(outcomes.len(), workload.len());
+//! assert!(throughput.queries_per_second() > 0.0);
+//! assert_eq!(engine.stats().queries, 100);
 //! ```
 
 #![warn(missing_docs)]
@@ -45,7 +54,8 @@ pub use pargrid_gridfile as gridfile;
 pub use pargrid_parallel as parallel;
 pub use pargrid_sim as sim;
 
-/// The most commonly used types, re-exported flat.
+/// The most commonly used types, re-exported flat: build/decluster/evaluate
+/// types plus the full query-service surface (sessions, outcomes, stats).
 pub mod prelude {
     pub use pargrid_core::{
         Assignment, ConflictPolicy, DeclusterInput, DeclusterMethod, EdgeWeight, IndexScheme,
@@ -53,6 +63,9 @@ pub mod prelude {
     pub use pargrid_datagen::Dataset;
     pub use pargrid_geom::{Point, Rect};
     pub use pargrid_gridfile::{GridConfig, GridFile, Record};
-    pub use pargrid_parallel::{EngineConfig, ParallelGridFile};
-    pub use pargrid_sim::{evaluate, QueryWorkload};
+    pub use pargrid_parallel::{
+        DiskParams, EngineConfig, EngineStats, NetParams, ParallelGridFile, QueryOutcome,
+        QueryPriority, QuerySession, RunStats, WorkerStats,
+    };
+    pub use pargrid_sim::{evaluate, sweep, EvalStats, QueryWorkload, ThroughputStats};
 }

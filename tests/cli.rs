@@ -104,6 +104,33 @@ fn gen_stats_query_decluster_evaluate_pipeline() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("mean response"), "{text}");
 
+    // evaluate with concurrent clients: adds engine throughput output
+    let out = bin()
+        .arg("evaluate")
+        .arg(&pgf)
+        .args([
+            "--method",
+            "minimax",
+            "--disks",
+            "8",
+            "--queries",
+            "40",
+            "--clients",
+            "4",
+        ])
+        .output()
+        .expect("evaluate --clients");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("mean response"), "{text}");
+    assert!(text.contains("clients         4"), "{text}");
+    assert!(text.contains("queries/s"), "{text}");
+    assert!(text.contains("utilization"), "{text}");
+
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -89,7 +89,7 @@ proptest! {
         let input = DeclusterInput::from_grid_file(&grid);
         let a = DeclusterMethod::Index(IndexScheme::Hilbert, ConflictPolicy::DataBalance)
             .assign(&input, m, 1);
-        let mut engine = ParallelGridFile::build(Arc::clone(&grid), &a, EngineConfig::default());
+        let engine = ParallelGridFile::build(Arc::clone(&grid), &a, EngineConfig::default());
         let q = Rect::new2(qx, qy, qx + qs, qy + qs);
         let out = engine.query(&q);
         let (_, mut expected) = grid.range_query(&q);

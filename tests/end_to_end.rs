@@ -19,8 +19,7 @@ fn simulator_and_engine_agree_on_response() {
     );
     let input = DeclusterInput::from_grid_file(&grid);
     let assignment = DeclusterMethod::Minimax(EdgeWeight::Proximity).assign(&input, 8, 1);
-    let mut engine =
-        ParallelGridFile::build(Arc::clone(&grid), &assignment, EngineConfig::default());
+    let engine = ParallelGridFile::build(Arc::clone(&grid), &assignment, EngineConfig::default());
 
     let workload = QueryWorkload::square(&ds.domain, 0.05, 50, 3);
     for q in &workload.queries {
@@ -44,7 +43,7 @@ fn engine_queries_match_sequential_ground_truth() {
         let grid = Arc::new(ds.build_grid_file());
         let input = DeclusterInput::from_grid_file(&grid);
         let assignment = DeclusterMethod::Ssp(EdgeWeight::Proximity).assign(&input, 6, 2);
-        let mut engine =
+        let engine =
             ParallelGridFile::build(Arc::clone(&grid), &assignment, EngineConfig::default());
         let workload = QueryWorkload::square(&ds.domain, 0.05, 20, 11);
         for q in &workload.queries {
@@ -145,7 +144,8 @@ fn grid_file_lifecycle_on_skewed_data() {
     grid.check_invariants();
 }
 
-/// The facade's doc-quickstart pipeline holds together (mirrors lib.rs).
+/// The facade's doc-quickstart pipeline holds together (mirrors lib.rs),
+/// including the concurrent query-service step.
 #[test]
 fn facade_quickstart_pipeline() {
     let dataset = pargrid::datagen::hot2d(42);
@@ -156,4 +156,42 @@ fn facade_quickstart_pipeline() {
     let workload = QueryWorkload::square(&dataset.domain, 0.05, 100, 7);
     let stats = evaluate(&grid, &assignment, &workload);
     assert!(stats.mean_response >= stats.mean_optimal);
+
+    let engine = ParallelGridFile::build(Arc::new(grid), &assignment, EngineConfig::default());
+    let (outcomes, throughput) = engine.run_workload_concurrent(&workload, 8);
+    assert_eq!(outcomes.len(), workload.len());
+    assert!(throughput.queries_per_second() > 0.0);
+    assert_eq!(engine.stats().queries, workload.len() as u64);
+}
+
+/// The shared-session API through the facade: client threads run against
+/// one engine and the serial/concurrent block totals agree per worker.
+#[test]
+fn facade_concurrent_service_is_deterministic() {
+    let ds = pargrid::datagen::hot2d(6);
+    let grid = Arc::new(ds.build_grid_file());
+    let input = DeclusterInput::from_grid_file(&grid);
+    let assignment = DeclusterMethod::Minimax(EdgeWeight::Proximity).assign(&input, 8, 1);
+    let workload = QueryWorkload::square(&ds.domain, 0.05, 60, 13);
+
+    let serial = ParallelGridFile::build(Arc::clone(&grid), &assignment, EngineConfig::default());
+    let serial_run: RunStats = serial.run_workload(&workload);
+
+    let concurrent =
+        ParallelGridFile::build(Arc::clone(&grid), &assignment, EngineConfig::default());
+    let (outcomes, throughput): (Vec<QueryOutcome>, ThroughputStats) =
+        concurrent.run_workload_concurrent(&workload, 16);
+
+    assert_eq!(throughput.total_blocks, serial_run.total_blocks);
+    assert_eq!(
+        outcomes.iter().map(|o| o.records.len() as u64).sum::<u64>(),
+        serial_run.records
+    );
+    let a: EngineStats = serial.stats();
+    let b: EngineStats = concurrent.stats();
+    for (x, y) in a.workers.iter().zip(&b.workers) {
+        assert_eq!(x.blocks_fetched, y.blocks_fetched);
+    }
+    // The concurrent schedule actually batches.
+    assert!(throughput.mean_batch() > 1.0);
 }
