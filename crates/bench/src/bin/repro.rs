@@ -27,6 +27,7 @@ const EXPERIMENTS: &[&str] = &[
     "table4",
     "table5",
     "throughput",
+    "degradation",
     "ablation-curves",
     "ablation-minimax",
     "ablation-cost",
@@ -104,6 +105,7 @@ fn main() -> ExitCode {
             "tables45" => exp::tables45::run(&params),
             "table4" | "table5" => exp::tables45::run(&params),
             "throughput" => exp::throughput::run(&params),
+            "degradation" => exp::degradation::run(&params),
             "ablation-curves" => exp::ablations::run_curves(&params),
             "ablation-minimax" => exp::ablations::run_minimax(&params),
             "ablation-cost" => exp::ablations::run_cost(&params),

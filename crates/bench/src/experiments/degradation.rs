@@ -1,0 +1,140 @@
+//! Degraded-mode query service: response time and throughput with 0, 1 or 2
+//! failed workers out of 16, replicated versus unreplicated.
+//!
+//! The paper's engine assumes all processors stay up. This experiment
+//! injects fail-stop faults ([`pargrid_parallel::FaultPlan::kill_first`])
+//! into a 16-worker engine over the skewed `hot.2d` dataset and measures
+//! what a client sees: with chained-declustered replication
+//! ([`ParallelGridFile::build_replicated`]) every query still returns the
+//! exact answer set from the survivors (response time degrades gracefully —
+//! the failed workers' buckets are served by their chained neighbors),
+//! while the unreplicated layout can only flag the affected queries as
+//! incomplete.
+
+use crate::{NamedTable, Params};
+use pargrid_core::{DeclusterInput, DeclusterMethod, EdgeWeight};
+use pargrid_parallel::{EngineConfig, FaultPlan, ParallelGridFile};
+use pargrid_sim::plot::{LineChart, Series};
+use pargrid_sim::table::{fmt2, ResultTable};
+use pargrid_sim::QueryWorkload;
+use std::sync::Arc;
+
+const WORKERS: usize = 16;
+const FAILURES: [usize; 3] = [0, 1, 2];
+const WINDOW: usize = 8;
+
+/// Runs the failed-workers sweep, replicated and unreplicated.
+pub fn run(params: &Params) -> Vec<NamedTable> {
+    let ds = pargrid_datagen::hot2d(params.seed);
+    let gf = Arc::new(ds.build_grid_file());
+    let input = DeclusterInput::from_grid_file(&gf);
+    let method = DeclusterMethod::Minimax(EdgeWeight::Proximity);
+    let workload = QueryWorkload::square(&ds.domain, 0.05, params.queries, params.seed);
+
+    let mut table = ResultTable::new(vec![
+        "layout",
+        "failed workers",
+        "live workers",
+        "queries",
+        "mean response (ms)",
+        "response vs healthy",
+        "queries/s",
+        "retries",
+        "failed-over blocks",
+        "incomplete queries",
+    ]);
+    let mut resp_chart = LineChart::new(
+        "Degraded-mode response time (16 workers, hot.2d, r = 0.05)",
+        "failed workers",
+        "mean response time (ms)",
+    );
+    let mut qps_chart = LineChart::new(
+        "Degraded-mode throughput (16 workers, hot.2d, r = 0.05)",
+        "failed workers",
+        "queries per second",
+    );
+
+    let mut qps_table = ResultTable::new(vec!["layout", "failed workers", "queries/s"]);
+    for replicated in [true, false] {
+        let layout = if replicated {
+            "replicated"
+        } else {
+            "unreplicated"
+        };
+        let mut resp_points = Vec::new();
+        let mut qps_points = Vec::new();
+        let mut healthy_resp = 0.0f64;
+        for &k in &FAILURES {
+            // Fresh engine per cell (cold caches, fresh fault plan). A short
+            // real-time failure-detection timeout keeps the sweep fast; all
+            // reported times are virtual and unaffected by it. Failures are
+            // spaced around the chain (workers 0 and 8 for k = 2): chained
+            // declustering tolerates any set of pairwise non-adjacent
+            // failures, while two *adjacent* failures would lose both copies
+            // of the buckets between them.
+            let mut faults = FaultPlan::none();
+            for i in 0..k {
+                faults = faults.with_kill(i * WORKERS / k.max(1));
+            }
+            let config = EngineConfig {
+                fail_timeout_ms: 25,
+                ..EngineConfig::default()
+            }
+            .with_faults(faults);
+            let engine = if replicated {
+                let ra = method.assign_replicated(&input, WORKERS, params.seed);
+                ParallelGridFile::build_replicated(Arc::clone(&gf), &ra, config)
+            } else {
+                let a = method.assign(&input, WORKERS, params.seed);
+                ParallelGridFile::build(Arc::clone(&gf), &a, config)
+            };
+            let (outcomes, tp) = engine.run_workload_concurrent(&workload, WINDOW);
+            let mean_resp_ms = outcomes.iter().map(|o| o.elapsed_us).sum::<u64>() as f64
+                / outcomes.len().max(1) as f64
+                / 1e3;
+            if k == 0 {
+                healthy_resp = mean_resp_ms;
+            }
+            let incomplete = outcomes.iter().filter(|o| o.incomplete).count();
+            table.push_row(vec![
+                layout.to_string(),
+                k.to_string(),
+                (WORKERS - k).to_string(),
+                tp.queries.to_string(),
+                fmt2(mean_resp_ms),
+                fmt2(mean_resp_ms / healthy_resp.max(f64::EPSILON)),
+                fmt2(tp.queries_per_second()),
+                tp.retries.to_string(),
+                tp.failed_over_blocks.to_string(),
+                incomplete.to_string(),
+            ]);
+            qps_table.push_row(vec![
+                layout.to_string(),
+                k.to_string(),
+                fmt2(tp.queries_per_second()),
+            ]);
+            resp_points.push((k as f64, mean_resp_ms));
+            qps_points.push((k as f64, tp.queries_per_second()));
+        }
+        resp_chart.push(Series::new(layout, resp_points));
+        qps_chart.push(Series::new(layout, qps_points));
+    }
+
+    vec![
+        NamedTable::new(
+            "degradation",
+            format!(
+                "Degraded-mode service: failed-worker sweep ({} queries, r = 0.05, {})",
+                params.queries, ds.name
+            ),
+            table,
+        )
+        .with_chart(resp_chart),
+        NamedTable::new(
+            "degradation-throughput",
+            "Degraded-mode throughput versus failed workers".to_string(),
+            qps_table,
+        )
+        .with_chart(qps_chart),
+    ]
+}

@@ -1,6 +1,7 @@
 //! One module per paper artifact (figure/table) plus ablations.
 
 pub mod ablations;
+pub mod degradation;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;

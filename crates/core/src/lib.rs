@@ -53,6 +53,7 @@ pub mod method;
 pub mod minimax;
 pub mod mst;
 pub mod partial_match;
+pub mod replicate;
 pub mod ssp;
 pub mod weights;
 
@@ -61,4 +62,5 @@ pub use conflict::ConflictPolicy;
 pub use index_based::IndexScheme;
 pub use input::{BucketInfo, DeclusterInput};
 pub use method::DeclusterMethod;
+pub use replicate::ReplicatedAssignment;
 pub use weights::EdgeWeight;

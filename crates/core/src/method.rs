@@ -43,6 +43,22 @@ impl DeclusterMethod {
         }
     }
 
+    /// Runs the method and pairs it with a chained-declustered secondary
+    /// placement (see [`crate::replicate::ReplicatedAssignment`]): every
+    /// bucket gets a replica on a different disk, keeping the total data
+    /// balance within `ceil(2N / M)` for balanced primaries.
+    ///
+    /// # Panics
+    /// Panics if `m < 2` (a replica needs somewhere else to live).
+    pub fn assign_replicated(
+        &self,
+        input: &DeclusterInput,
+        m: usize,
+        seed: u64,
+    ) -> crate::replicate::ReplicatedAssignment {
+        crate::replicate::ReplicatedAssignment::chained(input, self.assign(input, m, seed))
+    }
+
     /// The label the paper's tables use (`DM/D`, `HCAM/D`, `MiniMax`, ...).
     pub fn label(&self) -> String {
         match *self {

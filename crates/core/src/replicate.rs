@@ -1,0 +1,204 @@
+//! Replicated declustering: a chained secondary copy of every bucket.
+//!
+//! The paper's minimax assignment optimizes the §2.2 response time — the
+//! *maximum* per-disk load of a query — which composes naturally with
+//! replication: when a disk fails, its buckets' load falls over to their
+//! replicas instead of becoming unavailable. This module pairs any primary
+//! [`Assignment`] with a **chained-declustered** secondary placement in the
+//! style of Hsiao/DeWitt: each bucket's replica prefers the next disk in the
+//! chain (`primary + 1 mod M`), falling back to the least-loaded other disk
+//! so that the *total* (primary + secondary) data balance stays within
+//! `ceil(2N / M)` buckets per disk whenever the primary assignment itself is
+//! balanced.
+
+use crate::assignment::Assignment;
+use crate::input::DeclusterInput;
+
+/// A primary assignment plus one chained-declustered replica per bucket.
+///
+/// Invariants: `secondary(b) != primary(b)` for every bucket, and both
+/// placements index the same disks (`0..n_disks`). Requires at least two
+/// disks.
+#[derive(Clone, Debug)]
+pub struct ReplicatedAssignment {
+    primary: Assignment,
+    /// Secondary disk per bucket position (aligned with the input order).
+    secondary: Vec<u32>,
+    /// Bucket id -> secondary disk, dense table (`u32::MAX` = no bucket).
+    secondary_by_id: Vec<u32>,
+}
+
+impl ReplicatedAssignment {
+    /// Places a chained secondary for every bucket of `primary`.
+    ///
+    /// Buckets are visited in input order; each secondary prefers the next
+    /// disk in the chain after its primary but yields to a strictly
+    /// less-loaded disk (by total primary + secondary count), keeping the
+    /// combined placement balanced. Deterministic: no randomness involved.
+    ///
+    /// # Panics
+    /// Panics if `primary` has fewer than two disks.
+    pub fn chained(input: &DeclusterInput, primary: Assignment) -> Self {
+        let m = primary.n_disks();
+        assert!(m >= 2, "replication needs at least two disks");
+        // Total load per disk: primaries are fixed, secondaries accrue.
+        let mut load: Vec<usize> = primary.bucket_counts();
+        let mut secondary = Vec::with_capacity(input.n_buckets());
+        for pos in 0..input.n_buckets() {
+            let p = primary.disk_at(pos) as usize;
+            // Scan the chain starting right after the primary; take the
+            // least-loaded disk, preferring earlier chain positions on ties
+            // (offset 1 — plain chained declustering — wins when balanced).
+            let mut best = (p + 1) % m;
+            for off in 2..m {
+                let d = (p + off) % m;
+                if load[d] < load[best] {
+                    best = d;
+                }
+            }
+            load[best] += 1;
+            secondary.push(best as u32);
+        }
+        let mut secondary_by_id = vec![u32::MAX; input.max_id_bound()];
+        for (pos, b) in input.buckets.iter().enumerate() {
+            secondary_by_id[b.id as usize] = secondary[pos];
+        }
+        ReplicatedAssignment {
+            primary,
+            secondary,
+            secondary_by_id,
+        }
+    }
+
+    /// The primary assignment.
+    #[inline]
+    pub fn primary(&self) -> &Assignment {
+        &self.primary
+    }
+
+    /// Number of disks.
+    #[inline]
+    pub fn n_disks(&self) -> usize {
+        self.primary.n_disks()
+    }
+
+    /// Secondary disk of the bucket at input position `pos`.
+    #[inline]
+    pub fn secondary_at(&self, pos: usize) -> u32 {
+        self.secondary[pos]
+    }
+
+    /// Secondary disk of the bucket with grid-file id `id`.
+    ///
+    /// # Panics
+    /// Panics if no bucket with that id exists in the instance.
+    #[inline]
+    pub fn secondary_of_id(&self, id: u32) -> u32 {
+        let d = self.secondary_by_id[id as usize];
+        assert_ne!(d, u32::MAX, "bucket id {id} not in assignment");
+        d
+    }
+
+    /// Combined (primary + secondary) bucket count per disk.
+    pub fn total_counts(&self) -> Vec<usize> {
+        let mut counts = self.primary.bucket_counts();
+        for &d in &self.secondary {
+            counts[d as usize] += 1;
+        }
+        counts
+    }
+
+    /// Whether no disk holds more than `ceil(2N / M)` copies in total — the
+    /// replicated analogue of [`Assignment::is_perfectly_balanced`].
+    pub fn is_perfectly_balanced(&self) -> bool {
+        let cap = (2 * self.secondary.len()).div_ceil(self.n_disks());
+        self.total_counts().iter().all(|&c| c <= cap)
+    }
+
+    /// The degree of data balance over total copies: `C_max * M / C_sum`.
+    pub fn data_balance_degree(&self) -> f64 {
+        let counts = self.total_counts();
+        let max = *counts.iter().max().expect("at least one disk") as f64;
+        let sum: usize = counts.iter().sum();
+        if sum == 0 {
+            return 1.0;
+        }
+        max * self.n_disks() as f64 / sum as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::DeclusterMethod;
+    use crate::weights::EdgeWeight;
+    use pargrid_gridfile::CartesianProductFile;
+
+    fn instance(nx: u32, ny: u32) -> DeclusterInput {
+        DeclusterInput::from_cartesian(&CartesianProductFile::new(&[nx, ny]))
+    }
+
+    #[test]
+    fn secondary_never_equals_primary() {
+        for m in 2..=7 {
+            let input = instance(6, 6);
+            let ra =
+                DeclusterMethod::Minimax(EdgeWeight::Proximity).assign_replicated(&input, m, 42);
+            for pos in 0..input.n_buckets() {
+                assert_ne!(
+                    ra.primary().disk_at(pos),
+                    ra.secondary_at(pos),
+                    "m={m} pos={pos}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn total_copies_stay_balanced() {
+        for m in [2, 3, 4, 5, 8] {
+            let input = instance(8, 8);
+            let ra =
+                DeclusterMethod::Minimax(EdgeWeight::Proximity).assign_replicated(&input, m, 7);
+            assert!(
+                ra.is_perfectly_balanced(),
+                "m={m} counts={:?}",
+                ra.total_counts()
+            );
+            let total: usize = ra.total_counts().iter().sum();
+            assert_eq!(total, 2 * input.n_buckets());
+        }
+    }
+
+    #[test]
+    fn balanced_primary_uses_plain_chain() {
+        // A perfectly even round-robin primary needs no balance correction:
+        // every secondary is the plain chained disk `primary + 1 mod M`.
+        let input = instance(4, 4);
+        let n = input.n_buckets();
+        let primary = Assignment::new(&input, 4, (0..n).map(|i| (i % 4) as u32).collect());
+        let ra = ReplicatedAssignment::chained(&input, primary);
+        for pos in 0..n {
+            assert_eq!(ra.secondary_at(pos), (ra.primary().disk_at(pos) + 1) % 4);
+        }
+    }
+
+    #[test]
+    fn id_lookup_matches_positions() {
+        let input = instance(5, 5);
+        let ra = DeclusterMethod::Minimax(EdgeWeight::Proximity).assign_replicated(&input, 4, 3);
+        for (pos, b) in input.buckets.iter().enumerate() {
+            assert_eq!(ra.secondary_of_id(b.id), ra.secondary_at(pos));
+            assert_eq!(ra.primary().disk_of_id(b.id), ra.primary().disk_at(pos));
+        }
+        assert!(ra.data_balance_degree() >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two disks")]
+    fn single_disk_rejected() {
+        let input = instance(2, 2);
+        let primary = Assignment::new(&input, 1, vec![0; 4]);
+        let _ = ReplicatedAssignment::chained(&input, primary);
+    }
+}

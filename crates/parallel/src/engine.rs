@@ -1,8 +1,9 @@
 //! The coordinator and the public engine API.
 //!
 //! `ParallelGridFile::build` declusters a grid file onto `P` worker threads
-//! (one simulated disk each, exactly the paper's one-disk-per-processor
-//! simplification), then the query API drives the SPMD protocol:
+//! (one or more simulated disks each — the paper's simulation study assumes
+//! one disk per processor, its SP-2 hardware had seven), then the query API
+//! drives the SPMD protocol:
 //!
 //! 1. the coordinator translates the range query into block requests using
 //!    the grid directory (which the paper stores on the coordinator's disk),
@@ -18,6 +19,18 @@
 //! elevator batch (see [`crate::worker`]) while their virtual completion
 //! times stay independently accounted.
 //!
+//! The engine is also **fault-tolerant** when built over a
+//! [`ReplicatedAssignment`] ([`ParallelGridFile::build_replicated`]): every
+//! bucket has a chained-declustered secondary copy on a different worker.
+//! The coordinator plans queries against live workers only (dead primaries
+//! are skipped in favor of their replicas), and replies are collected under
+//! a per-request timeout: a worker that fail-stops mid-query is detected via
+//! its published dead flag (or, for a silently crashed thread, a strike
+//! limit), and its stranded buckets are retried — once — against their other
+//! copy, with the extra round trip charged to the query's communication
+//! time. Without replicas a failure marks the affected queries
+//! [`QueryOutcome::incomplete`] instead of panicking.
+//!
 //! Virtual elapsed time of a query = slowest worker's (disk + CPU) time plus
 //! communication time; communication = one broadcast latency plus each
 //! reply's (latency + bytes / bandwidth), serialized at the coordinator's
@@ -25,19 +38,27 @@
 //! query ratio `r` (§ 3.5: "the size of answer sets tends to grow").
 
 use crate::disk::DiskParams;
+use crate::fault::FaultPlan;
 use crate::message::{FromWorker, QueryPriority, ReadRequest, ToWorker};
 use crate::stats::{EngineStats, SharedStats};
 use crate::worker::{run_worker, WorkerState};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use pargrid_core::Assignment;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, SendError, Sender};
+use pargrid_core::{Assignment, ReplicatedAssignment};
 use pargrid_geom::Rect;
 use pargrid_gridfile::page::encode_page;
 use pargrid_gridfile::{GridFile, Record};
 use pargrid_sim::{QueryWorkload, ThroughputStats};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Consecutive empty reply timeouts after which every still-awaited worker
+/// is declared dead even if it never published a dead flag (a thread that
+/// panicked, not an injected fail-stop). With the default 200 ms timeout
+/// this is ten seconds of total silence.
+const MAX_TIMEOUT_STRIKES: u32 = 50;
 
 /// Interconnect cost model (SP-2-class switch).
 #[derive(Clone, Copy, Debug)]
@@ -58,7 +79,7 @@ impl Default for NetParams {
 }
 
 /// Engine configuration.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct EngineConfig {
     /// Disk model parameters (per worker).
     pub disk: DiskParams,
@@ -72,6 +93,26 @@ pub struct EngineConfig {
     /// Disks per worker (0 is treated as 1). The paper's SP-2 had seven
     /// disks per processor; its simulation study assumes one.
     pub disks_per_worker: usize,
+    /// Injected worker faults (none by default); see [`FaultPlan`].
+    pub faults: FaultPlan,
+    /// Real-time reply timeout per collection poll, milliseconds. Each
+    /// expiry triggers a sweep for workers that died mid-query; it does not
+    /// by itself declare anyone dead (see [`MAX_TIMEOUT_STRIKES`]), so slow
+    /// machines are safe with small values.
+    pub fail_timeout_ms: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            disk: DiskParams::default(),
+            net: NetParams::default(),
+            spill_dir: None,
+            disks_per_worker: 0,
+            faults: FaultPlan::default(),
+            fail_timeout_ms: 200,
+        }
+    }
 }
 
 impl EngineConfig {
@@ -95,6 +136,12 @@ impl EngineConfig {
             ..Self::default()
         }
     }
+
+    /// Installs an injected fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
 }
 
 /// Result of a single query.
@@ -117,6 +164,12 @@ pub struct QueryOutcome {
     pub elapsed_us: u64,
     /// Virtual communication time of the query (microseconds).
     pub comm_us: u64,
+    /// Requests retried against another copy after a worker failure or
+    /// error reply (0 on a healthy run).
+    pub retries: u64,
+    /// True when some buckets could not be served by any live copy; the
+    /// records are then a subset of the true answer.
+    pub incomplete: bool,
 }
 
 /// Accumulated results of a workload run — the columns of Tables 4 and 5.
@@ -137,6 +190,10 @@ pub struct RunStats {
     pub comm_us: u64,
     /// Total virtual elapsed time (microseconds).
     pub elapsed_us: u64,
+    /// Total failover retries across queries.
+    pub retries: u64,
+    /// Queries whose answers were incomplete (some copy unreachable).
+    pub incomplete_queries: u64,
 }
 
 impl RunStats {
@@ -158,6 +215,97 @@ impl RunStats {
         self.records += out.records.len() as u64;
         self.comm_us += out.comm_us;
         self.elapsed_us += out.elapsed_us;
+        self.retries += out.retries;
+        self.incomplete_queries += out.incomplete as u64;
+    }
+}
+
+/// Where one bucket's blocks live: a primary copy and, when the engine was
+/// built replicated, a secondary copy on a different worker.
+#[derive(Clone, Debug)]
+struct BucketPlacement {
+    /// (worker, block ids) of the primary copy.
+    primary: (usize, Vec<u32>),
+    /// (worker, block ids) of the chained replica, if any.
+    replica: Option<(usize, Vec<u32>)>,
+}
+
+impl BucketPlacement {
+    /// The copy *other* than the one on `worker` (used for failover).
+    fn other_copy(&self, worker: usize) -> Option<&(usize, Vec<u32>)> {
+        if self.primary.0 == worker {
+            self.replica.as_ref()
+        } else {
+            Some(&self.primary)
+        }
+    }
+}
+
+/// One worker's share of a planned query.
+#[derive(Debug, Default)]
+struct PlannedRead {
+    /// Block ids to read on this worker.
+    blocks: Vec<u32>,
+    /// Bucket ids those blocks belong to (for failover bookkeeping).
+    buckets: Vec<u32>,
+}
+
+/// Coordinator-side state of one in-flight query.
+struct PendingQuery {
+    /// Position within the admission round (for ordered emission).
+    round_pos: usize,
+    /// The query rectangle (needed to re-issue failed-over requests).
+    rect: Rect,
+    /// Touched buckets, sorted.
+    buckets: Vec<u32>,
+    /// Outstanding requests: (worker, bucket ids served by that request),
+    /// in dispatch order. A worker's replies arrive in its dispatch order,
+    /// so the first matching entry is the reply's request.
+    awaiting: Vec<(usize, Vec<u32>)>,
+    /// Buckets already failed over once (one-retry policy).
+    retried: HashSet<u32>,
+    response_blocks: u64,
+    total_blocks: u64,
+    cache_hits: u64,
+    comm_us: u64,
+    max_worker_us: u64,
+    records: Vec<Record>,
+    retries: u64,
+    incomplete: bool,
+}
+
+impl PendingQuery {
+    fn new(round_pos: usize, rect: Rect, buckets: Vec<u32>) -> Self {
+        PendingQuery {
+            round_pos,
+            rect,
+            buckets,
+            awaiting: Vec::new(),
+            retried: HashSet::new(),
+            response_blocks: 0,
+            total_blocks: 0,
+            cache_hits: 0,
+            comm_us: 0,
+            max_worker_us: 0,
+            records: Vec::new(),
+            retries: 0,
+            incomplete: false,
+        }
+    }
+
+    fn into_outcome(mut self) -> QueryOutcome {
+        self.records.sort_unstable_by_key(|r| r.id);
+        QueryOutcome {
+            records: self.records,
+            buckets: self.buckets,
+            response_blocks: self.response_blocks,
+            total_blocks: self.total_blocks,
+            cache_hits: self.cache_hits,
+            elapsed_us: self.max_worker_us + self.comm_us,
+            comm_us: self.comm_us,
+            retries: self.retries,
+            incomplete: self.incomplete,
+        }
     }
 }
 
@@ -172,23 +320,47 @@ pub struct ParallelGridFile {
     gf: Arc<GridFile>,
     net: NetParams,
     record_bytes: usize,
-    /// bucket id -> (worker, blocks of that bucket).
-    placement: HashMap<u32, (usize, Vec<u32>)>,
+    /// bucket id -> where its copies live.
+    placement: HashMap<u32, BucketPlacement>,
     to_workers: Vec<Sender<ToWorker>>,
     handles: Vec<JoinHandle<()>>,
     next_query_id: AtomicU64,
     shared: Arc<SharedStats>,
+    fail_timeout_ms: u64,
+    replicated: bool,
 }
 
 impl ParallelGridFile {
     /// Distributes the grid file's buckets over `assignment.n_disks()`
-    /// workers (one disk per worker) and spawns the worker threads.
+    /// workers and spawns the worker threads.
     ///
     /// Each bucket becomes one 8 KB-class block on its worker; oversize
     /// buckets (inseparable duplicates) spill into additional consecutive
     /// blocks. Block ids are consecutive per worker in bucket order, so
     /// spatially-clustered buckets benefit from the sequential-read rate.
     pub fn build(gf: Arc<GridFile>, assignment: &Assignment, config: EngineConfig) -> Self {
+        Self::build_inner(gf, assignment, None, config)
+    }
+
+    /// Like [`ParallelGridFile::build`], but with a chained-declustered
+    /// replica of every bucket on a second worker (see
+    /// [`ReplicatedAssignment`]). Replica blocks are appended after all
+    /// primary blocks of a worker, so a healthy run's primary reads keep
+    /// their sequential layout.
+    pub fn build_replicated(
+        gf: Arc<GridFile>,
+        assignment: &ReplicatedAssignment,
+        config: EngineConfig,
+    ) -> Self {
+        Self::build_inner(gf, assignment.primary(), Some(assignment), config)
+    }
+
+    fn build_inner(
+        gf: Arc<GridFile>,
+        assignment: &Assignment,
+        replica: Option<&ReplicatedAssignment>,
+        config: EngineConfig,
+    ) -> Self {
         let n_workers = assignment.n_disks();
         assert!(n_workers >= 1, "need at least one worker");
         let dim = gf.dim();
@@ -214,16 +386,23 @@ impl ParallelGridFile {
                     store,
                     config.disks_per_worker.max(1),
                 )
+                .with_faults(config.faults.for_worker(w))
             })
             .collect();
         let mut next_block = vec![0u32; n_workers];
-        let mut placement = HashMap::new();
+        let mut placement: HashMap<u32, BucketPlacement> = HashMap::new();
 
-        for (id, _region, _len) in gf.live_buckets() {
-            let w = assignment.disk_of_id(id) as usize;
-            let records = gf.bucket_records(id);
-            let mut blocks = Vec::with_capacity(records.len().div_ceil(capacity.max(1)).max(1));
-            for chunk in records.chunks(capacity.max(1)) {
+        let write_bucket = |workers: &mut Vec<WorkerState>,
+                            next_block: &mut Vec<u32>,
+                            w: usize,
+                            records: &[Record]|
+         -> Vec<u32> {
+            let cap = capacity.max(1);
+            let mut blocks = Vec::with_capacity(records.len().div_ceil(cap).max(1));
+            let mut chunks = records.chunks(cap);
+            loop {
+                // An empty bucket still occupies one (empty) block on disk.
+                let chunk = chunks.next().unwrap_or(&[]);
                 let block = next_block[w];
                 next_block[w] += 1;
                 workers[w]
@@ -231,18 +410,36 @@ impl ParallelGridFile {
                     .put(block, encode_page(chunk, dim, payload, page_bytes))
                     .expect("cannot write block");
                 blocks.push(block);
+                if chunks.len() == 0 {
+                    return blocks;
+                }
             }
-            if blocks.is_empty() {
-                // Empty bucket still occupies one (empty) block on disk.
-                let block = next_block[w];
-                next_block[w] += 1;
-                workers[w]
-                    .store
-                    .put(block, encode_page(&[], dim, payload, page_bytes))
-                    .expect("cannot write block");
-                blocks.push(block);
+        };
+
+        for (id, _region, _len) in gf.live_buckets() {
+            let w = assignment.disk_of_id(id) as usize;
+            let records = gf.bucket_records(id);
+            let blocks = write_bucket(&mut workers, &mut next_block, w, records);
+            placement.insert(
+                id,
+                BucketPlacement {
+                    primary: (w, blocks),
+                    replica: None,
+                },
+            );
+        }
+        // Second pass for the replicas so they land *after* every primary
+        // block of their worker.
+        if let Some(ra) = replica {
+            for (id, _region, _len) in gf.live_buckets() {
+                let w = ra.secondary_of_id(id) as usize;
+                let records = gf.bucket_records(id);
+                let blocks = write_bucket(&mut workers, &mut next_block, w, records);
+                placement
+                    .get_mut(&id)
+                    .expect("replica of unknown bucket")
+                    .replica = Some((w, blocks));
             }
-            placement.insert(id, (w, blocks));
         }
 
         let shared = Arc::new(SharedStats::new(n_workers));
@@ -267,6 +464,8 @@ impl ParallelGridFile {
             handles,
             next_query_id: AtomicU64::new(0),
             shared,
+            fail_timeout_ms: config.fail_timeout_ms,
+            replicated: replica.is_some(),
         }
     }
 
@@ -275,8 +474,13 @@ impl ParallelGridFile {
         self.to_workers.len()
     }
 
+    /// Whether every bucket has a replica ([`ParallelGridFile::build_replicated`]).
+    pub fn is_replicated(&self) -> bool {
+        self.replicated
+    }
+
     /// Snapshot of the engine's lifetime counters (queries issued, per-worker
-    /// blocks/cache/busy-time/batch-size/cache-occupancy). Exact once no
+    /// blocks/cache/busy-time/liveness, failover retries). Exact once no
     /// query is in flight.
     pub fn stats(&self) -> EngineStats {
         self.shared.snapshot()
@@ -295,17 +499,189 @@ impl ParallelGridFile {
         }
     }
 
-    /// Translates a query into its touched buckets (sorted) and per-worker
-    /// block lists.
-    fn plan(&self, rect: &Rect) -> (Vec<u32>, HashMap<usize, Vec<u32>>) {
+    /// Translates a query into its touched buckets (sorted), per-worker
+    /// reads against **live** workers (dead primaries fall over to their
+    /// replicas at planning time), and whether some bucket has no live copy
+    /// at all.
+    fn plan(&self, rect: &Rect) -> (Vec<u32>, HashMap<usize, PlannedRead>, bool) {
         let mut buckets = self.gf.range_query_buckets(rect);
         buckets.sort_unstable();
-        let mut per_worker: HashMap<usize, Vec<u32>> = HashMap::new();
-        for b in &buckets {
-            let (w, blocks) = &self.placement[b];
-            per_worker.entry(*w).or_default().extend_from_slice(blocks);
+        let mut per_worker: HashMap<usize, PlannedRead> = HashMap::new();
+        let mut incomplete = false;
+        for &b in &buckets {
+            let pl = &self.placement[&b];
+            let copy = if self.shared.is_alive(pl.primary.0) {
+                Some(&pl.primary)
+            } else {
+                match &pl.replica {
+                    Some(rep) if self.shared.is_alive(rep.0) => {
+                        self.shared
+                            .failed_over_blocks
+                            .fetch_add(rep.1.len() as u64, Ordering::Relaxed);
+                        Some(rep)
+                    }
+                    _ => None,
+                }
+            };
+            match copy {
+                Some((w, blocks)) => {
+                    let entry = per_worker.entry(*w).or_default();
+                    entry.blocks.extend_from_slice(blocks);
+                    entry.buckets.push(b);
+                }
+                None => incomplete = true,
+            }
         }
-        (buckets, per_worker)
+        (buckets, per_worker, incomplete)
+    }
+
+    /// Retries `buckets` (stranded on or erroring from `from_worker`)
+    /// against their other copy, once each. Buckets already retried, or
+    /// whose other copy is missing or dead, mark the query incomplete.
+    fn fail_over(
+        &self,
+        query_id: u64,
+        p: &mut PendingQuery,
+        from_worker: usize,
+        buckets: &[u32],
+        reply_tx: &Sender<FromWorker>,
+        priority: QueryPriority,
+    ) {
+        // worker -> (blocks, buckets) of the retry request.
+        let mut regroup: HashMap<usize, (Vec<u32>, Vec<u32>)> = HashMap::new();
+        for &b in buckets {
+            if !p.retried.insert(b) {
+                p.incomplete = true;
+                continue;
+            }
+            match self.placement[&b].other_copy(from_worker) {
+                Some((w, blocks)) if self.shared.is_alive(*w) => {
+                    let entry = regroup.entry(*w).or_default();
+                    entry.0.extend_from_slice(blocks);
+                    entry.1.push(b);
+                    self.shared
+                        .failed_over_blocks
+                        .fetch_add(blocks.len() as u64, Ordering::Relaxed);
+                }
+                _ => p.incomplete = true,
+            }
+        }
+        for (w, (blocks, bkts)) in regroup {
+            // The retry costs another dispatch message; its reply's cost is
+            // charged on arrival like any other.
+            p.comm_us += self.net.latency_us;
+            p.retries += 1;
+            self.shared.retries.fetch_add(1, Ordering::Relaxed);
+            let request = ReadRequest {
+                query_id,
+                blocks,
+                query: p.rect,
+                reply: reply_tx.clone(),
+                priority,
+            };
+            match self.to_workers[w].send(ToWorker::Process(vec![request])) {
+                Ok(()) => p.awaiting.push((w, bkts)),
+                Err(SendError(_)) => {
+                    // The replica died too (channel gone). Its buckets are
+                    // in `retried` now, so this recursion terminates by
+                    // marking them incomplete.
+                    self.shared.workers[w].dead.store(true, Ordering::Relaxed);
+                    self.fail_over(query_id, p, w, &bkts, reply_tx, priority);
+                }
+            }
+        }
+    }
+
+    /// Folds one worker reply into its pending query. Stale replies — for a
+    /// finished query, or from a worker whose request was already failed
+    /// over — are dropped so a slow-but-not-dead worker can never
+    /// double-merge records.
+    fn process_reply(
+        &self,
+        reply: FromWorker,
+        pending: &mut HashMap<u64, PendingQuery>,
+        reply_tx: &Sender<FromWorker>,
+        priority: QueryPriority,
+    ) {
+        let Some(p) = pending.get_mut(&reply.query_id) else {
+            return;
+        };
+        let Some(pos) = p.awaiting.iter().position(|(w, _)| *w == reply.worker_id) else {
+            return;
+        };
+        let (_, buckets) = p.awaiting.remove(pos);
+        p.total_blocks += reply.blocks_requested;
+        p.cache_hits += reply.cache_hits;
+        p.max_worker_us = p.max_worker_us.max(reply.disk_us + reply.cpu_us);
+        let reply_bytes = 32 + reply.records.len() * self.record_bytes;
+        p.comm_us +=
+            self.net.latency_us + (reply_bytes as u64).div_ceil(self.net.bytes_per_us.max(1));
+        if reply.error.is_some() {
+            self.fail_over(
+                reply.query_id,
+                p,
+                reply.worker_id,
+                &buckets,
+                reply_tx,
+                priority,
+            );
+        } else {
+            p.records.extend(reply.records);
+        }
+    }
+
+    /// Collects replies until no pending query awaits a worker, failing
+    /// stranded requests over to replicas when workers die mid-flight.
+    fn collect(
+        &self,
+        reply_rx: &Receiver<FromWorker>,
+        reply_tx: &Sender<FromWorker>,
+        priority: QueryPriority,
+        pending: &mut HashMap<u64, PendingQuery>,
+    ) {
+        let timeout = Duration::from_millis(self.fail_timeout_ms.max(1));
+        let mut strikes = 0u32;
+        while pending.values().any(|p| !p.awaiting.is_empty()) {
+            match reply_rx.recv_timeout(timeout) {
+                Ok(reply) => {
+                    strikes = 0;
+                    self.process_reply(reply, pending, reply_tx, priority);
+                }
+                Err(RecvTimeoutError::Disconnected) => return,
+                Err(RecvTimeoutError::Timeout) => {
+                    strikes += 1;
+                    let force = strikes >= MAX_TIMEOUT_STRIKES;
+                    let ids: Vec<u64> = pending.keys().copied().collect();
+                    for qid in ids {
+                        let Some(p) = pending.get_mut(&qid) else {
+                            continue;
+                        };
+                        // Pull out entries on dead workers (all awaited
+                        // workers, under `force`) *before* failing any over,
+                        // so retries issued below are not swept in the same
+                        // pass.
+                        let mut doomed = Vec::new();
+                        let mut i = 0;
+                        while i < p.awaiting.len() {
+                            if force || !self.shared.is_alive(p.awaiting[i].0) {
+                                doomed.push(p.awaiting.remove(i));
+                            } else {
+                                i += 1;
+                            }
+                        }
+                        for (w, _) in &doomed {
+                            self.shared.workers[*w].dead.store(true, Ordering::Relaxed);
+                        }
+                        for (w, buckets) in doomed {
+                            self.fail_over(qid, p, w, &buckets, reply_tx, priority);
+                        }
+                    }
+                    if force {
+                        strikes = 0;
+                    }
+                }
+            }
+        }
     }
 
     /// Executes one range query through the SPMD protocol.
@@ -340,7 +716,9 @@ impl ParallelGridFile {
     /// Per-query `elapsed_us` stays independently accounted (each query is
     /// charged only its own blocks' costs), while
     /// [`ThroughputStats::makespan_us`] reflects the shared schedule: the
-    /// busiest worker's total busy time plus all communication.
+    /// busiest worker's total *wall* busy time — a multi-disk worker's disks
+    /// seek in parallel, so per-batch wall time is the maximum over its
+    /// disks, not their sum — plus all communication.
     pub fn run_workload_concurrent(
         &self,
         workload: &QueryWorkload,
@@ -350,62 +728,45 @@ impl ParallelGridFile {
         let n_workers = self.n_workers();
         let (reply_tx, reply_rx) = unbounded();
         let mut outcomes: Vec<QueryOutcome> = Vec::with_capacity(workload.len());
+        let busy0: Vec<u64> = self
+            .shared
+            .workers
+            .iter()
+            .map(|w| w.busy_wall_us.load(Ordering::Relaxed))
+            .collect();
+        let retries0 = self.shared.retries.load(Ordering::Relaxed);
+        let failed0 = self.shared.failed_over_blocks.load(Ordering::Relaxed);
         let mut tp = ThroughputStats {
             in_flight,
             worker_busy_us: vec![0; n_workers],
             ..ThroughputStats::default()
         };
 
-        struct Pending {
-            round_pos: usize,
-            buckets: Vec<u32>,
-            awaiting: usize,
-            response_blocks: u64,
-            total_blocks: u64,
-            cache_hits: u64,
-            comm_us: u64,
-            max_worker_us: u64,
-            records: Vec<Record>,
-        }
-
         for round in workload.queries.chunks(in_flight) {
             let mut per_worker: Vec<Vec<ReadRequest>> =
                 (0..n_workers).map(|_| Vec::new()).collect();
-            let mut pending: HashMap<u64, Pending> = HashMap::new();
-            let mut awaiting_total = 0usize;
+            let mut pending: HashMap<u64, PendingQuery> = HashMap::new();
             for (round_pos, rect) in round.iter().enumerate() {
                 let query_id = self.next_query_id.fetch_add(1, Ordering::Relaxed);
                 self.shared.queries.fetch_add(1, Ordering::Relaxed);
-                let (buckets, plan) = self.plan(rect);
-                let mut response_blocks = 0u64;
-                let mut awaiting = 0usize;
-                for (w, blocks) in plan {
-                    response_blocks = response_blocks.max(blocks.len() as u64);
+                let (buckets, plan, incomplete) = self.plan(rect);
+                let mut p = PendingQuery::new(round_pos, *rect, buckets);
+                p.incomplete = incomplete;
+                for (w, read) in plan {
+                    p.response_blocks = p.response_blocks.max(read.blocks.len() as u64);
                     per_worker[w].push(ReadRequest {
                         query_id,
-                        blocks,
+                        blocks: read.blocks,
                         query: *rect,
                         reply: reply_tx.clone(),
                         priority: QueryPriority::Batch,
                     });
-                    awaiting += 1;
+                    p.awaiting.push((w, read.buckets));
                 }
-                awaiting_total += awaiting;
-                let comm_us = if awaiting > 0 { self.net.latency_us } else { 0 };
-                pending.insert(
-                    query_id,
-                    Pending {
-                        round_pos,
-                        buckets,
-                        awaiting,
-                        response_blocks,
-                        total_blocks: 0,
-                        cache_hits: 0,
-                        comm_us,
-                        max_worker_us: 0,
-                        records: Vec::new(),
-                    },
-                );
+                if !p.awaiting.is_empty() {
+                    p.comm_us += self.net.latency_us;
+                }
+                pending.insert(query_id, p);
             }
 
             for (w, requests) in per_worker.into_iter().enumerate() {
@@ -415,49 +776,57 @@ impl ParallelGridFile {
                 tp.batches += 1;
                 tp.batched_requests += requests.len() as u64;
                 tp.max_batch = tp.max_batch.max(requests.len() as u64);
-                self.to_workers[w]
-                    .send(ToWorker::Process(requests))
-                    .expect("worker channel closed");
+                if let Err(SendError(msg)) = self.to_workers[w].send(ToWorker::Process(requests)) {
+                    // The worker's channel is gone (it died earlier this
+                    // round, or its thread panicked): recover the requests
+                    // from the bounced message and fail them over.
+                    self.shared.workers[w].dead.store(true, Ordering::Relaxed);
+                    if let ToWorker::Process(reqs) = msg {
+                        for req in reqs {
+                            let Some(p) = pending.get_mut(&req.query_id) else {
+                                continue;
+                            };
+                            let Some(pos) = p.awaiting.iter().position(|(aw, _)| *aw == w) else {
+                                continue;
+                            };
+                            let (_, bkts) = p.awaiting.remove(pos);
+                            self.fail_over(
+                                req.query_id,
+                                p,
+                                w,
+                                &bkts,
+                                &reply_tx,
+                                QueryPriority::Batch,
+                            );
+                        }
+                    }
+                }
             }
 
-            for _ in 0..awaiting_total {
-                let reply = reply_rx.recv().expect("worker died");
-                let p = pending
-                    .get_mut(&reply.query_id)
-                    .expect("reply for unknown query");
-                tp.worker_busy_us[reply.worker_id] += reply.disk_us + reply.cpu_us;
-                p.total_blocks += reply.blocks_requested;
-                p.cache_hits += reply.cache_hits;
-                p.max_worker_us = p.max_worker_us.max(reply.disk_us + reply.cpu_us);
-                let reply_bytes = 32 + reply.records.len() * self.record_bytes;
-                p.comm_us +=
-                    self.net.latency_us + reply_bytes as u64 / self.net.bytes_per_us.max(1);
-                p.records.extend(reply.records);
-                p.awaiting -= 1;
-            }
+            self.collect(&reply_rx, &reply_tx, QueryPriority::Batch, &mut pending);
 
             // Emit this round's outcomes in submission order.
-            let mut finished: Vec<Pending> = pending.into_values().collect();
+            let mut finished: Vec<PendingQuery> = pending.into_values().collect();
             finished.sort_unstable_by_key(|p| p.round_pos);
-            for mut p in finished {
-                debug_assert_eq!(p.awaiting, 0);
-                p.records.sort_unstable_by_key(|r| r.id);
+            for p in finished {
+                debug_assert!(p.awaiting.is_empty());
                 tp.queries += 1;
                 tp.comm_us += p.comm_us;
                 tp.total_blocks += p.total_blocks;
                 tp.cache_hits += p.cache_hits;
-                outcomes.push(QueryOutcome {
-                    records: p.records,
-                    buckets: p.buckets,
-                    response_blocks: p.response_blocks,
-                    total_blocks: p.total_blocks,
-                    cache_hits: p.cache_hits,
-                    elapsed_us: p.max_worker_us + p.comm_us,
-                    comm_us: p.comm_us,
-                });
+                outcomes.push(p.into_outcome());
             }
         }
 
+        // Per-worker busy time is the workers' own wall accounting (max over
+        // a batch's disks + CPU), taken as a delta over this run. Summing
+        // per-reply disk+CPU here would double-count a multi-disk worker's
+        // parallel seeks and overstate utilization.
+        for (w, b0) in busy0.iter().enumerate() {
+            tp.worker_busy_us[w] = self.shared.workers[w].busy_wall_us.load(Ordering::Relaxed) - b0;
+        }
+        tp.retries = self.shared.retries.load(Ordering::Relaxed) - retries0;
+        tp.failed_over_blocks = self.shared.failed_over_blocks.load(Ordering::Relaxed) - failed0;
         tp.makespan_us = tp.worker_busy_us.iter().copied().max().unwrap_or(0) + tp.comm_us;
         (outcomes, tp)
     }
@@ -510,56 +879,48 @@ impl QuerySession<'_> {
         let engine = self.engine;
         let query_id = engine.next_query_id.fetch_add(1, Ordering::Relaxed);
         engine.shared.queries.fetch_add(1, Ordering::Relaxed);
-        let (buckets, per_worker) = engine.plan(rect);
+        let (buckets, plan, incomplete) = engine.plan(rect);
+        let mut p = PendingQuery::new(0, *rect, buckets);
+        p.incomplete = incomplete;
 
-        let involved = per_worker.len();
-        let mut response_blocks = 0u64;
-        for (w, blocks) in per_worker {
-            response_blocks = response_blocks.max(blocks.len() as u64);
-            engine.to_workers[w]
-                .send(ToWorker::Process(vec![ReadRequest {
-                    query_id,
-                    blocks,
-                    query: *rect,
-                    reply: self.reply_tx.clone(),
-                    priority: self.priority,
-                }]))
-                .expect("worker channel closed");
+        let mut involved = false;
+        for (w, read) in plan {
+            involved = true;
+            p.response_blocks = p.response_blocks.max(read.blocks.len() as u64);
+            let request = ReadRequest {
+                query_id,
+                blocks: read.blocks,
+                query: *rect,
+                reply: self.reply_tx.clone(),
+                priority: self.priority,
+            };
+            match engine.to_workers[w].send(ToWorker::Process(vec![request])) {
+                Ok(()) => p.awaiting.push((w, read.buckets)),
+                Err(SendError(_)) => {
+                    engine.shared.workers[w].dead.store(true, Ordering::Relaxed);
+                    engine.fail_over(
+                        query_id,
+                        &mut p,
+                        w,
+                        &read.buckets,
+                        &self.reply_tx,
+                        self.priority,
+                    );
+                }
+            }
+        }
+        if involved {
+            // One broadcast latency for the dispatch; each reply adds its
+            // own latency + transfer time as it arrives.
+            p.comm_us += engine.net.latency_us;
         }
 
-        // Collect replies; virtual times accumulate per the model in the
-        // module docs. Only this session's replies arrive on this channel,
-        // and the session issues one query at a time, so every reply is ours.
-        let mut records = Vec::new();
-        let mut max_worker_us = 0u64;
-        let mut comm_us = if involved > 0 {
-            engine.net.latency_us
-        } else {
-            0
-        };
-        let mut total_blocks = 0u64;
-        let mut cache_hits = 0u64;
-        for _ in 0..involved {
-            let reply = self.reply_rx.recv().expect("worker died");
-            assert_eq!(reply.query_id, query_id, "out-of-order reply");
-            max_worker_us = max_worker_us.max(reply.disk_us + reply.cpu_us);
-            total_blocks += reply.blocks_requested;
-            cache_hits += reply.cache_hits;
-            let reply_bytes = 32 + reply.records.len() * engine.record_bytes;
-            comm_us += engine.net.latency_us + reply_bytes as u64 / engine.net.bytes_per_us.max(1);
-            records.extend(reply.records);
-        }
-        records.sort_unstable_by_key(|r| r.id);
+        let mut pending = HashMap::new();
+        pending.insert(query_id, p);
+        engine.collect(&self.reply_rx, &self.reply_tx, self.priority, &mut pending);
+        let p = pending.remove(&query_id).expect("query still pending");
 
-        let outcome = QueryOutcome {
-            records,
-            buckets,
-            response_blocks,
-            total_blocks,
-            cache_hits,
-            elapsed_us: max_worker_us + comm_us,
-            comm_us,
-        };
+        let outcome = p.into_outcome();
         self.stats.absorb(&outcome);
         outcome
     }
@@ -589,7 +950,7 @@ mod tests {
     use pargrid_gridfile::{GridConfig, Record};
     use pargrid_sim::QueryWorkload;
 
-    fn build_engine(n_workers: usize) -> (Arc<GridFile>, ParallelGridFile, Vec<Record>) {
+    fn sample_grid() -> (Arc<GridFile>, Vec<Record>) {
         let cfg = GridConfig::with_capacity(Rect::new2(0.0, 0.0, 100.0, 100.0), 8);
         let mut recs = Vec::new();
         let mut x = 1u64;
@@ -606,10 +967,42 @@ mod tests {
             ));
         }
         let gf = Arc::new(GridFile::bulk_load(cfg, recs.iter().copied()));
+        (gf, recs)
+    }
+
+    /// Short reply timeout so failure tests don't wait 200 ms per poll.
+    fn fast_cfg() -> EngineConfig {
+        EngineConfig {
+            fail_timeout_ms: 25,
+            ..EngineConfig::default()
+        }
+    }
+
+    fn build_engine_cfg(
+        n_workers: usize,
+        config: EngineConfig,
+    ) -> (Arc<GridFile>, ParallelGridFile, Vec<Record>) {
+        let (gf, recs) = sample_grid();
         let input = DeclusterInput::from_grid_file(&gf);
         let assignment =
             DeclusterMethod::Minimax(EdgeWeight::Proximity).assign(&input, n_workers, 7);
-        let engine = ParallelGridFile::build(Arc::clone(&gf), &assignment, EngineConfig::default());
+        let engine = ParallelGridFile::build(Arc::clone(&gf), &assignment, config);
+        (gf, engine, recs)
+    }
+
+    fn build_engine(n_workers: usize) -> (Arc<GridFile>, ParallelGridFile, Vec<Record>) {
+        build_engine_cfg(n_workers, EngineConfig::default())
+    }
+
+    fn build_replicated_engine(
+        n_workers: usize,
+        config: EngineConfig,
+    ) -> (Arc<GridFile>, ParallelGridFile, Vec<Record>) {
+        let (gf, recs) = sample_grid();
+        let input = DeclusterInput::from_grid_file(&gf);
+        let assignment =
+            DeclusterMethod::Minimax(EdgeWeight::Proximity).assign_replicated(&input, n_workers, 7);
+        let engine = ParallelGridFile::build_replicated(Arc::clone(&gf), &assignment, config);
         (gf, engine, recs)
     }
 
@@ -630,6 +1023,8 @@ mod tests {
         assert!(out.total_blocks >= out.response_blocks);
         assert!(out.elapsed_us > out.comm_us);
         assert!(!out.buckets.is_empty());
+        assert_eq!(out.retries, 0);
+        assert!(!out.incomplete);
     }
 
     #[test]
@@ -680,6 +1075,29 @@ mod tests {
     }
 
     #[test]
+    fn reply_transfer_time_rounds_up() {
+        // One worker, one bucket, zero matching records: the 32-byte reply
+        // header must cost ceil(32/35) = 1 µs, not be truncated to zero.
+        // Total comm = broadcast latency + reply latency + 1.
+        let (_gf, engine, recs) = build_engine(1);
+        // Find a thin slice with no records but inside the domain so a
+        // bucket is touched.
+        let mut q = None;
+        for i in 0..1000 {
+            let x = i as f64 / 10.0;
+            let cand = Rect::new2(x, 0.0, x, 0.0);
+            if recs.iter().all(|r| !cand.contains_closed(&r.point)) {
+                q = Some(cand);
+                break;
+            }
+        }
+        let out = engine.query(&q.expect("an empty point query exists"));
+        assert!(out.records.is_empty());
+        assert!(out.total_blocks > 0, "a bucket was still read");
+        assert_eq!(out.comm_us, 40 + 40 + 1);
+    }
+
+    #[test]
     fn repeated_queries_hit_worker_caches() {
         let (_gf, engine, _recs) = build_engine(4);
         let q = Rect::new2(10.0, 10.0, 50.0, 50.0);
@@ -725,9 +1143,9 @@ mod tests {
 
     #[test]
     fn concurrent_sessions_share_one_engine() {
-        // The tentpole contract: multiple client threads query one engine
-        // through `&self` simultaneously and each gets exactly its own
-        // query's answers.
+        // The shared-service contract: multiple client threads query one
+        // engine through `&self` simultaneously and each gets exactly its
+        // own query's answers.
         let (gf, engine, _recs) = build_engine(4);
         let queries = [
             Rect::new2(0.0, 0.0, 30.0, 30.0),
@@ -803,40 +1221,42 @@ mod tests {
 
     #[test]
     fn concurrent_run_is_deterministic_and_matches_serial() {
-        // The ISSUE acceptance test: a seeded workload run serially and with
-        // in_flight > 1 fetches the identical total number of blocks from
-        // each worker and touches identical per-query bucket sets.
+        // A seeded workload run serially and with in_flight > 1 fetches the
+        // identical total number of blocks from each worker and touches
+        // identical per-query bucket sets — under both the default
+        // single-disk configuration and the SP-2 seven-disk one.
         let w = QueryWorkload::square(&Rect::new2(0.0, 0.0, 100.0, 100.0), 0.06, 30, 17);
+        for config in [EngineConfig::default(), EngineConfig::sp2_seven_disks()] {
+            let (_g1, serial, _r1) = build_engine_cfg(6, config.clone());
+            let mut serial_session = serial.session();
+            let serial_outcomes: Vec<QueryOutcome> =
+                w.queries.iter().map(|q| serial_session.query(q)).collect();
+            let serial_stats = serial.stats();
 
-        let (_g1, serial, _r1) = build_engine(6);
-        let mut serial_session = serial.session();
-        let serial_outcomes: Vec<QueryOutcome> =
-            w.queries.iter().map(|q| serial_session.query(q)).collect();
-        let serial_stats = serial.stats();
+            let (_g2, concurrent, _r2) = build_engine_cfg(6, config.clone());
+            let (conc_outcomes, tp) = concurrent.run_workload_concurrent(&w, 8);
+            let conc_stats = concurrent.stats();
 
-        let (_g2, concurrent, _r2) = build_engine(6);
-        let (conc_outcomes, tp) = concurrent.run_workload_concurrent(&w, 8);
-        let conc_stats = concurrent.stats();
+            assert_eq!(conc_outcomes.len(), serial_outcomes.len());
+            for (s, c) in serial_outcomes.iter().zip(&conc_outcomes) {
+                assert_eq!(s.buckets, c.buckets, "per-query bucket sets differ");
+                assert_eq!(s.records, c.records);
+                assert_eq!(s.total_blocks, c.total_blocks);
+            }
+            // Identical per-worker block totals, worker by worker.
+            for (ws, wc) in serial_stats.workers.iter().zip(&conc_stats.workers) {
+                assert_eq!(ws.blocks_fetched, wc.blocks_fetched);
+            }
+            assert_eq!(tp.total_blocks, serial_session.stats().total_blocks);
 
-        assert_eq!(conc_outcomes.len(), serial_outcomes.len());
-        for (s, c) in serial_outcomes.iter().zip(&conc_outcomes) {
-            assert_eq!(s.buckets, c.buckets, "per-query bucket sets differ");
-            assert_eq!(s.records, c.records);
-            assert_eq!(s.total_blocks, c.total_blocks);
-        }
-        // Identical per-worker block totals, worker by worker.
-        for (ws, wc) in serial_stats.workers.iter().zip(&conc_stats.workers) {
-            assert_eq!(ws.blocks_fetched, wc.blocks_fetched);
-        }
-        assert_eq!(tp.total_blocks, serial_session.stats().total_blocks);
-
-        // And the concurrent run itself is reproducible.
-        let (_g3, again, _r3) = build_engine(6);
-        let (again_outcomes, tp2) = again.run_workload_concurrent(&w, 8);
-        assert_eq!(tp2.makespan_us, tp.makespan_us);
-        assert_eq!(tp2.cache_hits, tp.cache_hits);
-        for (a, b) in conc_outcomes.iter().zip(&again_outcomes) {
-            assert_eq!(a.elapsed_us, b.elapsed_us);
+            // And the concurrent run itself is reproducible.
+            let (_g3, again, _r3) = build_engine_cfg(6, config.clone());
+            let (again_outcomes, tp2) = again.run_workload_concurrent(&w, 8);
+            assert_eq!(tp2.makespan_us, tp.makespan_us);
+            assert_eq!(tp2.cache_hits, tp.cache_hits);
+            for (a, b) in conc_outcomes.iter().zip(&again_outcomes) {
+                assert_eq!(a.elapsed_us, b.elapsed_us);
+            }
         }
     }
 
@@ -857,6 +1277,46 @@ mod tests {
         );
         assert!(tp8.mean_batch() > tp1.mean_batch());
         assert!(tp8.max_batch >= tp8.in_flight as u64 / 2);
+    }
+
+    #[test]
+    fn multi_disk_busy_time_is_wall_not_sum() {
+        // The busy-time regression: with seven disks per worker the old
+        // accounting summed per-disk maxima per query and could report
+        // utilization far above 1.0. Wall accounting keeps every worker's
+        // busy time within the makespan, and strictly below the per-disk
+        // sum whenever the disks actually overlapped.
+        let w = QueryWorkload::square(&Rect::new2(0.0, 0.0, 100.0, 100.0), 0.08, 30, 11);
+        let (_g, engine, _r) = build_engine_cfg(6, EngineConfig::sp2_seven_disks());
+        let (_outcomes, tp) = engine.run_workload_concurrent(&w, 8);
+        for (wi, u) in tp.utilization().iter().enumerate() {
+            assert!(*u <= 1.0 + 1e-9, "worker {wi} utilization {u} exceeds 1.0");
+        }
+        let stats = engine.stats();
+        let wall: u64 = stats.workers.iter().map(|ws| ws.busy_wall_us).sum();
+        let disk_sum: u64 = stats.workers.iter().map(|ws| ws.disk_busy_us).sum();
+        assert!(
+            wall < disk_sum,
+            "seven parallel disks must make wall time {wall} \
+             strictly less than the per-disk sum {disk_sum}"
+        );
+    }
+
+    #[test]
+    fn single_disk_wall_time_covers_disk_busy() {
+        // With one disk per worker there is no overlap to discount: wall
+        // busy time is at least the disk busy time (it adds CPU).
+        let w = QueryWorkload::square(&Rect::new2(0.0, 0.0, 100.0, 100.0), 0.08, 20, 11);
+        let (_g, engine, _r) = build_engine(4);
+        let (_outcomes, _tp) = engine.run_workload_concurrent(&w, 4);
+        for ws in &engine.stats().workers {
+            assert!(
+                ws.busy_wall_us >= ws.disk_busy_us,
+                "wall {} below disk busy {}",
+                ws.busy_wall_us,
+                ws.disk_busy_us
+            );
+        }
     }
 
     #[test]
@@ -887,5 +1347,142 @@ mod tests {
             "file is whole blocks"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replicated_healthy_run_matches_unreplicated() {
+        let (_g1, plain, _r1) = build_engine(6);
+        let (_g2, repl, _r2) = build_replicated_engine(6, EngineConfig::default());
+        assert!(repl.is_replicated());
+        assert!(!plain.is_replicated());
+        let w = QueryWorkload::square(&Rect::new2(0.0, 0.0, 100.0, 100.0), 0.07, 20, 5);
+        for q in &w.queries {
+            let a = plain.query(q);
+            let b = repl.query(q);
+            assert_eq!(a.records, b.records);
+            assert_eq!(a.total_blocks, b.total_blocks, "replicas must not be read");
+            assert_eq!(b.retries, 0);
+            assert!(!b.incomplete);
+        }
+    }
+
+    #[test]
+    fn replicated_engine_survives_worker_failure() {
+        // A worker fail-stops on its first request; every query still
+        // returns the exact answer set of a healthy unreplicated engine —
+        // the tentpole acceptance criterion.
+        let (gf, engine, _r) =
+            build_replicated_engine(6, fast_cfg().with_faults(FaultPlan::kill_first(1)));
+        let w = QueryWorkload::square(&Rect::new2(0.0, 0.0, 100.0, 100.0), 0.08, 12, 29);
+        let mut saw_retry = false;
+        for q in &w.queries {
+            let out = engine.query(q);
+            let (_, mut expected) = gf.range_query(q);
+            expected.sort_unstable_by_key(|r| r.id);
+            assert_eq!(out.records, expected, "degraded answers must be exact");
+            assert!(!out.incomplete);
+            saw_retry |= out.retries > 0;
+        }
+        assert!(
+            saw_retry,
+            "the dead worker's buckets were never failed over"
+        );
+        let stats = engine.stats();
+        assert!(!stats.workers[0].alive, "worker 0 should be marked dead");
+        assert_eq!(stats.live_workers(), 5);
+        assert!(stats.retries > 0);
+        assert!(stats.failed_over_blocks > 0);
+    }
+
+    #[test]
+    fn replicated_concurrent_run_survives_worker_failure() {
+        let (gf, engine, _r) =
+            build_replicated_engine(6, fast_cfg().with_faults(FaultPlan::kill_first(1)));
+        let w = QueryWorkload::square(&Rect::new2(0.0, 0.0, 100.0, 100.0), 0.08, 12, 29);
+        let (outcomes, tp) = engine.run_workload_concurrent(&w, 6);
+        assert_eq!(outcomes.len(), 12);
+        for (q, out) in w.queries.iter().zip(&outcomes) {
+            let (_, mut expected) = gf.range_query(q);
+            expected.sort_unstable_by_key(|r| r.id);
+            assert_eq!(out.records, expected);
+            assert!(!out.incomplete);
+        }
+        assert!(tp.retries > 0 || tp.failed_over_blocks > 0);
+        // The dead worker contributes no busy time after its death round.
+        assert!(engine.stats().live_workers() == 5);
+    }
+
+    #[test]
+    fn unreplicated_failure_degrades_without_panic() {
+        let (_g, engine, _r) =
+            build_engine_cfg(4, fast_cfg().with_faults(FaultPlan::kill_first(1)));
+        let w = QueryWorkload::square(&Rect::new2(0.0, 0.0, 100.0, 100.0), 0.2, 8, 3);
+        let mut incomplete_seen = false;
+        for q in &w.queries {
+            let out = engine.query(q); // must not panic
+            incomplete_seen |= out.incomplete;
+        }
+        assert!(
+            incomplete_seen,
+            "losing a worker without replicas must surface incomplete answers"
+        );
+        assert_eq!(engine.stats().live_workers(), 3);
+    }
+
+    #[test]
+    fn poisoned_request_fails_over_to_replica() {
+        // Worker errors (not death): the reply carries an error, the
+        // coordinator retries the buckets on their replicas, the answer
+        // stays exact and the worker stays alive.
+        let (gf, engine, _r) = build_replicated_engine(
+            4,
+            fast_cfg().with_faults(FaultPlan::none().with_poison(1, 0)),
+        );
+        let q = Rect::new2(0.0, 0.0, 100.0, 100.0);
+        let out = engine.query(&q);
+        let (_, mut expected) = gf.range_query(&q);
+        expected.sort_unstable_by_key(|r| r.id);
+        assert_eq!(out.records, expected);
+        assert!(out.retries >= 1);
+        assert!(!out.incomplete);
+        let stats = engine.stats();
+        assert_eq!(stats.live_workers(), 4, "poison must not kill the worker");
+        assert!(stats.workers[1].error_replies >= 1);
+        // Subsequent queries are healthy again (poison was query 0 only).
+        let again = engine.query(&q);
+        assert_eq!(again.records, expected);
+        assert_eq!(again.retries, 0);
+    }
+
+    #[test]
+    fn dropped_session_mid_flight_does_not_wedge_engine() {
+        // A client vanishing between dispatch and collection: the worker's
+        // reply send fails silently and the engine keeps serving others.
+        let (gf, engine, _r) = build_engine(4);
+        let q = Rect::new2(0.0, 0.0, 100.0, 100.0);
+        {
+            // Hand-roll a dispatch whose reply channel dies immediately.
+            let (reply_tx, reply_rx) = unbounded();
+            let (_buckets, plan, _inc) = engine.plan(&q);
+            for (w, read) in plan {
+                engine.to_workers[w]
+                    .send(ToWorker::Process(vec![ReadRequest {
+                        query_id: u64::MAX, // never a real pending id
+                        blocks: read.blocks,
+                        query: q,
+                        reply: reply_tx.clone(),
+                        priority: QueryPriority::Interactive,
+                    }]))
+                    .expect("send");
+            }
+            drop(reply_tx);
+            drop(reply_rx); // session gone before any reply lands
+        }
+        // The engine (same workers) still answers exactly.
+        let out = engine.query(&q);
+        let (_, mut expected) = gf.range_query(&q);
+        expected.sort_unstable_by_key(|r| r.id);
+        assert_eq!(out.records, expected);
+        assert_eq!(engine.stats().live_workers(), 4);
     }
 }

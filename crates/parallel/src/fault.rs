@@ -1,0 +1,144 @@
+//! Deterministic worker fault injection.
+//!
+//! A [`FaultPlan`] describes failures to inject into an engine's workers,
+//! wired through [`crate::EngineConfig::faults`]. Two families:
+//!
+//! * **fail-stop** ([`FaultKind::DieAfterBlocks`], [`FaultKind::DieAtQuery`])
+//!   — the worker thread marks itself dead in the shared liveness table and
+//!   exits *without replying*, stranding every in-flight request exactly the
+//!   way a crashed node would. The coordinator detects the death via its
+//!   per-request reply timeout (or the published dead flag) and retries the
+//!   affected buckets against their replicas.
+//! * **poison** ([`FaultKind::PoisonQuery`]) — the worker stays alive but
+//!   answers the matching request with an error reply instead of records,
+//!   exercising the same error path a corrupt/unreadable block takes.
+//!
+//! All triggers key off deterministic quantities (lifetime blocks read,
+//! engine-assigned query sequence numbers), so injected failures reproduce
+//! exactly across runs.
+
+/// What goes wrong on one worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail-stop once the worker's lifetime blocks-read count reaches `n`,
+    /// checked before servicing each batch (`DieAfterBlocks(0)` dies on the
+    /// first message it receives).
+    DieAfterBlocks(u64),
+    /// Fail-stop upon receiving any request whose engine-assigned query
+    /// sequence number is `>= q`.
+    DieAtQuery(u64),
+    /// Reply with an error (no records) to requests of query number `q`,
+    /// after disk time has been charged — the poison-message hook.
+    PoisonQuery(u64),
+}
+
+/// One worker's injected fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkerFault {
+    /// Worker index the fault applies to.
+    pub worker: usize,
+    /// The failure mode.
+    pub kind: FaultKind,
+}
+
+/// A set of injected faults for an engine (empty by default).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The injected faults.
+    pub faults: Vec<WorkerFault>,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Kills workers `0..k` on their first received request — the
+    /// "K failed workers" sweep configuration.
+    pub fn kill_first(k: usize) -> Self {
+        let mut plan = Self::default();
+        for w in 0..k {
+            plan = plan.with_kill(w);
+        }
+        plan
+    }
+
+    /// Adds a fail-stop of `worker` on its first received request.
+    pub fn with_kill(mut self, worker: usize) -> Self {
+        self.faults.push(WorkerFault {
+            worker,
+            kind: FaultKind::DieAtQuery(0),
+        });
+        self
+    }
+
+    /// Adds a fail-stop of `worker` once it has read `blocks` blocks.
+    pub fn with_kill_after_blocks(mut self, worker: usize, blocks: u64) -> Self {
+        self.faults.push(WorkerFault {
+            worker,
+            kind: FaultKind::DieAfterBlocks(blocks),
+        });
+        self
+    }
+
+    /// Adds a fail-stop of `worker` at query number `query`.
+    pub fn with_kill_at_query(mut self, worker: usize, query: u64) -> Self {
+        self.faults.push(WorkerFault {
+            worker,
+            kind: FaultKind::DieAtQuery(query),
+        });
+        self
+    }
+
+    /// Adds a poison reply from `worker` for query number `query`.
+    pub fn with_poison(mut self, worker: usize, query: u64) -> Self {
+        self.faults.push(WorkerFault {
+            worker,
+            kind: FaultKind::PoisonQuery(query),
+        });
+        self
+    }
+
+    /// Whether the plan contains any fault.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The fault kinds applying to one worker.
+    pub fn for_worker(&self, worker: usize) -> Vec<FaultKind> {
+        self.faults
+            .iter()
+            .filter(|f| f.worker == worker)
+            .map(|f| f.kind)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let plan = FaultPlan::none()
+            .with_kill(3)
+            .with_kill_after_blocks(1, 10)
+            .with_poison(2, 5);
+        assert_eq!(plan.faults.len(), 3);
+        assert_eq!(plan.for_worker(3), vec![FaultKind::DieAtQuery(0)]);
+        assert_eq!(plan.for_worker(1), vec![FaultKind::DieAfterBlocks(10)]);
+        assert_eq!(plan.for_worker(2), vec![FaultKind::PoisonQuery(5)]);
+        assert!(plan.for_worker(0).is_empty());
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn kill_first_covers_prefix() {
+        let plan = FaultPlan::kill_first(2);
+        assert_eq!(plan.for_worker(0), vec![FaultKind::DieAtQuery(0)]);
+        assert_eq!(plan.for_worker(1), vec![FaultKind::DieAtQuery(0)]);
+        assert!(plan.for_worker(2).is_empty());
+    }
+}

@@ -28,6 +28,12 @@
 //! ([`pargrid_sim::ThroughputStats`]) on top of the paper's per-query
 //! response times.
 //!
+//! Built over a [`pargrid_core::ReplicatedAssignment`]
+//! ([`engine::ParallelGridFile::build_replicated`]), the engine is
+//! additionally **fault-tolerant**: chained-declustered replicas let the
+//! coordinator plan around dead workers and retry stranded requests, with
+//! deterministic failures injectable through a [`fault::FaultPlan`].
+//!
 //! ```
 //! use pargrid_core::{DeclusterInput, DeclusterMethod, EdgeWeight};
 //! use pargrid_datagen::uniform2d;
@@ -57,6 +63,7 @@
 pub mod cache;
 pub mod disk;
 pub mod engine;
+pub mod fault;
 pub mod message;
 pub mod stats;
 pub mod store;
@@ -65,6 +72,7 @@ pub mod worker;
 pub use cache::LruCache;
 pub use disk::{BlockCost, DiskModel, DiskParams};
 pub use engine::{EngineConfig, NetParams, ParallelGridFile, QueryOutcome, QuerySession, RunStats};
+pub use fault::{FaultKind, FaultPlan, WorkerFault};
 pub use message::QueryPriority;
 pub use pargrid_sim::ThroughputStats;
 pub use stats::{EngineStats, WorkerStats};

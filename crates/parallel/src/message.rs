@@ -71,4 +71,9 @@ pub struct FromWorker {
     pub cpu_us: u64,
     /// The qualifying records.
     pub records: Vec<Record>,
+    /// Set when the worker could not serve the request (unreadable block,
+    /// injected poison). `records` is empty; disk time already spent stays
+    /// charged. The coordinator retries the affected buckets against their
+    /// replicas, if any.
+    pub error: Option<String>,
 }

@@ -6,7 +6,7 @@
 //! the engine API take `&self`: observability no longer requires exclusive
 //! access to worker state.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One worker's atomically-published counters.
@@ -19,6 +19,18 @@ pub struct WorkerCounters {
     /// Lifetime virtual disk busy time, microseconds (summed over the
     /// worker's disks).
     pub disk_busy_us: AtomicU64,
+    /// Lifetime virtual *wall* busy time, microseconds: per batch, the
+    /// maximum over the worker's disks of that batch's charges (they seek in
+    /// parallel) plus the batch's CPU time. For one disk this equals
+    /// `disk_busy_us` + CPU; for `D` disks it is what the node actually
+    /// spends, unlike the per-disk sum.
+    pub busy_wall_us: AtomicU64,
+    /// Set when the worker fail-stops (injected fault or thread death). The
+    /// coordinator plans queries around dead workers and fails their
+    /// in-flight requests over to replicas.
+    pub dead: AtomicBool,
+    /// Error replies sent (unreadable blocks, injected poison).
+    pub error_replies: AtomicU64,
     /// Number of batches serviced (each `ToWorker::Process` drain is one).
     pub batches: AtomicU64,
     /// Total requests across all batches (mean batch size = this / batches).
@@ -36,6 +48,12 @@ pub struct WorkerCounters {
 pub struct SharedStats {
     /// Queries issued through any session of the engine.
     pub queries: AtomicU64,
+    /// Failed-over requests retried against a replica (per-request, not
+    /// per-block).
+    pub retries: AtomicU64,
+    /// Blocks served by a replica instead of their (dead or erroring)
+    /// primary location.
+    pub failed_over_blocks: AtomicU64,
     /// Per-worker counters, indexed by worker id (each behind an `Arc` so
     /// the owning worker thread can hold its slot directly).
     pub workers: Vec<Arc<WorkerCounters>>,
@@ -46,10 +64,17 @@ impl SharedStats {
     pub fn new(n_workers: usize) -> Self {
         SharedStats {
             queries: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            failed_over_blocks: AtomicU64::new(0),
             workers: (0..n_workers)
                 .map(|_| Arc::new(WorkerCounters::default()))
                 .collect(),
         }
+    }
+
+    /// Whether worker `w` is still alive.
+    pub fn is_alive(&self, w: usize) -> bool {
+        !self.workers[w].dead.load(Ordering::Relaxed)
     }
 
     /// Consistent-enough snapshot of all counters (relaxed loads; exact once
@@ -57,6 +82,8 @@ impl SharedStats {
     pub fn snapshot(&self) -> EngineStats {
         EngineStats {
             queries: self.queries.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            failed_over_blocks: self.failed_over_blocks.load(Ordering::Relaxed),
             workers: self
                 .workers
                 .iter()
@@ -64,6 +91,9 @@ impl SharedStats {
                     blocks_fetched: w.blocks_fetched.load(Ordering::Relaxed),
                     cache_hits: w.cache_hits.load(Ordering::Relaxed),
                     disk_busy_us: w.disk_busy_us.load(Ordering::Relaxed),
+                    busy_wall_us: w.busy_wall_us.load(Ordering::Relaxed),
+                    alive: !w.dead.load(Ordering::Relaxed),
+                    error_replies: w.error_replies.load(Ordering::Relaxed),
                     batches: w.batches.load(Ordering::Relaxed),
                     batched_requests: w.batched_requests.load(Ordering::Relaxed),
                     max_batch: w.max_batch.load(Ordering::Relaxed),
@@ -76,14 +106,21 @@ impl SharedStats {
 }
 
 /// Point-in-time view of one worker's counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct WorkerStats {
     /// Lifetime blocks fetched (cache hits included).
     pub blocks_fetched: u64,
     /// Lifetime buffer-cache hits.
     pub cache_hits: u64,
-    /// Lifetime virtual disk busy time, microseconds.
+    /// Lifetime virtual disk busy time, microseconds (summed over disks).
     pub disk_busy_us: u64,
+    /// Lifetime virtual wall busy time, microseconds (parallel disks count
+    /// once per batch; includes CPU).
+    pub busy_wall_us: u64,
+    /// Whether the worker is still alive.
+    pub alive: bool,
+    /// Error replies sent.
+    pub error_replies: u64,
     /// Batches serviced.
     pub batches: u64,
     /// Total requests across all batches.
@@ -96,11 +133,33 @@ pub struct WorkerStats {
     pub max_cache_len: u64,
 }
 
+impl Default for WorkerStats {
+    fn default() -> Self {
+        WorkerStats {
+            blocks_fetched: 0,
+            cache_hits: 0,
+            disk_busy_us: 0,
+            busy_wall_us: 0,
+            alive: true,
+            error_replies: 0,
+            batches: 0,
+            batched_requests: 0,
+            max_batch: 0,
+            cache_len: 0,
+            max_cache_len: 0,
+        }
+    }
+}
+
 /// Point-in-time view of the whole engine's counters.
 #[derive(Clone, Debug, Default)]
 pub struct EngineStats {
     /// Queries issued so far.
     pub queries: u64,
+    /// Failed-over requests retried against a replica.
+    pub retries: u64,
+    /// Blocks served by a replica instead of their primary location.
+    pub failed_over_blocks: u64,
     /// Per-worker snapshots, indexed by worker id.
     pub workers: Vec<WorkerStats>,
 }
@@ -123,6 +182,11 @@ impl EngineStats {
             .map(|w| w.disk_busy_us)
             .max()
             .unwrap_or(0)
+    }
+
+    /// Number of workers still alive.
+    pub fn live_workers(&self) -> usize {
+        self.workers.iter().filter(|w| w.alive).count()
     }
 
     /// Mean requests per serviced batch, over all workers.

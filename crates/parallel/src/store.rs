@@ -88,22 +88,25 @@ impl BlockStore {
         }
     }
 
-    /// Reads a block's bytes.
-    ///
-    /// # Panics
-    /// Panics if the block does not exist.
+    /// Reads a block's bytes. A block that does not exist is an
+    /// `io::ErrorKind::NotFound` error (not a panic), so a worker can answer
+    /// the affected request with an error reply and keep serving.
     pub fn get(&self, block: u32) -> io::Result<Vec<u8>> {
         match self {
-            BlockStore::Memory(map) => Ok(map
-                .get(&block)
-                .unwrap_or_else(|| panic!("no block {block}"))
-                .clone()),
+            BlockStore::Memory(map) => map.get(&block).cloned().ok_or_else(|| {
+                io::Error::new(io::ErrorKind::NotFound, format!("no block {block}"))
+            }),
             BlockStore::File {
                 file,
                 block_bytes,
                 n_blocks,
             } => {
-                assert!(block < *n_blocks, "no block {block}");
+                if block >= *n_blocks {
+                    return Err(io::Error::new(
+                        io::ErrorKind::NotFound,
+                        format!("no block {block}"),
+                    ));
+                }
                 let mut buf = vec![0u8; *block_bytes];
                 read_exact_at(file, &mut buf, block as u64 * *block_bytes as u64)?;
                 Ok(buf)
@@ -190,9 +193,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no block")]
-    fn missing_block_panics() {
+    fn missing_block_is_not_found_error() {
         let s = BlockStore::memory();
-        let _ = s.get(7);
+        let err = s.get(7).expect_err("missing block must error");
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        let dir = std::env::temp_dir().join("pargrid_store_missing_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let f = BlockStore::file(dir.join("w.blocks"), 16).expect("create");
+        let err = f.get(0).expect_err("missing block must error");
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

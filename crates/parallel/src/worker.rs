@@ -11,6 +11,7 @@
 //! while concurrent queries share arm movement.
 
 use crate::disk::{DiskModel, DiskParams};
+use crate::fault::FaultKind;
 use crate::message::{FromWorker, QueryPriority, ToWorker};
 use crate::stats::WorkerCounters;
 use crate::store::BlockStore;
@@ -48,6 +49,8 @@ pub struct WorkerState {
     pub payload_bytes: usize,
     /// The worker's disks (one or more).
     pub disks: Vec<DiskModel>,
+    /// Injected faults applying to this worker (empty = healthy).
+    pub faults: Vec<FaultKind>,
 }
 
 impl WorkerState {
@@ -84,7 +87,37 @@ impl WorkerState {
             store,
             payload_bytes,
             disks: (0..n_disks).map(|_| DiskModel::new(disk_params)).collect(),
+            faults: Vec::new(),
         }
+    }
+
+    /// Installs injected faults (see [`crate::fault::FaultPlan`]).
+    pub fn with_faults(mut self, faults: Vec<FaultKind>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Lifetime blocks read across the worker's disks.
+    fn blocks_read_total(&self) -> u64 {
+        self.disks.iter().map(DiskModel::blocks_read).sum()
+    }
+
+    /// Whether an injected fail-stop triggers for this batch: either the
+    /// lifetime block count has been reached, or a request at/past the kill
+    /// query number arrived.
+    fn should_die(&self, batch: &[crate::message::ReadRequest]) -> bool {
+        self.faults.iter().any(|f| match *f {
+            FaultKind::DieAfterBlocks(n) => self.blocks_read_total() >= n,
+            FaultKind::DieAtQuery(q) => batch.iter().any(|r| r.query_id >= q),
+            FaultKind::PoisonQuery(_) => false,
+        })
+    }
+
+    /// Whether query `query_id` is poisoned for this worker.
+    fn is_poisoned(&self, query_id: u64) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(*f, FaultKind::PoisonQuery(q) if q == query_id))
     }
 
     /// Handles one read request synchronously (also used directly by unit
@@ -140,14 +173,28 @@ impl WorkerState {
             .map(|(idx, req)| {
                 let mut records = Vec::new();
                 let mut scanned = 0u64;
+                let mut error = None;
                 for &b in req.blocks {
-                    let page = self.store.get(b).unwrap_or_else(|e| {
-                        panic!("worker {} cannot read block {b}: {e}", self.worker_id)
-                    });
-                    for r in decode_page(&page, self.payload_bytes) {
-                        scanned += 1;
-                        if req.query.contains_closed(&r.point) {
-                            records.push(r);
+                    // An unreadable block fails only this request — disk
+                    // time already charged in the elevator pass stays
+                    // charged, the batch's other requests are unaffected,
+                    // and the coordinator can retry against a replica.
+                    match self.store.get(b) {
+                        Ok(page) => {
+                            for r in decode_page(&page, self.payload_bytes) {
+                                scanned += 1;
+                                if req.query.contains_closed(&r.point) {
+                                    records.push(r);
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            error = Some(format!(
+                                "worker {} cannot read block {b}: {e}",
+                                self.worker_id
+                            ));
+                            records.clear();
+                            break;
                         }
                     }
                 }
@@ -163,13 +210,14 @@ impl WorkerState {
                         .unwrap_or(0),
                     cpu_us: scanned * CPU_NS_PER_RECORD / 1000,
                     records,
+                    error,
                 }
             })
             .collect()
     }
 
     /// Publishes lifetime totals and cache gauges after a batch.
-    fn publish(&self, counters: &WorkerCounters, batch_len: u64) {
+    fn publish(&self, counters: &WorkerCounters, batch_len: u64, wall_us: u64, errors: u64) {
         let blocks: u64 = self.disks.iter().map(DiskModel::blocks_read).sum();
         let hits: u64 = self.disks.iter().map(DiskModel::cache_hits).sum();
         let busy: u64 = self.disks.iter().map(DiskModel::busy_us).sum();
@@ -182,6 +230,8 @@ impl WorkerState {
         counters.blocks_fetched.store(blocks, Ordering::Relaxed);
         counters.cache_hits.store(hits, Ordering::Relaxed);
         counters.disk_busy_us.store(busy, Ordering::Relaxed);
+        counters.busy_wall_us.fetch_add(wall_us, Ordering::Relaxed);
+        counters.error_replies.fetch_add(errors, Ordering::Relaxed);
         counters.batches.fetch_add(1, Ordering::Relaxed);
         counters
             .batched_requests
@@ -218,6 +268,17 @@ impl WorkerState {
                 }
             }
             if !batch.is_empty() {
+                // Injected fail-stop: mark dead in the shared liveness
+                // table and exit WITHOUT replying — exactly what a crashed
+                // node looks like to the coordinator, which detects it via
+                // its reply timeout (or the dead flag) and fails the
+                // stranded requests over to replicas.
+                if self.should_die(&batch) {
+                    if let Some(c) = &counters {
+                        c.dead.store(true, Ordering::Relaxed);
+                    }
+                    return;
+                }
                 let specs: Vec<RequestSpec<'_>> = batch
                     .iter()
                     .map(|r| RequestSpec {
@@ -227,9 +288,33 @@ impl WorkerState {
                         priority: r.priority,
                     })
                     .collect();
-                let replies = self.service_batch(&specs);
+                let disk_before: Vec<u64> = self.disks.iter().map(DiskModel::busy_us).collect();
+                let mut replies = self.service_batch(&specs);
+                // Poison faults: the request was serviced (time charged),
+                // but the answer is an error — same shape as a bad block.
+                for reply in &mut replies {
+                    if self.is_poisoned(reply.query_id) {
+                        reply.records.clear();
+                        reply.error = Some(format!(
+                            "worker {}: injected poison for query {}",
+                            self.worker_id, reply.query_id
+                        ));
+                    }
+                }
                 if let Some(c) = &counters {
-                    self.publish(c, batch.len() as u64);
+                    // Wall time of the batch: the disks seeked in parallel,
+                    // so the node was busy for the slowest disk's share of
+                    // this batch, plus all decode/filter CPU.
+                    let wall_disk = self
+                        .disks
+                        .iter()
+                        .zip(&disk_before)
+                        .map(|(d, &b)| d.busy_us() - b)
+                        .max()
+                        .unwrap_or(0);
+                    let cpu: u64 = replies.iter().map(|r| r.cpu_us).sum();
+                    let errors = replies.iter().filter(|r| r.error.is_some()).count() as u64;
+                    self.publish(c, batch.len() as u64, wall_disk + cpu, errors);
                 }
                 for (req, reply) in batch.iter().zip(replies) {
                     // A session may have been dropped mid-flight; that is
@@ -306,11 +391,120 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no block")]
-    fn unknown_block_panics() {
+    fn unknown_block_yields_error_reply_and_serves_the_rest() {
+        // A request hitting a missing block gets an error reply (its disk
+        // time stays charged); the *other* request in the same batch is
+        // fully served — the worker no longer aborts mid-batch.
         let mut w = worker_with_two_blocks();
-        let q = Rect::new2(0.0, 0.0, 1.0, 1.0);
-        let _ = w.handle_read(0, vec![99], &q);
+        let all = Rect::new2(0.0, 0.0, 100.0, 100.0);
+        let replies = w.service_batch(&[
+            RequestSpec {
+                query_id: 1,
+                blocks: &[0, 99],
+                query: &all,
+                priority: QueryPriority::Interactive,
+            },
+            RequestSpec {
+                query_id: 2,
+                blocks: &[0, 1],
+                query: &all,
+                priority: QueryPriority::Interactive,
+            },
+        ]);
+        assert_eq!(replies.len(), 2);
+        let bad = &replies[0];
+        assert!(bad.error.as_deref().unwrap_or("").contains("block 99"));
+        assert!(bad.records.is_empty());
+        assert_eq!(bad.blocks_requested, 2);
+        assert!(bad.disk_us > 0, "disk time was already charged");
+        let good = &replies[1];
+        assert!(good.error.is_none());
+        assert_eq!(good.records.len(), 20);
+    }
+
+    #[test]
+    fn fail_stop_fault_marks_dead_without_replying() {
+        let (to_tx, to_rx) = crossbeam::channel::unbounded();
+        let (reply_tx, reply_rx) = crossbeam::channel::unbounded();
+        let counters = Arc::new(WorkerCounters::default());
+        let state = worker_with_two_blocks().with_faults(vec![FaultKind::DieAtQuery(0)]);
+        let handle = run_worker(state, to_rx, Some(Arc::clone(&counters)));
+        to_tx
+            .send(ToWorker::Process(vec![ReadRequest {
+                query_id: 3,
+                blocks: vec![0],
+                query: Rect::new2(0.0, 0.0, 5.0, 5.0),
+                reply: reply_tx,
+                priority: QueryPriority::Interactive,
+            }]))
+            .expect("send");
+        handle.join().expect("worker thread exits cleanly");
+        assert!(counters.dead.load(Ordering::Relaxed), "marked dead");
+        assert!(
+            reply_rx.try_recv().is_err(),
+            "a crashed worker never replies"
+        );
+    }
+
+    #[test]
+    fn poison_fault_replies_with_error_and_stays_alive() {
+        let (to_tx, to_rx) = crossbeam::channel::unbounded();
+        let (reply_tx, reply_rx) = crossbeam::channel::unbounded();
+        let counters = Arc::new(WorkerCounters::default());
+        let state = worker_with_two_blocks().with_faults(vec![FaultKind::PoisonQuery(1)]);
+        let handle = run_worker(state, to_rx, Some(Arc::clone(&counters)));
+        let send = |qid: u64| {
+            to_tx
+                .send(ToWorker::Process(vec![ReadRequest {
+                    query_id: qid,
+                    blocks: vec![0],
+                    query: Rect::new2(0.0, 0.0, 100.0, 100.0),
+                    reply: reply_tx.clone(),
+                    priority: QueryPriority::Interactive,
+                }]))
+                .expect("send");
+        };
+        send(1);
+        let poisoned = reply_rx.recv().expect("reply");
+        assert!(poisoned.error.is_some());
+        assert!(poisoned.records.is_empty());
+        assert!(poisoned.disk_us > 0, "time was spent before the poison");
+        send(2);
+        let healthy = reply_rx.recv().expect("reply");
+        assert!(healthy.error.is_none());
+        assert_eq!(healthy.records.len(), 10);
+        assert!(!counters.dead.load(Ordering::Relaxed));
+        assert_eq!(counters.error_replies.load(Ordering::Relaxed), 1);
+        to_tx.send(ToWorker::Shutdown).expect("send shutdown");
+        handle.join().expect("worker joins");
+    }
+
+    #[test]
+    fn die_after_blocks_triggers_on_later_batch() {
+        let (to_tx, to_rx) = crossbeam::channel::unbounded();
+        let (reply_tx, reply_rx) = crossbeam::channel::unbounded();
+        let counters = Arc::new(WorkerCounters::default());
+        let state = worker_with_two_blocks().with_faults(vec![FaultKind::DieAfterBlocks(2)]);
+        let handle = run_worker(state, to_rx, Some(Arc::clone(&counters)));
+        let request = |qid: u64| ReadRequest {
+            query_id: qid,
+            blocks: vec![0, 1],
+            query: Rect::new2(0.0, 0.0, 100.0, 100.0),
+            reply: reply_tx.clone(),
+            priority: QueryPriority::Interactive,
+        };
+        // First batch (2 blocks) is under the limit and serviced normally.
+        to_tx
+            .send(ToWorker::Process(vec![request(0)]))
+            .expect("send");
+        assert!(reply_rx.recv().expect("reply").error.is_none());
+        // Second batch finds blocks_read >= 2: the worker dies silently.
+        to_tx
+            .send(ToWorker::Process(vec![request(1)]))
+            .expect("send");
+        handle.join().expect("worker thread exits");
+        assert!(counters.dead.load(Ordering::Relaxed));
+        assert!(reply_rx.try_recv().is_err());
     }
 
     #[test]

@@ -210,6 +210,10 @@ pub struct ThroughputStats {
     pub batched_requests: u64,
     /// Largest single batch (peak queue depth seen by a worker).
     pub max_batch: u64,
+    /// Requests retried against a replica after a worker failure or error.
+    pub retries: u64,
+    /// Blocks served by a replica instead of their primary worker.
+    pub failed_over_blocks: u64,
 }
 
 impl ThroughputStats {
@@ -402,6 +406,8 @@ mod tests {
             batches: 25,
             batched_requests: 100,
             max_batch: 8,
+            retries: 0,
+            failed_over_blocks: 0,
         };
         assert_eq!(t.makespan_seconds(), 2.0);
         assert_eq!(t.queries_per_second(), 50.0);

@@ -24,7 +24,7 @@ fn usage() -> ExitCode {
          pargrid query FILE.pgf --range LO..HI,LO..HI[,...] [--count-only]\n  \
          pargrid pmatch FILE.pgf --keys V|*,V|*[,...]\n  \
          pargrid decluster FILE.pgf --method M --disks N [--seed N] [--out FILE.csv]\n  \
-         pargrid evaluate FILE.pgf --method M --disks N [--ratio R] [--queries N] [--seed N] [--clients K]\n\n  \
+         pargrid evaluate FILE.pgf --method M --disks N [--ratio R] [--queries N] [--seed N] [--clients K] [--replicate] [--fail K]\n\n  \
          methods: dm fx gdm hcam zcam gcam scan ssp mst kl minimax minimax-euclid"
     );
     ExitCode::FAILURE
@@ -80,7 +80,7 @@ fn has_flag(args: &[String], flag: &str) -> bool {
 }
 
 /// Flags that take no value (everything else consumes the next argument).
-const BOOLEAN_FLAGS: &[&str] = &["--count-only"];
+const BOOLEAN_FLAGS: &[&str] = &["--count-only", "--replicate"];
 
 fn positional(args: &[String]) -> Option<&str> {
     // First argument that is neither a flag nor a flag's value.
@@ -363,6 +363,14 @@ fn cmd_evaluate(args: &[String]) -> CliResult {
     if clients == 0 {
         return Err("--clients must be at least 1".into());
     }
+    let replicate = has_flag(args, "--replicate");
+    let fail: usize = flag_parse(args, "--fail", 0)?;
+    if replicate && disks < 2 {
+        return Err("--replicate needs at least 2 disks".into());
+    }
+    if fail >= disks {
+        return Err("--fail must leave at least one live worker".into());
+    }
     let input = DeclusterInput::from_grid_file(&gf);
     let assignment = method.assign(&input, disks, seed);
     let workload = QueryWorkload::square(&gf.config().domain, ratio, queries, seed);
@@ -375,11 +383,11 @@ fn cmd_evaluate(args: &[String]) -> CliResult {
     println!("mean buckets    {:.2} per query", stats.mean_buckets);
     println!("balance degree  {:.3}", stats.balance_degree);
 
+    let gf = std::sync::Arc::new(gf);
     if clients > 1 {
         // Run the same workload through the parallel engine as `clients`
         // concurrent front-end streams: the submission order interleaves one
         // query per client, and the admission window equals the client count.
-        let gf = std::sync::Arc::new(gf);
         let streams = workload.split_round_robin(clients);
         let arrival = QueryWorkload::interleave(&streams);
         // Fresh engine per run so both start with cold caches.
@@ -420,6 +428,54 @@ fn cmd_evaluate(args: &[String]) -> CliResult {
             disks
         );
         println!("mean batch      {:.2} requests", concurrent.mean_batch());
+    }
+
+    if replicate || fail > 0 {
+        // Degraded-mode run: chained-declustered replication (with
+        // --replicate) and/or injected fail-stop worker faults (--fail K,
+        // spaced around the chain so replicated layouts survive them).
+        let mut faults = FaultPlan::none();
+        for i in 0..fail {
+            faults = faults.with_kill(i * disks / fail.max(1));
+        }
+        let config = EngineConfig {
+            fail_timeout_ms: 25,
+            ..EngineConfig::default()
+        }
+        .with_faults(faults);
+        let engine = if replicate {
+            let ra = method.assign_replicated(&input, disks, seed);
+            ParallelGridFile::build_replicated(std::sync::Arc::clone(&gf), &ra, config)
+        } else {
+            ParallelGridFile::build(std::sync::Arc::clone(&gf), &assignment, config)
+        };
+        let (outcomes, tp) = engine.run_workload_concurrent(&workload, clients);
+        let mean_ms = outcomes.iter().map(|o| o.elapsed_us).sum::<u64>() as f64
+            / outcomes.len().max(1) as f64
+            / 1e3;
+        let incomplete = outcomes.iter().filter(|o| o.incomplete).count();
+        let st = engine.stats();
+        println!(
+            "layout          {}",
+            if replicate {
+                "replicated (chained declustering)"
+            } else {
+                "unreplicated"
+            }
+        );
+        println!(
+            "failures        {fail} injected ({} of {disks} workers live)",
+            st.live_workers()
+        );
+        println!(
+            "degraded        {mean_ms:.3} ms mean response, {:.2} queries/s",
+            tp.queries_per_second()
+        );
+        println!(
+            "failover        {} retries, {} blocks served by replicas",
+            tp.retries, tp.failed_over_blocks
+        );
+        println!("incomplete      {incomplete} of {} queries", tp.queries);
     }
     Ok(())
 }

@@ -59,13 +59,14 @@ pub use pargrid_sim as sim;
 pub mod prelude {
     pub use pargrid_core::{
         Assignment, ConflictPolicy, DeclusterInput, DeclusterMethod, EdgeWeight, IndexScheme,
+        ReplicatedAssignment,
     };
     pub use pargrid_datagen::Dataset;
     pub use pargrid_geom::{Point, Rect};
     pub use pargrid_gridfile::{GridConfig, GridFile, Record};
     pub use pargrid_parallel::{
-        DiskParams, EngineConfig, EngineStats, NetParams, ParallelGridFile, QueryOutcome,
-        QueryPriority, QuerySession, RunStats, WorkerStats,
+        DiskParams, EngineConfig, EngineStats, FaultKind, FaultPlan, NetParams, ParallelGridFile,
+        QueryOutcome, QueryPriority, QuerySession, RunStats, WorkerFault, WorkerStats,
     };
     pub use pargrid_sim::{evaluate, sweep, EvalStats, QueryWorkload, ThroughputStats};
 }
