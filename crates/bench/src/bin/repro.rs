@@ -27,6 +27,7 @@ const EXPERIMENTS: &[&str] = &[
     "table4",
     "table5",
     "throughput",
+    "tail",
     "degradation",
     "ablation-curves",
     "ablation-minimax",
@@ -105,6 +106,7 @@ fn main() -> ExitCode {
             "tables45" => exp::tables45::run(&params),
             "table4" | "table5" => exp::tables45::run(&params),
             "throughput" => exp::throughput::run(&params),
+            "tail" => exp::tail::run(&params),
             "degradation" => exp::degradation::run(&params),
             "ablation-curves" => exp::ablations::run_curves(&params),
             "ablation-minimax" => exp::ablations::run_minimax(&params),
@@ -131,6 +133,14 @@ fn main() -> ExitCode {
             if let Some(chart) = &t.chart {
                 let path = format!("{out_dir}/{}.svg", t.id);
                 if let Err(e) = chart.write_svg(&path) {
+                    eprintln!("warning: could not write {path}: {e}");
+                } else {
+                    println!("[written {path}]");
+                }
+            }
+            if let Some(timeline) = &t.timeline {
+                let path = format!("{out_dir}/{}_timeline.svg", t.id);
+                if let Err(e) = timeline.write_svg(&path) {
                     eprintln!("warning: could not write {path}: {e}");
                 } else {
                     println!("[written {path}]");

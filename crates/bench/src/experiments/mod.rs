@@ -12,6 +12,7 @@ pub mod growth;
 pub mod table1;
 pub mod tables23;
 pub mod tables45;
+pub mod tail;
 pub mod theorems;
 pub mod throughput;
 pub mod tracing;

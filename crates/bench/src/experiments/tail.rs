@@ -1,0 +1,185 @@
+//! Tail-latency ranking of the declustering methods on the hot-region
+//! workload.
+//!
+//! Mean response time (the paper's metric) hides what a multi-user service
+//! actually promises: the *tail*. Two methods with equal means can differ
+//! sharply at p99 when one of them occasionally piles a query's buckets on
+//! a single disk. This experiment records the per-query response time of
+//! every method into a log-bucketed histogram and ranks DM, FX, HCAM,
+//! minimax, and SSP by p50/p90/p95/p99/p999 across the disk sweep, plus a
+//! traced engine run whose per-disk service timeline is rendered as a
+//! Gantt chart (`tail_timeline.svg`).
+
+use crate::{NamedTable, Params};
+use pargrid_core::{ConflictPolicy, DeclusterInput, DeclusterMethod, EdgeWeight, IndexScheme};
+use pargrid_obs::{Histogram, Recorder, SpanKind};
+use pargrid_parallel::{EngineConfig, ParallelGridFile};
+use pargrid_sim::metrics::query_response;
+use pargrid_sim::plot::{GanttChart, GanttLane, LineChart, Series};
+use pargrid_sim::table::{fmt2, ResultTable};
+use pargrid_sim::QueryWorkload;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const QUERY_RATIO: f64 = 0.05;
+const TIMELINE_WORKERS: usize = 4;
+
+fn methods() -> Vec<DeclusterMethod> {
+    vec![
+        DeclusterMethod::Index(IndexScheme::DiskModulo, ConflictPolicy::DataBalance),
+        DeclusterMethod::Index(IndexScheme::FieldwiseXor, ConflictPolicy::DataBalance),
+        DeclusterMethod::Index(IndexScheme::Hilbert, ConflictPolicy::DataBalance),
+        DeclusterMethod::Minimax(EdgeWeight::Proximity),
+        DeclusterMethod::Ssp(EdgeWeight::Proximity),
+    ]
+}
+
+/// Runs the tail-percentile sweep and the traced timeline run.
+pub fn run(params: &Params) -> Vec<NamedTable> {
+    let ds = pargrid_datagen::hot2d(params.seed);
+    let gf = Arc::new(ds.build_grid_file());
+    let input = DeclusterInput::from_grid_file(&gf);
+    let workload = QueryWorkload::square(&ds.domain, QUERY_RATIO, params.queries, params.seed);
+
+    let mut table = ResultTable::new(vec![
+        "disks", "method", "mean", "p50", "p90", "p95", "p99", "p999", "max",
+    ]);
+    let mut chart = LineChart::new(
+        format!(
+            "p99 response time, hot-region workload (r = {QUERY_RATIO}, {} queries)",
+            params.queries
+        ),
+        "number of disks",
+        "p99 response time (buckets)",
+    );
+
+    for method in &methods() {
+        let mut p99_series: Vec<(f64, f64)> = Vec::new();
+        for &m in &params.disks {
+            let assignment = method.assign(&input, m, params.seed);
+            let mut hist = Histogram::new();
+            for q in &workload.queries {
+                let (resp, _) = query_response(&gf, &assignment, q);
+                hist.record(resp);
+            }
+            let t = hist.tail_summary();
+            table.push_row(vec![
+                m.to_string(),
+                method.label(),
+                fmt2(hist.mean()),
+                t.p50.to_string(),
+                t.p90.to_string(),
+                t.p95.to_string(),
+                t.p99.to_string(),
+                t.p999.to_string(),
+                t.max.to_string(),
+            ]);
+            p99_series.push((m as f64, t.p99 as f64));
+        }
+        chart.push(Series::new(method.label(), p99_series));
+    }
+
+    let timeline = disk_timeline(&gf, &input, &workload, params);
+
+    vec![NamedTable::new(
+        "tail",
+        format!(
+            "Tail response-time percentiles on {} ({} queries, r = {QUERY_RATIO})",
+            ds.name, params.queries
+        ),
+        table,
+    )
+    .with_chart(chart)
+    .with_timeline(timeline)]
+}
+
+/// Runs one traced engine pass and turns its `DiskBatch` spans into a
+/// per-disk Gantt chart: each lane is one disk's busy clock, so skew across
+/// disks shows up as ragged right edges.
+fn disk_timeline(
+    gf: &Arc<pargrid_gridfile::GridFile>,
+    input: &DeclusterInput,
+    workload: &QueryWorkload,
+    params: &Params,
+) -> GanttChart {
+    let assignment = DeclusterMethod::Minimax(EdgeWeight::Proximity).assign(
+        input,
+        TIMELINE_WORKERS,
+        params.seed,
+    );
+    let recorder = Arc::new(Recorder::new(TIMELINE_WORKERS));
+    // The SP-2 configuration (seven disks per worker) makes the per-disk
+    // lanes worth looking at.
+    let config = EngineConfig::sp2_seven_disks().with_recorder(Arc::clone(&recorder));
+    let disks_per_worker = config.disks_per_worker.max(1);
+    let engine = ParallelGridFile::build(Arc::clone(gf), &assignment, config);
+    // A modest slice of the workload keeps the figure legible.
+    let slice = QueryWorkload {
+        queries: workload.queries.iter().take(24).copied().collect(),
+    };
+    let _ = engine.run_workload_concurrent(&slice, 8);
+    drop(engine); // joins the workers so the snapshot is complete
+
+    let snap = recorder.snapshot();
+    let mut lanes: BTreeMap<u32, Vec<(f64, f64)>> = BTreeMap::new();
+    for ev in snap.events_of(SpanKind::DiskBatch) {
+        lanes
+            .entry(ev.disk)
+            .or_default()
+            .push((ev.ts_us as f64, ev.dur_us as f64));
+    }
+    let mut gantt = GanttChart::new(
+        format!(
+            "Per-disk service timeline, minimax ({TIMELINE_WORKERS} workers x {disks_per_worker} disks)"
+        ),
+        "disk busy time (virtual us)",
+    );
+    for (disk, spans) in lanes {
+        let worker = disk as usize / disks_per_worker;
+        let local = disk as usize % disks_per_worker;
+        gantt.push(GanttLane::new(format!("w{worker}/d{local}"), spans));
+    }
+    gantt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tail_runs_at_tiny_scale() {
+        let params = Params {
+            queries: 40,
+            disks: vec![4, 8],
+            even_disks: vec![4, 8],
+            seed: 3,
+            full_scale: false,
+        };
+        let tables = run(&params);
+        assert_eq!(tables.len(), 1);
+        let t = &tables[0];
+        // 5 methods x 2 disk counts.
+        assert_eq!(t.table.n_rows(), 10);
+        let timeline = t.timeline.as_ref().expect("traced run attaches a gantt");
+        assert!(!timeline.lanes.is_empty());
+        let svg = timeline.to_svg();
+        assert!(svg.contains("w0/d0"));
+    }
+
+    #[test]
+    fn percentiles_are_ordered_in_every_row() {
+        let params = Params {
+            queries: 60,
+            disks: vec![8],
+            even_disks: vec![8],
+            seed: 7,
+            full_scale: false,
+        };
+        let tables = run(&params);
+        for row in tables[0].table.rows() {
+            let at = |i: usize| row[i].parse::<u64>().expect("integer percentile");
+            let (p50, p90, p95, p99, p999, max) = (at(3), at(4), at(5), at(6), at(7), at(8));
+            assert!(p50 <= p90 && p90 <= p95 && p95 <= p99 && p99 <= p999 && p999 <= max);
+        }
+    }
+}

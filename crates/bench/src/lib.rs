@@ -11,7 +11,7 @@
 
 pub mod experiments;
 
-use pargrid_sim::plot::LineChart;
+use pargrid_sim::plot::{GanttChart, LineChart};
 use pargrid_sim::table::ResultTable;
 
 /// A titled result table produced by an experiment, optionally paired with
@@ -25,6 +25,8 @@ pub struct NamedTable {
     pub table: ResultTable,
     /// The rendered figure, for experiments that are figures in the paper.
     pub chart: Option<LineChart>,
+    /// A per-disk timeline (`{id}_timeline.svg`), for traced runs.
+    pub timeline: Option<GanttChart>,
 }
 
 impl NamedTable {
@@ -35,12 +37,19 @@ impl NamedTable {
             title: title.into(),
             table,
             chart: None,
+            timeline: None,
         }
     }
 
     /// Attaches a chart.
     pub fn with_chart(mut self, chart: LineChart) -> Self {
         self.chart = Some(chart);
+        self
+    }
+
+    /// Attaches a per-disk timeline.
+    pub fn with_timeline(mut self, timeline: GanttChart) -> Self {
+        self.timeline = Some(timeline);
         self
     }
 }

@@ -1,0 +1,224 @@
+//! Chrome `trace_event` JSON exporter.
+//!
+//! Produces the "JSON Object Format" understood by `chrome://tracing` and
+//! Perfetto: a `traceEvents` array of `"X"` (complete span), `"i"`
+//! (instant) and `"M"` (metadata) events. Tracks map to thread ids:
+//! tid 0 is the coordinator, tid `1 + w` is worker `w`, and tid
+//! `1000 + d` is disk `d` (disk-batch spans are timestamped in that
+//! disk's own busy clock, so each disk lane reads as a Gantt row).
+
+use crate::json::escape;
+use crate::span::{Event, SpanKind, TraceSnapshot, NO_ID, NO_QUERY};
+
+const COORD_TID: u64 = 0;
+const WORKER_TID_BASE: u64 = 1;
+const DISK_TID_BASE: u64 = 1000;
+
+fn tid_for(track_worker: Option<usize>, ev: &Event) -> u64 {
+    if ev.kind == SpanKind::DiskBatch && ev.disk != NO_ID {
+        return DISK_TID_BASE + ev.disk as u64;
+    }
+    match track_worker {
+        None => COORD_TID,
+        Some(w) => WORKER_TID_BASE + w as u64,
+    }
+}
+
+fn push_meta(out: &mut Vec<String>, tid: u64, name: &str, sort: u64) {
+    out.push(format!(
+        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        escape(name)
+    ));
+    out.push(format!(
+        "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+         \"args\":{{\"sort_index\":{sort}}}}}"
+    ));
+}
+
+fn event_json(track_worker: Option<usize>, ev: &Event) -> String {
+    let tid = tid_for(track_worker, ev);
+    let ph = if ev.dur_us > 0 { "X" } else { "i" };
+    let mut args = Vec::new();
+    if ev.query_id != NO_QUERY {
+        args.push(format!("\"query\":{}", ev.query_id));
+    }
+    if ev.worker != NO_ID {
+        args.push(format!("\"worker\":{}", ev.worker));
+    }
+    if ev.disk != NO_ID {
+        args.push(format!("\"disk\":{}", ev.disk));
+    }
+    match ev.kind {
+        SpanKind::CacheProbe => {
+            args.push(format!("\"hits\":{}", ev.detail >> 32));
+            args.push(format!("\"probes\":{}", ev.detail & 0xFFFF_FFFF));
+        }
+        _ if ev.detail != 0 => args.push(format!("\"detail\":{}", ev.detail)),
+        _ => {}
+    }
+    let mut fields = vec![
+        format!("\"name\":\"{}\"", ev.kind.name()),
+        format!("\"ph\":\"{ph}\""),
+        format!("\"ts\":{}", ev.ts_us),
+        "\"pid\":0".to_string(),
+        format!("\"tid\":{tid}"),
+        format!("\"args\":{{{}}}", args.join(",")),
+    ];
+    if ev.dur_us > 0 {
+        fields.insert(3, format!("\"dur\":{}", ev.dur_us));
+    } else {
+        fields.push("\"s\":\"t\"".to_string());
+    }
+    format!("{{{}}}", fields.join(","))
+}
+
+/// Renders a snapshot as a Chrome `trace_event` JSON document.
+///
+/// Timestamps are virtual microseconds (the `trace_event` native unit), so
+/// the timeline in Perfetto reads directly in simulated time.
+pub fn to_chrome_trace(snap: &TraceSnapshot) -> String {
+    let mut parts: Vec<String> = Vec::with_capacity(snap.len() + 16);
+
+    push_meta(&mut parts, COORD_TID, "coordinator", 0);
+    for w in 0..snap.workers.len() {
+        push_meta(
+            &mut parts,
+            WORKER_TID_BASE + w as u64,
+            &format!("worker {w}"),
+            10 + w as u64,
+        );
+    }
+    let mut disks: Vec<u32> = snap
+        .all_events()
+        .filter(|(_, e)| e.kind == SpanKind::DiskBatch && e.disk != NO_ID)
+        .map(|(_, e)| e.disk)
+        .collect();
+    disks.sort_unstable();
+    disks.dedup();
+    for d in &disks {
+        push_meta(
+            &mut parts,
+            DISK_TID_BASE + *d as u64,
+            &format!("disk {d}"),
+            1000 + *d as u64,
+        );
+    }
+
+    for (track, ev) in snap.all_events() {
+        parts.push(event_json(track, ev));
+    }
+
+    format!(
+        "{{\"traceEvents\":[\n{}\n],\"displayTimeUnit\":\"ms\",\
+         \"otherData\":{{\"dropped_events\":{},\"virtual_clock_us\":{}}}}}\n",
+        parts.join(",\n"),
+        snap.dropped,
+        snap.clock_us
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::span::Recorder;
+
+    #[test]
+    fn export_round_trips_through_parser() {
+        let r = Recorder::with_capacity(2, 64);
+        r.record(Event {
+            ts_us: 0,
+            dur_us: 0,
+            query_id: 1,
+            kind: SpanKind::Admit,
+            worker: NO_ID,
+            disk: NO_ID,
+            detail: 0,
+        });
+        r.record_worker(
+            0,
+            Event {
+                ts_us: 10,
+                dur_us: 40,
+                query_id: 1,
+                kind: SpanKind::DiskBatch,
+                worker: 0,
+                disk: 3,
+                detail: 8,
+            },
+        );
+        r.record_worker(
+            1,
+            Event {
+                ts_us: 5,
+                dur_us: 0,
+                query_id: 1,
+                kind: SpanKind::CacheProbe,
+                worker: 1,
+                disk: NO_ID,
+                detail: (2 << 32) | 9,
+            },
+        );
+        r.record(Event {
+            ts_us: 0,
+            dur_us: 55,
+            query_id: 1,
+            kind: SpanKind::Reply,
+            worker: NO_ID,
+            disk: NO_ID,
+            detail: 12,
+        });
+        let doc = to_chrome_trace(&r.snapshot());
+        let parsed = json::parse(&doc).expect("exported trace must be valid JSON");
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+
+        let spans: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .collect();
+        assert_eq!(spans.len(), 2);
+        let batch = spans
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("disk_batch"))
+            .unwrap();
+        assert_eq!(batch.get("tid").unwrap().as_num(), Some(1003.0));
+        assert_eq!(batch.get("dur").unwrap().as_num(), Some(40.0));
+        assert_eq!(
+            batch.get("args").unwrap().get("disk").unwrap().as_num(),
+            Some(3.0)
+        );
+
+        let probe = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("cache_probe"))
+            .unwrap();
+        assert_eq!(
+            probe.get("args").unwrap().get("hits").unwrap().as_num(),
+            Some(2.0)
+        );
+        assert_eq!(
+            probe.get("args").unwrap().get("probes").unwrap().as_num(),
+            Some(9.0)
+        );
+
+        // Thread metadata present for coordinator, both workers, and the disk.
+        let names: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("name").unwrap().as_str() == Some("thread_name"))
+            .map(|e| {
+                e.get("args")
+                    .unwrap()
+                    .get("name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        assert!(names.contains(&"coordinator".to_string()));
+        assert!(names.contains(&"worker 0".to_string()));
+        assert!(names.contains(&"worker 1".to_string()));
+        assert!(names.contains(&"disk 3".to_string()));
+    }
+}

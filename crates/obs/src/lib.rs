@@ -1,0 +1,30 @@
+//! `pargrid-obs`: zero-dependency observability for the parallel grid file.
+//!
+//! Three pieces, all engine-agnostic:
+//!
+//! * [`hist`] — HDR-style log-bucketed latency histograms (~1.6% relative
+//!   error) with mergeable snapshots, a concurrent [`hist::AtomicHistogram`]
+//!   variant, and the workspace-wide [`hist::nearest_rank_index`] quantile
+//!   definition.
+//! * [`span`] — a lock-free, non-wrapping per-track ring-buffer
+//!   [`span::Recorder`] capturing query lifecycle events in virtual
+//!   microseconds.
+//! * exporters — [`prom`] (Prometheus text exposition + line validator),
+//!   [`chrome`] (Chrome `trace_event` JSON for Perfetto), and [`json`]
+//!   (the minimal parser that proves traces round-trip).
+//!
+//! The crate deliberately has no dependencies so `pargrid-parallel` can
+//! feature-gate it without dragging anything onto the disabled path.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod hist;
+pub mod json;
+pub mod prom;
+pub mod span;
+
+pub use chrome::to_chrome_trace;
+pub use hist::{nearest_rank_index, AtomicHistogram, Histogram, TailSummary};
+pub use prom::{validate_prometheus, PromWriter};
+pub use span::{Event, EventRing, Recorder, SpanKind, TraceSnapshot, NO_ID, NO_QUERY};

@@ -1,0 +1,211 @@
+//! Prometheus text-exposition exporter and line-format validator.
+//!
+//! Histograms export in the standard cumulative form — `_bucket{le="..."}`
+//! lines at octave boundaries plus `+Inf`, then `_sum` and `_count` —
+//! and counters/gauges as single samples. [`validate_prometheus`] is a
+//! hand-rolled checker for exposition-format line rules (no regex crate in
+//! this workspace) used by tests and the CI smoke step.
+
+use crate::hist::Histogram;
+
+/// Builder for a Prometheus text-exposition document.
+#[derive(Default)]
+pub struct PromWriter {
+    out: String,
+}
+
+impl PromWriter {
+    /// An empty document.
+    pub fn new() -> Self {
+        PromWriter::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        self.out.push_str(&format!("# HELP {name} {help}\n"));
+        self.out.push_str(&format!("# TYPE {name} {kind}\n"));
+    }
+
+    /// Emits a counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "counter");
+        self.out.push_str(&format!("{name} {value}\n"));
+    }
+
+    /// Emits a gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.header(name, help, "gauge");
+        self.out.push_str(&format!("{name} {value}\n"));
+    }
+
+    /// Emits a histogram in cumulative `le` form with buckets at powers of
+    /// two spanning the recorded range (16 lines max keeps scrapes small
+    /// while the log-bucketing keeps each `le` exact, not interpolated).
+    pub fn histogram(&mut self, name: &str, help: &str, h: &Histogram) {
+        self.header(name, help, "histogram");
+        if h.count() > 0 {
+            let mut bound = 1u64.max(h.min().next_power_of_two());
+            let mut bounds = Vec::new();
+            while bound < h.max() && bounds.len() < 15 {
+                bounds.push(bound);
+                bound = bound.saturating_mul(4);
+            }
+            for b in bounds {
+                self.out.push_str(&format!(
+                    "{name}_bucket{{le=\"{b}\"}} {}\n",
+                    h.cumulative_le(b)
+                ));
+            }
+        }
+        self.out
+            .push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+        self.out.push_str(&format!("{name}_sum {}\n", h.sum()));
+        self.out.push_str(&format!("{name}_count {}\n", h.count()));
+    }
+
+    /// The finished exposition document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_labels(s: &str) -> bool {
+    // s is the text between '{' and '}': label="value",...
+    if s.is_empty() {
+        return true;
+    }
+    for pair in s.split(',') {
+        let Some((name, value)) = pair.split_once('=') else {
+            return false;
+        };
+        if !valid_metric_name(name) {
+            return false;
+        }
+        if !(value.len() >= 2 && value.starts_with('"') && value.ends_with('"')) {
+            return false;
+        }
+    }
+    true
+}
+
+fn valid_value(s: &str) -> bool {
+    matches!(s, "+Inf" | "-Inf" | "NaN") || s.parse::<f64>().is_ok()
+}
+
+/// Checks every line of a Prometheus text-exposition document: comments
+/// must be `# HELP`/`# TYPE`, samples must be
+/// `name[{labels}] value [timestamp]` with a valid metric name, label
+/// syntax, and numeric value. Returns the first offending line.
+pub fn validate_prometheus(doc: &str) -> Result<(), String> {
+    for (lineno, line) in doc.lines().enumerate() {
+        let err = |why: &str| Err(format!("line {}: {why}: {line:?}", lineno + 1));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if !(rest.starts_with("HELP ") || rest.starts_with("TYPE ")) {
+                return err("comment is not HELP or TYPE");
+            }
+            continue;
+        }
+        // Sample line: name[{labels}] value [timestamp]
+        let (name_part, rest) = match line.find('{') {
+            Some(open) => {
+                let Some(close) = line.rfind('}') else {
+                    return err("unclosed label braces");
+                };
+                if !valid_labels(&line[open + 1..close]) {
+                    return err("bad label syntax");
+                }
+                (&line[..open], line[close + 1..].trim_start())
+            }
+            None => match line.split_once(' ') {
+                Some((n, r)) => (n, r.trim_start()),
+                None => return err("sample has no value"),
+            },
+        };
+        if !valid_metric_name(name_part) {
+            return err("bad metric name");
+        }
+        let mut fields = rest.split_whitespace();
+        let Some(value) = fields.next() else {
+            return err("sample has no value");
+        };
+        if !valid_value(value) {
+            return err("bad sample value");
+        }
+        if let Some(ts) = fields.next() {
+            if ts.parse::<i64>().is_err() {
+                return err("bad timestamp");
+            }
+        }
+        if fields.next().is_some() {
+            return err("trailing fields after timestamp");
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_export_is_valid_and_cumulative() {
+        let mut h = Histogram::new();
+        for v in [10u64, 100, 1000, 10_000, 100_000] {
+            h.record(v);
+        }
+        let mut w = PromWriter::new();
+        w.counter("pargrid_queries_total", "Queries served.", 5);
+        w.gauge("pargrid_workers_alive", "Live workers.", 4.0);
+        w.histogram("pargrid_query_us", "Query latency (virtual us).", &h);
+        let doc = w.finish();
+        validate_prometheus(&doc).expect("exporter output must validate");
+
+        assert!(doc.contains("# TYPE pargrid_query_us histogram"));
+        assert!(doc.contains("pargrid_query_us_bucket{le=\"+Inf\"} 5"));
+        assert!(doc.contains("pargrid_query_us_count 5"));
+        assert!(doc.contains("pargrid_query_us_sum 111110"));
+
+        // Cumulative counts never decrease across buckets.
+        let mut last = 0u64;
+        for line in doc.lines().filter(|l| l.contains("_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "non-monotone bucket line {line}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn empty_histogram_still_exports() {
+        let mut w = PromWriter::new();
+        w.histogram("pargrid_empty_us", "Nothing recorded.", &Histogram::new());
+        let doc = w.finish();
+        validate_prometheus(&doc).unwrap();
+        assert!(doc.contains("pargrid_empty_us_bucket{le=\"+Inf\"} 0"));
+        assert!(doc.contains("pargrid_empty_us_count 0"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate_prometheus("# random comment\n").is_err());
+        assert!(validate_prometheus("9bad_name 1\n").is_err());
+        assert!(validate_prometheus("name{le=\"1\" 2\n").is_err());
+        assert!(validate_prometheus("name{le=1} 2\n").is_err());
+        assert!(validate_prometheus("name notanumber\n").is_err());
+        assert!(validate_prometheus("name 1 2 3\n").is_err());
+        assert!(validate_prometheus("name\n").is_err());
+        assert!(validate_prometheus("ok_name{le=\"+Inf\"} 3 1700000000\n").is_ok());
+        assert!(validate_prometheus("ok:name 2.5\n").is_ok());
+    }
+}

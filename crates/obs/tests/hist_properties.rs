@@ -1,0 +1,111 @@
+//! Property tests for the log-bucketed histogram: bucketing invariants,
+//! merge-equals-combined-record, quantile monotonicity, and the quantile
+//! staying within one bucket of the exact nearest-rank value.
+
+use pargrid_obs::hist::{bucket_bounds, bucket_of, nearest_rank_index};
+use pargrid_obs::Histogram;
+use proptest::prelude::*;
+
+/// Values spanning all regimes: exact (<64), log-bucketed, and huge.
+fn value_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![0u64..64, 64u64..100_000, 100_000u64..u64::MAX / 2]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn value_falls_in_its_bucket(v in 0u64..=u64::MAX) {
+        let (lo, hi) = bucket_bounds(bucket_of(v));
+        prop_assert!(lo <= v && v <= hi, "v={v} bucket=[{lo},{hi}]");
+    }
+
+    #[test]
+    fn merge_matches_combined_recording(
+        a in prop::collection::vec(value_strategy(), 0..200),
+        b in prop::collection::vec(value_strategy(), 0..200),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hall = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            hall.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hall.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha, hall);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(vs in prop::collection::vec(value_strategy(), 1..300)) {
+        let mut h = Histogram::new();
+        for &v in &vs {
+            h.record(v);
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0];
+        let mut last = 0u64;
+        for &q in &qs {
+            let val = h.quantile(q);
+            prop_assert!(val >= last, "quantile({q}) = {val} < {last}");
+            prop_assert!(val >= h.min() && val <= h.max());
+            last = val;
+        }
+    }
+
+    #[test]
+    fn quantile_within_one_bucket_of_exact_rank(
+        vs in prop::collection::vec(value_strategy(), 1..300),
+        qi in 0usize..5,
+    ) {
+        let q = [0.5, 0.9, 0.95, 0.99, 1.0][qi];
+        let mut h = Histogram::new();
+        let mut sorted = vs.clone();
+        sorted.sort_unstable();
+        for &v in &vs {
+            h.record(v);
+        }
+        let exact = sorted[nearest_rank_index(sorted.len(), q)];
+        let est = h.quantile(q);
+        // The estimate must land in (or at the clamped edge of) the exact
+        // value's bucket: within one bucket of the true nearest-rank value.
+        let (lo, hi) = bucket_bounds(bucket_of(exact));
+        prop_assert!(
+            est >= lo.max(h.min()) && est <= hi.min(h.max()),
+            "q={q} exact={exact} bucket=[{lo},{hi}] est={est}"
+        );
+    }
+
+    #[test]
+    fn quantile_relative_error_bounded(
+        vs in prop::collection::vec(64u64..10_000_000, 1..300),
+        qi in 0usize..5,
+    ) {
+        let q = [0.5, 0.9, 0.95, 0.99, 1.0][qi];
+        let mut h = Histogram::new();
+        let mut sorted = vs.clone();
+        sorted.sort_unstable();
+        for &v in &vs {
+            h.record(v);
+        }
+        let exact = sorted[nearest_rank_index(sorted.len(), q)] as f64;
+        let est = h.quantile(q) as f64;
+        let rel = (est - exact).abs() / exact;
+        prop_assert!(rel <= 0.02, "q={q} exact={exact} est={est} rel={rel}");
+    }
+
+    #[test]
+    fn count_sum_minmax_track_inputs(vs in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut h = Histogram::new();
+        for &v in &vs {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), vs.len() as u64);
+        prop_assert_eq!(h.sum(), vs.iter().sum::<u64>());
+        prop_assert_eq!(h.min(), *vs.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *vs.iter().max().unwrap());
+    }
+}

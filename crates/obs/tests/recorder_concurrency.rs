@@ -1,0 +1,113 @@
+//! Concurrency tests for the recorder: N threads × M events with no loss
+//! below ring capacity, and a bounded drop counter above it.
+
+use std::sync::Arc;
+use std::thread;
+
+use pargrid_obs::{Event, EventRing, Recorder, SpanKind, NO_ID};
+
+fn ev(thread_id: u64, seq: u64) -> Event {
+    Event {
+        ts_us: seq,
+        dur_us: 1,
+        query_id: (thread_id << 32) | seq,
+        kind: SpanKind::Reply,
+        worker: thread_id as u32,
+        disk: NO_ID,
+        detail: seq,
+    }
+}
+
+#[test]
+fn no_loss_below_ring_capacity() {
+    const THREADS: u64 = 8;
+    const EVENTS: u64 = 500;
+    let ring = Arc::new(EventRing::new((THREADS * EVENTS) as usize));
+
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let ring = Arc::clone(&ring);
+            scope.spawn(move || {
+                for i in 0..EVENTS {
+                    ring.push(&ev(t, i));
+                }
+            });
+        }
+    });
+
+    assert_eq!(ring.len() as u64, THREADS * EVENTS);
+    assert_eq!(ring.dropped(), 0);
+
+    // Every (thread, seq) pair arrived exactly once, intact.
+    let mut ids: Vec<u64> = ring.events().iter().map(|e| e.query_id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len() as u64, THREADS * EVENTS);
+    for e in ring.events() {
+        assert_eq!(e.detail, e.query_id & 0xFFFF_FFFF);
+        assert_eq!(e.worker as u64, e.query_id >> 32);
+    }
+}
+
+#[test]
+fn overflow_drops_are_counted_exactly() {
+    const THREADS: u64 = 8;
+    const EVENTS: u64 = 400;
+    const CAPACITY: usize = 1000; // < THREADS * EVENTS
+    let ring = Arc::new(EventRing::new(CAPACITY));
+
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let ring = Arc::clone(&ring);
+            scope.spawn(move || {
+                for i in 0..EVENTS {
+                    ring.push(&ev(t, i));
+                }
+            });
+        }
+    });
+
+    // Stored + dropped always accounts for every push; the ring never
+    // overwrites, so exactly CAPACITY events survive.
+    assert_eq!(ring.len(), CAPACITY);
+    assert_eq!(ring.dropped(), THREADS * EVENTS - CAPACITY as u64);
+    let mut ids: Vec<u64> = ring.events().iter().map(|e| e.query_id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(
+        ids.len(),
+        CAPACITY,
+        "surviving events are distinct and intact"
+    );
+}
+
+#[test]
+fn recorder_tracks_are_independent_and_histograms_complete() {
+    const WORKERS: usize = 4;
+    const EVENTS: u64 = 300;
+    let rec = Arc::new(Recorder::with_capacity(WORKERS, EVENTS as usize));
+
+    thread::scope(|scope| {
+        for w in 0..WORKERS {
+            let rec = Arc::clone(&rec);
+            scope.spawn(move || {
+                for i in 0..EVENTS {
+                    rec.record_worker(w, ev(w as u64, i));
+                    rec.query_us.record(i + 1);
+                    rec.advance_clock(i);
+                }
+            });
+        }
+    });
+
+    let snap = rec.snapshot();
+    assert_eq!(snap.dropped, 0);
+    assert_eq!(snap.clock_us, EVENTS - 1);
+    for track in &snap.workers {
+        assert_eq!(track.len() as u64, EVENTS);
+    }
+    assert_eq!(rec.query_us.count(), WORKERS as u64 * EVENTS);
+    let h = rec.query_us.snapshot();
+    assert_eq!(h.min(), 1);
+    assert_eq!(h.max(), EVENTS);
+}

@@ -47,6 +47,8 @@ use pargrid_core::{Assignment, ReplicatedAssignment};
 use pargrid_geom::Rect;
 use pargrid_gridfile::page::encode_page;
 use pargrid_gridfile::{GridFile, Record};
+#[cfg(feature = "obs")]
+use pargrid_obs::{Event, Recorder, SpanKind, NO_ID};
 use pargrid_sim::{QueryWorkload, ThroughputStats};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -100,6 +102,12 @@ pub struct EngineConfig {
     /// by itself declare anyone dead (see [`MAX_TIMEOUT_STRIKES`]), so slow
     /// machines are safe with small values.
     pub fail_timeout_ms: u64,
+    /// Trace recorder capturing per-query spans and latency histograms
+    /// (see [`pargrid_obs::Recorder`]). `None` keeps each hook at a single
+    /// `Option` check; building the crate without the `obs` feature removes
+    /// the hooks entirely.
+    #[cfg(feature = "obs")]
+    pub recorder: Option<Arc<Recorder>>,
 }
 
 impl Default for EngineConfig {
@@ -111,6 +119,8 @@ impl Default for EngineConfig {
             disks_per_worker: 0,
             faults: FaultPlan::default(),
             fail_timeout_ms: 200,
+            #[cfg(feature = "obs")]
+            recorder: None,
         }
     }
 }
@@ -140,6 +150,15 @@ impl EngineConfig {
     /// Installs an injected fault plan.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Installs a trace recorder. Size it with
+    /// [`Recorder::new`]`(n_workers)` so every worker gets its own event
+    /// track.
+    #[cfg(feature = "obs")]
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        self.recorder = Some(recorder);
         self
     }
 }
@@ -328,6 +347,8 @@ pub struct ParallelGridFile {
     shared: Arc<SharedStats>,
     fail_timeout_ms: u64,
     replicated: bool,
+    #[cfg(feature = "obs")]
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl ParallelGridFile {
@@ -442,6 +463,13 @@ impl ParallelGridFile {
             }
         }
 
+        #[cfg(feature = "obs")]
+        if let Some(rec) = &config.recorder {
+            for state in &mut workers {
+                state.recorder = Some(Arc::clone(rec));
+            }
+        }
+
         let shared = Arc::new(SharedStats::new(n_workers));
         let mut to_workers = Vec::with_capacity(n_workers);
         let mut handles = Vec::with_capacity(n_workers);
@@ -466,6 +494,8 @@ impl ParallelGridFile {
             shared,
             fail_timeout_ms: config.fail_timeout_ms,
             replicated: replica.is_some(),
+            #[cfg(feature = "obs")]
+            recorder: config.recorder,
         }
     }
 
@@ -484,6 +514,49 @@ impl ParallelGridFile {
     /// query is in flight.
     pub fn stats(&self) -> EngineStats {
         self.shared.snapshot()
+    }
+
+    /// The installed trace recorder, if any.
+    #[cfg(feature = "obs")]
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// Records a coordinator-track instant stamped with the current virtual
+    /// clock. A no-op when no recorder is installed.
+    #[cfg(feature = "obs")]
+    fn trace_instant(&self, kind: SpanKind, query_id: u64, worker: u32, detail: u64) {
+        if let Some(rec) = &self.recorder {
+            rec.record(Event {
+                ts_us: rec.now(),
+                dur_us: 0,
+                query_id,
+                kind,
+                worker,
+                disk: NO_ID,
+                detail,
+            });
+        }
+    }
+
+    /// Records a finished query: its Reply span on the coordinator track
+    /// plus the latency/communication/response-size histograms.
+    #[cfg(feature = "obs")]
+    fn trace_reply(&self, query_id: u64, start_us: u64, out: &QueryOutcome) {
+        if let Some(rec) = &self.recorder {
+            rec.record(Event {
+                ts_us: start_us,
+                dur_us: out.elapsed_us,
+                query_id,
+                kind: SpanKind::Reply,
+                worker: NO_ID,
+                disk: NO_ID,
+                detail: out.response_blocks,
+            });
+            rec.query_us.record(out.elapsed_us);
+            rec.comm_us.record(out.comm_us);
+            rec.response_blocks.record(out.response_blocks);
+        }
     }
 
     /// Opens a client session: an independent stream of queries against the
@@ -547,6 +620,13 @@ impl ParallelGridFile {
         reply_tx: &Sender<FromWorker>,
         priority: QueryPriority,
     ) {
+        #[cfg(feature = "obs")]
+        self.trace_instant(
+            SpanKind::Failover,
+            query_id,
+            from_worker as u32,
+            buckets.len() as u64,
+        );
         // worker -> (blocks, buckets) of the retry request.
         let mut regroup: HashMap<usize, (Vec<u32>, Vec<u32>)> = HashMap::new();
         for &b in buckets {
@@ -572,6 +652,8 @@ impl ParallelGridFile {
             p.comm_us += self.net.latency_us;
             p.retries += 1;
             self.shared.retries.fetch_add(1, Ordering::Relaxed);
+            #[cfg(feature = "obs")]
+            self.trace_instant(SpanKind::Retry, query_id, w as u32, bkts.len() as u64);
             let request = ReadRequest {
                 query_id,
                 blocks,
@@ -743,13 +825,19 @@ impl ParallelGridFile {
         };
 
         for round in workload.queries.chunks(in_flight) {
+            #[cfg(feature = "obs")]
+            let round_start = self.recorder.as_ref().map_or(0, |r| r.now());
             let mut per_worker: Vec<Vec<ReadRequest>> =
                 (0..n_workers).map(|_| Vec::new()).collect();
             let mut pending: HashMap<u64, PendingQuery> = HashMap::new();
             for (round_pos, rect) in round.iter().enumerate() {
                 let query_id = self.next_query_id.fetch_add(1, Ordering::Relaxed);
                 self.shared.queries.fetch_add(1, Ordering::Relaxed);
+                #[cfg(feature = "obs")]
+                self.trace_instant(SpanKind::Admit, query_id, NO_ID, round_pos as u64);
                 let (buckets, plan, incomplete) = self.plan(rect);
+                #[cfg(feature = "obs")]
+                self.trace_instant(SpanKind::Plan, query_id, NO_ID, buckets.len() as u64);
                 let mut p = PendingQuery::new(round_pos, *rect, buckets);
                 p.incomplete = incomplete;
                 for (w, read) in plan {
@@ -776,6 +864,13 @@ impl ParallelGridFile {
                 tp.batches += 1;
                 tp.batched_requests += requests.len() as u64;
                 tp.max_batch = tp.max_batch.max(requests.len() as u64);
+                #[cfg(feature = "obs")]
+                self.trace_instant(
+                    SpanKind::Dispatch,
+                    pargrid_obs::NO_QUERY,
+                    w as u32,
+                    requests.len() as u64,
+                );
                 if let Err(SendError(msg)) = self.to_workers[w].send(ToWorker::Process(requests)) {
                     // The worker's channel is gone (it died earlier this
                     // round, or its thread panicked): recover the requests
@@ -806,15 +901,18 @@ impl ParallelGridFile {
             self.collect(&reply_rx, &reply_tx, QueryPriority::Batch, &mut pending);
 
             // Emit this round's outcomes in submission order.
-            let mut finished: Vec<PendingQuery> = pending.into_values().collect();
-            finished.sort_unstable_by_key(|p| p.round_pos);
-            for p in finished {
+            let mut finished: Vec<(u64, PendingQuery)> = pending.into_iter().collect();
+            finished.sort_unstable_by_key(|(_, p)| p.round_pos);
+            for (_query_id, p) in finished {
                 debug_assert!(p.awaiting.is_empty());
                 tp.queries += 1;
                 tp.comm_us += p.comm_us;
                 tp.total_blocks += p.total_blocks;
                 tp.cache_hits += p.cache_hits;
-                outcomes.push(p.into_outcome());
+                let out = p.into_outcome();
+                #[cfg(feature = "obs")]
+                self.trace_reply(_query_id, round_start, &out);
+                outcomes.push(out);
             }
         }
 
@@ -827,6 +925,7 @@ impl ParallelGridFile {
         }
         tp.retries = self.shared.retries.load(Ordering::Relaxed) - retries0;
         tp.failed_over_blocks = self.shared.failed_over_blocks.load(Ordering::Relaxed) - failed0;
+        tp.worker_alive = (0..n_workers).map(|w| self.shared.is_alive(w)).collect();
         tp.makespan_us = tp.worker_busy_us.iter().copied().max().unwrap_or(0) + tp.comm_us;
         (outcomes, tp)
     }
@@ -879,7 +978,13 @@ impl QuerySession<'_> {
         let engine = self.engine;
         let query_id = engine.next_query_id.fetch_add(1, Ordering::Relaxed);
         engine.shared.queries.fetch_add(1, Ordering::Relaxed);
+        #[cfg(feature = "obs")]
+        let start_us = engine.recorder.as_ref().map_or(0, |r| r.now());
+        #[cfg(feature = "obs")]
+        engine.trace_instant(SpanKind::Admit, query_id, NO_ID, 0);
         let (buckets, plan, incomplete) = engine.plan(rect);
+        #[cfg(feature = "obs")]
+        engine.trace_instant(SpanKind::Plan, query_id, NO_ID, buckets.len() as u64);
         let mut p = PendingQuery::new(0, *rect, buckets);
         p.incomplete = incomplete;
 
@@ -913,6 +1018,8 @@ impl QuerySession<'_> {
             // One broadcast latency for the dispatch; each reply adds its
             // own latency + transfer time as it arrives.
             p.comm_us += engine.net.latency_us;
+            #[cfg(feature = "obs")]
+            engine.trace_instant(SpanKind::Dispatch, query_id, NO_ID, p.awaiting.len() as u64);
         }
 
         let mut pending = HashMap::new();
@@ -921,6 +1028,8 @@ impl QuerySession<'_> {
         let p = pending.remove(&query_id).expect("query still pending");
 
         let outcome = p.into_outcome();
+        #[cfg(feature = "obs")]
+        engine.trace_reply(query_id, start_us, &outcome);
         self.stats.absorb(&outcome);
         outcome
     }

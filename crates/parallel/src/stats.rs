@@ -189,13 +189,21 @@ impl EngineStats {
         self.workers.iter().filter(|w| w.alive).count()
     }
 
-    /// Mean requests per serviced batch, over all workers.
+    /// Mean requests per serviced batch, over **live** workers only.
+    ///
+    /// A fail-stopped worker's counters freeze at death, so averaging it in
+    /// would mix a truncated history into a live-fleet metric: after a
+    /// failover the survivors service *larger* batches (they absorb the dead
+    /// worker's buckets), and that shift is exactly what this mean should
+    /// show. The dead worker's frozen counters remain available per-worker
+    /// in [`EngineStats::workers`].
     pub fn mean_batch(&self) -> f64 {
-        let batches: u64 = self.workers.iter().map(|w| w.batches).sum();
+        let live = || self.workers.iter().filter(|w| w.alive);
+        let batches: u64 = live().map(|w| w.batches).sum();
         if batches == 0 {
             return 0.0;
         }
-        let requests: u64 = self.workers.iter().map(|w| w.batched_requests).sum();
+        let requests: u64 = live().map(|w| w.batched_requests).sum();
         requests as f64 / batches as f64
     }
 }
@@ -221,6 +229,25 @@ mod tests {
         assert_eq!(snap.total_blocks(), 40);
         assert_eq!(snap.total_cache_hits(), 7);
         assert_eq!(snap.mean_batch(), 3.0);
+    }
+
+    #[test]
+    fn mean_batch_excludes_dead_workers() {
+        let shared = SharedStats::new(2);
+        // Live worker: 2 batches of 3 requests. Dead worker: frozen history
+        // of 10 batches of 1 request that must not drag the mean down.
+        shared.workers[0].batches.store(2, Ordering::Relaxed);
+        shared.workers[0]
+            .batched_requests
+            .store(6, Ordering::Relaxed);
+        shared.workers[1].batches.store(10, Ordering::Relaxed);
+        shared.workers[1]
+            .batched_requests
+            .store(10, Ordering::Relaxed);
+        shared.workers[1].dead.store(true, Ordering::Relaxed);
+        let snap = shared.snapshot();
+        assert_eq!(snap.mean_batch(), 3.0);
+        assert_eq!(snap.live_workers(), 1);
     }
 
     #[test]

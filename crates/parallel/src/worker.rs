@@ -51,6 +51,9 @@ pub struct WorkerState {
     pub disks: Vec<DiskModel>,
     /// Injected faults applying to this worker (empty = healthy).
     pub faults: Vec<FaultKind>,
+    /// Trace recorder (installed by the engine when configured with one).
+    #[cfg(feature = "obs")]
+    pub recorder: Option<Arc<pargrid_obs::Recorder>>,
 }
 
 impl WorkerState {
@@ -88,6 +91,8 @@ impl WorkerState {
             payload_bytes,
             disks: (0..n_disks).map(|_| DiskModel::new(disk_params)).collect(),
             faults: Vec::new(),
+            #[cfg(feature = "obs")]
+            recorder: None,
         }
     }
 
@@ -250,6 +255,10 @@ impl WorkerState {
     /// batch size, so concurrent sessions coalesce without any coordinator
     /// involvement. Replies go to each request's own `reply` channel.
     pub fn run(mut self, rx: Receiver<ToWorker>, counters: Option<Arc<WorkerCounters>>) {
+        // Cumulative wall busy time, used to advance the recorder's global
+        // virtual clock (fetch_max across workers).
+        #[cfg(feature = "obs")]
+        let mut busy_accum: u64 = 0;
         loop {
             let mut batch = Vec::new();
             let mut shutdown = false;
@@ -301,18 +310,60 @@ impl WorkerState {
                         ));
                     }
                 }
+                // Wall time of the batch: the disks seeked in parallel, so
+                // the node was busy for the slowest disk's share of this
+                // batch, plus all decode/filter CPU.
+                let wall_disk = self
+                    .disks
+                    .iter()
+                    .zip(&disk_before)
+                    .map(|(d, &b)| d.busy_us() - b)
+                    .max()
+                    .unwrap_or(0);
+                let cpu: u64 = replies.iter().map(|r| r.cpu_us).sum();
+                #[cfg(feature = "obs")]
+                if let Some(rec) = &self.recorder {
+                    use pargrid_obs::{Event, SpanKind, NO_ID, NO_QUERY};
+                    // One DiskBatch span per disk that moved, timestamped in
+                    // that disk's own busy clock so each disk renders as a
+                    // gap-free Gantt lane.
+                    let d = self.disks.len();
+                    for (di, &before) in disk_before.iter().enumerate() {
+                        let delta = self.disks[di].busy_us() - before;
+                        if delta > 0 {
+                            rec.record_worker(
+                                self.worker_id,
+                                Event {
+                                    ts_us: before,
+                                    dur_us: delta,
+                                    query_id: NO_QUERY,
+                                    kind: SpanKind::DiskBatch,
+                                    worker: self.worker_id as u32,
+                                    disk: (self.worker_id * d + di) as u32,
+                                    detail: batch.len() as u64,
+                                },
+                            );
+                        }
+                    }
+                    let probes: u64 = replies.iter().map(|r| r.blocks_requested).sum();
+                    let hits: u64 = replies.iter().map(|r| r.cache_hits).sum();
+                    rec.record_worker(
+                        self.worker_id,
+                        Event {
+                            ts_us: rec.now(),
+                            dur_us: 0,
+                            query_id: NO_QUERY,
+                            kind: SpanKind::CacheProbe,
+                            worker: self.worker_id as u32,
+                            disk: NO_ID,
+                            detail: (hits << 32) | (probes & 0xFFFF_FFFF),
+                        },
+                    );
+                    rec.batch_wall_us.record(wall_disk + cpu);
+                    busy_accum += wall_disk + cpu;
+                    rec.advance_clock(busy_accum);
+                }
                 if let Some(c) = &counters {
-                    // Wall time of the batch: the disks seeked in parallel,
-                    // so the node was busy for the slowest disk's share of
-                    // this batch, plus all decode/filter CPU.
-                    let wall_disk = self
-                        .disks
-                        .iter()
-                        .zip(&disk_before)
-                        .map(|(d, &b)| d.busy_us() - b)
-                        .max()
-                        .unwrap_or(0);
-                    let cpu: u64 = replies.iter().map(|r| r.cpu_us).sum();
                     let errors = replies.iter().filter(|r| r.error.is_some()).count() as u64;
                     self.publish(c, batch.len() as u64, wall_disk + cpu, errors);
                 }

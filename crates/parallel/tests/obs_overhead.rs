@@ -1,0 +1,89 @@
+//! Overhead guard: an installed recorder may cost at most 5% wall time on
+//! the throughput workload versus the same engine without one.
+//!
+//! Methodology: two identical engines over the same declustering, one with
+//! a recorder. Runs alternate between them and each side keeps its
+//! *minimum* over several repetitions — the minimum is the least
+//! noise-contaminated estimate of the true cost, which matters because the
+//! engine's wall time is dominated by thread messaging, not by the virtual
+//! disk model. A small absolute grace absorbs scheduler jitter at
+//! millisecond scales (CI runs this in release mode where the relative
+//! bound does the work).
+
+#![cfg(feature = "obs")]
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pargrid_core::{DeclusterInput, DeclusterMethod, EdgeWeight};
+use pargrid_geom::{Point, Rect};
+use pargrid_gridfile::{GridConfig, GridFile, Record};
+use pargrid_obs::Recorder;
+use pargrid_parallel::{EngineConfig, ParallelGridFile};
+use pargrid_sim::QueryWorkload;
+
+const ROUNDS: usize = 5;
+const RELATIVE_BUDGET: f64 = 1.05;
+const GRACE_US: f64 = 2_000.0;
+
+fn sample_grid() -> Arc<GridFile> {
+    let cfg = GridConfig::with_capacity(Rect::new2(0.0, 0.0, 100.0, 100.0), 8);
+    let mut x = 9u64;
+    let recs: Vec<Record> = (0..2000u64)
+        .map(|i| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            Record::new(
+                i,
+                Point::new2(
+                    ((x >> 16) % 10000) as f64 / 100.0,
+                    ((x >> 40) % 10000) as f64 / 100.0,
+                ),
+            )
+        })
+        .collect();
+    Arc::new(GridFile::bulk_load(cfg, recs.iter().copied()))
+}
+
+#[test]
+fn recorder_overhead_within_five_percent() {
+    let gf = sample_grid();
+    let input = DeclusterInput::from_grid_file(&gf);
+    let assignment = DeclusterMethod::Minimax(EdgeWeight::Proximity).assign(&input, 8, 7);
+
+    let plain = ParallelGridFile::build(Arc::clone(&gf), &assignment, EngineConfig::default());
+    let recorder = Arc::new(Recorder::new(8));
+    let traced = ParallelGridFile::build(
+        Arc::clone(&gf),
+        &assignment,
+        EngineConfig::default().with_recorder(Arc::clone(&recorder)),
+    );
+
+    let workload = QueryWorkload::square(&Rect::new2(0.0, 0.0, 100.0, 100.0), 0.05, 150, 41);
+    // Warm both engines once (thread startup, caches) outside the clock.
+    let _ = plain.run_workload_concurrent(&workload, 8);
+    let _ = traced.run_workload_concurrent(&workload, 8);
+
+    let mut plain_us = f64::INFINITY;
+    let mut traced_us = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let t = Instant::now();
+        let _ = plain.run_workload_concurrent(&workload, 8);
+        plain_us = plain_us.min(t.elapsed().as_secs_f64() * 1e6);
+
+        let t = Instant::now();
+        let _ = traced.run_workload_concurrent(&workload, 8);
+        traced_us = traced_us.min(t.elapsed().as_secs_f64() * 1e6);
+    }
+
+    assert!(
+        recorder.query_us.count() > 0,
+        "the traced engine must actually record"
+    );
+    assert!(
+        traced_us <= plain_us * RELATIVE_BUDGET + GRACE_US,
+        "recorder overhead too high: traced {traced_us:.0}us vs plain {plain_us:.0}us \
+         (budget {RELATIVE_BUDGET}x + {GRACE_US}us)"
+    );
+}

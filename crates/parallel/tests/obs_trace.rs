@@ -1,0 +1,177 @@
+//! End-to-end tracing: an instrumented engine run captures the full query
+//! lifecycle, exports a Chrome trace that round-trips through a real JSON
+//! parse, and emits a valid Prometheus document.
+
+#![cfg(feature = "obs")]
+
+use std::sync::Arc;
+
+use pargrid_core::{DeclusterInput, DeclusterMethod, EdgeWeight};
+use pargrid_geom::{Point, Rect};
+use pargrid_gridfile::{GridConfig, GridFile, Record};
+use pargrid_obs::{chrome, json, prom, Recorder, SpanKind};
+use pargrid_parallel::{EngineConfig, FaultPlan, ParallelGridFile};
+use pargrid_sim::QueryWorkload;
+
+fn sample_grid() -> Arc<GridFile> {
+    let cfg = GridConfig::with_capacity(Rect::new2(0.0, 0.0, 100.0, 100.0), 8);
+    let mut x = 1u64;
+    let recs: Vec<Record> = (0..600u64)
+        .map(|i| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            Record::new(
+                i,
+                Point::new2(
+                    ((x >> 16) % 10000) as f64 / 100.0,
+                    ((x >> 40) % 10000) as f64 / 100.0,
+                ),
+            )
+        })
+        .collect();
+    Arc::new(GridFile::bulk_load(cfg, recs.iter().copied()))
+}
+
+fn instrumented_engine(
+    n_workers: usize,
+    config: EngineConfig,
+) -> (ParallelGridFile, Arc<Recorder>) {
+    let gf = sample_grid();
+    let input = DeclusterInput::from_grid_file(&gf);
+    let assignment = DeclusterMethod::Minimax(EdgeWeight::Proximity).assign(&input, n_workers, 7);
+    let recorder = Arc::new(Recorder::new(n_workers));
+    let engine =
+        ParallelGridFile::build(gf, &assignment, config.with_recorder(Arc::clone(&recorder)));
+    (engine, recorder)
+}
+
+#[test]
+fn lifecycle_events_cover_the_run() {
+    let (engine, recorder) = instrumented_engine(4, EngineConfig::default());
+    let w = QueryWorkload::square(&Rect::new2(0.0, 0.0, 100.0, 100.0), 0.06, 12, 17);
+    let (outcomes, _tp) = engine.run_workload_concurrent(&w, 4);
+    drop(engine); // joins workers: the snapshot below is exact
+
+    let snap = recorder.snapshot();
+    assert_eq!(snap.dropped, 0, "default ring must not drop at this scale");
+    assert_eq!(snap.events_of(SpanKind::Admit).len(), 12);
+    assert_eq!(snap.events_of(SpanKind::Plan).len(), 12);
+    assert_eq!(snap.events_of(SpanKind::Reply).len(), 12);
+    assert!(!snap.events_of(SpanKind::Dispatch).is_empty());
+    assert!(!snap.events_of(SpanKind::DiskBatch).is_empty());
+    assert!(!snap.events_of(SpanKind::CacheProbe).is_empty());
+    assert!(snap.clock_us > 0, "workers advanced the virtual clock");
+
+    // Reply spans carry each query's latency; the histogram agrees.
+    let replies = snap.events_of(SpanKind::Reply);
+    let mut durs: Vec<u64> = replies.iter().map(|e| e.dur_us).collect();
+    let mut elapsed: Vec<u64> = outcomes.iter().map(|o| o.elapsed_us).collect();
+    durs.sort_unstable();
+    elapsed.sort_unstable();
+    assert_eq!(durs, elapsed);
+    assert_eq!(recorder.query_us.count(), 12);
+    let h = recorder.query_us.snapshot();
+    assert_eq!(h.max(), *elapsed.last().unwrap());
+}
+
+#[test]
+fn chrome_trace_round_trips_through_json_parse() {
+    let (engine, recorder) = instrumented_engine(4, EngineConfig::sp2_seven_disks());
+    let w = QueryWorkload::square(&Rect::new2(0.0, 0.0, 100.0, 100.0), 0.05, 8, 3);
+    let _ = engine.run_workload_concurrent(&w, 4);
+    drop(engine);
+
+    let snap = recorder.snapshot();
+    let doc = chrome::to_chrome_trace(&snap);
+    let parsed = json::parse(&doc).expect("exported trace must parse as JSON");
+    let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+    assert!(events.len() >= snap.len(), "every event plus metadata rows");
+
+    // Disk-batch spans land on per-disk tracks with positive durations.
+    let disk_spans: Vec<_> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("disk_batch"))
+        .collect();
+    assert!(!disk_spans.is_empty());
+    for s in &disk_spans {
+        assert_eq!(s.get("ph").unwrap().as_str(), Some("X"));
+        assert!(s.get("dur").unwrap().as_num().unwrap() > 0.0);
+        assert!(s.get("tid").unwrap().as_num().unwrap() >= 1000.0);
+    }
+    // 4 workers × 7 disks: more than one distinct disk track was active.
+    let mut tids: Vec<i64> = disk_spans
+        .iter()
+        .map(|s| s.get("tid").unwrap().as_num().unwrap() as i64)
+        .collect();
+    tids.sort_unstable();
+    tids.dedup();
+    assert!(tids.len() > 1, "expected several disk lanes, got {tids:?}");
+}
+
+#[test]
+fn failover_events_appear_on_worker_death() {
+    let gf = sample_grid();
+    let input = DeclusterInput::from_grid_file(&gf);
+    let assignment =
+        DeclusterMethod::Minimax(EdgeWeight::Proximity).assign_replicated(&input, 4, 7);
+    let recorder = Arc::new(Recorder::new(4));
+    let config = EngineConfig {
+        fail_timeout_ms: 25,
+        ..EngineConfig::default()
+    }
+    .with_faults(FaultPlan::kill_first(1))
+    .with_recorder(Arc::clone(&recorder));
+    let engine = ParallelGridFile::build_replicated(gf, &assignment, config);
+    let w = QueryWorkload::square(&Rect::new2(0.0, 0.0, 100.0, 100.0), 0.08, 8, 29);
+    for q in &w.queries {
+        let _ = engine.query(q);
+    }
+    drop(engine);
+
+    let snap = recorder.snapshot();
+    assert!(
+        !snap.events_of(SpanKind::Failover).is_empty(),
+        "worker death must surface as failover events"
+    );
+    assert!(
+        !snap.events_of(SpanKind::Retry).is_empty(),
+        "failed-over buckets must surface as retry events"
+    );
+}
+
+#[test]
+fn prometheus_export_from_engine_histograms_validates() {
+    let (engine, recorder) = instrumented_engine(4, EngineConfig::default());
+    let w = QueryWorkload::square(&Rect::new2(0.0, 0.0, 100.0, 100.0), 0.05, 10, 7);
+    let _ = engine.run_workload_concurrent(&w, 4);
+    let stats = engine.stats();
+    drop(engine);
+
+    let mut pw = prom::PromWriter::new();
+    pw.counter("pargrid_queries_total", "Queries served.", stats.queries);
+    pw.gauge(
+        "pargrid_workers_alive",
+        "Live workers.",
+        stats.live_workers() as f64,
+    );
+    pw.histogram(
+        "pargrid_query_us",
+        "End-to-end query latency (virtual us).",
+        &recorder.query_us.snapshot(),
+    );
+    pw.histogram(
+        "pargrid_comm_us",
+        "Per-query communication time (virtual us).",
+        &recorder.comm_us.snapshot(),
+    );
+    pw.histogram(
+        "pargrid_batch_wall_us",
+        "Worker batch wall time (virtual us).",
+        &recorder.batch_wall_us.snapshot(),
+    );
+    let doc = pw.finish();
+    prom::validate_prometheus(&doc).expect("engine metrics must be valid exposition format");
+    assert!(doc.contains("pargrid_queries_total 10"));
+    assert!(doc.contains("pargrid_query_us_count 10"));
+}

@@ -39,6 +39,6 @@ pub use metrics::{
     closest_pairs, count_pairs_on_same_disk, evaluate, evaluate_heterogeneous,
     intra_disk_proximity, EvalStats, ThroughputStats,
 };
-pub use plot::{LineChart, Series};
+pub use plot::{GanttChart, GanttLane, LineChart, Series};
 pub use runner::{relative_throughput, sweep, SweepPoint};
 pub use workload::QueryWorkload;

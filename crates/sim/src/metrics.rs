@@ -3,6 +3,7 @@
 use crate::workload::QueryWorkload;
 use pargrid_core::{Assignment, DeclusterInput, EdgeWeight};
 use pargrid_gridfile::GridFile;
+use pargrid_obs::nearest_rank_index;
 
 /// Aggregate results of running a workload against one assignment.
 #[derive(Clone, Debug, PartialEq)]
@@ -28,6 +29,8 @@ pub struct EvalStats {
     pub std_response: f64,
     /// 95th percentile of per-query response times (tail latency).
     pub p95_response: u64,
+    /// 99th percentile of per-query response times.
+    pub p99_response: u64,
     /// Worst per-query response time.
     pub max_response: u64,
 }
@@ -73,8 +76,6 @@ pub fn evaluate(gf: &GridFile, assign: &Assignment, workload: &QueryWorkload) ->
         .sum::<f64>()
         / nq;
     responses.sort_unstable();
-    // Nearest-rank 95th percentile.
-    let p95_idx = ((0.95 * nq).ceil() as usize).clamp(1, responses.len()) - 1;
     EvalStats {
         mean_response: mean,
         mean_optimal: total_buckets as f64 / nq / m,
@@ -84,7 +85,8 @@ pub fn evaluate(gf: &GridFile, assign: &Assignment, workload: &QueryWorkload) ->
         total_response,
         balance_degree: assign.data_balance_degree(),
         std_response: var.sqrt(),
-        p95_response: responses[p95_idx],
+        p95_response: responses[nearest_rank_index(responses.len(), 0.95)],
+        p99_response: responses[nearest_rank_index(responses.len(), 0.99)],
         max_response: *responses.last().expect("non-empty"),
     }
 }
@@ -204,6 +206,10 @@ pub struct ThroughputStats {
     pub cache_hits: u64,
     /// Per-worker virtual busy time (disk + CPU), microseconds.
     pub worker_busy_us: Vec<u64>,
+    /// Which workers were still alive at the end of the run (same indexing
+    /// as `worker_busy_us`; empty means liveness was not tracked and every
+    /// worker is assumed alive).
+    pub worker_alive: Vec<bool>,
     /// Batches dispatched to workers (one per worker per admission round).
     pub batches: u64,
     /// Total requests across those batches.
@@ -241,13 +247,32 @@ impl ThroughputStats {
             .collect()
     }
 
-    /// Mean busy fraction over all workers.
+    /// Whether worker `w` finished the run alive (true when liveness was
+    /// not tracked).
+    pub fn is_alive(&self, w: usize) -> bool {
+        self.worker_alive.get(w).copied().unwrap_or(true)
+    }
+
+    /// Mean busy fraction over the workers that finished the run **alive**.
+    ///
+    /// A fail-stopped worker is busy for a fraction of the run and idle
+    /// after; averaging it in would understate how loaded the surviving
+    /// fleet actually was (and made degraded-mode utilization numbers
+    /// incomparable to healthy runs). Dead workers still appear in
+    /// [`ThroughputStats::utilization`], they are just excluded from the
+    /// mean.
     pub fn mean_utilization(&self) -> f64 {
         let u = self.utilization();
-        if u.is_empty() {
+        let live: Vec<f64> = u
+            .iter()
+            .enumerate()
+            .filter(|&(w, _)| self.is_alive(w))
+            .map(|(_, &b)| b)
+            .collect();
+        if live.is_empty() {
             return 0.0;
         }
-        u.iter().sum::<f64>() / u.len() as f64
+        live.iter().sum::<f64>() / live.len() as f64
     }
 
     /// Mean requests per dispatched batch (mean queue depth).
@@ -403,6 +428,7 @@ mod tests {
             total_blocks: 400,
             cache_hits: 40,
             worker_busy_us: vec![1_000_000, 1_500_000],
+            worker_alive: vec![true, true],
             batches: 25,
             batched_requests: 100,
             max_batch: 8,
@@ -414,6 +440,38 @@ mod tests {
         assert_eq!(t.utilization(), vec![0.5, 0.75]);
         assert!((t.mean_utilization() - 0.625).abs() < 1e-12);
         assert_eq!(t.mean_batch(), 4.0);
+    }
+
+    #[test]
+    fn mean_utilization_excludes_dead_workers() {
+        let t = ThroughputStats {
+            makespan_us: 1_000_000,
+            worker_busy_us: vec![800_000, 900_000, 100_000],
+            worker_alive: vec![true, true, false],
+            ..ThroughputStats::default()
+        };
+        // The dead worker's 0.1 is reported per-worker but not averaged in.
+        assert_eq!(t.utilization(), vec![0.8, 0.9, 0.1]);
+        assert!((t.mean_utilization() - 0.85).abs() < 1e-12);
+        assert!(t.is_alive(0) && !t.is_alive(2));
+        // Untracked liveness keeps the old every-worker mean.
+        let untracked = ThroughputStats {
+            makespan_us: 1_000_000,
+            worker_busy_us: vec![800_000, 400_000],
+            ..ThroughputStats::default()
+        };
+        assert!((untracked.mean_utilization() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluate_tail_percentiles_are_ordered() {
+        let (gf, input) = small_file();
+        let n = input.n_buckets();
+        let a = Assignment::new(&input, 4, (0..n).map(|i| (i % 4) as u32).collect());
+        let w = QueryWorkload::square(&gf.config().domain, 0.1, 100, 3);
+        let s = evaluate(&gf, &a, &w);
+        assert!(s.p95_response <= s.p99_response);
+        assert!(s.p99_response <= s.max_response);
     }
 
     #[test]

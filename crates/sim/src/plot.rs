@@ -240,6 +240,167 @@ impl LineChart {
     }
 }
 
+/// One horizontal track of a [`GanttChart`] — typically a disk.
+#[derive(Clone, Debug)]
+pub struct GanttLane {
+    /// Track label drawn left of the lane.
+    pub label: String,
+    /// `(start, duration)` intervals in data coordinates (e.g. virtual µs).
+    pub spans: Vec<(f64, f64)>,
+}
+
+impl GanttLane {
+    /// Creates a lane.
+    pub fn new(label: impl Into<String>, spans: Vec<(f64, f64)>) -> Self {
+        GanttLane {
+            label: label.into(),
+            spans,
+        }
+    }
+}
+
+/// A per-track timeline chart: one row per lane, one rectangle per span.
+///
+/// Used to render per-disk service timelines from an engine trace — each
+/// disk is a lane and each batch it served is a filled interval, so load
+/// imbalance between disks is visible as ragged right edges.
+#[derive(Clone, Debug)]
+pub struct GanttChart {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// The lanes to draw, top to bottom.
+    pub lanes: Vec<GanttLane>,
+}
+
+impl GanttChart {
+    /// Creates an empty chart.
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>) -> Self {
+        GanttChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            lanes: Vec::new(),
+        }
+    }
+
+    /// Adds a lane.
+    pub fn push(&mut self, lane: GanttLane) {
+        self.lanes.push(lane);
+    }
+
+    /// Time bounds across all spans (`None` when there are no spans).
+    fn bounds(&self) -> Option<(f64, f64)> {
+        let mut b: Option<(f64, f64)> = None;
+        for lane in &self.lanes {
+            for &(start, dur) in &lane.spans {
+                let end = start + dur;
+                b = Some(match b {
+                    None => (start, end),
+                    Some((lo, hi)) => (lo.min(start), hi.max(end)),
+                });
+            }
+        }
+        b
+    }
+
+    /// Renders the chart as an SVG document.
+    ///
+    /// # Panics
+    /// Panics if no lane has any span or a span is non-finite.
+    pub fn to_svg(&self) -> String {
+        let (t0, t1) = self.bounds().expect("chart has no data");
+        assert!(t0.is_finite() && t1.is_finite(), "non-finite data");
+        let t_span = (t1 - t0).max(1e-9);
+
+        // Lanes scale the canvas vertically; labels live in the left margin.
+        let lane_h = 18.0;
+        let lane_gap = 4.0;
+        let margin_l = 96.0;
+        let margin_r = 24.0;
+        let n = self.lanes.len() as f64;
+        let plot_w = WIDTH - margin_l - margin_r;
+        let plot_h = n * (lane_h + lane_gap) + lane_gap;
+        let height = MARGIN_T + plot_h + MARGIN_B;
+        let px = |t: f64| margin_l + (t - t0) / t_span * plot_w;
+
+        let mut svg = String::with_capacity(8192);
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{height}" viewBox="0 0 {WIDTH} {height}" font-family="sans-serif">"#
+        );
+        let _ = write!(
+            svg,
+            r#"<rect width="{WIDTH}" height="{height}" fill="white"/>"#
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="22" text-anchor="middle" font-size="14">{}</text>"#,
+            margin_l + plot_w / 2.0,
+            escape(&self.title)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}" text-anchor="middle" font-size="12">{}</text>"#,
+            margin_l + plot_w / 2.0,
+            height - 12.0,
+            escape(&self.x_label)
+        );
+        let _ = write!(
+            svg,
+            r##"<rect x="{margin_l}" y="{MARGIN_T}" width="{plot_w}" height="{plot_h}" fill="none" stroke="#333"/>"##
+        );
+        // Vertical time grid with tick labels.
+        for i in 0..=5 {
+            let ft = t0 + t_span * i as f64 / 5.0;
+            let gx = px(ft);
+            let _ = write!(
+                svg,
+                r##"<line x1="{gx}" y1="{MARGIN_T}" x2="{gx}" y2="{}" stroke="#ddd"/>"##,
+                MARGIN_T + plot_h
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{gx}" y="{}" text-anchor="middle" font-size="10">{}</text>"#,
+                MARGIN_T + plot_h + 16.0,
+                trim_num(ft)
+            );
+        }
+        // Lanes.
+        for (i, lane) in self.lanes.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let top = MARGIN_T + lane_gap + i as f64 * (lane_h + lane_gap);
+            let _ = write!(
+                svg,
+                r#"<text x="{}" y="{}" text-anchor="end" font-size="10">{}</text>"#,
+                margin_l - 6.0,
+                top + lane_h / 2.0 + 3.0,
+                escape(&lane.label)
+            );
+            for &(start, dur) in &lane.spans {
+                assert!(start.is_finite() && dur.is_finite(), "non-finite data");
+                // Keep hairline spans visible at this resolution.
+                let w = (dur / t_span * plot_w).max(0.6);
+                let _ = write!(
+                    svg,
+                    r##"<rect x="{:.1}" y="{top}" width="{w:.1}" height="{lane_h}" fill="{color}" fill-opacity="0.85" stroke="#333" stroke-width="0.4"/>"##,
+                    px(start)
+                );
+            }
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+
+    /// Writes the SVG to a file, creating parent directories.
+    pub fn write_svg<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        if let Some(parent) = path.as_ref().parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_svg())
+    }
+}
+
 fn escape(s: &str) -> String {
     s.replace('&', "&amp;")
         .replace('<', "&lt;")
@@ -308,6 +469,26 @@ mod tests {
             .expect("read")
             .contains("<svg"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gantt_renders_one_rect_per_span() {
+        let mut g = GanttChart::new("Disk timeline", "virtual us");
+        g.push(GanttLane::new("w0/d0", vec![(0.0, 10.0), (15.0, 5.0)]));
+        g.push(GanttLane::new("w0/d1", vec![(2.0, 20.0)]));
+        let svg = g.to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        // 1 background + 1 frame + 3 span rects.
+        assert_eq!(svg.matches("<rect").count(), 5);
+        assert!(svg.contains("w0/d1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_gantt_panics() {
+        let g = GanttChart::new("t", "x");
+        let _ = g.to_svg();
     }
 
     #[test]

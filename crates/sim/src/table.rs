@@ -39,6 +39,11 @@ impl ResultTable {
         self.rows.len()
     }
 
+    /// The data rows, in insertion order.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Renders an aligned plain-text table (the form printed to stdout).
     pub fn to_text(&self) -> String {
         let ncol = self.header.len();

@@ -10,7 +10,12 @@
 //! pargrid decluster my.pgf --method minimax --disks 16 --out assign.csv
 //! pargrid evaluate my.pgf --method hcam --disks 16 --ratio 0.05
 //! pargrid evaluate my.pgf --method minimax --disks 16 --clients 8   # + engine throughput
+//! pargrid evaluate my.pgf --method minimax --disks 8 --trace out.json --metrics out.prom
 //! ```
+//!
+//! `--trace` writes a Chrome `trace_event` JSON of one traced engine run —
+//! open it in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//! `--metrics` writes the run's histograms in Prometheus text format.
 
 use pargrid::prelude::*;
 use std::process::ExitCode;
@@ -24,7 +29,7 @@ fn usage() -> ExitCode {
          pargrid query FILE.pgf --range LO..HI,LO..HI[,...] [--count-only]\n  \
          pargrid pmatch FILE.pgf --keys V|*,V|*[,...]\n  \
          pargrid decluster FILE.pgf --method M --disks N [--seed N] [--out FILE.csv]\n  \
-         pargrid evaluate FILE.pgf --method M --disks N [--ratio R] [--queries N] [--seed N] [--clients K] [--replicate] [--fail K]\n\n  \
+         pargrid evaluate FILE.pgf --method M --disks N [--ratio R] [--queries N] [--seed N] [--clients K] [--replicate] [--fail K] [--trace FILE.json] [--metrics FILE.prom]\n\n  \
          methods: dm fx gdm hcam zcam gcam scan ssp mst kl minimax minimax-euclid"
     );
     ExitCode::FAILURE
@@ -381,6 +386,10 @@ fn cmd_evaluate(args: &[String]) -> CliResult {
     println!("mean response   {:.3} buckets", stats.mean_response);
     println!("optimal         {:.3}", stats.mean_optimal);
     println!("mean buckets    {:.2} per query", stats.mean_buckets);
+    println!(
+        "tail response   p95 {} / p99 {} buckets",
+        stats.p95_response, stats.p99_response
+    );
     println!("balance degree  {:.3}", stats.balance_degree);
 
     let gf = std::sync::Arc::new(gf);
@@ -476,6 +485,69 @@ fn cmd_evaluate(args: &[String]) -> CliResult {
             tp.retries, tp.failed_over_blocks
         );
         println!("incomplete      {incomplete} of {} queries", tp.queries);
+    }
+
+    let trace_out = flag_value(args, "--trace")?;
+    let metrics_out = flag_value(args, "--metrics")?;
+    if trace_out.is_some() || metrics_out.is_some() {
+        // One traced engine pass over the workload; every span is stamped
+        // in the recorder's virtual clock, so exports are deterministic.
+        let recorder = std::sync::Arc::new(Recorder::new(disks));
+        let engine = ParallelGridFile::build(
+            std::sync::Arc::clone(&gf),
+            &assignment,
+            EngineConfig::default().with_recorder(std::sync::Arc::clone(&recorder)),
+        );
+        let _ = engine.run_workload_concurrent(&workload, clients.max(4));
+        let engine_stats = engine.stats();
+        drop(engine); // joins the workers: the snapshot below is complete
+        if let Some(path) = trace_out {
+            let snap = recorder.snapshot();
+            std::fs::write(path, pargrid::obs::to_chrome_trace(&snap))
+                .map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                "trace           {path} ({} events; open in Perfetto or chrome://tracing)",
+                snap.len()
+            );
+        }
+        if let Some(path) = metrics_out {
+            let mut pw = pargrid::obs::PromWriter::new();
+            pw.counter(
+                "pargrid_queries_total",
+                "Queries served by the engine.",
+                engine_stats.queries,
+            );
+            pw.gauge(
+                "pargrid_workers_alive",
+                "Workers alive at end of run.",
+                engine_stats.live_workers() as f64,
+            );
+            pw.histogram(
+                "pargrid_query_us",
+                "End-to-end query latency (virtual microseconds).",
+                &recorder.query_us.snapshot(),
+            );
+            pw.histogram(
+                "pargrid_comm_us",
+                "Per-query communication time (virtual microseconds).",
+                &recorder.comm_us.snapshot(),
+            );
+            pw.histogram(
+                "pargrid_batch_wall_us",
+                "Worker batch wall service time (virtual microseconds).",
+                &recorder.batch_wall_us.snapshot(),
+            );
+            pw.histogram(
+                "pargrid_response_blocks",
+                "Per-query response time (buckets on the busiest disk).",
+                &recorder.response_blocks.snapshot(),
+            );
+            let doc = pw.finish();
+            pargrid::obs::validate_prometheus(&doc)
+                .map_err(|e| format!("internal: invalid metrics export: {e}"))?;
+            std::fs::write(path, doc).map_err(|e| format!("{path}: {e}"))?;
+            println!("metrics         {path}");
+        }
     }
     Ok(())
 }

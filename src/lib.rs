@@ -13,6 +13,7 @@
 //! | [`decluster`] | `pargrid-core` | DM, FX, HCAM, conflict resolution, SSP, **minimax**, analytic models |
 //! | [`sim`] | `pargrid-sim` | workloads, response-time metrics, sweep runner |
 //! | [`parallel`] | `pargrid-parallel` | shared-nothing SPMD engine (SP-2 substitute) |
+//! | [`obs`] | `pargrid-obs` | tracing, latency histograms, Chrome-trace/Prometheus exporters |
 //!
 //! ## Quickstart
 //!
@@ -51,6 +52,7 @@ pub use pargrid_core as decluster;
 pub use pargrid_datagen as datagen;
 pub use pargrid_geom as geom;
 pub use pargrid_gridfile as gridfile;
+pub use pargrid_obs as obs;
 pub use pargrid_parallel as parallel;
 pub use pargrid_sim as sim;
 
@@ -64,6 +66,7 @@ pub mod prelude {
     pub use pargrid_datagen::Dataset;
     pub use pargrid_geom::{Point, Rect};
     pub use pargrid_gridfile::{GridConfig, GridFile, Record};
+    pub use pargrid_obs::{Histogram, Recorder, SpanKind, TailSummary, TraceSnapshot};
     pub use pargrid_parallel::{
         DiskParams, EngineConfig, EngineStats, FaultKind, FaultPlan, NetParams, ParallelGridFile,
         QueryOutcome, QueryPriority, QuerySession, RunStats, WorkerFault, WorkerStats,

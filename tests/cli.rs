@@ -135,6 +135,65 @@ fn gen_stats_query_decluster_evaluate_pipeline() {
 }
 
 #[test]
+fn evaluate_exports_trace_and_metrics() {
+    let dir = temp_dir("obs");
+    let pgf = dir.join("u.pgf");
+    assert!(bin()
+        .args(["gen", "hot2d", "--out"])
+        .arg(&pgf)
+        .output()
+        .expect("gen")
+        .status
+        .success());
+
+    let trace = dir.join("out.json");
+    let prom = dir.join("out.prom");
+    let out = bin()
+        .arg("evaluate")
+        .arg(&pgf)
+        .args([
+            "--method",
+            "minimax",
+            "--disks",
+            "8",
+            "--queries",
+            "30",
+            "--trace",
+        ])
+        .arg(&trace)
+        .arg("--metrics")
+        .arg(&prom)
+        .output()
+        .expect("evaluate --trace --metrics");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("trace     "), "{text}");
+    assert!(text.contains("metrics   "), "{text}");
+    assert!(text.contains("tail response"), "{text}");
+
+    // The trace file is real Chrome trace_event JSON.
+    let doc = std::fs::read_to_string(&trace).expect("trace file");
+    let parsed = pargrid::obs::json::parse(&doc).expect("trace parses as JSON");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    // The metrics file passes the Prometheus line-format check.
+    let metrics = std::fs::read_to_string(&prom).expect("metrics file");
+    pargrid::obs::validate_prometheus(&metrics).expect("valid exposition format");
+    assert!(metrics.contains("pargrid_queries_total 30"), "{metrics}");
+    assert!(metrics.contains("pargrid_query_us_bucket"), "{metrics}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn csv_roundtrip_build() {
     let dir = temp_dir("csv");
     let csv = dir.join("points.csv");
