@@ -29,6 +29,7 @@ const EXPERIMENTS: &[&str] = &[
     "throughput",
     "tail",
     "degradation",
+    "resilience",
     "ablation-curves",
     "ablation-minimax",
     "ablation-cost",
@@ -108,6 +109,7 @@ fn main() -> ExitCode {
             "throughput" => exp::throughput::run(&params),
             "tail" => exp::tail::run(&params),
             "degradation" => exp::degradation::run(&params),
+            "resilience" => exp::resilience::run(&params),
             "ablation-curves" => exp::ablations::run_curves(&params),
             "ablation-minimax" => exp::ablations::run_minimax(&params),
             "ablation-cost" => exp::ablations::run_cost(&params),

@@ -9,6 +9,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod growth;
+pub mod resilience;
 pub mod table1;
 pub mod tables23;
 pub mod tables45;

@@ -94,9 +94,42 @@ impl ReplicatedAssignment {
     /// Panics if no bucket with that id exists in the instance.
     #[inline]
     pub fn secondary_of_id(&self, id: u32) -> u32 {
-        let d = self.secondary_by_id[id as usize];
-        assert_ne!(d, u32::MAX, "bucket id {id} not in assignment");
-        d
+        self.try_secondary_of_id(id)
+            .unwrap_or_else(|| panic!("bucket id {id} not in assignment"))
+    }
+
+    /// Secondary disk of the bucket with grid-file id `id`, or `None` when
+    /// no such bucket exists — the non-panicking replica lookup used by
+    /// callers probing untrusted ids (fault planners, repair paths).
+    #[inline]
+    pub fn try_secondary_of_id(&self, id: u32) -> Option<u32> {
+        match self.secondary_by_id.get(id as usize) {
+            Some(&d) if d != u32::MAX => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Both copies of the bucket with grid-file id `id`: `(primary,
+    /// secondary)` disks, or `None` when no such bucket exists.
+    #[inline]
+    pub fn copies_of_id(&self, id: u32) -> Option<(u32, u32)> {
+        let s = self.try_secondary_of_id(id)?;
+        Some((self.primary.disk_of_id(id), s))
+    }
+
+    /// The copy of bucket `id` that is *not* on `disk`: the secondary when
+    /// `disk` is the primary, the primary when `disk` is the secondary,
+    /// `None` when the bucket is unknown or `disk` holds neither copy.
+    #[inline]
+    pub fn other_copy_of_id(&self, id: u32, disk: u32) -> Option<u32> {
+        let (p, s) = self.copies_of_id(id)?;
+        if disk == p {
+            Some(s)
+        } else if disk == s {
+            Some(p)
+        } else {
+            None
+        }
     }
 
     /// Combined (primary + secondary) bucket count per disk.
@@ -152,6 +185,28 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn copy_lookup_api_is_consistent_and_total() {
+        let input = instance(6, 6);
+        let ra = DeclusterMethod::Minimax(EdgeWeight::Proximity).assign_replicated(&input, 4, 7);
+        for b in &input.buckets {
+            let (p, s) = ra.copies_of_id(b.id).expect("known bucket");
+            assert_eq!(p, ra.primary().disk_of_id(b.id));
+            assert_eq!(s, ra.secondary_of_id(b.id));
+            assert_ne!(p, s);
+            assert_eq!(ra.other_copy_of_id(b.id, p), Some(s));
+            assert_eq!(ra.other_copy_of_id(b.id, s), Some(p));
+            // A disk holding neither copy has no "other" copy.
+            let neither = (0..4).find(|&d| d != p && d != s).expect("4 disks");
+            assert_eq!(ra.other_copy_of_id(b.id, neither), None);
+        }
+        // Unknown ids are None, not a panic.
+        let unknown = input.max_id_bound() as u32 + 10;
+        assert_eq!(ra.try_secondary_of_id(unknown), None);
+        assert_eq!(ra.copies_of_id(unknown), None);
+        assert_eq!(ra.other_copy_of_id(unknown, 0), None);
     }
 
     #[test]

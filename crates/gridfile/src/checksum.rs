@@ -1,0 +1,67 @@
+//! CRC-32 (IEEE 802.3 polynomial) over byte slices.
+//!
+//! Shared by the persisted grid-file image (footer checksum, see
+//! [`crate::persist`]) and the parallel engine's block stores (per-bucket
+//! verify-on-read). Table-driven; the table is built at compile time so the
+//! per-call cost is one lookup per byte.
+
+/// Reflected CRC-32 polynomial (IEEE 802.3 / zlib / PNG).
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC-32 of `bytes` (IEEE polynomial, standard init/final XOR — matches
+/// zlib's `crc32`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = vec![0xA5u8; 4096];
+        let base = crc32(&data);
+        for pos in [0usize, 1, 100, 4095] {
+            for bit in 0..8 {
+                let mut copy = data.clone();
+                copy[pos] ^= 1 << bit;
+                assert_ne!(crc32(&copy), base, "flip at {pos}:{bit} undetected");
+            }
+        }
+    }
+}

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod cartesian;
+pub mod checksum;
 pub mod directory;
 pub mod file;
 pub mod page;
@@ -53,6 +54,7 @@ pub mod region;
 pub mod scale;
 
 pub use cartesian::CartesianProductFile;
+pub use checksum::crc32;
 pub use directory::Directory;
 pub use file::{GridConfig, GridFile, GridFileStats};
 pub use persist::PersistError;

@@ -12,13 +12,20 @@
 //!
 //! ```text
 //! magic "PGF1"
-//! u16 dim | u16 flags (0) | u32 page_bytes | u32 payload_bytes | u64 n_records
+//! u16 dim | u16 flags | u32 page_bytes | u32 payload_bytes | u64 n_records
 //! domain: dim x (f64 lo, f64 hi)
 //! per dim: u32 n_cuts, n_cuts x f64
 //! u32 n_buckets (live only)
 //! per bucket: dim x u32 region_lo, dim x u32 region_hi,
 //!             u32 n_records, n_records x (u64 id, dim x f64)
+//! [flags & CRC32: u32 crc32 of every preceding byte]
 //! ```
+//!
+//! Writers set the `FLAG_CRC32` bit and append a CRC-32 footer over the
+//! whole payload, so a flipped byte anywhere in the image — not just in the
+//! structurally-validated counts — is rejected as
+//! [`PersistError::Corrupt`]. Images written before the footer existed
+//! (flags 0) still load.
 
 use crate::directory::Directory;
 use crate::file::{Bucket, GridConfig, GridFile};
@@ -30,6 +37,9 @@ use std::fmt;
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"PGF1";
+
+/// Header flag bit: the image ends with a CRC-32 footer over the payload.
+const FLAG_CRC32: u16 = 0x0001;
 
 /// Errors from loading a persisted grid file.
 #[derive(Debug)]
@@ -125,7 +135,7 @@ impl GridFile {
         let mut out = Vec::with_capacity(64 + self.len() as usize * (8 + 8 * d));
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&(d as u16).to_le_bytes());
-        out.extend_from_slice(&0u16.to_le_bytes());
+        out.extend_from_slice(&FLAG_CRC32.to_le_bytes());
         out.extend_from_slice(&(self.config.page_bytes as u32).to_le_bytes());
         out.extend_from_slice(&(self.config.payload_bytes as u32).to_le_bytes());
         out.extend_from_slice(&self.n_records.to_le_bytes());
@@ -156,12 +166,36 @@ impl GridFile {
                 }
             }
         }
+        let crc = crate::checksum::crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
         out
     }
 
     /// Reconstructs a grid file from its binary image, rebuilding the
     /// directory from the bucket regions.
     pub fn from_bytes(bytes: &[u8]) -> Result<GridFile, PersistError> {
+        // The CRC footer is verified (and stripped) before any structural
+        // parsing, so a flipped byte anywhere — header, scales, records or
+        // the footer itself — is caught first.
+        let mut body = bytes;
+        if bytes.len() >= 8 && &bytes[..4] == MAGIC {
+            let flags = u16::from_le_bytes([bytes[6], bytes[7]]);
+            if flags & FLAG_CRC32 != 0 {
+                if bytes.len() < 12 {
+                    return Err(PersistError::Corrupt("truncated before CRC footer".into()));
+                }
+                let split = bytes.len() - 4;
+                let stored = u32::from_le_bytes(bytes[split..].try_into().expect("4 footer bytes"));
+                let computed = crate::checksum::crc32(&bytes[..split]);
+                if stored != computed {
+                    return Err(PersistError::Corrupt(format!(
+                        "payload checksum mismatch: stored {stored:08x}, computed {computed:08x}"
+                    )));
+                }
+                body = &bytes[..split];
+            }
+        }
+        let bytes = body;
         let mut r = Reader { buf: bytes, pos: 0 };
         if r.take(4)? != MAGIC {
             return Err(PersistError::Corrupt("bad magic".into()));
@@ -417,6 +451,46 @@ mod tests {
         bytes[16] ^= 0xFF;
         let err = GridFile::from_bytes(&bytes).expect_err("must fail");
         assert!(matches!(err, PersistError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn flipped_payload_byte_rejected() {
+        // Before the CRC footer, a flipped coordinate byte deep inside a
+        // record's payload round-tripped silently (only counts and regions
+        // were validated). Now any single-byte flip is Corrupt.
+        let gf = sample_file();
+        let bytes = gf.to_bytes();
+        // A record coordinate somewhere in the middle of the bucket area.
+        let pos = bytes.len() / 2;
+        let mut copy = bytes.clone();
+        copy[pos] ^= 0x10;
+        let err = GridFile::from_bytes(&copy).expect_err("flip must be caught");
+        assert!(
+            matches!(&err, PersistError::Corrupt(msg) if msg.contains("checksum")),
+            "{err}"
+        );
+        // And the footer itself is covered too.
+        let mut tail = bytes.clone();
+        let last = tail.len() - 1;
+        tail[last] ^= 0x01;
+        assert!(matches!(
+            GridFile::from_bytes(&tail),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn legacy_image_without_footer_still_loads() {
+        // An image written before the footer existed: flags 0, no trailing
+        // CRC. Simulate one by clearing the flag and stripping the footer.
+        let gf = sample_file();
+        let mut bytes = gf.to_bytes();
+        bytes.truncate(bytes.len() - 4);
+        bytes[6] = 0;
+        bytes[7] = 0;
+        let back = GridFile::from_bytes(&bytes).expect("legacy image loads");
+        assert_eq!(back.len(), gf.len());
+        back.check_invariants();
     }
 
     #[test]

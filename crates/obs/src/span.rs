@@ -38,11 +38,17 @@ pub enum SpanKind {
     Failover = 6,
     /// Query reply completed; `dur` is the query latency (span).
     Reply = 7,
+    /// A straggling primary triggered a speculative replica dispatch
+    /// (instant, coordinator): `detail` carries the primary's service time.
+    Hedge = 8,
+    /// A corrupt block was repaired from its replica (instant, coordinator):
+    /// `detail` carries the number of blocks scrubbed.
+    Scrub = 9,
 }
 
 impl SpanKind {
     /// All kinds, for iteration in exporters.
-    pub const ALL: [SpanKind; 8] = [
+    pub const ALL: [SpanKind; 10] = [
         SpanKind::Admit,
         SpanKind::Plan,
         SpanKind::Dispatch,
@@ -51,6 +57,8 @@ impl SpanKind {
         SpanKind::Retry,
         SpanKind::Failover,
         SpanKind::Reply,
+        SpanKind::Hedge,
+        SpanKind::Scrub,
     ];
 
     /// Stable lowercase name used by exporters.
@@ -64,6 +72,8 @@ impl SpanKind {
             SpanKind::Retry => "retry",
             SpanKind::Failover => "failover",
             SpanKind::Reply => "reply",
+            SpanKind::Hedge => "hedge",
+            SpanKind::Scrub => "scrub",
         }
     }
 
@@ -76,6 +86,8 @@ impl SpanKind {
             4 => SpanKind::CacheProbe,
             5 => SpanKind::Retry,
             6 => SpanKind::Failover,
+            8 => SpanKind::Hedge,
+            9 => SpanKind::Scrub,
             _ => SpanKind::Reply,
         }
     }

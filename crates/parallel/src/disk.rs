@@ -50,6 +50,9 @@ pub struct DiskModel {
     busy_us: u64,
     blocks_read: u64,
     cache_hits: u64,
+    /// Service-time multiplier (1 = healthy). Raised by the
+    /// [`crate::FaultKind::SlowDisk`] straggler fault.
+    slowdown: u64,
 }
 
 impl DiskModel {
@@ -62,7 +65,14 @@ impl DiskModel {
             busy_us: 0,
             blocks_read: 0,
             cache_hits: 0,
+            slowdown: 1,
         }
+    }
+
+    /// Multiplies every subsequent service time by `factor` (clamped to at
+    /// least 1) — the straggler-disk fault hook.
+    pub fn set_slowdown(&mut self, factor: u64) {
+        self.slowdown = factor.max(1);
     }
 
     /// Services a batch of block reads (sorted internally so sequential
@@ -83,7 +93,7 @@ impl DiskModel {
     /// charges whatever the arm movement actually costs.
     pub fn read_block(&mut self, block: u32) -> BlockCost {
         self.blocks_read += 1;
-        let (us, hit) = if self.cache.touch(block) {
+        let (base_us, hit) = if self.cache.touch(block) {
             self.cache_hits += 1;
             (self.params.hit_us, true)
         } else if self.last_block == Some(block.wrapping_sub(1)) {
@@ -91,6 +101,7 @@ impl DiskModel {
         } else {
             (self.params.miss_us, false)
         };
+        let us = base_us * self.slowdown;
         self.last_block = Some(block);
         self.busy_us += us;
         BlockCost { us, hit }
@@ -214,6 +225,19 @@ mod tests {
         assert_eq!(hit, BlockCost { us: 10, hit: true });
         assert_eq!(d.cache_len(), 2);
         assert_eq!(d.cache_capacity(), 4);
+    }
+
+    #[test]
+    fn slowdown_multiplies_every_service_time() {
+        let mut d = DiskModel::new(params());
+        d.set_slowdown(10);
+        assert_eq!(d.read_block(5).us, 10_000, "miss is 10x");
+        assert_eq!(d.read_block(6).us, 1_000, "sequential is 10x");
+        assert_eq!(d.read_block(5).us, 100, "cache hit is 10x");
+        assert_eq!(d.busy_us(), 11_100);
+        // Clamped: zero means healthy, not free.
+        d.set_slowdown(0);
+        assert_eq!(d.read_block(6).us, 10, "hit back at 1x");
     }
 
     #[test]

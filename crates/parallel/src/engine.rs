@@ -31,6 +31,17 @@
 //! time. Without replicas a failure marks the affected queries
 //! [`QueryOutcome::incomplete`] instead of panicking.
 //!
+//! Beyond fail-stop, the engine is hardened against a **hostile
+//! environment** (see [`crate::fault`]): every dispatch carries a sequence
+//! number so duplicated, delayed, or reordered replies are matched exactly
+//! (never positionally) and redeliveries are deduped at the worker; lost
+//! messages are retransmitted under bounded exponential backoff; block
+//! corruption is caught by store checksums, answered from the replica, and
+//! scrubbed back to health; straggler workers can be hedged against their
+//! replicas ([`EngineConfig::hedge_threshold`]); and a per-query real-time
+//! deadline ([`EngineConfig::deadline_us`]) bounds how long any of this is
+//! allowed to take before the query is answered explicitly incomplete.
+//!
 //! Virtual elapsed time of a query = slowest worker's (disk + CPU) time plus
 //! communication time; communication = one broadcast latency plus each
 //! reply's (latency + bytes / bandwidth), serialized at the coordinator's
@@ -56,11 +67,13 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// Consecutive empty reply timeouts after which every still-awaited worker
-/// is declared dead even if it never published a dead flag (a thread that
-/// panicked, not an injected fail-stop). With the default 200 ms timeout
-/// this is ten seconds of total silence.
-const MAX_TIMEOUT_STRIKES: u32 = 50;
+/// Default for [`EngineConfig::max_timeout_strikes`]: with the default
+/// 200 ms poll timeout, ten seconds of total silence.
+const DEFAULT_MAX_TIMEOUT_STRIKES: u32 = 50;
+
+/// Service-time samples required before hedging decisions trust the p95.
+#[cfg(feature = "obs")]
+const HEDGE_MIN_SAMPLES: u64 = 16;
 
 /// Interconnect cost model (SP-2-class switch).
 #[derive(Clone, Copy, Debug)]
@@ -99,9 +112,32 @@ pub struct EngineConfig {
     pub faults: FaultPlan,
     /// Real-time reply timeout per collection poll, milliseconds. Each
     /// expiry triggers a sweep for workers that died mid-query; it does not
-    /// by itself declare anyone dead (see [`MAX_TIMEOUT_STRIKES`]), so slow
-    /// machines are safe with small values.
+    /// by itself declare anyone dead (see
+    /// [`EngineConfig::max_timeout_strikes`]), so slow machines are safe
+    /// with small values.
     pub fail_timeout_ms: u64,
+    /// Consecutive empty reply timeouts after which every still-awaited
+    /// worker is declared dead even if it never published a dead flag (a
+    /// thread that panicked, not an injected fail-stop). Default 50.
+    pub max_timeout_strikes: u32,
+    /// Bound on retransmits per outstanding request — the lost-message
+    /// defense. A request whose reply is still missing after a backed-off
+    /// number of timeout polls (1, then 2, then 4, ...) is redelivered with
+    /// the same sequence number (the worker dedups), up to this many times.
+    pub max_retransmits: u32,
+    /// Per-query real-time deadline budget, microseconds. When it expires,
+    /// still-missing replies are abandoned: hedged requests fall back to
+    /// their primary's held answer, anything else marks the query
+    /// [`QueryOutcome::incomplete`]. `None` (default) waits indefinitely.
+    pub deadline_us: Option<u64>,
+    /// Hedged-read trigger — the straggler defense. When a reply's virtual
+    /// service time exceeds `threshold x p95` of the engine's recent
+    /// service times and the request's buckets share one live replica
+    /// worker, the replica is speculatively dispatched and the query is
+    /// charged the faster of the two answers. `None` (default) disables
+    /// hedging; requires the `obs` feature (the p95 baseline comes from its
+    /// histograms) and a replicated build.
+    pub hedge_threshold: Option<f64>,
     /// Trace recorder capturing per-query spans and latency histograms
     /// (see [`pargrid_obs::Recorder`]). `None` keeps each hook at a single
     /// `Option` check; building the crate without the `obs` feature removes
@@ -119,6 +155,10 @@ impl Default for EngineConfig {
             disks_per_worker: 0,
             faults: FaultPlan::default(),
             fail_timeout_ms: 200,
+            max_timeout_strikes: DEFAULT_MAX_TIMEOUT_STRIKES,
+            max_retransmits: 3,
+            deadline_us: None,
+            hedge_threshold: None,
             #[cfg(feature = "obs")]
             recorder: None,
         }
@@ -150,6 +190,31 @@ impl EngineConfig {
     /// Installs an injected fault plan.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Sets the per-query real-time deadline budget, microseconds.
+    pub fn with_deadline_us(mut self, deadline_us: u64) -> Self {
+        self.deadline_us = Some(deadline_us);
+        self
+    }
+
+    /// Enables hedged reads at `threshold x p95` (see
+    /// [`EngineConfig::hedge_threshold`]).
+    pub fn with_hedging(mut self, threshold: f64) -> Self {
+        self.hedge_threshold = Some(threshold);
+        self
+    }
+
+    /// Sets the per-request retransmit bound.
+    pub fn with_max_retransmits(mut self, max: u32) -> Self {
+        self.max_retransmits = max;
+        self
+    }
+
+    /// Sets the silent-worker force-declare strike limit (clamped to >= 1).
+    pub fn with_max_timeout_strikes(mut self, strikes: u32) -> Self {
+        self.max_timeout_strikes = strikes.max(1);
         self
     }
 
@@ -186,6 +251,8 @@ pub struct QueryOutcome {
     /// Requests retried against another copy after a worker failure or
     /// error reply (0 on a healthy run).
     pub retries: u64,
+    /// Hedge requests dispatched against slow primaries for this query.
+    pub hedges: u64,
     /// True when some buckets could not be served by any live copy; the
     /// records are then a subset of the true answer.
     pub incomplete: bool,
@@ -269,6 +336,52 @@ struct PlannedRead {
     buckets: Vec<u32>,
 }
 
+/// A primary's answer held back while its hedge is in flight: merged
+/// verbatim if the hedge fails or stalls, superseded by the (faster) hedge
+/// reply otherwise.
+struct HedgeFallback {
+    records: Vec<Record>,
+    service_us: u64,
+}
+
+/// One outstanding dispatch of a pending query.
+struct Outstanding {
+    /// Worker the request went to.
+    worker: usize,
+    /// Dispatch sequence number — what reply matching keys on. A retransmit
+    /// reuses it (the worker dedups); failovers and hedges get fresh ones.
+    seq: u64,
+    /// Bucket ids served by this request (failover bookkeeping).
+    buckets: Vec<u32>,
+    /// Block ids of the request (needed to retransmit it verbatim).
+    blocks: Vec<u32>,
+    /// Timeout polls seen since the last (re)delivery.
+    strikes: u32,
+    /// Strikes before the next retransmit; doubles per retransmit.
+    backoff: u32,
+    /// Retransmits already spent (bounded by
+    /// [`EngineConfig::max_retransmits`]).
+    retransmits: u32,
+    /// Present when this dispatch is a hedge: the primary's held-back
+    /// answer to fall back on.
+    hedge_fallback: Option<HedgeFallback>,
+}
+
+impl Outstanding {
+    fn new(worker: usize, seq: u64, buckets: Vec<u32>, blocks: Vec<u32>) -> Self {
+        Outstanding {
+            worker,
+            seq,
+            buckets,
+            blocks,
+            strikes: 0,
+            backoff: 1,
+            retransmits: 0,
+            hedge_fallback: None,
+        }
+    }
+}
+
 /// Coordinator-side state of one in-flight query.
 struct PendingQuery {
     /// Position within the admission round (for ordered emission).
@@ -277,10 +390,10 @@ struct PendingQuery {
     rect: Rect,
     /// Touched buckets, sorted.
     buckets: Vec<u32>,
-    /// Outstanding requests: (worker, bucket ids served by that request),
-    /// in dispatch order. A worker's replies arrive in its dispatch order,
-    /// so the first matching entry is the reply's request.
-    awaiting: Vec<(usize, Vec<u32>)>,
+    /// When the query was admitted — the deadline budget's clock.
+    started: std::time::Instant,
+    /// Outstanding requests, matched to replies by dispatch seq.
+    awaiting: Vec<Outstanding>,
     /// Buckets already failed over once (one-retry policy).
     retried: HashSet<u32>,
     response_blocks: u64,
@@ -290,6 +403,7 @@ struct PendingQuery {
     max_worker_us: u64,
     records: Vec<Record>,
     retries: u64,
+    hedges: u64,
     incomplete: bool,
 }
 
@@ -299,6 +413,7 @@ impl PendingQuery {
             round_pos,
             rect,
             buckets,
+            started: std::time::Instant::now(),
             awaiting: Vec::new(),
             retried: HashSet::new(),
             response_blocks: 0,
@@ -308,8 +423,16 @@ impl PendingQuery {
             max_worker_us: 0,
             records: Vec::new(),
             retries: 0,
+            hedges: 0,
             incomplete: false,
         }
+    }
+
+    /// Merges a hedge's held-back primary answer (the hedge lost, stalled
+    /// past the deadline, or died).
+    fn absorb_fallback(&mut self, fb: HedgeFallback) {
+        self.max_worker_us = self.max_worker_us.max(fb.service_us);
+        self.records.extend(fb.records);
     }
 
     fn into_outcome(mut self) -> QueryOutcome {
@@ -323,6 +446,7 @@ impl PendingQuery {
             elapsed_us: self.max_worker_us + self.comm_us,
             comm_us: self.comm_us,
             retries: self.retries,
+            hedges: self.hedges,
             incomplete: self.incomplete,
         }
     }
@@ -344,9 +468,21 @@ pub struct ParallelGridFile {
     to_workers: Vec<Sender<ToWorker>>,
     handles: Vec<JoinHandle<()>>,
     next_query_id: AtomicU64,
+    /// Engine-global dispatch sequence numbers (see
+    /// [`crate::message::ReadRequest::seq`]).
+    next_seq: AtomicU64,
     shared: Arc<SharedStats>,
     fail_timeout_ms: u64,
+    max_timeout_strikes: u32,
+    max_retransmits: u32,
+    deadline_us: Option<u64>,
     replicated: bool,
+    #[cfg(feature = "obs")]
+    hedge_threshold: Option<f64>,
+    /// Per-request virtual service times (disk + CPU) across all queries —
+    /// the recent-latency baseline hedging compares against.
+    #[cfg(feature = "obs")]
+    service_hist: pargrid_obs::AtomicHistogram,
     #[cfg(feature = "obs")]
     recorder: Option<Arc<Recorder>>,
 }
@@ -491,9 +627,17 @@ impl ParallelGridFile {
             to_workers,
             handles,
             next_query_id: AtomicU64::new(0),
+            next_seq: AtomicU64::new(0),
             shared,
             fail_timeout_ms: config.fail_timeout_ms,
+            max_timeout_strikes: config.max_timeout_strikes.max(1),
+            max_retransmits: config.max_retransmits,
+            deadline_us: config.deadline_us,
             replicated: replica.is_some(),
+            #[cfg(feature = "obs")]
+            hedge_threshold: config.hedge_threshold,
+            #[cfg(feature = "obs")]
+            service_hist: pargrid_obs::AtomicHistogram::new(),
             #[cfg(feature = "obs")]
             recorder: config.recorder,
         }
@@ -654,15 +798,17 @@ impl ParallelGridFile {
             self.shared.retries.fetch_add(1, Ordering::Relaxed);
             #[cfg(feature = "obs")]
             self.trace_instant(SpanKind::Retry, query_id, w as u32, bkts.len() as u64);
+            let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
             let request = ReadRequest {
                 query_id,
-                blocks,
+                seq,
+                blocks: blocks.clone(),
                 query: p.rect,
                 reply: reply_tx.clone(),
                 priority,
             };
             match self.to_workers[w].send(ToWorker::Process(vec![request])) {
-                Ok(()) => p.awaiting.push((w, bkts)),
+                Ok(()) => p.awaiting.push(Outstanding::new(w, seq, bkts, blocks)),
                 Err(SendError(_)) => {
                     // The replica died too (channel gone). Its buckets are
                     // in `retried` now, so this recursion terminates by
@@ -674,10 +820,118 @@ impl ParallelGridFile {
         }
     }
 
-    /// Folds one worker reply into its pending query. Stale replies — for a
-    /// finished query, or from a worker whose request was already failed
-    /// over — are dropped so a slow-but-not-dead worker can never
-    /// double-merge records.
+    /// The single live worker holding the other copy of *every* given
+    /// bucket, with the concatenated block list — the hedge target. Chained
+    /// declustering's least-loaded fallback means a request's buckets need
+    /// not all share one replica worker; hedging fires only when they do,
+    /// so a hedge is always one message to one machine.
+    #[cfg(feature = "obs")]
+    fn hedge_target(&self, buckets: &[u32], from_worker: usize) -> Option<(usize, Vec<u32>)> {
+        let mut target: Option<(usize, Vec<u32>)> = None;
+        for &b in buckets {
+            let (w, blocks) = self.placement.get(&b)?.other_copy(from_worker)?;
+            if !self.shared.is_alive(*w) {
+                return None;
+            }
+            match target.as_mut() {
+                None => target = Some((*w, blocks.clone())),
+                Some((tw, tb)) => {
+                    if tw != w {
+                        return None;
+                    }
+                    tb.extend_from_slice(blocks);
+                }
+            }
+        }
+        target
+    }
+
+    /// Scrubs checksum-failed blocks on `worker` back to health: fetches
+    /// the affected buckets' bytes from their other copy (both copies chunk
+    /// a bucket's records identically, so their block lists align
+    /// positionally) and overwrites the corrupt blocks in place. Repair I/O
+    /// is background scrub traffic — uncharged on the virtual clock.
+    /// Skipped silently when no live other copy exists; the corruption then
+    /// simply resurfaces on the next read of the block.
+    fn repair_blocks(&self, query_id: u64, worker: usize, corrupt: &[u32], buckets: &[u32]) {
+        let _ = query_id;
+        let corrupt_set: HashSet<u32> = corrupt.iter().copied().collect();
+        // source worker -> (source blocks to fetch, corrupt blocks to fix).
+        let mut per_source: HashMap<usize, (Vec<u32>, Vec<u32>)> = HashMap::new();
+        for &b in buckets {
+            let Some(pl) = self.placement.get(&b) else {
+                continue;
+            };
+            let (dest_blocks, source) = if pl.primary.0 == worker {
+                match &pl.replica {
+                    Some(rep) => (&pl.primary.1, rep),
+                    None => continue,
+                }
+            } else {
+                match &pl.replica {
+                    Some(rep) if rep.0 == worker => (&rep.1, &pl.primary),
+                    _ => continue,
+                }
+            };
+            if !self.shared.is_alive(source.0) {
+                continue;
+            }
+            for (i, &db) in dest_blocks.iter().enumerate() {
+                if corrupt_set.contains(&db) {
+                    if let Some(&sb) = source.1.get(i) {
+                        let entry = per_source.entry(source.0).or_default();
+                        entry.0.push(sb);
+                        entry.1.push(db);
+                    }
+                }
+            }
+        }
+        let mut repaired = 0u64;
+        for (src, (fetch, fix)) in per_source {
+            let (raw_tx, raw_rx) = unbounded();
+            if self.to_workers[src]
+                .send(ToWorker::FetchRaw {
+                    blocks: fetch,
+                    reply: raw_tx,
+                })
+                .is_err()
+            {
+                continue;
+            }
+            let timeout = Duration::from_millis(self.fail_timeout_ms.max(1).saturating_mul(8));
+            let Ok(raw) = raw_rx.recv_timeout(timeout) else {
+                continue;
+            };
+            let writes: Vec<(u32, Vec<u8>)> = raw
+                .blocks
+                .into_iter()
+                .zip(fix)
+                .filter_map(|((_src_block, bytes), dest)| bytes.map(|by| (dest, by)))
+                .collect();
+            if writes.is_empty() {
+                continue;
+            }
+            let n = writes.len() as u64;
+            if self.to_workers[worker]
+                .send(ToWorker::WriteRaw { blocks: writes })
+                .is_ok()
+            {
+                repaired += n;
+            }
+        }
+        if repaired > 0 {
+            self.shared.scrubbed.fetch_add(repaired, Ordering::Relaxed);
+            #[cfg(feature = "obs")]
+            self.trace_instant(SpanKind::Scrub, query_id, worker as u32, repaired);
+        }
+    }
+
+    /// Folds one worker reply into its pending query, matched to its
+    /// outstanding dispatch by sequence number — never positionally — so
+    /// duplicated, delayed, or reordered replies cannot be mis-attributed.
+    /// Stale replies (a finished query, an already-failed-over or
+    /// already-answered seq) find no outstanding entry and are dropped, so
+    /// records are never merged twice.
     fn process_reply(
         &self,
         reply: FromWorker,
@@ -688,32 +942,106 @@ impl ParallelGridFile {
         let Some(p) = pending.get_mut(&reply.query_id) else {
             return;
         };
-        let Some(pos) = p.awaiting.iter().position(|(w, _)| *w == reply.worker_id) else {
+        let Some(pos) = p.awaiting.iter().position(|o| o.seq == reply.seq) else {
             return;
         };
-        let (_, buckets) = p.awaiting.remove(pos);
+        let o = p.awaiting.remove(pos);
         p.total_blocks += reply.blocks_requested;
         p.cache_hits += reply.cache_hits;
-        p.max_worker_us = p.max_worker_us.max(reply.disk_us + reply.cpu_us);
         let reply_bytes = 32 + reply.records.len() * self.record_bytes;
         p.comm_us +=
             self.net.latency_us + (reply_bytes as u64).div_ceil(self.net.bytes_per_us.max(1));
+        // Checksum failures are scrubbed from the replica regardless of how
+        // the query itself gets answered.
+        if !reply.corrupt_blocks.is_empty() {
+            self.repair_blocks(
+                reply.query_id,
+                reply.worker_id,
+                &reply.corrupt_blocks,
+                &o.buckets,
+            );
+        }
+        let service_us = reply.disk_us + reply.cpu_us;
+        if let Some(fb) = o.hedge_fallback {
+            // A hedge resolved: take its answer at the faster of the two
+            // service times, or the primary's held answer if the hedge
+            // itself failed.
+            if reply.error.is_none() {
+                p.max_worker_us = p.max_worker_us.max(service_us.min(fb.service_us));
+                p.records.extend(reply.records);
+            } else {
+                p.absorb_fallback(fb);
+            }
+            return;
+        }
         if reply.error.is_some() {
+            p.max_worker_us = p.max_worker_us.max(service_us);
             self.fail_over(
                 reply.query_id,
                 p,
                 reply.worker_id,
-                &buckets,
+                &o.buckets,
                 reply_tx,
                 priority,
             );
-        } else {
-            p.records.extend(reply.records);
+            return;
         }
+        #[cfg(feature = "obs")]
+        if let Some(threshold) = self.hedge_threshold {
+            self.service_hist.record(service_us);
+            if self.replicated && self.service_hist.count() >= HEDGE_MIN_SAMPLES {
+                let p95 = self.service_hist.snapshot().quantile(0.95);
+                if service_us as f64 > threshold * p95 as f64 {
+                    if let Some((w, blocks)) = self.hedge_target(&o.buckets, reply.worker_id) {
+                        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+                        let request = ReadRequest {
+                            query_id: reply.query_id,
+                            seq,
+                            blocks: blocks.clone(),
+                            query: p.rect,
+                            reply: reply_tx.clone(),
+                            priority,
+                        };
+                        if self.to_workers[w]
+                            .send(ToWorker::Process(vec![request]))
+                            .is_ok()
+                        {
+                            // The hedge costs one more dispatch message.
+                            // The slow primary's answer is held back as the
+                            // fallback; the query is charged the faster of
+                            // the two when the hedge resolves.
+                            p.comm_us += self.net.latency_us;
+                            p.hedges += 1;
+                            self.shared.hedges.fetch_add(1, Ordering::Relaxed);
+                            self.trace_instant(
+                                SpanKind::Hedge,
+                                reply.query_id,
+                                w as u32,
+                                service_us,
+                            );
+                            let mut hedge = Outstanding::new(w, seq, o.buckets, blocks);
+                            hedge.hedge_fallback = Some(HedgeFallback {
+                                records: reply.records,
+                                service_us,
+                            });
+                            p.awaiting.push(hedge);
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        p.max_worker_us = p.max_worker_us.max(service_us);
+        p.records.extend(reply.records);
     }
 
-    /// Collects replies until no pending query awaits a worker, failing
-    /// stranded requests over to replicas when workers die mid-flight.
+    /// Collects replies until no pending query awaits a worker. On each
+    /// empty-timeout poll, in order: queries past their deadline budget
+    /// abandon whatever is still missing; outstanding requests on live
+    /// workers are redelivered under backed-off, bounded retransmission
+    /// (the lost-message defense); and requests stranded on dead — or, at
+    /// the strike limit, merely silent — workers are failed over to their
+    /// replicas.
     fn collect(
         &self,
         reply_rx: &Receiver<FromWorker>,
@@ -732,30 +1060,100 @@ impl ParallelGridFile {
                 Err(RecvTimeoutError::Disconnected) => return,
                 Err(RecvTimeoutError::Timeout) => {
                     strikes += 1;
-                    let force = strikes >= MAX_TIMEOUT_STRIKES;
+                    let force = strikes >= self.max_timeout_strikes;
                     let ids: Vec<u64> = pending.keys().copied().collect();
                     for qid in ids {
                         let Some(p) = pending.get_mut(&qid) else {
                             continue;
                         };
-                        // Pull out entries on dead workers (all awaited
-                        // workers, under `force`) *before* failing any over,
-                        // so retries issued below are not swept in the same
-                        // pass.
+                        if p.awaiting.is_empty() {
+                            continue;
+                        }
+                        // 1. Deadline budget: abandon whatever is missing.
+                        // A hedge never loses the answer — the primary's
+                        // reply is already in hand.
+                        if let Some(d) = self.deadline_us {
+                            if p.started.elapsed().as_micros() as u64 > d {
+                                self.shared.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                                for o in std::mem::take(&mut p.awaiting) {
+                                    match o.hedge_fallback {
+                                        Some(fb) => p.absorb_fallback(fb),
+                                        None => p.incomplete = true,
+                                    }
+                                }
+                                continue;
+                            }
+                        }
+                        // 2. Bounded, backed-off retransmits to live
+                        // workers: the request or its reply may have been
+                        // lost; the worker dedups redeliveries by seq, so
+                        // redelivering serviced work is harmless. Hedges
+                        // are not retransmitted — their fallback answer
+                        // makes the dead sweep below lossless.
+                        for o in p.awaiting.iter_mut() {
+                            if o.hedge_fallback.is_some() || !self.shared.is_alive(o.worker) {
+                                continue;
+                            }
+                            o.strikes += 1;
+                            if o.strikes < o.backoff || o.retransmits >= self.max_retransmits {
+                                continue;
+                            }
+                            o.strikes = 0;
+                            o.backoff = o.backoff.saturating_mul(2).min(16);
+                            o.retransmits += 1;
+                            p.comm_us += self.net.latency_us;
+                            self.shared.retransmits.fetch_add(1, Ordering::Relaxed);
+                            #[cfg(feature = "obs")]
+                            self.trace_instant(
+                                SpanKind::Retry,
+                                qid,
+                                o.worker as u32,
+                                o.retransmits as u64,
+                            );
+                            let request = ReadRequest {
+                                query_id: qid,
+                                seq: o.seq,
+                                blocks: o.blocks.clone(),
+                                query: p.rect,
+                                reply: reply_tx.clone(),
+                                priority,
+                            };
+                            if self.to_workers[o.worker]
+                                .send(ToWorker::Process(vec![request]))
+                                .is_err()
+                            {
+                                // Channel gone: the dead sweep below picks
+                                // this entry up in the same poll.
+                                self.shared.workers[o.worker]
+                                    .dead
+                                    .store(true, Ordering::Relaxed);
+                            }
+                        }
+                        // 3. Pull out entries on dead workers (all awaited
+                        // workers, under `force`) *before* failing any
+                        // over, so retries issued below are not swept in
+                        // the same pass.
                         let mut doomed = Vec::new();
                         let mut i = 0;
                         while i < p.awaiting.len() {
-                            if force || !self.shared.is_alive(p.awaiting[i].0) {
+                            if force || !self.shared.is_alive(p.awaiting[i].worker) {
                                 doomed.push(p.awaiting.remove(i));
                             } else {
                                 i += 1;
                             }
                         }
-                        for (w, _) in &doomed {
-                            self.shared.workers[*w].dead.store(true, Ordering::Relaxed);
+                        for o in &doomed {
+                            self.shared.workers[o.worker]
+                                .dead
+                                .store(true, Ordering::Relaxed);
                         }
-                        for (w, buckets) in doomed {
-                            self.fail_over(qid, p, w, &buckets, reply_tx, priority);
+                        for o in doomed {
+                            match o.hedge_fallback {
+                                Some(fb) => p.absorb_fallback(fb),
+                                None => {
+                                    self.fail_over(qid, p, o.worker, &o.buckets, reply_tx, priority)
+                                }
+                            }
                         }
                     }
                     if force {
@@ -818,6 +1216,9 @@ impl ParallelGridFile {
             .collect();
         let retries0 = self.shared.retries.load(Ordering::Relaxed);
         let failed0 = self.shared.failed_over_blocks.load(Ordering::Relaxed);
+        let retransmits0 = self.shared.retransmits.load(Ordering::Relaxed);
+        let hedges0 = self.shared.hedges.load(Ordering::Relaxed);
+        let scrubbed0 = self.shared.scrubbed.load(Ordering::Relaxed);
         let mut tp = ThroughputStats {
             in_flight,
             worker_busy_us: vec![0; n_workers],
@@ -842,14 +1243,17 @@ impl ParallelGridFile {
                 p.incomplete = incomplete;
                 for (w, read) in plan {
                     p.response_blocks = p.response_blocks.max(read.blocks.len() as u64);
+                    let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
                     per_worker[w].push(ReadRequest {
                         query_id,
-                        blocks: read.blocks,
+                        seq,
+                        blocks: read.blocks.clone(),
                         query: *rect,
                         reply: reply_tx.clone(),
                         priority: QueryPriority::Batch,
                     });
-                    p.awaiting.push((w, read.buckets));
+                    p.awaiting
+                        .push(Outstanding::new(w, seq, read.buckets, read.blocks));
                 }
                 if !p.awaiting.is_empty() {
                     p.comm_us += self.net.latency_us;
@@ -881,15 +1285,15 @@ impl ParallelGridFile {
                             let Some(p) = pending.get_mut(&req.query_id) else {
                                 continue;
                             };
-                            let Some(pos) = p.awaiting.iter().position(|(aw, _)| *aw == w) else {
+                            let Some(pos) = p.awaiting.iter().position(|o| o.seq == req.seq) else {
                                 continue;
                             };
-                            let (_, bkts) = p.awaiting.remove(pos);
+                            let o = p.awaiting.remove(pos);
                             self.fail_over(
                                 req.query_id,
                                 p,
                                 w,
-                                &bkts,
+                                &o.buckets,
                                 &reply_tx,
                                 QueryPriority::Batch,
                             );
@@ -925,6 +1329,9 @@ impl ParallelGridFile {
         }
         tp.retries = self.shared.retries.load(Ordering::Relaxed) - retries0;
         tp.failed_over_blocks = self.shared.failed_over_blocks.load(Ordering::Relaxed) - failed0;
+        tp.retransmits = self.shared.retransmits.load(Ordering::Relaxed) - retransmits0;
+        tp.hedges = self.shared.hedges.load(Ordering::Relaxed) - hedges0;
+        tp.scrubbed = self.shared.scrubbed.load(Ordering::Relaxed) - scrubbed0;
         tp.worker_alive = (0..n_workers).map(|w| self.shared.is_alive(w)).collect();
         tp.makespan_us = tp.worker_busy_us.iter().copied().max().unwrap_or(0) + tp.comm_us;
         (outcomes, tp)
@@ -992,15 +1399,19 @@ impl QuerySession<'_> {
         for (w, read) in plan {
             involved = true;
             p.response_blocks = p.response_blocks.max(read.blocks.len() as u64);
+            let seq = engine.next_seq.fetch_add(1, Ordering::Relaxed);
             let request = ReadRequest {
                 query_id,
-                blocks: read.blocks,
+                seq,
+                blocks: read.blocks.clone(),
                 query: *rect,
                 reply: self.reply_tx.clone(),
                 priority: self.priority,
             };
             match engine.to_workers[w].send(ToWorker::Process(vec![request])) {
-                Ok(()) => p.awaiting.push((w, read.buckets)),
+                Ok(()) => p
+                    .awaiting
+                    .push(Outstanding::new(w, seq, read.buckets, read.blocks)),
                 Err(SendError(_)) => {
                     engine.shared.workers[w].dead.store(true, Ordering::Relaxed);
                     engine.fail_over(
@@ -1577,6 +1988,7 @@ mod tests {
                 engine.to_workers[w]
                     .send(ToWorker::Process(vec![ReadRequest {
                         query_id: u64::MAX, // never a real pending id
+                        seq: u64::MAX,
                         blocks: read.blocks,
                         query: q,
                         reply: reply_tx.clone(),
@@ -1593,5 +2005,249 @@ mod tests {
         expected.sort_unstable_by_key(|r| r.id);
         assert_eq!(out.records, expected);
         assert_eq!(engine.stats().live_workers(), 4);
+    }
+
+    /// Records matching `q`, sorted by id — the fault-free oracle.
+    fn oracle(gf: &GridFile, q: &Rect) -> Vec<Record> {
+        let (_, mut expected) = gf.range_query(q);
+        expected.sort_unstable_by_key(|r| r.id);
+        expected
+    }
+
+    #[test]
+    fn dropped_request_is_retransmitted_and_answers_exactly() {
+        // The first delivery to worker 0 vanishes; the coordinator's
+        // timeout-driven retransmit (same seq) gets through.
+        let cfg = fast_cfg().with_faults(FaultPlan::none().with_drop(0, 0, 1));
+        let (gf, engine, _r) = build_engine_cfg(4, cfg);
+        let q = Rect::new2(0.0, 0.0, 100.0, 100.0);
+        let out = engine.query(&q);
+        assert_eq!(out.records, oracle(&gf, &q));
+        assert!(!out.incomplete);
+        assert_eq!(out.retries, 0, "retransmit is not a failover");
+        let stats = engine.stats();
+        assert!(stats.retransmits >= 1, "stats: {stats:?}");
+        assert_eq!(stats.live_workers(), 4, "drop must not declare deaths");
+    }
+
+    #[test]
+    fn persistently_dropped_request_exhausts_retransmits_then_fails_over() {
+        // Every delivery to worker 0 vanishes. Retransmits are bounded, so
+        // the engine must eventually declare the worker and (unreplicated)
+        // answer incomplete rather than hang. A tight strike limit keeps
+        // the test fast and exercises the max_timeout_strikes knob.
+        let cfg = fast_cfg()
+            .with_max_timeout_strikes(8)
+            .with_faults(FaultPlan::none().with_drop(0, 0, u32::MAX));
+        let (_gf, engine, _r) = build_engine_cfg(4, cfg);
+        let q = Rect::new2(0.0, 0.0, 100.0, 100.0);
+        let out = engine.query(&q);
+        assert!(out.incomplete, "no replica to recover the dropped blocks");
+        let stats = engine.stats();
+        assert!(stats.retransmits >= 1);
+        // Query 1 is not in the drop plan: the engine still serves what the
+        // remaining workers hold.
+        let out2 = engine.query(&q);
+        assert!(!out2.records.is_empty());
+    }
+
+    #[test]
+    fn duplicated_replies_never_duplicate_records() {
+        // Every worker answers query 0 twice; seq matching merges each
+        // logical reply exactly once.
+        let mut faults = FaultPlan::none();
+        for w in 0..4 {
+            faults = faults.with_duplicate(w, 0);
+        }
+        let (gf, engine, _r) = build_engine_cfg(4, fast_cfg().with_faults(faults));
+        let q = Rect::new2(0.0, 0.0, 100.0, 100.0);
+        let out = engine.query(&q);
+        let ids: Vec<u64> = out.records.iter().map(|r| r.id).collect();
+        let unique: HashSet<u64> = ids.iter().copied().collect();
+        assert_eq!(ids.len(), unique.len(), "duplicate records merged");
+        assert_eq!(out.records, oracle(&gf, &q));
+        assert!(!out.incomplete);
+    }
+
+    #[test]
+    fn delayed_reply_is_deduped_against_its_own_retransmits() {
+        // Worker 0 sleeps 120 ms before answering while the coordinator
+        // polls every 25 ms: retransmits fire, the worker dedups the
+        // redeliveries, and the one real reply merges exactly once.
+        let cfg = fast_cfg().with_faults(FaultPlan::none().with_delay(0, 0, 120));
+        let (gf, engine, _r) = build_engine_cfg(4, cfg);
+        let q = Rect::new2(0.0, 0.0, 100.0, 100.0);
+        let out = engine.query(&q);
+        assert_eq!(out.records, oracle(&gf, &q));
+        assert!(!out.incomplete);
+        let stats = engine.stats();
+        assert_eq!(stats.live_workers(), 4, "slow is not dead");
+        let deduped: u64 = stats.workers.iter().map(|w| w.dup_requests_dropped).sum();
+        assert_eq!(
+            stats.retransmits, deduped,
+            "every retransmit of the delayed request must be deduped"
+        );
+    }
+
+    #[test]
+    fn reordered_replies_are_matched_by_seq_not_position() {
+        // Workers reverse the reply order of every batch; a concurrent
+        // window makes batches multi-reply so the reordering is real.
+        let mut faults = FaultPlan::none();
+        for w in 0..4 {
+            faults = faults.with_reorder(w, 0);
+        }
+        let (gf, engine, _r) = build_engine_cfg(4, fast_cfg().with_faults(faults));
+        let workload = QueryWorkload::square(&Rect::new2(0.0, 0.0, 100.0, 100.0), 0.4, 12, 99);
+        let (outcomes, tp) = engine.run_workload_concurrent(&workload, 4);
+        assert_eq!(tp.queries, 12);
+        for (q, out) in workload.queries.iter().zip(&outcomes) {
+            assert_eq!(out.records, oracle(&gf, q), "query {q:?}");
+            assert!(!out.incomplete);
+        }
+    }
+
+    #[test]
+    fn corrupt_block_is_answered_by_replica_and_scrubbed() {
+        // Worker 0 flips a byte in its block 0. The checksum catches it,
+        // the replica answers the query, and the scrubber rewrites the
+        // block from the replica copy so the next read is clean.
+        let cfg = fast_cfg().with_faults(FaultPlan::none().with_corrupt_block(0, 0));
+        let (gf, engine, _r) = build_replicated_engine(4, cfg);
+        let q = Rect::new2(0.0, 0.0, 100.0, 100.0);
+        let out = engine.query(&q);
+        assert_eq!(out.records, oracle(&gf, &q));
+        assert!(!out.incomplete);
+        assert!(out.retries >= 1, "replica must have answered");
+        let stats = engine.stats();
+        assert!(stats.scrubbed >= 1, "stats: {stats:?}");
+        // Give the worker a beat to apply the queued WriteRaw, then verify
+        // the block reads clean: no retries, still exact.
+        std::thread::sleep(Duration::from_millis(50));
+        let out2 = engine.query(&q);
+        assert_eq!(out2.records, oracle(&gf, &q));
+        assert_eq!(out2.retries, 0, "corruption must be repaired in place");
+        assert_eq!(engine.stats().scrubbed, stats.scrubbed);
+    }
+
+    #[test]
+    fn corrupt_block_without_replica_is_incomplete_not_fatal() {
+        let cfg = fast_cfg().with_faults(FaultPlan::none().with_corrupt_block(0, 0));
+        let (gf, engine, _r) = build_engine_cfg(4, cfg);
+        let q = Rect::new2(0.0, 0.0, 100.0, 100.0);
+        let out = engine.query(&q);
+        assert!(out.incomplete, "no replica to answer or repair from");
+        assert_eq!(engine.stats().scrubbed, 0);
+        // Untouched buckets still answer.
+        let expected = oracle(&gf, &q);
+        assert!(!out.records.is_empty());
+        assert!(out.records.len() < expected.len());
+        assert!(out.records.iter().all(|r| expected.contains(r)));
+    }
+
+    #[test]
+    fn poisoned_query_without_replica_is_incomplete_then_recovers() {
+        // Satellite: PoisonQuery on the unreplicated path. The poisoned
+        // request surfaces as an explicit incomplete answer (no replica to
+        // retry against), the worker stays alive, and the next query is
+        // whole again.
+        let cfg = fast_cfg().with_faults(FaultPlan::none().with_poison(0, 0));
+        let (gf, engine, _r) = build_engine_cfg(4, cfg);
+        let q = Rect::new2(0.0, 0.0, 100.0, 100.0);
+        let out = engine.query(&q);
+        assert!(out.incomplete);
+        assert_eq!(out.hedges, 0);
+        let expected = oracle(&gf, &q);
+        assert!(out.records.iter().all(|r| expected.contains(r)));
+        assert!(out.records.len() < expected.len());
+        let stats = engine.stats();
+        assert_eq!(stats.live_workers(), 4, "poison is per-query, not fatal");
+        let out2 = engine.query(&q);
+        assert_eq!(out2.records, expected);
+        assert!(!out2.incomplete);
+    }
+
+    #[test]
+    fn deadline_bounds_a_stalled_query_and_marks_it_incomplete() {
+        // Worker 0 swallows every delivery of query 0 and there is no
+        // replica: without a deadline the query would only resolve at the
+        // (slow) strike limit. The deadline budget cuts it off and answers
+        // explicitly incomplete; the engine survives.
+        let cfg = fast_cfg()
+            .with_deadline_us(150_000)
+            .with_faults(FaultPlan::none().with_drop(0, 0, u32::MAX));
+        let (gf, engine, _r) = build_engine_cfg(4, cfg);
+        let q = Rect::new2(0.0, 0.0, 100.0, 100.0);
+        let started = std::time::Instant::now();
+        let out = engine.query(&q);
+        assert!(out.incomplete);
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "deadline must cut the wait far below the strike limit"
+        );
+        let stats = engine.stats();
+        assert!(stats.deadline_expired >= 1, "stats: {stats:?}");
+        // Query 1 is unfaulted and fast: well inside the deadline.
+        let out2 = engine.query(&q);
+        assert_eq!(out2.records, oracle(&gf, &q));
+        assert!(!out2.incomplete);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn slow_primary_is_hedged_against_its_replica() {
+        // Worker 0's disk runs 60x slow. After a healthy warmup fills the
+        // service-time baseline, a query landing on worker 0 exceeds
+        // 2 x p95 and is hedged to the replica; the answer stays exact and
+        // the query is charged the faster of the two copies.
+        let cfg = fast_cfg()
+            .with_hedging(2.0)
+            .with_faults(FaultPlan::none().with_slow_disk(0, 60));
+        let (gf, engine, recs) = build_replicated_engine(4, cfg);
+
+        let tiny = |r: &Record| {
+            Rect::new2(
+                r.point.coords()[0] - 0.01,
+                r.point.coords()[1] - 0.01,
+                r.point.coords()[0] + 0.01,
+                r.point.coords()[1] + 0.01,
+            )
+        };
+        // Warmup: queries that avoid the slow worker keep the p95 healthy.
+        let mut warmed = 0;
+        for r in &recs {
+            let q = tiny(r);
+            let (_b, plan, _inc) = engine.plan(&q);
+            if !plan.is_empty() && !plan.contains_key(&0) {
+                engine.query(&q);
+                warmed += 1;
+                if warmed >= 24 {
+                    break;
+                }
+            }
+        }
+        assert!(
+            engine.service_hist.count() >= HEDGE_MIN_SAMPLES,
+            "warmup too small: {} samples",
+            engine.service_hist.count()
+        );
+        // A request served by worker 0 alone, whose buckets share one live
+        // replica worker — the hedgeable shape.
+        let target = recs
+            .iter()
+            .map(tiny)
+            .find(|q| {
+                let (_b, plan, _inc) = engine.plan(q);
+                plan.len() == 1
+                    && plan.contains_key(&0)
+                    && engine.hedge_target(&plan[&0].buckets, 0).is_some()
+            })
+            .expect("some record resolves to a hedgeable worker-0 request");
+        let out = engine.query(&target);
+        assert_eq!(out.records, oracle(&gf, &target));
+        assert!(!out.incomplete);
+        assert!(out.hedges >= 1, "outcome: {out:?}");
+        assert_eq!(out.retries, 0, "a hedge is speculation, not failover");
+        assert!(engine.stats().hedges >= 1);
     }
 }

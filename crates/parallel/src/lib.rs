@@ -34,6 +34,16 @@
 //! coordinator plan around dead workers and retry stranded requests, with
 //! deterministic failures injectable through a [`fault::FaultPlan`].
 //!
+//! Beyond fail-stop, the fault model covers a hostile environment — lost,
+//! duplicated, delayed, and reordered messages; silent block corruption;
+//! straggler disks — and the engine answers each: sequence-numbered
+//! dispatch with worker-side dedup and bounded retransmission, per-block
+//! checksums with replica scrub-repair, hedged reads against the replica of
+//! a slow primary ([`EngineConfig::with_hedging`]), and a per-query
+//! real-time deadline ([`EngineConfig::with_deadline_us`]) that converts
+//! unbounded waits into explicit incomplete answers. Randomized-but-
+//! reproducible fault schedules come from [`fault::FaultPlan::chaos`].
+//!
 //! ```
 //! use pargrid_core::{DeclusterInput, DeclusterMethod, EdgeWeight};
 //! use pargrid_datagen::uniform2d;
@@ -73,7 +83,7 @@ pub use cache::LruCache;
 pub use disk::{BlockCost, DiskModel, DiskParams};
 pub use engine::{EngineConfig, NetParams, ParallelGridFile, QueryOutcome, QuerySession, RunStats};
 pub use fault::{FaultKind, FaultPlan, WorkerFault};
-pub use message::QueryPriority;
+pub use message::{QueryPriority, RawBlocks};
 pub use pargrid_sim::ThroughputStats;
 pub use stats::{EngineStats, WorkerStats};
 pub use store::BlockStore;

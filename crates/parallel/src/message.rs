@@ -5,6 +5,13 @@
 //! flight concurrently: each [`crate::engine::QuerySession`] (and each
 //! concurrent-run round) owns its own reply channel and workers simply
 //! answer to wherever the request came from.
+//!
+//! Every dispatch carries an engine-global **sequence number** (`seq`),
+//! echoed in the reply. The coordinator matches replies to outstanding
+//! requests by `seq` — not by arrival order — so duplicated, delayed, or
+//! reordered replies cannot be mis-attributed; and a retransmit of a
+//! possibly-lost request reuses the original `seq`, so the worker can dedup
+//! redeliveries of work it already performed.
 
 use crossbeam::channel::Sender;
 use pargrid_geom::Rect;
@@ -26,10 +33,14 @@ pub enum QueryPriority {
 }
 
 /// One query's block requests for one worker.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct ReadRequest {
     /// Query sequence number (echoed in the reply).
     pub query_id: u64,
+    /// Engine-global dispatch sequence number, echoed in the reply. Unique
+    /// per logical request: a retransmit reuses the seq (the worker dedups
+    /// it), while a failover or hedge of the same query gets a fresh one.
+    pub seq: u64,
     /// Block ids on this worker's disk.
     pub blocks: Vec<u32>,
     /// The range query (closed box) records must satisfy.
@@ -50,15 +61,46 @@ pub enum ToWorker {
     /// drains any further `Process` messages already queued before starting
     /// the pass, so concurrent sessions batch together naturally.
     Process(Vec<ReadRequest>),
+    /// Read raw block bytes (no decoding, no filtering) for the repair
+    /// path: the coordinator fetches a healthy replica's copy of corrupted
+    /// blocks. Blocks that are missing or fail their own checksum come back
+    /// as `None`.
+    FetchRaw {
+        /// Local block ids to read.
+        blocks: Vec<u32>,
+        /// Where to send the [`RawBlocks`] reply.
+        reply: Sender<RawBlocks>,
+    },
+    /// Overwrite local blocks with the given bytes (recomputing stored
+    /// checksums) — the second half of a scrub: healthy replica bytes
+    /// replace a corrupted copy.
+    WriteRaw {
+        /// `(local block id, bytes)` pairs to overwrite.
+        blocks: Vec<(u32, Vec<u8>)>,
+    },
     /// Terminate the worker loop.
     Shutdown,
 }
 
-/// A worker's reply to one [`ReadRequest`].
+/// Raw block bytes answered to a [`ToWorker::FetchRaw`].
 #[derive(Debug)]
+pub struct RawBlocks {
+    /// Which worker replied.
+    pub worker_id: usize,
+    /// `(local block id, bytes)` in request order; `None` when the block is
+    /// missing or fails its own checksum (a corrupt copy is never served as
+    /// repair material).
+    pub blocks: Vec<(u32, Option<Vec<u8>>)>,
+}
+
+/// A worker's reply to one [`ReadRequest`].
+#[derive(Clone, Debug)]
 pub struct FromWorker {
     /// Echo of the request's query id.
     pub query_id: u64,
+    /// Echo of the request's dispatch sequence number — what the
+    /// coordinator matches on.
+    pub seq: u64,
     /// Which worker replied.
     pub worker_id: usize,
     /// Blocks requested of this worker for the query.
@@ -71,6 +113,9 @@ pub struct FromWorker {
     pub cpu_us: u64,
     /// The qualifying records.
     pub records: Vec<Record>,
+    /// Local block ids that failed checksum verification while serving this
+    /// request. The coordinator repairs them from the replica copy (scrub).
+    pub corrupt_blocks: Vec<u32>,
     /// Set when the worker could not serve the request (unreadable block,
     /// injected poison). `records` is empty; disk time already spent stays
     /// charged. The coordinator retries the affected buckets against their

@@ -31,6 +31,10 @@ pub struct WorkerCounters {
     pub dead: AtomicBool,
     /// Error replies sent (unreadable blocks, injected poison).
     pub error_replies: AtomicU64,
+    /// Redelivered requests discarded by seq dedup (the coordinator
+    /// retransmitted work this worker had already performed, or a
+    /// duplicated message arrived twice).
+    pub dup_requests_dropped: AtomicU64,
     /// Number of batches serviced (each `ToWorker::Process` drain is one).
     pub batches: AtomicU64,
     /// Total requests across all batches (mean batch size = this / batches).
@@ -54,6 +58,16 @@ pub struct SharedStats {
     /// Blocks served by a replica instead of their (dead or erroring)
     /// primary location.
     pub failed_over_blocks: AtomicU64,
+    /// Requests retransmitted after a reply timeout (bounded, backed-off;
+    /// the lost-message defense).
+    pub retransmits: AtomicU64,
+    /// Hedge requests dispatched to replicas of slow primaries.
+    pub hedges: AtomicU64,
+    /// Corrupted blocks repaired (scrubbed) from their replica copy.
+    pub scrubbed: AtomicU64,
+    /// Queries whose deadline budget expired before every reply arrived
+    /// (answered incomplete).
+    pub deadline_expired: AtomicU64,
     /// Per-worker counters, indexed by worker id (each behind an `Arc` so
     /// the owning worker thread can hold its slot directly).
     pub workers: Vec<Arc<WorkerCounters>>,
@@ -66,6 +80,10 @@ impl SharedStats {
             queries: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             failed_over_blocks: AtomicU64::new(0),
+            retransmits: AtomicU64::new(0),
+            hedges: AtomicU64::new(0),
+            scrubbed: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
             workers: (0..n_workers)
                 .map(|_| Arc::new(WorkerCounters::default()))
                 .collect(),
@@ -84,6 +102,10 @@ impl SharedStats {
             queries: self.queries.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             failed_over_blocks: self.failed_over_blocks.load(Ordering::Relaxed),
+            retransmits: self.retransmits.load(Ordering::Relaxed),
+            hedges: self.hedges.load(Ordering::Relaxed),
+            scrubbed: self.scrubbed.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
             workers: self
                 .workers
                 .iter()
@@ -94,6 +116,7 @@ impl SharedStats {
                     busy_wall_us: w.busy_wall_us.load(Ordering::Relaxed),
                     alive: !w.dead.load(Ordering::Relaxed),
                     error_replies: w.error_replies.load(Ordering::Relaxed),
+                    dup_requests_dropped: w.dup_requests_dropped.load(Ordering::Relaxed),
                     batches: w.batches.load(Ordering::Relaxed),
                     batched_requests: w.batched_requests.load(Ordering::Relaxed),
                     max_batch: w.max_batch.load(Ordering::Relaxed),
@@ -121,6 +144,8 @@ pub struct WorkerStats {
     pub alive: bool,
     /// Error replies sent.
     pub error_replies: u64,
+    /// Redelivered requests discarded by seq dedup.
+    pub dup_requests_dropped: u64,
     /// Batches serviced.
     pub batches: u64,
     /// Total requests across all batches.
@@ -142,6 +167,7 @@ impl Default for WorkerStats {
             busy_wall_us: 0,
             alive: true,
             error_replies: 0,
+            dup_requests_dropped: 0,
             batches: 0,
             batched_requests: 0,
             max_batch: 0,
@@ -160,6 +186,14 @@ pub struct EngineStats {
     pub retries: u64,
     /// Blocks served by a replica instead of their primary location.
     pub failed_over_blocks: u64,
+    /// Requests retransmitted after a reply timeout.
+    pub retransmits: u64,
+    /// Hedge requests dispatched to replicas of slow primaries.
+    pub hedges: u64,
+    /// Corrupted blocks repaired from their replica copy.
+    pub scrubbed: u64,
+    /// Queries answered incomplete because their deadline budget expired.
+    pub deadline_expired: u64,
     /// Per-worker snapshots, indexed by worker id.
     pub workers: Vec<WorkerStats>,
 }

@@ -1,4 +1,5 @@
-//! Worker block stores: in-memory or backed by a real per-worker file.
+//! Worker block stores: in-memory or backed by a real per-worker file,
+//! with per-block checksums verified on every read.
 //!
 //! The paper's simulator "declusters [the dataset] to separate files
 //! corresponding to every disk being simulated". The file-backed store
@@ -6,7 +7,14 @@
 //! and serves reads with positioned I/O (`pread`), so the data path of the
 //! SPMD engine can exercise the real filesystem while timing stays on the
 //! virtual disk model.
+//!
+//! Every `put` records a CRC-32 of the block's bytes; every `get` verifies
+//! it. Silent corruption (bit rot, an injected [`crate::FaultKind::CorruptBlock`])
+//! therefore surfaces as an `io::ErrorKind::InvalidData` error instead of
+//! quietly decoding garbage, and the coordinator can repair the block from
+//! its chained-declustering replica via [`BlockStore::overwrite`].
 
+use pargrid_gridfile::crc32;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io;
@@ -15,8 +23,8 @@ use std::path::Path;
 #[cfg(unix)]
 use std::os::unix::fs::FileExt;
 
-/// Where a worker's blocks live.
-pub enum BlockStore {
+/// Where a worker's blocks physically live.
+enum Backend {
     /// Blocks held in memory (the default; fastest, fully deterministic).
     Memory(HashMap<u32, Vec<u8>>),
     /// Blocks in a single file of `block_bytes`-sized slots, block id =
@@ -31,10 +39,20 @@ pub enum BlockStore {
     },
 }
 
+/// A worker's block store: a backend plus per-block CRC-32 checksums.
+pub struct BlockStore {
+    backend: Backend,
+    /// CRC-32 per stored block, checked on every read.
+    sums: HashMap<u32, u32>,
+}
+
 impl BlockStore {
     /// Creates an empty in-memory store.
     pub fn memory() -> Self {
-        BlockStore::Memory(HashMap::new())
+        BlockStore {
+            backend: Backend::Memory(HashMap::new()),
+            sums: HashMap::new(),
+        }
     }
 
     /// Creates a file-backed store at `path` (truncating any existing file).
@@ -50,25 +68,30 @@ impl BlockStore {
             .create(true)
             .truncate(true)
             .open(path)?;
-        Ok(BlockStore::File {
-            file,
-            block_bytes,
-            n_blocks: 0,
+        Ok(BlockStore {
+            backend: Backend::File {
+                file,
+                block_bytes,
+                n_blocks: 0,
+            },
+            sums: HashMap::new(),
         })
     }
 
-    /// Stores a block. For file stores, blocks must be appended in id order
-    /// (the engine allocates ids sequentially per worker).
+    /// Stores a block, recording its checksum. For file stores, blocks must
+    /// be appended in id order (the engine allocates ids sequentially per
+    /// worker).
     ///
     /// # Panics
     /// Panics on id gaps or size mismatches for file stores.
     pub fn put(&mut self, block: u32, bytes: Vec<u8>) -> io::Result<()> {
-        match self {
-            BlockStore::Memory(map) => {
+        self.sums.insert(block, crc32(&bytes));
+        match &mut self.backend {
+            Backend::Memory(map) => {
                 map.insert(block, bytes);
                 Ok(())
             }
-            BlockStore::File {
+            Backend::File {
                 file,
                 block_bytes,
                 n_blocks,
@@ -88,15 +111,88 @@ impl BlockStore {
         }
     }
 
-    /// Reads a block's bytes. A block that does not exist is an
-    /// `io::ErrorKind::NotFound` error (not a panic), so a worker can answer
-    /// the affected request with an error reply and keep serving.
+    /// Replaces an *existing* block's bytes and refreshes its checksum —
+    /// the repair half of a scrub. Unlike [`BlockStore::put`], the block
+    /// must already exist (`io::ErrorKind::NotFound` otherwise); file
+    /// stores additionally require the same block size.
+    pub fn overwrite(&mut self, block: u32, bytes: Vec<u8>) -> io::Result<()> {
+        match &mut self.backend {
+            Backend::Memory(map) => {
+                if !map.contains_key(&block) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::NotFound,
+                        format!("no block {block} to overwrite"),
+                    ));
+                }
+                self.sums.insert(block, crc32(&bytes));
+                map.insert(block, bytes);
+                Ok(())
+            }
+            Backend::File {
+                file,
+                block_bytes,
+                n_blocks,
+            } => {
+                if block >= *n_blocks {
+                    return Err(io::Error::new(
+                        io::ErrorKind::NotFound,
+                        format!("no block {block} to overwrite"),
+                    ));
+                }
+                if bytes.len() != *block_bytes {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!("block size mismatch: {} vs {block_bytes}", bytes.len()),
+                    ));
+                }
+                self.sums.insert(block, crc32(&bytes));
+                write_all_at(file, &bytes, block as u64 * *block_bytes as u64)
+            }
+        }
+    }
+
+    /// Flips a byte of the stored block *without* updating its checksum —
+    /// the fault-injection hook behind [`crate::FaultKind::CorruptBlock`].
+    /// Returns whether the block existed (and was corrupted).
+    pub fn corrupt(&mut self, block: u32) -> bool {
+        match &mut self.backend {
+            Backend::Memory(map) => match map.get_mut(&block) {
+                Some(bytes) if !bytes.is_empty() => {
+                    bytes[0] ^= 0xFF;
+                    true
+                }
+                _ => false,
+            },
+            Backend::File {
+                file,
+                block_bytes,
+                n_blocks,
+            } => {
+                if block >= *n_blocks || *block_bytes == 0 {
+                    return false;
+                }
+                let offset = block as u64 * *block_bytes as u64;
+                let mut byte = [0u8; 1];
+                if read_exact_at(file, &mut byte, offset).is_err() {
+                    return false;
+                }
+                byte[0] ^= 0xFF;
+                write_all_at(file, &byte, offset).is_ok()
+            }
+        }
+    }
+
+    /// Reads a block's bytes, verifying its checksum. A block that does not
+    /// exist is an `io::ErrorKind::NotFound` error; one whose bytes no
+    /// longer match their recorded checksum is `io::ErrorKind::InvalidData`.
+    /// Neither panics, so a worker can answer the affected request with an
+    /// error reply and keep serving.
     pub fn get(&self, block: u32) -> io::Result<Vec<u8>> {
-        match self {
-            BlockStore::Memory(map) => map.get(&block).cloned().ok_or_else(|| {
+        let bytes = match &self.backend {
+            Backend::Memory(map) => map.get(&block).cloned().ok_or_else(|| {
                 io::Error::new(io::ErrorKind::NotFound, format!("no block {block}"))
-            }),
-            BlockStore::File {
+            })?,
+            Backend::File {
                 file,
                 block_bytes,
                 n_blocks,
@@ -109,16 +205,28 @@ impl BlockStore {
                 }
                 let mut buf = vec![0u8; *block_bytes];
                 read_exact_at(file, &mut buf, block as u64 * *block_bytes as u64)?;
-                Ok(buf)
+                buf
+            }
+        };
+        if let Some(&expected) = self.sums.get(&block) {
+            let actual = crc32(&bytes);
+            if actual != expected {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "block {block} checksum mismatch: stored {expected:08x}, read {actual:08x}"
+                    ),
+                ));
             }
         }
+        Ok(bytes)
     }
 
     /// Number of stored blocks.
     pub fn len(&self) -> usize {
-        match self {
-            BlockStore::Memory(map) => map.len(),
-            BlockStore::File { n_blocks, .. } => *n_blocks as usize,
+        match &self.backend {
+            Backend::Memory(map) => map.len(),
+            Backend::File { n_blocks, .. } => *n_blocks as usize,
         }
     }
 
@@ -202,6 +310,46 @@ mod tests {
         let f = BlockStore::file(dir.join("w.blocks"), 16).expect("create");
         let err = f.get(0).expect_err("missing block must error");
         assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_is_detected_and_repairable_in_memory() {
+        let mut s = BlockStore::memory();
+        s.put(0, vec![7; 32]).expect("put");
+        assert!(s.corrupt(0), "existing block corrupts");
+        let err = s.get(0).expect_err("corrupt block must error");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"), "{err}");
+        // Repair with the pristine bytes: reads verify again.
+        s.overwrite(0, vec![7; 32]).expect("overwrite");
+        assert_eq!(s.get(0).expect("get after repair"), vec![7; 32]);
+        // Unknown blocks neither corrupt nor overwrite.
+        assert!(!s.corrupt(99));
+        assert_eq!(
+            s.overwrite(99, vec![0]).expect_err("no block").kind(),
+            io::ErrorKind::NotFound
+        );
+    }
+
+    #[test]
+    fn corruption_is_detected_and_repairable_on_file() {
+        let dir = std::env::temp_dir().join("pargrid_store_corrupt_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut s = BlockStore::file(dir.join("w.blocks"), 16).expect("create");
+        s.put(0, vec![1; 16]).expect("put");
+        s.put(1, vec![2; 16]).expect("put");
+        assert!(s.corrupt(1));
+        assert_eq!(s.get(0).expect("healthy block").len(), 16);
+        let err = s.get(1).expect_err("corrupt block must error");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        s.overwrite(1, vec![2; 16]).expect("repair");
+        assert_eq!(s.get(1).expect("get after repair"), vec![2; 16]);
+        // Wrong-size repair material is rejected.
+        assert_eq!(
+            s.overwrite(1, vec![0; 8]).expect_err("bad size").kind(),
+            io::ErrorKind::InvalidInput
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

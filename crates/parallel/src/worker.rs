@@ -9,15 +9,23 @@
 //! but virtual time and cache hits are attributed to each request
 //! individually, so per-query response-time metrics stay paper-faithful
 //! while concurrent queries share arm movement.
+//!
+//! Requests are **idempotent at the worker**: each carries an engine-global
+//! dispatch sequence number, and a worker remembers the seqs it has already
+//! serviced (a bounded window), silently discarding redeliveries. That makes
+//! coordinator retransmits safe — a retransmit of a request whose reply was
+//! merely slow cannot cause the same blocks to be read and returned twice.
 
 use crate::disk::{DiskModel, DiskParams};
 use crate::fault::FaultKind;
-use crate::message::{FromWorker, QueryPriority, ToWorker};
+use crate::message::{FromWorker, QueryPriority, RawBlocks, ToWorker};
 use crate::stats::WorkerCounters;
 use crate::store::BlockStore;
 use crossbeam::channel::Receiver;
 use pargrid_geom::Rect;
 use pargrid_gridfile::page::decode_page;
+use std::collections::{HashSet, VecDeque};
+use std::io;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -25,9 +33,15 @@ use std::sync::Arc;
 /// (A ~60 MHz POWER2 node touching a 50-byte record: a few hundred ns.)
 const CPU_NS_PER_RECORD: u64 = 300;
 
+/// How many serviced dispatch seqs a worker remembers for dedup. Far larger
+/// than any realistic in-flight window; bounded so a long-lived worker's
+/// memory stays flat.
+const SEEN_SEQ_WINDOW: usize = 4096;
+
 /// One request of a batch, borrowed from wherever it arrived.
 struct RequestSpec<'a> {
     query_id: u64,
+    seq: u64,
     blocks: &'a [u32],
     query: &'a Rect,
     priority: QueryPriority,
@@ -51,6 +65,14 @@ pub struct WorkerState {
     pub disks: Vec<DiskModel>,
     /// Injected faults applying to this worker (empty = healthy).
     pub faults: Vec<FaultKind>,
+    /// Remaining silent-discard deliveries per query number (the
+    /// [`FaultKind::DropRequest`] budget).
+    drop_budget: Vec<(u64, u32)>,
+    /// Dispatch seqs already serviced (dedup set + FIFO eviction order).
+    seen_seqs: HashSet<u64>,
+    seen_order: VecDeque<u64>,
+    /// Whether the one-shot [`FaultKind::CorruptBlock`] faults have fired.
+    corruption_done: bool,
     /// Trace recorder (installed by the engine when configured with one).
     #[cfg(feature = "obs")]
     pub recorder: Option<Arc<pargrid_obs::Recorder>>,
@@ -91,13 +113,32 @@ impl WorkerState {
             payload_bytes,
             disks: (0..n_disks).map(|_| DiskModel::new(disk_params)).collect(),
             faults: Vec::new(),
+            drop_budget: Vec::new(),
+            seen_seqs: HashSet::new(),
+            seen_order: VecDeque::new(),
+            corruption_done: false,
             #[cfg(feature = "obs")]
             recorder: None,
         }
     }
 
-    /// Installs injected faults (see [`crate::fault::FaultPlan`]).
+    /// Installs injected faults (see [`crate::fault::FaultPlan`]). Straggler
+    /// faults take effect immediately (the disks slow down); drop budgets
+    /// are armed; everything else fires from the message loop.
     pub fn with_faults(mut self, faults: Vec<FaultKind>) -> Self {
+        for f in &faults {
+            match *f {
+                FaultKind::SlowDisk(factor) => {
+                    for d in &mut self.disks {
+                        d.set_slowdown(factor);
+                    }
+                }
+                FaultKind::DropRequest { query, times } => {
+                    self.drop_budget.push((query, times));
+                }
+                _ => {}
+            }
+        }
         self.faults = faults;
         self
     }
@@ -114,7 +155,7 @@ impl WorkerState {
         self.faults.iter().any(|f| match *f {
             FaultKind::DieAfterBlocks(n) => self.blocks_read_total() >= n,
             FaultKind::DieAtQuery(q) => batch.iter().any(|r| r.query_id >= q),
-            FaultKind::PoisonQuery(_) => false,
+            _ => false,
         })
     }
 
@@ -125,11 +166,57 @@ impl WorkerState {
             .any(|f| matches!(*f, FaultKind::PoisonQuery(q) if q == query_id))
     }
 
+    /// Consumes one delivery of the drop budget for `query_id`, returning
+    /// whether this delivery should be silently discarded.
+    fn consume_drop(&mut self, query_id: u64) -> bool {
+        for (q, times) in &mut self.drop_budget {
+            if *q == query_id && *times > 0 {
+                *times -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Records a serviced dispatch seq in the bounded dedup window.
+    fn note_seen(&mut self, seq: u64) {
+        if self.seen_seqs.insert(seq) {
+            self.seen_order.push_back(seq);
+            if self.seen_order.len() > SEEN_SEQ_WINDOW {
+                if let Some(old) = self.seen_order.pop_front() {
+                    self.seen_seqs.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Fires any one-shot block-corruption faults (once, before the first
+    /// batch is serviced — the store is loaded after construction, so this
+    /// is the earliest point the target blocks exist).
+    fn apply_corruption_faults(&mut self) {
+        if self.corruption_done {
+            return;
+        }
+        self.corruption_done = true;
+        let targets: Vec<u32> = self
+            .faults
+            .iter()
+            .filter_map(|f| match *f {
+                FaultKind::CorruptBlock(b) => Some(b),
+                _ => None,
+            })
+            .collect();
+        for b in targets {
+            self.store.corrupt(b);
+        }
+    }
+
     /// Handles one read request synchronously (also used directly by unit
     /// tests, without threads).
     pub fn handle_read(&mut self, query_id: u64, blocks: Vec<u32>, query: &Rect) -> FromWorker {
         self.service_batch(&[RequestSpec {
             query_id,
+            seq: query_id,
             blocks: &blocks,
             query,
             priority: QueryPriority::Interactive,
@@ -179,11 +266,14 @@ impl WorkerState {
                 let mut records = Vec::new();
                 let mut scanned = 0u64;
                 let mut error = None;
+                let mut corrupt_blocks = Vec::new();
                 for &b in req.blocks {
                     // An unreadable block fails only this request — disk
                     // time already charged in the elevator pass stays
                     // charged, the batch's other requests are unaffected,
-                    // and the coordinator can retry against a replica.
+                    // and the coordinator can retry against a replica. A
+                    // checksum failure is additionally reported so the
+                    // coordinator can scrub the block back to health.
                     match self.store.get(b) {
                         Ok(page) => {
                             for r in decode_page(&page, self.payload_bytes) {
@@ -194,6 +284,9 @@ impl WorkerState {
                             }
                         }
                         Err(e) => {
+                            if e.kind() == io::ErrorKind::InvalidData {
+                                corrupt_blocks.push(b);
+                            }
                             error = Some(format!(
                                 "worker {} cannot read block {b}: {e}",
                                 self.worker_id
@@ -205,6 +298,7 @@ impl WorkerState {
                 }
                 FromWorker {
                     query_id: req.query_id,
+                    seq: req.seq,
                     worker_id: self.worker_id,
                     blocks_requested: req.blocks.len() as u64,
                     cache_hits: hits[idx],
@@ -215,10 +309,36 @@ impl WorkerState {
                         .unwrap_or(0),
                     cpu_us: scanned * CPU_NS_PER_RECORD / 1000,
                     records,
+                    corrupt_blocks,
                     error,
                 }
             })
             .collect()
+    }
+
+    /// Answers a [`ToWorker::FetchRaw`]: raw verified block bytes for the
+    /// repair path. A block that is missing *or fails its own checksum*
+    /// comes back `None` — a corrupt copy is never served as scrub
+    /// material. Uncharged on the virtual clock: scrub traffic is
+    /// background I/O, not query service.
+    fn fetch_raw(&self, blocks: &[u32]) -> RawBlocks {
+        RawBlocks {
+            worker_id: self.worker_id,
+            blocks: blocks
+                .iter()
+                .map(|&b| (b, self.store.get(b).ok()))
+                .collect(),
+        }
+    }
+
+    /// Applies a [`ToWorker::WriteRaw`]: overwrites local blocks with
+    /// healthy replica bytes, refreshing their checksums.
+    fn write_raw(&mut self, blocks: Vec<(u32, Vec<u8>)>) {
+        for (b, bytes) in blocks {
+            // A failed overwrite (unknown block, size mismatch) leaves the
+            // block corrupt; the next read reports it again.
+            let _ = self.store.overwrite(b, bytes);
+        }
     }
 
     /// Publishes lifetime totals and cache gauges after a batch.
@@ -264,11 +384,23 @@ impl WorkerState {
             let mut shutdown = false;
             match rx.recv() {
                 Ok(ToWorker::Process(reqs)) => batch.extend(reqs),
+                Ok(ToWorker::FetchRaw { blocks, reply }) => {
+                    let _ = reply.send(self.fetch_raw(&blocks));
+                    continue;
+                }
+                Ok(ToWorker::WriteRaw { blocks }) => {
+                    self.write_raw(blocks);
+                    continue;
+                }
                 Ok(ToWorker::Shutdown) | Err(_) => return,
             }
             loop {
                 match rx.try_recv() {
                     Ok(ToWorker::Process(reqs)) => batch.extend(reqs),
+                    Ok(ToWorker::FetchRaw { blocks, reply }) => {
+                        let _ = reply.send(self.fetch_raw(&blocks));
+                    }
+                    Ok(ToWorker::WriteRaw { blocks }) => self.write_raw(blocks),
                     Ok(ToWorker::Shutdown) => {
                         shutdown = true;
                         break;
@@ -276,7 +408,32 @@ impl WorkerState {
                     Err(_) => break,
                 }
             }
+            // Channel faults before any service: silently discard deliveries
+            // with remaining drop budget (a lost message), and dedup
+            // redeliveries of dispatch seqs already serviced (the
+            // coordinator's retransmit raced a slow reply).
+            let mut kept = Vec::with_capacity(batch.len());
+            let mut deduped = 0u64;
+            for req in batch {
+                if self.consume_drop(req.query_id) {
+                    continue;
+                }
+                if self.seen_seqs.contains(&req.seq) {
+                    deduped += 1;
+                    continue;
+                }
+                kept.push(req);
+            }
+            let batch = kept;
+            if deduped > 0 {
+                if let Some(c) = &counters {
+                    c.dup_requests_dropped.fetch_add(deduped, Ordering::Relaxed);
+                }
+            }
             if !batch.is_empty() {
+                // One-shot silent corruption fires before the first real
+                // service pass.
+                self.apply_corruption_faults();
                 // Injected fail-stop: mark dead in the shared liveness
                 // table and exit WITHOUT replying — exactly what a crashed
                 // node looks like to the coordinator, which detects it via
@@ -292,6 +449,7 @@ impl WorkerState {
                     .iter()
                     .map(|r| RequestSpec {
                         query_id: r.query_id,
+                        seq: r.seq,
                         blocks: &r.blocks,
                         query: &r.query,
                         priority: r.priority,
@@ -299,6 +457,9 @@ impl WorkerState {
                     .collect();
                 let disk_before: Vec<u64> = self.disks.iter().map(DiskModel::busy_us).collect();
                 let mut replies = self.service_batch(&specs);
+                for req in &batch {
+                    self.note_seen(req.seq);
+                }
                 // Poison faults: the request was serviced (time charged),
                 // but the answer is an error — same shape as a bad block.
                 for reply in &mut replies {
@@ -367,7 +528,44 @@ impl WorkerState {
                     let errors = replies.iter().filter(|r| r.error.is_some()).count() as u64;
                     self.publish(c, batch.len() as u64, wall_disk + cpu, errors);
                 }
-                for (req, reply) in batch.iter().zip(replies) {
+                // Timing faults on the reply path: hold the whole batch's
+                // replies (a late message), then emit in reversed order if a
+                // reorder fault matches. The coordinator absorbs both via
+                // seq matching and retransmit dedup.
+                let delay_ms = self
+                    .faults
+                    .iter()
+                    .filter_map(|f| match *f {
+                        FaultKind::DelayReply { query, delay_ms }
+                            if batch.iter().any(|r| r.query_id == query) =>
+                        {
+                            Some(delay_ms)
+                        }
+                        _ => None,
+                    })
+                    .max();
+                if let Some(ms) = delay_ms {
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                }
+                let reorder = self.faults.iter().any(|f| {
+                    matches!(*f, FaultKind::ReorderReplies(q)
+                        if batch.iter().any(|r| r.query_id >= q))
+                });
+                let mut out: Vec<(usize, FromWorker)> = replies.into_iter().enumerate().collect();
+                if reorder {
+                    out.reverse();
+                }
+                for (idx, reply) in out {
+                    let req = &batch[idx];
+                    // A duplicated-message fault sends the same reply twice;
+                    // the coordinator must merge it exactly once.
+                    let duplicate = self
+                        .faults
+                        .iter()
+                        .any(|f| matches!(*f, FaultKind::DuplicateRequest(q) if q == req.query_id));
+                    if duplicate {
+                        let _ = req.reply.send(reply.clone());
+                    }
                     // A session may have been dropped mid-flight; that is
                     // its problem, not the worker's.
                     let _ = req.reply.send(reply);
@@ -417,6 +615,22 @@ mod tests {
         w
     }
 
+    fn request(
+        qid: u64,
+        seq: u64,
+        blocks: Vec<u32>,
+        reply: &crossbeam::channel::Sender<FromWorker>,
+    ) -> ReadRequest {
+        ReadRequest {
+            query_id: qid,
+            seq,
+            blocks,
+            query: Rect::new2(0.0, 0.0, 100.0, 100.0),
+            reply: reply.clone(),
+            priority: QueryPriority::Interactive,
+        }
+    }
+
     #[test]
     fn filters_records_against_query() {
         let mut w = worker_with_two_blocks();
@@ -451,12 +665,14 @@ mod tests {
         let replies = w.service_batch(&[
             RequestSpec {
                 query_id: 1,
+                seq: 1,
                 blocks: &[0, 99],
                 query: &all,
                 priority: QueryPriority::Interactive,
             },
             RequestSpec {
                 query_id: 2,
+                seq: 2,
                 blocks: &[0, 1],
                 query: &all,
                 priority: QueryPriority::Interactive,
@@ -466,11 +682,23 @@ mod tests {
         let bad = &replies[0];
         assert!(bad.error.as_deref().unwrap_or("").contains("block 99"));
         assert!(bad.records.is_empty());
+        assert!(bad.corrupt_blocks.is_empty(), "missing, not corrupt");
         assert_eq!(bad.blocks_requested, 2);
         assert!(bad.disk_us > 0, "disk time was already charged");
         let good = &replies[1];
         assert!(good.error.is_none());
         assert_eq!(good.records.len(), 20);
+    }
+
+    #[test]
+    fn corrupt_block_is_reported_for_scrubbing() {
+        let mut w = worker_with_two_blocks();
+        assert!(w.store.corrupt(1));
+        let all = Rect::new2(0.0, 0.0, 100.0, 100.0);
+        let reply = w.handle_read(1, vec![0, 1], &all);
+        assert!(reply.error.as_deref().unwrap_or("").contains("checksum"));
+        assert_eq!(reply.corrupt_blocks, vec![1]);
+        assert!(reply.records.is_empty());
     }
 
     #[test]
@@ -483,6 +711,7 @@ mod tests {
         to_tx
             .send(ToWorker::Process(vec![ReadRequest {
                 query_id: 3,
+                seq: 3,
                 blocks: vec![0],
                 query: Rect::new2(0.0, 0.0, 5.0, 5.0),
                 reply: reply_tx,
@@ -506,13 +735,12 @@ mod tests {
         let handle = run_worker(state, to_rx, Some(Arc::clone(&counters)));
         let send = |qid: u64| {
             to_tx
-                .send(ToWorker::Process(vec![ReadRequest {
-                    query_id: qid,
-                    blocks: vec![0],
-                    query: Rect::new2(0.0, 0.0, 100.0, 100.0),
-                    reply: reply_tx.clone(),
-                    priority: QueryPriority::Interactive,
-                }]))
+                .send(ToWorker::Process(vec![request(
+                    qid,
+                    qid,
+                    vec![0],
+                    &reply_tx,
+                )]))
                 .expect("send");
         };
         send(1);
@@ -537,25 +765,167 @@ mod tests {
         let counters = Arc::new(WorkerCounters::default());
         let state = worker_with_two_blocks().with_faults(vec![FaultKind::DieAfterBlocks(2)]);
         let handle = run_worker(state, to_rx, Some(Arc::clone(&counters)));
-        let request = |qid: u64| ReadRequest {
-            query_id: qid,
-            blocks: vec![0, 1],
-            query: Rect::new2(0.0, 0.0, 100.0, 100.0),
-            reply: reply_tx.clone(),
-            priority: QueryPriority::Interactive,
-        };
         // First batch (2 blocks) is under the limit and serviced normally.
         to_tx
-            .send(ToWorker::Process(vec![request(0)]))
+            .send(ToWorker::Process(vec![request(
+                0,
+                0,
+                vec![0, 1],
+                &reply_tx,
+            )]))
             .expect("send");
         assert!(reply_rx.recv().expect("reply").error.is_none());
         // Second batch finds blocks_read >= 2: the worker dies silently.
         to_tx
-            .send(ToWorker::Process(vec![request(1)]))
+            .send(ToWorker::Process(vec![request(
+                1,
+                1,
+                vec![0, 1],
+                &reply_tx,
+            )]))
             .expect("send");
         handle.join().expect("worker thread exits");
         assert!(counters.dead.load(Ordering::Relaxed));
         assert!(reply_rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn duplicate_seq_is_deduped_not_reserviced() {
+        let (to_tx, to_rx) = crossbeam::channel::unbounded();
+        let (reply_tx, reply_rx) = crossbeam::channel::unbounded();
+        let counters = Arc::new(WorkerCounters::default());
+        let handle = run_worker(worker_with_two_blocks(), to_rx, Some(Arc::clone(&counters)));
+        to_tx
+            .send(ToWorker::Process(vec![request(1, 42, vec![0], &reply_tx)]))
+            .expect("send");
+        let first = reply_rx.recv().expect("reply");
+        assert_eq!(first.seq, 42);
+        // Redelivery of the same seq (a retransmit that raced the reply):
+        // silently discarded, no second reply.
+        to_tx
+            .send(ToWorker::Process(vec![request(1, 42, vec![0], &reply_tx)]))
+            .expect("send");
+        // A fresh seq still gets serviced, proving the worker is live.
+        to_tx
+            .send(ToWorker::Process(vec![request(2, 43, vec![1], &reply_tx)]))
+            .expect("send");
+        let second = reply_rx.recv().expect("reply");
+        assert_eq!(second.seq, 43, "deduped delivery produced no reply");
+        assert_eq!(counters.dup_requests_dropped.load(Ordering::Relaxed), 1);
+        to_tx.send(ToWorker::Shutdown).expect("send shutdown");
+        handle.join().expect("worker joins");
+    }
+
+    #[test]
+    fn drop_fault_discards_first_deliveries_then_serves() {
+        let (to_tx, to_rx) = crossbeam::channel::unbounded();
+        let (reply_tx, reply_rx) = crossbeam::channel::unbounded();
+        let state = worker_with_two_blocks()
+            .with_faults(vec![FaultKind::DropRequest { query: 5, times: 1 }]);
+        let handle = run_worker(state, to_rx, None);
+        // First delivery is silently dropped.
+        to_tx
+            .send(ToWorker::Process(vec![request(5, 10, vec![0], &reply_tx)]))
+            .expect("send");
+        // Retransmit (same seq — the worker never serviced it, so the seq is
+        // not in the dedup window) gets through.
+        to_tx
+            .send(ToWorker::Process(vec![request(5, 10, vec![0], &reply_tx)]))
+            .expect("send");
+        let reply = reply_rx.recv().expect("retransmit serviced");
+        assert_eq!(reply.seq, 10);
+        assert_eq!(reply.records.len(), 10);
+        assert!(
+            reply_rx.try_recv().is_err(),
+            "exactly one reply for the two deliveries"
+        );
+        to_tx.send(ToWorker::Shutdown).expect("send shutdown");
+        handle.join().expect("worker joins");
+    }
+
+    #[test]
+    fn duplicate_reply_fault_sends_twice() {
+        let (to_tx, to_rx) = crossbeam::channel::unbounded();
+        let (reply_tx, reply_rx) = crossbeam::channel::unbounded();
+        let state = worker_with_two_blocks().with_faults(vec![FaultKind::DuplicateRequest(3)]);
+        let handle = run_worker(state, to_rx, None);
+        to_tx
+            .send(ToWorker::Process(vec![request(3, 7, vec![0], &reply_tx)]))
+            .expect("send");
+        let a = reply_rx.recv().expect("first copy");
+        let b = reply_rx.recv().expect("second copy");
+        assert_eq!(a.seq, 7);
+        assert_eq!(b.seq, 7);
+        assert_eq!(a.records, b.records);
+        to_tx.send(ToWorker::Shutdown).expect("send shutdown");
+        handle.join().expect("worker joins");
+    }
+
+    #[test]
+    fn reorder_fault_reverses_batch_reply_order() {
+        let (to_tx, to_rx) = crossbeam::channel::unbounded();
+        let (reply_tx, reply_rx) = crossbeam::channel::unbounded();
+        let state = worker_with_two_blocks().with_faults(vec![FaultKind::ReorderReplies(0)]);
+        let handle = run_worker(state, to_rx, None);
+        to_tx
+            .send(ToWorker::Process(vec![
+                request(1, 100, vec![0], &reply_tx),
+                request(2, 101, vec![1], &reply_tx),
+            ]))
+            .expect("send");
+        let first = reply_rx.recv().expect("reply");
+        let second = reply_rx.recv().expect("reply");
+        assert_eq!(first.seq, 101, "replies come back reversed");
+        assert_eq!(second.seq, 100);
+        to_tx.send(ToWorker::Shutdown).expect("send shutdown");
+        handle.join().expect("worker joins");
+    }
+
+    #[test]
+    fn fetch_raw_and_write_raw_round_trip_repair() {
+        let (to_tx, to_rx) = crossbeam::channel::unbounded();
+        let (reply_tx, reply_rx) = crossbeam::channel::unbounded();
+        let mut state = worker_with_two_blocks();
+        let pristine = state.store.get(0).expect("block 0");
+        assert!(state.store.corrupt(0));
+        let handle = run_worker(state, to_rx, None);
+        // Fetch: corrupt block 0 comes back None, healthy block 1 as bytes.
+        let (raw_tx, raw_rx) = crossbeam::channel::unbounded();
+        to_tx
+            .send(ToWorker::FetchRaw {
+                blocks: vec![0, 1],
+                reply: raw_tx,
+            })
+            .expect("send");
+        let raw = raw_rx.recv().expect("raw reply");
+        assert_eq!(raw.worker_id, 0);
+        assert!(raw.blocks[0].1.is_none(), "corrupt copy is not served");
+        assert!(raw.blocks[1].1.is_some());
+        // Write the pristine bytes back: reads verify again.
+        to_tx
+            .send(ToWorker::WriteRaw {
+                blocks: vec![(0, pristine)],
+            })
+            .expect("send");
+        to_tx
+            .send(ToWorker::Process(vec![request(9, 9, vec![0], &reply_tx)]))
+            .expect("send");
+        let reply = reply_rx.recv().expect("post-repair read");
+        assert!(reply.error.is_none(), "{:?}", reply.error);
+        assert_eq!(reply.records.len(), 10);
+        to_tx.send(ToWorker::Shutdown).expect("send shutdown");
+        handle.join().expect("worker joins");
+    }
+
+    #[test]
+    fn slow_disk_fault_inflates_service_time() {
+        let q = Rect::new2(0.0, 0.0, 100.0, 100.0);
+        let mut healthy = worker_with_two_blocks();
+        let mut slow = worker_with_two_blocks().with_faults(vec![FaultKind::SlowDisk(10)]);
+        let h = healthy.handle_read(0, vec![0, 1], &q);
+        let s = slow.handle_read(0, vec![0, 1], &q);
+        assert_eq!(h.records, s.records, "results identical");
+        assert_eq!(s.disk_us, h.disk_us * 10, "10x straggler");
     }
 
     #[test]
@@ -607,12 +977,14 @@ mod tests {
         let replies = w.service_batch(&[
             RequestSpec {
                 query_id: 1,
+                seq: 1,
                 blocks: &[0, 1],
                 query: &all,
                 priority: QueryPriority::Interactive,
             },
             RequestSpec {
                 query_id: 2,
+                seq: 2,
                 blocks: &[0, 1],
                 query: &low,
                 priority: QueryPriority::Interactive,
@@ -635,12 +1007,14 @@ mod tests {
         let replies = w.service_batch(&[
             RequestSpec {
                 query_id: 1,
+                seq: 1,
                 blocks: &[0, 1],
                 query: &all,
                 priority: QueryPriority::Batch,
             },
             RequestSpec {
                 query_id: 2,
+                seq: 2,
                 blocks: &[0, 1],
                 query: &all,
                 priority: QueryPriority::Interactive,
@@ -659,6 +1033,7 @@ mod tests {
         to_tx
             .send(ToWorker::Process(vec![ReadRequest {
                 query_id: 1,
+                seq: 1,
                 blocks: vec![0],
                 query: Rect::new2(0.0, 0.0, 5.0, 5.0),
                 reply: reply_tx,

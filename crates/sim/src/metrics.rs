@@ -220,6 +220,13 @@ pub struct ThroughputStats {
     pub retries: u64,
     /// Blocks served by a replica instead of their primary worker.
     pub failed_over_blocks: u64,
+    /// Requests redelivered with the same sequence number after a reply
+    /// timeout (the lost-message defense; 0 on a healthy run).
+    pub retransmits: u64,
+    /// Hedge requests dispatched against slow primaries.
+    pub hedges: u64,
+    /// Corrupt blocks repaired in place from their replica copy.
+    pub scrubbed: u64,
 }
 
 impl ThroughputStats {
@@ -434,6 +441,9 @@ mod tests {
             max_batch: 8,
             retries: 0,
             failed_over_blocks: 0,
+            retransmits: 0,
+            hedges: 0,
+            scrubbed: 0,
         };
         assert_eq!(t.makespan_seconds(), 2.0);
         assert_eq!(t.queries_per_second(), 50.0);

@@ -11,6 +11,7 @@
 //! pargrid evaluate my.pgf --method hcam --disks 16 --ratio 0.05
 //! pargrid evaluate my.pgf --method minimax --disks 16 --clients 8   # + engine throughput
 //! pargrid evaluate my.pgf --method minimax --disks 8 --trace out.json --metrics out.prom
+//! pargrid evaluate my.pgf --method minimax --disks 16 --replicate --chaos 7 --deadline-us 2000000
 //! ```
 //!
 //! `--trace` writes a Chrome `trace_event` JSON of one traced engine run —
@@ -29,7 +30,7 @@ fn usage() -> ExitCode {
          pargrid query FILE.pgf --range LO..HI,LO..HI[,...] [--count-only]\n  \
          pargrid pmatch FILE.pgf --keys V|*,V|*[,...]\n  \
          pargrid decluster FILE.pgf --method M --disks N [--seed N] [--out FILE.csv]\n  \
-         pargrid evaluate FILE.pgf --method M --disks N [--ratio R] [--queries N] [--seed N] [--clients K] [--replicate] [--fail K] [--trace FILE.json] [--metrics FILE.prom]\n\n  \
+         pargrid evaluate FILE.pgf --method M --disks N [--ratio R] [--queries N] [--seed N] [--clients K] [--replicate] [--fail K] [--chaos SEED] [--deadline-us N] [--trace FILE.json] [--metrics FILE.prom]\n\n  \
          methods: dm fx gdm hcam zcam gcam scan ssp mst kl minimax minimax-euclid"
     );
     ExitCode::FAILURE
@@ -370,6 +371,14 @@ fn cmd_evaluate(args: &[String]) -> CliResult {
     }
     let replicate = has_flag(args, "--replicate");
     let fail: usize = flag_parse(args, "--fail", 0)?;
+    let chaos: Option<u64> = match flag_value(args, "--chaos")? {
+        Some(v) => Some(v.parse().map_err(|_| format!("bad --chaos seed {v}"))?),
+        None => None,
+    };
+    let deadline_us: Option<u64> = match flag_value(args, "--deadline-us")? {
+        Some(v) => Some(v.parse().map_err(|_| format!("bad --deadline-us {v}"))?),
+        None => None,
+    };
     if replicate && disks < 2 {
         return Err("--replicate needs at least 2 disks".into());
     }
@@ -439,19 +448,32 @@ fn cmd_evaluate(args: &[String]) -> CliResult {
         println!("mean batch      {:.2} requests", concurrent.mean_batch());
     }
 
-    if replicate || fail > 0 {
-        // Degraded-mode run: chained-declustered replication (with
-        // --replicate) and/or injected fail-stop worker faults (--fail K,
-        // spaced around the chain so replicated layouts survive them).
-        let mut faults = FaultPlan::none();
+    if replicate || fail > 0 || chaos.is_some() || deadline_us.is_some() {
+        // Degraded-mode / hostile-environment run: chained-declustered
+        // replication (--replicate), injected fail-stop worker faults
+        // (--fail K, spaced around the chain so replicated layouts survive
+        // them), a seeded chaos schedule over every fault family (--chaos
+        // SEED), and a per-query real-time deadline (--deadline-us N).
+        let mut faults = match chaos {
+            // The soak's default intensity: 24 events over the run.
+            Some(cs) => FaultPlan::chaos(cs, disks, queries as u64, 24),
+            None => FaultPlan::none(),
+        };
         for i in 0..fail {
             faults = faults.with_kill(i * disks / fail.max(1));
         }
-        let config = EngineConfig {
-            fail_timeout_ms: 25,
+        let mut config = EngineConfig {
+            fail_timeout_ms: if chaos.is_some() { 15 } else { 25 },
             ..EngineConfig::default()
         }
         .with_faults(faults);
+        if let Some(d) = deadline_us {
+            config = config.with_deadline_us(d);
+        }
+        if chaos.is_some() {
+            // Chaos schedules include straggler disks: arm hedged reads.
+            config = config.with_hedging(3.0);
+        }
         let engine = if replicate {
             let ra = method.assign_replicated(&input, disks, seed);
             ParallelGridFile::build_replicated(std::sync::Arc::clone(&gf), &ra, config)
@@ -484,6 +506,21 @@ fn cmd_evaluate(args: &[String]) -> CliResult {
             "failover        {} retries, {} blocks served by replicas",
             tp.retries, tp.failed_over_blocks
         );
+        if let Some(cs) = chaos {
+            println!("chaos           seed {cs} (24 fault events over every family)");
+        }
+        if let Some(d) = deadline_us {
+            println!(
+                "deadline        {d} us per query, {} expired",
+                st.deadline_expired
+            );
+        }
+        if chaos.is_some() {
+            println!(
+                "resilience      {} retransmits, {} hedged reads, {} blocks scrubbed",
+                st.retransmits, st.hedges, st.scrubbed
+            );
+        }
         println!("incomplete      {incomplete} of {} queries", tp.queries);
     }
 
