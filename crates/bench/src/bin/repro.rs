@@ -30,6 +30,7 @@ const EXPERIMENTS: &[&str] = &[
     "tail",
     "degradation",
     "resilience",
+    "serving",
     "ablation-curves",
     "ablation-minimax",
     "ablation-cost",
@@ -110,6 +111,7 @@ fn main() -> ExitCode {
             "tail" => exp::tail::run(&params),
             "degradation" => exp::degradation::run(&params),
             "resilience" => exp::resilience::run(&params),
+            "serving" => exp::serving::run(&params),
             "ablation-curves" => exp::ablations::run_curves(&params),
             "ablation-minimax" => exp::ablations::run_minimax(&params),
             "ablation-cost" => exp::ablations::run_cost(&params),

@@ -10,6 +10,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod growth;
 pub mod resilience;
+pub mod serving;
 pub mod table1;
 pub mod tables23;
 pub mod tables45;

@@ -1,0 +1,166 @@
+//! Blocking client for the pargrid wire protocol.
+//!
+//! One request in flight per connection (the protocol has no request ids;
+//! replies come back in order, and the server's per-connection writer
+//! preserves that order). Concurrency comes from opening more
+//! connections, which is also what the load generator does.
+
+use std::fmt;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::thread;
+use std::time::Duration;
+
+use crate::frame::{read_frame, write_frame, FrameError};
+use crate::proto::{ProtoError, RecordsReply, Request, Response, WireError};
+
+/// Everything a request round-trip can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket or framing failure.
+    Frame(FrameError),
+    /// The reply frame decoded to garbage.
+    Proto(ProtoError),
+    /// The server answered with a typed error (`Overloaded` is the one
+    /// callers usually want to match on).
+    Server(WireError),
+    /// The server answered with the wrong response type for the request.
+    Unexpected(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "{e}"),
+            ClientError::Proto(e) => write!(f, "{e}"),
+            ClientError::Server(e) => write!(f, "server: {e}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+impl ClientError {
+    /// `Some(hint)` if this is an `Overloaded` shed — the caller should
+    /// back off at least that many milliseconds.
+    pub fn retry_after_ms(&self) -> Option<u32> {
+        match self {
+            ClientError::Server(WireError::Overloaded { retry_after_ms }) => Some(*retry_after_ms),
+            _ => None,
+        }
+    }
+}
+
+/// A connected blocking client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Single connection attempt.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Connects with exponential backoff: `attempts` tries, sleeping
+    /// `base_backoff × 2^i` between them (the PR 4 retransmit shape).
+    /// Lets tests and the load generator start before the server finishes
+    /// binding.
+    pub fn connect_retry(
+        addr: impl ToSocketAddrs + Clone,
+        attempts: u32,
+        base_backoff: Duration,
+    ) -> std::io::Result<Client> {
+        let mut last = None;
+        for i in 0..attempts.max(1) {
+            match Client::connect(addr.clone()) {
+                Ok(c) => return Ok(c),
+                Err(e) => last = Some(e),
+            }
+            if i + 1 < attempts {
+                thread::sleep(base_backoff * 2u32.saturating_pow(i).min(64));
+            }
+        }
+        Err(last.unwrap_or_else(|| std::io::Error::other("no connect attempts made")))
+    }
+
+    fn round_trip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let (t, p) = req.encode();
+        write_frame(&mut self.writer, t, &p).map_err(FrameError::Io)?;
+        self.writer.flush().map_err(FrameError::Io)?;
+        let frame = read_frame(&mut self.reader)?;
+        let resp = Response::decode(frame.msg_type, &frame.payload)?;
+        if let Response::Error(e) = resp {
+            return Err(ClientError::Server(e));
+        }
+        Ok(resp)
+    }
+
+    /// Runs a range query; coordinates must match the file's
+    /// dimensionality.
+    pub fn range_query(&mut self, lo: &[f64], hi: &[f64]) -> Result<RecordsReply, ClientError> {
+        let req = Request::RangeQuery {
+            lo: lo.to_vec(),
+            hi: hi.to_vec(),
+        };
+        match self.round_trip(&req)? {
+            Response::Records(r) => Ok(r),
+            _ => Err(ClientError::Unexpected("wanted Records")),
+        }
+    }
+
+    /// Runs a partial-match query (`None` = wildcard attribute).
+    pub fn partial_match(&mut self, keys: &[Option<f64>]) -> Result<RecordsReply, ClientError> {
+        let req = Request::PartialMatch {
+            keys: keys.to_vec(),
+        };
+        match self.round_trip(&req)? {
+            Response::Records(r) => Ok(r),
+            _ => Err(ClientError::Unexpected("wanted Records")),
+        }
+    }
+
+    /// Liveness probe; returns the echoed token.
+    pub fn ping(&mut self, token: u64) -> Result<u64, ClientError> {
+        match self.round_trip(&Request::Ping { token })? {
+            Response::Pong { token } => Ok(token),
+            _ => Err(ClientError::Unexpected("wanted Pong")),
+        }
+    }
+
+    /// Fetches the server's Prometheus metrics document.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        match self.round_trip(&Request::Stats)? {
+            Response::StatsText(s) => Ok(s),
+            _ => Err(ClientError::Unexpected("wanted StatsText")),
+        }
+    }
+
+    /// Asks the server to shut down gracefully; `Ok` once acknowledged.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            _ => Err(ClientError::Unexpected("wanted ShutdownAck")),
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Length-prefixed, CRC-32-trailered binary frames.
+//!
+//! Wire layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic  b"PG"
+//! 2       1     protocol version (currently 1)
+//! 3       1     message type (see `proto`)
+//! 4       4     payload length N (u32, <= MAX_PAYLOAD)
+//! 8       N     payload
+//! 8+N     4     CRC-32 (IEEE) over bytes [0, 8+N)
+//! ```
+//!
+//! The checksum covers the header too, so a flipped type byte or length is
+//! caught, not just payload corruption. Decoding is total: any byte
+//! sequence maps to a [`Frame`] or a typed [`FrameError`] — never a panic
+//! and never an allocation larger than [`MAX_PAYLOAD`].
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use pargrid_gridfile::crc32;
+
+/// First two bytes of every frame.
+pub const MAGIC: [u8; 2] = [b'P', b'G'];
+/// Wire protocol version this build speaks.
+pub const PROTOCOL_VERSION: u8 = 1;
+/// Upper bound on payload length; larger length prefixes are rejected
+/// before any allocation (a hostile 4 GiB prefix must not OOM the server).
+pub const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
+/// Fixed header size: magic + version + type + length.
+pub const HEADER_LEN: usize = 8;
+/// CRC trailer size.
+pub const TRAILER_LEN: usize = 4;
+
+/// One decoded frame: a message type plus its raw payload. The payload is
+/// interpreted by `proto`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Message type byte (request/response discriminant).
+    pub msg_type: u8,
+    /// Raw payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Every way a frame can fail to decode. `Closed` is the one benign
+/// variant: the peer hung up cleanly between frames.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Clean EOF at a frame boundary — the connection is simply done.
+    Closed,
+    /// EOF in the middle of a frame: the peer died or sent a short write.
+    Truncated,
+    /// First two bytes were not `b"PG"`.
+    BadMagic([u8; 2]),
+    /// Protocol version we do not speak.
+    BadVersion(u8),
+    /// Length prefix exceeded [`MAX_PAYLOAD`].
+    Oversized(u32),
+    /// Checksum mismatch (header or payload corrupted in flight).
+    BadCrc {
+        /// CRC computed over the received bytes.
+        expected: u32,
+        /// CRC carried in the trailer.
+        actual: u32,
+    },
+    /// Underlying socket error other than EOF.
+    Io(io::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Truncated => write!(f, "truncated frame"),
+            FrameError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            FrameError::BadVersion(v) => {
+                write!(
+                    f,
+                    "protocol version {v} (this build speaks {PROTOCOL_VERSION})"
+                )
+            }
+            FrameError::Oversized(n) => {
+                write!(f, "payload length {n} exceeds limit {MAX_PAYLOAD}")
+            }
+            FrameError::BadCrc { expected, actual } => {
+                write!(
+                    f,
+                    "crc mismatch: computed {expected:#010x}, frame says {actual:#010x}"
+                )
+            }
+            FrameError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Encodes a frame into a fresh byte vector.
+pub fn encode_frame(msg_type: u8, payload: &[u8]) -> Vec<u8> {
+    debug_assert!(payload.len() as u64 <= MAX_PAYLOAD as u64);
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+    buf.extend_from_slice(&MAGIC);
+    buf.push(PROTOCOL_VERSION);
+    buf.push(msg_type);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// Encodes and writes one frame (no flush; callers batch then flush).
+pub fn write_frame(w: &mut impl Write, msg_type: u8, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&encode_frame(msg_type, payload))
+}
+
+/// Reads exactly `buf.len()` bytes. Distinguishes "EOF before the first
+/// byte" (clean close, only meaningful for the frame's first read) from
+/// "EOF partway through" (truncation).
+fn read_exact_or(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    clean_eof: FrameError,
+) -> Result<(), FrameError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Err(if got == 0 {
+                    clean_eof
+                } else {
+                    FrameError::Truncated
+                });
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Reads and validates one frame. Any `&[u8]` works as the reader, so the
+/// same code path serves sockets and in-memory fuzzing:
+///
+/// ```
+/// use pargrid_net::frame::{encode_frame, read_frame};
+/// let bytes = encode_frame(0x03, &7u64.to_le_bytes());
+/// let frame = read_frame(&mut &bytes[..]).unwrap();
+/// assert_eq!(frame.msg_type, 0x03);
+/// ```
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    read_exact_or(r, &mut header, FrameError::Closed)?;
+    if header[0..2] != MAGIC {
+        return Err(FrameError::BadMagic([header[0], header[1]]));
+    }
+    if header[2] != PROTOCOL_VERSION {
+        return Err(FrameError::BadVersion(header[2]));
+    }
+    let msg_type = header[3];
+    let len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+    if len > MAX_PAYLOAD {
+        return Err(FrameError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact_or(r, &mut payload, FrameError::Truncated)?;
+    let mut trailer = [0u8; TRAILER_LEN];
+    read_exact_or(r, &mut trailer, FrameError::Truncated)?;
+    let actual = u32::from_le_bytes(trailer);
+    // CRC over header + payload, exactly as encode_frame computed it.
+    let mut crc_buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    crc_buf.extend_from_slice(&header);
+    crc_buf.extend_from_slice(&payload);
+    let expected = crc32(&crc_buf);
+    if expected != actual {
+        return Err(FrameError::BadCrc { expected, actual });
+    }
+    Ok(Frame { msg_type, payload })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let bytes = encode_frame(0x42, b"hello grid");
+        let frame = read_frame(&mut &bytes[..]).unwrap();
+        assert_eq!(frame.msg_type, 0x42);
+        assert_eq!(frame.payload, b"hello grid");
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let bytes = encode_frame(0x04, &[]);
+        assert_eq!(bytes.len(), HEADER_LEN + TRAILER_LEN);
+        let frame = read_frame(&mut &bytes[..]).unwrap();
+        assert_eq!(frame.payload, b"");
+    }
+
+    #[test]
+    fn clean_eof_is_closed_mid_frame_is_truncated() {
+        assert!(matches!(read_frame(&mut &b""[..]), Err(FrameError::Closed)));
+        let bytes = encode_frame(0x01, b"abc");
+        for cut in 1..bytes.len() {
+            assert!(
+                matches!(read_frame(&mut &bytes[..cut]), Err(FrameError::Truncated)),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_byte_is_detected() {
+        let bytes = encode_frame(0x01, b"abcdef");
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            let err = read_frame(&mut &bad[..]).unwrap_err();
+            // Depending on which byte flips we may see magic/version/length
+            // errors first, but never a successful decode.
+            match err {
+                FrameError::BadMagic(_)
+                | FrameError::BadVersion(_)
+                | FrameError::Oversized(_)
+                | FrameError::Truncated
+                | FrameError::BadCrc { .. } => {}
+                other => panic!("byte {i}: unexpected {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        let mut bytes = encode_frame(0x01, b"x");
+        bytes[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &bytes[..]),
+            Err(FrameError::Oversized(u32::MAX))
+        ));
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let mut bytes = encode_frame(0x01, b"x");
+        bytes[2] = PROTOCOL_VERSION + 1;
+        let crc = crc32(&bytes[..bytes.len() - TRAILER_LEN]);
+        let n = bytes.len();
+        bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &bytes[..]),
+            Err(FrameError::BadVersion(v)) if v == PROTOCOL_VERSION + 1
+        ));
+    }
+}

@@ -1,0 +1,599 @@
+//! Typed requests and replies on top of [`crate::frame`].
+//!
+//! Message type bytes: requests are `0x01..=0x05`, responses set the high
+//! bit (`0x81..=0x85`). Payload encodings are fixed little-endian layouts
+//! described on each variant. Decoding is strict — trailing bytes, short
+//! payloads, non-finite coordinates, unordered intervals, and out-of-range
+//! dimensionalities are all typed errors, because the geometry types the
+//! server builds from these payloads (`Rect::new`, `Point::new`) assert on
+//! such inputs and a hostile client must not be able to reach an assert.
+
+use std::fmt;
+
+use pargrid_geom::{Point, Rect, MAX_DIM};
+use pargrid_gridfile::Record;
+
+/// Request: range query. Payload: `dim u16`, then `dim × (lo f64, hi f64)`.
+pub const REQ_RANGE: u8 = 0x01;
+/// Request: partial match. Payload: `dim u16`, then `dim ×` either tag
+/// `0u8` (wildcard) or tag `1u8` + `value f64`.
+pub const REQ_PARTIAL: u8 = 0x02;
+/// Request: ping. Payload: `token u64`, echoed back.
+pub const REQ_PING: u8 = 0x03;
+/// Request: server stats as a Prometheus text document. Empty payload.
+pub const REQ_STATS: u8 = 0x04;
+/// Request: graceful server shutdown (admin; servers may refuse). Empty
+/// payload.
+pub const REQ_SHUTDOWN: u8 = 0x05;
+
+/// Response: records. Payload: `incomplete u8`, `elapsed_us u64`,
+/// `comm_us u64`, `response_blocks u64`, `total_blocks u64`,
+/// `cache_hits u64`, `n u32`, then `n ×` (`id u64`, `dim u16`,
+/// `dim × coord f64`).
+pub const RESP_RECORDS: u8 = 0x81;
+/// Response: pong. Payload: `token u64`.
+pub const RESP_PONG: u8 = 0x82;
+/// Response: stats text. Payload: `len u32` + UTF-8 bytes.
+pub const RESP_STATS: u8 = 0x83;
+/// Response: typed error. Payload: `code u8`, code-specific fields, then
+/// `len u32` + UTF-8 message.
+pub const RESP_ERROR: u8 = 0x84;
+/// Response: shutdown acknowledged. Empty payload.
+pub const RESP_SHUTDOWN_ACK: u8 = 0x85;
+
+const ERR_MALFORMED: u8 = 1;
+const ERR_OVERLOADED: u8 = 2;
+const ERR_INCOMPLETE: u8 = 3;
+
+/// A request a client can put on the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Orthogonal range query over the full dimensionality of the file.
+    RangeQuery {
+        /// Low corner, one value per dimension.
+        lo: Vec<f64>,
+        /// High corner; `lo[i] <= hi[i]` is enforced at decode time.
+        hi: Vec<f64>,
+    },
+    /// Exact-match on a subset of attributes (`None` = wildcard).
+    PartialMatch {
+        /// One entry per dimension.
+        keys: Vec<Option<f64>>,
+    },
+    /// Liveness probe carrying an arbitrary token.
+    Ping {
+        /// Echoed back verbatim in the pong.
+        token: u64,
+    },
+    /// Fetch the server's Prometheus metrics document.
+    Stats,
+    /// Ask the server to shut down gracefully.
+    Shutdown,
+}
+
+/// Everything a server can answer with.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Query answer.
+    Records(RecordsReply),
+    /// Ping echo.
+    Pong {
+        /// The token from the ping.
+        token: u64,
+    },
+    /// Prometheus metrics document.
+    StatsText(String),
+    /// Typed rejection.
+    Error(WireError),
+    /// Graceful shutdown underway.
+    ShutdownAck,
+}
+
+/// A successful query answer plus the engine's virtual cost accounting, so
+/// remote clients see the same per-query economics as in-process sessions.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RecordsReply {
+    /// True if some blocks could not be served (worker deaths, deadline).
+    pub incomplete: bool,
+    /// Virtual response time, microseconds.
+    pub elapsed_us: u64,
+    /// Virtual communication share of `elapsed_us`.
+    pub comm_us: u64,
+    /// Max blocks on any one worker (the paper's response-time proxy).
+    pub response_blocks: u64,
+    /// Total blocks fetched.
+    pub total_blocks: u64,
+    /// Buffer-cache hits.
+    pub cache_hits: u64,
+    /// Matching records, sorted by id.
+    pub records: Vec<Record>,
+}
+
+/// Typed errors a server sends back instead of an answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The request could not be understood (bad frame follows a close; bad
+    /// payload gets this reply first).
+    Malformed(String),
+    /// Admission queue full — shed, retry after the hinted delay.
+    Overloaded {
+        /// Client should back off at least this long.
+        retry_after_ms: u32,
+    },
+    /// The engine answered, but incompletely (failed workers, deadline).
+    Incomplete(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Malformed(m) => write!(f, "malformed request: {m}"),
+            WireError::Overloaded { retry_after_ms } => {
+                write!(f, "overloaded, retry after {retry_after_ms} ms")
+            }
+            WireError::Incomplete(m) => write!(f, "incomplete answer: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Payload decode failure: the frame was intact (magic/CRC passed) but its
+/// contents violate the protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtoError(pub String);
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+fn err(msg: impl Into<String>) -> ProtoError {
+    ProtoError(msg.into())
+}
+
+/// Little-endian cursor over a payload; every read is bounds-checked.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cur { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| err("length overflow"))?;
+        if end > self.buf.len() {
+            return Err(err(format!(
+                "payload too short: wanted {n} more bytes at offset {}",
+                self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtoError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn finite_f64(&mut self, what: &str) -> Result<f64, ProtoError> {
+        let v = self.f64()?;
+        if !v.is_finite() {
+            return Err(err(format!("{what} is not finite")));
+        }
+        Ok(v)
+    }
+
+    fn done(&self) -> Result<(), ProtoError> {
+        if self.pos != self.buf.len() {
+            return Err(err(format!(
+                "{} trailing bytes after message",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// `1..=MAX_DIM`, the range `Point::new`/`Rect::new` accept without
+/// asserting.
+fn checked_dim(dim: u16) -> Result<usize, ProtoError> {
+    let d = dim as usize;
+    if d == 0 || d > MAX_DIM {
+        return Err(err(format!("dimension {d} outside 1..={MAX_DIM}")));
+    }
+    Ok(d)
+}
+
+impl Request {
+    /// Message type byte + payload for this request.
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        match self {
+            Request::RangeQuery { lo, hi } => {
+                let mut p = Vec::with_capacity(2 + lo.len() * 16);
+                p.extend_from_slice(&(lo.len() as u16).to_le_bytes());
+                for (l, h) in lo.iter().zip(hi) {
+                    p.extend_from_slice(&l.to_le_bytes());
+                    p.extend_from_slice(&h.to_le_bytes());
+                }
+                (REQ_RANGE, p)
+            }
+            Request::PartialMatch { keys } => {
+                let mut p = Vec::with_capacity(2 + keys.len() * 9);
+                p.extend_from_slice(&(keys.len() as u16).to_le_bytes());
+                for k in keys {
+                    match k {
+                        None => p.push(0),
+                        Some(v) => {
+                            p.push(1);
+                            p.extend_from_slice(&v.to_le_bytes());
+                        }
+                    }
+                }
+                (REQ_PARTIAL, p)
+            }
+            Request::Ping { token } => (REQ_PING, token.to_le_bytes().to_vec()),
+            Request::Stats => (REQ_STATS, Vec::new()),
+            Request::Shutdown => (REQ_SHUTDOWN, Vec::new()),
+        }
+    }
+
+    /// Decodes a request payload. Total: every input maps to `Ok` or a
+    /// typed [`ProtoError`].
+    pub fn decode(msg_type: u8, payload: &[u8]) -> Result<Request, ProtoError> {
+        let mut c = Cur::new(payload);
+        let req = match msg_type {
+            REQ_RANGE => {
+                let d = checked_dim(c.u16()?)?;
+                let mut lo = Vec::with_capacity(d);
+                let mut hi = Vec::with_capacity(d);
+                for i in 0..d {
+                    let l = c.finite_f64("range lo")?;
+                    let h = c.finite_f64("range hi")?;
+                    if l > h {
+                        return Err(err(format!("range dim {i}: lo {l} > hi {h}")));
+                    }
+                    lo.push(l);
+                    hi.push(h);
+                }
+                Request::RangeQuery { lo, hi }
+            }
+            REQ_PARTIAL => {
+                let d = checked_dim(c.u16()?)?;
+                let mut keys = Vec::with_capacity(d);
+                for i in 0..d {
+                    match c.u8()? {
+                        0 => keys.push(None),
+                        1 => keys.push(Some(c.finite_f64("partial-match key")?)),
+                        t => return Err(err(format!("key {i}: bad tag {t}"))),
+                    }
+                }
+                Request::PartialMatch { keys }
+            }
+            REQ_PING => Request::Ping { token: c.u64()? },
+            REQ_STATS => Request::Stats,
+            REQ_SHUTDOWN => Request::Shutdown,
+            t => return Err(err(format!("unknown request type {t:#04x}"))),
+        };
+        c.done()?;
+        Ok(req)
+    }
+
+    /// The query rectangle this request denotes over `domain`, or `None`
+    /// for non-query requests.
+    ///
+    /// A partial match is a degenerate range: `[v, v]` on each specified
+    /// attribute and the full domain extent on wildcards — exactly the
+    /// equivalence the paper uses when it treats partial match as a range
+    /// query with zero-width intervals. Returns a [`WireError::Malformed`]
+    /// if the request's dimensionality does not match the file's.
+    pub fn to_rect(&self, domain: &Rect) -> Result<Option<Rect>, WireError> {
+        let dim = domain.dim();
+        match self {
+            Request::RangeQuery { lo, hi } => {
+                if lo.len() != dim {
+                    return Err(WireError::Malformed(format!(
+                        "query has {} dims, file has {dim}",
+                        lo.len()
+                    )));
+                }
+                Ok(Some(Rect::new(Point::new(lo), Point::new(hi))))
+            }
+            Request::PartialMatch { keys } => {
+                if keys.len() != dim {
+                    return Err(WireError::Malformed(format!(
+                        "query has {} dims, file has {dim}",
+                        keys.len()
+                    )));
+                }
+                let mut lo = Vec::with_capacity(dim);
+                let mut hi = Vec::with_capacity(dim);
+                for (i, k) in keys.iter().enumerate() {
+                    match k {
+                        Some(v) => {
+                            lo.push(*v);
+                            hi.push(*v);
+                        }
+                        None => {
+                            lo.push(domain.lo().coords()[i]);
+                            hi.push(domain.hi().coords()[i]);
+                        }
+                    }
+                }
+                Ok(Some(Rect::new(Point::new(&lo), Point::new(&hi))))
+            }
+            _ => Ok(None),
+        }
+    }
+}
+
+impl Response {
+    /// Message type byte + payload for this response.
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        match self {
+            Response::Records(r) => {
+                let mut p = Vec::with_capacity(49 + r.records.len() * 32);
+                p.push(r.incomplete as u8);
+                for v in [
+                    r.elapsed_us,
+                    r.comm_us,
+                    r.response_blocks,
+                    r.total_blocks,
+                    r.cache_hits,
+                ] {
+                    p.extend_from_slice(&v.to_le_bytes());
+                }
+                p.extend_from_slice(&(r.records.len() as u32).to_le_bytes());
+                for rec in &r.records {
+                    p.extend_from_slice(&rec.id.to_le_bytes());
+                    let coords = rec.point.coords();
+                    p.extend_from_slice(&(coords.len() as u16).to_le_bytes());
+                    for c in coords {
+                        p.extend_from_slice(&c.to_le_bytes());
+                    }
+                }
+                (RESP_RECORDS, p)
+            }
+            Response::Pong { token } => (RESP_PONG, token.to_le_bytes().to_vec()),
+            Response::StatsText(s) => {
+                let mut p = Vec::with_capacity(4 + s.len());
+                p.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                p.extend_from_slice(s.as_bytes());
+                (RESP_STATS, p)
+            }
+            Response::Error(e) => {
+                let mut p = Vec::new();
+                let msg: &str = match e {
+                    WireError::Malformed(m) => {
+                        p.push(ERR_MALFORMED);
+                        m
+                    }
+                    WireError::Overloaded { retry_after_ms } => {
+                        p.push(ERR_OVERLOADED);
+                        p.extend_from_slice(&retry_after_ms.to_le_bytes());
+                        ""
+                    }
+                    WireError::Incomplete(m) => {
+                        p.push(ERR_INCOMPLETE);
+                        m
+                    }
+                };
+                p.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+                p.extend_from_slice(msg.as_bytes());
+                (RESP_ERROR, p)
+            }
+            Response::ShutdownAck => (RESP_SHUTDOWN_ACK, Vec::new()),
+        }
+    }
+
+    /// Decodes a response payload. Total, like [`Request::decode`].
+    pub fn decode(msg_type: u8, payload: &[u8]) -> Result<Response, ProtoError> {
+        let mut c = Cur::new(payload);
+        let resp = match msg_type {
+            RESP_RECORDS => {
+                let incomplete = match c.u8()? {
+                    0 => false,
+                    1 => true,
+                    t => return Err(err(format!("bad incomplete flag {t}"))),
+                };
+                let elapsed_us = c.u64()?;
+                let comm_us = c.u64()?;
+                let response_blocks = c.u64()?;
+                let total_blocks = c.u64()?;
+                let cache_hits = c.u64()?;
+                let n = c.u32()? as usize;
+                // 14 bytes is the smallest possible record (1-D); a hostile
+                // count can't make us allocate more than the payload holds.
+                if n > payload.len() / 14 {
+                    return Err(err(format!("record count {n} exceeds payload")));
+                }
+                let mut records = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let id = c.u64()?;
+                    let d = checked_dim(c.u16()?)?;
+                    let mut coords = [0.0; MAX_DIM];
+                    for slot in coords.iter_mut().take(d) {
+                        *slot = c.finite_f64("record coordinate")?;
+                    }
+                    records.push(Record::new(id, Point::new(&coords[..d])));
+                }
+                Response::Records(RecordsReply {
+                    incomplete,
+                    elapsed_us,
+                    comm_us,
+                    response_blocks,
+                    total_blocks,
+                    cache_hits,
+                    records,
+                })
+            }
+            RESP_PONG => Response::Pong { token: c.u64()? },
+            RESP_STATS => {
+                let n = c.u32()? as usize;
+                let bytes = c.take(n)?;
+                let s = std::str::from_utf8(bytes)
+                    .map_err(|_| err("stats text is not utf-8"))?
+                    .to_string();
+                Response::StatsText(s)
+            }
+            RESP_ERROR => {
+                let code = c.u8()?;
+                let e = match code {
+                    ERR_MALFORMED | ERR_INCOMPLETE => {
+                        let n = c.u32()? as usize;
+                        let bytes = c.take(n)?;
+                        let msg = std::str::from_utf8(bytes)
+                            .map_err(|_| err("error text is not utf-8"))?
+                            .to_string();
+                        if code == ERR_MALFORMED {
+                            WireError::Malformed(msg)
+                        } else {
+                            WireError::Incomplete(msg)
+                        }
+                    }
+                    ERR_OVERLOADED => {
+                        let retry_after_ms = c.u32()?;
+                        let n = c.u32()? as usize;
+                        c.take(n)?;
+                        WireError::Overloaded { retry_after_ms }
+                    }
+                    t => return Err(err(format!("unknown error code {t}"))),
+                };
+                Response::Error(e)
+            }
+            RESP_SHUTDOWN_ACK => Response::ShutdownAck,
+            t => return Err(err(format!("unknown response type {t:#04x}"))),
+        };
+        c.done()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt_request(req: Request) {
+        let (t, p) = req.encode();
+        assert_eq!(Request::decode(t, &p).unwrap(), req);
+    }
+
+    fn rt_response(resp: Response) {
+        let (t, p) = resp.encode();
+        assert_eq!(Response::decode(t, &p).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        rt_request(Request::RangeQuery {
+            lo: vec![0.0, -5.5],
+            hi: vec![1.0, 9.75],
+        });
+        rt_request(Request::PartialMatch {
+            keys: vec![Some(3.25), None, Some(-1.0)],
+        });
+        rt_request(Request::Ping { token: u64::MAX });
+        rt_request(Request::Stats);
+        rt_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        rt_response(Response::Records(RecordsReply {
+            incomplete: false,
+            elapsed_us: 1234,
+            comm_us: 56,
+            response_blocks: 3,
+            total_blocks: 9,
+            cache_hits: 2,
+            records: vec![
+                Record::new(7, Point::new2(1.5, 2.5)),
+                Record::new(8, Point::new2(-3.0, 4.0)),
+            ],
+        }));
+        rt_response(Response::Pong { token: 42 });
+        rt_response(Response::StatsText("# TYPE x counter\nx 1\n".into()));
+        rt_response(Response::Error(WireError::Malformed("nope".into())));
+        rt_response(Response::Error(WireError::Overloaded {
+            retry_after_ms: 50,
+        }));
+        rt_response(Response::Error(WireError::Incomplete(
+            "2 workers dead".into(),
+        )));
+        rt_response(Response::ShutdownAck);
+    }
+
+    #[test]
+    fn hostile_payloads_yield_errors_not_panics() {
+        // NaN coordinate.
+        let mut p = vec![1, 0];
+        p.extend_from_slice(&f64::NAN.to_le_bytes());
+        p.extend_from_slice(&1.0f64.to_le_bytes());
+        assert!(Request::decode(REQ_RANGE, &p).is_err());
+        // lo > hi would panic Rect::new if it got through.
+        let mut p = vec![1, 0];
+        p.extend_from_slice(&2.0f64.to_le_bytes());
+        p.extend_from_slice(&1.0f64.to_le_bytes());
+        assert!(Request::decode(REQ_RANGE, &p).is_err());
+        // Zero and oversized dimensionality would panic Point::new.
+        assert!(Request::decode(REQ_RANGE, &[0, 0]).is_err());
+        let d = (MAX_DIM + 1) as u16;
+        assert!(Request::decode(REQ_RANGE, &d.to_le_bytes()).is_err());
+        // Trailing garbage is rejected.
+        let (t, mut p) = Request::Ping { token: 1 }.encode();
+        p.push(0);
+        assert!(Request::decode(t, &p).is_err());
+        // Hostile record count.
+        let mut p = vec![0];
+        p.extend_from_slice(&[0u8; 40]);
+        p.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Response::decode(RESP_RECORDS, &p).is_err());
+    }
+
+    #[test]
+    fn partial_match_rect_is_degenerate_on_specified_dims() {
+        let domain = Rect::new2(0.0, 0.0, 100.0, 200.0);
+        let req = Request::PartialMatch {
+            keys: vec![Some(42.0), None],
+        };
+        let rect = req.to_rect(&domain).unwrap().unwrap();
+        assert_eq!(rect.lo().coords(), &[42.0, 0.0]);
+        assert_eq!(rect.hi().coords(), &[42.0, 200.0]);
+    }
+
+    #[test]
+    fn dim_mismatch_is_malformed_not_panic() {
+        let domain = Rect::new2(0.0, 0.0, 1.0, 1.0);
+        let req = Request::RangeQuery {
+            lo: vec![0.0],
+            hi: vec![1.0],
+        };
+        assert!(matches!(req.to_rect(&domain), Err(WireError::Malformed(_))));
+    }
+}

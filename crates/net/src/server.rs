@@ -1,0 +1,593 @@
+//! Multi-threaded TCP server in front of a [`ParallelGridFile`].
+//!
+//! Thread topology (all `std::thread`, blocking I/O):
+//!
+//! ```text
+//!   accept thread ──────────── spawns per connection ──┐
+//!   reader (1/conn) ── decode ─┐                       │
+//!                              ▼                       ▼
+//!                   bounded admission queue      writer (1/conn)
+//!                              │                       ▲
+//!   dispatcher pool (N) ── QuerySession ── encode ─────┘
+//! ```
+//!
+//! Admission control: readers `try_push` onto a bounded queue. A full
+//! queue means the dispatcher pool is saturated — the reader immediately
+//! answers `Overloaded { retry_after_ms }` and drops the request (load is
+//! *shed*, never buffered unboundedly, so sojourn times stay bounded and
+//! the server survives any offered load). Ping/Stats/Shutdown bypass the
+//! queue: control traffic must work precisely when the data path is
+//! saturated.
+//!
+//! Graceful shutdown (poison pill + socket drain): the shutdown flag stops
+//! the accept loop; the queue is closed so dispatchers drain every already
+//! admitted job and exit; the engine joins its workers
+//! ([`ParallelGridFile::shutdown`]); then each connection's read half is
+//! shut down so readers unblock and writers flush any queued replies
+//! before the sockets drop.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use pargrid_geom::Rect;
+use pargrid_obs::{names, AtomicHistogram, PromWriter};
+use pargrid_parallel::ParallelGridFile;
+
+use crate::frame::{read_frame, FrameError};
+use crate::proto::{RecordsReply, Request, Response, WireError};
+
+/// Tunables for [`Server::start`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Admission-queue capacity; requests beyond it are shed.
+    pub queue_capacity: usize,
+    /// Dispatcher threads, each owning a private `QuerySession`.
+    pub dispatchers: usize,
+    /// Retry hint sent with `Overloaded` replies, milliseconds.
+    pub retry_after_ms: u32,
+    /// Wall-clock service pacing: after answering a query the dispatcher
+    /// sleeps `pace_us_per_block ×` the query's `response_blocks`
+    /// microseconds. Zero disables pacing. `response_blocks` — blocks on
+    /// the busiest disk — is the paper's response-time metric and is
+    /// independent of cache state, so pacing on it ties real serving
+    /// capacity directly to declustering quality: a method that halves
+    /// response blocks doubles the server's wall-clock throughput in the
+    /// `repro serving` experiment.
+    pub pace_us_per_block: u64,
+    /// Whether a wire `Shutdown` request is honored (CI and tests) or
+    /// refused as malformed (default off would complicate the smoke job;
+    /// the CLI enables it explicitly).
+    pub allow_remote_shutdown: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            queue_capacity: 64,
+            dispatchers: 4,
+            retry_after_ms: 50,
+            pace_us_per_block: 0,
+            allow_remote_shutdown: false,
+        }
+    }
+}
+
+/// One admitted query: already validated into a rectangle, stamped with
+/// its arrival time, carrying the channel back to its connection's writer.
+struct Job {
+    rect: Rect,
+    enqueued: Instant,
+    reply: mpsc::Sender<Vec<u8>>,
+}
+
+#[derive(Default)]
+struct QueueInner {
+    jobs: VecDeque<Job>,
+    closed: bool,
+    hwm: usize,
+}
+
+/// Hand-rolled bounded MPMC queue (`Mutex` + `Condvar`); `compat`
+/// crossbeam has no bounded channel and admission control needs an exact
+/// capacity check.
+struct AdmissionQueue {
+    inner: Mutex<QueueInner>,
+    nonempty: Condvar,
+    capacity: usize,
+}
+
+impl AdmissionQueue {
+    fn new(capacity: usize) -> Self {
+        AdmissionQueue {
+            inner: Mutex::new(QueueInner::default()),
+            nonempty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Non-blocking admit; `Err` hands the job back (full or closed) so
+    /// the reader sheds it.
+    #[allow(clippy::result_large_err)]
+    fn try_push(&self, job: Job) -> Result<(), Job> {
+        let mut q = self.inner.lock().expect("admission queue");
+        if q.closed || q.jobs.len() >= self.capacity {
+            return Err(job);
+        }
+        q.jobs.push_back(job);
+        q.hwm = q.hwm.max(q.jobs.len());
+        drop(q);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once closed *and* drained, so every
+    /// admitted request is answered before dispatchers exit.
+    fn pop(&self) -> Option<Job> {
+        let mut q = self.inner.lock().expect("admission queue");
+        loop {
+            if let Some(job) = q.jobs.pop_front() {
+                return Some(job);
+            }
+            if q.closed {
+                return None;
+            }
+            q = self.nonempty.wait(q).expect("admission queue");
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().expect("admission queue").closed = true;
+        self.nonempty.notify_all();
+    }
+
+    fn depth(&self) -> usize {
+        self.inner.lock().expect("admission queue").jobs.len()
+    }
+
+    fn hwm(&self) -> usize {
+        self.inner.lock().expect("admission queue").hwm
+    }
+}
+
+/// Lock-free serving counters, exported as Prometheus by
+/// [`Server::metrics_prom`].
+#[derive(Default)]
+struct NetMetrics {
+    connections_total: AtomicU64,
+    connections_active: AtomicU64,
+    requests_total: AtomicU64,
+    served_total: AtomicU64,
+    shed_total: AtomicU64,
+    malformed_total: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    sojourn_us: AtomicHistogram,
+}
+
+struct Inner {
+    engine: Arc<ParallelGridFile>,
+    queue: AdmissionQueue,
+    metrics: NetMetrics,
+    config: ServerConfig,
+    local_addr: SocketAddr,
+    shutdown_requested: AtomicBool,
+    conns: Mutex<Vec<TcpStream>>,
+    io_handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Inner {
+    fn request_shutdown(&self) {
+        self.shutdown_requested.store(true, Ordering::SeqCst);
+    }
+
+    fn metrics_prom(&self) -> String {
+        let m = &self.metrics;
+        let mut pw = PromWriter::new();
+        pw.counter(
+            names::NET_CONNECTIONS_TOTAL,
+            "TCP connections accepted.",
+            m.connections_total.load(Ordering::Relaxed),
+        );
+        pw.gauge(
+            names::NET_CONNECTIONS_ACTIVE,
+            "TCP connections currently open.",
+            m.connections_active.load(Ordering::Relaxed) as f64,
+        );
+        pw.counter(
+            names::NET_REQUESTS_TOTAL,
+            "Wire requests decoded.",
+            m.requests_total.load(Ordering::Relaxed),
+        );
+        pw.counter(
+            names::NET_SERVED_TOTAL,
+            "Query requests answered with records.",
+            m.served_total.load(Ordering::Relaxed),
+        );
+        pw.counter(
+            names::NET_SHED_TOTAL,
+            "Query requests shed by admission control.",
+            m.shed_total.load(Ordering::Relaxed),
+        );
+        pw.counter(
+            names::NET_MALFORMED_TOTAL,
+            "Frames or payloads rejected as malformed.",
+            m.malformed_total.load(Ordering::Relaxed),
+        );
+        pw.gauge(
+            names::NET_QUEUE_DEPTH,
+            "Admission-queue depth now.",
+            self.queue.depth() as f64,
+        );
+        pw.gauge(
+            names::NET_QUEUE_HWM,
+            "Admission-queue high-water mark.",
+            self.queue.hwm() as f64,
+        );
+        pw.counter(
+            names::NET_BYTES_IN_TOTAL,
+            "Bytes read from client sockets.",
+            m.bytes_in.load(Ordering::Relaxed),
+        );
+        pw.counter(
+            names::NET_BYTES_OUT_TOTAL,
+            "Bytes written to client sockets.",
+            m.bytes_out.load(Ordering::Relaxed),
+        );
+        pw.histogram(
+            names::NET_SOJOURN_US,
+            "Enqueue-to-reply sojourn time (wall microseconds).",
+            &m.sojourn_us.snapshot(),
+        );
+        let es = self.engine.stats();
+        pw.counter(
+            names::ENGINE_QUERIES_TOTAL,
+            "Queries admitted by the engine.",
+            es.queries,
+        );
+        pw.gauge(
+            names::ENGINE_WORKERS_ALIVE,
+            "Engine workers alive.",
+            es.live_workers() as f64,
+        );
+        pw.finish()
+    }
+}
+
+/// A running server. Dropping it without calling [`Server::shutdown`]
+/// leaks the background threads until process exit; the CLI and tests
+/// always shut down explicitly.
+pub struct Server {
+    inner: Arc<Inner>,
+    accept: Option<JoinHandle<()>>,
+    dispatchers: Vec<JoinHandle<()>>,
+}
+
+/// `TcpStream` wrapper that counts bytes as the reader pulls frames.
+struct CountingReader<'a> {
+    stream: &'a TcpStream,
+    bytes: &'a AtomicU64,
+}
+
+impl Read for CountingReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.stream.read(buf)?;
+        self.bytes.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port), spawns the
+    /// dispatcher pool and accept thread, and returns immediately.
+    pub fn start(
+        engine: Arc<ParallelGridFile>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            queue: AdmissionQueue::new(config.queue_capacity),
+            metrics: NetMetrics::default(),
+            local_addr,
+            shutdown_requested: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            io_handles: Mutex::new(Vec::new()),
+            engine,
+            config,
+        });
+
+        let mut dispatchers = Vec::new();
+        for d in 0..inner.config.dispatchers.max(1) {
+            let inner = Arc::clone(&inner);
+            dispatchers.push(
+                thread::Builder::new()
+                    .name(format!("pargrid-dispatch-{d}"))
+                    .spawn(move || dispatcher_loop(&inner))
+                    .expect("spawn dispatcher"),
+            );
+        }
+
+        let accept = {
+            let inner = Arc::clone(&inner);
+            thread::Builder::new()
+                .name("pargrid-accept".into())
+                .spawn(move || accept_loop(&listener, &inner))
+                .expect("spawn acceptor")
+        };
+
+        Ok(Server {
+            inner,
+            accept: Some(accept),
+            dispatchers,
+        })
+    }
+
+    /// The bound address (resolves port 0 binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.local_addr
+    }
+
+    /// Current Prometheus metrics document (same text a wire `Stats`
+    /// request returns).
+    pub fn metrics_prom(&self) -> String {
+        self.inner.metrics_prom()
+    }
+
+    /// Signals shutdown without waiting (a wire `Shutdown` request does
+    /// exactly this internally).
+    pub fn request_shutdown(&self) {
+        self.inner.request_shutdown();
+    }
+
+    /// Blocks until shutdown is requested — by [`Server::request_shutdown`]
+    /// or a wire `Shutdown` — then tears everything down in drain order:
+    /// close the admission queue, join dispatchers (every admitted job is
+    /// answered), join the engine's workers, unblock readers, flush
+    /// writers. Returns the final metrics document.
+    pub fn join(mut self) -> String {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.inner.queue.close();
+        for h in self.dispatchers.drain(..) {
+            let _ = h.join();
+        }
+        self.inner.engine.shutdown();
+        // Shut the *read* half of every connection: blocked readers see
+        // EOF and exit, dropping their reply senders, which lets writers
+        // drain queued replies (the write half is still open) and exit.
+        for conn in self.inner.conns.lock().expect("conn list").drain(..) {
+            let _ = conn.shutdown(Shutdown::Read);
+        }
+        let handles: Vec<_> = {
+            let mut g = self.inner.io_handles.lock().expect("io handles");
+            g.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        self.inner.metrics_prom()
+    }
+
+    /// [`Server::request_shutdown`] + [`Server::join`].
+    pub fn shutdown(self) -> String {
+        self.inner.request_shutdown();
+        self.join()
+    }
+}
+
+fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
+    while !inner.shutdown_requested.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_nodelay(true);
+                spawn_connection(stream, inner);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn spawn_connection(stream: TcpStream, inner: &Arc<Inner>) {
+    inner
+        .metrics
+        .connections_total
+        .fetch_add(1, Ordering::Relaxed);
+    inner
+        .metrics
+        .connections_active
+        .fetch_add(1, Ordering::Relaxed);
+
+    let write_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            inner
+                .metrics
+                .connections_active
+                .fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    if let Ok(track) = stream.try_clone() {
+        inner.conns.lock().expect("conn list").push(track);
+    }
+
+    let (reply_tx, reply_rx) = mpsc::channel::<Vec<u8>>();
+
+    let writer = {
+        let inner = Arc::clone(inner);
+        thread::Builder::new()
+            .name("pargrid-conn-writer".into())
+            .spawn(move || writer_loop(write_stream, &reply_rx, &inner))
+            .expect("spawn writer")
+    };
+    let reader = {
+        let inner = Arc::clone(inner);
+        thread::Builder::new()
+            .name("pargrid-conn-reader".into())
+            .spawn(move || {
+                reader_loop(&stream, &reply_tx, &inner);
+                drop(reply_tx); // writer drains then exits
+                inner
+                    .metrics
+                    .connections_active
+                    .fetch_sub(1, Ordering::Relaxed);
+            })
+            .expect("spawn reader")
+    };
+
+    let mut g = inner.io_handles.lock().expect("io handles");
+    g.push(reader);
+    g.push(writer);
+}
+
+fn writer_loop(mut stream: TcpStream, rx: &mpsc::Receiver<Vec<u8>>, inner: &Arc<Inner>) {
+    while let Ok(bytes) = rx.recv() {
+        if stream
+            .write_all(&bytes)
+            .and_then(|()| stream.flush())
+            .is_err()
+        {
+            break;
+        }
+        inner
+            .metrics
+            .bytes_out
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+    }
+    let _ = stream.shutdown(Shutdown::Write);
+}
+
+/// Sends a response down the connection's writer channel.
+fn send_response(reply: &mpsc::Sender<Vec<u8>>, resp: &Response) {
+    let (t, p) = resp.encode();
+    let _ = reply.send(crate::frame::encode_frame(t, &p));
+}
+
+fn reader_loop(stream: &TcpStream, reply: &mpsc::Sender<Vec<u8>>, inner: &Arc<Inner>) {
+    let mut counting = CountingReader {
+        stream,
+        bytes: &inner.metrics.bytes_in,
+    };
+    loop {
+        let frame = match read_frame(&mut counting) {
+            Ok(f) => f,
+            Err(FrameError::Closed) | Err(FrameError::Io(_)) => return,
+            Err(e) => {
+                // Framing is broken; one typed reply, then hang up — we
+                // can no longer find frame boundaries on this stream.
+                inner
+                    .metrics
+                    .malformed_total
+                    .fetch_add(1, Ordering::Relaxed);
+                send_response(reply, &Response::Error(WireError::Malformed(e.to_string())));
+                return;
+            }
+        };
+        let request = match Request::decode(frame.msg_type, &frame.payload) {
+            Ok(r) => r,
+            Err(e) => {
+                // Frame boundaries are intact, only this payload is bad —
+                // reply and keep the connection.
+                inner
+                    .metrics
+                    .malformed_total
+                    .fetch_add(1, Ordering::Relaxed);
+                send_response(reply, &Response::Error(WireError::Malformed(e.to_string())));
+                continue;
+            }
+        };
+        inner.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+        match request {
+            Request::Ping { token } => send_response(reply, &Response::Pong { token }),
+            Request::Stats => {
+                send_response(reply, &Response::StatsText(inner.metrics_prom()));
+            }
+            Request::Shutdown => {
+                if inner.config.allow_remote_shutdown {
+                    send_response(reply, &Response::ShutdownAck);
+                    inner.request_shutdown();
+                    return;
+                }
+                send_response(
+                    reply,
+                    &Response::Error(WireError::Malformed("remote shutdown not permitted".into())),
+                );
+            }
+            req @ (Request::RangeQuery { .. } | Request::PartialMatch { .. }) => {
+                let domain = &inner.engine.grid().config().domain;
+                let rect = match req.to_rect(domain) {
+                    Ok(Some(rect)) => rect,
+                    Ok(None) => unreachable!("query requests always map to a rect"),
+                    Err(e) => {
+                        inner
+                            .metrics
+                            .malformed_total
+                            .fetch_add(1, Ordering::Relaxed);
+                        send_response(reply, &Response::Error(e));
+                        continue;
+                    }
+                };
+                let job = Job {
+                    rect,
+                    enqueued: Instant::now(),
+                    reply: reply.clone(),
+                };
+                if inner.queue.try_push(job).is_err() {
+                    inner.metrics.shed_total.fetch_add(1, Ordering::Relaxed);
+                    send_response(
+                        reply,
+                        &Response::Error(WireError::Overloaded {
+                            retry_after_ms: inner.config.retry_after_ms,
+                        }),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn dispatcher_loop(inner: &Arc<Inner>) {
+    let mut session = inner.engine.session();
+    while let Some(job) = inner.queue.pop() {
+        let outcome = session.query(&job.rect);
+        let pace_us = inner.config.pace_us_per_block * outcome.response_blocks.max(1);
+        if pace_us > 0 {
+            thread::sleep(Duration::from_micros(pace_us));
+        }
+        let resp = if outcome.incomplete {
+            Response::Error(WireError::Incomplete(format!(
+                "{} of {} engine workers alive",
+                inner.engine.stats().live_workers(),
+                inner.engine.n_workers(),
+            )))
+        } else {
+            inner.metrics.served_total.fetch_add(1, Ordering::Relaxed);
+            Response::Records(RecordsReply {
+                incomplete: outcome.incomplete,
+                elapsed_us: outcome.elapsed_us,
+                comm_us: outcome.comm_us,
+                response_blocks: outcome.response_blocks,
+                total_blocks: outcome.total_blocks,
+                cache_hits: outcome.cache_hits,
+                records: outcome.records,
+            })
+        };
+        let sojourn = job.enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        inner.metrics.sojourn_us.record(sojourn);
+        send_response(&job.reply, &resp);
+    }
+    let _ = session.close();
+}

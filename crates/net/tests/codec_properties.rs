@@ -1,0 +1,120 @@
+//! Property tests for the wire codec: round-trips for well-formed traffic,
+//! typed errors — never panics — for everything hostile.
+
+use proptest::prelude::*;
+
+use pargrid_gridfile::crc32;
+use pargrid_net::frame::{encode_frame, read_frame, FrameError, PROTOCOL_VERSION, TRAILER_LEN};
+use pargrid_net::proto::{Request, Response};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn frame_round_trips(
+        msg_type in 0u8..=255,
+        payload in prop::collection::vec(0u8..=255, 0..200usize),
+    ) {
+        let bytes = encode_frame(msg_type, &payload);
+        let frame = read_frame(&mut &bytes[..]).unwrap();
+        prop_assert_eq!(frame.msg_type, msg_type);
+        prop_assert_eq!(frame.payload, payload);
+    }
+
+    #[test]
+    fn truncated_frames_are_typed_errors(
+        payload in prop::collection::vec(0u8..=255, 0..100usize),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let bytes = encode_frame(0x01, &payload);
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        let err = read_frame(&mut &bytes[..cut]).unwrap_err();
+        match err {
+            FrameError::Closed => prop_assert_eq!(cut, 0),
+            FrameError::Truncated => prop_assert!(cut > 0),
+            other => panic!("cut {cut}: unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_frames_never_decode(
+        payload in prop::collection::vec(0u8..=255, 1..100usize),
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = encode_frame(0x02, &payload);
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= flip;
+        // Any single-byte corruption — header, payload, or trailer — must
+        // surface as a typed error; the CRC covers all of them.
+        prop_assert!(read_frame(&mut &bytes[..]).is_err(), "flipped byte {pos}");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected(len_excess in 1u32..=u32::MAX - pargrid_net::MAX_PAYLOAD) {
+        let mut bytes = encode_frame(0x01, b"x");
+        let huge = pargrid_net::MAX_PAYLOAD + len_excess;
+        bytes[4..8].copy_from_slice(&huge.to_le_bytes());
+        prop_assert!(matches!(
+            read_frame(&mut &bytes[..]),
+            Err(FrameError::Oversized(n)) if n == huge
+        ));
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected(bump in 1u8..=255) {
+        let version = PROTOCOL_VERSION.wrapping_add(bump);
+        let mut bytes = encode_frame(0x01, b"payload");
+        bytes[2] = version;
+        // Re-seal the CRC so the version byte is the only defect.
+        let n = bytes.len();
+        let crc = crc32(&bytes[..n - TRAILER_LEN]);
+        bytes[n - TRAILER_LEN..].copy_from_slice(&crc.to_le_bytes());
+        prop_assert!(matches!(
+            read_frame(&mut &bytes[..]),
+            Err(FrameError::BadVersion(v)) if v == version
+        ));
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_frame_reader(
+        bytes in prop::collection::vec(0u8..=255, 0..300usize),
+    ) {
+        let _ = read_frame(&mut &bytes[..]);
+    }
+
+    #[test]
+    fn arbitrary_payloads_never_panic_the_proto_decoders(
+        msg_type in 0u8..=255,
+        payload in prop::collection::vec(0u8..=255, 0..300usize),
+    ) {
+        let _ = Request::decode(msg_type, &payload);
+        let _ = Response::decode(msg_type, &payload);
+    }
+
+    #[test]
+    fn valid_range_requests_round_trip(
+        dim in 1usize..=6,
+        corners in prop::collection::vec((0.0f64..1000.0, 0.0f64..1000.0), 6),
+    ) {
+        let lo: Vec<f64> = corners[..dim].iter().map(|(a, b)| a.min(*b)).collect();
+        let hi: Vec<f64> = corners[..dim].iter().map(|(a, b)| a.max(*b)).collect();
+        let req = Request::RangeQuery { lo, hi };
+        let (t, p) = req.encode();
+        prop_assert_eq!(Request::decode(t, &p).unwrap(), req);
+    }
+
+    #[test]
+    fn valid_partial_match_requests_round_trip(
+        dim in 1usize..=6,
+        keys in prop::collection::vec((0u8..=1, 0.0f64..1000.0), 6),
+    ) {
+        let keys: Vec<Option<f64>> = keys[..dim]
+            .iter()
+            .map(|(tag, v)| if *tag == 1 { Some(*v) } else { None })
+            .collect();
+        let req = Request::PartialMatch { keys };
+        let (t, p) = req.encode();
+        prop_assert_eq!(Request::decode(t, &p).unwrap(), req);
+    }
+}

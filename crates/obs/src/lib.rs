@@ -21,6 +21,7 @@
 pub mod chrome;
 pub mod hist;
 pub mod json;
+pub mod names;
 pub mod prom;
 pub mod span;
 

@@ -1,0 +1,37 @@
+//! Canonical metric names shared by every exporter in the workspace.
+//!
+//! The engine, the network server, and CI smoke tests all refer to the same
+//! Prometheus series; keeping the strings here means a rename is a one-line
+//! change and a `grep` in CI can never drift from the code.
+
+/// Total queries admitted by the engine (counter).
+pub const ENGINE_QUERIES_TOTAL: &str = "pargrid_queries_total";
+/// Workers currently alive (gauge).
+pub const ENGINE_WORKERS_ALIVE: &str = "pargrid_workers_alive";
+/// Per-query virtual latency (histogram, microseconds).
+pub const ENGINE_QUERY_US: &str = "pargrid_query_us";
+
+/// TCP connections accepted since the server started (counter).
+pub const NET_CONNECTIONS_TOTAL: &str = "pargrid_net_connections_total";
+/// TCP connections currently open (gauge).
+pub const NET_CONNECTIONS_ACTIVE: &str = "pargrid_net_connections_active";
+/// Wire requests decoded, of any type (counter).
+pub const NET_REQUESTS_TOTAL: &str = "pargrid_net_requests_total";
+/// Query requests answered with records (counter).
+pub const NET_SERVED_TOTAL: &str = "pargrid_net_served_total";
+/// Query requests rejected with `Overloaded` by admission control (counter).
+pub const NET_SHED_TOTAL: &str = "pargrid_net_shed_total";
+/// Frames rejected as malformed — bad magic, CRC, version, length, or
+/// payload (counter).
+pub const NET_MALFORMED_TOTAL: &str = "pargrid_net_malformed_total";
+/// Admission-queue depth at this instant (gauge).
+pub const NET_QUEUE_DEPTH: &str = "pargrid_net_queue_depth";
+/// High-water mark of the admission queue since start (gauge).
+pub const NET_QUEUE_HWM: &str = "pargrid_net_queue_depth_hwm";
+/// End-to-end sojourn time: enqueue to reply written (histogram,
+/// microseconds of wall clock).
+pub const NET_SOJOURN_US: &str = "pargrid_net_sojourn_us";
+/// Bytes read off client sockets (counter).
+pub const NET_BYTES_IN_TOTAL: &str = "pargrid_net_bytes_in_total";
+/// Bytes written back to client sockets (counter).
+pub const NET_BYTES_OUT_TOTAL: &str = "pargrid_net_bytes_out_total";

@@ -125,6 +125,13 @@ pub struct EngineConfig {
     /// number of timeout polls (1, then 2, then 4, ...) is redelivered with
     /// the same sequence number (the worker dedups), up to this many times.
     pub max_retransmits: u32,
+    /// How many serviced dispatch seqs each worker remembers for
+    /// retransmit dedup. Size it to at least the engine's in-flight request
+    /// depth (a server fronting many connections may want more); a seq
+    /// evicted from the window could in principle be re-serviced if its
+    /// retransmit arrived extremely late. Default
+    /// [`crate::worker::DEFAULT_SEEN_SEQ_WINDOW`] (4096).
+    pub seen_seq_window: usize,
     /// Per-query real-time deadline budget, microseconds. When it expires,
     /// still-missing replies are abandoned: hedged requests fall back to
     /// their primary's held answer, anything else marks the query
@@ -157,6 +164,7 @@ impl Default for EngineConfig {
             fail_timeout_ms: 200,
             max_timeout_strikes: DEFAULT_MAX_TIMEOUT_STRIKES,
             max_retransmits: 3,
+            seen_seq_window: crate::worker::DEFAULT_SEEN_SEQ_WINDOW,
             deadline_us: None,
             hedge_threshold: None,
             #[cfg(feature = "obs")]
@@ -215,6 +223,12 @@ impl EngineConfig {
     /// Sets the silent-worker force-declare strike limit (clamped to >= 1).
     pub fn with_max_timeout_strikes(mut self, strikes: u32) -> Self {
         self.max_timeout_strikes = strikes.max(1);
+        self
+    }
+
+    /// Sets the per-worker retransmit-dedup window size (clamped to >= 1).
+    pub fn with_seen_seq_window(mut self, window: usize) -> Self {
+        self.seen_seq_window = window.max(1);
         self
     }
 
@@ -466,7 +480,10 @@ pub struct ParallelGridFile {
     /// bucket id -> where its copies live.
     placement: HashMap<u32, BucketPlacement>,
     to_workers: Vec<Sender<ToWorker>>,
-    handles: Vec<JoinHandle<()>>,
+    /// Worker thread handles, drained by [`ParallelGridFile::shutdown`]
+    /// (behind a mutex so shutdown works through a shared `&self` — a
+    /// long-lived server holds the engine in an `Arc`).
+    handles: std::sync::Mutex<Vec<JoinHandle<()>>>,
     next_query_id: AtomicU64,
     /// Engine-global dispatch sequence numbers (see
     /// [`crate::message::ReadRequest::seq`]).
@@ -543,6 +560,7 @@ impl ParallelGridFile {
                     store,
                     config.disks_per_worker.max(1),
                 )
+                .with_seen_seq_window(config.seen_seq_window)
                 .with_faults(config.faults.for_worker(w))
             })
             .collect();
@@ -625,7 +643,7 @@ impl ParallelGridFile {
             net: config.net,
             placement,
             to_workers,
-            handles,
+            handles: std::sync::Mutex::new(handles),
             next_query_id: AtomicU64::new(0),
             next_seq: AtomicU64::new(0),
             shared,
@@ -646,6 +664,42 @@ impl ParallelGridFile {
     /// Number of workers.
     pub fn n_workers(&self) -> usize {
         self.to_workers.len()
+    }
+
+    /// The grid file this engine was built over (the coordinator's copy of
+    /// the directory — a network front end uses it to translate
+    /// partial-match keys into query rectangles).
+    pub fn grid(&self) -> &Arc<GridFile> {
+        &self.gf
+    }
+
+    /// Explicit SIGTERM-style shutdown: sends every worker its poison pill
+    /// and joins the worker threads, returning how many were joined. After
+    /// it returns, **no worker thread outlives the engine handle** — a
+    /// long-lived server calls this from its own shutdown path instead of
+    /// relying on `Drop` (which an `Arc`-held engine may reach only at
+    /// process exit). Idempotent: later calls (and the eventual `Drop`)
+    /// find nothing left to join and return 0. In-flight queries on other
+    /// sessions see their workers disappear and resolve incomplete rather
+    /// than hanging.
+    pub fn shutdown(&self) -> usize {
+        for tx in &self.to_workers {
+            let _ = tx.send(ToWorker::Shutdown);
+        }
+        let handles: Vec<JoinHandle<()>> = {
+            let mut guard = self.handles.lock().expect("engine handle mutex");
+            guard.drain(..).collect()
+        };
+        let n = handles.len();
+        for h in handles {
+            let _ = h.join();
+        }
+        n
+    }
+
+    /// Whether [`ParallelGridFile::shutdown`] has already run to completion.
+    pub fn is_shut_down(&self) -> bool {
+        self.handles.lock().expect("engine handle mutex").is_empty()
     }
 
     /// Whether every bucket has a replica ([`ParallelGridFile::build_replicated`]).
@@ -1449,16 +1503,21 @@ impl QuerySession<'_> {
     pub fn stats(&self) -> &RunStats {
         &self.stats
     }
+
+    /// Explicitly ends the session, returning its accumulated stats.
+    ///
+    /// Dropping a session is equally safe (its reply channel closes and
+    /// workers discard late replies); `close` exists so a server's shutdown
+    /// path can make the hand-off order explicit — close every session,
+    /// then [`ParallelGridFile::shutdown`] the engine.
+    pub fn close(self) -> RunStats {
+        self.stats
+    }
 }
 
 impl Drop for ParallelGridFile {
     fn drop(&mut self) {
-        for tx in &self.to_workers {
-            let _ = tx.send(ToWorker::Shutdown);
-        }
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
+        self.shutdown();
     }
 }
 
@@ -1545,6 +1604,37 @@ mod tests {
         assert!(!out.buckets.is_empty());
         assert_eq!(out.retries, 0);
         assert!(!out.incomplete);
+    }
+
+    #[test]
+    fn engine_shutdown_joins_all_workers() {
+        let (_gf, engine, _recs) = build_engine_cfg(4, fast_cfg());
+        let engine = Arc::new(engine);
+        // A long-lived session like the one a server holds.
+        let mut session = engine.session();
+        let out = session.query(&Rect::new2(20.0, 20.0, 60.0, 60.0));
+        assert!(!out.incomplete);
+        let _ = session.close();
+
+        // Explicit SIGTERM-style shutdown joins every worker thread; none
+        // outlive the call.
+        assert!(!engine.is_shut_down());
+        assert_eq!(engine.shutdown(), 4);
+        assert!(engine.is_shut_down());
+        // Idempotent: nothing left to join, and the eventual Drop is a no-op.
+        assert_eq!(engine.shutdown(), 0);
+
+        // A straggler query after shutdown must resolve (incomplete — the
+        // workers are gone) rather than hang.
+        let start = std::time::Instant::now();
+        let out = engine.session().query(&Rect::new2(20.0, 20.0, 60.0, 60.0));
+        assert!(out.incomplete);
+        assert!(out.records.is_empty());
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(10),
+            "post-shutdown query should fail fast, took {:?}",
+            start.elapsed()
+        );
     }
 
     #[test]

@@ -33,10 +33,11 @@ use std::sync::Arc;
 /// (A ~60 MHz POWER2 node touching a 50-byte record: a few hundred ns.)
 const CPU_NS_PER_RECORD: u64 = 300;
 
-/// How many serviced dispatch seqs a worker remembers for dedup. Far larger
-/// than any realistic in-flight window; bounded so a long-lived worker's
-/// memory stays flat.
-const SEEN_SEQ_WINDOW: usize = 4096;
+/// Default for how many serviced dispatch seqs a worker remembers for dedup
+/// (see [`crate::engine::EngineConfig::seen_seq_window`]). Far larger than
+/// any realistic in-flight window; bounded so a long-lived worker's memory
+/// stays flat.
+pub const DEFAULT_SEEN_SEQ_WINDOW: usize = 4096;
 
 /// One request of a batch, borrowed from wherever it arrived.
 struct RequestSpec<'a> {
@@ -71,6 +72,9 @@ pub struct WorkerState {
     /// Dispatch seqs already serviced (dedup set + FIFO eviction order).
     seen_seqs: HashSet<u64>,
     seen_order: VecDeque<u64>,
+    /// Capacity of the dedup window (see
+    /// [`crate::engine::EngineConfig::seen_seq_window`]).
+    seen_seq_window: usize,
     /// Whether the one-shot [`FaultKind::CorruptBlock`] faults have fired.
     corruption_done: bool,
     /// Trace recorder (installed by the engine when configured with one).
@@ -116,6 +120,7 @@ impl WorkerState {
             drop_budget: Vec::new(),
             seen_seqs: HashSet::new(),
             seen_order: VecDeque::new(),
+            seen_seq_window: DEFAULT_SEEN_SEQ_WINDOW,
             corruption_done: false,
             #[cfg(feature = "obs")]
             recorder: None,
@@ -140,6 +145,14 @@ impl WorkerState {
             }
         }
         self.faults = faults;
+        self
+    }
+
+    /// Sets the dedup-window capacity (clamped to >= 1). Server deployments
+    /// size this to their in-flight request depth; the default
+    /// ([`DEFAULT_SEEN_SEQ_WINDOW`]) is generous for embedded use.
+    pub fn with_seen_seq_window(mut self, window: usize) -> Self {
+        self.seen_seq_window = window.max(1);
         self
     }
 
@@ -182,7 +195,7 @@ impl WorkerState {
     fn note_seen(&mut self, seq: u64) {
         if self.seen_seqs.insert(seq) {
             self.seen_order.push_back(seq);
-            if self.seen_order.len() > SEEN_SEQ_WINDOW {
+            if self.seen_order.len() > self.seen_seq_window {
                 if let Some(old) = self.seen_order.pop_front() {
                     self.seen_seqs.remove(&old);
                 }
@@ -811,6 +824,42 @@ mod tests {
             .expect("send");
         let second = reply_rx.recv().expect("reply");
         assert_eq!(second.seq, 43, "deduped delivery produced no reply");
+        assert_eq!(counters.dup_requests_dropped.load(Ordering::Relaxed), 1);
+        to_tx.send(ToWorker::Shutdown).expect("send shutdown");
+        handle.join().expect("worker joins");
+    }
+
+    #[test]
+    fn seen_seq_window_is_configurable_and_evicts_fifo() {
+        // A window of 2: after servicing seqs 10, 11, 12 the oldest (10)
+        // has been evicted, so its redelivery is serviced again, while the
+        // still-remembered 12 stays deduped.
+        let (to_tx, to_rx) = crossbeam::channel::unbounded();
+        let (reply_tx, reply_rx) = crossbeam::channel::unbounded();
+        let counters = Arc::new(WorkerCounters::default());
+        let state = worker_with_two_blocks().with_seen_seq_window(2);
+        let handle = run_worker(state, to_rx, Some(Arc::clone(&counters)));
+        for seq in [10u64, 11, 12] {
+            to_tx
+                .send(ToWorker::Process(vec![request(
+                    seq,
+                    seq,
+                    vec![0],
+                    &reply_tx,
+                )]))
+                .expect("send");
+            assert_eq!(reply_rx.recv().expect("reply").seq, seq);
+        }
+        // Seq 12 is inside the window: deduped, no reply.
+        to_tx
+            .send(ToWorker::Process(vec![request(12, 12, vec![0], &reply_tx)]))
+            .expect("send");
+        // Seq 10 fell out of the 2-deep window: serviced again.
+        to_tx
+            .send(ToWorker::Process(vec![request(10, 10, vec![0], &reply_tx)]))
+            .expect("send");
+        let replay = reply_rx.recv().expect("evicted seq re-serviced");
+        assert_eq!(replay.seq, 10);
         assert_eq!(counters.dup_requests_dropped.load(Ordering::Relaxed), 1);
         to_tx.send(ToWorker::Shutdown).expect("send shutdown");
         handle.join().expect("worker joins");

@@ -12,6 +12,11 @@
 //! pargrid evaluate my.pgf --method minimax --disks 16 --clients 8   # + engine throughput
 //! pargrid evaluate my.pgf --method minimax --disks 8 --trace out.json --metrics out.prom
 //! pargrid evaluate my.pgf --method minimax --disks 16 --replicate --chaos 7 --deadline-us 2000000
+//! pargrid serve my.pgf --addr 127.0.0.1:7878 --method minimax --disks 16   # TCP server
+//! pargrid query --addr 127.0.0.1:7878 --range 0..500,0..500    # query over the wire
+//! pargrid query --addr 127.0.0.1:7878 --keys 137.5,*           # remote partial match
+//! pargrid query --addr 127.0.0.1:7878 --stats                  # Prometheus metrics
+//! pargrid query --addr 127.0.0.1:7878 --shutdown               # graceful stop
 //! ```
 //!
 //! `--trace` writes a Chrome `trace_event` JSON of one traced engine run —
@@ -30,7 +35,9 @@ fn usage() -> ExitCode {
          pargrid query FILE.pgf --range LO..HI,LO..HI[,...] [--count-only]\n  \
          pargrid pmatch FILE.pgf --keys V|*,V|*[,...]\n  \
          pargrid decluster FILE.pgf --method M --disks N [--seed N] [--out FILE.csv]\n  \
-         pargrid evaluate FILE.pgf --method M --disks N [--ratio R] [--queries N] [--seed N] [--clients K] [--replicate] [--fail K] [--chaos SEED] [--deadline-us N] [--trace FILE.json] [--metrics FILE.prom]\n\n  \
+         pargrid evaluate FILE.pgf --method M --disks N [--ratio R] [--queries N] [--seed N] [--clients K] [--replicate] [--fail K] [--chaos SEED] [--deadline-us N] [--trace FILE.json] [--metrics FILE.prom]\n  \
+         pargrid serve FILE.pgf --method M --disks N [--addr H:P] [--seed N] [--queue N] [--dispatchers K] [--pace-us N] [--replicate]\n  \
+         pargrid query --addr H:P --range LO..HI[,...] | --keys V|*[,...] | --ping | --stats | --shutdown\n\n  \
          methods: dm fx gdm hcam zcam gcam scan ssp mst kl minimax minimax-euclid"
     );
     ExitCode::FAILURE
@@ -50,6 +57,7 @@ fn main() -> ExitCode {
         "pmatch" => cmd_pmatch(rest),
         "decluster" => cmd_decluster(rest),
         "evaluate" => cmd_evaluate(rest),
+        "serve" => cmd_serve(rest),
         _ => Err("unknown command".into()),
     };
     match result {
@@ -86,7 +94,13 @@ fn has_flag(args: &[String], flag: &str) -> bool {
 }
 
 /// Flags that take no value (everything else consumes the next argument).
-const BOOLEAN_FLAGS: &[&str] = &["--count-only", "--replicate"];
+const BOOLEAN_FLAGS: &[&str] = &[
+    "--count-only",
+    "--replicate",
+    "--ping",
+    "--stats",
+    "--shutdown",
+];
 
 fn positional(args: &[String]) -> Option<&str> {
     // First argument that is neither a flag nor a flag's value.
@@ -285,7 +299,86 @@ fn parse_range(spec: &str, dim: usize) -> Result<Rect, String> {
     Ok(Rect::new(Point::new(&lo), Point::new(&hi)))
 }
 
+fn parse_keys(spec: &str) -> Result<Vec<Option<f64>>, String> {
+    spec.split(',')
+        .map(|p| {
+            if p == "*" {
+                Ok(None)
+            } else {
+                p.parse::<f64>()
+                    .map(Some)
+                    .map_err(|_| format!("bad key {p}"))
+            }
+        })
+        .collect()
+}
+
+fn print_remote_reply(reply: &pargrid::net::RecordsReply, count_only: bool) {
+    println!("records:      {}", reply.records.len());
+    println!(
+        "virtual cost: {} us ({} us comm), {} response blocks of {} total, {} cache hits",
+        reply.elapsed_us,
+        reply.comm_us,
+        reply.response_blocks,
+        reply.total_blocks,
+        reply.cache_hits
+    );
+    if !count_only {
+        for r in reply.records.iter().take(20) {
+            println!("  {} @ {:?}", r.id, r.point.coords());
+        }
+        if reply.records.len() > 20 {
+            println!("  ... ({} more)", reply.records.len() - 20);
+        }
+    }
+}
+
+fn cmd_query_remote(addr: &str, args: &[String]) -> CliResult {
+    let mut client =
+        pargrid::net::Client::connect_retry(addr, 5, std::time::Duration::from_millis(100))
+            .map_err(|e| format!("{addr}: {e}"))?;
+    if has_flag(args, "--ping") {
+        let token = 0x1996;
+        let echo = client.ping(token).map_err(|e| e.to_string())?;
+        if echo != token {
+            return Err(format!("pong token mismatch: sent {token}, got {echo}"));
+        }
+        println!("pong from {addr}");
+        return Ok(());
+    }
+    if has_flag(args, "--stats") {
+        print!("{}", client.stats().map_err(|e| e.to_string())?);
+        return Ok(());
+    }
+    if has_flag(args, "--shutdown") {
+        client.shutdown_server().map_err(|e| e.to_string())?;
+        println!("server at {addr} acknowledged shutdown");
+        return Ok(());
+    }
+    if let Some(spec) = flag_value(args, "--range")? {
+        // The server knows the file's dimensionality; here the interval
+        // count is taken at face value and the server rejects mismatches.
+        let dim = spec.split(',').count();
+        let rect = parse_range(spec, dim)?;
+        let reply = client
+            .range_query(rect.lo().coords(), rect.hi().coords())
+            .map_err(|e| e.to_string())?;
+        print_remote_reply(&reply, has_flag(args, "--count-only"));
+        return Ok(());
+    }
+    if let Some(spec) = flag_value(args, "--keys")? {
+        let keys = parse_keys(spec)?;
+        let reply = client.partial_match(&keys).map_err(|e| e.to_string())?;
+        print_remote_reply(&reply, has_flag(args, "--count-only"));
+        return Ok(());
+    }
+    Err("remote query needs --range, --keys, --ping, --stats, or --shutdown".into())
+}
+
 fn cmd_query(args: &[String]) -> CliResult {
+    if let Some(addr) = flag_value(args, "--addr")? {
+        return cmd_query_remote(addr, args);
+    }
     let gf = load_file(args)?;
     let spec = flag_value(args, "--range")?.ok_or("query needs --range")?;
     let rect = parse_range(spec, gf.dim())?;
@@ -306,19 +399,7 @@ fn cmd_query(args: &[String]) -> CliResult {
 fn cmd_pmatch(args: &[String]) -> CliResult {
     let gf = load_file(args)?;
     let spec = flag_value(args, "--keys")?.ok_or("pmatch needs --keys")?;
-    let keys: Result<Vec<Option<f64>>, String> = spec
-        .split(',')
-        .map(|p| {
-            if p == "*" {
-                Ok(None)
-            } else {
-                p.parse::<f64>()
-                    .map(Some)
-                    .map_err(|_| format!("bad key {p}"))
-            }
-        })
-        .collect();
-    let keys = keys?;
+    let keys = parse_keys(spec)?;
     if keys.len() != gf.dim() {
         return Err(format!("{} keys for a {}-d file", keys.len(), gf.dim()));
     }
@@ -352,6 +433,72 @@ fn cmd_decluster(args: &[String]) -> CliResult {
         std::fs::write(out, csv).map_err(|e| e.to_string())?;
         println!("wrote {out}");
     }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> CliResult {
+    let path = positional(args)
+        .ok_or("missing grid file path")?
+        .to_string();
+    let gf = load_file(args)?;
+    let method = parse_method(flag_value(args, "--method")?.ok_or("needs --method")?)?;
+    let disks: usize = flag_parse(args, "--disks", 0)?;
+    if disks == 0 {
+        return Err("needs --disks N".into());
+    }
+    let seed: u64 = flag_parse(args, "--seed", 42)?;
+    let addr = flag_value(args, "--addr")?.unwrap_or("127.0.0.1:7878");
+    let queue: usize = flag_parse(args, "--queue", 64)?;
+    let dispatchers: usize = flag_parse(args, "--dispatchers", 4)?;
+    let pace_us_per_block: u64 = flag_parse(args, "--pace-us", 0)?;
+    let replicate = has_flag(args, "--replicate");
+    if replicate && disks < 2 {
+        return Err("--replicate needs at least 2 disks".into());
+    }
+
+    let input = DeclusterInput::from_grid_file(&gf);
+    let gf = std::sync::Arc::new(gf);
+    let engine = if replicate {
+        let ra = method.assign_replicated(&input, disks, seed);
+        ParallelGridFile::build_replicated(std::sync::Arc::clone(&gf), &ra, EngineConfig::default())
+    } else {
+        let assignment = method.assign(&input, disks, seed);
+        ParallelGridFile::build(
+            std::sync::Arc::clone(&gf),
+            &assignment,
+            EngineConfig::default(),
+        )
+    };
+    let server = pargrid::net::Server::start(
+        std::sync::Arc::new(engine),
+        addr,
+        pargrid::net::ServerConfig {
+            queue_capacity: queue,
+            dispatchers,
+            pace_us_per_block,
+            // The CLI server is meant to be driven by `pargrid query
+            // --shutdown` (and the CI smoke job does exactly that).
+            allow_remote_shutdown: true,
+            ..pargrid::net::ServerConfig::default()
+        },
+    )
+    .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    println!(
+        "serving {path} ({} over {disks} disks{}) — {dispatchers} dispatchers, queue {queue}",
+        method.label(),
+        if replicate { ", replicated" } else { "" },
+    );
+    println!("listening on {}", server.local_addr());
+    println!(
+        "stop with: pargrid query --addr {} --shutdown",
+        server.local_addr()
+    );
+    // Blocks until a wire Shutdown arrives, then drains and joins
+    // everything; the final metrics document goes to stdout so operators
+    // (and CI) see the run's counters.
+    let doc = server.join();
+    println!("server stopped; final metrics:");
+    print!("{doc}");
     Ok(())
 }
 
@@ -550,17 +697,17 @@ fn cmd_evaluate(args: &[String]) -> CliResult {
         if let Some(path) = metrics_out {
             let mut pw = pargrid::obs::PromWriter::new();
             pw.counter(
-                "pargrid_queries_total",
+                pargrid::obs::names::ENGINE_QUERIES_TOTAL,
                 "Queries served by the engine.",
                 engine_stats.queries,
             );
             pw.gauge(
-                "pargrid_workers_alive",
+                pargrid::obs::names::ENGINE_WORKERS_ALIVE,
                 "Workers alive at end of run.",
                 engine_stats.live_workers() as f64,
             );
             pw.histogram(
-                "pargrid_query_us",
+                pargrid::obs::names::ENGINE_QUERY_US,
                 "End-to-end query latency (virtual microseconds).",
                 &recorder.query_us.snapshot(),
             );

@@ -14,6 +14,7 @@
 //! | [`sim`] | `pargrid-sim` | workloads, response-time metrics, sweep runner |
 //! | [`parallel`] | `pargrid-parallel` | shared-nothing SPMD engine (SP-2 substitute) |
 //! | [`obs`] | `pargrid-obs` | tracing, latency histograms, Chrome-trace/Prometheus exporters |
+//! | [`net`] | `pargrid-net` | TCP serving layer: wire protocol, admission-controlled server, client, load generator |
 //!
 //! ## Quickstart
 //!
@@ -52,6 +53,7 @@ pub use pargrid_core as decluster;
 pub use pargrid_datagen as datagen;
 pub use pargrid_geom as geom;
 pub use pargrid_gridfile as gridfile;
+pub use pargrid_net as net;
 pub use pargrid_obs as obs;
 pub use pargrid_parallel as parallel;
 pub use pargrid_sim as sim;
