@@ -3,13 +3,89 @@
 //! Implements enough of criterion's API for this workspace's benches to
 //! compile and produce useful numbers offline: `criterion_group!` /
 //! `criterion_main!`, benchmark groups, `BenchmarkId`, `Throughput`, and
-//! `Bencher::iter`. Measurement is a simple mean over a fixed number of
-//! timed iterations (after one warm-up), printed as
-//! `group/function/param  time: [... per iter]  thrpt: [...]`. No
-//! statistical analysis, HTML reports, or saved baselines.
+//! `Bencher::iter`. Each of the `sample_size` iterations is timed
+//! individually (after one warm-up), so both the mean and the median
+//! (p50) are reported: `group/function/param  time: [mean ... per iter,
+//! p50 ...]  thrpt: [...]`. No statistical analysis, HTML reports, or
+//! saved baselines — but when the `CRITERION_OUTPUT_JSON` environment
+//! variable names a path, `criterion_main!` writes every completed
+//! benchmark's `{name, mean_ns, p50_ns, samples}` there as a small JSON
+//! document (the shape `BENCH_*.json` trajectory files and the
+//! `benchgate` regression gate consume).
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::Instant;
+
+/// One finished benchmark, as recorded in the process-wide registry.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Fully qualified `group/function/param` name.
+    pub name: String,
+    /// Mean wall-clock time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Median wall-clock time per iteration, nanoseconds.
+    pub p50_ns: f64,
+    /// Number of timed iterations behind the statistics.
+    pub samples: u64,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Snapshot of every benchmark completed so far in this process.
+pub fn results() -> Vec<BenchResult> {
+    RESULTS.lock().unwrap().clone()
+}
+
+/// Renders the registry as the `BENCH_*.json` document:
+/// `{"schema_version": 1, "suite": ..., "benchmarks": [...]}`.
+pub fn export_json(suite: &str) -> String {
+    let results = RESULTS.lock().unwrap();
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!("  \"suite\": \"{}\",\n", escape_json(suite)));
+    out.push_str("  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"p50_ns\": {:.1}, \"samples\": {}}}{}\n",
+            escape_json(&r.name),
+            r.mean_ns,
+            r.p50_ns,
+            r.samples,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Called by `criterion_main!` after all groups ran: if
+/// `CRITERION_OUTPUT_JSON` names a path, writes [`export_json`] there.
+pub fn maybe_write_json(suite: &str) {
+    if let Ok(path) = std::env::var("CRITERION_OUTPUT_JSON") {
+        if !path.is_empty() {
+            let doc = export_json(suite);
+            if let Err(e) = std::fs::write(&path, doc) {
+                eprintln!("criterion: failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("criterion: wrote {path}");
+        }
+    }
+}
 
 /// Identifies one benchmark within a group.
 #[derive(Clone, Debug)]
@@ -75,19 +151,45 @@ pub enum Throughput {
 /// Times one benchmark body.
 pub struct Bencher {
     iters: u64,
-    mean_ns: f64,
+    samples_ns: Vec<f64>,
 }
 
 impl Bencher {
-    /// Calls `body` repeatedly and records the mean wall-clock time.
+    /// Calls `body` repeatedly, timing each call individually so the
+    /// harness can report both mean and p50. The per-call `Instant`
+    /// overhead (~tens of ns) is negligible at the µs-and-up scale of
+    /// this workspace's benches.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
         // One warm-up call, untimed.
         let _ = body();
-        let start = Instant::now();
+        self.samples_ns.clear();
+        self.samples_ns.reserve(self.iters as usize);
         for _ in 0..self.iters {
+            let start = Instant::now();
             let _ = std::hint::black_box(body());
+            self.samples_ns.push(start.elapsed().as_nanos() as f64);
         }
-        self.mean_ns = start.elapsed().as_nanos() as f64 / self.iters as f64;
+    }
+
+    fn mean_ns(&self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return 0.0;
+        }
+        self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64
+    }
+
+    fn p50_ns(&self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = sorted.len();
+        if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        }
     }
 }
 
@@ -132,10 +234,10 @@ impl BenchmarkGroup<'_> {
         let id = id.into();
         let mut b = Bencher {
             iters: self.sample_size,
-            mean_ns: 0.0,
+            samples_ns: Vec::new(),
         };
         f(&mut b);
-        self.report(&id, b.mean_ns);
+        self.report(&id, &b);
         self
     }
 
@@ -151,19 +253,27 @@ impl BenchmarkGroup<'_> {
     {
         let mut b = Bencher {
             iters: self.sample_size,
-            mean_ns: 0.0,
+            samples_ns: Vec::new(),
         };
         f(&mut b, input);
-        self.report(&id, b.mean_ns);
+        self.report(&id, &b);
         self
     }
 
-    fn report(&self, id: &BenchmarkId, mean_ns: f64) {
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        let (mean_ns, p50_ns) = (b.mean_ns(), b.p50_ns());
+        let name = format!("{}/{}", self.name, id.label());
+        RESULTS.lock().unwrap().push(BenchResult {
+            name: name.clone(),
+            mean_ns,
+            p50_ns,
+            samples: b.samples_ns.len() as u64,
+        });
         let mut line = format!(
-            "{}/{:<40} time: [{} per iter]",
-            self.name,
-            id.label(),
-            fmt_time(mean_ns)
+            "{:<48} time: [mean {} per iter, p50 {}]",
+            name,
+            fmt_time(mean_ns),
+            fmt_time(p50_ns)
         );
         if let Some(t) = self.throughput {
             let (units, suffix) = match t {
@@ -221,12 +331,17 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares `main` running the given group functions.
+/// Declares `main` running the given group functions, then (if the
+/// `CRITERION_OUTPUT_JSON` env var names a path) exporting the results
+/// registry as JSON. The suite name is the bench target's crate name
+/// (for `[[bench]]` targets, cargo sets `CARGO_CRATE_NAME` to the target
+/// name, e.g. `hotpath`).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::maybe_write_json(env!("CARGO_CRATE_NAME"));
         }
     };
 }
@@ -255,5 +370,23 @@ mod tests {
     #[test]
     fn harness_runs() {
         benches();
+        let results = results();
+        let sum = results
+            .iter()
+            .find(|r| r.name == "compat/sum/100")
+            .expect("sum benchmark recorded");
+        assert_eq!(sum.samples, 3);
+        assert!(sum.mean_ns >= 0.0 && sum.p50_ns >= 0.0);
+
+        let json = export_json("compat-suite");
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"suite\": \"compat-suite\""));
+        assert!(json.contains("\"name\": \"compat/sum/100\""));
+        assert!(json.contains("\"p50_ns\""));
+    }
+
+    #[test]
+    fn json_escaping_handles_quotes_and_controls() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
     }
 }

@@ -1,0 +1,264 @@
+//! The pinned hot-path suite behind `BENCH_hotpath.json`.
+//!
+//! Every benchmark here is named in the repo-root trajectory file and
+//! guarded by the CI `bench-smoke` job (`benchgate` fails the build on
+//! any regression past 10% of the committed baseline). Three of the
+//! groups are before/after pairs around this PR's hot-path work, kept
+//! so the win stays visible and regressions stay loud:
+//!
+//! * `dispatch/ring` vs `dispatch/channel` — a 256-message burst through
+//!   the worker transport: the sharded
+//!   [`pargrid_parallel::RequestRing`] vs the legacy channel
+//!   ([`DispatchMode::Channel`]).
+//! * `frame_encode/zero_copy` vs `frame_encode/copy` — response framing
+//!   via [`pargrid_net::FrameBuilder`] (payload serialized straight into
+//!   the frame buffer) vs the encode-then-copy path.
+//! * `store_read/pooled` vs `store_read/alloc` — file-backed block reads
+//!   through the recycled buffer pool vs an owned `Vec` per read.
+//!
+//! Plus the end-to-end view of the transport A/B (`query_e2e/ring` vs
+//! `query_e2e/channel`) and three single-sided trajectory points:
+//! `elevator/read_batch` (worker disk-batch throughput),
+//! `frame_decode/records`, and `bulk_load/grid_file`.
+//!
+//! Regenerate the trajectory file with:
+//!
+//! ```text
+//! CRITERION_OUTPUT_JSON=BENCH_hotpath.json \
+//!     cargo bench -p pargrid-bench --bench hotpath
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use crossbeam::channel::unbounded;
+use pargrid_core::{ConflictPolicy, DeclusterInput, DeclusterMethod, IndexScheme};
+use pargrid_datagen::dsmc3d_sized;
+use pargrid_gridfile::Record;
+use pargrid_net::frame::encode_frame;
+use pargrid_net::{read_frame, RecordsReply, Response};
+use pargrid_parallel::{
+    BlockStore, DiskModel, DiskParams, DispatchMode, EngineConfig, ParallelGridFile, RequestRing,
+};
+use pargrid_sim::QueryWorkload;
+use std::hint::black_box;
+use std::sync::{mpsc, Arc};
+
+/// The coordinator→worker dispatch hop itself: a 256-message burst pushed
+/// into the worker's transport while a consumer thread drains it, acking
+/// each completed burst. This is where the ring's lock-free publication
+/// shows — the channel takes a mutex per send (and contends with the
+/// draining consumer), the ring publishes with a CAS + release store and
+/// only pays a wake when the consumer actually parked.
+fn bench_dispatch(c: &mut Criterion) {
+    const BURST: u64 = 256;
+
+    let mut group = c.benchmark_group("dispatch");
+    group.sample_size(300);
+    group.throughput(Throughput::Elements(BURST));
+
+    group.bench_function("ring", |b| {
+        let ring: Arc<RequestRing<u64>> = Arc::new(RequestRing::with_capacity(1024));
+        let (ack_tx, ack_rx) = mpsc::channel::<()>();
+        let consumer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                let mut n = 0u64;
+                while let Some(v) = ring.recv() {
+                    n += v;
+                    if n.is_multiple_of(BURST) && ack_tx.send(()).is_err() {
+                        break;
+                    }
+                }
+            })
+        };
+        b.iter(|| {
+            for _ in 0..BURST {
+                ring.push(1u64).expect("ring open");
+            }
+            ack_rx.recv().expect("burst ack")
+        });
+        ring.close();
+        consumer.join().expect("consumer exits");
+    });
+
+    group.bench_function("channel", |b| {
+        let (tx, rx) = unbounded::<u64>();
+        let (ack_tx, ack_rx) = mpsc::channel::<()>();
+        let consumer = std::thread::spawn(move || {
+            let mut n = 0u64;
+            while let Ok(v) = rx.recv() {
+                n += v;
+                if n.is_multiple_of(BURST) && ack_tx.send(()).is_err() {
+                    break;
+                }
+            }
+        });
+        b.iter(|| {
+            for _ in 0..BURST {
+                tx.send(1u64).expect("channel open");
+            }
+            ack_rx.recv().expect("burst ack")
+        });
+        drop(tx);
+        consumer.join().expect("consumer exits");
+    });
+    group.finish();
+}
+
+/// End-to-end query latency through the full engine, ring vs channel
+/// transport, on a small fully cached file: the trajectory view of the
+/// same A/B, with worker scheduling and reply collection included.
+fn bench_query_e2e(c: &mut Criterion) {
+    let ds = dsmc3d_sized(42, 1_000);
+    let gf = Arc::new(ds.build_grid_file());
+    let input = DeclusterInput::from_grid_file(&gf);
+    let assignment = DeclusterMethod::Index(IndexScheme::DiskModulo, ConflictPolicy::DataBalance)
+        .assign(&input, 2, 42);
+    let workload = QueryWorkload::square(&ds.domain, 0.005, 64, 7);
+
+    let mut group = c.benchmark_group("query_e2e");
+    group.sample_size(400);
+    for (label, mode) in [
+        ("ring", DispatchMode::Ring),
+        ("channel", DispatchMode::Channel),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &workload, |b, w| {
+            let engine = ParallelGridFile::build(
+                Arc::clone(&gf),
+                &assignment,
+                EngineConfig::default().with_dispatch(mode),
+            );
+            let mut session = engine.session();
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &w.queries[i % w.queries.len()];
+                i += 1;
+                black_box(session.query(q))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Worker elevator pass: one sorted sweep over a shuffled block batch.
+fn bench_elevator(c: &mut Criterion) {
+    const BATCH: usize = 4_096;
+    let template: Vec<u32> = (0..BATCH as u64)
+        .map(|i| (i.wrapping_mul(2654435761) % 65_536) as u32)
+        .collect();
+
+    let mut group = c.benchmark_group("elevator");
+    group.sample_size(100);
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function("read_batch", |b| {
+        let mut disk = DiskModel::new(DiskParams::default());
+        let mut blocks = template.clone();
+        b.iter(|| {
+            blocks.copy_from_slice(&template);
+            black_box(disk.read_batch(&mut blocks))
+        })
+    });
+    group.finish();
+}
+
+fn records_response(n: usize) -> Response {
+    let records = (0..n as u64)
+        .map(|i| {
+            let x = i as f64 * 0.001;
+            Record::new(i, pargrid_geom::Point::new3(x, x + 0.5, x + 1.0))
+        })
+        .collect();
+    Response::Records(RecordsReply {
+        incomplete: false,
+        elapsed_us: 1_234,
+        comm_us: 56,
+        response_blocks: 7,
+        total_blocks: 21,
+        cache_hits: 3,
+        records,
+    })
+}
+
+/// Response framing: serialize-into-frame (`encode_frame`) vs
+/// encode-then-copy, plus the decode side.
+fn bench_frame(c: &mut Criterion) {
+    let resp = records_response(512);
+
+    let mut group = c.benchmark_group("frame_encode");
+    group.sample_size(200);
+    group.bench_function("zero_copy", |b| b.iter(|| black_box(resp.encode_frame())));
+    group.bench_function("copy", |b| {
+        b.iter(|| {
+            let (t, p) = resp.encode();
+            black_box(encode_frame(t, &p))
+        })
+    });
+    group.finish();
+
+    let bytes = resp.encode_frame();
+    let mut group = c.benchmark_group("frame_decode");
+    group.sample_size(200);
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("records", |b| {
+        b.iter(|| black_box(read_frame(&mut bytes.as_slice()).expect("valid frame")))
+    });
+    group.finish();
+}
+
+/// File-backed block reads: pooled `BlockBuf` vs an owned `Vec` per read.
+fn bench_store_read(c: &mut Criterion) {
+    const BLOCKS: u32 = 256;
+    const BLOCK_BYTES: usize = 4_096;
+    let path = std::env::temp_dir().join(format!("pargrid_hotpath_{}.blocks", std::process::id()));
+    let mut store = BlockStore::file(&path, BLOCK_BYTES).expect("create block file");
+    for blk in 0..BLOCKS {
+        let bytes: Vec<u8> = (0..BLOCK_BYTES)
+            .map(|i| (i as u32).wrapping_mul(blk + 1) as u8)
+            .collect();
+        store.put(blk, bytes).expect("put block");
+    }
+
+    let mut group = c.benchmark_group("store_read");
+    group.sample_size(300);
+    group.throughput(Throughput::Bytes(BLOCK_BYTES as u64));
+    let mut i = 0u32;
+    group.bench_function("pooled", |b| {
+        b.iter(|| {
+            let blk = i % BLOCKS;
+            i += 1;
+            black_box(store.read_block(blk).expect("read").len())
+        })
+    });
+    let mut i = 0u32;
+    group.bench_function("alloc", |b| {
+        b.iter(|| {
+            let blk = i % BLOCKS;
+            i += 1;
+            black_box(store.get(blk).expect("read").len())
+        })
+    });
+    group.finish();
+
+    drop(store);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Sorted bulk load of a 20k-record DSMC snapshot into a grid file.
+fn bench_bulk_load(c: &mut Criterion) {
+    let ds = dsmc3d_sized(7, 20_000);
+    let mut group = c.benchmark_group("bulk_load");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(ds.len() as u64));
+    group.bench_function("grid_file", |b| b.iter(|| black_box(ds.build_grid_file())));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dispatch,
+    bench_query_e2e,
+    bench_elevator,
+    bench_frame,
+    bench_store_read,
+    bench_bulk_load
+);
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! `benchgate` — the CI regression gate over `BENCH_hotpath.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! benchgate <baseline.json> <candidate.json> [--threshold-pct 10]
+//! ```
+//!
+//! Compares every benchmark present in the *baseline* against the
+//! candidate by p50 and exits non-zero if any regressed by more than the
+//! threshold (default 10%). Benchmarks new in the candidate are reported
+//! but never fail the gate (the trajectory is append-friendly); benchmarks
+//! missing from the candidate DO fail it — a silently dropped benchmark is
+//! how regressions hide.
+//!
+//! Also re-validates both documents against the schema the pinned suite
+//! emits (`schema_version` 1, `suite`, `benchmarks[].{name, mean_ns,
+//! p50_ns, samples}`), so a truncated or hand-mangled file fails loudly
+//! rather than gating against garbage.
+
+use pargrid_obs::json::{parse, Json};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// One benchmark row pulled out of a trajectory document.
+struct Entry {
+    mean_ns: f64,
+    p50_ns: f64,
+    samples: u64,
+}
+
+fn load(path: &str) -> Result<BTreeMap<String, Entry>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("{path}: missing schema_version"))?;
+    if version != 1.0 {
+        return Err(format!("{path}: unsupported schema_version {version}"));
+    }
+    doc.get("suite")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{path}: missing suite"))?;
+    let benches = doc
+        .get("benchmarks")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: missing benchmarks array"))?;
+
+    let mut out = BTreeMap::new();
+    for (i, b) in benches.iter().enumerate() {
+        let name = b
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: benchmarks[{i}]: missing name"))?;
+        let field = |key: &str| {
+            b.get(key)
+                .and_then(Json::as_num)
+                .filter(|v| v.is_finite() && *v >= 0.0)
+                .ok_or_else(|| format!("{path}: benchmarks[{i}] ({name}): bad {key}"))
+        };
+        let entry = Entry {
+            mean_ns: field("mean_ns")?,
+            p50_ns: field("p50_ns")?,
+            samples: field("samples")? as u64,
+        };
+        if entry.samples == 0 {
+            return Err(format!("{path}: benchmarks[{i}] ({name}): zero samples"));
+        }
+        if out.insert(name.to_string(), entry).is_some() {
+            return Err(format!("{path}: duplicate benchmark {name}"));
+        }
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no benchmarks"));
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold_pct = 10.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--threshold-pct" {
+            let Some(v) = args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) else {
+                eprintln!("benchgate: --threshold-pct needs a number");
+                return ExitCode::from(2);
+            };
+            threshold_pct = v;
+            i += 2;
+        } else {
+            paths.push(args[i].clone());
+            i += 1;
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("usage: benchgate <baseline.json> <candidate.json> [--threshold-pct 10]");
+        return ExitCode::from(2);
+    }
+
+    let (baseline, candidate) = match (load(&paths[0]), load(&paths[1])) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("benchgate: {err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failures = 0u32;
+    for (name, base) in &baseline {
+        match candidate.get(name) {
+            None => {
+                eprintln!("FAIL {name}: present in baseline, missing from candidate");
+                failures += 1;
+            }
+            Some(cand) => {
+                let delta_pct = (cand.p50_ns - base.p50_ns) / base.p50_ns * 100.0;
+                let verdict = if delta_pct > threshold_pct {
+                    failures += 1;
+                    "FAIL"
+                } else {
+                    "  ok"
+                };
+                println!(
+                    "{verdict} {name}: p50 {:.1} µs -> {:.1} µs ({delta_pct:+.1}%), mean {:.1} µs -> {:.1} µs",
+                    base.p50_ns / 1e3,
+                    cand.p50_ns / 1e3,
+                    base.mean_ns / 1e3,
+                    cand.mean_ns / 1e3,
+                );
+            }
+        }
+    }
+    for name in candidate.keys() {
+        if !baseline.contains_key(name) {
+            println!(" new {name}: no baseline, not gated");
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("benchgate: {failures} benchmark(s) regressed more than {threshold_pct:.0}%");
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "benchgate: all {} benchmark(s) within {threshold_pct:.0}%",
+            baseline.len()
+        );
+        ExitCode::SUCCESS
+    }
+}

@@ -76,11 +76,8 @@ pub fn run(params: &Params) -> Vec<NamedTable> {
             for i in 0..k {
                 faults = faults.with_kill(i * WORKERS / k.max(1));
             }
-            let config = EngineConfig {
-                fail_timeout_ms: 25,
-                ..EngineConfig::default()
-            }
-            .with_faults(faults);
+            let config = EngineConfig::default()
+                .resilience(|r| r.with_fail_timeout_ms(25).with_faults(faults));
             let engine = if replicated {
                 let ra = method.assign_replicated(&input, WORKERS, params.seed);
                 ParallelGridFile::build_replicated(Arc::clone(&gf), &ra, config)

@@ -86,13 +86,9 @@ pub fn run(params: &Params) -> Vec<NamedTable> {
                 params.queries as u64,
                 events,
             );
-            let config = EngineConfig {
-                fail_timeout_ms: 15,
-                ..EngineConfig::default()
-            }
-            .with_deadline_us(2_000_000)
-            .with_hedging(3.0)
-            .with_faults(faults);
+            let config = EngineConfig::default()
+                .resilience(|r| r.with_fail_timeout_ms(15).with_faults(faults))
+                .latency(|l| l.with_deadline_us(2_000_000).with_hedging(3.0));
             let engine = if replicated {
                 let ra = method.assign_replicated(&input, WORKERS, params.seed);
                 ParallelGridFile::build_replicated(Arc::clone(&gf), &ra, config)

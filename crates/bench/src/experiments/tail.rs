@@ -110,7 +110,7 @@ fn disk_timeline(
     let recorder = Arc::new(Recorder::new(TIMELINE_WORKERS));
     // The SP-2 configuration (seven disks per worker) makes the per-disk
     // lanes worth looking at.
-    let config = EngineConfig::sp2_seven_disks().with_recorder(Arc::clone(&recorder));
+    let config = EngineConfig::sp2_seven_disks().obs(|o| o.with_recorder(Arc::clone(&recorder)));
     let disks_per_worker = config.disks_per_worker.max(1);
     let engine = ParallelGridFile::build(Arc::clone(gf), &assignment, config);
     // A modest slice of the workload keeps the figure legible.

@@ -61,3 +61,13 @@ pub use persist::PersistError;
 pub use record::Record;
 pub use region::CellRegion;
 pub use scale::LinearScale;
+
+/// The crate's most commonly used types, flat: file construction, records,
+/// and the typed persistence error ([`PersistError`] — `#[non_exhaustive]`
+/// per the workspace error convention).
+pub mod prelude {
+    pub use crate::checksum::crc32;
+    pub use crate::file::{GridConfig, GridFile, GridFileStats};
+    pub use crate::persist::PersistError;
+    pub use crate::record::Record;
+}

@@ -42,7 +42,11 @@ const MAGIC: &[u8; 4] = b"PGF1";
 const FLAG_CRC32: u16 = 0x0001;
 
 /// Errors from loading a persisted grid file.
+///
+/// `#[non_exhaustive]` (workspace error convention): downstream matches
+/// carry a wildcard arm so new failure modes stay a minor change.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum PersistError {
     /// Underlying I/O failure.
     Io(std::io::Error),

@@ -15,7 +15,11 @@ use crate::frame::{read_frame, write_frame, FrameError};
 use crate::proto::{ProtoError, RecordsReply, Request, Response, WireError};
 
 /// Everything a request round-trip can fail with.
+///
+/// `#[non_exhaustive]` (workspace error convention): downstream matches
+/// carry a wildcard arm so new failure modes stay a minor change.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum ClientError {
     /// Socket or framing failure.
     Frame(FrameError),

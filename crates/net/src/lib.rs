@@ -34,7 +34,20 @@ pub mod proto;
 pub mod server;
 
 pub use client::{Client, ClientError};
-pub use frame::{read_frame, write_frame, Frame, FrameError, MAX_PAYLOAD, PROTOCOL_VERSION};
+pub use frame::{
+    read_frame, write_frame, Frame, FrameBuilder, FrameError, MAX_PAYLOAD, PROTOCOL_VERSION,
+};
 pub use loadgen::{LoadQuery, LoadgenConfig, LoadgenReport};
 pub use proto::{ProtoError, RecordsReply, Request, Response, WireError};
 pub use server::{Server, ServerConfig};
+
+/// The crate's most commonly used types, flat: client/server construction
+/// and the typed errors every wire surface reports ([`FrameError`],
+/// [`ProtoError`], [`WireError`], [`ClientError`] — all `#[non_exhaustive]`
+/// per the workspace error convention).
+pub mod prelude {
+    pub use crate::client::{Client, ClientError};
+    pub use crate::frame::{Frame, FrameBuilder, FrameError};
+    pub use crate::proto::{ProtoError, RecordsReply, Request, Response, WireError};
+    pub use crate::server::{Server, ServerConfig};
+}

@@ -110,7 +110,11 @@ pub struct RecordsReply {
 }
 
 /// Typed errors a server sends back instead of an answer.
+///
+/// `#[non_exhaustive]` (workspace error convention): downstream matches
+/// carry a wildcard arm so new rejection codes stay a minor change.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum WireError {
     /// The request could not be understood (bad frame follows a close; bad
     /// payload gets this reply first).
@@ -354,11 +358,49 @@ impl Request {
 }
 
 impl Response {
-    /// Message type byte + payload for this response.
+    /// Message type byte + payload for this response (allocates a payload
+    /// vector; the server's write path uses [`Response::encode_frame`]
+    /// instead, which serializes straight into the wire buffer).
     pub fn encode(&self) -> (u8, Vec<u8>) {
+        let mut p = Vec::new();
+        let t = self.encode_into(&mut p);
+        (t, p)
+    }
+
+    /// Encodes this response as complete wire bytes in **one allocation and
+    /// zero payload copies**: the payload is serialized directly into a
+    /// [`FrameBuilder`](crate::frame::FrameBuilder)'s buffer and framed in
+    /// place. The old path (`encode()` then `encode_frame(t, &p)`) built
+    /// the payload, then copied it into a second buffer — the difference is
+    /// the `frame_encode/*` pair in `BENCH_hotpath.json`.
+    pub fn encode_frame(&self) -> Vec<u8> {
+        let mut b = crate::frame::FrameBuilder::with_capacity(self.payload_size_hint());
+        let t = self.encode_into(b.payload_mut());
+        b.finish(t)
+    }
+
+    /// Exact or near-exact payload size, so the single wire allocation is
+    /// also the right size.
+    fn payload_size_hint(&self) -> usize {
+        match self {
+            Response::Records(r) => 45 + r.records.len() * (10 + 8 * MAX_DIM),
+            Response::Pong { .. } => 8,
+            Response::StatsText(s) => 4 + s.len(),
+            Response::Error(e) => match e {
+                WireError::Overloaded { .. } => 9,
+                WireError::Malformed(m) | WireError::Incomplete(m) => 5 + m.len(),
+            },
+            Response::ShutdownAck => 0,
+        }
+    }
+
+    /// Serializes this response's payload onto the end of `p` (append-only)
+    /// and returns the message type byte. The common engine of
+    /// [`Response::encode`] and [`Response::encode_frame`].
+    fn encode_into(&self, p: &mut Vec<u8>) -> u8 {
         match self {
             Response::Records(r) => {
-                let mut p = Vec::with_capacity(49 + r.records.len() * 32);
+                p.reserve(self.payload_size_hint());
                 p.push(r.incomplete as u8);
                 for v in [
                     r.elapsed_us,
@@ -378,17 +420,19 @@ impl Response {
                         p.extend_from_slice(&c.to_le_bytes());
                     }
                 }
-                (RESP_RECORDS, p)
+                RESP_RECORDS
             }
-            Response::Pong { token } => (RESP_PONG, token.to_le_bytes().to_vec()),
+            Response::Pong { token } => {
+                p.extend_from_slice(&token.to_le_bytes());
+                RESP_PONG
+            }
             Response::StatsText(s) => {
-                let mut p = Vec::with_capacity(4 + s.len());
+                p.reserve(4 + s.len());
                 p.extend_from_slice(&(s.len() as u32).to_le_bytes());
                 p.extend_from_slice(s.as_bytes());
-                (RESP_STATS, p)
+                RESP_STATS
             }
             Response::Error(e) => {
-                let mut p = Vec::new();
                 let msg: &str = match e {
                     WireError::Malformed(m) => {
                         p.push(ERR_MALFORMED);
@@ -406,9 +450,9 @@ impl Response {
                 };
                 p.extend_from_slice(&(msg.len() as u32).to_le_bytes());
                 p.extend_from_slice(msg.as_bytes());
-                (RESP_ERROR, p)
+                RESP_ERROR
             }
-            Response::ShutdownAck => (RESP_SHUTDOWN_ACK, Vec::new()),
+            Response::ShutdownAck => RESP_SHUTDOWN_ACK,
         }
     }
 

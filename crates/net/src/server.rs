@@ -27,7 +27,7 @@
 //! before the sockets drop.
 
 use std::collections::VecDeque;
-use std::io::{Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -453,27 +453,70 @@ fn spawn_connection(stream: TcpStream, inner: &Arc<Inner>) {
     g.push(writer);
 }
 
+/// How many queued frames one vectored write may coalesce. Sixteen covers
+/// any realistic reply burst while keeping the `IoSlice` array on the stack.
+const WRITE_BATCH: usize = 16;
+
+/// Writes every byte of `frames` with as few syscalls as the kernel allows:
+/// one `writev` over the whole batch, advancing manually across partial
+/// writes (a short write mid-batch must not re-send or drop bytes).
+fn write_batch(stream: &mut TcpStream, frames: &[Vec<u8>]) -> io::Result<()> {
+    // (frame index, offset into that frame) of the first unwritten byte.
+    let (mut fi, mut off) = (0usize, 0usize);
+    while fi < frames.len() {
+        let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(frames.len() - fi);
+        slices.push(IoSlice::new(&frames[fi][off..]));
+        for f in &frames[fi + 1..] {
+            slices.push(IoSlice::new(f));
+        }
+        let mut n = match stream.write_vectored(&slices) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        while n > 0 {
+            let rest = frames[fi].len() - off;
+            if n < rest {
+                off += n;
+                n = 0;
+            } else {
+                n -= rest;
+                fi += 1;
+                off = 0;
+            }
+        }
+    }
+    stream.flush()
+}
+
 fn writer_loop(mut stream: TcpStream, rx: &mpsc::Receiver<Vec<u8>>, inner: &Arc<Inner>) {
+    let mut batch: Vec<Vec<u8>> = Vec::with_capacity(WRITE_BATCH);
     while let Ok(bytes) = rx.recv() {
-        if stream
-            .write_all(&bytes)
-            .and_then(|()| stream.flush())
-            .is_err()
-        {
+        // Coalesce every reply already queued behind this one into a single
+        // vectored write — under load the writer makes one syscall per
+        // burst instead of one write + flush per frame.
+        batch.clear();
+        batch.push(bytes);
+        while batch.len() < WRITE_BATCH {
+            match rx.try_recv() {
+                Ok(more) => batch.push(more),
+                Err(_) => break,
+            }
+        }
+        if write_batch(&mut stream, &batch).is_err() {
             break;
         }
-        inner
-            .metrics
-            .bytes_out
-            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        let out: u64 = batch.iter().map(|b| b.len() as u64).sum();
+        inner.metrics.bytes_out.fetch_add(out, Ordering::Relaxed);
     }
     let _ = stream.shutdown(Shutdown::Write);
 }
 
-/// Sends a response down the connection's writer channel.
+/// Sends a response down the connection's writer channel, encoded straight
+/// into its single wire buffer ([`Response::encode_frame`]).
 fn send_response(reply: &mpsc::Sender<Vec<u8>>, resp: &Response) {
-    let (t, p) = resp.encode();
-    let _ = reply.send(crate::frame::encode_frame(t, &p));
+    let _ = reply.send(resp.encode_frame());
 }
 
 fn reader_loop(stream: &TcpStream, reply: &mpsc::Sender<Vec<u8>>, inner: &Arc<Inner>) {

@@ -38,9 +38,15 @@
 //! messages are retransmitted under bounded exponential backoff; block
 //! corruption is caught by store checksums, answered from the replica, and
 //! scrubbed back to health; straggler workers can be hedged against their
-//! replicas ([`EngineConfig::hedge_threshold`]); and a per-query real-time
-//! deadline ([`EngineConfig::deadline_us`]) bounds how long any of this is
+//! replicas ([`LatencyConfig::hedge_threshold`]); and a per-query real-time
+//! deadline ([`LatencyConfig::deadline_us`]) bounds how long any of this is
 //! allowed to take before the query is answered explicitly incomplete.
+//!
+//! Coordinator → worker dispatch defaults to one lock-free
+//! [`RequestRing`](crate::ring::RequestRing) per worker; the original
+//! channel transport remains selectable via
+//! [`EngineConfig::with_dispatch`]`(`[`DispatchMode::Channel`]`)` so the two
+//! paths stay A/B-benchmarkable (`benches/hotpath.rs`).
 //!
 //! Virtual elapsed time of a query = slowest worker's (disk + CPU) time plus
 //! communication time; communication = one broadcast latency plus each
@@ -49,11 +55,13 @@
 //! query ratio `r` (§ 3.5: "the size of answer sets tends to grow").
 
 use crate::disk::DiskParams;
+use crate::error::EngineError;
 use crate::fault::FaultPlan;
 use crate::message::{FromWorker, QueryPriority, ReadRequest, ToWorker};
+use crate::ring::{DispatchError, DispatchMode, RequestRing, WorkerOutbox};
 use crate::stats::{EngineStats, SharedStats};
 use crate::worker::{run_worker, WorkerState};
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, SendError, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use pargrid_core::{Assignment, ReplicatedAssignment};
 use pargrid_geom::Rect;
 use pargrid_gridfile::page::encode_page;
@@ -67,7 +75,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// Default for [`EngineConfig::max_timeout_strikes`]: with the default
+/// Default for [`ResilienceConfig::max_timeout_strikes`]: with the default
 /// 200 ms poll timeout, ten seconds of total silence.
 const DEFAULT_MAX_TIMEOUT_STRIKES: u32 = 50;
 
@@ -93,27 +101,18 @@ impl Default for NetParams {
     }
 }
 
-/// Engine configuration.
+/// Fault-survival policy: injected faults, the reply-timeout poll, strike
+/// limits, retransmit bounds, and the worker dedup window. Grouped out of
+/// [`EngineConfig`] so the seven knobs that only matter under failure share
+/// one sub-config (`config.resilience`).
 #[derive(Clone, Debug)]
-pub struct EngineConfig {
-    /// Disk model parameters (per worker).
-    pub disk: DiskParams,
-    /// Network parameters.
-    pub net: NetParams,
-    /// When set, each worker's blocks are written to a real file
-    /// `<spill_dir>/worker-<i>.blocks` and served with positioned reads —
-    /// the paper's "separate files corresponding to every disk" layout.
-    /// `None` keeps blocks in memory.
-    pub spill_dir: Option<std::path::PathBuf>,
-    /// Disks per worker (0 is treated as 1). The paper's SP-2 had seven
-    /// disks per processor; its simulation study assumes one.
-    pub disks_per_worker: usize,
+pub struct ResilienceConfig {
     /// Injected worker faults (none by default); see [`FaultPlan`].
     pub faults: FaultPlan,
     /// Real-time reply timeout per collection poll, milliseconds. Each
     /// expiry triggers a sweep for workers that died mid-query; it does not
     /// by itself declare anyone dead (see
-    /// [`EngineConfig::max_timeout_strikes`]), so slow machines are safe
+    /// [`ResilienceConfig::max_timeout_strikes`]), so slow machines are safe
     /// with small values.
     pub fail_timeout_ms: u64,
     /// Consecutive empty reply timeouts after which every still-awaited
@@ -132,6 +131,56 @@ pub struct EngineConfig {
     /// retransmit arrived extremely late. Default
     /// [`crate::worker::DEFAULT_SEEN_SEQ_WINDOW`] (4096).
     pub seen_seq_window: usize,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            faults: FaultPlan::default(),
+            fail_timeout_ms: 200,
+            max_timeout_strikes: DEFAULT_MAX_TIMEOUT_STRIKES,
+            max_retransmits: 3,
+            seen_seq_window: crate::worker::DEFAULT_SEEN_SEQ_WINDOW,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// Installs an injected fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the per-poll reply timeout, milliseconds.
+    pub fn with_fail_timeout_ms(mut self, ms: u64) -> Self {
+        self.fail_timeout_ms = ms;
+        self
+    }
+
+    /// Sets the silent-worker force-declare strike limit (clamped to >= 1).
+    pub fn with_max_timeout_strikes(mut self, strikes: u32) -> Self {
+        self.max_timeout_strikes = strikes.max(1);
+        self
+    }
+
+    /// Sets the per-request retransmit bound.
+    pub fn with_max_retransmits(mut self, max: u32) -> Self {
+        self.max_retransmits = max;
+        self
+    }
+
+    /// Sets the per-worker retransmit-dedup window size (clamped to >= 1).
+    pub fn with_seen_seq_window(mut self, window: usize) -> Self {
+        self.seen_seq_window = window.max(1);
+        self
+    }
+}
+
+/// Tail-latency policy: the per-query deadline and the hedged-read trigger
+/// (`config.latency`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencyConfig {
     /// Per-query real-time deadline budget, microseconds. When it expires,
     /// still-missing replies are abandoned: hedged requests fall back to
     /// their primary's held answer, anything else marks the query
@@ -145,6 +194,27 @@ pub struct EngineConfig {
     /// hedging; requires the `obs` feature (the p95 baseline comes from its
     /// histograms) and a replicated build.
     pub hedge_threshold: Option<f64>,
+}
+
+impl LatencyConfig {
+    /// Sets the per-query real-time deadline budget, microseconds.
+    pub fn with_deadline_us(mut self, deadline_us: u64) -> Self {
+        self.deadline_us = Some(deadline_us);
+        self
+    }
+
+    /// Enables hedged reads at `threshold x p95` (see
+    /// [`LatencyConfig::hedge_threshold`]).
+    pub fn with_hedging(mut self, threshold: f64) -> Self {
+        self.hedge_threshold = Some(threshold);
+        self
+    }
+}
+
+/// Observability wiring (`config.obs`). Without the `obs` cargo feature the
+/// group is empty and every hook compiles away.
+#[derive(Clone, Debug, Default)]
+pub struct ObsConfig {
     /// Trace recorder capturing per-query spans and latency histograms
     /// (see [`pargrid_obs::Recorder`]). `None` keeps each hook at a single
     /// `Option` check; building the crate without the `obs` feature removes
@@ -153,24 +223,47 @@ pub struct EngineConfig {
     pub recorder: Option<Arc<Recorder>>,
 }
 
-impl Default for EngineConfig {
-    fn default() -> Self {
-        EngineConfig {
-            disk: DiskParams::default(),
-            net: NetParams::default(),
-            spill_dir: None,
-            disks_per_worker: 0,
-            faults: FaultPlan::default(),
-            fail_timeout_ms: 200,
-            max_timeout_strikes: DEFAULT_MAX_TIMEOUT_STRIKES,
-            max_retransmits: 3,
-            seen_seq_window: crate::worker::DEFAULT_SEEN_SEQ_WINDOW,
-            deadline_us: None,
-            hedge_threshold: None,
-            #[cfg(feature = "obs")]
-            recorder: None,
-        }
+impl ObsConfig {
+    /// Installs a trace recorder. Size it with
+    /// [`Recorder::new`]`(n_workers)` so every worker gets its own event
+    /// track.
+    #[cfg(feature = "obs")]
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
+}
+
+/// Engine configuration: the hardware model (disk, net, store layout), the
+/// dispatch transport, and three grouped policy sub-configs.
+///
+/// The pre-redesign flat `with_*` knobs survive as `#[deprecated]` shims
+/// that delegate into the groups; migrate with the mapping in the README
+/// ("Configuration migration").
+#[derive(Clone, Debug, Default)]
+pub struct EngineConfig {
+    /// Disk model parameters (per worker).
+    pub disk: DiskParams,
+    /// Network parameters.
+    pub net: NetParams,
+    /// When set, each worker's blocks are written to a real file
+    /// `<spill_dir>/worker-<i>.blocks` and served with positioned reads —
+    /// the paper's "separate files corresponding to every disk" layout.
+    /// `None` keeps blocks in memory.
+    pub spill_dir: Option<std::path::PathBuf>,
+    /// Disks per worker (0 is treated as 1). The paper's SP-2 had seven
+    /// disks per processor; its simulation study assumes one.
+    pub disks_per_worker: usize,
+    /// Coordinator → worker transport: lock-free request rings (default)
+    /// or the legacy channel path, kept A/B-benchmarkable (see
+    /// [`DispatchMode`] and `BENCH_hotpath.json`).
+    pub dispatch: DispatchMode,
+    /// Fault-survival policy (timeouts, strikes, retransmits, injection).
+    pub resilience: ResilienceConfig,
+    /// Tail-latency policy (deadline, hedging).
+    pub latency: LatencyConfig,
+    /// Observability wiring (trace recorder).
+    pub obs: ObsConfig,
 }
 
 impl EngineConfig {
@@ -195,50 +288,102 @@ impl EngineConfig {
         }
     }
 
-    /// Installs an injected fault plan.
-    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
-        self.faults = faults;
+    /// Selects the coordinator → worker dispatch transport.
+    pub fn with_dispatch(mut self, dispatch: DispatchMode) -> Self {
+        self.dispatch = dispatch;
         self
+    }
+
+    /// Replaces the whole fault-survival group.
+    pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
+    /// Replaces the whole tail-latency group.
+    pub fn with_latency(mut self, latency: LatencyConfig) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Replaces the whole observability group.
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Updates the fault-survival group in place, fluently:
+    /// `cfg.resilience(|r| r.with_fail_timeout_ms(25))`.
+    pub fn resilience(mut self, f: impl FnOnce(ResilienceConfig) -> ResilienceConfig) -> Self {
+        self.resilience = f(self.resilience);
+        self
+    }
+
+    /// Updates the tail-latency group in place, fluently.
+    pub fn latency(mut self, f: impl FnOnce(LatencyConfig) -> LatencyConfig) -> Self {
+        self.latency = f(self.latency);
+        self
+    }
+
+    /// Updates the observability group in place, fluently.
+    pub fn obs(mut self, f: impl FnOnce(ObsConfig) -> ObsConfig) -> Self {
+        self.obs = f(self.obs);
+        self
+    }
+
+    /// Installs an injected fault plan.
+    #[deprecated(since = "0.2.0", note = "use `.resilience(|r| r.with_faults(..))`")]
+    pub fn with_faults(self, faults: FaultPlan) -> Self {
+        self.resilience(|r| r.with_faults(faults))
     }
 
     /// Sets the per-query real-time deadline budget, microseconds.
-    pub fn with_deadline_us(mut self, deadline_us: u64) -> Self {
-        self.deadline_us = Some(deadline_us);
-        self
+    #[deprecated(since = "0.2.0", note = "use `.latency(|l| l.with_deadline_us(..))`")]
+    pub fn with_deadline_us(self, deadline_us: u64) -> Self {
+        self.latency(|l| l.with_deadline_us(deadline_us))
     }
 
     /// Enables hedged reads at `threshold x p95` (see
-    /// [`EngineConfig::hedge_threshold`]).
-    pub fn with_hedging(mut self, threshold: f64) -> Self {
-        self.hedge_threshold = Some(threshold);
-        self
+    /// [`LatencyConfig::hedge_threshold`]).
+    #[deprecated(since = "0.2.0", note = "use `.latency(|l| l.with_hedging(..))`")]
+    pub fn with_hedging(self, threshold: f64) -> Self {
+        self.latency(|l| l.with_hedging(threshold))
     }
 
     /// Sets the per-request retransmit bound.
-    pub fn with_max_retransmits(mut self, max: u32) -> Self {
-        self.max_retransmits = max;
-        self
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `.resilience(|r| r.with_max_retransmits(..))`"
+    )]
+    pub fn with_max_retransmits(self, max: u32) -> Self {
+        self.resilience(|r| r.with_max_retransmits(max))
     }
 
     /// Sets the silent-worker force-declare strike limit (clamped to >= 1).
-    pub fn with_max_timeout_strikes(mut self, strikes: u32) -> Self {
-        self.max_timeout_strikes = strikes.max(1);
-        self
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `.resilience(|r| r.with_max_timeout_strikes(..))`"
+    )]
+    pub fn with_max_timeout_strikes(self, strikes: u32) -> Self {
+        self.resilience(|r| r.with_max_timeout_strikes(strikes))
     }
 
     /// Sets the per-worker retransmit-dedup window size (clamped to >= 1).
-    pub fn with_seen_seq_window(mut self, window: usize) -> Self {
-        self.seen_seq_window = window.max(1);
-        self
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `.resilience(|r| r.with_seen_seq_window(..))`"
+    )]
+    pub fn with_seen_seq_window(self, window: usize) -> Self {
+        self.resilience(|r| r.with_seen_seq_window(window))
     }
 
     /// Installs a trace recorder. Size it with
     /// [`Recorder::new`]`(n_workers)` so every worker gets its own event
     /// track.
     #[cfg(feature = "obs")]
-    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
-        self.recorder = Some(recorder);
-        self
+    #[deprecated(since = "0.2.0", note = "use `.obs(|o| o.with_recorder(..))`")]
+    pub fn with_recorder(self, recorder: Arc<Recorder>) -> Self {
+        self.obs(|o| o.with_recorder(recorder))
     }
 }
 
@@ -479,7 +624,7 @@ pub struct ParallelGridFile {
     record_bytes: usize,
     /// bucket id -> where its copies live.
     placement: HashMap<u32, BucketPlacement>,
-    to_workers: Vec<Sender<ToWorker>>,
+    to_workers: Vec<WorkerOutbox>,
     /// Worker thread handles, drained by [`ParallelGridFile::shutdown`]
     /// (behind a mutex so shutdown works through a shared `&self` — a
     /// long-lived server holds the engine in an `Arc`).
@@ -560,8 +705,8 @@ impl ParallelGridFile {
                     store,
                     config.disks_per_worker.max(1),
                 )
-                .with_seen_seq_window(config.seen_seq_window)
-                .with_faults(config.faults.for_worker(w))
+                .with_seen_seq_window(config.resilience.seen_seq_window)
+                .with_faults(config.resilience.faults.for_worker(w))
             })
             .collect();
         let mut next_block = vec![0u32; n_workers];
@@ -618,7 +763,7 @@ impl ParallelGridFile {
         }
 
         #[cfg(feature = "obs")]
-        if let Some(rec) = &config.recorder {
+        if let Some(rec) = &config.obs.recorder {
             for state in &mut workers {
                 state.recorder = Some(Arc::clone(rec));
             }
@@ -628,13 +773,19 @@ impl ParallelGridFile {
         let mut to_workers = Vec::with_capacity(n_workers);
         let mut handles = Vec::with_capacity(n_workers);
         for (w, state) in workers.into_iter().enumerate() {
-            let (to_tx, to_rx) = unbounded();
-            handles.push(run_worker(
-                state,
-                to_rx,
-                Some(Arc::clone(&shared.workers[w])),
-            ));
-            to_workers.push(to_tx);
+            let counters = Some(Arc::clone(&shared.workers[w]));
+            match config.dispatch {
+                DispatchMode::Channel => {
+                    let (to_tx, to_rx) = unbounded();
+                    handles.push(run_worker(state, to_rx, counters));
+                    to_workers.push(WorkerOutbox::Channel(to_tx));
+                }
+                _ => {
+                    let ring = Arc::new(RequestRing::new());
+                    handles.push(run_worker(state, Arc::clone(&ring), counters));
+                    to_workers.push(WorkerOutbox::Ring(ring));
+                }
+            }
         }
 
         ParallelGridFile {
@@ -647,17 +798,17 @@ impl ParallelGridFile {
             next_query_id: AtomicU64::new(0),
             next_seq: AtomicU64::new(0),
             shared,
-            fail_timeout_ms: config.fail_timeout_ms,
-            max_timeout_strikes: config.max_timeout_strikes.max(1),
-            max_retransmits: config.max_retransmits,
-            deadline_us: config.deadline_us,
+            fail_timeout_ms: config.resilience.fail_timeout_ms,
+            max_timeout_strikes: config.resilience.max_timeout_strikes.max(1),
+            max_retransmits: config.resilience.max_retransmits,
+            deadline_us: config.latency.deadline_us,
             replicated: replica.is_some(),
             #[cfg(feature = "obs")]
-            hedge_threshold: config.hedge_threshold,
+            hedge_threshold: config.latency.hedge_threshold,
             #[cfg(feature = "obs")]
             service_hist: pargrid_obs::AtomicHistogram::new(),
             #[cfg(feature = "obs")]
-            recorder: config.recorder,
+            recorder: config.obs.recorder,
         }
     }
 
@@ -863,8 +1014,8 @@ impl ParallelGridFile {
             };
             match self.to_workers[w].send(ToWorker::Process(vec![request])) {
                 Ok(()) => p.awaiting.push(Outstanding::new(w, seq, bkts, blocks)),
-                Err(SendError(_)) => {
-                    // The replica died too (channel gone). Its buckets are
+                Err(DispatchError(_)) => {
+                    // The replica died too (transport gone). Its buckets are
                     // in `retried` now, so this recursion terminates by
                     // marking them incomplete.
                     self.shared.workers[w].dead.store(true, Ordering::Relaxed);
@@ -1329,8 +1480,10 @@ impl ParallelGridFile {
                     w as u32,
                     requests.len() as u64,
                 );
-                if let Err(SendError(msg)) = self.to_workers[w].send(ToWorker::Process(requests)) {
-                    // The worker's channel is gone (it died earlier this
+                if let Err(DispatchError(msg)) =
+                    self.to_workers[w].send(ToWorker::Process(requests))
+                {
+                    // The worker's transport is gone (it died earlier this
                     // round, or its thread panicked): recover the requests
                     // from the bounced message and fail them over.
                     self.shared.workers[w].dead.store(true, Ordering::Relaxed);
@@ -1466,7 +1619,7 @@ impl QuerySession<'_> {
                 Ok(()) => p
                     .awaiting
                     .push(Outstanding::new(w, seq, read.buckets, read.blocks)),
-                Err(SendError(_)) => {
+                Err(DispatchError(_)) => {
                     engine.shared.workers[w].dead.store(true, Ordering::Relaxed);
                     engine.fail_over(
                         query_id,
@@ -1497,6 +1650,26 @@ impl QuerySession<'_> {
         engine.trace_reply(query_id, start_us, &outcome);
         self.stats.absorb(&outcome);
         outcome
+    }
+
+    /// Like [`QuerySession::query`], but reports a closed query service as
+    /// a typed [`EngineError::SessionClosed`] instead of silently resolving
+    /// the query incomplete.
+    ///
+    /// "Closed" covers both orderings: the engine was already shut down
+    /// when the query arrived, and the race where a submit was queued on a
+    /// worker ring as [`ParallelGridFile::shutdown`] closed it — in that
+    /// case the bounced dispatch resolves the outcome incomplete and this
+    /// method converts it to the typed error. Never hangs and never panics.
+    pub fn try_query(&mut self, rect: &Rect) -> Result<QueryOutcome, EngineError> {
+        if self.engine.is_shut_down() {
+            return Err(EngineError::SessionClosed);
+        }
+        let outcome = self.query(rect);
+        if outcome.incomplete && self.engine.is_shut_down() {
+            return Err(EngineError::SessionClosed);
+        }
+        Ok(outcome)
     }
 
     /// Stats accumulated by this session so far.
@@ -1551,10 +1724,7 @@ mod tests {
 
     /// Short reply timeout so failure tests don't wait 200 ms per poll.
     fn fast_cfg() -> EngineConfig {
-        EngineConfig {
-            fail_timeout_ms: 25,
-            ..EngineConfig::default()
-        }
+        EngineConfig::default().resilience(|r| r.with_fail_timeout_ms(25))
     }
 
     fn build_engine_cfg(
@@ -1981,8 +2151,10 @@ mod tests {
         // A worker fail-stops on its first request; every query still
         // returns the exact answer set of a healthy unreplicated engine —
         // the tentpole acceptance criterion.
-        let (gf, engine, _r) =
-            build_replicated_engine(6, fast_cfg().with_faults(FaultPlan::kill_first(1)));
+        let (gf, engine, _r) = build_replicated_engine(
+            6,
+            fast_cfg().resilience(|r| r.with_faults(FaultPlan::kill_first(1))),
+        );
         let w = QueryWorkload::square(&Rect::new2(0.0, 0.0, 100.0, 100.0), 0.08, 12, 29);
         let mut saw_retry = false;
         for q in &w.queries {
@@ -2006,8 +2178,10 @@ mod tests {
 
     #[test]
     fn replicated_concurrent_run_survives_worker_failure() {
-        let (gf, engine, _r) =
-            build_replicated_engine(6, fast_cfg().with_faults(FaultPlan::kill_first(1)));
+        let (gf, engine, _r) = build_replicated_engine(
+            6,
+            fast_cfg().resilience(|r| r.with_faults(FaultPlan::kill_first(1))),
+        );
         let w = QueryWorkload::square(&Rect::new2(0.0, 0.0, 100.0, 100.0), 0.08, 12, 29);
         let (outcomes, tp) = engine.run_workload_concurrent(&w, 6);
         assert_eq!(outcomes.len(), 12);
@@ -2024,8 +2198,10 @@ mod tests {
 
     #[test]
     fn unreplicated_failure_degrades_without_panic() {
-        let (_g, engine, _r) =
-            build_engine_cfg(4, fast_cfg().with_faults(FaultPlan::kill_first(1)));
+        let (_g, engine, _r) = build_engine_cfg(
+            4,
+            fast_cfg().resilience(|r| r.with_faults(FaultPlan::kill_first(1))),
+        );
         let w = QueryWorkload::square(&Rect::new2(0.0, 0.0, 100.0, 100.0), 0.2, 8, 3);
         let mut incomplete_seen = false;
         for q in &w.queries {
@@ -2046,7 +2222,7 @@ mod tests {
         // stays exact and the worker stays alive.
         let (gf, engine, _r) = build_replicated_engine(
             4,
-            fast_cfg().with_faults(FaultPlan::none().with_poison(1, 0)),
+            fast_cfg().resilience(|r| r.with_faults(FaultPlan::none().with_poison(1, 0))),
         );
         let q = Rect::new2(0.0, 0.0, 100.0, 100.0);
         let out = engine.query(&q);
@@ -2108,7 +2284,7 @@ mod tests {
     fn dropped_request_is_retransmitted_and_answers_exactly() {
         // The first delivery to worker 0 vanishes; the coordinator's
         // timeout-driven retransmit (same seq) gets through.
-        let cfg = fast_cfg().with_faults(FaultPlan::none().with_drop(0, 0, 1));
+        let cfg = fast_cfg().resilience(|r| r.with_faults(FaultPlan::none().with_drop(0, 0, 1)));
         let (gf, engine, _r) = build_engine_cfg(4, cfg);
         let q = Rect::new2(0.0, 0.0, 100.0, 100.0);
         let out = engine.query(&q);
@@ -2126,9 +2302,10 @@ mod tests {
         // the engine must eventually declare the worker and (unreplicated)
         // answer incomplete rather than hang. A tight strike limit keeps
         // the test fast and exercises the max_timeout_strikes knob.
-        let cfg = fast_cfg()
-            .with_max_timeout_strikes(8)
-            .with_faults(FaultPlan::none().with_drop(0, 0, u32::MAX));
+        let cfg = fast_cfg().resilience(|r| {
+            r.with_max_timeout_strikes(8)
+                .with_faults(FaultPlan::none().with_drop(0, 0, u32::MAX))
+        });
         let (_gf, engine, _r) = build_engine_cfg(4, cfg);
         let q = Rect::new2(0.0, 0.0, 100.0, 100.0);
         let out = engine.query(&q);
@@ -2149,7 +2326,8 @@ mod tests {
         for w in 0..4 {
             faults = faults.with_duplicate(w, 0);
         }
-        let (gf, engine, _r) = build_engine_cfg(4, fast_cfg().with_faults(faults));
+        let (gf, engine, _r) =
+            build_engine_cfg(4, fast_cfg().resilience(|r| r.with_faults(faults)));
         let q = Rect::new2(0.0, 0.0, 100.0, 100.0);
         let out = engine.query(&q);
         let ids: Vec<u64> = out.records.iter().map(|r| r.id).collect();
@@ -2164,7 +2342,7 @@ mod tests {
         // Worker 0 sleeps 120 ms before answering while the coordinator
         // polls every 25 ms: retransmits fire, the worker dedups the
         // redeliveries, and the one real reply merges exactly once.
-        let cfg = fast_cfg().with_faults(FaultPlan::none().with_delay(0, 0, 120));
+        let cfg = fast_cfg().resilience(|r| r.with_faults(FaultPlan::none().with_delay(0, 0, 120)));
         let (gf, engine, _r) = build_engine_cfg(4, cfg);
         let q = Rect::new2(0.0, 0.0, 100.0, 100.0);
         let out = engine.query(&q);
@@ -2187,7 +2365,8 @@ mod tests {
         for w in 0..4 {
             faults = faults.with_reorder(w, 0);
         }
-        let (gf, engine, _r) = build_engine_cfg(4, fast_cfg().with_faults(faults));
+        let (gf, engine, _r) =
+            build_engine_cfg(4, fast_cfg().resilience(|r| r.with_faults(faults)));
         let workload = QueryWorkload::square(&Rect::new2(0.0, 0.0, 100.0, 100.0), 0.4, 12, 99);
         let (outcomes, tp) = engine.run_workload_concurrent(&workload, 4);
         assert_eq!(tp.queries, 12);
@@ -2202,7 +2381,8 @@ mod tests {
         // Worker 0 flips a byte in its block 0. The checksum catches it,
         // the replica answers the query, and the scrubber rewrites the
         // block from the replica copy so the next read is clean.
-        let cfg = fast_cfg().with_faults(FaultPlan::none().with_corrupt_block(0, 0));
+        let cfg =
+            fast_cfg().resilience(|r| r.with_faults(FaultPlan::none().with_corrupt_block(0, 0)));
         let (gf, engine, _r) = build_replicated_engine(4, cfg);
         let q = Rect::new2(0.0, 0.0, 100.0, 100.0);
         let out = engine.query(&q);
@@ -2222,7 +2402,8 @@ mod tests {
 
     #[test]
     fn corrupt_block_without_replica_is_incomplete_not_fatal() {
-        let cfg = fast_cfg().with_faults(FaultPlan::none().with_corrupt_block(0, 0));
+        let cfg =
+            fast_cfg().resilience(|r| r.with_faults(FaultPlan::none().with_corrupt_block(0, 0)));
         let (gf, engine, _r) = build_engine_cfg(4, cfg);
         let q = Rect::new2(0.0, 0.0, 100.0, 100.0);
         let out = engine.query(&q);
@@ -2241,7 +2422,7 @@ mod tests {
         // request surfaces as an explicit incomplete answer (no replica to
         // retry against), the worker stays alive, and the next query is
         // whole again.
-        let cfg = fast_cfg().with_faults(FaultPlan::none().with_poison(0, 0));
+        let cfg = fast_cfg().resilience(|r| r.with_faults(FaultPlan::none().with_poison(0, 0)));
         let (gf, engine, _r) = build_engine_cfg(4, cfg);
         let q = Rect::new2(0.0, 0.0, 100.0, 100.0);
         let out = engine.query(&q);
@@ -2264,8 +2445,8 @@ mod tests {
         // (slow) strike limit. The deadline budget cuts it off and answers
         // explicitly incomplete; the engine survives.
         let cfg = fast_cfg()
-            .with_deadline_us(150_000)
-            .with_faults(FaultPlan::none().with_drop(0, 0, u32::MAX));
+            .latency(|l| l.with_deadline_us(150_000))
+            .resilience(|r| r.with_faults(FaultPlan::none().with_drop(0, 0, u32::MAX)));
         let (gf, engine, _r) = build_engine_cfg(4, cfg);
         let q = Rect::new2(0.0, 0.0, 100.0, 100.0);
         let started = std::time::Instant::now();
@@ -2291,8 +2472,8 @@ mod tests {
         // 2 x p95 and is hedged to the replica; the answer stays exact and
         // the query is charged the faster of the two copies.
         let cfg = fast_cfg()
-            .with_hedging(2.0)
-            .with_faults(FaultPlan::none().with_slow_disk(0, 60));
+            .latency(|l| l.with_hedging(2.0))
+            .resilience(|r| r.with_faults(FaultPlan::none().with_slow_disk(0, 60)));
         let (gf, engine, recs) = build_replicated_engine(4, cfg);
 
         let tiny = |r: &Record| {
@@ -2339,5 +2520,70 @@ mod tests {
         assert!(out.hedges >= 1, "outcome: {out:?}");
         assert_eq!(out.retries, 0, "a hedge is speculation, not failover");
         assert!(engine.stats().hedges >= 1);
+    }
+
+    #[test]
+    fn submit_after_close_returns_session_closed_error() {
+        // Regression: a submit hitting closed worker rings must come back
+        // as a typed error, not hang on a reply that will never arrive and
+        // not panic on the closed transport. Covers both orderings — a
+        // query issued after shutdown, and one whose dispatch raced the
+        // rings closing.
+        let (_gf, engine, _recs) = build_engine_cfg(4, fast_cfg());
+        let mut session = engine.session();
+        let q = Rect::new2(20.0, 20.0, 60.0, 60.0);
+        let out = session.try_query(&q).expect("engine is live");
+        assert!(!out.incomplete);
+
+        engine.shutdown();
+        let start = std::time::Instant::now();
+        match session.try_query(&q) {
+            Err(EngineError::SessionClosed) => {}
+            other => panic!("expected SessionClosed, got {other:?}"),
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "closed-session submit must fail fast, took {:?}",
+            start.elapsed()
+        );
+        // A fresh session on the dead engine reports the same typed error.
+        let mut late = engine.session();
+        assert!(matches!(
+            late.try_query(&q),
+            Err(EngineError::SessionClosed)
+        ));
+    }
+
+    #[test]
+    fn channel_dispatch_mode_answers_exactly() {
+        // The legacy transport stays selectable (A/B benchmarking) and
+        // produces the same answers as the default ring path.
+        let (gf, engine, _recs) =
+            build_engine_cfg(4, fast_cfg().with_dispatch(DispatchMode::Channel));
+        let q = Rect::new2(10.0, 10.0, 70.0, 70.0);
+        let out = engine.query(&q);
+        assert_eq!(out.records, oracle(&gf, &q));
+        assert!(!out.incomplete);
+        assert_eq!(engine.shutdown(), 4);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_config_shims_delegate_to_groups() {
+        // The seven pre-redesign flat knobs keep compiling and must land in
+        // the grouped sub-configs they migrated into.
+        let cfg = EngineConfig::default()
+            .with_faults(FaultPlan::kill_first(1))
+            .with_deadline_us(5_000)
+            .with_hedging(2.5)
+            .with_max_retransmits(7)
+            .with_max_timeout_strikes(0) // clamps to 1
+            .with_seen_seq_window(0); // clamps to 1
+        assert!(!cfg.resilience.faults.is_empty());
+        assert_eq!(cfg.latency.deadline_us, Some(5_000));
+        assert_eq!(cfg.latency.hedge_threshold, Some(2.5));
+        assert_eq!(cfg.resilience.max_retransmits, 7);
+        assert_eq!(cfg.resilience.max_timeout_strikes, 1);
+        assert_eq!(cfg.resilience.seen_seq_window, 1);
     }
 }

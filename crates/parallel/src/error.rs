@@ -1,0 +1,139 @@
+//! Typed errors for the parallel engine and its block store.
+//!
+//! Part of the workspace-wide error unification: every crate's failures
+//! are `#[non_exhaustive]` enums implementing [`std::error::Error`] +
+//! [`std::fmt::Display`], re-exported from the crate's `prelude` (here,
+//! alongside `pargrid_gridfile::PersistError` and `pargrid_net`'s
+//! `WireError`/`FrameError`). `#[non_exhaustive]` keeps adding variants a
+//! minor change, so downstream `match`es must carry a wildcard arm.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// A block-store read or write failure.
+///
+/// [`crate::store::BlockStore::read_block`] reports these directly; the
+/// legacy [`crate::store::BlockStore::get`] surface converts them to
+/// [`io::Error`] via the [`From`] impl below (`NotFound` →
+/// [`io::ErrorKind::NotFound`], `Corrupt` → [`io::ErrorKind::InvalidData`]).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// No block with this id exists in the store.
+    NotFound {
+        /// The missing block id.
+        block: u32,
+    },
+    /// The block's bytes fail their stored checksum (silent corruption).
+    Corrupt {
+        /// The corrupt block id.
+        block: u32,
+        /// Checksum recorded when the block was written.
+        stored: u32,
+        /// Checksum of the bytes actually read.
+        actual: u32,
+    },
+    /// An underlying file-I/O failure (file-backed stores only).
+    Io(io::Error),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NotFound { block } => write!(f, "no such block {block}"),
+            StoreError::Corrupt {
+                block,
+                stored,
+                actual,
+            } => write!(
+                f,
+                "block {block} failed checksum (stored {stored:#010x}, read {actual:#010x})"
+            ),
+            StoreError::Io(e) => write!(f, "block store I/O error: {e}"),
+        }
+    }
+}
+
+impl Error for StoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<StoreError> for io::Error {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::NotFound { block } => {
+                io::Error::new(io::ErrorKind::NotFound, format!("no such block {block}"))
+            }
+            StoreError::Corrupt { .. } => io::Error::new(io::ErrorKind::InvalidData, e.to_string()),
+            StoreError::Io(inner) => inner,
+        }
+    }
+}
+
+/// A coordinator-side engine failure.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// The query service is gone: the session (or the whole engine) was
+    /// shut down, so a submit can no longer reach any worker.
+    /// [`crate::engine::QuerySession::try_query`] reports this instead of
+    /// hanging on (or panicking over) closed worker transports.
+    SessionClosed,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::SessionClosed => {
+                write!(f, "query session is closed (engine shut down)")
+            }
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_error_maps_to_io_kinds() {
+        let nf: io::Error = StoreError::NotFound { block: 7 }.into();
+        assert_eq!(nf.kind(), io::ErrorKind::NotFound);
+        let bad: io::Error = StoreError::Corrupt {
+            block: 3,
+            stored: 1,
+            actual: 2,
+        }
+        .into();
+        assert_eq!(bad.kind(), io::ErrorKind::InvalidData);
+        let io_src = io::Error::new(io::ErrorKind::PermissionDenied, "nope");
+        let back: io::Error = StoreError::Io(io_src).into();
+        assert_eq!(back.kind(), io::ErrorKind::PermissionDenied);
+    }
+
+    #[test]
+    fn errors_display_and_source() {
+        let e = StoreError::Corrupt {
+            block: 9,
+            stored: 0xdead,
+            actual: 0xbeef,
+        };
+        assert!(e.to_string().contains("block 9"));
+        assert!(StoreError::Io(io::Error::other("x")).source().is_some());
+        assert!(EngineError::SessionClosed.to_string().contains("closed"));
+    }
+}

@@ -39,10 +39,15 @@
 //! straggler disks — and the engine answers each: sequence-numbered
 //! dispatch with worker-side dedup and bounded retransmission, per-block
 //! checksums with replica scrub-repair, hedged reads against the replica of
-//! a slow primary ([`EngineConfig::with_hedging`]), and a per-query
-//! real-time deadline ([`EngineConfig::with_deadline_us`]) that converts
+//! a slow primary ([`LatencyConfig::with_hedging`]), and a per-query
+//! real-time deadline ([`LatencyConfig::with_deadline_us`]) that converts
 //! unbounded waits into explicit incomplete answers. Randomized-but-
 //! reproducible fault schedules come from [`fault::FaultPlan::chaos`].
+//!
+//! Coordinator → worker dispatch rides a sharded lock-free
+//! [`ring::RequestRing`] per worker by default; the original channel
+//! transport stays available via [`ring::DispatchMode::Channel`] for A/B
+//! comparison (see `BENCH_hotpath.json` at the repo root).
 //!
 //! ```
 //! use pargrid_core::{DeclusterInput, DeclusterMethod, EdgeWeight};
@@ -73,17 +78,40 @@
 pub mod cache;
 pub mod disk;
 pub mod engine;
+pub mod error;
 pub mod fault;
 pub mod message;
+pub mod ring;
 pub mod stats;
 pub mod store;
 pub mod worker;
 
-pub use cache::LruCache;
+pub use cache::{BlockBuf, BufferPool, LruCache};
 pub use disk::{BlockCost, DiskModel, DiskParams};
-pub use engine::{EngineConfig, NetParams, ParallelGridFile, QueryOutcome, QuerySession, RunStats};
+pub use engine::{
+    EngineConfig, LatencyConfig, NetParams, ObsConfig, ParallelGridFile, QueryOutcome,
+    QuerySession, ResilienceConfig, RunStats,
+};
+pub use error::{EngineError, StoreError};
 pub use fault::{FaultKind, FaultPlan, WorkerFault};
 pub use message::{QueryPriority, RawBlocks};
 pub use pargrid_sim::ThroughputStats;
+pub use ring::{DispatchMode, RequestRing, WorkerInbox, WorkerOutbox};
 pub use stats::{EngineStats, WorkerStats};
 pub use store::BlockStore;
+
+/// The crate's most commonly used types, flat: engine construction and the
+/// grouped config surface, the query-service types, and the typed errors
+/// every fallible surface reports.
+pub mod prelude {
+    pub use crate::engine::{
+        EngineConfig, LatencyConfig, NetParams, ObsConfig, ParallelGridFile, QueryOutcome,
+        QuerySession, ResilienceConfig, RunStats,
+    };
+    pub use crate::error::{EngineError, StoreError};
+    pub use crate::fault::{FaultKind, FaultPlan, WorkerFault};
+    pub use crate::message::QueryPriority;
+    pub use crate::ring::DispatchMode;
+    pub use crate::stats::{EngineStats, WorkerStats};
+    pub use crate::store::BlockStore;
+}

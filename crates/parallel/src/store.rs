@@ -8,12 +8,23 @@
 //! SPMD engine can exercise the real filesystem while timing stays on the
 //! virtual disk model.
 //!
-//! Every `put` records a CRC-32 of the block's bytes; every `get` verifies
+//! Every `put` records a CRC-32 of the block's bytes; every read verifies
 //! it. Silent corruption (bit rot, an injected [`crate::FaultKind::CorruptBlock`])
-//! therefore surfaces as an `io::ErrorKind::InvalidData` error instead of
+//! therefore surfaces as a [`StoreError::Corrupt`] error instead of
 //! quietly decoding garbage, and the coordinator can repair the block from
 //! its chained-declustering replica via [`BlockStore::overwrite`].
+//!
+//! Two read surfaces:
+//! - [`BlockStore::read_block`] — the hot path. Returns a [`BlockBuf`]
+//!   that borrows in-memory blocks outright and serves file-backed blocks
+//!   from a recycled [`BufferPool`] buffer, so steady-state reads allocate
+//!   nothing. Errors are the typed [`StoreError`].
+//! - [`BlockStore::get`] — the legacy owned-`Vec` surface (used by the
+//!   scrub/repair path, which ships bytes across threads), kept with its
+//!   original `io::Result` signature.
 
+use crate::cache::{BlockBuf, BufferPool};
+use crate::error::StoreError;
 use pargrid_gridfile::crc32;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -39,11 +50,14 @@ enum Backend {
     },
 }
 
-/// A worker's block store: a backend plus per-block CRC-32 checksums.
+/// A worker's block store: a backend plus per-block CRC-32 checksums and a
+/// buffer pool for allocation-free file reads.
 pub struct BlockStore {
     backend: Backend,
     /// CRC-32 per stored block, checked on every read.
     sums: HashMap<u32, u32>,
+    /// Recycled read buffers (file backend; see [`BlockStore::read_block`]).
+    pool: BufferPool,
 }
 
 impl BlockStore {
@@ -52,6 +66,7 @@ impl BlockStore {
         BlockStore {
             backend: Backend::Memory(HashMap::new()),
             sums: HashMap::new(),
+            pool: BufferPool::new(),
         }
     }
 
@@ -75,6 +90,7 @@ impl BlockStore {
                 n_blocks: 0,
             },
             sums: HashMap::new(),
+            pool: BufferPool::new(),
         })
     }
 
@@ -182,44 +198,70 @@ impl BlockStore {
         }
     }
 
-    /// Reads a block's bytes, verifying its checksum. A block that does not
-    /// exist is an `io::ErrorKind::NotFound` error; one whose bytes no
-    /// longer match their recorded checksum is `io::ErrorKind::InvalidData`.
-    /// Neither panics, so a worker can answer the affected request with an
-    /// error reply and keep serving.
-    pub fn get(&self, block: u32) -> io::Result<Vec<u8>> {
-        let bytes = match &self.backend {
-            Backend::Memory(map) => map.get(&block).cloned().ok_or_else(|| {
-                io::Error::new(io::ErrorKind::NotFound, format!("no block {block}"))
-            })?,
+    /// Reads a block's bytes without copying where possible, verifying the
+    /// checksum. In-memory blocks come back borrowed ([`BlockBuf::Borrowed`]);
+    /// file-backed blocks land in a recycled pool buffer
+    /// ([`BlockBuf::Pooled`]) that returns to the pool when the `BlockBuf`
+    /// drops. A block that does not exist is [`StoreError::NotFound`]; one
+    /// whose bytes no longer match their recorded checksum is
+    /// [`StoreError::Corrupt`]. Neither panics, so a worker can answer the
+    /// affected request with an error reply and keep serving.
+    pub fn read_block(&self, block: u32) -> Result<BlockBuf<'_>, StoreError> {
+        let buf = match &self.backend {
+            Backend::Memory(map) => {
+                let bytes = map
+                    .get(&block)
+                    .ok_or(StoreError::NotFound { block })?
+                    .as_slice();
+                BlockBuf::Borrowed(bytes)
+            }
             Backend::File {
                 file,
                 block_bytes,
                 n_blocks,
             } => {
                 if block >= *n_blocks {
-                    return Err(io::Error::new(
-                        io::ErrorKind::NotFound,
-                        format!("no block {block}"),
-                    ));
+                    return Err(StoreError::NotFound { block });
                 }
-                let mut buf = vec![0u8; *block_bytes];
-                read_exact_at(file, &mut buf, block as u64 * *block_bytes as u64)?;
-                buf
+                let mut buf = self.pool.take(*block_bytes);
+                if let Err(e) = read_exact_at(file, &mut buf, block as u64 * *block_bytes as u64) {
+                    self.pool.put(buf);
+                    return Err(StoreError::Io(e));
+                }
+                BlockBuf::Pooled {
+                    pool: &self.pool,
+                    buf: Some(buf),
+                }
             }
         };
         if let Some(&expected) = self.sums.get(&block) {
-            let actual = crc32(&bytes);
+            let actual = crc32(&buf);
             if actual != expected {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!(
-                        "block {block} checksum mismatch: stored {expected:08x}, read {actual:08x}"
-                    ),
-                ));
+                return Err(StoreError::Corrupt {
+                    block,
+                    stored: expected,
+                    actual,
+                });
             }
         }
-        Ok(bytes)
+        Ok(buf)
+    }
+
+    /// Reads a block into an owned `Vec`, verifying its checksum — the
+    /// legacy surface over [`BlockStore::read_block`], kept for callers
+    /// that ship the bytes elsewhere (scrub repair). Errors map through
+    /// [`StoreError`]'s [`io::Error`] conversion (`NotFound` →
+    /// `io::ErrorKind::NotFound`, `Corrupt` → `io::ErrorKind::InvalidData`).
+    pub fn get(&self, block: u32) -> io::Result<Vec<u8>> {
+        Ok(self.read_block(block).map_err(io::Error::from)?.to_vec())
+    }
+
+    /// Pool telemetry: `(allocations, reuses)` on the file read path. A
+    /// steady-state workload holds `allocations` flat while `reuses` grows —
+    /// asserted by the read-path tests and visible in `BENCH_hotpath.json`'s
+    /// `store_read` pair.
+    pub fn pool_stats(&self) -> (u64, u64) {
+        (self.pool.allocations(), self.pool.reuses())
     }
 
     /// Number of stored blocks.
@@ -311,6 +353,61 @@ mod tests {
         let err = f.get(0).expect_err("missing block must error");
         assert_eq!(err.kind(), io::ErrorKind::NotFound);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_block_borrows_memory_blocks_without_alloc() {
+        let mut s = BlockStore::memory();
+        s.put(0, vec![1, 2, 3]).expect("put");
+        {
+            let buf = s.read_block(0).expect("read");
+            assert!(matches!(buf, BlockBuf::Borrowed(_)));
+            assert_eq!(&*buf, &[1, 2, 3]);
+        }
+        assert_eq!(s.pool_stats(), (0, 0), "memory reads never touch the pool");
+        assert!(matches!(
+            s.read_block(9),
+            Err(StoreError::NotFound { block: 9 })
+        ));
+    }
+
+    #[test]
+    fn read_block_recycles_file_buffers() {
+        let dir = std::env::temp_dir().join("pargrid_store_pool_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut s = BlockStore::file(dir.join("w.blocks"), 64).expect("create");
+        for i in 0..4u32 {
+            s.put(i, vec![i as u8; 64]).expect("put");
+        }
+        for round in 0..8 {
+            for i in 0..4u32 {
+                let buf = s.read_block(i).expect("read");
+                assert!(matches!(buf, BlockBuf::Pooled { .. }));
+                assert_eq!(&*buf, &vec![i as u8; 64][..], "round {round}");
+            }
+        }
+        let (allocations, reuses) = s.pool_stats();
+        assert_eq!(allocations, 1, "steady state reuses one buffer");
+        assert_eq!(reuses, 31);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_block_reports_typed_corruption() {
+        let mut s = BlockStore::memory();
+        s.put(0, vec![7; 16]).expect("put");
+        assert!(s.corrupt(0));
+        match s.read_block(0) {
+            Err(StoreError::Corrupt {
+                block,
+                stored,
+                actual,
+            }) => {
+                assert_eq!(block, 0);
+                assert_ne!(stored, actual);
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        };
     }
 
     #[test]

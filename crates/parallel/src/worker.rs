@@ -17,15 +17,15 @@
 //! merely slow cannot cause the same blocks to be read and returned twice.
 
 use crate::disk::{DiskModel, DiskParams};
+use crate::error::StoreError;
 use crate::fault::FaultKind;
 use crate::message::{FromWorker, QueryPriority, RawBlocks, ToWorker};
+use crate::ring::WorkerInbox;
 use crate::stats::WorkerCounters;
 use crate::store::BlockStore;
-use crossbeam::channel::Receiver;
 use pargrid_geom::Rect;
 use pargrid_gridfile::page::decode_page;
 use std::collections::{HashSet, VecDeque};
-use std::io;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -287,9 +287,13 @@ impl WorkerState {
                     // and the coordinator can retry against a replica. A
                     // checksum failure is additionally reported so the
                     // coordinator can scrub the block back to health.
-                    match self.store.get(b) {
+                    //
+                    // `read_block` is the allocation-free path: in-memory
+                    // pages are borrowed, file pages land in a recycled
+                    // pool buffer released when `page` drops.
+                    match self.store.read_block(b) {
                         Ok(page) => {
-                            for r in decode_page(&page, self.payload_bytes) {
+                            for r in decode_page(page.as_ref(), self.payload_bytes) {
                                 scanned += 1;
                                 if req.query.contains_closed(&r.point) {
                                     records.push(r);
@@ -297,7 +301,7 @@ impl WorkerState {
                             }
                         }
                         Err(e) => {
-                            if e.kind() == io::ErrorKind::InvalidData {
+                            if matches!(e, StoreError::Corrupt { .. }) {
                                 corrupt_blocks.push(b);
                             }
                             error = Some(format!(
@@ -383,11 +387,19 @@ impl WorkerState {
 
     /// The worker's message loop: consumed by [`run_worker`].
     ///
+    /// Takes anything convertible into a [`WorkerInbox`]: a plain crossbeam
+    /// `Receiver<ToWorker>` ([`crate::ring::DispatchMode::Channel`]) or an
+    /// `Arc<RequestRing<ToWorker>>` ([`crate::ring::DispatchMode::Ring`]).
+    /// On every exit path — shutdown, injected fail-stop, panic — the inbox
+    /// drop closes a ring transport, so coordinator pushes start failing
+    /// exactly when channel sends would.
+    ///
     /// Each iteration blocks for one message, then drains everything already
     /// queued into a single batch — the queue depth at that instant *is* the
     /// batch size, so concurrent sessions coalesce without any coordinator
     /// involvement. Replies go to each request's own `reply` channel.
-    pub fn run(mut self, rx: Receiver<ToWorker>, counters: Option<Arc<WorkerCounters>>) {
+    pub fn run(mut self, rx: impl Into<WorkerInbox>, counters: Option<Arc<WorkerCounters>>) {
+        let rx: WorkerInbox = rx.into();
         // Cumulative wall busy time, used to advance the recorder's global
         // virtual clock (fetch_max across workers).
         #[cfg(feature = "obs")]
@@ -396,29 +408,29 @@ impl WorkerState {
             let mut batch = Vec::new();
             let mut shutdown = false;
             match rx.recv() {
-                Ok(ToWorker::Process(reqs)) => batch.extend(reqs),
-                Ok(ToWorker::FetchRaw { blocks, reply }) => {
+                Some(ToWorker::Process(reqs)) => batch.extend(reqs),
+                Some(ToWorker::FetchRaw { blocks, reply }) => {
                     let _ = reply.send(self.fetch_raw(&blocks));
                     continue;
                 }
-                Ok(ToWorker::WriteRaw { blocks }) => {
+                Some(ToWorker::WriteRaw { blocks }) => {
                     self.write_raw(blocks);
                     continue;
                 }
-                Ok(ToWorker::Shutdown) | Err(_) => return,
+                Some(ToWorker::Shutdown) | None => return,
             }
             loop {
                 match rx.try_recv() {
-                    Ok(ToWorker::Process(reqs)) => batch.extend(reqs),
-                    Ok(ToWorker::FetchRaw { blocks, reply }) => {
+                    Some(ToWorker::Process(reqs)) => batch.extend(reqs),
+                    Some(ToWorker::FetchRaw { blocks, reply }) => {
                         let _ = reply.send(self.fetch_raw(&blocks));
                     }
-                    Ok(ToWorker::WriteRaw { blocks }) => self.write_raw(blocks),
-                    Ok(ToWorker::Shutdown) => {
+                    Some(ToWorker::WriteRaw { blocks }) => self.write_raw(blocks),
+                    Some(ToWorker::Shutdown) => {
                         shutdown = true;
                         break;
                     }
-                    Err(_) => break,
+                    None => break,
                 }
             }
             // Channel faults before any service: silently discard deliveries
@@ -591,15 +603,17 @@ impl WorkerState {
     }
 }
 
-/// Spawns a worker thread running the message loop.
+/// Spawns a worker thread running the message loop over either transport
+/// (see [`WorkerState::run`] for the inbox conversion).
 pub fn run_worker(
     state: WorkerState,
-    rx: Receiver<ToWorker>,
+    rx: impl Into<WorkerInbox>,
     counters: Option<Arc<WorkerCounters>>,
 ) -> std::thread::JoinHandle<()> {
+    let inbox: WorkerInbox = rx.into();
     std::thread::Builder::new()
         .name(format!("pargrid-worker-{}", state.worker_id))
-        .spawn(move || state.run(rx, counters))
+        .spawn(move || state.run(inbox, counters))
         .expect("failed to spawn worker thread")
 }
 

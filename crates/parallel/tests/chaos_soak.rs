@@ -42,13 +42,9 @@ fn oracle(gf: &Arc<GridFile>, w: &QueryWorkload) -> Vec<QueryOutcome> {
 /// fast, a 2-second real-time deadline so no schedule can wedge a query,
 /// and hedging armed (the chaos schedule's slow disks exercise it).
 fn chaos_cfg(faults: FaultPlan) -> EngineConfig {
-    EngineConfig {
-        fail_timeout_ms: 15,
-        ..EngineConfig::default()
-    }
-    .with_deadline_us(2_000_000)
-    .with_hedging(3.0)
-    .with_faults(faults)
+    EngineConfig::default()
+        .resilience(|r| r.with_fail_timeout_ms(15).with_faults(faults))
+        .latency(|l| l.with_deadline_us(2_000_000).with_hedging(3.0))
 }
 
 fn chaos_engine(gf: &Arc<GridFile>, faults: FaultPlan, replicated: bool) -> ParallelGridFile {

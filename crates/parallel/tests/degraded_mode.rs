@@ -23,11 +23,7 @@ fn workload(gf: &GridFile) -> QueryWorkload {
 /// Short failure-detection timeout: virtual time is unaffected, only the
 /// real-time wait on a dead worker's reply.
 fn cfg(faults: FaultPlan) -> EngineConfig {
-    EngineConfig {
-        fail_timeout_ms: 25,
-        ..EngineConfig::default()
-    }
-    .with_faults(faults)
+    EngineConfig::default().resilience(|r| r.with_fail_timeout_ms(25).with_faults(faults))
 }
 
 fn healthy_engine(gf: &Arc<GridFile>) -> ParallelGridFile {

@@ -1,0 +1,174 @@
+//! Property tests pinning the transport swap: the sharded
+//! [`pargrid_parallel::RequestRing`] dispatch path must be observationally
+//! identical to the legacy channel path. Referenced from
+//! `crates/parallel/src/ring.rs` — a failing seed here reproduces exactly
+//! (virtual time, seeded workloads, seeded chaos schedules).
+
+use pargrid_core::{ConflictPolicy, DeclusterInput, DeclusterMethod, IndexScheme};
+use pargrid_geom::{Point, Rect};
+use pargrid_gridfile::{GridConfig, GridFile, Record};
+use pargrid_parallel::{DispatchMode, EngineConfig, FaultPlan, ParallelGridFile, QueryOutcome};
+use pargrid_sim::QueryWorkload;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn grid_file(n_records: u64) -> Arc<GridFile> {
+    let cfg = GridConfig::with_capacity(Rect::new2(0.0, 0.0, 100.0, 100.0), 6);
+    let mut x = 9u64;
+    let recs: Vec<Record> = (0..n_records)
+        .map(|i| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            Record::new(
+                i,
+                Point::new2(
+                    ((x >> 16) % 10000) as f64 / 100.0,
+                    ((x >> 40) % 10000) as f64 / 100.0,
+                ),
+            )
+        })
+        .collect();
+    Arc::new(GridFile::bulk_load(cfg, recs))
+}
+
+fn build(gf: &Arc<GridFile>, workers: usize, config: EngineConfig) -> ParallelGridFile {
+    let input = DeclusterInput::from_grid_file(gf);
+    let assignment = DeclusterMethod::Index(IndexScheme::DiskModulo, ConflictPolicy::DataBalance)
+        .assign(&input, workers, 3);
+    ParallelGridFile::build(Arc::clone(gf), &assignment, config)
+}
+
+/// The deterministic face of an outcome: everything virtual-time semantics
+/// pin exactly on a healthy run. Wall-clock-sensitive counters (retries,
+/// hedges) are excluded — they are compared only under the relaxed chaos
+/// property below.
+fn digest(o: &QueryOutcome) -> (Vec<u64>, Vec<u32>, u64, u64, u64, u64, u64, bool) {
+    (
+        o.records.iter().map(|r| r.id).collect(),
+        o.buckets.clone(),
+        o.response_blocks,
+        o.total_blocks,
+        o.cache_hits,
+        o.elapsed_us,
+        o.comm_us,
+        o.incomplete,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Healthy engines: ring and channel dispatch must produce identical
+    /// answers, identical bucket routes, and identical virtual-time
+    /// accounting for every query of a seeded workload.
+    #[test]
+    fn ring_and_channel_dispatch_are_observationally_identical(
+        workers in 2usize..=6,
+        n_queries in 1usize..=24,
+        ratio in 1u32..=10,
+        seed in 0u64..=500,
+    ) {
+        let gf = grid_file(400);
+        let w = QueryWorkload::square(
+            &Rect::new2(0.0, 0.0, 100.0, 100.0),
+            ratio as f64 / 100.0,
+            n_queries,
+            seed,
+        );
+        let ring = build(&gf, workers, EngineConfig::default());
+        let channel = build(
+            &gf,
+            workers,
+            EngineConfig::default().with_dispatch(DispatchMode::Channel),
+        );
+        let ring_out: Vec<QueryOutcome> = {
+            let mut s = ring.session();
+            w.queries.iter().map(|q| s.query(q)).collect()
+        };
+        let chan_out: Vec<QueryOutcome> = {
+            let mut s = channel.session();
+            w.queries.iter().map(|q| s.query(q)).collect()
+        };
+        prop_assert_eq!(ring_out.len(), chan_out.len());
+        for (i, (r, c)) in ring_out.iter().zip(&chan_out).enumerate() {
+            prop_assert_eq!(
+                digest(r),
+                digest(c),
+                "query {} diverged between ring and channel dispatch",
+                i
+            );
+        }
+        prop_assert_eq!(ring.shutdown(), channel.shutdown());
+    }
+
+    /// Chaos seeds: under a seeded fault schedule (kills, poisons, drops,
+    /// duplicates, delays, corruption) on a replicated engine, both
+    /// transports must converge on the same answer set for every query
+    /// that both complete, and an incomplete answer on either side must be
+    /// a subset of a completed one on the other. Timing-borne counters may
+    /// differ (timeout racing is wall-clock), so they are not compared.
+    #[test]
+    fn chaos_schedules_yield_the_same_answers_on_both_transports(
+        seed in 0u64..=30,
+    ) {
+        const WORKERS: usize = 4;
+        const QUERIES: usize = 12;
+        let gf = grid_file(300);
+        let faults = FaultPlan::chaos(seed, WORKERS, QUERIES as u64, 6);
+        let w = QueryWorkload::square(&Rect::new2(0.0, 0.0, 100.0, 100.0), 0.05, QUERIES, seed);
+        let input = DeclusterInput::from_grid_file(&gf);
+        let ra = DeclusterMethod::Index(IndexScheme::DiskModulo, ConflictPolicy::DataBalance)
+            .assign_replicated(&input, WORKERS, 3);
+
+        let mut runs: Vec<Vec<(Vec<u64>, bool)>> = Vec::new();
+        for mode in [DispatchMode::Ring, DispatchMode::Channel] {
+            let config = EngineConfig::default()
+                .with_dispatch(mode)
+                .resilience(|r| r.with_fail_timeout_ms(15).with_faults(faults.clone()))
+                .latency(|l| l.with_deadline_us(2_000_000));
+            let engine = ParallelGridFile::build_replicated(Arc::clone(&gf), &ra, config);
+            let out: Vec<QueryOutcome> = {
+                let mut s = engine.session();
+                w.queries.iter().map(|q| s.query(q)).collect()
+            };
+            prop_assert_eq!(out.len(), QUERIES);
+            runs.push(
+                out.iter()
+                    .map(|o| {
+                        let mut ids: Vec<u64> = o.records.iter().map(|r| r.id).collect();
+                        ids.sort_unstable();
+                        (ids, o.incomplete)
+                    })
+                    .collect(),
+            );
+            engine.shutdown();
+        }
+        for (i, ((ring_ids, ring_inc), (chan_ids, chan_inc))) in
+            runs[0].iter().zip(&runs[1]).enumerate()
+        {
+            match (ring_inc, chan_inc) {
+                (false, false) => prop_assert_eq!(
+                    ring_ids,
+                    chan_ids,
+                    "chaos seed {} query {} diverged between transports",
+                    seed,
+                    i
+                ),
+                (true, false) => prop_assert!(
+                    ring_ids.iter().all(|id| chan_ids.contains(id)),
+                    "chaos seed {} query {}: incomplete ring answer invented records",
+                    seed,
+                    i
+                ),
+                (false, true) => prop_assert!(
+                    chan_ids.iter().all(|id| ring_ids.contains(id)),
+                    "chaos seed {} query {}: incomplete channel answer invented records",
+                    seed,
+                    i
+                ),
+                (true, true) => {}
+            }
+        }
+    }
+}

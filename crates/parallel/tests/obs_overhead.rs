@@ -57,7 +57,7 @@ fn recorder_overhead_within_five_percent() {
     let traced = ParallelGridFile::build(
         Arc::clone(&gf),
         &assignment,
-        EngineConfig::default().with_recorder(Arc::clone(&recorder)),
+        EngineConfig::default().obs(|o| o.with_recorder(Arc::clone(&recorder))),
     );
 
     let workload = QueryWorkload::square(&Rect::new2(0.0, 0.0, 100.0, 100.0), 0.05, 150, 41);

@@ -41,8 +41,11 @@ fn instrumented_engine(
     let input = DeclusterInput::from_grid_file(&gf);
     let assignment = DeclusterMethod::Minimax(EdgeWeight::Proximity).assign(&input, n_workers, 7);
     let recorder = Arc::new(Recorder::new(n_workers));
-    let engine =
-        ParallelGridFile::build(gf, &assignment, config.with_recorder(Arc::clone(&recorder)));
+    let engine = ParallelGridFile::build(
+        gf,
+        &assignment,
+        config.obs(|o| o.with_recorder(Arc::clone(&recorder))),
+    );
     (engine, recorder)
 }
 
@@ -116,12 +119,12 @@ fn failover_events_appear_on_worker_death() {
     let assignment =
         DeclusterMethod::Minimax(EdgeWeight::Proximity).assign_replicated(&input, 4, 7);
     let recorder = Arc::new(Recorder::new(4));
-    let config = EngineConfig {
-        fail_timeout_ms: 25,
-        ..EngineConfig::default()
-    }
-    .with_faults(FaultPlan::kill_first(1))
-    .with_recorder(Arc::clone(&recorder));
+    let config = EngineConfig::default()
+        .resilience(|r| {
+            r.with_fail_timeout_ms(25)
+                .with_faults(FaultPlan::kill_first(1))
+        })
+        .obs(|o| o.with_recorder(Arc::clone(&recorder)));
     let engine = ParallelGridFile::build_replicated(gf, &assignment, config);
     let w = QueryWorkload::square(&Rect::new2(0.0, 0.0, 100.0, 100.0), 0.08, 8, 29);
     for q in &w.queries {

@@ -609,17 +609,16 @@ fn cmd_evaluate(args: &[String]) -> CliResult {
         for i in 0..fail {
             faults = faults.with_kill(i * disks / fail.max(1));
         }
-        let mut config = EngineConfig {
-            fail_timeout_ms: if chaos.is_some() { 15 } else { 25 },
-            ..EngineConfig::default()
-        }
-        .with_faults(faults);
+        let mut config = EngineConfig::default().resilience(|r| {
+            r.with_fail_timeout_ms(if chaos.is_some() { 15 } else { 25 })
+                .with_faults(faults)
+        });
         if let Some(d) = deadline_us {
-            config = config.with_deadline_us(d);
+            config = config.latency(|l| l.with_deadline_us(d));
         }
         if chaos.is_some() {
             // Chaos schedules include straggler disks: arm hedged reads.
-            config = config.with_hedging(3.0);
+            config = config.latency(|l| l.with_hedging(3.0));
         }
         let engine = if replicate {
             let ra = method.assign_replicated(&input, disks, seed);
@@ -680,7 +679,7 @@ fn cmd_evaluate(args: &[String]) -> CliResult {
         let engine = ParallelGridFile::build(
             std::sync::Arc::clone(&gf),
             &assignment,
-            EngineConfig::default().with_recorder(std::sync::Arc::clone(&recorder)),
+            EngineConfig::default().obs(|o| o.with_recorder(std::sync::Arc::clone(&recorder))),
         );
         let _ = engine.run_workload_concurrent(&workload, clients.max(4));
         let engine_stats = engine.stats();

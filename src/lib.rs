@@ -59,7 +59,10 @@ pub use pargrid_parallel as parallel;
 pub use pargrid_sim as sim;
 
 /// The most commonly used types, re-exported flat: build/decluster/evaluate
-/// types plus the full query-service surface (sessions, outcomes, stats).
+/// types plus the full query-service surface (sessions, outcomes, stats),
+/// the grouped engine configuration ([`EngineConfig`] and its
+/// resilience/latency/obs sub-configs), and the workspace's
+/// `#[non_exhaustive]` error enums.
 pub mod prelude {
     pub use pargrid_core::{
         Assignment, ConflictPolicy, DeclusterInput, DeclusterMethod, EdgeWeight, IndexScheme,
@@ -67,11 +70,13 @@ pub mod prelude {
     };
     pub use pargrid_datagen::Dataset;
     pub use pargrid_geom::{Point, Rect};
-    pub use pargrid_gridfile::{GridConfig, GridFile, Record};
+    pub use pargrid_gridfile::{GridConfig, GridFile, PersistError, Record};
+    pub use pargrid_net::{ClientError, FrameError, ProtoError, WireError};
     pub use pargrid_obs::{Histogram, Recorder, SpanKind, TailSummary, TraceSnapshot};
     pub use pargrid_parallel::{
-        DiskParams, EngineConfig, EngineStats, FaultKind, FaultPlan, NetParams, ParallelGridFile,
-        QueryOutcome, QueryPriority, QuerySession, RunStats, WorkerFault, WorkerStats,
+        DiskParams, DispatchMode, EngineConfig, EngineError, EngineStats, FaultKind, FaultPlan,
+        LatencyConfig, NetParams, ObsConfig, ParallelGridFile, QueryOutcome, QueryPriority,
+        QuerySession, ResilienceConfig, RunStats, StoreError, WorkerFault, WorkerStats,
     };
     pub use pargrid_sim::{evaluate, sweep, EvalStats, QueryWorkload, ThroughputStats};
 }
