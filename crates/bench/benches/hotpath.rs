@@ -185,16 +185,18 @@ fn bench_frame(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("frame_encode");
     group.sample_size(200);
-    group.bench_function("zero_copy", |b| b.iter(|| black_box(resp.encode_frame())));
+    group.bench_function("zero_copy", |b| {
+        b.iter(|| black_box(resp.encode_frame().unwrap()))
+    });
     group.bench_function("copy", |b| {
         b.iter(|| {
             let (t, p) = resp.encode();
-            black_box(encode_frame(t, &p))
+            black_box(encode_frame(t, &p).unwrap())
         })
     });
     group.finish();
 
-    let bytes = resp.encode_frame();
+    let bytes = resp.encode_frame().unwrap();
     let mut group = c.benchmark_group("frame_decode");
     group.sample_size(200);
     group.throughput(Throughput::Bytes(bytes.len() as u64));

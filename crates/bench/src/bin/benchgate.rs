@@ -13,6 +13,13 @@
 //! missing from the candidate DO fail it — a silently dropped benchmark is
 //! how regressions hide.
 //!
+//! A baseline that is *missing, zero-length, or names no benchmarks* is an
+//! unseeded trajectory, not a failure: the gate copies the candidate over
+//! it, prints a "seeding baseline" notice, and exits 0 so a fresh branch's
+//! first bench run arms the gate instead of failing confusingly. A
+//! baseline that exists but fails schema validation still exits 2 —
+//! corruption is never silently overwritten.
+//!
 //! Also re-validates both documents against the schema the pinned suite
 //! emits (`schema_version` 1, `suite`, `benchmarks[].{name, mean_ns,
 //! p50_ns, samples}`), so a truncated or hand-mangled file fails loudly
@@ -29,9 +36,44 @@ struct Entry {
     samples: u64,
 }
 
+/// A baseline document, or the reason it is eligible for seeding.
+enum Baseline {
+    /// Parsed and populated: gate against it.
+    Gated(BTreeMap<String, Entry>),
+    /// Missing/empty/unpopulated: seed it from the candidate.
+    Seedable(&'static str),
+}
+
+/// Loads the baseline, distinguishing "never seeded" from "corrupt".
+///
+/// Only the three unseeded shapes (no file, zero-length/whitespace file,
+/// valid document with an empty `benchmarks` array) are seedable; any
+/// other parse or schema failure propagates as a hard error.
+fn load_baseline(path: &str) -> Result<Baseline, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(Baseline::Seedable("does not exist"));
+        }
+        Err(e) => return Err(format!("{path}: {e}")),
+    };
+    if text.trim().is_empty() {
+        return Ok(Baseline::Seedable("is empty"));
+    }
+    let map = parse_doc(path, &text)?;
+    if map.is_empty() {
+        return Ok(Baseline::Seedable("names no benchmarks"));
+    }
+    Ok(Baseline::Gated(map))
+}
+
 fn load(path: &str) -> Result<BTreeMap<String, Entry>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let doc = parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    parse_doc(path, &text)
+}
+
+fn parse_doc(path: &str, text: &str) -> Result<BTreeMap<String, Entry>, String> {
+    let doc = parse(text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
 
     let version = doc
         .get("schema_version")
@@ -72,9 +114,6 @@ fn load(path: &str) -> Result<BTreeMap<String, Entry>, String> {
             return Err(format!("{path}: duplicate benchmark {name}"));
         }
     }
-    if out.is_empty() {
-        return Err(format!("{path}: no benchmarks"));
-    }
     Ok(out)
 }
 
@@ -101,12 +140,40 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let (baseline, candidate) = match (load(&paths[0]), load(&paths[1])) {
-        (Ok(b), Ok(c)) => (b, c),
-        (b, c) => {
-            for err in [b.err(), c.err()].into_iter().flatten() {
-                eprintln!("benchgate: {err}");
+    let candidate = match load(&paths[1]) {
+        Ok(c) if !c.is_empty() => c,
+        Ok(_) => {
+            eprintln!(
+                "benchgate: {}: names no benchmarks — did the bench run produce output?",
+                paths[1]
+            );
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("benchgate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match load_baseline(&paths[0]) {
+        Ok(Baseline::Gated(b)) => b,
+        Ok(Baseline::Seedable(why)) => {
+            println!(
+                "benchgate: baseline {} {why} — seeding it from {}",
+                paths[0], paths[1]
+            );
+            if let Err(e) = std::fs::copy(&paths[1], &paths[0]) {
+                eprintln!("benchgate: cannot write seed baseline {}: {e}", paths[0]);
+                return ExitCode::from(2);
             }
+            println!(
+                "benchgate: seeded {} benchmark(s); commit {} to arm the gate",
+                candidate.len(),
+                paths[0]
+            );
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("benchgate: {e}");
             return ExitCode::from(2);
         }
     };

@@ -106,6 +106,82 @@ pub fn extend_assignment(
     Assignment::new(new_input, m, disks)
 }
 
+/// Places one fresh bucket against a live placement — the online analogue of
+/// [`extend_assignment`] used by the mutable engine when a bucket split
+/// creates a new bucket mid-serve.
+///
+/// `residents` is the current placement as `(rect, disk)` pairs; `fresh` is
+/// the new bucket's spatial box. The fresh bucket goes to the disk
+/// minimizing the maximum [proximity](pargrid_geom::proximity::proximity_index)
+/// to that disk's residents, among disks under the post-insert balance cap
+/// `ceil((n+1)/M)` — the Doerr-style invariant the declustering schemes all
+/// preserve. Falls back to the least-loaded disk when every disk sits at the
+/// cap (possible only if the prior placement was itself over-cap).
+///
+/// # Panics
+/// Panics if `m == 0` or a resident names a disk `>= m`.
+pub fn place_fresh_bucket(
+    domain: &pargrid_geom::Rect,
+    residents: &[(pargrid_geom::Rect, u32)],
+    fresh: &pargrid_geom::Rect,
+    m: usize,
+) -> u32 {
+    use pargrid_geom::proximity::proximity_index;
+    assert!(m >= 1, "need at least one disk");
+    let cap = (residents.len() + 1).div_ceil(m);
+    let mut load = vec![0usize; m];
+    // Max proximity to each disk's residents; empty disks score 0.0,
+    // matching `extend_assignment`'s `fold(0.0, f64::max)`.
+    let mut worst = vec![0.0f64; m];
+    for (rect, disk) in residents {
+        let d = *disk as usize;
+        assert!(d < m, "resident on disk {d} of {m}");
+        load[d] += 1;
+        let s = proximity_index(fresh, rect, domain);
+        if s > worst[d] {
+            worst[d] = s;
+        }
+    }
+    let mut best_disk = u32::MAX;
+    let mut best_score = f64::INFINITY;
+    for d in 0..m {
+        if load[d] >= cap {
+            continue;
+        }
+        if worst[d] < best_score {
+            best_score = worst[d];
+            best_disk = d as u32;
+        }
+    }
+    if best_disk == u32::MAX {
+        best_disk = (0..m).min_by_key(|&d| load[d]).expect("m >= 1") as u32;
+    }
+    best_disk
+}
+
+/// Places the chained replica for one fresh bucket, mirroring
+/// [`ReplicatedAssignment::chained`](crate::replicate::ReplicatedAssignment):
+/// prefer the next disk in the chain after `primary`, yield to a strictly
+/// less-loaded disk (`load` counts total primary + secondary copies), never
+/// land on the primary itself.
+///
+/// # Panics
+/// Panics if `load.len() < 2` or `primary` is out of range.
+pub fn place_fresh_replica(primary: u32, load: &[usize]) -> u32 {
+    let m = load.len();
+    assert!(m >= 2, "replication needs at least two disks");
+    let p = primary as usize;
+    assert!(p < m, "primary disk {p} of {m}");
+    let mut best = (p + 1) % m;
+    for off in 2..m {
+        let d = (p + off) % m;
+        if load[d] < load[best] {
+            best = d;
+        }
+    }
+    best as u32
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,6 +251,101 @@ mod tests {
         let base = DeclusterMethod::Minimax(EdgeWeight::Proximity).assign(&old, m, 9);
         let ext = extend_assignment(&old, &base, &old, EdgeWeight::Proximity);
         assert_eq!(base.disks(), ext.disks());
+    }
+
+    #[test]
+    fn live_placement_matches_extend_assignment_stepwise() {
+        // Growing an instance one bucket at a time, the live helper must
+        // reproduce extend_assignment exactly: same criterion, same balance
+        // cap `ceil((n+1)/M)`, same tie-breaks.
+        use crate::input::BucketInfo;
+        use pargrid_gridfile::CellRegion;
+        let domain = Rect::new2(0.0, 0.0, 100.0, 100.0);
+        let m = 5;
+        let mut x = 17u64;
+        let mut mk = |id: u32| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = ((x >> 16) % 9000) as f64 / 100.0;
+            let b = ((x >> 40) % 9000) as f64 / 100.0;
+            let w = 1.0 + ((x >> 8) % 800) as f64 / 100.0;
+            BucketInfo {
+                id,
+                region: CellRegion::new(&[0, 0], &[0, 0]),
+                rect: Rect::new2(a, b, (a + w).min(100.0), (b + w).min(100.0)),
+                n_records: 4,
+            }
+        };
+        let input_of = |buckets: Vec<BucketInfo>| DeclusterInput {
+            cells_per_dim: vec![1, 1],
+            domain,
+            buckets,
+        };
+        let seed: Vec<BucketInfo> = (0..40).map(&mut mk).collect();
+        let mut cur = input_of(seed);
+        let mut assignment = DeclusterMethod::Minimax(EdgeWeight::Proximity).assign(&cur, m, 3);
+        for id in 40..120u32 {
+            let fresh = mk(id);
+            let residents: Vec<(Rect, u32)> = cur
+                .buckets
+                .iter()
+                .enumerate()
+                .map(|(pos, b)| (b.rect, assignment.disk_at(pos)))
+                .collect();
+            let live = place_fresh_bucket(&domain, &residents, &fresh.rect, m);
+
+            let mut grown_buckets = cur.buckets.clone();
+            grown_buckets.push(fresh);
+            let grown = input_of(grown_buckets);
+            let ext = extend_assignment(&cur, &assignment, &grown, EdgeWeight::Proximity);
+            assert_eq!(
+                live,
+                ext.disk_at(grown.n_buckets() - 1),
+                "fresh bucket {id} diverged"
+            );
+            cur = grown;
+            assignment = ext;
+        }
+    }
+
+    #[test]
+    fn live_placement_respects_balance_cap() {
+        let domain = Rect::new2(0.0, 0.0, 100.0, 100.0);
+        let m = 4;
+        let mut residents: Vec<(Rect, u32)> = Vec::new();
+        let mut x = 5u64;
+        for _ in 0..200 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = ((x >> 16) % 9000) as f64 / 100.0;
+            let b = ((x >> 40) % 9000) as f64 / 100.0;
+            let r = Rect::new2(a, b, a + 5.0, b + 5.0);
+            let d = place_fresh_bucket(&domain, &residents, &r, m);
+            residents.push((r, d));
+            let mut load = vec![0usize; m];
+            for (_, disk) in &residents {
+                load[*disk as usize] += 1;
+            }
+            let cap = residents.len().div_ceil(m);
+            assert!(load.iter().all(|&l| l <= cap), "load {load:?} cap {cap}");
+        }
+    }
+
+    #[test]
+    fn live_replica_mirrors_chained_convention() {
+        // Balanced load: plain chain (primary + 1). Unbalanced: the
+        // strictly least-loaded non-primary disk wins.
+        assert_eq!(place_fresh_replica(2, &[5, 5, 5, 5]), 3);
+        assert_eq!(place_fresh_replica(3, &[5, 5, 5, 5]), 0);
+        assert_eq!(place_fresh_replica(0, &[9, 4, 2, 4]), 2);
+        // Never the primary, even when it is least loaded.
+        for p in 0..4u32 {
+            let mut load = [7usize; 4];
+            load[p as usize] = 0;
+            assert_ne!(place_fresh_replica(p, &load), p);
+        }
     }
 
     #[test]

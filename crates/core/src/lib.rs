@@ -59,6 +59,7 @@ pub mod weights;
 
 pub use assignment::Assignment;
 pub use conflict::ConflictPolicy;
+pub use incremental::{place_fresh_bucket, place_fresh_replica};
 pub use index_based::IndexScheme;
 pub use input::{BucketInfo, DeclusterInput};
 pub use method::DeclusterMethod;

@@ -118,6 +118,46 @@ pub struct GridFileStats {
     pub oversize_buckets: usize,
 }
 
+/// Which buckets a single mutation touched — the delta a parallel engine
+/// (or any external materialization of the buckets) must apply to its own
+/// storage: rewrite changed buckets, allocate created ones, drop freed ones.
+///
+/// Scale refinements that only reshape bucket *regions* without moving any
+/// record between buckets are deliberately not reported: the materialized
+/// record contents of those buckets are unchanged.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MutationEffect {
+    /// Pre-existing live buckets whose record set changed.
+    pub rewritten: Vec<BucketId>,
+    /// Buckets that did not exist before the mutation (split targets).
+    /// Ids may reuse previously freed ids.
+    pub created: Vec<BucketId>,
+    /// Buckets merged away by the mutation; their storage can be dropped.
+    pub freed: Vec<BucketId>,
+}
+
+impl MutationEffect {
+    /// Sorts, dedups, and removes freshly created buckets from the
+    /// rewritten list (a created bucket's contents are written once, as a
+    /// creation).
+    fn normalize(&mut self) {
+        self.created.sort_unstable();
+        self.created.dedup();
+        self.freed.sort_unstable();
+        self.freed.dedup();
+        self.rewritten.sort_unstable();
+        self.rewritten.dedup();
+        self.rewritten
+            .retain(|b| !self.created.contains(b) && !self.freed.contains(b));
+    }
+
+    /// Whether the mutation touched no bucket at all (e.g. deleting a
+    /// record that does not exist).
+    pub fn is_empty(&self) -> bool {
+        self.rewritten.is_empty() && self.created.is_empty() && self.freed.is_empty()
+    }
+}
+
 /// The grid file.
 #[derive(Clone, Debug)]
 pub struct GridFile {
@@ -262,19 +302,37 @@ impl GridFile {
 
     /// Inserts a record, splitting buckets as needed.
     pub fn insert(&mut self, rec: Record) {
+        let _ = self.insert_tracked(rec);
+    }
+
+    /// Inserts a record and reports which buckets the insert rewrote or
+    /// created — the delta an external materialization of the buckets (the
+    /// parallel engine's block stores) must apply.
+    pub fn insert_tracked(&mut self, rec: Record) -> MutationEffect {
         assert_eq!(
             rec.point.dim(),
             self.dim(),
             "record dimensionality mismatch"
         );
+        let mut effect = MutationEffect::default();
         let mut cell = [0u32; MAX_DIM];
         self.cell_of_point(&rec.point, &mut cell[..self.dim()]);
         let bid = self.dir.bucket_at(&cell[..self.dim()]);
         self.buckets[bid as usize].records.push(rec);
         self.n_records += 1;
+        effect.rewritten.push(bid);
         if self.buckets[bid as usize].records.len() > self.capacity {
-            self.enforce_capacity(bid);
+            self.enforce_capacity(bid, &mut effect);
         }
+        effect.normalize();
+        effect
+    }
+
+    /// The live bucket whose region contains `p` (clamped into the domain).
+    pub fn bucket_of_point(&self, p: &Point) -> BucketId {
+        let mut cell = [0u32; MAX_DIM];
+        self.cell_of_point(p, &mut cell[..self.dim()]);
+        self.dir.bucket_at(&cell[..self.dim()])
     }
 
     /// Looks up all records whose key equals `p` exactly.
@@ -294,19 +352,30 @@ impl GridFile {
     /// whether a record was removed. Underflowing buckets are merged with a
     /// buddy when possible.
     pub fn delete(&mut self, id: u64, p: &Point) -> bool {
+        let (removed, _) = self.delete_tracked(id, p);
+        removed
+    }
+
+    /// Removes a record like [`GridFile::delete`], additionally reporting
+    /// which buckets were rewritten or merged away. The effect is empty
+    /// when no record matched.
+    pub fn delete_tracked(&mut self, id: u64, p: &Point) -> (bool, MutationEffect) {
+        let mut effect = MutationEffect::default();
         let mut cell = [0u32; MAX_DIM];
         self.cell_of_point(p, &mut cell[..self.dim()]);
         let bid = self.dir.bucket_at(&cell[..self.dim()]);
         let recs = &mut self.buckets[bid as usize].records;
         let Some(pos) = recs.iter().position(|r| r.id == id && r.point == *p) else {
-            return false;
+            return (false, effect);
         };
         recs.swap_remove(pos);
         self.n_records -= 1;
+        effect.rewritten.push(bid);
         if self.buckets[bid as usize].records.len() * 3 < self.capacity {
-            self.try_merge(bid);
+            self.try_merge(bid, &mut effect);
         }
-        true
+        effect.normalize();
+        (true, effect)
     }
 
     /// The set of buckets a (closed) range query must read, sorted and
@@ -500,12 +569,13 @@ impl GridFile {
     }
 
     /// Splits buckets until none (reachable from `start`) exceeds capacity.
-    fn enforce_capacity(&mut self, start: BucketId) {
+    fn enforce_capacity(&mut self, start: BucketId, effect: &mut MutationEffect) {
         let mut work = vec![start];
         while let Some(b) = work.pop() {
             while self.buckets[b as usize].records.len() > self.capacity {
                 match self.split_once(b) {
                     Some(nb) => {
+                        effect.created.push(nb);
                         if self.buckets[nb as usize].records.len() > self.capacity {
                             work.push(nb);
                         }
@@ -658,7 +728,7 @@ impl GridFile {
     }
 
     /// Attempts to merge an underflowing bucket with a buddy.
-    fn try_merge(&mut self, b: BucketId) {
+    fn try_merge(&mut self, b: BucketId, effect: &mut MutationEffect) {
         if !self.buckets[b as usize].alive {
             return;
         }
@@ -683,6 +753,7 @@ impl GridFile {
         self.buckets[b as usize].region = merged_region;
         self.buckets[buddy as usize].alive = false;
         self.free.push(buddy);
+        effect.freed.push(buddy);
         let dir = &mut self.dir;
         merged_region.for_each_cell(|cell| dir.set_bucket_at(cell, b));
     }
@@ -922,5 +993,105 @@ mod tests {
     #[should_panic(expected = "does not fit")]
     fn impossible_capacity_rejected() {
         let _ = GridConfig::with_capacity(Rect::new2(0.0, 0.0, 1.0, 1.0), 10_000);
+    }
+
+    #[test]
+    fn insert_effect_reports_target_and_split_buckets() {
+        let mut gf = GridFile::new(cfg2(4));
+        for i in 0..4 {
+            let e = gf.insert_tracked(rec2(i, i as f64 * 10.0 + 5.0, 50.0));
+            assert_eq!(e.rewritten, vec![0]);
+            assert!(e.created.is_empty() && e.freed.is_empty());
+        }
+        let e = gf.insert_tracked(rec2(4, 45.0, 50.0));
+        assert!(
+            !e.created.is_empty(),
+            "overflow must report the split: {e:?}"
+        );
+        assert!(e.freed.is_empty());
+        gf.check_invariants();
+    }
+
+    #[test]
+    fn delete_effect_reports_merges_and_misses() {
+        let mut gf = GridFile::new(cfg2(4));
+        let mut recs = Vec::new();
+        let mut x = 3u64;
+        for i in 0..120u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = ((x >> 16) % 10000) as f64 / 100.0;
+            let b = ((x >> 40) % 10000) as f64 / 100.0;
+            recs.push(rec2(i, a, b));
+            gf.insert(rec2(i, a, b));
+        }
+        let (removed, e) = gf.delete_tracked(999, &Point::new2(50.0, 50.0));
+        assert!(!removed);
+        assert!(e.is_empty(), "a miss must not report effects: {e:?}");
+        let mut saw_merge = false;
+        for r in &recs {
+            let (removed, e) = gf.delete_tracked(r.id, &r.point);
+            assert!(removed);
+            assert!(!e.rewritten.is_empty());
+            assert!(e.created.is_empty());
+            saw_merge |= !e.freed.is_empty();
+        }
+        assert!(saw_merge, "draining the file should merge buckets");
+        gf.check_invariants();
+    }
+
+    #[test]
+    fn effects_materialize_an_identical_external_copy() {
+        // Maintain an external bucket -> records map purely from mutation
+        // effects — exactly what the parallel engine's block stores do. It
+        // must track the file's live buckets through splits and merges.
+        use std::collections::HashMap;
+        let mut gf = GridFile::new(cfg2(4));
+        let mut external: HashMap<BucketId, Vec<Record>> = HashMap::new();
+        external.insert(0, Vec::new());
+        let apply =
+            |gf: &GridFile, e: &MutationEffect, ext: &mut HashMap<BucketId, Vec<Record>>| {
+                for b in &e.freed {
+                    assert!(ext.remove(b).is_some(), "freed unknown bucket {b}");
+                }
+                for b in &e.created {
+                    assert!(!ext.contains_key(b), "created bucket {b} already exists");
+                    ext.insert(*b, gf.bucket_records(*b).to_vec());
+                }
+                for b in &e.rewritten {
+                    assert!(ext.contains_key(b), "rewrote unknown bucket {b}");
+                    ext.insert(*b, gf.bucket_records(*b).to_vec());
+                }
+            };
+        let mut x = 41u64;
+        let mut live = Vec::new();
+        for i in 0..600u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = ((x >> 16) % 10000) as f64 / 100.0;
+            let b = ((x >> 40) % 10000) as f64 / 100.0;
+            let r = rec2(i, a, b);
+            if x.is_multiple_of(4) && !live.is_empty() {
+                let victim: Record = live.swap_remove((x >> 8) as usize % live.len());
+                let (removed, e) = gf.delete_tracked(victim.id, &victim.point);
+                assert!(removed);
+                apply(&gf, &e, &mut external);
+            }
+            live.push(r);
+            let e = gf.insert_tracked(r);
+            apply(&gf, &e, &mut external);
+        }
+        // The external copy matches the file bucket for bucket.
+        let mut n_live = 0;
+        for (id, _region, len) in gf.live_buckets() {
+            n_live += 1;
+            let ext = external
+                .get(&id)
+                .unwrap_or_else(|| panic!("bucket {id} missing externally"));
+            assert_eq!(ext.len(), len, "bucket {id} length");
+            assert_eq!(&ext[..], gf.bucket_records(id), "bucket {id} contents");
+        }
+        assert_eq!(external.len(), n_live, "external copy has stale buckets");
+        gf.check_invariants();
     }
 }

@@ -46,28 +46,34 @@
 pub mod cartesian;
 pub mod checksum;
 pub mod directory;
+pub mod durable;
 pub mod file;
 pub mod page;
 pub mod persist;
 pub mod record;
 pub mod region;
 pub mod scale;
+pub mod wal;
 
 pub use cartesian::CartesianProductFile;
 pub use checksum::crc32;
 pub use directory::Directory;
-pub use file::{GridConfig, GridFile, GridFileStats};
+pub use durable::DurableGridFile;
+pub use file::{GridConfig, GridFile, GridFileStats, MutationEffect};
 pub use persist::PersistError;
 pub use record::Record;
 pub use region::CellRegion;
 pub use scale::LinearScale;
+pub use wal::{Wal, WalOp};
 
 /// The crate's most commonly used types, flat: file construction, records,
 /// and the typed persistence error ([`PersistError`] — `#[non_exhaustive]`
 /// per the workspace error convention).
 pub mod prelude {
     pub use crate::checksum::crc32;
-    pub use crate::file::{GridConfig, GridFile, GridFileStats};
+    pub use crate::durable::DurableGridFile;
+    pub use crate::file::{GridConfig, GridFile, GridFileStats, MutationEffect};
     pub use crate::persist::PersistError;
     pub use crate::record::Record;
+    pub use crate::wal::{Wal, WalOp};
 }

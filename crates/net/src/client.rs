@@ -12,7 +12,7 @@ use std::thread;
 use std::time::Duration;
 
 use crate::frame::{read_frame, write_frame, FrameError};
-use crate::proto::{ProtoError, RecordsReply, Request, Response, WireError};
+use crate::proto::{MutationAck, ProtoError, RecordsReply, Request, Response, WireError};
 
 /// Everything a request round-trip can fail with.
 ///
@@ -110,7 +110,7 @@ impl Client {
 
     fn round_trip(&mut self, req: &Request) -> Result<Response, ClientError> {
         let (t, p) = req.encode();
-        write_frame(&mut self.writer, t, &p).map_err(FrameError::Io)?;
+        write_frame(&mut self.writer, t, &p)?;
         self.writer.flush().map_err(FrameError::Io)?;
         let frame = read_frame(&mut self.reader)?;
         let resp = Response::decode(frame.msg_type, &frame.payload)?;
@@ -141,6 +141,32 @@ impl Client {
         match self.round_trip(&req)? {
             Response::Records(r) => Ok(r),
             _ => Err(ClientError::Unexpected("wanted Records")),
+        }
+    }
+
+    /// Inserts a record; `key` must match the file's dimensionality.
+    /// Returns the server's ack with split/merge bucket counts.
+    pub fn insert(&mut self, id: u64, key: &[f64]) -> Result<MutationAck, ClientError> {
+        let req = Request::Insert {
+            id,
+            key: key.to_vec(),
+        };
+        match self.round_trip(&req)? {
+            Response::Mutation(a) => Ok(a),
+            _ => Err(ClientError::Unexpected("wanted Mutation")),
+        }
+    }
+
+    /// Deletes the record with `id` at `key` (both must match). Deleting
+    /// an absent record succeeds with `applied == false`.
+    pub fn delete(&mut self, id: u64, key: &[f64]) -> Result<MutationAck, ClientError> {
+        let req = Request::Delete {
+            id,
+            key: key.to_vec(),
+        };
+        match self.round_trip(&req)? {
+            Response::Mutation(a) => Ok(a),
+            _ => Err(ClientError::Unexpected("wanted Mutation")),
         }
     }
 

@@ -62,6 +62,11 @@ pub enum FrameError {
     BadVersion(u8),
     /// Length prefix exceeded [`MAX_PAYLOAD`].
     Oversized(u32),
+    /// An *outbound* payload exceeded [`MAX_PAYLOAD`], caught before the
+    /// length header is stamped. Without this check a ≥ 4 GiB payload
+    /// would silently truncate its `u32` length field and misframe every
+    /// later message on the connection.
+    TooLarge(u64),
     /// Checksum mismatch (header or payload corrupted in flight).
     BadCrc {
         /// CRC computed over the received bytes.
@@ -88,6 +93,12 @@ impl fmt::Display for FrameError {
             FrameError::Oversized(n) => {
                 write!(f, "payload length {n} exceeds limit {MAX_PAYLOAD}")
             }
+            FrameError::TooLarge(n) => {
+                write!(
+                    f,
+                    "outbound payload of {n} bytes exceeds limit {MAX_PAYLOAD}"
+                )
+            }
             FrameError::BadCrc { expected, actual } => {
                 write!(
                     f,
@@ -107,9 +118,9 @@ impl From<io::Error> for FrameError {
     }
 }
 
-/// Encodes a frame into a fresh byte vector.
-pub fn encode_frame(msg_type: u8, payload: &[u8]) -> Vec<u8> {
-    debug_assert!(payload.len() as u64 <= MAX_PAYLOAD as u64);
+/// Encodes a frame into a fresh byte vector. Fails with
+/// [`FrameError::TooLarge`] when the payload exceeds [`MAX_PAYLOAD`].
+pub fn encode_frame(msg_type: u8, payload: &[u8]) -> Result<Vec<u8>, FrameError> {
     let mut b = FrameBuilder::with_capacity(payload.len());
     b.payload_mut().extend_from_slice(payload);
     b.finish(msg_type)
@@ -125,7 +136,7 @@ pub fn encode_frame(msg_type: u8, payload: &[u8]) -> Vec<u8> {
 /// use pargrid_net::frame::{read_frame, FrameBuilder};
 /// let mut b = FrameBuilder::new();
 /// b.payload_mut().extend_from_slice(&7u64.to_le_bytes());
-/// let bytes = b.finish(0x03);
+/// let bytes = b.finish(0x03).unwrap();
 /// assert_eq!(read_frame(&mut &bytes[..]).unwrap().msg_type, 0x03);
 /// ```
 #[derive(Debug)]
@@ -168,22 +179,33 @@ impl FrameBuilder {
 
     /// Stamps the header, appends the CRC-32 trailer, and returns the
     /// complete wire bytes.
-    pub fn finish(mut self, msg_type: u8) -> Vec<u8> {
-        let payload_len = self.buf.len() - HEADER_LEN;
-        debug_assert!(payload_len as u64 <= MAX_PAYLOAD as u64);
+    ///
+    /// Rejects payloads over [`MAX_PAYLOAD`] with [`FrameError::TooLarge`]
+    /// **before** stamping the length: a payload of 4 GiB or more would
+    /// otherwise wrap the `u32` length field (`len as u32` truncates) and
+    /// emit a validly-checksummed frame whose length header lies — the
+    /// receiver would then misparse every subsequent byte on the stream.
+    pub fn finish(mut self, msg_type: u8) -> Result<Vec<u8>, FrameError> {
+        let payload_len = (self.buf.len() - HEADER_LEN) as u64;
+        if payload_len > MAX_PAYLOAD as u64 {
+            return Err(FrameError::TooLarge(payload_len));
+        }
         self.buf[0..2].copy_from_slice(&MAGIC);
         self.buf[2] = PROTOCOL_VERSION;
         self.buf[3] = msg_type;
         self.buf[4..8].copy_from_slice(&(payload_len as u32).to_le_bytes());
         let crc = crc32(&self.buf);
         self.buf.extend_from_slice(&crc.to_le_bytes());
-        self.buf
+        Ok(self.buf)
     }
 }
 
 /// Encodes and writes one frame (no flush; callers batch then flush).
-pub fn write_frame(w: &mut impl Write, msg_type: u8, payload: &[u8]) -> io::Result<()> {
-    w.write_all(&encode_frame(msg_type, payload))
+/// Fails with [`FrameError::TooLarge`] before writing a single byte when
+/// the payload exceeds [`MAX_PAYLOAD`].
+pub fn write_frame(w: &mut impl Write, msg_type: u8, payload: &[u8]) -> Result<(), FrameError> {
+    w.write_all(&encode_frame(msg_type, payload)?)
+        .map_err(FrameError::Io)
 }
 
 /// Reads exactly `buf.len()` bytes. Distinguishes "EOF before the first
@@ -217,7 +239,7 @@ fn read_exact_or(
 ///
 /// ```
 /// use pargrid_net::frame::{encode_frame, read_frame};
-/// let bytes = encode_frame(0x03, &7u64.to_le_bytes());
+/// let bytes = encode_frame(0x03, &7u64.to_le_bytes()).unwrap();
 /// let frame = read_frame(&mut &bytes[..]).unwrap();
 /// assert_eq!(frame.msg_type, 0x03);
 /// ```
@@ -257,7 +279,7 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        let bytes = encode_frame(0x42, b"hello grid");
+        let bytes = encode_frame(0x42, b"hello grid").unwrap();
         let frame = read_frame(&mut &bytes[..]).unwrap();
         assert_eq!(frame.msg_type, 0x42);
         assert_eq!(frame.payload, b"hello grid");
@@ -268,9 +290,15 @@ mod tests {
         let mut b = FrameBuilder::with_capacity(10);
         b.payload_mut().extend_from_slice(b"hello grid");
         assert_eq!(b.payload_len(), 10);
-        assert_eq!(b.finish(0x42), encode_frame(0x42, b"hello grid"));
+        assert_eq!(
+            b.finish(0x42).unwrap(),
+            encode_frame(0x42, b"hello grid").unwrap()
+        );
         // Empty payload too.
-        assert_eq!(FrameBuilder::new().finish(0x05), encode_frame(0x05, &[]));
+        assert_eq!(
+            FrameBuilder::new().finish(0x05).unwrap(),
+            encode_frame(0x05, &[]).unwrap()
+        );
     }
 
     #[test]
@@ -280,14 +308,48 @@ mod tests {
         let mut b = FrameBuilder::new();
         b.payload_mut()[0..8].copy_from_slice(&[0xff; 8]);
         b.payload_mut().extend_from_slice(b"abc");
-        let bytes = b.finish(0x01);
+        let bytes = b.finish(0x01).unwrap();
         let frame = read_frame(&mut &bytes[..]).unwrap();
         assert_eq!(frame.payload, b"abc");
     }
 
     #[test]
+    fn oversized_payload_rejected_before_stamping() {
+        // A payload-size-faking writer: pushes one byte past MAX_PAYLOAD.
+        // finish() must refuse with the typed error instead of stamping a
+        // (possibly truncated) length header — at 4 GiB the `as u32` cast
+        // would wrap and every later frame on the stream would misparse.
+        let mut b = FrameBuilder::with_capacity(0);
+        b.payload_mut()
+            .resize(HEADER_LEN + MAX_PAYLOAD as usize + 1, 0xAB);
+        let err = b.finish(0x01).unwrap_err();
+        assert!(
+            matches!(err, FrameError::TooLarge(n) if n == MAX_PAYLOAD as u64 + 1),
+            "unexpected {err}"
+        );
+        // The boundary itself is fine.
+        let mut b = FrameBuilder::with_capacity(0);
+        b.payload_mut().resize(HEADER_LEN + MAX_PAYLOAD as usize, 0);
+        let bytes = b.finish(0x01).unwrap();
+        let frame = read_frame(&mut &bytes[..]).unwrap();
+        assert_eq!(frame.payload.len(), MAX_PAYLOAD as usize);
+        // encode_frame and write_frame surface the same rejection.
+        let big = vec![0u8; MAX_PAYLOAD as usize + 1];
+        assert!(matches!(
+            encode_frame(0x01, &big),
+            Err(FrameError::TooLarge(_))
+        ));
+        let mut sink = Vec::new();
+        assert!(matches!(
+            write_frame(&mut sink, 0x01, &big),
+            Err(FrameError::TooLarge(_))
+        ));
+        assert!(sink.is_empty(), "nothing written for a rejected frame");
+    }
+
+    #[test]
     fn empty_payload_round_trips() {
-        let bytes = encode_frame(0x04, &[]);
+        let bytes = encode_frame(0x04, &[]).unwrap();
         assert_eq!(bytes.len(), HEADER_LEN + TRAILER_LEN);
         let frame = read_frame(&mut &bytes[..]).unwrap();
         assert_eq!(frame.payload, b"");
@@ -296,7 +358,7 @@ mod tests {
     #[test]
     fn clean_eof_is_closed_mid_frame_is_truncated() {
         assert!(matches!(read_frame(&mut &b""[..]), Err(FrameError::Closed)));
-        let bytes = encode_frame(0x01, b"abc");
+        let bytes = encode_frame(0x01, b"abc").unwrap();
         for cut in 1..bytes.len() {
             assert!(
                 matches!(read_frame(&mut &bytes[..cut]), Err(FrameError::Truncated)),
@@ -307,7 +369,7 @@ mod tests {
 
     #[test]
     fn corrupted_byte_is_detected() {
-        let bytes = encode_frame(0x01, b"abcdef");
+        let bytes = encode_frame(0x01, b"abcdef").unwrap();
         for i in 0..bytes.len() {
             let mut bad = bytes.clone();
             bad[i] ^= 0x01;
@@ -327,7 +389,7 @@ mod tests {
 
     #[test]
     fn oversized_length_rejected_before_allocation() {
-        let mut bytes = encode_frame(0x01, b"x");
+        let mut bytes = encode_frame(0x01, b"x").unwrap();
         bytes[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(
             read_frame(&mut &bytes[..]),
@@ -337,7 +399,7 @@ mod tests {
 
     #[test]
     fn version_mismatch_rejected() {
-        let mut bytes = encode_frame(0x01, b"x");
+        let mut bytes = encode_frame(0x01, b"x").unwrap();
         bytes[2] = PROTOCOL_VERSION + 1;
         let crc = crc32(&bytes[..bytes.len() - TRAILER_LEN]);
         let n = bytes.len();

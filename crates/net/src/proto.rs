@@ -25,6 +25,12 @@ pub const REQ_STATS: u8 = 0x04;
 /// Request: graceful server shutdown (admin; servers may refuse). Empty
 /// payload.
 pub const REQ_SHUTDOWN: u8 = 0x05;
+/// Request: insert a record. Payload: `id u64`, `dim u16`, then
+/// `dim × coord f64`.
+pub const REQ_INSERT: u8 = 0x06;
+/// Request: delete the record with this id at this key. Payload: `id u64`,
+/// `dim u16`, then `dim × coord f64`.
+pub const REQ_DELETE: u8 = 0x07;
 
 /// Response: records. Payload: `incomplete u8`, `elapsed_us u64`,
 /// `comm_us u64`, `response_blocks u64`, `total_blocks u64`,
@@ -40,10 +46,14 @@ pub const RESP_STATS: u8 = 0x83;
 pub const RESP_ERROR: u8 = 0x84;
 /// Response: shutdown acknowledged. Empty payload.
 pub const RESP_SHUTDOWN_ACK: u8 = 0x85;
+/// Response: mutation acknowledged. Payload: `applied u8`,
+/// `rewritten u32`, `created u32`, `freed u32` (bucket counts).
+pub const RESP_MUTATION: u8 = 0x86;
 
 const ERR_MALFORMED: u8 = 1;
 const ERR_OVERLOADED: u8 = 2;
 const ERR_INCOMPLETE: u8 = 3;
+const ERR_MUTATION: u8 = 4;
 
 /// A request a client can put on the wire.
 #[derive(Clone, Debug, PartialEq)]
@@ -69,6 +79,22 @@ pub enum Request {
     Stats,
     /// Ask the server to shut down gracefully.
     Shutdown,
+    /// Insert a record at this key (dimensionality is validated against
+    /// the file's at the server).
+    Insert {
+        /// Application record id.
+        id: u64,
+        /// One coordinate per dimension.
+        key: Vec<f64>,
+    },
+    /// Delete the record with this id at this key; deleting an absent
+    /// record succeeds with `applied == false` in the ack.
+    Delete {
+        /// Application record id.
+        id: u64,
+        /// One coordinate per dimension.
+        key: Vec<f64>,
+    },
 }
 
 /// Everything a server can answer with.
@@ -87,6 +113,23 @@ pub enum Response {
     Error(WireError),
     /// Graceful shutdown underway.
     ShutdownAck,
+    /// Mutation applied (or cleanly found nothing to do).
+    Mutation(MutationAck),
+}
+
+/// What an insert/delete did, in bucket counts — the wire echo of the
+/// engine's `MutationOutcome`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MutationAck {
+    /// Whether the operation changed anything (a delete of an absent
+    /// record acks with `false`).
+    pub applied: bool,
+    /// Buckets rewritten in place.
+    pub rewritten: u32,
+    /// Buckets created by splits.
+    pub created: u32,
+    /// Buckets freed by merges.
+    pub freed: u32,
 }
 
 /// A successful query answer plus the engine's virtual cost accounting, so
@@ -126,6 +169,10 @@ pub enum WireError {
     },
     /// The engine answered, but incompletely (failed workers, deadline).
     Incomplete(String),
+    /// An insert/delete could not be applied (WAL I/O failure, engine
+    /// shut down). The write-ahead discipline guarantees a failed
+    /// mutation changed nothing.
+    MutationFailed(String),
 }
 
 impl fmt::Display for WireError {
@@ -136,6 +183,7 @@ impl fmt::Display for WireError {
                 write!(f, "overloaded, retry after {retry_after_ms} ms")
             }
             WireError::Incomplete(m) => write!(f, "incomplete answer: {m}"),
+            WireError::MutationFailed(m) => write!(f, "mutation failed: {m}"),
         }
     }
 }
@@ -235,6 +283,27 @@ fn checked_dim(dim: u16) -> Result<usize, ProtoError> {
     Ok(d)
 }
 
+/// Shared payload of `Insert`/`Delete`: `id u64, dim u16, dim × f64`.
+fn encode_keyed(id: u64, key: &[f64]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(10 + key.len() * 8);
+    p.extend_from_slice(&id.to_le_bytes());
+    p.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    for v in key {
+        p.extend_from_slice(&v.to_le_bytes());
+    }
+    p
+}
+
+fn decode_keyed(c: &mut Cur<'_>) -> Result<(u64, Vec<f64>), ProtoError> {
+    let id = c.u64()?;
+    let d = checked_dim(c.u16()?)?;
+    let mut key = Vec::with_capacity(d);
+    for _ in 0..d {
+        key.push(c.finite_f64("mutation key coordinate")?);
+    }
+    Ok((id, key))
+}
+
 impl Request {
     /// Message type byte + payload for this request.
     pub fn encode(&self) -> (u8, Vec<u8>) {
@@ -265,6 +334,8 @@ impl Request {
             Request::Ping { token } => (REQ_PING, token.to_le_bytes().to_vec()),
             Request::Stats => (REQ_STATS, Vec::new()),
             Request::Shutdown => (REQ_SHUTDOWN, Vec::new()),
+            Request::Insert { id, key } => (REQ_INSERT, encode_keyed(*id, key)),
+            Request::Delete { id, key } => (REQ_DELETE, encode_keyed(*id, key)),
         }
     }
 
@@ -303,6 +374,14 @@ impl Request {
             REQ_PING => Request::Ping { token: c.u64()? },
             REQ_STATS => Request::Stats,
             REQ_SHUTDOWN => Request::Shutdown,
+            REQ_INSERT => {
+                let (id, key) = decode_keyed(&mut c)?;
+                Request::Insert { id, key }
+            }
+            REQ_DELETE => {
+                let (id, key) = decode_keyed(&mut c)?;
+                Request::Delete { id, key }
+            }
             t => return Err(err(format!("unknown request type {t:#04x}"))),
         };
         c.done()?;
@@ -373,7 +452,7 @@ impl Response {
     /// place. The old path (`encode()` then `encode_frame(t, &p)`) built
     /// the payload, then copied it into a second buffer — the difference is
     /// the `frame_encode/*` pair in `BENCH_hotpath.json`.
-    pub fn encode_frame(&self) -> Vec<u8> {
+    pub fn encode_frame(&self) -> Result<Vec<u8>, crate::frame::FrameError> {
         let mut b = crate::frame::FrameBuilder::with_capacity(self.payload_size_hint());
         let t = self.encode_into(b.payload_mut());
         b.finish(t)
@@ -388,9 +467,12 @@ impl Response {
             Response::StatsText(s) => 4 + s.len(),
             Response::Error(e) => match e {
                 WireError::Overloaded { .. } => 9,
-                WireError::Malformed(m) | WireError::Incomplete(m) => 5 + m.len(),
+                WireError::Malformed(m)
+                | WireError::Incomplete(m)
+                | WireError::MutationFailed(m) => 5 + m.len(),
             },
             Response::ShutdownAck => 0,
+            Response::Mutation(_) => 13,
         }
     }
 
@@ -447,12 +529,23 @@ impl Response {
                         p.push(ERR_INCOMPLETE);
                         m
                     }
+                    WireError::MutationFailed(m) => {
+                        p.push(ERR_MUTATION);
+                        m
+                    }
                 };
                 p.extend_from_slice(&(msg.len() as u32).to_le_bytes());
                 p.extend_from_slice(msg.as_bytes());
                 RESP_ERROR
             }
             Response::ShutdownAck => RESP_SHUTDOWN_ACK,
+            Response::Mutation(a) => {
+                p.push(a.applied as u8);
+                p.extend_from_slice(&a.rewritten.to_le_bytes());
+                p.extend_from_slice(&a.created.to_le_bytes());
+                p.extend_from_slice(&a.freed.to_le_bytes());
+                RESP_MUTATION
+            }
         }
     }
 
@@ -509,16 +602,16 @@ impl Response {
             RESP_ERROR => {
                 let code = c.u8()?;
                 let e = match code {
-                    ERR_MALFORMED | ERR_INCOMPLETE => {
+                    ERR_MALFORMED | ERR_INCOMPLETE | ERR_MUTATION => {
                         let n = c.u32()? as usize;
                         let bytes = c.take(n)?;
                         let msg = std::str::from_utf8(bytes)
                             .map_err(|_| err("error text is not utf-8"))?
                             .to_string();
-                        if code == ERR_MALFORMED {
-                            WireError::Malformed(msg)
-                        } else {
-                            WireError::Incomplete(msg)
+                        match code {
+                            ERR_MALFORMED => WireError::Malformed(msg),
+                            ERR_INCOMPLETE => WireError::Incomplete(msg),
+                            _ => WireError::MutationFailed(msg),
                         }
                     }
                     ERR_OVERLOADED => {
@@ -532,6 +625,19 @@ impl Response {
                 Response::Error(e)
             }
             RESP_SHUTDOWN_ACK => Response::ShutdownAck,
+            RESP_MUTATION => {
+                let applied = match c.u8()? {
+                    0 => false,
+                    1 => true,
+                    t => return Err(err(format!("bad applied flag {t}"))),
+                };
+                Response::Mutation(MutationAck {
+                    applied,
+                    rewritten: c.u32()?,
+                    created: c.u32()?,
+                    freed: c.u32()?,
+                })
+            }
             t => return Err(err(format!("unknown response type {t:#04x}"))),
         };
         c.done()?;
@@ -565,6 +671,14 @@ mod tests {
         rt_request(Request::Ping { token: u64::MAX });
         rt_request(Request::Stats);
         rt_request(Request::Shutdown);
+        rt_request(Request::Insert {
+            id: 99,
+            key: vec![1.5, -2.5],
+        });
+        rt_request(Request::Delete {
+            id: u64::MAX,
+            key: vec![0.0, 0.0, 7.25],
+        });
     }
 
     #[test]
@@ -590,7 +704,37 @@ mod tests {
         rt_response(Response::Error(WireError::Incomplete(
             "2 workers dead".into(),
         )));
+        rt_response(Response::Error(WireError::MutationFailed(
+            "wal device gone".into(),
+        )));
         rt_response(Response::ShutdownAck);
+        rt_response(Response::Mutation(MutationAck {
+            applied: true,
+            rewritten: 3,
+            created: 1,
+            freed: 0,
+        }));
+        rt_response(Response::Mutation(MutationAck::default()));
+    }
+
+    #[test]
+    fn hostile_mutation_payloads_yield_errors_not_panics() {
+        // NaN key coordinate would reach Point::new.
+        let mut p = 5u64.to_le_bytes().to_vec();
+        p.extend_from_slice(&1u16.to_le_bytes());
+        p.extend_from_slice(&f64::NAN.to_le_bytes());
+        assert!(Request::decode(REQ_INSERT, &p).is_err());
+        // Zero and oversized dimensionality.
+        let mut p = 5u64.to_le_bytes().to_vec();
+        p.extend_from_slice(&0u16.to_le_bytes());
+        assert!(Request::decode(REQ_DELETE, &p).is_err());
+        let mut p = 5u64.to_le_bytes().to_vec();
+        p.extend_from_slice(&((MAX_DIM + 1) as u16).to_le_bytes());
+        assert!(Request::decode(REQ_INSERT, &p).is_err());
+        // Bad applied flag in the ack.
+        let mut p = vec![2u8];
+        p.extend_from_slice(&[0u8; 12]);
+        assert!(Response::decode(RESP_MUTATION, &p).is_err());
     }
 
     #[test]

@@ -35,12 +35,13 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use pargrid_geom::Rect;
+use pargrid_geom::{Point, Rect};
+use pargrid_gridfile::Record;
 use pargrid_obs::{names, AtomicHistogram, PromWriter};
 use pargrid_parallel::ParallelGridFile;
 
 use crate::frame::{read_frame, FrameError};
-use crate::proto::{RecordsReply, Request, Response, WireError};
+use crate::proto::{MutationAck, RecordsReply, Request, Response, WireError};
 
 /// Tunables for [`Server::start`].
 #[derive(Clone, Debug)]
@@ -78,10 +79,22 @@ impl Default for ServerConfig {
     }
 }
 
-/// One admitted query: already validated into a rectangle, stamped with
-/// its arrival time, carrying the channel back to its connection's writer.
+/// What a dispatcher does with an admitted job. Mutations ride the same
+/// admission queue as queries, so overload sheds them with the same
+/// `Overloaded` back-pressure instead of buffering writes unboundedly.
+enum Work {
+    /// An already-validated query rectangle.
+    Query(Rect),
+    /// Insert this record.
+    Insert(Record),
+    /// Delete the record with this id at this key.
+    Delete(u64, Point),
+}
+
+/// One admitted request: already validated, stamped with its arrival
+/// time, carrying the channel back to its connection's writer.
 struct Job {
-    rect: Rect,
+    work: Work,
     enqueued: Instant,
     reply: mpsc::Sender<Vec<u8>>,
 }
@@ -163,6 +176,7 @@ struct NetMetrics {
     connections_active: AtomicU64,
     requests_total: AtomicU64,
     served_total: AtomicU64,
+    mutations_total: AtomicU64,
     shed_total: AtomicU64,
     malformed_total: AtomicU64,
     bytes_in: AtomicU64,
@@ -208,6 +222,11 @@ impl Inner {
             names::NET_SERVED_TOTAL,
             "Query requests answered with records.",
             m.served_total.load(Ordering::Relaxed),
+        );
+        pw.counter(
+            names::NET_MUTATIONS_TOTAL,
+            "Insert/delete requests applied.",
+            m.mutations_total.load(Ordering::Relaxed),
         );
         pw.counter(
             names::NET_SHED_TOTAL,
@@ -514,9 +533,17 @@ fn writer_loop(mut stream: TcpStream, rx: &mpsc::Receiver<Vec<u8>>, inner: &Arc<
 }
 
 /// Sends a response down the connection's writer channel, encoded straight
-/// into its single wire buffer ([`Response::encode_frame`]).
+/// into its single wire buffer ([`Response::encode_frame`]). A response
+/// too large to frame (over `MAX_PAYLOAD`) degrades to a typed error
+/// reply instead of silently truncating its length header.
 fn send_response(reply: &mpsc::Sender<Vec<u8>>, resp: &Response) {
-    let _ = reply.send(resp.encode_frame());
+    let bytes = match resp.encode_frame() {
+        Ok(b) => b,
+        Err(e) => Response::Error(WireError::Incomplete(format!("response unsendable: {e}")))
+            .encode_frame()
+            .expect("error reply is tiny"),
+    };
+    let _ = reply.send(bytes);
 }
 
 fn reader_loop(stream: &TcpStream, reply: &mpsc::Sender<Vec<u8>>, inner: &Arc<Inner>) {
@@ -570,7 +597,7 @@ fn reader_loop(stream: &TcpStream, reply: &mpsc::Sender<Vec<u8>>, inner: &Arc<In
                 );
             }
             req @ (Request::RangeQuery { .. } | Request::PartialMatch { .. }) => {
-                let domain = &inner.engine.grid().config().domain;
+                let domain = inner.engine.domain();
                 let rect = match req.to_rect(domain) {
                     Ok(Some(rect)) => rect,
                     Ok(None) => unreachable!("query requests always map to a rect"),
@@ -583,54 +610,116 @@ fn reader_loop(stream: &TcpStream, reply: &mpsc::Sender<Vec<u8>>, inner: &Arc<In
                         continue;
                     }
                 };
-                let job = Job {
-                    rect,
-                    enqueued: Instant::now(),
-                    reply: reply.clone(),
-                };
-                if inner.queue.try_push(job).is_err() {
-                    inner.metrics.shed_total.fetch_add(1, Ordering::Relaxed);
-                    send_response(
-                        reply,
-                        &Response::Error(WireError::Overloaded {
-                            retry_after_ms: inner.config.retry_after_ms,
-                        }),
-                    );
-                }
+                admit(inner, reply, Work::Query(rect));
             }
+            Request::Insert { id, key } => match checked_point(inner, &key) {
+                Ok(p) => admit(inner, reply, Work::Insert(Record::new(id, p))),
+                Err(e) => send_response(reply, &Response::Error(e)),
+            },
+            Request::Delete { id, key } => match checked_point(inner, &key) {
+                Ok(p) => admit(inner, reply, Work::Delete(id, p)),
+                Err(e) => send_response(reply, &Response::Error(e)),
+            },
         }
+    }
+}
+
+/// Validates a mutation key against the file's dimensionality (decode
+/// already guaranteed finite coordinates and `1..=MAX_DIM`), so hostile
+/// wire data can never reach the engine's dimension assert.
+fn checked_point(inner: &Arc<Inner>, key: &[f64]) -> Result<Point, WireError> {
+    let dim = inner.engine.domain().dim();
+    if key.len() != dim {
+        inner
+            .metrics
+            .malformed_total
+            .fetch_add(1, Ordering::Relaxed);
+        return Err(WireError::Malformed(format!(
+            "key has {} dims, file has {dim}",
+            key.len()
+        )));
+    }
+    Ok(Point::new(key))
+}
+
+/// Pushes validated work through admission control, shedding with
+/// `Overloaded` when the queue is full — the same back-pressure for
+/// queries and mutations.
+fn admit(inner: &Arc<Inner>, reply: &mpsc::Sender<Vec<u8>>, work: Work) {
+    let job = Job {
+        work,
+        enqueued: Instant::now(),
+        reply: reply.clone(),
+    };
+    if inner.queue.try_push(job).is_err() {
+        inner.metrics.shed_total.fetch_add(1, Ordering::Relaxed);
+        send_response(
+            reply,
+            &Response::Error(WireError::Overloaded {
+                retry_after_ms: inner.config.retry_after_ms,
+            }),
+        );
     }
 }
 
 fn dispatcher_loop(inner: &Arc<Inner>) {
     let mut session = inner.engine.session();
     while let Some(job) = inner.queue.pop() {
-        let outcome = session.query(&job.rect);
-        let pace_us = inner.config.pace_us_per_block * outcome.response_blocks.max(1);
-        if pace_us > 0 {
-            thread::sleep(Duration::from_micros(pace_us));
-        }
-        let resp = if outcome.incomplete {
-            Response::Error(WireError::Incomplete(format!(
-                "{} of {} engine workers alive",
-                inner.engine.stats().live_workers(),
-                inner.engine.n_workers(),
-            )))
-        } else {
-            inner.metrics.served_total.fetch_add(1, Ordering::Relaxed);
-            Response::Records(RecordsReply {
-                incomplete: outcome.incomplete,
-                elapsed_us: outcome.elapsed_us,
-                comm_us: outcome.comm_us,
-                response_blocks: outcome.response_blocks,
-                total_blocks: outcome.total_blocks,
-                cache_hits: outcome.cache_hits,
-                records: outcome.records,
-            })
+        let resp = match job.work {
+            Work::Query(rect) => {
+                let outcome = session.query(&rect);
+                let pace_us = inner.config.pace_us_per_block * outcome.response_blocks.max(1);
+                if pace_us > 0 {
+                    thread::sleep(Duration::from_micros(pace_us));
+                }
+                if outcome.incomplete {
+                    Response::Error(WireError::Incomplete(format!(
+                        "{} of {} engine workers alive",
+                        inner.engine.stats().live_workers(),
+                        inner.engine.n_workers(),
+                    )))
+                } else {
+                    inner.metrics.served_total.fetch_add(1, Ordering::Relaxed);
+                    Response::Records(RecordsReply {
+                        incomplete: outcome.incomplete,
+                        elapsed_us: outcome.elapsed_us,
+                        comm_us: outcome.comm_us,
+                        response_blocks: outcome.response_blocks,
+                        total_blocks: outcome.total_blocks,
+                        cache_hits: outcome.cache_hits,
+                        records: outcome.records,
+                    })
+                }
+            }
+            Work::Insert(rec) => mutation_response(inner, inner.engine.insert(rec)),
+            Work::Delete(id, p) => mutation_response(inner, inner.engine.delete(id, &p)),
         };
         let sojourn = job.enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64;
         inner.metrics.sojourn_us.record(sojourn);
         send_response(&job.reply, &resp);
     }
     let _ = session.close();
+}
+
+/// Folds the engine's mutation result into a wire response. The
+/// write-ahead discipline means an `Err` guarantees nothing changed.
+fn mutation_response(
+    inner: &Arc<Inner>,
+    result: Result<pargrid_parallel::MutationOutcome, pargrid_parallel::EngineError>,
+) -> Response {
+    match result {
+        Ok(out) => {
+            inner
+                .metrics
+                .mutations_total
+                .fetch_add(1, Ordering::Relaxed);
+            Response::Mutation(MutationAck {
+                applied: out.applied,
+                rewritten: out.rewritten_buckets.len() as u32,
+                created: out.created_buckets.len() as u32,
+                freed: out.freed_buckets.len() as u32,
+            })
+        }
+        Err(e) => Response::Error(WireError::MutationFailed(e.to_string())),
+    }
 }

@@ -15,7 +15,7 @@ proptest! {
         msg_type in 0u8..=255,
         payload in prop::collection::vec(0u8..=255, 0..200usize),
     ) {
-        let bytes = encode_frame(msg_type, &payload);
+        let bytes = encode_frame(msg_type, &payload).unwrap();
         let frame = read_frame(&mut &bytes[..]).unwrap();
         prop_assert_eq!(frame.msg_type, msg_type);
         prop_assert_eq!(frame.payload, payload);
@@ -26,7 +26,7 @@ proptest! {
         payload in prop::collection::vec(0u8..=255, 0..100usize),
         cut_frac in 0.0f64..1.0,
     ) {
-        let bytes = encode_frame(0x01, &payload);
+        let bytes = encode_frame(0x01, &payload).unwrap();
         let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
         let err = read_frame(&mut &bytes[..cut]).unwrap_err();
         match err {
@@ -42,7 +42,7 @@ proptest! {
         pos_frac in 0.0f64..1.0,
         flip in 1u8..=255,
     ) {
-        let mut bytes = encode_frame(0x02, &payload);
+        let mut bytes = encode_frame(0x02, &payload).unwrap();
         let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
         bytes[pos] ^= flip;
         // Any single-byte corruption — header, payload, or trailer — must
@@ -52,7 +52,7 @@ proptest! {
 
     #[test]
     fn oversized_length_prefix_is_rejected(len_excess in 1u32..=u32::MAX - pargrid_net::MAX_PAYLOAD) {
-        let mut bytes = encode_frame(0x01, b"x");
+        let mut bytes = encode_frame(0x01, b"x").unwrap();
         let huge = pargrid_net::MAX_PAYLOAD + len_excess;
         bytes[4..8].copy_from_slice(&huge.to_le_bytes());
         prop_assert!(matches!(
@@ -64,7 +64,7 @@ proptest! {
     #[test]
     fn version_mismatch_is_rejected(bump in 1u8..=255) {
         let version = PROTOCOL_VERSION.wrapping_add(bump);
-        let mut bytes = encode_frame(0x01, b"payload");
+        let mut bytes = encode_frame(0x01, b"payload").unwrap();
         bytes[2] = version;
         // Re-seal the CRC so the version byte is the only defect.
         let n = bytes.len();

@@ -1,0 +1,301 @@
+//! Crash-injection recovery soak over the full stack.
+//!
+//! For each of several seeded crash points, a mutation stream runs
+//! through the durable engine and is "killed" mid-stream — the process
+//! state is dropped without a checkpoint and the WAL is left with a torn
+//! half-record, exactly what dying inside an append (e.g. mid-split)
+//! leaves on disk. Recovery must replay the acknowledged prefix with
+//! zero lost and zero duplicated records, the un-acknowledged torn op
+//! must never surface, and after finishing the stream the answers served
+//! over a real `pargrid-net` socket must be byte-identical to a run that
+//! never crashed.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use pargrid_core::{ConflictPolicy, DeclusterInput, DeclusterMethod, IndexScheme};
+use pargrid_geom::{Point, Rect};
+use pargrid_gridfile::durable::{DurableGridFile, WAL_FILE};
+use pargrid_gridfile::{GridConfig, GridFile, Record, WalOp};
+use pargrid_net::proto::{RecordsReply, Response};
+use pargrid_net::{Client, Server, ServerConfig};
+use pargrid_parallel::{EngineConfig, ParallelGridFile};
+
+fn domain() -> Rect {
+    Rect::new2(0.0, 0.0, 100.0, 100.0)
+}
+
+fn cfg() -> GridConfig {
+    // Capacity 4: the clustered insert stream below splits constantly, so
+    // every crash point lands near (or inside) directory growth.
+    GridConfig::with_capacity(domain(), 4)
+}
+
+/// Initial dataset: 40 scattered records (ids 0..40).
+fn initial_records() -> Vec<Record> {
+    let mut recs = Vec::new();
+    let mut x = 9u64;
+    for i in 0..40u64 {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        recs.push(Record::new(
+            i,
+            Point::new2(
+                ((x >> 16) % 10000) as f64 / 100.0,
+                ((x >> 40) % 10000) as f64 / 100.0,
+            ),
+        ));
+    }
+    recs
+}
+
+/// The deterministic mutation stream: 60 clustered inserts (ids 1000+)
+/// that force repeated bucket splits, interleaved with deletes of both
+/// seed records and earlier stream inserts (forcing buddy merges).
+fn mutation_stream() -> Vec<WalOp> {
+    let mut ops = Vec::new();
+    for i in 0..60u64 {
+        let p = Point::new2(30.0 + (i % 12) as f64 * 0.2, 70.0 + (i / 12) as f64 * 0.2);
+        ops.push(WalOp::Insert(Record::new(1000 + i, p)));
+        if i % 5 == 4 {
+            let j = i - 2;
+            let q = Point::new2(30.0 + (j % 12) as f64 * 0.2, 70.0 + (j / 12) as f64 * 0.2);
+            ops.push(WalOp::Delete {
+                id: 1000 + j,
+                point: q,
+            });
+        }
+    }
+    ops
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("pargrid-soak-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("scratch dir");
+    d
+}
+
+/// Opens the durable directory (seeding it on first use) and builds a
+/// 3-worker engine over the recovered grid with the WAL attached.
+fn open_engine(dir: &PathBuf) -> (Arc<ParallelGridFile>, usize) {
+    let durable = DurableGridFile::open(dir, cfg()).expect("recover durable dir");
+    let recovered = durable.recovered_ops();
+    let (gf, wal) = durable.into_parts();
+    let input = DeclusterInput::from_grid_file(&gf);
+    let assignment = DeclusterMethod::Index(IndexScheme::DiskModulo, ConflictPolicy::DataBalance)
+        .assign(&input, 3, 7);
+    let engine = ParallelGridFile::build(Arc::new(gf), &assignment, EngineConfig::default());
+    engine.attach_wal(wal);
+    (Arc::new(engine), recovered)
+}
+
+fn apply(engine: &ParallelGridFile, op: &WalOp) {
+    match op {
+        WalOp::Insert(rec) => {
+            engine.insert(*rec).expect("insert");
+        }
+        WalOp::Delete { id, point } => {
+            engine.delete(*id, point).expect("delete");
+        }
+    }
+}
+
+/// The probe queries replayed over the wire after every run: full domain,
+/// the split-heavy hot cluster, and two disjoint slices.
+fn probe_rects() -> Vec<(Vec<f64>, Vec<f64>)> {
+    vec![
+        (vec![0.0, 0.0], vec![100.0, 100.0]),
+        (vec![29.0, 69.0], vec![34.0, 76.0]),
+        (vec![0.0, 0.0], vec![50.0, 50.0]),
+        (vec![50.0, 50.0], vec![100.0, 100.0]),
+    ]
+}
+
+/// Serves `engine` on a loopback socket and returns, per probe query, the
+/// byte encoding of the sorted record set (cost fields zeroed) — the part
+/// of a reply that must be bit-for-bit stable across runs.
+fn serve_and_probe(engine: Arc<ParallelGridFile>) -> Vec<Vec<u8>> {
+    let server = Server::start(engine, "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut client =
+        Client::connect_retry(server.local_addr(), 5, Duration::from_millis(20)).expect("connect");
+    let mut out = Vec::new();
+    for (lo, hi) in probe_rects() {
+        let reply = client.range_query(&lo, &hi).expect("probe query");
+        let mut records = reply.records;
+        records.sort_by_key(|r| r.id);
+        let (_, payload) = Response::Records(RecordsReply {
+            records,
+            ..RecordsReply::default()
+        })
+        .encode();
+        out.push(payload);
+    }
+    drop(client);
+    server.shutdown();
+    out
+}
+
+/// Sorted `(id, coord-bits)` multiset of a full-domain sweep.
+fn engine_snapshot(engine: &ParallelGridFile) -> Vec<(u64, u64, u64)> {
+    let gf = engine.snapshot_grid();
+    let (_, recs) = gf.range_query(&domain());
+    let mut out: Vec<(u64, u64, u64)> = recs
+        .iter()
+        .map(|r| (r.id, r.point.get(0).to_bits(), r.point.get(1).to_bits()))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+fn seed_dir(name: &str) -> PathBuf {
+    let dir = scratch(name);
+    let mut d = DurableGridFile::open(&dir, cfg()).expect("fresh durable dir");
+    for r in initial_records() {
+        d.insert(r).expect("seed insert");
+    }
+    d.checkpoint().expect("seed checkpoint");
+    dir
+}
+
+/// Expected state after the seed plus a prefix of the stream, computed on
+/// a plain single-threaded grid file as the oracle.
+fn oracle_snapshot(prefix: usize) -> Vec<(u64, u64, u64)> {
+    let mut gf = GridFile::new(cfg());
+    for r in initial_records() {
+        gf.insert(r);
+    }
+    for op in &mutation_stream()[..prefix] {
+        match op {
+            WalOp::Insert(rec) => {
+                gf.insert(*rec);
+            }
+            WalOp::Delete { id, point } => {
+                gf.delete(*id, point);
+            }
+        }
+    }
+    let (_, recs) = gf.range_query(&domain());
+    let mut out: Vec<(u64, u64, u64)> = recs
+        .iter()
+        .map(|r| (r.id, r.point.get(0).to_bits(), r.point.get(1).to_bits()))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[test]
+fn crash_soak_recovers_identically_at_every_seeded_crash_point() {
+    let ops = mutation_stream();
+
+    // The never-crashed reference run.
+    let ref_dir = seed_dir("reference");
+    let (ref_engine, recovered) = open_engine(&ref_dir);
+    assert_eq!(recovered, 0, "fresh checkpoint leaves nothing to replay");
+    for op in &ops {
+        apply(&ref_engine, op);
+    }
+    let reference_state = engine_snapshot(&ref_engine);
+    let reference_replies = serve_and_probe(Arc::clone(&ref_engine));
+
+    // Crash points seeded inside split storms: op 7 (first splits of the
+    // hot cluster), 23 (mid-stream, after the first merges), and 51
+    // (deep directory growth). Each run is killed mid-append on top.
+    for crash_at in [7usize, 23, 51] {
+        let dir = seed_dir(&format!("crash-{crash_at}"));
+        {
+            let (engine, _) = open_engine(&dir);
+            for op in &ops[..crash_at] {
+                apply(&engine, op);
+            }
+            // Kill: engine dropped with no checkpoint; the WAL holds every
+            // acknowledged op. Dying inside the *next* append leaves its
+            // first half as a torn tail.
+            drop(engine);
+            let wal_path = dir.join(WAL_FILE);
+            let torn = ops[crash_at].encode();
+            let mut bytes = std::fs::read(&wal_path).expect("read wal");
+            bytes.extend_from_slice(&torn[..torn.len() / 2]);
+            std::fs::write(&wal_path, &bytes).expect("write torn tail");
+        }
+
+        // Recover: exactly the acknowledged prefix, nothing lost, nothing
+        // duplicated, torn op absent.
+        let (engine, recovered) = open_engine(&dir);
+        assert_eq!(
+            recovered, crash_at,
+            "crash at {crash_at}: every acknowledged op must replay, the torn one must not"
+        );
+        assert_eq!(
+            engine_snapshot(&engine),
+            oracle_snapshot(crash_at),
+            "crash at {crash_at}: recovered state diverged from the oracle"
+        );
+
+        // Finish the stream (the torn op was never acknowledged, so the
+        // client re-issues it) and compare the served answers.
+        for op in &ops[crash_at..] {
+            apply(&engine, op);
+        }
+        assert_eq!(
+            engine_snapshot(&engine),
+            reference_state,
+            "crash at {crash_at}: final state diverged from the never-crashed run"
+        );
+        let replies = serve_and_probe(Arc::clone(&engine));
+        assert_eq!(
+            replies, reference_replies,
+            "crash at {crash_at}: served replies must be byte-identical to the never-crashed run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}
+
+/// A second recovery immediately after the first (double crash, no new
+/// mutations in between) is a no-op: recovery is idempotent.
+#[test]
+fn double_crash_recovery_is_idempotent() {
+    let ops = mutation_stream();
+    let dir = seed_dir("double");
+    {
+        let (engine, _) = open_engine(&dir);
+        for op in &ops[..30] {
+            apply(&engine, op);
+        }
+    }
+    let (engine, recovered) = open_engine(&dir);
+    assert_eq!(recovered, 30);
+    let first = engine_snapshot(&engine);
+    drop(engine);
+
+    let (engine, recovered) = open_engine(&dir);
+    assert_eq!(recovered, 30, "second recovery replays the same prefix");
+    assert_eq!(engine_snapshot(&engine), first);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Checkpointing mid-stream then crashing replays only post-checkpoint
+/// ops, and the final served answers still match.
+#[test]
+fn checkpoint_then_crash_replays_only_the_suffix() {
+    let ops = mutation_stream();
+    let dir = seed_dir("ckpt-crash");
+    {
+        let (engine, _) = open_engine(&dir);
+        for op in &ops[..20] {
+            apply(&engine, op);
+        }
+        assert!(engine.checkpoint().expect("checkpoint"), "WAL is attached");
+        assert_eq!(engine.wal_len_bytes(), 0, "checkpoint resets the WAL");
+        for op in &ops[20..40] {
+            apply(&engine, op);
+        }
+    }
+    let (engine, recovered) = open_engine(&dir);
+    assert_eq!(recovered, 20, "only the 20 post-checkpoint ops replay");
+    assert_eq!(engine_snapshot(&engine), oracle_snapshot(40));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -19,6 +19,8 @@ pub const NET_CONNECTIONS_ACTIVE: &str = "pargrid_net_connections_active";
 pub const NET_REQUESTS_TOTAL: &str = "pargrid_net_requests_total";
 /// Query requests answered with records (counter).
 pub const NET_SERVED_TOTAL: &str = "pargrid_net_served_total";
+/// Insert/delete requests applied (counter).
+pub const NET_MUTATIONS_TOTAL: &str = "pargrid_net_mutations_total";
 /// Query requests rejected with `Overloaded` by admission control (counter).
 pub const NET_SHED_TOTAL: &str = "pargrid_net_shed_total";
 /// Frames rejected as malformed — bad magic, CRC, version, length, or

@@ -35,6 +35,8 @@ struct Node {
 pub struct LruCache {
     map: HashMap<u32, u32>, // key -> slot
     slab: Vec<Node>,
+    /// Slots vacated by [`LruCache::remove`], reused before the slab grows.
+    free: Vec<u32>,
     head: u32, // most recently used
     tail: u32, // least recently used
     capacity: usize,
@@ -47,6 +49,7 @@ impl LruCache {
         LruCache {
             map: HashMap::with_capacity(capacity),
             slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
             head: NIL,
             tail: NIL,
             capacity,
@@ -84,6 +87,9 @@ impl LruCache {
             self.map.remove(&old_key);
             self.slab[lru as usize].key = key;
             lru
+        } else if let Some(slot) = self.free.pop() {
+            self.slab[slot as usize].key = key;
+            slot
         } else {
             self.slab.push(Node {
                 key,
@@ -100,6 +106,18 @@ impl LruCache {
     /// Whether `key` is cached, without changing recency.
     pub fn contains(&self, key: u32) -> bool {
         self.map.contains_key(&key)
+    }
+
+    /// Drops `key` from the cache — the write-invalidation hook: a block
+    /// whose bytes were just rewritten must not be served as a (stale) cache
+    /// hit. Returns whether the key was cached.
+    pub fn remove(&mut self, key: u32) -> bool {
+        let Some(slot) = self.map.remove(&key) else {
+            return false;
+        };
+        self.unlink(slot);
+        self.free.push(slot);
+        true
     }
 
     fn unlink(&mut self, slot: u32) {
@@ -343,6 +361,54 @@ mod tests {
             for k in 0..8u32 {
                 assert!(c.touch(k), "round {round}, key {k}");
             }
+        }
+    }
+
+    #[test]
+    fn remove_invalidates_and_recycles_slots() {
+        let mut c = LruCache::new(2);
+        c.touch(1);
+        c.touch(2);
+        assert!(c.remove(1));
+        assert!(!c.contains(1));
+        assert!(!c.remove(1), "double remove is a no-op");
+        assert_eq!(c.len(), 1);
+        // Re-touching a removed key is a miss again (slot recycled, not grown).
+        assert!(!c.touch(1));
+        assert_eq!(c.len(), 2);
+        // Capacity still enforced: inserting a third key evicts the LRU (2).
+        assert!(!c.touch(3));
+        assert!(!c.contains(2));
+        assert!(c.contains(1) && c.contains(3));
+    }
+
+    #[test]
+    fn remove_matches_reference_model() {
+        // Same cross-check as below, with removes sprinkled in.
+        let cap = 8;
+        let mut fast = LruCache::new(cap);
+        let mut slow: Vec<u32> = Vec::new(); // front = MRU
+        let mut x = 777u64;
+        for _ in 0..20_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = ((x >> 33) % 24) as u32;
+            if x.is_multiple_of(5) {
+                let expect = slow.contains(&key);
+                slow.retain(|&k| k != key);
+                assert_eq!(fast.remove(key), expect, "remove {key}");
+            } else {
+                let expect_hit = slow.contains(&key);
+                if expect_hit {
+                    slow.retain(|&k| k != key);
+                } else if slow.len() == cap {
+                    slow.pop();
+                }
+                slow.insert(0, key);
+                assert_eq!(fast.touch(key), expect_hit, "key {key}");
+            }
+            assert_eq!(fast.len(), slow.len());
         }
     }
 

@@ -107,6 +107,16 @@ impl DiskModel {
         BlockCost { us, hit }
     }
 
+    /// Invalidates a block in the buffer cache — the write-coherence hook.
+    /// A block whose store bytes were just rewritten (scrub repair, a
+    /// mutation) must pay a fresh miss on its next read instead of being
+    /// billed as a hit on the stale cached copy. Returns whether the block
+    /// was cached. The arm position is untouched: rewriting a block does not
+    /// move the head.
+    pub fn invalidate(&mut self, block: u32) -> bool {
+        self.cache.remove(block)
+    }
+
     /// Total virtual busy time so far.
     pub fn busy_us(&self) -> u64 {
         self.busy_us

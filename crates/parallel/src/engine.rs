@@ -62,16 +62,18 @@ use crate::ring::{DispatchError, DispatchMode, RequestRing, WorkerOutbox};
 use crate::stats::{EngineStats, SharedStats};
 use crate::worker::{run_worker, WorkerState};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use pargrid_core::{Assignment, ReplicatedAssignment};
-use pargrid_geom::Rect;
+use pargrid_core::{place_fresh_bucket, place_fresh_replica, Assignment, ReplicatedAssignment};
+use pargrid_geom::{Point, Rect};
+use pargrid_gridfile::durable::CHECKPOINT_FILE;
 use pargrid_gridfile::page::encode_page;
-use pargrid_gridfile::{GridFile, Record};
+use pargrid_gridfile::wal::{Wal, WalOp};
+use pargrid_gridfile::{GridFile, MutationEffect, Record};
 #[cfg(feature = "obs")]
 use pargrid_obs::{Event, Recorder, SpanKind, NO_ID};
 use pargrid_sim::{QueryWorkload, ThroughputStats};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -486,6 +488,39 @@ impl BucketPlacement {
     }
 }
 
+/// The coordinator's mutable view of the data: the grid directory plus the
+/// bucket → block placement map and each worker's next free block id. All
+/// three change together under one write lock when a mutation splits or
+/// merges buckets; queries plan under the read lock, so a query planned
+/// after [`ParallelGridFile::insert`] returns sees the post-mutation
+/// directory (and, because workers apply `WriteRaw` in FIFO order before
+/// later read batches, the post-mutation bytes).
+struct Catalog {
+    gf: GridFile,
+    /// bucket id -> where its copies live.
+    placement: HashMap<u32, BucketPlacement>,
+    /// Per-worker count of blocks ever written — the next append id. File
+    /// stores require appends to be sequential, so freed blocks are left
+    /// orphaned rather than reused.
+    next_block: Vec<u32>,
+}
+
+/// What a successful [`ParallelGridFile::insert`] / `delete` did, in bucket
+/// terms — the engine-level echo of [`MutationEffect`].
+#[derive(Clone, Debug, Default)]
+pub struct MutationOutcome {
+    /// Whether the operation changed anything (a delete of an absent record
+    /// applies cleanly but reports `false`).
+    pub applied: bool,
+    /// Buckets whose blocks were rewritten in place (the target bucket, and
+    /// both halves of any split).
+    pub rewritten_buckets: Vec<u32>,
+    /// Buckets created by splits, now placed and written on their workers.
+    pub created_buckets: Vec<u32>,
+    /// Buckets freed by merges; their blocks are orphaned on disk.
+    pub freed_buckets: Vec<u32>,
+}
+
 /// One worker's share of a planned query.
 #[derive(Debug, Default)]
 struct PlannedRead {
@@ -619,11 +654,19 @@ impl PendingQuery {
 /// take `&self` and open a session internally, so pre-redesign call sites —
 /// including those holding `&mut` — compile unchanged.
 pub struct ParallelGridFile {
-    gf: Arc<GridFile>,
+    /// Directory + placement + block allocator, mutated together under the
+    /// write lock by [`ParallelGridFile::insert`] / `delete`.
+    catalog: RwLock<Catalog>,
+    /// Write-ahead log for mutations, attached by
+    /// [`ParallelGridFile::attach_wal`]. The mutex doubles as the mutation
+    /// serialization lock: at most one insert/delete is in flight at a time,
+    /// and its WAL record is durable before the catalog changes.
+    wal: Mutex<Option<Wal>>,
+    /// The grid file's domain, cached so the hot read path never takes the
+    /// catalog lock for it (linear scales only refine; the domain is fixed).
+    domain: Rect,
     net: NetParams,
     record_bytes: usize,
-    /// bucket id -> where its copies live.
-    placement: HashMap<u32, BucketPlacement>,
     to_workers: Vec<WorkerOutbox>,
     /// Worker thread handles, drained by [`ParallelGridFile::shutdown`]
     /// (behind a mutex so shutdown works through a shared `&self` — a
@@ -788,11 +831,21 @@ impl ParallelGridFile {
             }
         }
 
+        let record_bytes = gf.config().record_bytes();
+        let domain = gf.config().domain;
+        // Mutations need the grid file by value; peel the `Arc` (cloning
+        // only if the caller kept another handle).
+        let gf = Arc::try_unwrap(gf).unwrap_or_else(|shared| (*shared).clone());
         ParallelGridFile {
-            record_bytes: gf.config().record_bytes(),
-            gf,
+            record_bytes,
+            catalog: RwLock::new(Catalog {
+                gf,
+                placement,
+                next_block,
+            }),
+            wal: Mutex::new(None),
+            domain,
             net: config.net,
-            placement,
             to_workers,
             handles: std::sync::Mutex::new(handles),
             next_query_id: AtomicU64::new(0),
@@ -817,11 +870,29 @@ impl ParallelGridFile {
         self.to_workers.len()
     }
 
-    /// The grid file this engine was built over (the coordinator's copy of
-    /// the directory — a network front end uses it to translate
-    /// partial-match keys into query rectangles).
-    pub fn grid(&self) -> &Arc<GridFile> {
-        &self.gf
+    /// The data domain the engine's grid file covers. Fixed for the
+    /// engine's lifetime — a network front end uses it to translate
+    /// partial-match keys into query rectangles without taking the
+    /// catalog lock.
+    pub fn domain(&self) -> &Rect {
+        &self.domain
+    }
+
+    /// A point-in-time clone of the coordinator's grid directory (for
+    /// checkpointing and inspection). Mutations running after the snapshot
+    /// is taken are not reflected in it.
+    pub fn snapshot_grid(&self) -> GridFile {
+        self.catalog.read().expect("engine catalog lock").gf.clone()
+    }
+
+    /// Total live records in the directory.
+    pub fn len(&self) -> u64 {
+        self.catalog.read().expect("engine catalog lock").gf.len()
+    }
+
+    /// Whether the directory holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Explicit SIGTERM-style shutdown: sends every worker its poison pill
@@ -926,12 +997,13 @@ impl ParallelGridFile {
     /// replicas at planning time), and whether some bucket has no live copy
     /// at all.
     fn plan(&self, rect: &Rect) -> (Vec<u32>, HashMap<usize, PlannedRead>, bool) {
-        let mut buckets = self.gf.range_query_buckets(rect);
+        let cat = self.catalog.read().expect("engine catalog lock");
+        let mut buckets = cat.gf.range_query_buckets(rect);
         buckets.sort_unstable();
         let mut per_worker: HashMap<usize, PlannedRead> = HashMap::new();
         let mut incomplete = false;
         for &b in &buckets {
-            let pl = &self.placement[&b];
+            let pl = &cat.placement[&b];
             let copy = if self.shared.is_alive(pl.primary.0) {
                 Some(&pl.primary)
             } else {
@@ -976,23 +1048,28 @@ impl ParallelGridFile {
             from_worker as u32,
             buckets.len() as u64,
         );
-        // worker -> (blocks, buckets) of the retry request.
+        // worker -> (blocks, buckets) of the retry request. Collected under
+        // the catalog read lock, which is dropped before any channel I/O
+        // (the dead-transport branch below recurses back into this method).
         let mut regroup: HashMap<usize, (Vec<u32>, Vec<u32>)> = HashMap::new();
-        for &b in buckets {
-            if !p.retried.insert(b) {
-                p.incomplete = true;
-                continue;
-            }
-            match self.placement[&b].other_copy(from_worker) {
-                Some((w, blocks)) if self.shared.is_alive(*w) => {
-                    let entry = regroup.entry(*w).or_default();
-                    entry.0.extend_from_slice(blocks);
-                    entry.1.push(b);
-                    self.shared
-                        .failed_over_blocks
-                        .fetch_add(blocks.len() as u64, Ordering::Relaxed);
+        {
+            let cat = self.catalog.read().expect("engine catalog lock");
+            for &b in buckets {
+                if !p.retried.insert(b) {
+                    p.incomplete = true;
+                    continue;
                 }
-                _ => p.incomplete = true,
+                match cat.placement[&b].other_copy(from_worker) {
+                    Some((w, blocks)) if self.shared.is_alive(*w) => {
+                        let entry = regroup.entry(*w).or_default();
+                        entry.0.extend_from_slice(blocks);
+                        entry.1.push(b);
+                        self.shared
+                            .failed_over_blocks
+                            .fetch_add(blocks.len() as u64, Ordering::Relaxed);
+                    }
+                    _ => p.incomplete = true,
+                }
             }
         }
         for (w, (blocks, bkts)) in regroup {
@@ -1032,9 +1109,10 @@ impl ParallelGridFile {
     /// so a hedge is always one message to one machine.
     #[cfg(feature = "obs")]
     fn hedge_target(&self, buckets: &[u32], from_worker: usize) -> Option<(usize, Vec<u32>)> {
+        let cat = self.catalog.read().expect("engine catalog lock");
         let mut target: Option<(usize, Vec<u32>)> = None;
         for &b in buckets {
-            let (w, blocks) = self.placement.get(&b)?.other_copy(from_worker)?;
+            let (w, blocks) = cat.placement.get(&b)?.other_copy(from_worker)?;
             if !self.shared.is_alive(*w) {
                 return None;
             }
@@ -1062,9 +1140,12 @@ impl ParallelGridFile {
         let _ = query_id;
         let corrupt_set: HashSet<u32> = corrupt.iter().copied().collect();
         // source worker -> (source blocks to fetch, corrupt blocks to fix).
+        // Collected under the catalog read lock, dropped before the blocking
+        // fetch round-trips below.
         let mut per_source: HashMap<usize, (Vec<u32>, Vec<u32>)> = HashMap::new();
+        let cat = self.catalog.read().expect("engine catalog lock");
         for &b in buckets {
-            let Some(pl) = self.placement.get(&b) else {
+            let Some(pl) = cat.placement.get(&b) else {
                 continue;
             };
             let (dest_blocks, source) = if pl.primary.0 == worker {
@@ -1091,6 +1172,7 @@ impl ParallelGridFile {
                 }
             }
         }
+        drop(cat);
         let mut repaired = 0u64;
         for (src, (fetch, fix)) in per_source {
             let (raw_tx, raw_rx) = unbounded();
@@ -1129,6 +1211,247 @@ impl ParallelGridFile {
             #[cfg(feature = "obs")]
             self.trace_instant(SpanKind::Scrub, query_id, worker as u32, repaired);
         }
+    }
+
+    /// Attaches a write-ahead log: every later [`ParallelGridFile::insert`]
+    /// / [`ParallelGridFile::delete`] is durable in it *before* the
+    /// directory or any block changes, and
+    /// [`ParallelGridFile::checkpoint`] folds it into a checkpoint image.
+    /// Without one, mutations are in-memory only (tests, benchmarks).
+    pub fn attach_wal(&self, wal: Wal) {
+        *self.wal.lock().expect("engine wal lock") = Some(wal);
+    }
+
+    /// Bytes currently in the attached WAL (0 when none is attached).
+    pub fn wal_len_bytes(&self) -> u64 {
+        self.wal
+            .lock()
+            .expect("engine wal lock")
+            .as_ref()
+            .map_or(0, |w| w.len_bytes())
+    }
+
+    /// Inserts a record, logging it to the attached WAL first, then
+    /// applying any bucket splits (with incremental declustered placement
+    /// of fresh buckets) and rewriting the affected blocks on the workers.
+    ///
+    /// Consistency: a query *planned after this returns* sees the insert —
+    /// workers apply block writes in FIFO order before any later read
+    /// batch. Queries already in flight may see either side, per block.
+    pub fn insert(&self, record: Record) -> Result<MutationOutcome, EngineError> {
+        self.mutate(WalOp::Insert(record))
+    }
+
+    /// Deletes the record with `id` at `point` (both must match), logging
+    /// to the WAL first and applying any buddy merges. Deleting an absent
+    /// record succeeds with `applied == false`.
+    pub fn delete(&self, id: u64, point: &Point) -> Result<MutationOutcome, EngineError> {
+        self.mutate(WalOp::Delete { id, point: *point })
+    }
+
+    fn mutate(&self, op: WalOp) -> Result<MutationOutcome, EngineError> {
+        // The WAL mutex serializes mutations (held across log + apply) even
+        // when no WAL is attached.
+        let mut wal = self.wal.lock().expect("engine wal lock");
+        if self.is_shut_down() {
+            return Err(EngineError::SessionClosed);
+        }
+        if let Some(w) = wal.as_mut() {
+            w.append(&op)
+                .and_then(|()| w.sync())
+                .map_err(EngineError::Wal)?;
+        }
+        let mut cat = self.catalog.write().expect("engine catalog lock");
+        let (applied, effect) = match &op {
+            WalOp::Insert(rec) => (true, cat.gf.insert_tracked(*rec)),
+            WalOp::Delete { id, point } => cat.gf.delete_tracked(*id, point),
+        };
+        let outcome = self.apply_effect(&mut cat, &effect);
+        Ok(MutationOutcome { applied, ..outcome })
+    }
+
+    /// Pushes a mutation's bucket-level effect out to the workers: freed
+    /// buckets drop their placement, rewritten buckets have every copy's
+    /// blocks rewritten in place (growing or shrinking the block list as
+    /// the record count demands), and created buckets are declustered
+    /// incrementally and written fresh.
+    fn apply_effect(&self, cat: &mut Catalog, effect: &MutationEffect) -> MutationOutcome {
+        let n_workers = self.to_workers.len();
+        // Per-worker batched writes, flushed as one WriteRaw per worker.
+        let mut writes: Vec<Vec<(u32, Vec<u8>)>> = vec![Vec::new(); n_workers];
+
+        for &b in &effect.freed {
+            // Orphan the blocks: file stores are append-only, so freed
+            // block ids are simply never read again.
+            cat.placement.remove(&b);
+        }
+
+        for &b in &effect.rewritten {
+            let pages = self.encode_bucket(&cat.gf, b);
+            let pl = cat.placement.get_mut(&b).expect("rewritten unknown bucket");
+            Self::rewrite_copy(&mut pl.primary, &pages, &mut cat.next_block, &mut writes);
+            if let Some(rep) = pl.replica.as_mut() {
+                Self::rewrite_copy(rep, &pages, &mut cat.next_block, &mut writes);
+            }
+        }
+
+        for &b in &effect.created {
+            let pages = self.encode_bucket(&cat.gf, b);
+            // Residents: every already-placed bucket's rect and primary
+            // disk — the incremental counterpart of a full declustering run.
+            let residents: Vec<(Rect, u32)> = cat
+                .placement
+                .iter()
+                .map(|(&id, pl)| (cat.gf.bucket_rect(id), pl.primary.0 as u32))
+                .collect();
+            let fresh = cat.gf.bucket_rect(b);
+            let pw = place_fresh_bucket(&self.domain, &residents, &fresh, n_workers) as usize;
+            let mut blocks = Vec::with_capacity(pages.len());
+            for page in &pages {
+                blocks.push(Self::append_block(
+                    pw,
+                    page.clone(),
+                    &mut cat.next_block,
+                    &mut writes,
+                ));
+            }
+            let replica = if self.replicated && n_workers >= 2 {
+                // Chained-replica load: copies of every kind already on
+                // each disk, plus the fresh primary just decided.
+                let mut load = vec![0usize; n_workers];
+                for pl in cat.placement.values() {
+                    load[pl.primary.0] += 1;
+                    if let Some((rw, _)) = &pl.replica {
+                        load[*rw] += 1;
+                    }
+                }
+                load[pw] += 1;
+                let rw = place_fresh_replica(pw as u32, &load) as usize;
+                let mut rblocks = Vec::with_capacity(pages.len());
+                for page in pages {
+                    rblocks.push(Self::append_block(
+                        rw,
+                        page,
+                        &mut cat.next_block,
+                        &mut writes,
+                    ));
+                }
+                Some((rw, rblocks))
+            } else {
+                None
+            };
+            cat.placement.insert(
+                b,
+                BucketPlacement {
+                    primary: (pw, blocks),
+                    replica,
+                },
+            );
+        }
+
+        for (w, blocks) in writes.into_iter().enumerate() {
+            if blocks.is_empty() {
+                continue;
+            }
+            if self.to_workers[w]
+                .send(ToWorker::WriteRaw { blocks })
+                .is_err()
+            {
+                // Transport gone: the worker is dead. Reads fail over to
+                // the other copy (which did get its write).
+                self.shared.workers[w].dead.store(true, Ordering::Relaxed);
+            }
+        }
+
+        MutationOutcome {
+            applied: true,
+            rewritten_buckets: effect.rewritten.clone(),
+            created_buckets: effect.created.clone(),
+            freed_buckets: effect.freed.clone(),
+        }
+    }
+
+    /// Encodes bucket `b`'s records into page images, one per block. An
+    /// empty bucket still occupies one (empty) block, mirroring
+    /// `build_inner`'s layout so both copies stay positionally aligned.
+    fn encode_bucket(&self, gf: &GridFile, b: u32) -> Vec<Vec<u8>> {
+        let cap = gf.bucket_capacity().max(1);
+        let dim = gf.dim();
+        let payload = gf.config().payload_bytes;
+        let page_bytes = gf.config().page_bytes;
+        let records = gf.bucket_records(b);
+        let mut pages = Vec::with_capacity(records.len().div_ceil(cap).max(1));
+        let mut chunks = records.chunks(cap);
+        loop {
+            let chunk = chunks.next().unwrap_or(&[]);
+            pages.push(encode_page(chunk, dim, payload, page_bytes));
+            if chunks.len() == 0 {
+                return pages;
+            }
+        }
+    }
+
+    /// Rewrites one copy's block list to hold `pages`: overwrites the
+    /// shared prefix in place, appends fresh blocks for growth, and
+    /// truncates the list on shrink (orphaning the tail blocks). Both
+    /// copies of a bucket shrink and grow identically, preserving the
+    /// positional block alignment scrub repair relies on.
+    fn rewrite_copy(
+        copy: &mut (usize, Vec<u32>),
+        pages: &[Vec<u8>],
+        next_block: &mut [u32],
+        writes: &mut [Vec<(u32, Vec<u8>)>],
+    ) {
+        let (w, blocks) = (copy.0, &mut copy.1);
+        for (i, page) in pages.iter().enumerate() {
+            if i < blocks.len() {
+                writes[w].push((blocks[i], page.clone()));
+            } else {
+                let b = next_block[w];
+                next_block[w] += 1;
+                writes[w].push((b, page.clone()));
+                blocks.push(b);
+            }
+        }
+        blocks.truncate(pages.len());
+    }
+
+    /// Allocates the next block id on worker `w` and queues its write.
+    fn append_block(
+        w: usize,
+        page: Vec<u8>,
+        next_block: &mut [u32],
+        writes: &mut [Vec<(u32, Vec<u8>)>],
+    ) -> u32 {
+        let b = next_block[w];
+        next_block[w] += 1;
+        writes[w].push((b, page));
+        b
+    }
+
+    /// Folds the attached WAL into a fresh checkpoint image: saves the
+    /// current directory next to the WAL (atomically, via a temp file and
+    /// rename), then resets the WAL. Recovery after this point loads the
+    /// image and replays an empty log. Returns `Ok(false)` when no WAL is
+    /// attached (nothing to checkpoint). Mutations are blocked for the
+    /// duration; queries keep flowing.
+    pub fn checkpoint(&self) -> Result<bool, EngineError> {
+        let mut wal = self.wal.lock().expect("engine wal lock");
+        let Some(w) = wal.as_mut() else {
+            return Ok(false);
+        };
+        let dir = w
+            .path()
+            .parent()
+            .map(std::path::Path::to_path_buf)
+            .unwrap_or_default();
+        let image = self.catalog.read().expect("engine catalog lock").gf.clone();
+        let tmp = dir.join(format!("{CHECKPOINT_FILE}.tmp"));
+        image.save(&tmp).map_err(EngineError::Checkpoint)?;
+        std::fs::rename(&tmp, dir.join(CHECKPOINT_FILE))
+            .map_err(|e| EngineError::Checkpoint(e.into()))?;
+        w.reset().map_err(EngineError::Wal)?;
+        Ok(true)
     }
 
     /// Folds one worker reply into its pending query, matched to its
@@ -2585,5 +2908,169 @@ mod tests {
         assert_eq!(cfg.resilience.max_retransmits, 7);
         assert_eq!(cfg.resilience.max_timeout_strikes, 1);
         assert_eq!(cfg.resilience.seen_seq_window, 1);
+    }
+
+    /// Everything the whole domain holds, via the engine.
+    fn all_ids(engine: &ParallelGridFile) -> Vec<u64> {
+        engine
+            .query(&Rect::new2(0.0, 0.0, 100.0, 100.0))
+            .records
+            .iter()
+            .map(|r| r.id)
+            .collect()
+    }
+
+    #[test]
+    fn insert_then_query_reads_your_write() {
+        let (_gf, engine, recs) = build_engine(4);
+        let fresh = Record::new(10_000, Point::new2(42.5, 42.5));
+        let out = engine.insert(fresh).unwrap();
+        assert!(out.applied);
+        assert!(!out.rewritten_buckets.is_empty() || !out.created_buckets.is_empty());
+        let q = Rect::new2(40.0, 40.0, 45.0, 45.0);
+        let got: Vec<u64> = engine.query(&q).records.iter().map(|r| r.id).collect();
+        assert!(got.contains(&10_000), "insert must be query-visible");
+
+        let out = engine.delete(10_000, &Point::new2(42.5, 42.5)).unwrap();
+        assert!(out.applied);
+        let got: Vec<u64> = engine.query(&q).records.iter().map(|r| r.id).collect();
+        assert!(!got.contains(&10_000), "delete must be query-visible");
+
+        // Deleting an absent record applies cleanly but changes nothing.
+        let out = engine.delete(99_999, &Point::new2(1.0, 1.0)).unwrap();
+        assert!(!out.applied);
+        assert_eq!(engine.len(), recs.len() as u64);
+        assert_eq!(engine.shutdown(), 4);
+    }
+
+    #[test]
+    fn mutations_split_and_merge_buckets_through_the_engine() {
+        let (_gf, engine, recs) = build_engine(4);
+        // Hammer one spot: capacity-8 buckets must split repeatedly.
+        let mut created = 0usize;
+        for i in 0..120u64 {
+            let p = Point::new2(30.0 + (i % 40) as f64 * 0.01, 70.0 + (i / 40) as f64 * 0.01);
+            let out = engine.insert(Record::new(20_000 + i, p)).unwrap();
+            created += out.created_buckets.len();
+        }
+        assert!(created > 0, "120 clustered inserts must split buckets");
+        assert_eq!(engine.len(), recs.len() as u64 + 120);
+
+        let expected: Vec<u64> = {
+            let mut ids: Vec<u64> = recs.iter().map(|r| r.id).collect();
+            ids.extend(20_000..20_120);
+            ids.sort_unstable();
+            ids
+        };
+        assert_eq!(all_ids(&engine), expected, "no records lost or duplicated");
+
+        // Drain the hot spot again: merges must free buckets.
+        let mut freed = 0usize;
+        for i in 0..120u64 {
+            let p = Point::new2(30.0 + (i % 40) as f64 * 0.01, 70.0 + (i / 40) as f64 * 0.01);
+            let out = engine.delete(20_000 + i, &p).unwrap();
+            assert!(out.applied);
+            freed += out.freed_buckets.len();
+        }
+        assert!(freed > 0, "draining the hot spot must merge buckets");
+        let expected: Vec<u64> = {
+            let mut ids: Vec<u64> = recs.iter().map(|r| r.id).collect();
+            ids.sort_unstable();
+            ids
+        };
+        assert_eq!(all_ids(&engine), expected, "back to the original set");
+        engine.snapshot_grid().check_invariants();
+        assert_eq!(engine.shutdown(), 4);
+    }
+
+    #[test]
+    fn replicated_mutations_place_both_copies_and_survive_a_dead_worker() {
+        let (_gf, engine, recs) = build_replicated_engine(
+            4,
+            fast_cfg().resilience(|r| r.with_faults(FaultPlan::kill_first(1))),
+        );
+        for i in 0..90u64 {
+            let p = Point::new2(60.0 + (i % 30) as f64 * 0.01, 20.0 + (i / 30) as f64 * 0.01);
+            engine.insert(Record::new(30_000 + i, p)).unwrap();
+        }
+        // Every bucket — including split-created ones — has two copies on
+        // distinct workers.
+        {
+            let cat = engine.catalog.read().unwrap();
+            for (id, pl) in &cat.placement {
+                let (rw, rblocks) = pl
+                    .replica
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("bucket {id} lost its replica after mutations"));
+                assert_ne!(pl.primary.0, *rw, "bucket {id} replica on its own worker");
+                assert_eq!(
+                    pl.primary.1.len(),
+                    rblocks.len(),
+                    "bucket {id} copies must stay positionally aligned"
+                );
+            }
+        }
+        // Worker 0 dies after its first reply; chained replicas must still
+        // answer with the full record set (including every fresh insert).
+        let mut expected: Vec<u64> = recs.iter().map(|r| r.id).collect();
+        expected.extend(30_000..30_090);
+        expected.sort_unstable();
+        // First query trips the kill fault; the second plans around the
+        // corpse entirely.
+        let _ = engine.query(&Rect::new2(0.0, 0.0, 100.0, 100.0));
+        let out = engine.query(&Rect::new2(0.0, 0.0, 100.0, 100.0));
+        assert!(!out.incomplete, "replicas must cover the dead worker");
+        let got: Vec<u64> = out.records.iter().map(|r| r.id).collect();
+        assert_eq!(got, expected, "failover reads lose or duplicate nothing");
+        assert_eq!(engine.shutdown(), 4);
+    }
+
+    #[test]
+    fn wal_and_checkpoint_round_trip_through_recovery() {
+        use pargrid_gridfile::DurableGridFile;
+        let dir = std::env::temp_dir().join(format!(
+            "pargrid_engine_wal_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let (_gf, engine, _recs) = build_engine(3);
+        let cfg = engine.snapshot_grid().config().clone();
+        engine.attach_wal(
+            Wal::open_append(dir.join(pargrid_gridfile::durable::WAL_FILE), 0).unwrap(),
+        );
+        for i in 0..25u64 {
+            engine
+                .insert(Record::new(40_000 + i, Point::new2(i as f64 + 0.5, 50.0)))
+                .unwrap();
+        }
+        engine.delete(40_003, &Point::new2(3.5, 50.0)).unwrap();
+        assert!(engine.wal_len_bytes() > 0);
+
+        // Mid-stream checkpoint folds the log into the image...
+        assert!(engine.checkpoint().unwrap());
+        assert_eq!(engine.wal_len_bytes(), 0);
+        // ...and later mutations land in the fresh WAL.
+        engine
+            .insert(Record::new(50_000, Point::new2(99.0, 99.0)))
+            .unwrap();
+        assert!(engine.wal_len_bytes() > 0);
+
+        // Recovery = checkpoint image + WAL replay: byte-for-byte the same
+        // record set the live engine holds.
+        let live = engine.snapshot_grid();
+        let recovered = DurableGridFile::open(&dir, cfg).unwrap();
+        assert_eq!(recovered.recovered_ops(), 1);
+        assert_eq!(recovered.grid().len(), live.len());
+        let whole = Rect::new2(0.0, 0.0, 100.0, 100.0);
+        assert_eq!(
+            recovered.grid().range_query(&whole).1,
+            live.range_query(&whole).1,
+            "recovered grid must answer identically to the live engine"
+        );
+        assert_eq!(engine.shutdown(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -91,6 +91,13 @@ pub enum EngineError {
     /// [`crate::engine::QuerySession::try_query`] reports this instead of
     /// hanging on (or panicking over) closed worker transports.
     SessionClosed,
+    /// Appending to or resetting the attached write-ahead log failed. The
+    /// mutation was **not** applied — the write-ahead discipline refuses to
+    /// mutate state it cannot first make durable.
+    Wal(io::Error),
+    /// Writing or renaming the checkpoint image failed. The WAL is left
+    /// untouched, so recovery still replays every logged operation.
+    Checkpoint(pargrid_gridfile::PersistError),
 }
 
 impl fmt::Display for EngineError {
@@ -99,11 +106,21 @@ impl fmt::Display for EngineError {
             EngineError::SessionClosed => {
                 write!(f, "query session is closed (engine shut down)")
             }
+            EngineError::Wal(e) => write!(f, "write-ahead log I/O error: {e}"),
+            EngineError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
         }
     }
 }
 
-impl Error for EngineError {}
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Wal(e) => Some(e),
+            EngineError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

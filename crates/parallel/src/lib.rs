@@ -89,8 +89,8 @@ pub mod worker;
 pub use cache::{BlockBuf, BufferPool, LruCache};
 pub use disk::{BlockCost, DiskModel, DiskParams};
 pub use engine::{
-    EngineConfig, LatencyConfig, NetParams, ObsConfig, ParallelGridFile, QueryOutcome,
-    QuerySession, ResilienceConfig, RunStats,
+    EngineConfig, LatencyConfig, MutationOutcome, NetParams, ObsConfig, ParallelGridFile,
+    QueryOutcome, QuerySession, ResilienceConfig, RunStats,
 };
 pub use error::{EngineError, StoreError};
 pub use fault::{FaultKind, FaultPlan, WorkerFault};
@@ -105,8 +105,8 @@ pub use store::BlockStore;
 /// every fallible surface reports.
 pub mod prelude {
     pub use crate::engine::{
-        EngineConfig, LatencyConfig, NetParams, ObsConfig, ParallelGridFile, QueryOutcome,
-        QuerySession, ResilienceConfig, RunStats,
+        EngineConfig, LatencyConfig, MutationOutcome, NetParams, ObsConfig, ParallelGridFile,
+        QueryOutcome, QuerySession, ResilienceConfig, RunStats,
     };
     pub use crate::error::{EngineError, StoreError};
     pub use crate::fault::{FaultKind, FaultPlan, WorkerFault};

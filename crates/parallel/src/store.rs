@@ -167,6 +167,26 @@ impl BlockStore {
         }
     }
 
+    /// Writes a block that may or may not already exist: an existing block
+    /// is overwritten ([`BlockStore::overwrite`] semantics), a new one is
+    /// appended ([`BlockStore::put`] semantics) — the mutation path's write
+    /// surface, where a bucket rewrite touches existing blocks and a bucket
+    /// split appends fresh ones in the same batch.
+    ///
+    /// # Panics
+    /// Panics (like `put`) if a *new* block id leaves a gap in a file store.
+    pub fn upsert(&mut self, block: u32, bytes: Vec<u8>) -> io::Result<()> {
+        let exists = match &self.backend {
+            Backend::Memory(map) => map.contains_key(&block),
+            Backend::File { n_blocks, .. } => block < *n_blocks,
+        };
+        if exists {
+            self.overwrite(block, bytes)
+        } else {
+            self.put(block, bytes)
+        }
+    }
+
     /// Flips a byte of the stored block *without* updating its checksum —
     /// the fault-injection hook behind [`crate::FaultKind::CorruptBlock`].
     /// Returns whether the block existed (and was corrupted).

@@ -348,13 +348,20 @@ impl WorkerState {
         }
     }
 
-    /// Applies a [`ToWorker::WriteRaw`]: overwrites local blocks with
-    /// healthy replica bytes, refreshing their checksums.
+    /// Applies a [`ToWorker::WriteRaw`]: writes local blocks with fresh
+    /// bytes (scrub repair material or a mutation's rewritten/appended
+    /// pages), refreshing their checksums. Every successful write
+    /// invalidates the block in its disk's buffer cache — the next read
+    /// must pay a miss and fetch the new bytes instead of being billed as a
+    /// hit on the stale cached identity.
     fn write_raw(&mut self, blocks: Vec<(u32, Vec<u8>)>) {
+        let d = self.disks.len();
         for (b, bytes) in blocks {
-            // A failed overwrite (unknown block, size mismatch) leaves the
-            // block corrupt; the next read reports it again.
-            let _ = self.store.overwrite(b, bytes);
+            // A failed write (size mismatch) leaves the block as-is; the
+            // next read reports it again.
+            if self.store.upsert(b, bytes).is_ok() {
+                self.disks[b as usize % d].invalidate(b / d as u32);
+            }
         }
     }
 
@@ -978,6 +985,48 @@ mod tests {
         assert_eq!(reply.records.len(), 10);
         to_tx.send(ToWorker::Shutdown).expect("send shutdown");
         handle.join().expect("worker joins");
+    }
+
+    #[test]
+    fn rewritten_block_is_not_served_stale_from_cache() {
+        // Warm the cache on block 0, rewrite its bytes via the WriteRaw
+        // path, re-read: the reply must carry the NEW records (checksum
+        // verified against the new bytes) and be charged a cache MISS — the
+        // stale cached identity must not be billed as a hit.
+        let mut w = worker_with_two_blocks();
+        let all = Rect::new2(0.0, 0.0, 100.0, 100.0);
+        assert_eq!(w.handle_read(0, vec![0], &all).cache_hits, 0);
+        assert_eq!(w.handle_read(1, vec![0], &all).cache_hits, 1, "warmed");
+        let fresh: Vec<Record> = (100..105)
+            .map(|i| Record::new(i, Point::new2(1.0, 1.0)))
+            .collect();
+        w.write_raw(vec![(0, encode_page(&fresh, 2, 0, 4096))]);
+        let reread = w.handle_read(2, vec![0], &all);
+        assert!(
+            reread.error.is_none(),
+            "checksum must match the new bytes: {:?}",
+            reread.error
+        );
+        let ids: Vec<u64> = reread.records.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![100, 101, 102, 103, 104], "fresh bytes served");
+        assert_eq!(reread.cache_hits, 0, "rewritten block pays a miss");
+        // The re-read re-cached the (new) block: hits resume.
+        assert_eq!(w.handle_read(3, vec![0], &all).cache_hits, 1);
+    }
+
+    #[test]
+    fn write_raw_appends_fresh_blocks() {
+        // A mutation's bucket split ships blocks the worker has never seen;
+        // WriteRaw upserts them and they serve like any bulk-loaded block.
+        let mut w = worker_with_two_blocks();
+        let recs: Vec<Record> = (50..53)
+            .map(|i| Record::new(i, Point::new2(2.0, 2.0)))
+            .collect();
+        w.write_raw(vec![(2, encode_page(&recs, 2, 0, 4096))]);
+        let all = Rect::new2(0.0, 0.0, 100.0, 100.0);
+        let reply = w.handle_read(7, vec![0, 1, 2], &all);
+        assert!(reply.error.is_none(), "{:?}", reply.error);
+        assert_eq!(reply.records.len(), 23, "20 original + 3 appended");
     }
 
     #[test]

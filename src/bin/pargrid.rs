@@ -13,8 +13,11 @@
 //! pargrid evaluate my.pgf --method minimax --disks 8 --trace out.json --metrics out.prom
 //! pargrid evaluate my.pgf --method minimax --disks 16 --replicate --chaos 7 --deadline-us 2000000
 //! pargrid serve my.pgf --addr 127.0.0.1:7878 --method minimax --disks 16   # TCP server
+//! pargrid serve my.pgf --method dm --disks 4 --wal state/      # durable: WAL + checkpoint
 //! pargrid query --addr 127.0.0.1:7878 --range 0..500,0..500    # query over the wire
 //! pargrid query --addr 127.0.0.1:7878 --keys 137.5,*           # remote partial match
+//! pargrid query --addr 127.0.0.1:7878 --insert 9001,137.5,42.0 # insert over the wire
+//! pargrid query --addr 127.0.0.1:7878 --delete 9001,137.5,42.0 # ... and delete again
 //! pargrid query --addr 127.0.0.1:7878 --stats                  # Prometheus metrics
 //! pargrid query --addr 127.0.0.1:7878 --shutdown               # graceful stop
 //! ```
@@ -36,8 +39,8 @@ fn usage() -> ExitCode {
          pargrid pmatch FILE.pgf --keys V|*,V|*[,...]\n  \
          pargrid decluster FILE.pgf --method M --disks N [--seed N] [--out FILE.csv]\n  \
          pargrid evaluate FILE.pgf --method M --disks N [--ratio R] [--queries N] [--seed N] [--clients K] [--replicate] [--fail K] [--chaos SEED] [--deadline-us N] [--trace FILE.json] [--metrics FILE.prom]\n  \
-         pargrid serve FILE.pgf --method M --disks N [--addr H:P] [--seed N] [--queue N] [--dispatchers K] [--pace-us N] [--replicate]\n  \
-         pargrid query --addr H:P --range LO..HI[,...] | --keys V|*[,...] | --ping | --stats | --shutdown\n\n  \
+         pargrid serve FILE.pgf --method M --disks N [--addr H:P] [--seed N] [--queue N] [--dispatchers K] [--pace-us N] [--replicate] [--wal DIR]\n  \
+         pargrid query --addr H:P --range LO..HI[,...] | --keys V|*[,...] | --insert ID,C[,...] | --delete ID,C[,...] | --ping | --stats | --shutdown\n\n  \
          methods: dm fx gdm hcam zcam gcam scan ssp mst kl minimax minimax-euclid"
     );
     ExitCode::FAILURE
@@ -372,7 +375,56 @@ fn cmd_query_remote(addr: &str, args: &[String]) -> CliResult {
         print_remote_reply(&reply, has_flag(args, "--count-only"));
         return Ok(());
     }
-    Err("remote query needs --range, --keys, --ping, --stats, or --shutdown".into())
+    if let Some(spec) = flag_value(args, "--insert")? {
+        let (id, key) = parse_mutation(spec)?;
+        let ack = client.insert(id, &key).map_err(|e| e.to_string())?;
+        print_mutation_ack("insert", id, &ack);
+        return Ok(());
+    }
+    if let Some(spec) = flag_value(args, "--delete")? {
+        let (id, key) = parse_mutation(spec)?;
+        let ack = client.delete(id, &key).map_err(|e| e.to_string())?;
+        print_mutation_ack("delete", id, &ack);
+        return Ok(());
+    }
+    Err(
+        "remote query needs --range, --keys, --insert, --delete, --ping, --stats, or --shutdown"
+            .into(),
+    )
+}
+
+/// Parses `ID,C1,C2[,...]` — a record id followed by its coordinates.
+fn parse_mutation(spec: &str) -> Result<(u64, Vec<f64>), String> {
+    let mut parts = spec.split(',');
+    let id: u64 = parts
+        .next()
+        .filter(|s| !s.is_empty())
+        .ok_or("mutation needs ID,COORD[,...]")?
+        .parse()
+        .map_err(|_| format!("bad record id in {spec}"))?;
+    let key: Result<Vec<f64>, String> = parts
+        .map(|p| {
+            p.parse::<f64>()
+                .ok()
+                .filter(|c| c.is_finite())
+                .ok_or_else(|| format!("bad coordinate {p}"))
+        })
+        .collect();
+    let key = key?;
+    if key.is_empty() {
+        return Err("mutation needs at least one coordinate".into());
+    }
+    Ok((id, key))
+}
+
+fn print_mutation_ack(verb: &str, id: u64, ack: &pargrid::net::MutationAck) {
+    println!(
+        "{verb} {id}: {} ({} buckets rewritten, {} created, {} freed)",
+        if ack.applied { "applied" } else { "no-op" },
+        ack.rewritten,
+        ack.created,
+        ack.freed
+    );
 }
 
 fn cmd_query(args: &[String]) -> CliResult {
@@ -455,6 +507,33 @@ fn cmd_serve(args: &[String]) -> CliResult {
     if replicate && disks < 2 {
         return Err("--replicate needs at least 2 disks".into());
     }
+    let wal_dir = flag_value(args, "--wal")?.map(|s| s.to_string());
+
+    // Durable mode: the --wal directory is authoritative. First run seeds
+    // its checkpoint from FILE.pgf; later runs recover checkpoint ⊕ WAL
+    // (the .pgf is only a template after that). Declustering is rebuilt
+    // from the *recovered* grid so placement matches the live buckets.
+    let (gf, wal) = match &wal_dir {
+        Some(dir) => {
+            let dirp = std::path::Path::new(dir);
+            let ckpt = dirp.join(pargrid::gridfile::durable::CHECKPOINT_FILE);
+            if !ckpt.exists() {
+                std::fs::create_dir_all(dirp).map_err(|e| format!("{dir}: {e}"))?;
+                gf.save(&ckpt)
+                    .map_err(|e| format!("cannot seed checkpoint in {dir}: {e}"))?;
+            }
+            let durable = pargrid::gridfile::DurableGridFile::open(dirp, gf.config().clone())
+                .map_err(|e| format!("cannot recover {dir}: {e}"))?;
+            println!(
+                "recovered {dir}: {} records ({} WAL ops replayed)",
+                durable.grid().len(),
+                durable.recovered_ops()
+            );
+            let (gf, wal) = durable.into_parts();
+            (gf, Some(wal))
+        }
+        None => (gf, None),
+    };
 
     let input = DeclusterInput::from_grid_file(&gf);
     let gf = std::sync::Arc::new(gf);
@@ -469,8 +548,12 @@ fn cmd_serve(args: &[String]) -> CliResult {
             EngineConfig::default(),
         )
     };
+    if let Some(wal) = wal {
+        engine.attach_wal(wal);
+    }
+    let engine = std::sync::Arc::new(engine);
     let server = pargrid::net::Server::start(
-        std::sync::Arc::new(engine),
+        std::sync::Arc::clone(&engine),
         addr,
         pargrid::net::ServerConfig {
             queue_capacity: queue,
@@ -497,6 +580,16 @@ fn cmd_serve(args: &[String]) -> CliResult {
     // everything; the final metrics document goes to stdout so operators
     // (and CI) see the run's counters.
     let doc = server.join();
+    if wal_dir.is_some() {
+        // Fold the WAL into a fresh checkpoint so the next start replays
+        // nothing. A failure here is not fatal — the WAL still holds every
+        // acknowledged mutation and recovery replays it.
+        match engine.checkpoint() {
+            Ok(true) => println!("checkpointed {} records", engine.len()),
+            Ok(false) => {}
+            Err(e) => eprintln!("warning: final checkpoint failed: {e}"),
+        }
+    }
     println!("server stopped; final metrics:");
     print!("{doc}");
     Ok(())
