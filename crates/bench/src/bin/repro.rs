@@ -31,6 +31,7 @@ const EXPERIMENTS: &[&str] = &[
     "degradation",
     "resilience",
     "serving",
+    "rebalance",
     "ablation-curves",
     "ablation-minimax",
     "ablation-cost",
@@ -112,6 +113,7 @@ fn main() -> ExitCode {
             "degradation" => exp::degradation::run(&params),
             "resilience" => exp::resilience::run(&params),
             "serving" => exp::serving::run(&params),
+            "rebalance" => exp::rebalance::run(&params),
             "ablation-curves" => exp::ablations::run_curves(&params),
             "ablation-minimax" => exp::ablations::run_minimax(&params),
             "ablation-cost" => exp::ablations::run_cost(&params),

@@ -12,7 +12,10 @@ use std::thread;
 use std::time::Duration;
 
 use crate::frame::{read_frame, write_frame, FrameError};
-use crate::proto::{MutationAck, ProtoError, RecordsReply, Request, Response, WireError};
+use crate::proto::{
+    MutationAck, ProtoError, RebalanceCmd, RebalanceSummary, RecordsReply, Request, Response,
+    WireError,
+};
 
 /// Everything a request round-trip can fail with.
 ///
@@ -183,6 +186,22 @@ impl Client {
         match self.round_trip(&Request::Stats)? {
             Response::StatsText(s) => Ok(s),
             _ => Err(ClientError::Unexpected("wanted StatsText")),
+        }
+    }
+
+    /// Asks the server to resize its worker set (`dry_run` plans without
+    /// moving data). The server must have been started with
+    /// `allow_remote_rebalance`; a refused or invalid request comes back
+    /// as `ClientError::Server`. This call blocks until the migration
+    /// completes — queries keep being answered by the server throughout.
+    pub fn rebalance(
+        &mut self,
+        cmd: RebalanceCmd,
+        dry_run: bool,
+    ) -> Result<RebalanceSummary, ClientError> {
+        match self.round_trip(&Request::Rebalance { cmd, dry_run })? {
+            Response::Rebalance(r) => Ok(r),
+            _ => Err(ClientError::Unexpected("wanted Rebalance")),
         }
     }
 

@@ -38,7 +38,10 @@ pub use frame::{
     read_frame, write_frame, Frame, FrameBuilder, FrameError, MAX_PAYLOAD, PROTOCOL_VERSION,
 };
 pub use loadgen::{LoadQuery, LoadgenConfig, LoadgenReport};
-pub use proto::{MutationAck, ProtoError, RecordsReply, Request, Response, WireError};
+pub use proto::{
+    MutationAck, ProtoError, RebalanceCmd, RebalanceSummary, RecordsReply, Request, Response,
+    WireError,
+};
 pub use server::{Server, ServerConfig};
 
 /// The crate's most commonly used types, flat: client/server construction
@@ -48,6 +51,9 @@ pub use server::{Server, ServerConfig};
 pub mod prelude {
     pub use crate::client::{Client, ClientError};
     pub use crate::frame::{Frame, FrameBuilder, FrameError};
-    pub use crate::proto::{MutationAck, ProtoError, RecordsReply, Request, Response, WireError};
+    pub use crate::proto::{
+        MutationAck, ProtoError, RebalanceCmd, RebalanceSummary, RecordsReply, Request, Response,
+        WireError,
+    };
     pub use crate::server::{Server, ServerConfig};
 }

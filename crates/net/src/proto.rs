@@ -1,7 +1,7 @@
 //! Typed requests and replies on top of [`crate::frame`].
 //!
-//! Message type bytes: requests are `0x01..=0x05`, responses set the high
-//! bit (`0x81..=0x85`). Payload encodings are fixed little-endian layouts
+//! Message type bytes: requests are `0x01..=0x08`, responses set the high
+//! bit (`0x81..=0x87`). Payload encodings are fixed little-endian layouts
 //! described on each variant. Decoding is strict — trailing bytes, short
 //! payloads, non-finite coordinates, unordered intervals, and out-of-range
 //! dimensionalities are all typed errors, because the geometry types the
@@ -31,6 +31,10 @@ pub const REQ_INSERT: u8 = 0x06;
 /// Request: delete the record with this id at this key. Payload: `id u64`,
 /// `dim u16`, then `dim × coord f64`.
 pub const REQ_DELETE: u8 = 0x07;
+/// Request: elastic rebalance (admin; servers may refuse). Payload:
+/// `op u8` (1 = add workers, 2 = remove worker), `value u32`,
+/// `dry_run u8` (0/1).
+pub const REQ_REBALANCE: u8 = 0x08;
 
 /// Response: records. Payload: `incomplete u8`, `elapsed_us u64`,
 /// `comm_us u64`, `response_blocks u64`, `total_blocks u64`,
@@ -49,6 +53,11 @@ pub const RESP_SHUTDOWN_ACK: u8 = 0x85;
 /// Response: mutation acknowledged. Payload: `applied u8`,
 /// `rewritten u32`, `created u32`, `freed u32` (bucket counts).
 pub const RESP_MUTATION: u8 = 0x86;
+/// Response: rebalance plan (and, unless a dry run, its execution)
+/// summary. Payload: `applied u8`, `moves u32`, `moved_bytes u64`,
+/// `full_moves u32`, `active_workers u32`, `predicted_objective f64`,
+/// `baseline_objective f64`.
+pub const RESP_REBALANCE: u8 = 0x87;
 
 const ERR_MALFORMED: u8 = 1;
 const ERR_OVERLOADED: u8 = 2;
@@ -95,6 +104,22 @@ pub enum Request {
         /// One coordinate per dimension.
         key: Vec<f64>,
     },
+    /// Resize the cluster (admin; servers may refuse, like `Shutdown`).
+    Rebalance {
+        /// What to do with the worker set.
+        cmd: RebalanceCmd,
+        /// Plan and report without moving any data or changing the layout.
+        dry_run: bool,
+    },
+}
+
+/// The resize a [`Request::Rebalance`] asks for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RebalanceCmd {
+    /// Activate this many standby workers and spread load onto them.
+    AddWorkers(u32),
+    /// Drain this worker slot and deactivate it.
+    RemoveWorker(u32),
 }
 
 /// Everything a server can answer with.
@@ -115,6 +140,29 @@ pub enum Response {
     ShutdownAck,
     /// Mutation applied (or cleanly found nothing to do).
     Mutation(MutationAck),
+    /// Rebalance planned (and executed unless it was a dry run).
+    Rebalance(RebalanceSummary),
+}
+
+/// What a rebalance did (or, for a dry run, would do) — the wire echo of
+/// the engine's `RebalanceReport`, minus per-move detail.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RebalanceSummary {
+    /// False for a dry run: the plan below was computed but not executed.
+    pub applied: bool,
+    /// Bucket copies moved (primary + replica).
+    pub moves: u32,
+    /// Page bytes those moves copied.
+    pub moved_bytes: u64,
+    /// Primary moves a full re-decluster of the target layout would have
+    /// made — the denominator of the bounded-movement claim.
+    pub full_moves: u32,
+    /// Active workers after the resize.
+    pub active_workers: u32,
+    /// Co-residency objective of the repaired layout (lower is better).
+    pub predicted_objective: f64,
+    /// Co-residency objective of the full re-decluster baseline.
+    pub baseline_objective: f64,
 }
 
 /// What an insert/delete did, in bucket counts — the wire echo of the
@@ -336,6 +384,17 @@ impl Request {
             Request::Shutdown => (REQ_SHUTDOWN, Vec::new()),
             Request::Insert { id, key } => (REQ_INSERT, encode_keyed(*id, key)),
             Request::Delete { id, key } => (REQ_DELETE, encode_keyed(*id, key)),
+            Request::Rebalance { cmd, dry_run } => {
+                let (op, value) = match cmd {
+                    RebalanceCmd::AddWorkers(k) => (1u8, *k),
+                    RebalanceCmd::RemoveWorker(w) => (2u8, *w),
+                };
+                let mut p = Vec::with_capacity(6);
+                p.push(op);
+                p.extend_from_slice(&value.to_le_bytes());
+                p.push(*dry_run as u8);
+                (REQ_REBALANCE, p)
+            }
         }
     }
 
@@ -381,6 +440,21 @@ impl Request {
             REQ_DELETE => {
                 let (id, key) = decode_keyed(&mut c)?;
                 Request::Delete { id, key }
+            }
+            REQ_REBALANCE => {
+                let op = c.u8()?;
+                let value = c.u32()?;
+                let cmd = match op {
+                    1 => RebalanceCmd::AddWorkers(value),
+                    2 => RebalanceCmd::RemoveWorker(value),
+                    t => return Err(err(format!("bad rebalance op {t}"))),
+                };
+                let dry_run = match c.u8()? {
+                    0 => false,
+                    1 => true,
+                    t => return Err(err(format!("bad dry-run flag {t}"))),
+                };
+                Request::Rebalance { cmd, dry_run }
             }
             t => return Err(err(format!("unknown request type {t:#04x}"))),
         };
@@ -473,6 +547,7 @@ impl Response {
             },
             Response::ShutdownAck => 0,
             Response::Mutation(_) => 13,
+            Response::Rebalance(_) => 37,
         }
     }
 
@@ -545,6 +620,16 @@ impl Response {
                 p.extend_from_slice(&a.created.to_le_bytes());
                 p.extend_from_slice(&a.freed.to_le_bytes());
                 RESP_MUTATION
+            }
+            Response::Rebalance(r) => {
+                p.push(r.applied as u8);
+                p.extend_from_slice(&r.moves.to_le_bytes());
+                p.extend_from_slice(&r.moved_bytes.to_le_bytes());
+                p.extend_from_slice(&r.full_moves.to_le_bytes());
+                p.extend_from_slice(&r.active_workers.to_le_bytes());
+                p.extend_from_slice(&r.predicted_objective.to_le_bytes());
+                p.extend_from_slice(&r.baseline_objective.to_le_bytes());
+                RESP_REBALANCE
             }
         }
     }
@@ -638,6 +723,22 @@ impl Response {
                     freed: c.u32()?,
                 })
             }
+            RESP_REBALANCE => {
+                let applied = match c.u8()? {
+                    0 => false,
+                    1 => true,
+                    t => return Err(err(format!("bad applied flag {t}"))),
+                };
+                Response::Rebalance(RebalanceSummary {
+                    applied,
+                    moves: c.u32()?,
+                    moved_bytes: c.u64()?,
+                    full_moves: c.u32()?,
+                    active_workers: c.u32()?,
+                    predicted_objective: c.finite_f64("predicted objective")?,
+                    baseline_objective: c.finite_f64("baseline objective")?,
+                })
+            }
             t => return Err(err(format!("unknown response type {t:#04x}"))),
         };
         c.done()?;
@@ -679,6 +780,14 @@ mod tests {
             id: u64::MAX,
             key: vec![0.0, 0.0, 7.25],
         });
+        rt_request(Request::Rebalance {
+            cmd: RebalanceCmd::AddWorkers(2),
+            dry_run: false,
+        });
+        rt_request(Request::Rebalance {
+            cmd: RebalanceCmd::RemoveWorker(u32::MAX),
+            dry_run: true,
+        });
     }
 
     #[test]
@@ -715,6 +824,48 @@ mod tests {
             freed: 0,
         }));
         rt_response(Response::Mutation(MutationAck::default()));
+        rt_response(Response::Rebalance(RebalanceSummary {
+            applied: true,
+            moves: 17,
+            moved_bytes: 1 << 40,
+            full_moves: 80,
+            active_workers: 9,
+            predicted_objective: 0.625,
+            baseline_objective: 0.5,
+        }));
+        rt_response(Response::Rebalance(RebalanceSummary::default()));
+    }
+
+    #[test]
+    fn hostile_rebalance_payloads_yield_errors_not_panics() {
+        // Unknown op byte.
+        let mut p = vec![3u8];
+        p.extend_from_slice(&1u32.to_le_bytes());
+        p.push(0);
+        assert!(Request::decode(REQ_REBALANCE, &p).is_err());
+        // Bad dry-run flag.
+        let mut p = vec![1u8];
+        p.extend_from_slice(&1u32.to_le_bytes());
+        p.push(7);
+        assert!(Request::decode(REQ_REBALANCE, &p).is_err());
+        // Truncated and trailing-garbage payloads.
+        assert!(Request::decode(REQ_REBALANCE, &[1u8, 0]).is_err());
+        let (t, mut p) = Request::Rebalance {
+            cmd: RebalanceCmd::AddWorkers(1),
+            dry_run: false,
+        }
+        .encode();
+        p.push(0);
+        assert!(Request::decode(t, &p).is_err());
+        // NaN objective in the summary is rejected at decode time.
+        let mut p = vec![1u8];
+        p.extend_from_slice(&1u32.to_le_bytes());
+        p.extend_from_slice(&0u64.to_le_bytes());
+        p.extend_from_slice(&1u32.to_le_bytes());
+        p.extend_from_slice(&1u32.to_le_bytes());
+        p.extend_from_slice(&f64::NAN.to_le_bytes());
+        p.extend_from_slice(&0.5f64.to_le_bytes());
+        assert!(Response::decode(RESP_REBALANCE, &p).is_err());
     }
 
     #[test]

@@ -38,10 +38,12 @@ use std::time::{Duration, Instant};
 use pargrid_geom::{Point, Rect};
 use pargrid_gridfile::Record;
 use pargrid_obs::{names, AtomicHistogram, PromWriter};
-use pargrid_parallel::ParallelGridFile;
+use pargrid_parallel::{ParallelGridFile, RebalanceOp};
 
 use crate::frame::{read_frame, FrameError};
-use crate::proto::{MutationAck, RecordsReply, Request, Response, WireError};
+use crate::proto::{
+    MutationAck, RebalanceCmd, RebalanceSummary, RecordsReply, Request, Response, WireError,
+};
 
 /// Tunables for [`Server::start`].
 #[derive(Clone, Debug)]
@@ -65,6 +67,10 @@ pub struct ServerConfig {
     /// refused as malformed (default off would complicate the smoke job;
     /// the CLI enables it explicitly).
     pub allow_remote_shutdown: bool,
+    /// Whether a wire `Rebalance` request is honored. Same admin gating as
+    /// `allow_remote_shutdown`: off by default, enabled explicitly by the
+    /// CLI's `serve` command and by tests.
+    pub allow_remote_rebalance: bool,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +81,7 @@ impl Default for ServerConfig {
             retry_after_ms: 50,
             pace_us_per_block: 0,
             allow_remote_shutdown: false,
+            allow_remote_rebalance: false,
         }
     }
 }
@@ -179,6 +186,7 @@ struct NetMetrics {
     mutations_total: AtomicU64,
     shed_total: AtomicU64,
     malformed_total: AtomicU64,
+    rebalance_total: AtomicU64,
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
     sojourn_us: AtomicHistogram,
@@ -263,6 +271,11 @@ impl Inner {
             "Enqueue-to-reply sojourn time (wall microseconds).",
             &m.sojourn_us.snapshot(),
         );
+        pw.counter(
+            names::NET_REBALANCE_TOTAL,
+            "Wire rebalance requests honored (dry runs included).",
+            m.rebalance_total.load(Ordering::Relaxed),
+        );
         let es = self.engine.stats();
         pw.counter(
             names::ENGINE_QUERIES_TOTAL,
@@ -273,6 +286,29 @@ impl Inner {
             names::ENGINE_WORKERS_ALIVE,
             "Engine workers alive.",
             es.live_workers() as f64,
+        );
+        pw.counter(
+            names::NET_REBALANCE_MOVES_TOTAL,
+            "Bucket copies migrated by rebalances.",
+            es.rebalance_moves,
+        );
+        pw.counter(
+            names::NET_REBALANCE_BYTES_TOTAL,
+            "Page bytes copied by rebalance migrations.",
+            es.rebalance_bytes,
+        );
+        let owned: Vec<(String, f64)> = self
+            .engine
+            .worker_buckets()
+            .iter()
+            .enumerate()
+            .map(|(w, &n)| (w.to_string(), n as f64))
+            .collect();
+        pw.gauge_per_label(
+            names::NET_WORKER_BUCKETS,
+            "Primary buckets owned per worker slot.",
+            "worker",
+            &owned,
         );
         pw.finish()
     }
@@ -595,6 +631,50 @@ fn reader_loop(stream: &TcpStream, reply: &mpsc::Sender<Vec<u8>>, inner: &Arc<In
                     reply,
                     &Response::Error(WireError::Malformed("remote shutdown not permitted".into())),
                 );
+            }
+            Request::Rebalance { cmd, dry_run } => {
+                // Control path, like Shutdown: runs inline on the reader
+                // thread, bypassing the admission queue, so a resize works
+                // precisely when the data path is saturated. The engine
+                // serializes it against mutations internally; queries keep
+                // flowing throughout.
+                if !inner.config.allow_remote_rebalance {
+                    send_response(
+                        reply,
+                        &Response::Error(WireError::Malformed(
+                            "remote rebalance not permitted".into(),
+                        )),
+                    );
+                    continue;
+                }
+                let op = match cmd {
+                    RebalanceCmd::AddWorkers(k) => RebalanceOp::AddWorkers(k as usize),
+                    RebalanceCmd::RemoveWorker(w) => RebalanceOp::RemoveWorker(w as usize),
+                };
+                match inner.engine.rebalance(op, dry_run) {
+                    Ok(rep) => {
+                        inner
+                            .metrics
+                            .rebalance_total
+                            .fetch_add(1, Ordering::Relaxed);
+                        send_response(
+                            reply,
+                            &Response::Rebalance(RebalanceSummary {
+                                applied: rep.applied,
+                                moves: rep.moves as u32,
+                                moved_bytes: rep.moved_bytes,
+                                full_moves: rep.full_moves as u32,
+                                active_workers: rep.active_workers as u32,
+                                predicted_objective: rep.predicted_objective,
+                                baseline_objective: rep.baseline_objective,
+                            }),
+                        );
+                    }
+                    Err(e) => send_response(
+                        reply,
+                        &Response::Error(WireError::MutationFailed(e.to_string())),
+                    ),
+                }
             }
             req @ (Request::RangeQuery { .. } | Request::PartialMatch { .. }) => {
                 let domain = inner.engine.domain();

@@ -37,3 +37,12 @@ pub const NET_SOJOURN_US: &str = "pargrid_net_sojourn_us";
 pub const NET_BYTES_IN_TOTAL: &str = "pargrid_net_bytes_in_total";
 /// Bytes written back to client sockets (counter).
 pub const NET_BYTES_OUT_TOTAL: &str = "pargrid_net_bytes_out_total";
+/// Wire rebalance requests honored, dry runs included (counter).
+pub const NET_REBALANCE_TOTAL: &str = "pargrid_net_rebalance_total";
+/// Bucket copies migrated by rebalances over this engine's lifetime
+/// (counter).
+pub const NET_REBALANCE_MOVES_TOTAL: &str = "pargrid_net_rebalance_moves_total";
+/// Page bytes copied by rebalance migrations (counter).
+pub const NET_REBALANCE_BYTES_TOTAL: &str = "pargrid_net_rebalance_bytes_total";
+/// Primary buckets owned per worker slot (gauge, label `worker`).
+pub const NET_WORKER_BUCKETS: &str = "pargrid_net_worker_buckets";

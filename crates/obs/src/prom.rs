@@ -37,6 +37,24 @@ impl PromWriter {
         self.out.push_str(&format!("{name} {value}\n"));
     }
 
+    /// Emits one gauge family with one sample per `(label value, value)`
+    /// pair — e.g. per-worker ownership as
+    /// `name{worker="3"} 12`. A single HELP/TYPE header covers the family,
+    /// as the exposition format requires.
+    pub fn gauge_per_label(
+        &mut self,
+        name: &str,
+        help: &str,
+        label: &str,
+        values: &[(String, f64)],
+    ) {
+        self.header(name, help, "gauge");
+        for (lv, v) in values {
+            self.out
+                .push_str(&format!("{name}{{{label}=\"{lv}\"}} {v}\n"));
+        }
+    }
+
     /// Emits a histogram in cumulative `le` form with buckets at powers of
     /// two spanning the recorded range (16 lines max keeps scrapes small
     /// while the log-bucketing keeps each `le` exact, not interpolated).
@@ -184,6 +202,23 @@ mod tests {
             assert!(v >= last, "non-monotone bucket line {line}");
             last = v;
         }
+    }
+
+    #[test]
+    fn labeled_gauge_family_validates() {
+        let mut w = PromWriter::new();
+        w.gauge_per_label(
+            "pargrid_net_worker_buckets",
+            "Primary buckets per worker.",
+            "worker",
+            &[("0".into(), 12.0), ("1".into(), 11.0)],
+        );
+        let doc = w.finish();
+        validate_prometheus(&doc).expect("labeled gauges must validate");
+        assert!(doc.contains("pargrid_net_worker_buckets{worker=\"0\"} 12"));
+        assert!(doc.contains("pargrid_net_worker_buckets{worker=\"1\"} 11"));
+        // One header for the whole family.
+        assert_eq!(doc.matches("# TYPE pargrid_net_worker_buckets").count(), 1);
     }
 
     #[test]

@@ -62,7 +62,9 @@ use crate::ring::{DispatchError, DispatchMode, RequestRing, WorkerOutbox};
 use crate::stats::{EngineStats, SharedStats};
 use crate::worker::{run_worker, WorkerState};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use pargrid_core::{place_fresh_bucket, place_fresh_replica, Assignment, ReplicatedAssignment};
+use pargrid_core::{
+    place_fresh_bucket, place_fresh_replica, Assignment, DeclusterInput, ReplicatedAssignment,
+};
 use pargrid_geom::{Point, Rect};
 use pargrid_gridfile::durable::CHECKPOINT_FILE;
 use pargrid_gridfile::page::encode_page;
@@ -70,6 +72,7 @@ use pargrid_gridfile::wal::{Wal, WalOp};
 use pargrid_gridfile::{GridFile, MutationEffect, Record};
 #[cfg(feature = "obs")]
 use pargrid_obs::{Event, Recorder, SpanKind, NO_ID};
+use pargrid_rebalance::{plan_rebalance, CopyKind, RepairConfig};
 use pargrid_sim::{QueryWorkload, ThroughputStats};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -260,6 +263,11 @@ pub struct EngineConfig {
     /// or the legacy channel path, kept A/B-benchmarkable (see
     /// [`DispatchMode`] and `BENCH_hotpath.json`).
     pub dispatch: DispatchMode,
+    /// Extra worker slots spawned idle at build time, holding no data until
+    /// a [`ParallelGridFile::rebalance`] with [`RebalanceOp::AddWorkers`]
+    /// activates them. Slot indices never renumber: data workers occupy
+    /// slots `0..M`, standbys `M..M+standby_workers`.
+    pub standby_workers: usize,
     /// Fault-survival policy (timeouts, strikes, retransmits, injection).
     pub resilience: ResilienceConfig,
     /// Tail-latency policy (deadline, hedging).
@@ -293,6 +301,13 @@ impl EngineConfig {
     /// Selects the coordinator → worker dispatch transport.
     pub fn with_dispatch(mut self, dispatch: DispatchMode) -> Self {
         self.dispatch = dispatch;
+        self
+    }
+
+    /// Spawns `k` idle standby worker slots for later elastic grows (see
+    /// [`EngineConfig::standby_workers`]).
+    pub fn with_standby_workers(mut self, k: usize) -> Self {
+        self.standby_workers = k;
         self
     }
 
@@ -503,6 +518,11 @@ struct Catalog {
     /// stores require appends to be sequential, so freed blocks are left
     /// orphaned rather than reused.
     next_block: Vec<u32>,
+    /// Which worker slots currently own data. Data workers start active,
+    /// standby slots inactive; [`ParallelGridFile::rebalance`] flips entries
+    /// as the cluster grows and shrinks. Incremental placement of freshly
+    /// split buckets only considers active slots.
+    active: Vec<bool>,
 }
 
 /// What a successful [`ParallelGridFile::insert`] / `delete` did, in bucket
@@ -519,6 +539,45 @@ pub struct MutationOutcome {
     pub created_buckets: Vec<u32>,
     /// Buckets freed by merges; their blocks are orphaned on disk.
     pub freed_buckets: Vec<u32>,
+}
+
+/// An elastic resize request for [`ParallelGridFile::rebalance`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RebalanceOp {
+    /// Activate `k` standby worker slots and spread data onto them.
+    AddWorkers(usize),
+    /// Drain worker slot `i` and return it to standby. The slot's thread
+    /// keeps running and can be re-activated by a later
+    /// [`RebalanceOp::AddWorkers`]. Works even when the worker is dead:
+    /// pages are re-materialized from the coordinator's directory, not
+    /// copied from the source.
+    RemoveWorker(usize),
+}
+
+/// What a [`ParallelGridFile::rebalance`] did (or, for a dry run, would do).
+#[derive(Clone, Debug)]
+pub struct RebalanceReport {
+    /// Whether the plan was executed (`false` for a dry run).
+    pub applied: bool,
+    /// Total bucket-copy relocations in the plan.
+    pub moves: usize,
+    /// Primary-copy relocations.
+    pub primary_moves: usize,
+    /// Secondary-copy relocations.
+    pub replica_moves: usize,
+    /// Predicted payload bytes across all moves.
+    pub moved_bytes: u64,
+    /// Primary buckets a full re-decluster would have moved instead — the
+    /// baseline the incremental plan's movement bound is scored against.
+    pub full_moves: usize,
+    /// Active (data-owning) worker slots after the rebalance.
+    pub active_workers: usize,
+    /// Proximity objective before the rebalance (lower is better).
+    pub current_objective: f64,
+    /// Predicted objective after the rebalance.
+    pub predicted_objective: f64,
+    /// Objective a full re-decluster would have achieved.
+    pub baseline_objective: f64,
 }
 
 /// One worker's share of a planned query.
@@ -723,8 +782,11 @@ impl ParallelGridFile {
         replica: Option<&ReplicatedAssignment>,
         config: EngineConfig,
     ) -> Self {
-        let n_workers = assignment.n_disks();
-        assert!(n_workers >= 1, "need at least one worker");
+        let n_data = assignment.n_disks();
+        assert!(n_data >= 1, "need at least one worker");
+        // Standby slots are full workers (thread, store, cache, counters)
+        // that simply own no buckets until a rebalance activates them.
+        let n_workers = n_data + config.standby_workers;
         let dim = gf.dim();
         let payload = gf.config().payload_bytes;
         let page_bytes = gf.config().page_bytes;
@@ -842,6 +904,7 @@ impl ParallelGridFile {
                 gf,
                 placement,
                 next_block,
+                active: (0..n_workers).map(|w| w < n_data).collect(),
             }),
             wal: Mutex::new(None),
             domain,
@@ -865,9 +928,34 @@ impl ParallelGridFile {
         }
     }
 
-    /// Number of workers.
+    /// Number of worker slots (active data workers plus standbys).
     pub fn n_workers(&self) -> usize {
         self.to_workers.len()
+    }
+
+    /// Number of worker slots currently owning data. Starts at the build
+    /// assignment's disk count and changes only through
+    /// [`ParallelGridFile::rebalance`].
+    pub fn active_workers(&self) -> usize {
+        self.catalog
+            .read()
+            .expect("engine catalog lock")
+            .active
+            .iter()
+            .filter(|&&a| a)
+            .count()
+    }
+
+    /// Per-slot primary bucket counts (length [`ParallelGridFile::n_workers`];
+    /// standby and drained slots report 0) — the ownership map rebalance
+    /// progress is observed through.
+    pub fn worker_buckets(&self) -> Vec<usize> {
+        let cat = self.catalog.read().expect("engine catalog lock");
+        let mut counts = vec![0usize; self.to_workers.len()];
+        for pl in cat.placement.values() {
+            counts[pl.primary.0] += 1;
+        }
+        counts
     }
 
     /// The data domain the engine's grid file covers. Fixed for the
@@ -1295,6 +1383,15 @@ impl ParallelGridFile {
             }
         }
 
+        // Incremental placement speaks *dense* disk indices over the active
+        // slots only — standby and drained slots must not receive fresh
+        // buckets, and `place_fresh_bucket`'s balance cap is over the active
+        // count, not the spawned slot count.
+        let active_slots: Vec<usize> = (0..n_workers).filter(|&w| cat.active[w]).collect();
+        let mut dense_of = vec![usize::MAX; n_workers];
+        for (k, &w) in active_slots.iter().enumerate() {
+            dense_of[w] = k;
+        }
         for &b in &effect.created {
             let pages = self.encode_bucket(&cat.gf, b);
             // Residents: every already-placed bucket's rect and primary
@@ -1302,10 +1399,11 @@ impl ParallelGridFile {
             let residents: Vec<(Rect, u32)> = cat
                 .placement
                 .iter()
-                .map(|(&id, pl)| (cat.gf.bucket_rect(id), pl.primary.0 as u32))
+                .map(|(&id, pl)| (cat.gf.bucket_rect(id), dense_of[pl.primary.0] as u32))
                 .collect();
             let fresh = cat.gf.bucket_rect(b);
-            let pw = place_fresh_bucket(&self.domain, &residents, &fresh, n_workers) as usize;
+            let pw = active_slots
+                [place_fresh_bucket(&self.domain, &residents, &fresh, active_slots.len()) as usize];
             let mut blocks = Vec::with_capacity(pages.len());
             for page in &pages {
                 blocks.push(Self::append_block(
@@ -1315,18 +1413,18 @@ impl ParallelGridFile {
                     &mut writes,
                 ));
             }
-            let replica = if self.replicated && n_workers >= 2 {
+            let replica = if self.replicated && active_slots.len() >= 2 {
                 // Chained-replica load: copies of every kind already on
                 // each disk, plus the fresh primary just decided.
-                let mut load = vec![0usize; n_workers];
+                let mut load = vec![0usize; active_slots.len()];
                 for pl in cat.placement.values() {
-                    load[pl.primary.0] += 1;
+                    load[dense_of[pl.primary.0]] += 1;
                     if let Some((rw, _)) = &pl.replica {
-                        load[*rw] += 1;
+                        load[dense_of[*rw]] += 1;
                     }
                 }
-                load[pw] += 1;
-                let rw = place_fresh_replica(pw as u32, &load) as usize;
+                load[dense_of[pw]] += 1;
+                let rw = active_slots[place_fresh_replica(dense_of[pw] as u32, &load) as usize];
                 let mut rblocks = Vec::with_capacity(pages.len());
                 for page in pages {
                     rblocks.push(Self::append_block(
@@ -1452,6 +1550,177 @@ impl ParallelGridFile {
             .map_err(|e| EngineError::Checkpoint(e.into()))?;
         w.reset().map_err(EngineError::Wal)?;
         Ok(true)
+    }
+
+    /// Elastically resizes the cluster: computes an incremental minimax
+    /// repair plan ([`pargrid_rebalance::plan_rebalance`]) for the requested
+    /// [`RebalanceOp`] and — unless `dry_run` — migrates bucket copies to
+    /// their new slots.
+    ///
+    /// Runs under the mutation serializer (the WAL mutex), so inserts and
+    /// deletes wait while a rebalance is in flight; **queries keep flowing
+    /// throughout**. Each move re-encodes the bucket's pages from the
+    /// coordinator's directory, appends them as fresh blocks on the target
+    /// worker, and flips catalog ownership under one short write-lock
+    /// section, with the `WriteRaw` sent *inside* that section — the same
+    /// ordering [`ParallelGridFile::insert`] relies on, so a query planned
+    /// after the flip finds the target's bytes already applied (workers
+    /// drain writes in FIFO order before later reads) while in-flight
+    /// queries planned before it keep reading the source's orphaned blocks.
+    /// No reply is ever incorrect or incomplete during migration.
+    ///
+    /// # Errors
+    /// [`EngineError::Rebalance`] when the request is invalid (no standby
+    /// capacity left, unknown or inactive worker, or removal would leave a
+    /// replicated engine with fewer than two active workers); the layout is
+    /// untouched. [`EngineError::SessionClosed`] after shutdown.
+    pub fn rebalance(
+        &self,
+        op: RebalanceOp,
+        dry_run: bool,
+    ) -> Result<RebalanceReport, EngineError> {
+        let _serializer = self.wal.lock().expect("engine wal lock");
+        if self.is_shut_down() {
+            return Err(EngineError::SessionClosed);
+        }
+        let n_slots = self.to_workers.len();
+        // Snapshot the declustering problem under the read lock; the WAL
+        // mutex guarantees no mutation changes it until we are done.
+        let (input, primary, secondary, mut target) = {
+            let cat = self.catalog.read().expect("engine catalog lock");
+            let input = DeclusterInput::from_grid_file(&cat.gf);
+            let mut primary = Vec::with_capacity(input.n_buckets());
+            let mut secondary = self
+                .replicated
+                .then(|| Vec::with_capacity(input.n_buckets()));
+            for b in &input.buckets {
+                let pl = &cat.placement[&b.id];
+                primary.push(pl.primary.0 as u32);
+                if let Some(sec) = secondary.as_mut() {
+                    sec.push(pl.replica.as_ref().expect("replicated engine").0 as u32);
+                }
+            }
+            (input, primary, secondary, cat.active.clone())
+        };
+        match op {
+            RebalanceOp::AddWorkers(k) => {
+                if k == 0 {
+                    return Err(EngineError::Rebalance(
+                        "must add at least one worker".into(),
+                    ));
+                }
+                let mut added = 0;
+                for (d, slot) in target.iter_mut().enumerate() {
+                    if added < k && !*slot && self.shared.is_alive(d) {
+                        *slot = true;
+                        added += 1;
+                    }
+                }
+                if added < k {
+                    return Err(EngineError::Rebalance(format!(
+                        "only {added} live standby workers available, need {k} \
+                         (build with EngineConfig::with_standby_workers)"
+                    )));
+                }
+            }
+            RebalanceOp::RemoveWorker(i) => {
+                if i >= n_slots || !target[i] {
+                    return Err(EngineError::Rebalance(format!(
+                        "worker {i} is not an active data worker"
+                    )));
+                }
+                target[i] = false;
+                let left = target.iter().filter(|&&a| a).count();
+                if left == 0 || (self.replicated && left < 2) {
+                    return Err(EngineError::Rebalance(format!(
+                        "removing worker {i} would leave {left} active workers"
+                    )));
+                }
+            }
+        }
+        let plan = plan_rebalance(
+            &input,
+            &primary,
+            secondary.as_deref(),
+            &target,
+            &RepairConfig {
+                record_bytes: self.record_bytes,
+                ..RepairConfig::default()
+            },
+        );
+        let report = RebalanceReport {
+            applied: !dry_run,
+            moves: plan.moves.len(),
+            primary_moves: plan.primary_moves,
+            replica_moves: plan.replica_moves,
+            moved_bytes: plan.moved_bytes,
+            full_moves: plan.full_moves,
+            active_workers: target.iter().filter(|&&a| a).count(),
+            current_objective: plan.current_objective,
+            predicted_objective: plan.predicted_objective,
+            baseline_objective: plan.baseline_objective,
+        };
+        if dry_run {
+            return Ok(report);
+        }
+        for mv in &plan.moves {
+            let mut cat = self.catalog.write().expect("engine catalog lock");
+            // The WAL mutex means nothing else relocated this bucket, but a
+            // stale or vanished copy is skipped, never clobbered.
+            let on_from = cat
+                .placement
+                .get(&mv.bucket)
+                .is_some_and(|pl| match mv.copy {
+                    CopyKind::Primary => pl.primary.0 == mv.from as usize,
+                    CopyKind::Replica => {
+                        pl.replica.as_ref().is_some_and(|r| r.0 == mv.from as usize)
+                    }
+                });
+            if !on_from {
+                continue;
+            }
+            let pages = self.encode_bucket(&cat.gf, mv.bucket);
+            let to = mv.to as usize;
+            let mut blocks = Vec::with_capacity(pages.len());
+            let mut writes = Vec::with_capacity(pages.len());
+            let mut page_bytes = 0u64;
+            for page in pages {
+                let block = cat.next_block[to];
+                cat.next_block[to] += 1;
+                page_bytes += page.len() as u64;
+                writes.push((block, page));
+                blocks.push(block);
+            }
+            let pl = cat.placement.get_mut(&mv.bucket).expect("checked above");
+            match mv.copy {
+                CopyKind::Primary => pl.primary = (to, blocks),
+                CopyKind::Replica => pl.replica = Some((to, blocks)),
+            }
+            // Send while still holding the write lock: any query planned
+            // after the flip is dispatched after this write and the worker
+            // drains writes first. The source copy's blocks stay orphaned
+            // on disk for queries planned before the flip.
+            if self.to_workers[to]
+                .send(ToWorker::WriteRaw { blocks: writes })
+                .is_err()
+            {
+                self.shared.workers[to].dead.store(true, Ordering::Relaxed);
+            }
+            drop(cat);
+            self.shared.rebalance_moves.fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .rebalance_bytes
+                .fetch_add(page_bytes, Ordering::Relaxed);
+        }
+        let mut cat = self.catalog.write().expect("engine catalog lock");
+        debug_assert!(
+            cat.placement.values().all(|pl| {
+                target[pl.primary.0] && pl.replica.as_ref().is_none_or(|r| target[r.0])
+            }),
+            "rebalance left a copy on an inactive slot"
+        );
+        cat.active = target;
+        Ok(report)
     }
 
     /// Folds one worker reply into its pending query, matched to its

@@ -98,6 +98,10 @@ pub enum EngineError {
     /// Writing or renaming the checkpoint image failed. The WAL is left
     /// untouched, so recovery still replays every logged operation.
     Checkpoint(pargrid_gridfile::PersistError),
+    /// A rebalance request was rejected before any data moved (no standby
+    /// capacity, removing the last replica-capable worker, or an invalid
+    /// worker index). The cluster layout is unchanged.
+    Rebalance(String),
 }
 
 impl fmt::Display for EngineError {
@@ -108,6 +112,7 @@ impl fmt::Display for EngineError {
             }
             EngineError::Wal(e) => write!(f, "write-ahead log I/O error: {e}"),
             EngineError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            EngineError::Rebalance(why) => write!(f, "rebalance rejected: {why}"),
         }
     }
 }

@@ -90,7 +90,7 @@ pub use cache::{BlockBuf, BufferPool, LruCache};
 pub use disk::{BlockCost, DiskModel, DiskParams};
 pub use engine::{
     EngineConfig, LatencyConfig, MutationOutcome, NetParams, ObsConfig, ParallelGridFile,
-    QueryOutcome, QuerySession, ResilienceConfig, RunStats,
+    QueryOutcome, QuerySession, RebalanceOp, RebalanceReport, ResilienceConfig, RunStats,
 };
 pub use error::{EngineError, StoreError};
 pub use fault::{FaultKind, FaultPlan, WorkerFault};
@@ -106,7 +106,7 @@ pub use store::BlockStore;
 pub mod prelude {
     pub use crate::engine::{
         EngineConfig, LatencyConfig, MutationOutcome, NetParams, ObsConfig, ParallelGridFile,
-        QueryOutcome, QuerySession, ResilienceConfig, RunStats,
+        QueryOutcome, QuerySession, RebalanceOp, RebalanceReport, ResilienceConfig, RunStats,
     };
     pub use crate::error::{EngineError, StoreError};
     pub use crate::fault::{FaultKind, FaultPlan, WorkerFault};

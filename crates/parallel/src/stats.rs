@@ -68,6 +68,10 @@ pub struct SharedStats {
     /// Queries whose deadline budget expired before every reply arrived
     /// (answered incomplete).
     pub deadline_expired: AtomicU64,
+    /// Bucket copies migrated by `ParallelGridFile::rebalance`.
+    pub rebalance_moves: AtomicU64,
+    /// Page bytes copied by rebalance migrations.
+    pub rebalance_bytes: AtomicU64,
     /// Per-worker counters, indexed by worker id (each behind an `Arc` so
     /// the owning worker thread can hold its slot directly).
     pub workers: Vec<Arc<WorkerCounters>>,
@@ -84,6 +88,8 @@ impl SharedStats {
             hedges: AtomicU64::new(0),
             scrubbed: AtomicU64::new(0),
             deadline_expired: AtomicU64::new(0),
+            rebalance_moves: AtomicU64::new(0),
+            rebalance_bytes: AtomicU64::new(0),
             workers: (0..n_workers)
                 .map(|_| Arc::new(WorkerCounters::default()))
                 .collect(),
@@ -106,6 +112,8 @@ impl SharedStats {
             hedges: self.hedges.load(Ordering::Relaxed),
             scrubbed: self.scrubbed.load(Ordering::Relaxed),
             deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            rebalance_moves: self.rebalance_moves.load(Ordering::Relaxed),
+            rebalance_bytes: self.rebalance_bytes.load(Ordering::Relaxed),
             workers: self
                 .workers
                 .iter()
@@ -194,6 +202,10 @@ pub struct EngineStats {
     pub scrubbed: u64,
     /// Queries answered incomplete because their deadline budget expired.
     pub deadline_expired: u64,
+    /// Bucket copies migrated by rebalance so far.
+    pub rebalance_moves: u64,
+    /// Page bytes copied by rebalance migrations so far.
+    pub rebalance_bytes: u64,
     /// Per-worker snapshots, indexed by worker id.
     pub workers: Vec<WorkerStats>,
 }

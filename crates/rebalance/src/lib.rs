@@ -1,0 +1,37 @@
+//! Elastic re-declustering: resize a cluster with bounded data movement.
+//!
+//! Every scheme in the paper assigns buckets for a *fixed* number of disks
+//! `M`; when a disk joins or leaves, the only textbook option is a full
+//! re-decluster that relocates nearly every bucket. This crate computes
+//! **incremental minimax repair** plans instead: given a current assignment
+//! over a set of disk *slots* and a target active-slot mask, it finds a
+//! small set of bucket moves that
+//!
+//! 1. restores the `⌈N/M'⌉` primary balance invariant (and the `⌈2N/M'⌉`
+//!    total invariant when a chained replica layer is present), and
+//! 2. greedily repairs the proximity objective — each moved bucket lands on
+//!    the disk minimizing the maximum [proximity](pargrid_geom::proximity)
+//!    to that disk's residents, the same criterion
+//!    [`pargrid_core::incremental`] applies to freshly split buckets —
+//!
+//! with a *quality knob* spending extra moves on objective repair beyond
+//! the balance minimum. The emitted [`RebalancePlan`] carries the ordered
+//! moves, predicted movement bytes, and the predicted objective next to a
+//! full re-decluster baseline (fresh minimax, relabeled to maximally agree
+//! with the current layout) so callers can score incremental repair against
+//! the expensive alternative before touching any data.
+//!
+//! The plan speaks *slot space*: disk indices are worker slots of the
+//! serving engine and never renumber. Growing a cluster activates standby
+//! slots; shrinking deactivates a slot after draining it. The execution
+//! half — copying pages, flipping catalog ownership under the mutation
+//! serializer — lives in `pargrid-parallel`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod plan;
+pub mod repair;
+
+pub use plan::{BucketMove, CopyKind, RebalancePlan, RepairConfig};
+pub use repair::{co_residency_objective, plan_grow, plan_rebalance, plan_shrink};

@@ -1,0 +1,106 @@
+//! Plan types: what a rebalance will move and what it predicts.
+
+use pargrid_core::EdgeWeight;
+
+/// Which copy of a bucket a move relocates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CopyKind {
+    /// The primary copy (serves queries on the healthy path).
+    Primary,
+    /// The chained secondary copy (serves fail-over reads).
+    Replica,
+}
+
+/// One bucket-copy relocation: copy the pages of `bucket`'s `copy` from
+/// slot `from` to slot `to`, then flip catalog ownership.
+#[derive(Clone, Copy, Debug)]
+pub struct BucketMove {
+    /// Grid-file bucket id.
+    pub bucket: u32,
+    /// Which copy moves.
+    pub copy: CopyKind,
+    /// Slot currently holding the copy.
+    pub from: u32,
+    /// Slot that will hold the copy after the move.
+    pub to: u32,
+    /// Predicted payload bytes (records × record size; page headers excluded).
+    pub bytes: u64,
+}
+
+/// Tuning for the repair planner.
+#[derive(Clone, Copy, Debug)]
+pub struct RepairConfig {
+    /// Similarity measure for the minimax criterion.
+    pub weight: EdgeWeight,
+    /// Extra movement budget as a fraction of `N`: after balance is
+    /// restored, up to `quality × N` additional moves may be spent on
+    /// relocations (and swaps, at two moves each) that strictly improve
+    /// the proximity objective. `0.0` = balance-minimal plan.
+    pub quality: f64,
+    /// Seed for the full re-decluster baseline (minimax refinement).
+    pub seed: u64,
+    /// Bytes per record, for movement-volume prediction (0 = unknown).
+    pub record_bytes: usize,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        RepairConfig {
+            weight: EdgeWeight::Proximity,
+            quality: 0.25,
+            seed: 1,
+            record_bytes: 0,
+        }
+    }
+}
+
+/// The output of the planner: ordered moves plus predicted cost/quality,
+/// scored against a full re-decluster baseline.
+#[derive(Clone, Debug)]
+pub struct RebalancePlan {
+    /// Bucket-copy relocations, in execution order.
+    pub moves: Vec<BucketMove>,
+    /// Total predicted payload bytes across all moves.
+    pub moved_bytes: u64,
+    /// How many moves relocate a primary copy.
+    pub primary_moves: usize,
+    /// How many moves relocate a secondary copy.
+    pub replica_moves: usize,
+    /// Primary buckets a full re-decluster would move for the same target
+    /// (fresh minimax, relabeled to maximally agree with the current
+    /// layout — the baseline's best case).
+    pub full_moves: usize,
+    /// Proximity objective of the current primary layout (mean over
+    /// buckets of the maximum similarity to a co-resident bucket; lower
+    /// separates proximate buckets better).
+    pub current_objective: f64,
+    /// Predicted objective after applying this plan.
+    pub predicted_objective: f64,
+    /// Objective of the full re-decluster baseline.
+    pub baseline_objective: f64,
+    /// Post-rebalance primary slot per bucket position.
+    pub new_primary: Vec<u32>,
+    /// Post-rebalance secondary slot per bucket position (when the input
+    /// had a replica layer).
+    pub new_secondary: Option<Vec<u32>>,
+    /// The target active mask the plan was computed for.
+    pub new_active: Vec<bool>,
+}
+
+impl RebalancePlan {
+    /// Total number of copy relocations.
+    pub fn n_moves(&self) -> usize {
+        self.moves.len()
+    }
+
+    /// Primary moves of this plan as a fraction of the full re-decluster
+    /// baseline's (the headline "bounded data movement" metric; `0.0` when
+    /// the baseline itself moves nothing).
+    pub fn movement_ratio(&self) -> f64 {
+        if self.full_moves == 0 {
+            0.0
+        } else {
+            self.primary_moves as f64 / self.full_moves as f64
+        }
+    }
+}

@@ -1,0 +1,695 @@
+//! Incremental minimax repair: compute a bounded-movement rebalance plan.
+
+use crate::plan::{BucketMove, CopyKind, RebalancePlan, RepairConfig};
+use pargrid_core::method::DeclusterMethod;
+use pargrid_core::{DeclusterInput, EdgeWeight, ReplicatedAssignment};
+
+/// Minimum objective improvement a quality-phase move must buy; anything
+/// smaller is numerical noise and not worth a data copy.
+const MIN_GAIN: f64 = 1e-9;
+
+/// The proximity objective the repair phases optimize: the mean over all
+/// buckets of the maximum similarity between the bucket and any co-resident
+/// on its disk (0 for a bucket alone on its disk). Lower is better — it is
+/// the per-bucket analogue of the minimax edge criterion, and correlates
+/// with the paper's response-time metric without needing a query workload.
+pub fn co_residency_objective(input: &DeclusterInput, disks: &[u32], weight: EdgeWeight) -> f64 {
+    let n = input.n_buckets();
+    assert_eq!(disks.len(), n, "assignment length mismatch");
+    if n == 0 {
+        return 0.0;
+    }
+    let n_slots = disks.iter().map(|&d| d as usize + 1).max().unwrap_or(1);
+    let mut residents: Vec<Vec<usize>> = vec![Vec::new(); n_slots];
+    for (pos, &d) in disks.iter().enumerate() {
+        residents[d as usize].push(pos);
+    }
+    let mut sum = 0.0;
+    for group in &residents {
+        for &a in group {
+            sum += group
+                .iter()
+                .filter(|&&b| b != a)
+                .map(|&b| weight.similarity(input, a, b))
+                .fold(0.0f64, f64::max);
+        }
+    }
+    sum / n as f64
+}
+
+/// Maximum similarity between `pos` and the residents of slot `d`,
+/// excluding `pos` itself and `excl` (pass `usize::MAX` to exclude nobody).
+fn max_sim(
+    input: &DeclusterInput,
+    weight: EdgeWeight,
+    residents: &[Vec<usize>],
+    pos: usize,
+    d: usize,
+    excl: usize,
+) -> f64 {
+    residents[d]
+        .iter()
+        .filter(|&&r| r != pos && r != excl)
+        .map(|&r| weight.similarity(input, pos, r))
+        .fold(0.0f64, f64::max)
+}
+
+/// Computes an incremental minimax repair plan.
+///
+/// `primary[pos]` / `secondary[pos]` give the current slot of each copy of
+/// the bucket at input position `pos`; `target_active[d]` says whether slot
+/// `d` serves data after the rebalance. Slots are never renumbered — a grow
+/// activates previously-inactive slots, a shrink drains one. The plan
+/// guarantees, over the `M'` target-active slots:
+///
+/// * every primary sits on an active slot and per-slot primary load is
+///   within `[⌊N/M'⌋, ⌈N/M'⌉]` (a joined disk cannot stay empty);
+/// * when a secondary layer is present: every secondary sits on an active
+///   slot, differs from its bucket's primary, and per-slot *total* load is
+///   within `[⌊2N/M'⌋, ⌈2N/M'⌉]`.
+///
+/// Moves are chosen by the same criterion `core::incremental` applies to
+/// freshly split buckets — land where the maximum proximity to residents
+/// is smallest — and [`RepairConfig::quality`] optionally spends extra
+/// moves improving the objective beyond the balance minimum.
+///
+/// # Panics
+/// Panics if lengths disagree, a slot index is out of range, no slot is
+/// target-active, or a secondary layer is present with fewer than two
+/// target-active slots.
+pub fn plan_rebalance(
+    input: &DeclusterInput,
+    primary: &[u32],
+    secondary: Option<&[u32]>,
+    target_active: &[bool],
+    cfg: &RepairConfig,
+) -> RebalancePlan {
+    let n = input.n_buckets();
+    let n_slots = target_active.len();
+    assert_eq!(primary.len(), n, "primary length mismatch");
+    assert!(
+        primary.iter().all(|&d| (d as usize) < n_slots),
+        "primary slot out of range"
+    );
+    if let Some(sec) = secondary {
+        assert_eq!(sec.len(), n, "secondary length mismatch");
+        assert!(
+            sec.iter().all(|&d| (d as usize) < n_slots),
+            "secondary slot out of range"
+        );
+    }
+    let m = target_active.iter().filter(|&&a| a).count();
+    assert!(m >= 1, "no target-active slot");
+    assert!(
+        secondary.is_none() || m >= 2,
+        "replication needs at least two active slots"
+    );
+    let weight = cfg.weight;
+
+    // ---- primary repair -------------------------------------------------
+    let cap = n.div_ceil(m);
+    let floor = n / m;
+    let mut new_primary = primary.to_vec();
+    let mut residents: Vec<Vec<usize>> = vec![Vec::new(); n_slots];
+    for (pos, &d) in new_primary.iter().enumerate() {
+        residents[d as usize].push(pos);
+    }
+    let mut load: Vec<usize> = residents.iter().map(|r| r.len()).collect();
+    let active: Vec<usize> = (0..n_slots).filter(|&d| target_active[d]).collect();
+
+    let relocate = |pos: usize,
+                    to: usize,
+                    new_primary: &mut Vec<u32>,
+                    residents: &mut Vec<Vec<usize>>,
+                    load: &mut Vec<usize>| {
+        let from = new_primary[pos] as usize;
+        residents[from].retain(|&r| r != pos);
+        load[from] -= 1;
+        new_primary[pos] = to as u32;
+        residents[to].push(pos);
+        load[to] += 1;
+    };
+
+    // Phase 1 — rehome buckets stranded on deactivated slots: each goes to
+    // the active slot minimizing max proximity to residents, under the cap.
+    let homeless: Vec<usize> = (0..n)
+        .filter(|&pos| !target_active[new_primary[pos] as usize])
+        .collect();
+    for pos in homeless {
+        let mut best = usize::MAX;
+        let mut best_score = f64::INFINITY;
+        for &d in &active {
+            if load[d] >= cap {
+                continue;
+            }
+            let s = max_sim(input, weight, &residents, pos, d, usize::MAX);
+            if s < best_score {
+                best_score = s;
+                best = d;
+            }
+        }
+        if best == usize::MAX {
+            best = *active.iter().min_by_key(|&&d| load[d]).expect("m >= 1");
+        }
+        relocate(pos, best, &mut new_primary, &mut residents, &mut load);
+    }
+
+    // Phase 2 — evict from over-cap slots (a grow lowers the cap): move the
+    // (bucket, receiver) pair with the smallest landing proximity.
+    while let Some(&donor) = active
+        .iter()
+        .filter(|&&d| load[d] > cap)
+        .max_by_key(|&&d| load[d])
+    {
+        let mut best: Option<(usize, usize)> = None;
+        let mut best_score = f64::INFINITY;
+        for &pos in &residents[donor] {
+            for &e in &active {
+                if e == donor || load[e] >= cap {
+                    continue;
+                }
+                let s = max_sim(input, weight, &residents, pos, e, usize::MAX);
+                if s < best_score {
+                    best_score = s;
+                    best = Some((pos, e));
+                }
+            }
+        }
+        let (pos, e) = best.expect("sum of loads is N <= M'*cap, so a receiver exists");
+        relocate(pos, e, &mut new_primary, &mut residents, &mut load);
+    }
+
+    // Phase 3 — pull into under-floor slots (a joined disk must not stay
+    // empty): take the bucket from an above-floor donor that lands with
+    // the smallest proximity on the receiver.
+    while let Some(&recv) = active
+        .iter()
+        .filter(|&&d| load[d] < floor)
+        .min_by_key(|&&d| load[d])
+    {
+        let mut best: Option<usize> = None;
+        let mut best_score = f64::INFINITY;
+        for &d in &active {
+            if d == recv || load[d] <= floor {
+                continue;
+            }
+            for &pos in &residents[d] {
+                let s = max_sim(input, weight, &residents, pos, recv, usize::MAX);
+                if s < best_score {
+                    best_score = s;
+                    best = Some(pos);
+                }
+            }
+        }
+        let pos = best.expect("a slot below floor implies a donor above floor");
+        relocate(pos, recv, &mut new_primary, &mut residents, &mut load);
+    }
+
+    // Phase 4 — quality budget: spend up to `quality × N` extra moves on
+    // relocations (one move) and swaps (two moves) that strictly improve
+    // the objective while staying inside [floor, cap].
+    let mut budget = (cfg.quality.max(0.0) * n as f64).round() as usize;
+    while budget > 0 {
+        let mut best: Option<(usize, usize)> = None;
+        let mut best_gain = MIN_GAIN;
+        for (pos, &dslot) in new_primary.iter().enumerate() {
+            let d = dslot as usize;
+            if load[d] <= floor {
+                continue;
+            }
+            let here = max_sim(input, weight, &residents, pos, d, usize::MAX);
+            for &e in &active {
+                if e == d || load[e] >= cap {
+                    continue;
+                }
+                let gain = here - max_sim(input, weight, &residents, pos, e, usize::MAX);
+                if gain > best_gain {
+                    best_gain = gain;
+                    best = Some((pos, e));
+                }
+            }
+        }
+        match best {
+            Some((pos, e)) => {
+                relocate(pos, e, &mut new_primary, &mut residents, &mut load);
+                budget -= 1;
+            }
+            None => break,
+        }
+    }
+    // Swaps keep both loads unchanged, so they work even when floor == cap
+    // leaves no slack for relocations. First-improvement keeps the scan
+    // bounded.
+    'swaps: while budget >= 2 {
+        for a in 0..n {
+            let da = new_primary[a] as usize;
+            let here_a = max_sim(input, weight, &residents, a, da, usize::MAX);
+            for b in (a + 1)..n {
+                let db = new_primary[b] as usize;
+                if da == db {
+                    continue;
+                }
+                let here_b = max_sim(input, weight, &residents, b, db, usize::MAX);
+                // After the swap, `a` joins db (minus b) and `b` joins da
+                // (minus a); the pair never co-resides.
+                let there_a = max_sim(input, weight, &residents, a, db, b);
+                let there_b = max_sim(input, weight, &residents, b, da, a);
+                if (here_a + here_b) - (there_a + there_b) > MIN_GAIN {
+                    relocate(a, db, &mut new_primary, &mut residents, &mut load);
+                    relocate(b, da, &mut new_primary, &mut residents, &mut load);
+                    budget -= 2;
+                    continue 'swaps;
+                }
+            }
+        }
+        break;
+    }
+
+    // ---- secondary repair -----------------------------------------------
+    let new_secondary = secondary.map(|sec| {
+        let tcap = (2 * n).div_ceil(m);
+        let tfloor = (2 * n) / m;
+        let mut new_sec = sec.to_vec();
+        let mut total = load.clone();
+        // Keep secondaries that are still valid (active slot, not the new
+        // primary); queue the rest for re-placement.
+        let mut invalid = Vec::new();
+        for pos in 0..n {
+            let s = new_sec[pos] as usize;
+            if target_active[s] && new_sec[pos] != new_primary[pos] {
+                total[s] += 1;
+            } else {
+                invalid.push(pos);
+            }
+        }
+        // Chain-preferring re-placement, mirroring `place_fresh_replica`
+        // over the active mask: walk the chain after the primary, earliest
+        // position wins ties, a strictly less-loaded slot wins outright.
+        for &pos in &invalid {
+            let p = new_primary[pos] as usize;
+            let mut best = usize::MAX;
+            for off in 1..n_slots {
+                let d = (p + off) % n_slots;
+                if !target_active[d] {
+                    continue;
+                }
+                if best == usize::MAX || total[d] < total[best] {
+                    best = d;
+                }
+            }
+            assert!(best != usize::MAX, "m >= 2 guarantees a non-primary slot");
+            new_sec[pos] = best as u32;
+            total[best] += 1;
+        }
+        // Re-balance totals by moving only secondaries (primaries carry the
+        // proximity objective and are already settled).
+        while let Some(&donor) = active
+            .iter()
+            .filter(|&&d| total[d] > tcap)
+            .max_by_key(|&&d| total[d])
+        {
+            let mut best: Option<(usize, usize)> = None;
+            for pos in 0..n {
+                if new_sec[pos] as usize != donor {
+                    continue;
+                }
+                for &e in &active {
+                    if e == donor || total[e] >= tcap || e as u32 == new_primary[pos] {
+                        continue;
+                    }
+                    if best.is_none_or(|(_, prev)| total[e] < total[prev]) {
+                        best = Some((pos, e));
+                    }
+                }
+            }
+            let Some((pos, e)) = best else { break };
+            total[donor] -= 1;
+            new_sec[pos] = e as u32;
+            total[e] += 1;
+        }
+        while let Some(&recv) = active
+            .iter()
+            .filter(|&&d| total[d] < tfloor)
+            .min_by_key(|&&d| total[d])
+        {
+            let mut best: Option<(usize, usize)> = None;
+            for pos in 0..n {
+                let d = new_sec[pos] as usize;
+                if d == recv || total[d] <= tfloor || recv as u32 == new_primary[pos] {
+                    continue;
+                }
+                if best.is_none_or(|(_, prev)| total[d] > total[prev]) {
+                    best = Some((pos, d));
+                }
+            }
+            let Some((pos, _)) = best else { break };
+            total[new_sec[pos] as usize] -= 1;
+            new_sec[pos] = recv as u32;
+            total[recv] += 1;
+        }
+        new_sec
+    });
+
+    // ---- emit moves (one per changed copy, in position order) ------------
+    let mut moves = Vec::new();
+    let mut moved_bytes = 0u64;
+    let mut primary_moves = 0usize;
+    let mut replica_moves = 0usize;
+    for pos in 0..n {
+        if new_primary[pos] != primary[pos] {
+            let bytes = (input.buckets[pos].n_records * cfg.record_bytes) as u64;
+            moves.push(BucketMove {
+                bucket: input.buckets[pos].id,
+                copy: CopyKind::Primary,
+                from: primary[pos],
+                to: new_primary[pos],
+                bytes,
+            });
+            primary_moves += 1;
+            moved_bytes += bytes;
+        }
+    }
+    if let (Some(old), Some(new)) = (secondary, new_secondary.as_deref()) {
+        for pos in 0..n {
+            if new[pos] != old[pos] {
+                let bytes = (input.buckets[pos].n_records * cfg.record_bytes) as u64;
+                moves.push(BucketMove {
+                    bucket: input.buckets[pos].id,
+                    copy: CopyKind::Replica,
+                    from: old[pos],
+                    to: new[pos],
+                    bytes,
+                });
+                replica_moves += 1;
+                moved_bytes += bytes;
+            }
+        }
+    }
+
+    // ---- full re-decluster baseline --------------------------------------
+    let (full_moves, baseline_objective) =
+        full_redecluster_baseline(input, primary, target_active, &active, cfg);
+
+    RebalancePlan {
+        moves,
+        moved_bytes,
+        primary_moves,
+        replica_moves,
+        full_moves,
+        current_objective: co_residency_objective(input, primary, weight),
+        predicted_objective: co_residency_objective(input, &new_primary, weight),
+        baseline_objective,
+        new_primary,
+        new_secondary,
+        new_active: target_active.to_vec(),
+    }
+}
+
+/// Scores the expensive alternative: a fresh minimax assignment over the
+/// `M'` target slots, with its dense disk labels matched to active slots by
+/// greedy maximum overlap with the current layout (the fewest moves any
+/// relabeling of the fresh assignment could achieve greedily — the
+/// baseline's best case). Returns `(buckets moved, objective)`.
+fn full_redecluster_baseline(
+    input: &DeclusterInput,
+    primary: &[u32],
+    target_active: &[bool],
+    active: &[usize],
+    cfg: &RepairConfig,
+) -> (usize, f64) {
+    let n = input.n_buckets();
+    let m = active.len();
+    let fresh = DeclusterMethod::Minimax(cfg.weight).assign(input, m, cfg.seed);
+    let mut slot_index = vec![usize::MAX; target_active.len()];
+    for (k, &s) in active.iter().enumerate() {
+        slot_index[s] = k;
+    }
+    let mut overlap = vec![vec![0usize; m]; m];
+    for pos in 0..n {
+        let k = slot_index[primary[pos] as usize];
+        if k != usize::MAX {
+            overlap[fresh.disk_at(pos) as usize][k] += 1;
+        }
+    }
+    let mut pairs: Vec<(usize, usize, usize)> = (0..m)
+        .flat_map(|dense| (0..m).map(move |k| (dense, k)))
+        .map(|(dense, k)| (overlap[dense][k], dense, k))
+        .collect();
+    pairs.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    let mut dense_to_slot = vec![usize::MAX; m];
+    let mut slot_used = vec![false; m];
+    for (_, dense, k) in pairs {
+        if dense_to_slot[dense] == usize::MAX && !slot_used[k] {
+            dense_to_slot[dense] = active[k];
+            slot_used[k] = true;
+        }
+    }
+    let moved = (0..n)
+        .filter(|&pos| dense_to_slot[fresh.disk_at(pos) as usize] as u32 != primary[pos])
+        .count();
+    (
+        moved,
+        co_residency_objective(input, fresh.disks(), cfg.weight),
+    )
+}
+
+/// Plans a grow: all current disks stay active and `add` fresh slots join.
+/// The returned plan's slot space has `current.n_disks() + add` slots.
+pub fn plan_grow(
+    input: &DeclusterInput,
+    current: &ReplicatedAssignment,
+    add: usize,
+    cfg: &RepairConfig,
+) -> RebalancePlan {
+    let m = current.n_disks();
+    let target = vec![true; m + add];
+    let sec: Vec<u32> = (0..input.n_buckets())
+        .map(|pos| current.secondary_at(pos))
+        .collect();
+    plan_rebalance(input, current.primary().disks(), Some(&sec), &target, cfg)
+}
+
+/// Plans a shrink: slot `remove` drains and deactivates, all other disks
+/// stay. Requires at least three disks (the survivors must still hold two
+/// distinct copies of every bucket).
+///
+/// # Panics
+/// Panics if `remove` is out of range or fewer than three disks exist.
+pub fn plan_shrink(
+    input: &DeclusterInput,
+    current: &ReplicatedAssignment,
+    remove: u32,
+    cfg: &RepairConfig,
+) -> RebalancePlan {
+    let m = current.n_disks();
+    assert!((remove as usize) < m, "slot {remove} out of range for {m}");
+    assert!(m >= 3, "shrinking below two disks breaks replication");
+    let mut target = vec![true; m];
+    target[remove as usize] = false;
+    let sec: Vec<u32> = (0..input.n_buckets())
+        .map(|pos| current.secondary_at(pos))
+        .collect();
+    plan_rebalance(input, current.primary().disks(), Some(&sec), &target, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pargrid_core::Assignment;
+    use pargrid_gridfile::CartesianProductFile;
+
+    fn instance(nx: u32, ny: u32) -> DeclusterInput {
+        DeclusterInput::from_cartesian(&CartesianProductFile::new(&[nx, ny]))
+    }
+
+    fn replicated(input: &DeclusterInput, m: usize) -> ReplicatedAssignment {
+        DeclusterMethod::Minimax(EdgeWeight::Proximity).assign_replicated(input, m, 7)
+    }
+
+    fn check_plan(input: &DeclusterInput, plan: &RebalancePlan) {
+        let n = input.n_buckets();
+        let m = plan.new_active.iter().filter(|&&a| a).count();
+        let cap = n.div_ceil(m);
+        let floor = n / m;
+        let mut load = vec![0usize; plan.new_active.len()];
+        for &d in &plan.new_primary {
+            assert!(plan.new_active[d as usize], "primary on inactive slot");
+            load[d as usize] += 1;
+        }
+        for (d, &l) in load.iter().enumerate() {
+            if plan.new_active[d] {
+                assert!(
+                    (floor..=cap).contains(&l),
+                    "slot {d} load {l} not in [{floor},{cap}]"
+                );
+            } else {
+                assert_eq!(l, 0);
+            }
+        }
+        if let Some(sec) = &plan.new_secondary {
+            let tcap = (2 * n).div_ceil(m);
+            let tfloor = (2 * n) / m;
+            let mut total = load;
+            for (pos, &s) in sec.iter().enumerate() {
+                assert!(plan.new_active[s as usize], "secondary on inactive slot");
+                assert_ne!(s, plan.new_primary[pos], "secondary equals primary");
+                total[s as usize] += 1;
+            }
+            for (d, &t) in total.iter().enumerate() {
+                if plan.new_active[d] {
+                    assert!(
+                        (tfloor..=tcap).contains(&t),
+                        "slot {d} total {t} not in [{tfloor},{tcap}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grow_restores_balance_with_bounded_movement() {
+        let input = instance(9, 9);
+        let ra = replicated(&input, 8);
+        let plan = plan_grow(&input, &ra, 1, &RepairConfig::default());
+        check_plan(&input, &plan);
+        assert!(plan.full_moves > 0);
+        assert!(
+            plan.movement_ratio() <= 0.35,
+            "incremental {} vs full {} ({}x)",
+            plan.primary_moves,
+            plan.full_moves,
+            plan.movement_ratio()
+        );
+        // The new slot actually received data.
+        assert!(plan.new_primary.contains(&8));
+    }
+
+    #[test]
+    fn shrink_drains_the_removed_slot() {
+        let input = instance(8, 8);
+        let ra = replicated(&input, 5);
+        let plan = plan_shrink(&input, &ra, 2, &RepairConfig::default());
+        check_plan(&input, &plan);
+        assert!(plan.new_primary.iter().all(|&d| d != 2));
+        assert!(plan.new_secondary.as_ref().unwrap().iter().all(|&d| d != 2));
+        // Every bucket previously on slot 2 (either copy) appears in moves.
+        for pos in 0..input.n_buckets() {
+            if ra.primary().disk_at(pos) == 2 {
+                let id = input.buckets[pos].id;
+                assert!(plan
+                    .moves
+                    .iter()
+                    .any(|mv| mv.bucket == id && mv.copy == CopyKind::Primary));
+            }
+        }
+    }
+
+    #[test]
+    fn quality_knob_trades_moves_for_objective() {
+        let input = instance(10, 10);
+        let ra = replicated(&input, 6);
+        let cheap = plan_grow(
+            &input,
+            &ra,
+            1,
+            &RepairConfig {
+                quality: 0.0,
+                ..RepairConfig::default()
+            },
+        );
+        let rich = plan_grow(
+            &input,
+            &ra,
+            1,
+            &RepairConfig {
+                quality: 0.5,
+                ..RepairConfig::default()
+            },
+        );
+        check_plan(&input, &cheap);
+        check_plan(&input, &rich);
+        assert!(rich.primary_moves >= cheap.primary_moves);
+        assert!(rich.predicted_objective <= cheap.predicted_objective + 1e-12);
+    }
+
+    #[test]
+    fn identity_target_moves_nothing_at_zero_quality() {
+        let input = instance(6, 6);
+        let ra = replicated(&input, 4);
+        let target = vec![true; 4];
+        let sec: Vec<u32> = (0..input.n_buckets()).map(|p| ra.secondary_at(p)).collect();
+        let plan = plan_rebalance(
+            &input,
+            ra.primary().disks(),
+            Some(&sec),
+            &target,
+            &RepairConfig {
+                quality: 0.0,
+                ..RepairConfig::default()
+            },
+        );
+        assert_eq!(plan.n_moves(), 0, "balanced input needs no moves");
+        assert_eq!(plan.new_primary, ra.primary().disks());
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let input = instance(7, 9);
+        let ra = replicated(&input, 5);
+        let a = plan_grow(&input, &ra, 2, &RepairConfig::default());
+        let b = plan_grow(&input, &ra, 2, &RepairConfig::default());
+        assert_eq!(a.new_primary, b.new_primary);
+        assert_eq!(a.new_secondary, b.new_secondary);
+        assert_eq!(a.n_moves(), b.n_moves());
+    }
+
+    #[test]
+    fn movement_bytes_follow_record_sizes() {
+        let input = instance(6, 6);
+        let ra = replicated(&input, 3);
+        let plan = plan_grow(
+            &input,
+            &ra,
+            1,
+            &RepairConfig {
+                record_bytes: 64,
+                quality: 0.0,
+                ..RepairConfig::default()
+            },
+        );
+        // Cartesian instances hold one record per bucket.
+        assert_eq!(plan.moved_bytes, 64 * plan.n_moves() as u64);
+        assert!(plan.moves.iter().all(|mv| mv.bytes == 64));
+    }
+
+    #[test]
+    fn skewed_layout_is_repaired_even_without_resize() {
+        // All buckets piled on slot 0 of 4: the plan must spread them.
+        let input = instance(6, 6);
+        let n = input.n_buckets();
+        let primary = Assignment::new(&input, 4, vec![0; n]);
+        let plan = plan_rebalance(
+            &input,
+            primary.disks(),
+            None,
+            &[true; 4],
+            &RepairConfig::default(),
+        );
+        check_plan(&input, &plan);
+        assert!(plan.predicted_objective < plan.current_objective);
+        assert!(plan.new_secondary.is_none());
+    }
+
+    #[test]
+    fn objective_prefers_spread_layouts() {
+        let input = instance(4, 4);
+        let n = input.n_buckets();
+        let piled = vec![0u32; n];
+        let spread: Vec<u32> = (0..n as u32).collect();
+        let w = EdgeWeight::Proximity;
+        assert!(
+            co_residency_objective(&input, &spread, w) < co_residency_objective(&input, &piled, w)
+        );
+        assert_eq!(co_residency_objective(&input, &spread, w), 0.0);
+    }
+}

@@ -20,6 +20,10 @@
 //! pargrid query --addr 127.0.0.1:7878 --delete 9001,137.5,42.0 # ... and delete again
 //! pargrid query --addr 127.0.0.1:7878 --stats                  # Prometheus metrics
 //! pargrid query --addr 127.0.0.1:7878 --shutdown               # graceful stop
+//! pargrid serve my.pgf --method minimax --disks 8 --standby 2  # + standby workers
+//! pargrid rebalance --addr 127.0.0.1:7878 --add-workers 2      # grow the cluster live
+//! pargrid rebalance --addr 127.0.0.1:7878 --remove-worker 0    # drain + shrink
+//! pargrid rebalance --addr 127.0.0.1:7878 --add-workers 1 --dry-run   # preview the plan
 //! ```
 //!
 //! `--trace` writes a Chrome `trace_event` JSON of one traced engine run —
@@ -39,8 +43,9 @@ fn usage() -> ExitCode {
          pargrid pmatch FILE.pgf --keys V|*,V|*[,...]\n  \
          pargrid decluster FILE.pgf --method M --disks N [--seed N] [--out FILE.csv]\n  \
          pargrid evaluate FILE.pgf --method M --disks N [--ratio R] [--queries N] [--seed N] [--clients K] [--replicate] [--fail K] [--chaos SEED] [--deadline-us N] [--trace FILE.json] [--metrics FILE.prom]\n  \
-         pargrid serve FILE.pgf --method M --disks N [--addr H:P] [--seed N] [--queue N] [--dispatchers K] [--pace-us N] [--replicate] [--wal DIR]\n  \
-         pargrid query --addr H:P --range LO..HI[,...] | --keys V|*[,...] | --insert ID,C[,...] | --delete ID,C[,...] | --ping | --stats | --shutdown\n\n  \
+         pargrid serve FILE.pgf --method M --disks N [--addr H:P] [--seed N] [--queue N] [--dispatchers K] [--pace-us N] [--replicate] [--standby K] [--wal DIR]\n  \
+         pargrid query --addr H:P --range LO..HI[,...] | --keys V|*[,...] | --insert ID,C[,...] | --delete ID,C[,...] | --ping | --stats | --shutdown\n  \
+         pargrid rebalance --addr H:P --add-workers K | --remove-worker I [--dry-run]\n\n  \
          methods: dm fx gdm hcam zcam gcam scan ssp mst kl minimax minimax-euclid"
     );
     ExitCode::FAILURE
@@ -61,6 +66,7 @@ fn main() -> ExitCode {
         "decluster" => cmd_decluster(rest),
         "evaluate" => cmd_evaluate(rest),
         "serve" => cmd_serve(rest),
+        "rebalance" => cmd_rebalance(rest),
         _ => Err("unknown command".into()),
     };
     match result {
@@ -103,6 +109,7 @@ const BOOLEAN_FLAGS: &[&str] = &[
     "--ping",
     "--stats",
     "--shutdown",
+    "--dry-run",
 ];
 
 fn positional(args: &[String]) -> Option<&str> {
@@ -507,6 +514,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
     if replicate && disks < 2 {
         return Err("--replicate needs at least 2 disks".into());
     }
+    let standby: usize = flag_parse(args, "--standby", 0)?;
     let wal_dir = flag_value(args, "--wal")?.map(|s| s.to_string());
 
     // Durable mode: the --wal directory is authoritative. First run seeds
@@ -537,16 +545,13 @@ fn cmd_serve(args: &[String]) -> CliResult {
 
     let input = DeclusterInput::from_grid_file(&gf);
     let gf = std::sync::Arc::new(gf);
+    let engine_config = EngineConfig::default().with_standby_workers(standby);
     let engine = if replicate {
         let ra = method.assign_replicated(&input, disks, seed);
-        ParallelGridFile::build_replicated(std::sync::Arc::clone(&gf), &ra, EngineConfig::default())
+        ParallelGridFile::build_replicated(std::sync::Arc::clone(&gf), &ra, engine_config)
     } else {
         let assignment = method.assign(&input, disks, seed);
-        ParallelGridFile::build(
-            std::sync::Arc::clone(&gf),
-            &assignment,
-            EngineConfig::default(),
-        )
+        ParallelGridFile::build(std::sync::Arc::clone(&gf), &assignment, engine_config)
     };
     if let Some(wal) = wal {
         engine.attach_wal(wal);
@@ -560,16 +565,23 @@ fn cmd_serve(args: &[String]) -> CliResult {
             dispatchers,
             pace_us_per_block,
             // The CLI server is meant to be driven by `pargrid query
-            // --shutdown` (and the CI smoke job does exactly that).
+            // --shutdown` and `pargrid rebalance` (the CI smoke jobs do
+            // exactly that).
             allow_remote_shutdown: true,
+            allow_remote_rebalance: true,
             ..pargrid::net::ServerConfig::default()
         },
     )
     .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     println!(
-        "serving {path} ({} over {disks} disks{}) — {dispatchers} dispatchers, queue {queue}",
+        "serving {path} ({} over {disks} disks{}{}) — {dispatchers} dispatchers, queue {queue}",
         method.label(),
         if replicate { ", replicated" } else { "" },
+        if standby > 0 {
+            format!(", {standby} standby")
+        } else {
+            String::new()
+        },
     );
     println!("listening on {}", server.local_addr());
     println!(
@@ -592,6 +604,54 @@ fn cmd_serve(args: &[String]) -> CliResult {
     }
     println!("server stopped; final metrics:");
     print!("{doc}");
+    Ok(())
+}
+
+fn cmd_rebalance(args: &[String]) -> CliResult {
+    let addr = flag_value(args, "--addr")?.ok_or("rebalance needs --addr")?;
+    let add: Option<u32> = match flag_value(args, "--add-workers")? {
+        Some(v) => Some(v.parse().map_err(|_| format!("bad --add-workers {v}"))?),
+        None => None,
+    };
+    let remove: Option<u32> = match flag_value(args, "--remove-worker")? {
+        Some(v) => Some(v.parse().map_err(|_| format!("bad --remove-worker {v}"))?),
+        None => None,
+    };
+    let cmd = match (add, remove) {
+        (Some(k), None) => pargrid::net::RebalanceCmd::AddWorkers(k),
+        (None, Some(w)) => pargrid::net::RebalanceCmd::RemoveWorker(w),
+        _ => {
+            return Err(
+                "rebalance needs exactly one of --add-workers K or --remove-worker I".into(),
+            )
+        }
+    };
+    let dry_run = has_flag(args, "--dry-run");
+    let mut client =
+        pargrid::net::Client::connect_retry(addr, 5, std::time::Duration::from_millis(100))
+            .map_err(|e| format!("{addr}: {e}"))?;
+    let rep = client.rebalance(cmd, dry_run).map_err(|e| e.to_string())?;
+    println!(
+        "rebalance {}: {} moves ({} bytes), {} active workers",
+        if rep.applied { "applied" } else { "dry run" },
+        rep.moves,
+        rep.moved_bytes,
+        rep.active_workers
+    );
+    println!(
+        "movement        {} incremental vs {} full re-decluster ({:.1}% of full)",
+        rep.moves,
+        rep.full_moves,
+        if rep.full_moves > 0 {
+            100.0 * rep.moves as f64 / rep.full_moves as f64
+        } else {
+            0.0
+        }
+    );
+    println!(
+        "objective       {:.4} repaired vs {:.4} full re-decluster (lower is better)",
+        rep.predicted_objective, rep.baseline_objective
+    );
     Ok(())
 }
 
