@@ -73,6 +73,28 @@ pub trait Strategy {
     type Value;
     /// Draws one input.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (proptest's `prop_map`).
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter applying a function to every generated value
+/// ([`Strategy::prop_map`]).
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
 }
 
 /// `Strategy` is object-safe; boxed strategies are strategies too.
@@ -110,6 +132,18 @@ pub trait Arbitrary: Sized {
 impl Arbitrary for u64 {
     fn arbitrary(rng: &mut TestRng) -> u64 {
         rng.next_u64()
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> u8 {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Arbitrary for u16 {
+    fn arbitrary(rng: &mut TestRng) -> u16 {
+        (rng.next_u64() >> 48) as u16
     }
 }
 
@@ -247,7 +281,7 @@ pub mod prop {
     /// Collection strategies.
     pub mod collection {
         use super::super::{Strategy, TestRng};
-        use std::ops::Range;
+        use std::ops::{Range, RangeInclusive};
 
         /// Acceptable size arguments for [`vec`]: a fixed size or a range.
         pub trait IntoSize {
@@ -262,6 +296,12 @@ pub mod prop {
         }
 
         impl IntoSize for Range<usize> {
+            fn pick(&self, rng: &mut TestRng) -> usize {
+                Strategy::generate(self, rng)
+            }
+        }
+
+        impl IntoSize for RangeInclusive<usize> {
             fn pick(&self, rng: &mut TestRng) -> usize {
                 Strategy::generate(self, rng)
             }
@@ -283,6 +323,31 @@ pub mod prop {
             fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
                 let n = self.len.pick(rng);
                 (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// `Option` strategies.
+    pub mod option {
+        use super::super::{Strategy, TestRng};
+
+        /// Strategy producing `Option`s of inputs from `element`.
+        pub struct OptionStrategy<S>(S);
+
+        /// `prop::option::of(element)`: `None` a quarter of the time,
+        /// `Some` of the element strategy otherwise.
+        pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+            OptionStrategy(element)
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.next_u64() >> 62 == 0 {
+                    None
+                } else {
+                    Some(self.0.generate(rng))
+                }
             }
         }
     }

@@ -32,6 +32,7 @@ const EXPERIMENTS: &[&str] = &[
     "resilience",
     "serving",
     "rebalance",
+    "failover",
     "ablation-curves",
     "ablation-minimax",
     "ablation-cost",
@@ -114,6 +115,7 @@ fn main() -> ExitCode {
             "resilience" => exp::resilience::run(&params),
             "serving" => exp::serving::run(&params),
             "rebalance" => exp::rebalance::run(&params),
+            "failover" => exp::failover::run(&params),
             "ablation-curves" => exp::ablations::run_curves(&params),
             "ablation-minimax" => exp::ablations::run_minimax(&params),
             "ablation-cost" => exp::ablations::run_cost(&params),

@@ -2,6 +2,7 @@
 
 pub mod ablations;
 pub mod degradation;
+pub mod failover;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;

@@ -1,0 +1,237 @@
+//! A cluster-aware client: wraps the blocking [`pargrid_net::Client`]
+//! with leader discovery and failover retry.
+//!
+//! The caller hands it every coordinator's client address. Each
+//! operation walks a simple loop until a bounded deadline: try the
+//! current connection; on a `NotLeader{hint}` redirect follow the hint
+//! (or rotate to the next coordinator when the hint is empty — a
+//! follower that has not yet heard from any leader); on a socket or
+//! framing error drop the connection, rotate, and sleep a short
+//! jittered backoff so a thundering herd of clients does not retry in
+//! lockstep against a coordinator that is mid-election.
+//!
+//! Retrying mutations is safe here even though a failover can make an
+//! acknowledged-on-the-wire outcome *indeterminate*: cluster inserts
+//! are upserts and deletes are idempotent (`DESIGN.md` §15), so an
+//! at-least-once client cannot duplicate or resurrect records.
+
+use std::fmt;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use pargrid_net::client::{Client, ClientError};
+use pargrid_net::proto::{MutationAck, RecordsReply, WireError};
+
+/// Default per-operation deadline.
+const DEFAULT_DEADLINE_MS: u64 = 10_000;
+/// Base sleep between failed attempts (jittered ×1..×3).
+const RETRY_BASE_MS: u64 = 15;
+
+/// Why a cluster operation ultimately gave up.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ClusterClientError {
+    /// The per-operation deadline expired; carries the last underlying
+    /// failure observed.
+    Deadline(String),
+    /// A coordinator answered with a typed error that retrying cannot
+    /// fix (malformed request, unsupported operation, …).
+    Server(WireError),
+}
+
+impl fmt::Display for ClusterClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterClientError::Deadline(last) => {
+                write!(f, "cluster operation deadline expired (last error: {last})")
+            }
+            ClusterClientError::Server(e) => write!(f, "cluster server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterClientError {}
+
+/// A client that tracks the cluster's leader across failovers.
+pub struct ClusterClient {
+    /// Every coordinator's client-facing address.
+    addrs: Vec<String>,
+    /// Index of the coordinator currently believed to lead.
+    current: usize,
+    conn: Option<Client>,
+    deadline: Duration,
+    /// Cheap xorshift state for retry jitter.
+    rng: u64,
+}
+
+impl ClusterClient {
+    /// Creates a client over the given coordinator addresses. No
+    /// connection is made until the first operation.
+    pub fn new(addrs: Vec<String>) -> ClusterClient {
+        assert!(!addrs.is_empty(), "at least one coordinator address");
+        let seed = addrs
+            .iter()
+            .flat_map(|a| a.bytes())
+            .fold(0xcafe_f00d_u64, |h, b| {
+                (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+            });
+        ClusterClient {
+            addrs,
+            current: 0,
+            conn: None,
+            deadline: Duration::from_millis(DEFAULT_DEADLINE_MS),
+            rng: seed | 1,
+        }
+    }
+
+    /// Overrides the per-operation deadline (default 10 s).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// The address of the coordinator the client currently talks to.
+    pub fn current_addr(&self) -> &str {
+        &self.addrs[self.current]
+    }
+
+    fn rotate(&mut self) {
+        self.conn = None;
+        self.current = (self.current + 1) % self.addrs.len();
+    }
+
+    /// Follows a `NotLeader` hint: switch to the hinted address if we
+    /// know it, otherwise just rotate.
+    fn follow_hint(&mut self, hint: &str) {
+        self.conn = None;
+        if let Some(i) = self.addrs.iter().position(|a| a == hint) {
+            self.current = i;
+        } else if !hint.is_empty() {
+            // A leader outside the configured set (e.g. config drift):
+            // still follow it.
+            self.addrs.push(hint.to_string());
+            self.current = self.addrs.len() - 1;
+        } else {
+            self.rotate();
+        }
+    }
+
+    fn backoff(&mut self) {
+        // xorshift64
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        let jitter = 1 + (x % 3);
+        thread::sleep(Duration::from_millis(RETRY_BASE_MS * jitter));
+    }
+
+    /// Runs `op` against the leader, re-resolving it as needed, until
+    /// success or the deadline.
+    fn with_leader<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClusterClientError> {
+        let start = Instant::now();
+        let mut last = String::from("no attempt made");
+        while start.elapsed() < self.deadline {
+            if self.conn.is_none() {
+                match Client::connect(self.current_addr()) {
+                    Ok(c) => self.conn = Some(c),
+                    Err(e) => {
+                        last = format!("connect {}: {e}", self.current_addr());
+                        self.rotate();
+                        self.backoff();
+                        continue;
+                    }
+                }
+            }
+            let conn = self.conn.as_mut().expect("connection just established");
+            match op(conn) {
+                Ok(v) => return Ok(v),
+                Err(ClientError::Server(WireError::NotLeader { hint })) => {
+                    last = format!("redirected (hint: {hint:?})");
+                    self.follow_hint(&hint);
+                    self.backoff();
+                }
+                Err(ClientError::Server(WireError::MutationFailed(m))) => {
+                    // Indeterminate under replication; retrying is safe
+                    // because cluster mutations are upserts/idempotent.
+                    last = format!("mutation indeterminate: {m}");
+                    self.conn = None;
+                    self.backoff();
+                }
+                Err(ClientError::Server(WireError::Overloaded { retry_after_ms })) => {
+                    last = "overloaded".to_string();
+                    thread::sleep(Duration::from_millis(u64::from(retry_after_ms).max(1)));
+                }
+                Err(ClientError::Server(e)) => return Err(ClusterClientError::Server(e)),
+                Err(e) => {
+                    // Socket/framing/decode failure: the coordinator may
+                    // have just died. Rotate and keep trying.
+                    last = e.to_string();
+                    self.rotate();
+                    self.backoff();
+                }
+            }
+        }
+        Err(ClusterClientError::Deadline(last))
+    }
+
+    /// Range query against the current leader.
+    pub fn range_query(
+        &mut self,
+        lo: &[f64],
+        hi: &[f64],
+    ) -> Result<RecordsReply, ClusterClientError> {
+        self.with_leader(|c| c.range_query(lo, hi))
+    }
+
+    /// Partial-match query against the current leader.
+    pub fn partial_match(
+        &mut self,
+        keys: &[Option<f64>],
+    ) -> Result<RecordsReply, ClusterClientError> {
+        let keys = keys.to_vec();
+        self.with_leader(move |c| c.partial_match(&keys))
+    }
+
+    /// Insert (cluster semantics: upsert) through the leader.
+    pub fn insert(&mut self, id: u64, key: &[f64]) -> Result<MutationAck, ClusterClientError> {
+        self.with_leader(|c| c.insert(id, key))
+    }
+
+    /// Delete through the leader.
+    pub fn delete(&mut self, id: u64, key: &[f64]) -> Result<MutationAck, ClusterClientError> {
+        self.with_leader(|c| c.delete(id, key))
+    }
+
+    /// Pings whichever coordinator the client currently talks to (thin
+    /// followers answer pings too — this does not prove leadership).
+    pub fn ping(&mut self, token: u64) -> Result<u64, ClusterClientError> {
+        self.with_leader(|c| c.ping(token))
+    }
+
+    /// Fetches the Prometheus stats document from the current target.
+    pub fn stats(&mut self) -> Result<String, ClusterClientError> {
+        self.with_leader(|c| c.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hint_following_prefers_known_addresses() {
+        let mut c = ClusterClient::new(vec!["a:1".into(), "b:2".into()]);
+        assert_eq!(c.current_addr(), "a:1");
+        c.follow_hint("b:2");
+        assert_eq!(c.current_addr(), "b:2");
+        c.follow_hint(""); // empty hint rotates
+        assert_eq!(c.current_addr(), "a:1");
+        c.follow_hint("c:3"); // unknown leader is adopted
+        assert_eq!(c.current_addr(), "c:3");
+    }
+}

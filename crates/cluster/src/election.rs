@@ -1,0 +1,200 @@
+//! Leader election as a pure state machine: injected clock, seeded
+//! randomized timeouts, no I/O — the coordinator's ticker drives it and
+//! tests can single-step it deterministically.
+//!
+//! The protocol is the familiar term/vote/heartbeat shape: a follower
+//! whose election timer expires becomes a candidate in `term + 1`, votes
+//! for itself, and solicits votes from every *voter* — the other
+//! coordinators **and every worker process**. Workers voting is what
+//! keeps the common 2-coordinator deployment available: after the leader
+//! dies, the standby can still assemble a majority of (coordinators +
+//! workers). A candidate that sees a higher term, or a heartbeat from a
+//! leader at its own term, steps down. The winning term becomes the
+//! cluster's **fencing epoch**.
+
+use rand::{Rng, SeedableRng};
+
+/// A node's current election role.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Deferring to a leader (or waiting for a timeout).
+    Follower,
+    /// Soliciting votes for `term`.
+    Candidate,
+    /// Won `term`; serving clients and heartbeating.
+    Leader,
+}
+
+/// The pure election state machine. All transitions take `now_ms` from
+/// the caller; nothing in here reads a clock or a socket.
+#[derive(Debug)]
+pub struct Election {
+    /// This node's id.
+    pub id: u32,
+    /// Current term (== fencing epoch when leading).
+    pub term: u64,
+    /// Current role.
+    pub role: Role,
+    /// Total voters in the cluster: coordinators + voting workers.
+    voters: usize,
+    /// `(term, candidate)` this node last granted its own vote to.
+    voted: Option<(u64, u32)>,
+    /// Votes gathered as a candidate (self included).
+    votes: usize,
+    /// When the current election timeout expires.
+    deadline_ms: u64,
+    /// Randomized timeout range.
+    timeout_ms: (u64, u64),
+    rng: rand::rngs::StdRng,
+}
+
+impl Election {
+    /// Creates a follower with a randomized first deadline. `voters` is
+    /// the total electorate size (this node included).
+    pub fn new(id: u32, voters: usize, timeout_ms: (u64, u64), seed: u64, now_ms: u64) -> Election {
+        let mut el = Election {
+            id,
+            term: 0,
+            role: Role::Follower,
+            voters: voters.max(1),
+            voted: None,
+            votes: 0,
+            deadline_ms: 0,
+            timeout_ms,
+            rng: rand::rngs::StdRng::seed_from_u64(seed ^ u64::from(id).wrapping_mul(0x9e3779b9)),
+        };
+        el.reset_deadline(now_ms);
+        el
+    }
+
+    /// Votes needed to win: a strict majority of the electorate.
+    pub fn quorum(&self) -> usize {
+        self.voters / 2 + 1
+    }
+
+    fn reset_deadline(&mut self, now_ms: u64) {
+        let (lo, hi) = self.timeout_ms;
+        self.deadline_ms = now_ms + self.rng.random_range(lo..hi.max(lo + 1));
+    }
+
+    /// Ticks the timer. Returns `true` when the node should start (or
+    /// restart) an election: it has already bumped its term, voted for
+    /// itself, and become a candidate — the caller solicits the votes.
+    pub fn tick(&mut self, now_ms: u64) -> bool {
+        if self.role == Role::Leader || now_ms < self.deadline_ms {
+            return false;
+        }
+        self.term += 1;
+        self.role = Role::Candidate;
+        self.voted = Some((self.term, self.id));
+        self.votes = 1; // self
+        self.reset_deadline(now_ms);
+        true
+    }
+
+    /// A vote came back. Returns `true` when this vote wins the election
+    /// (the caller promotes to leader via [`Election::become_leader`]).
+    pub fn on_vote(&mut self, term: u64, granted: bool) -> bool {
+        if self.role != Role::Candidate || term != self.term {
+            if term > self.term {
+                self.step_down(term);
+            }
+            return false;
+        }
+        if granted {
+            self.votes += 1;
+        }
+        self.votes >= self.quorum()
+    }
+
+    /// Marks this node leader of its current term.
+    pub fn become_leader(&mut self) {
+        self.role = Role::Leader;
+    }
+
+    /// A heartbeat/append arrived from `term`'s leader. Returns whether
+    /// the message should be accepted (it is from the current or a newer
+    /// term). Accepting defers: candidate/leader step down, the election
+    /// timer resets.
+    pub fn on_leader_message(&mut self, term: u64, now_ms: u64) -> bool {
+        if term < self.term {
+            return false;
+        }
+        if term > self.term || self.role != Role::Follower {
+            self.step_down(term);
+        }
+        self.reset_deadline(now_ms);
+        true
+    }
+
+    /// Another node asks for this node's vote. One vote per term,
+    /// idempotent for the same candidate; `log_ok` is the caller's
+    /// election-restriction check (candidate log at least as complete as
+    /// ours).
+    pub fn grant_vote(&mut self, term: u64, candidate: u32, log_ok: bool, now_ms: u64) -> bool {
+        if term > self.term {
+            self.step_down(term);
+        }
+        if term < self.term || !log_ok {
+            return false;
+        }
+        let granted = match self.voted {
+            Some((t, c)) => t < term || (t == term && c == candidate),
+            None => true,
+        };
+        if granted {
+            self.voted = Some((term, candidate));
+            self.reset_deadline(now_ms);
+        }
+        granted
+    }
+
+    fn step_down(&mut self, term: u64) {
+        self.term = self.term.max(term);
+        self.role = Role::Follower;
+        self.votes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeout_elects_with_quorum() {
+        // 2 coordinators + 3 workers = 5 voters, quorum 3.
+        let mut el = Election::new(1, 5, (150, 300), 7, 0);
+        assert_eq!(el.quorum(), 3);
+        assert!(!el.tick(100));
+        assert!(el.tick(400), "deadline must have expired by 400ms");
+        assert_eq!(el.role, Role::Candidate);
+        assert_eq!(el.term, 1);
+        assert!(!el.on_vote(1, true), "2 of 3 needed votes");
+        assert!(el.on_vote(1, true), "3rd vote wins");
+        el.become_leader();
+        assert_eq!(el.role, Role::Leader);
+        assert!(!el.tick(10_000), "leaders don't time out");
+    }
+
+    #[test]
+    fn higher_term_heartbeat_deposes() {
+        let mut el = Election::new(1, 3, (150, 300), 7, 0);
+        assert!(el.tick(500));
+        assert!(el.on_vote(1, true));
+        el.become_leader();
+        assert!(el.on_leader_message(2, 600));
+        assert_eq!(el.role, Role::Follower);
+        assert_eq!(el.term, 2);
+        assert!(!el.on_leader_message(1, 700), "stale leader refused");
+    }
+
+    #[test]
+    fn one_vote_per_term() {
+        let mut el = Election::new(0, 3, (150, 300), 7, 0);
+        assert!(el.grant_vote(3, 1, true, 10));
+        assert!(el.grant_vote(3, 1, true, 20), "idempotent re-grant");
+        assert!(!el.grant_vote(3, 2, true, 30), "no second candidate");
+        assert!(el.grant_vote(4, 2, true, 40), "new term, new vote");
+        assert!(!el.grant_vote(5, 2, false, 50), "short log refused");
+    }
+}

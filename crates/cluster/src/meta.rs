@@ -1,0 +1,210 @@
+//! The replicated metadata log: the oplog of acknowledged mutations (and
+//! rebalance epochs) that standby coordinators mirror so a failover
+//! cannot lose a write the client saw acknowledged.
+//!
+//! Entries are 1-based and strictly consecutive. The leader appends an
+//! entry and replicates it to every online standby *before* the client's
+//! ack; the commit index (highest entry known held by all online
+//! standbys) rides on the next append. Followers apply committed entries
+//! to their mirror [`GridFile`] eagerly; a freshly promoted leader
+//! applies its *entire* log — committed prefix and tail — because the
+//! unanimous-ack rule guarantees every acknowledged mutation is in it.
+
+use pargrid_geom::Point;
+use pargrid_gridfile::{GridFile, Record};
+use pargrid_net::cluster_proto::MetaOp;
+
+/// One appended operation with the term that appended it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetaEntry {
+    /// Leader term at append time.
+    pub term: u64,
+    /// The operation.
+    pub op: MetaOp,
+}
+
+/// An append-only metadata log plus apply/commit cursors.
+#[derive(Debug, Default)]
+pub struct MetaLog {
+    entries: Vec<MetaEntry>,
+    /// Highest index known replicated to every online standby.
+    pub commit: u64,
+    /// Highest index already applied to the local mirror.
+    pub applied: u64,
+    /// Rebalance epoch carried by the log (mirrors the live engine's).
+    pub rebalance_epoch: u64,
+}
+
+impl MetaLog {
+    /// Empty log.
+    pub fn new() -> MetaLog {
+        MetaLog::default()
+    }
+
+    /// Log length (== index of the last entry; indices are 1-based).
+    pub fn len(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// Whether the log has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends one op at the tail; returns its (1-based) index.
+    pub fn append(&mut self, term: u64, op: MetaOp) -> u64 {
+        self.entries.push(MetaEntry { term, op });
+        self.len()
+    }
+
+    /// Entries from `start` (1-based) to the tail, for replication.
+    pub fn from_index(&self, start: u64) -> Vec<MetaOp> {
+        if start == 0 || start > self.len() {
+            return Vec::new();
+        }
+        self.entries[(start - 1) as usize..]
+            .iter()
+            .map(|e| e.op.clone())
+            .collect()
+    }
+
+    /// Follower-side append: accepts `ops` at `start_index` if that
+    /// position is within or immediately after the current log, refuses
+    /// gaps. Returns whether the ops were installed.
+    ///
+    /// The applied prefix is never rewritten — it holds only committed
+    /// entries, which are identical on every node (unanimous ack + the
+    /// election restriction), so any overlap there is a retransmit and
+    /// is skipped. Everything *beyond* the applied cursor is the
+    /// leader's to dictate: a stale uncommitted tail left behind by a
+    /// deposed leader is truncated and overwritten, which is exactly how
+    /// a rejoining old leader converges onto the new regime's log.
+    pub fn install(&mut self, term: u64, start_index: u64, ops: &[MetaOp]) -> bool {
+        if start_index == 0 || start_index > self.len() + 1 {
+            return false;
+        }
+        let (start_index, ops) = if start_index <= self.applied {
+            let skip = (self.applied - start_index + 1) as usize;
+            if skip > ops.len() {
+                // The sender claims its log ends *below* our applied
+                // cursor — impossible for a legitimate current-term
+                // leader (the election restriction guarantees its log
+                // covers every voter's committed prefix). Refuse to
+                // touch the applied prefix.
+                return true;
+            }
+            (self.applied + 1, &ops[skip..])
+        } else {
+            (start_index, ops)
+        };
+        self.entries.truncate((start_index - 1) as usize);
+        for op in ops {
+            self.entries.push(MetaEntry {
+                term,
+                op: op.clone(),
+            });
+        }
+        true
+    }
+
+    /// Applies entries `applied + 1 ..= upto` to the mirror grid file.
+    /// Idempotent per cursor; `upto` is clamped to the log length.
+    pub fn apply_to(&mut self, gf: &mut GridFile, upto: u64) {
+        let upto = upto.min(self.len());
+        while self.applied < upto {
+            let e = &self.entries[self.applied as usize];
+            match &e.op {
+                MetaOp::Noop => {}
+                MetaOp::Insert { id, key } => {
+                    // Upsert: a client that never saw its ack may retry
+                    // the same insert after a failover; applying the
+                    // retried entry must not duplicate the record.
+                    let p = Point::new(key);
+                    gf.delete(*id, &p);
+                    gf.insert(Record::new(*id, p));
+                }
+                MetaOp::Delete { id, key } => {
+                    gf.delete(*id, &Point::new(key));
+                }
+                MetaOp::Rebalance { epoch } => {
+                    self.rebalance_epoch = self.rebalance_epoch.max(*epoch);
+                }
+            }
+            self.applied += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pargrid_geom::Rect;
+    use pargrid_gridfile::GridConfig;
+
+    fn tiny_grid() -> GridFile {
+        let mut gf = GridFile::new(GridConfig::new(Rect::new2(0.0, 0.0, 100.0, 100.0), 0));
+        for i in 0..10u64 {
+            gf.insert(Record::new(i, Point::new2(i as f64, i as f64)));
+        }
+        gf
+    }
+
+    #[test]
+    fn apply_mirrors_mutations() {
+        let mut gf = tiny_grid();
+        let mut log = MetaLog::new();
+        log.append(
+            1,
+            MetaOp::Insert {
+                id: 100,
+                key: vec![3.5, 4.5],
+            },
+        );
+        log.append(
+            1,
+            MetaOp::Delete {
+                id: 0,
+                key: vec![0.0, 0.0],
+            },
+        );
+        log.apply_to(&mut gf, 1);
+        assert_eq!(gf.len(), 11);
+        assert_eq!(log.applied, 1);
+        log.apply_to(&mut gf, 2);
+        assert_eq!(gf.len(), 10);
+        // Re-applying is a no-op.
+        log.apply_to(&mut gf, 2);
+        assert_eq!(gf.len(), 10);
+    }
+
+    #[test]
+    fn install_refuses_gaps_and_overwrites_stale_tails() {
+        let mut log = MetaLog::new();
+        assert!(log.install(1, 1, &[MetaOp::Noop, MetaOp::Noop]));
+        assert!(!log.install(1, 5, &[MetaOp::Noop]), "gap");
+        assert!(log.install(1, 3, &[MetaOp::Noop]));
+        assert_eq!(log.len(), 3);
+        log.applied = 2;
+        log.commit = 2;
+        // A new leader re-sending from index 1: the applied prefix is
+        // skipped, the uncommitted tail (entry 3) is overwritten — and a
+        // shorter leader log truncates the stale tail entirely.
+        assert!(log.install(
+            2,
+            1,
+            &[MetaOp::Noop, MetaOp::Noop, MetaOp::Rebalance { epoch: 7 }]
+        ));
+        assert_eq!(log.len(), 3);
+        assert_eq!(
+            log.from_index(3),
+            vec![MetaOp::Rebalance { epoch: 7 }],
+            "stale tail replaced by the new leader's entry"
+        );
+        assert!(log.install(2, 1, &[MetaOp::Noop, MetaOp::Noop]));
+        assert_eq!(log.len(), 2, "leader's shorter log clips the tail");
+        // An empty retransmit of the applied prefix leaves the log alone.
+        log.install(2, 3, &[MetaOp::Rebalance { epoch: 8 }]);
+        assert!(log.install(2, 1, &[MetaOp::Noop]));
+        assert_eq!(log.len(), 3);
+    }
+}

@@ -1,0 +1,489 @@
+//! The standalone worker process: `pargrid worker --listen ADDR`.
+//!
+//! A worker server is the over-the-wire twin of an engine worker thread.
+//! It holds one [`WorkerState`] per engine slot (a process can host
+//! several slots), built from pages its coordinator uploads with
+//! `WriteBlocks`, and services `Dispatch` frames through the *same*
+//! `service_dispatch` path an in-process worker uses — same elevator
+//! pass, same virtual disks, same seen-seq dedup window.
+//!
+//! Three behaviors distinguish it from a thread:
+//!
+//! * **Epoch fencing.** Every data-plane frame carries the issuing
+//!   leader's epoch. A frame below the worker's current epoch is answered
+//!   `Fenced` — a deposed coordinator cannot read or write anything here.
+//!   A join at a *higher* epoch resets the slot (store, dedup window,
+//!   reply cache): the new leader re-uploads its view of the data.
+//! * **Reply cache.** Retransmitted dispatches (same seq) are answered
+//!   from a bounded cache of encoded replies instead of being
+//!   re-executed, so a proxy that lost a connection mid-round-trip can
+//!   resend safely — the answer comes back once-computed, byte-identical.
+//! * **Voting.** Workers vote in coordinator elections (one vote per
+//!   term, refusing candidates whose log would lose committed writes),
+//!   which keeps a two-coordinator cluster electable after it loses one.
+
+use std::collections::HashMap;
+use std::io::BufWriter;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use pargrid_net::cluster_proto::{ClusterRequest, ClusterResponse, WireReply};
+use pargrid_net::frame::{read_frame, write_frame, FrameError};
+use pargrid_parallel::disk::DiskParams;
+use pargrid_parallel::message::QueryPriority;
+use pargrid_parallel::worker::WorkerState;
+use pargrid_parallel::BlockStore;
+
+/// Deterministic inbound-frame dropper: a programmable network partition.
+/// Each received frame is silently discarded with probability `rate`
+/// (the sender sees a read timeout, exactly like a lossy link), decided
+/// by a seeded xorshift so chaos runs reproduce.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosDrop {
+    /// RNG seed.
+    pub seed: u64,
+    /// Drop probability in `[0, 1)`.
+    pub rate: f64,
+}
+
+/// Tunables for [`WorkerServer::start`].
+#[derive(Clone, Debug)]
+pub struct WorkerConfig {
+    /// Virtual disks per hosted slot (the paper's SP-2 had 7 per node).
+    pub disks: usize,
+    /// Virtual disk cost model.
+    pub disk_params: DiskParams,
+    /// Optional partition injection.
+    pub chaos: Option<ChaosDrop>,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        WorkerConfig {
+            disks: 1,
+            disk_params: DiskParams::default(),
+            chaos: None,
+        }
+    }
+}
+
+/// One hosted engine slot: the worker state plus the retransmit
+/// reply cache.
+struct Slot {
+    state: WorkerState,
+    /// Encoded replies by seq, FIFO-evicted at the dedup-window size, so
+    /// a retransmit is answered byte-identically without re-execution.
+    replies: HashMap<u64, ClusterResponse>,
+    reply_order: std::collections::VecDeque<u64>,
+    reply_cap: usize,
+}
+
+/// Mutable cluster-facing state shared by all connections.
+struct Plane {
+    /// Slots hosted by this process, keyed by engine slot index.
+    slots: HashMap<u32, Slot>,
+    /// Current fencing epoch: the highest epoch seen in a join or lease.
+    /// Data-plane frames below it are answered `Fenced`.
+    epoch: u64,
+    /// Highest election term seen, and the term we last voted in (one
+    /// vote per term).
+    term: u64,
+    voted: Option<(u64, u32)>,
+    /// Highest committed log index any leader has advertised; candidates
+    /// with shorter logs are refused.
+    commit_seen: u64,
+}
+
+struct Shared {
+    cfg: WorkerConfig,
+    plane: Mutex<Plane>,
+    shutdown: AtomicBool,
+    /// Dispatches actually executed (cache answers excluded) — what the
+    /// reconnect-dedup test asserts on.
+    executed: AtomicU64,
+    /// Dispatches answered from the reply cache.
+    deduped: AtomicU64,
+    /// Connection counter: gives each connection its own chaos stream.
+    conn_seq: AtomicU64,
+}
+
+/// A running worker server. [`WorkerServer::shutdown`] (or dropping the
+/// process) stops it; coordinators treat an unreachable worker like a
+/// fail-stop engine worker.
+pub struct WorkerServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl WorkerServer {
+    /// Binds `addr` and starts serving the worker plane.
+    pub fn start(addr: impl ToSocketAddrs, cfg: WorkerConfig) -> std::io::Result<WorkerServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            cfg,
+            plane: Mutex::new(Plane {
+                slots: HashMap::new(),
+                epoch: 0,
+                term: 0,
+                voted: None,
+                commit_seen: 0,
+            }),
+            shutdown: AtomicBool::new(false),
+            executed: AtomicU64::new(0),
+            deduped: AtomicU64::new(0),
+            conn_seq: AtomicU64::new(0),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("pargrid-worker-accept".into())
+                .spawn(move || accept_loop(listener, shared))
+                .expect("spawn worker accept thread")
+        };
+        Ok(WorkerServer {
+            shared,
+            local_addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Dispatches executed for real (retransmits answered from the reply
+    /// cache are *not* counted here — see [`WorkerServer::deduped`]).
+    pub fn executed(&self) -> u64 {
+        self.shared.executed.load(Ordering::Relaxed)
+    }
+
+    /// Dispatches answered from the reply cache (retransmit dedups).
+    pub fn deduped(&self) -> u64 {
+        self.shared.deduped.load(Ordering::Relaxed)
+    }
+
+    /// The worker's current fencing epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.plane.lock().unwrap().epoch
+    }
+
+    /// Stops accepting and joins the accept thread. Live per-connection
+    /// threads die when their peers disconnect (or at process exit) —
+    /// the in-process tests always drop the coordinator side first.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Simulates `kill -9` for in-process chaos runs: the server stops
+    /// accepting *and* existing connections stop being answered, without
+    /// any goodbye to peers.
+    pub fn kill(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Drop for WorkerServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(&shared);
+                let _ = thread::Builder::new()
+                    .name("pargrid-worker-conn".into())
+                    .spawn(move || conn_loop(stream, shared));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn conn_loop(stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    // A dropped inbound frame must look like silence, not a closed
+    // connection: the reader keeps the stream open and simply never
+    // answers, so the proxy's read times out (a partition, not a crash).
+    //
+    // The seed is splitmix-mixed with a per-connection counter: raw
+    // xorshift from a small seed emits a tiny first value, which would
+    // deterministically drop the *first frame of every connection* —
+    // a total partition instead of a lossy link.
+    let mut chaos_rng = shared.cfg.chaos.map(|c| {
+        splitmix(
+            c.seed
+                ^ shared
+                    .conn_seq
+                    .fetch_add(1, Ordering::Relaxed)
+                    .wrapping_mul(0x9e37),
+        ) | 1
+    });
+    let mut reader = std::io::BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream);
+    // The slot this connection joined; data-plane frames are routed to it
+    // (each proxy opens one connection per engine slot).
+    let mut bound_slot: Option<u32> = None;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let frame = match read_frame(&mut reader) {
+            Ok(f) => f,
+            Err(FrameError::Closed) => return,
+            Err(FrameError::Io(_)) => return,
+            Err(_) => {
+                // Malformed frame: answer typed and keep the connection.
+                let (t, p) = ClusterResponse::ClusterErr("malformed frame".into()).encode();
+                if write_frame(&mut writer, t, &p).is_err() {
+                    return;
+                }
+                use std::io::Write;
+                let _ = writer.flush();
+                continue;
+            }
+        };
+        // Re-check after the (blocking) read: a killed worker is silent
+        // even for frames that were already in flight.
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if let (Some(chaos), Some(rng)) = (shared.cfg.chaos, chaos_rng.as_mut()) {
+            if chaos.rate > 0.0 && (xorshift(rng) >> 11) as f64 / ((1u64 << 53) as f64) < chaos.rate
+            {
+                continue; // dropped on the (virtual) floor
+            }
+        }
+        let resp = match ClusterRequest::decode(frame.msg_type, &frame.payload) {
+            Ok(req) => handle(&shared, req, &mut bound_slot),
+            Err(e) => ClusterResponse::ClusterErr(format!("bad request: {e}")),
+        };
+        let (t, p) = resp.encode();
+        if write_frame(&mut writer, t, &p).is_err() {
+            return;
+        }
+        use std::io::Write;
+        if writer.flush().is_err() {
+            return;
+        }
+    }
+}
+
+fn handle(
+    shared: &Arc<Shared>,
+    req: ClusterRequest,
+    bound_slot: &mut Option<u32>,
+) -> ClusterResponse {
+    let mut plane = shared.plane.lock().unwrap();
+    match req {
+        ClusterRequest::WorkerJoin {
+            slot,
+            epoch,
+            payload_bytes,
+            seen_seq_window,
+        } => {
+            if epoch < plane.epoch {
+                return ClusterResponse::Fenced { epoch: plane.epoch };
+            }
+            if epoch > plane.epoch {
+                // New regime: every slot's pages and dedup state belong
+                // to the old leader's upload; drop them all.
+                plane.slots.clear();
+                plane.epoch = epoch;
+            }
+            let cfg = &shared.cfg;
+            let cur_epoch = plane.epoch;
+            let entry = plane.slots.entry(slot).or_insert_with(|| Slot {
+                state: WorkerState::with_disks(
+                    slot as usize,
+                    payload_bytes as usize,
+                    cfg.disk_params,
+                    BlockStore::memory(),
+                    cfg.disks.max(1),
+                )
+                .with_seen_seq_window(seen_seq_window.max(1) as usize),
+                replies: HashMap::new(),
+                reply_order: std::collections::VecDeque::new(),
+                reply_cap: seen_seq_window.max(1) as usize,
+            });
+            *bound_slot = Some(slot);
+            ClusterResponse::Welcome {
+                slot,
+                epoch: cur_epoch,
+                blocks_held: entry.state.store.len() as u32,
+            }
+        }
+        ClusterRequest::Dispatch {
+            epoch,
+            query_id,
+            seq,
+            priority,
+            rect,
+            blocks,
+        } => {
+            if epoch < plane.epoch {
+                return ClusterResponse::Fenced { epoch: plane.epoch };
+            }
+            let Some(slot) = bound_slot.and_then(|id| plane.slots.get_mut(&id)) else {
+                return ClusterResponse::ClusterErr("no slot joined".into());
+            };
+            if let Some(cached) = slot.replies.get(&seq) {
+                shared.deduped.fetch_add(1, Ordering::Relaxed);
+                return cached.clone();
+            }
+            let prio = if priority == 0 {
+                QueryPriority::Interactive
+            } else {
+                QueryPriority::Batch
+            };
+            let Some(reply) = slot
+                .state
+                .service_dispatch(query_id, seq, &blocks, &rect, prio)
+            else {
+                // Seen seq but evicted from the reply cache: the proxy
+                // retransmitted something ancient. Refuse loudly rather
+                // than re-executing.
+                return ClusterResponse::ClusterErr(format!("seq {seq} already serviced"));
+            };
+            shared.executed.fetch_add(1, Ordering::Relaxed);
+            let resp = ClusterResponse::WorkerReply(WireReply {
+                query_id: reply.query_id,
+                seq: reply.seq,
+                worker: reply.worker_id as u32,
+                blocks_requested: reply.blocks_requested,
+                cache_hits: reply.cache_hits,
+                disk_us: reply.disk_us,
+                cpu_us: reply.cpu_us,
+                corrupt_blocks: reply.corrupt_blocks,
+                error: reply.error,
+                records: reply.records,
+            });
+            slot.replies.insert(seq, resp.clone());
+            slot.reply_order.push_back(seq);
+            while slot.reply_order.len() > slot.reply_cap {
+                if let Some(old) = slot.reply_order.pop_front() {
+                    slot.replies.remove(&old);
+                }
+            }
+            resp
+        }
+        ClusterRequest::WriteBlocks { epoch, blocks } => {
+            if epoch < plane.epoch {
+                return ClusterResponse::Fenced { epoch: plane.epoch };
+            }
+            let Some(slot) = bound_slot.and_then(|id| plane.slots.get_mut(&id)) else {
+                return ClusterResponse::ClusterErr("no slot joined".into());
+            };
+            let written = blocks.len() as u32;
+            slot.state.write_raw_blocks(blocks);
+            ClusterResponse::BlocksAck {
+                epoch: plane.epoch,
+                written,
+            }
+        }
+        ClusterRequest::FetchBlocks { epoch, blocks } => {
+            if epoch < plane.epoch {
+                return ClusterResponse::Fenced { epoch: plane.epoch };
+            }
+            let Some(slot) = bound_slot.and_then(|id| plane.slots.get(&id)) else {
+                return ClusterResponse::ClusterErr("no slot joined".into());
+            };
+            let raw = slot.state.fetch_raw_blocks(&blocks);
+            ClusterResponse::RawBlocks {
+                worker: raw.worker_id as u32,
+                blocks: raw.blocks,
+            }
+        }
+        ClusterRequest::Heartbeat {
+            term,
+            epoch,
+            commit,
+        } => {
+            plane.term = plane.term.max(term);
+            plane.commit_seen = plane.commit_seen.max(commit);
+            if epoch > plane.epoch {
+                plane.epoch = epoch;
+            }
+            ClusterResponse::HeartbeatAck {
+                term: plane.term,
+                epoch: plane.epoch,
+            }
+        }
+        ClusterRequest::LeaseGrant { epoch, ttl_ms: _ } => {
+            if epoch < plane.epoch {
+                return ClusterResponse::Fenced { epoch: plane.epoch };
+            }
+            plane.epoch = epoch;
+            ClusterResponse::LeaseAck {
+                granted: true,
+                epoch: plane.epoch,
+            }
+        }
+        ClusterRequest::VoteRequest {
+            term,
+            candidate,
+            log_len,
+        } => {
+            if term > plane.term {
+                plane.term = term;
+                // New term: the old vote is void.
+            }
+            let granted = term == plane.term
+                && log_len >= plane.commit_seen
+                && match plane.voted {
+                    Some((t, c)) => t < term || (t == term && c == candidate),
+                    None => true,
+                };
+            if granted {
+                plane.voted = Some((term, candidate));
+            }
+            ClusterResponse::VoteReply {
+                term: plane.term,
+                granted,
+            }
+        }
+        ClusterRequest::MetaAppend { term, .. } => {
+            // Workers don't mirror the metadata log; only coordinators do.
+            ClusterResponse::MetaAck {
+                term,
+                ok: false,
+                log_len: 0,
+            }
+        }
+    }
+}
+
+/// SplitMix64 finalizer: turns a structured seed into a well-mixed state.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}

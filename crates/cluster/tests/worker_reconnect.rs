@@ -1,0 +1,165 @@
+//! Dedup across worker reconnect: a proxy that loses its TCP connection
+//! mid-round-trip reconnects and *retransmits* the same `Dispatch` seq.
+//! The worker must answer it once — byte-identically, from the reply
+//! cache — and must not re-execute the query. This is the wire-level
+//! twin of the engine's seen-seq dedup window.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+
+use pargrid_cluster::{WorkerConfig, WorkerServer};
+use pargrid_geom::{Point, Rect};
+use pargrid_gridfile::page::encode_page;
+use pargrid_gridfile::Record;
+use pargrid_net::cluster_proto::{ClusterRequest, ClusterResponse};
+use pargrid_net::frame::{read_frame, write_frame};
+
+const PAGE_BYTES: usize = 256;
+
+/// One raw-frame connection speaking the worker plane in lockstep.
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Conn {
+    fn open(addr: &str) -> Conn {
+        let stream = TcpStream::connect(addr).expect("connect to worker");
+        stream.set_nodelay(true).unwrap();
+        Conn {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: BufWriter::new(stream),
+        }
+    }
+
+    fn round_trip(&mut self, req: &ClusterRequest) -> ClusterResponse {
+        let (t, p) = req.encode();
+        write_frame(&mut self.writer, t, &p).expect("write frame");
+        self.writer.flush().expect("flush");
+        let frame = read_frame(&mut self.reader).expect("read frame");
+        ClusterResponse::decode(frame.msg_type, &frame.payload).expect("decode response")
+    }
+}
+
+fn page(records: &[(u64, [f64; 2])]) -> Vec<u8> {
+    let records: Vec<Record> = records
+        .iter()
+        .map(|(id, key)| Record::new(*id, Point::new(key)))
+        .collect();
+    encode_page(&records, 2, 0, PAGE_BYTES)
+}
+
+fn join(epoch: u64) -> ClusterRequest {
+    ClusterRequest::WorkerJoin {
+        slot: 0,
+        epoch,
+        payload_bytes: 0,
+        seen_seq_window: 64,
+    }
+}
+
+fn dispatch(seq: u64) -> ClusterRequest {
+    ClusterRequest::Dispatch {
+        epoch: 1,
+        query_id: 7,
+        seq,
+        priority: 0,
+        rect: Rect::new(Point::new(&[0.0, 0.0]), Point::new(&[1.0, 1.0])),
+        blocks: vec![0, 1],
+    }
+}
+
+#[test]
+fn retransmit_after_reconnect_is_answered_once() {
+    let mut worker = WorkerServer::start("127.0.0.1:0", WorkerConfig::default()).expect("start");
+    let addr = worker.local_addr().to_string();
+
+    // First connection: join, upload two pages, dispatch seq 42.
+    let mut conn = Conn::open(&addr);
+    let welcome = conn.round_trip(&join(1));
+    assert!(
+        matches!(welcome, ClusterResponse::Welcome { epoch: 1, .. }),
+        "{welcome:?}"
+    );
+    let blocks = vec![
+        (
+            0u32,
+            page(&[(1, [0.1, 0.1]), (2, [0.5, 0.5]), (3, [0.9, 0.2])]),
+        ),
+        (1u32, page(&[(4, [0.3, 0.8]), (5, [0.7, 0.4])])),
+    ];
+    let ack = conn.round_trip(&ClusterRequest::WriteBlocks { epoch: 1, blocks });
+    assert_eq!(
+        ack,
+        ClusterResponse::BlocksAck {
+            epoch: 1,
+            written: 2
+        }
+    );
+    let first = conn.round_trip(&dispatch(42));
+    let ClusterResponse::WorkerReply(reply) = &first else {
+        panic!("expected a reply, got {first:?}");
+    };
+    assert_eq!(reply.seq, 42);
+    let mut ids: Vec<u64> = reply.records.iter().map(|r| r.id).collect();
+    ids.sort_unstable();
+    assert_eq!(ids, vec![1, 2, 3, 4, 5]);
+    assert_eq!(worker.executed(), 1);
+    assert_eq!(worker.deduped(), 0);
+
+    // The connection dies mid-flight (the proxy never saw the reply).
+    drop(conn);
+
+    // Reconnect at the *same* epoch: slot state survives, including the
+    // uploaded pages and the reply cache.
+    let mut conn = Conn::open(&addr);
+    let welcome = conn.round_trip(&join(1));
+    assert!(
+        matches!(
+            welcome,
+            ClusterResponse::Welcome {
+                epoch: 1,
+                blocks_held: 2,
+                ..
+            }
+        ),
+        "pages must survive a same-epoch rejoin: {welcome:?}"
+    );
+
+    // The retransmitted dispatch is answered from the cache: identical
+    // bytes, no second execution.
+    let again = conn.round_trip(&dispatch(42));
+    assert_eq!(again, first, "retransmit must be answered byte-identically");
+    assert_eq!(worker.executed(), 1, "retransmit must not re-execute");
+    assert_eq!(worker.deduped(), 1);
+
+    // A genuinely new seq still executes normally on the new connection.
+    let fresh = conn.round_trip(&dispatch(43));
+    assert!(
+        matches!(fresh, ClusterResponse::WorkerReply(_)),
+        "{fresh:?}"
+    );
+    assert_eq!(worker.executed(), 2);
+    assert_eq!(worker.deduped(), 1);
+
+    // A rejoin at a *higher* epoch resets the slot: the old regime's
+    // pages and reply cache are gone, so nothing stale can be served.
+    let mut conn2 = Conn::open(&addr);
+    let welcome = conn2.round_trip(&join(2));
+    assert!(
+        matches!(
+            welcome,
+            ClusterResponse::Welcome {
+                epoch: 2,
+                blocks_held: 0,
+                ..
+            }
+        ),
+        "a higher-epoch join must reset the slot: {welcome:?}"
+    );
+    // ...and the deposed epoch's frames are fenced on sight.
+    let fenced = conn2.round_trip(&dispatch(44));
+    assert_eq!(fenced, ClusterResponse::Fenced { epoch: 2 });
+
+    worker.shutdown();
+}

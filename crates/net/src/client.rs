@@ -89,8 +89,11 @@ impl Client {
         })
     }
 
-    /// Connects with exponential backoff: `attempts` tries, sleeping
-    /// `base_backoff × 2^i` between them (the PR 4 retransmit shape).
+    /// Connects with jittered exponential backoff: `attempts` tries,
+    /// sleeping `base_backoff × 2^i × U(0.5, 1.5)` between them (the PR 4
+    /// retransmit shape, de-synchronized). Without the jitter a fleet of
+    /// reconnecting clients — e.g. every worker proxy after a coordinator
+    /// failover — retries in lockstep and hammers the listener in bursts.
     /// Lets tests and the load generator start before the server finishes
     /// binding.
     pub fn connect_retry(
@@ -98,6 +101,7 @@ impl Client {
         attempts: u32,
         base_backoff: Duration,
     ) -> std::io::Result<Client> {
+        let mut rng = jitter_seed();
         let mut last = None;
         for i in 0..attempts.max(1) {
             match Client::connect(addr.clone()) {
@@ -105,7 +109,10 @@ impl Client {
                 Err(e) => last = Some(e),
             }
             if i + 1 < attempts {
-                thread::sleep(base_backoff * 2u32.saturating_pow(i).min(64));
+                let base = base_backoff * 2u32.saturating_pow(i).min(64);
+                // ±50% multiplicative jitter: scale by 512..=1536 / 1024.
+                let scale = 512 + (xorshift(&mut rng) % 1025) as u32;
+                thread::sleep(base * scale / 1024);
             }
         }
         Err(last.unwrap_or_else(|| std::io::Error::other("no connect attempts made")))
@@ -211,5 +218,53 @@ impl Client {
             Response::ShutdownAck => Ok(()),
             _ => Err(ClientError::Unexpected("wanted ShutdownAck")),
         }
+    }
+}
+
+/// Per-call jitter seed: wall-clock nanos mixed with a process-wide
+/// counter so concurrent callers in one process diverge too. The crate
+/// deliberately has no RNG dependency; backoff jitter only needs to be
+/// *uncorrelated*, not high-quality.
+fn jitter_seed() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SALT: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0x9e37_79b9_7f4a_7c15);
+    let salt = SALT.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed);
+    (nanos ^ salt) | 1 // xorshift must not start at 0
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{jitter_seed, xorshift};
+
+    #[test]
+    fn jitter_scale_stays_within_half_to_one_and_a_half() {
+        let mut rng = jitter_seed();
+        for _ in 0..10_000 {
+            let scale = 512 + (xorshift(&mut rng) % 1025) as u32;
+            assert!((512..=1536).contains(&scale));
+        }
+    }
+
+    #[test]
+    fn jitter_streams_diverge() {
+        let mut a = jitter_seed();
+        let mut b = jitter_seed();
+        let same = (0..64)
+            .filter(|_| xorshift(&mut a) == xorshift(&mut b))
+            .count();
+        assert!(same < 64, "two backoff streams should not be in lockstep");
     }
 }

@@ -1,0 +1,983 @@
+//! The worker/election wire plane: frames between a coordinator and its
+//! worker *processes*, and between coordinator replicas.
+//!
+//! Same transport as the client plane ([`crate::frame`]: length-prefixed,
+//! CRC-32-trailered, versioned), disjoint message-type space (requests
+//! `0x20..`, responses `0xA0..`), same total-decoding discipline: hostile
+//! bytes can only fail into a typed [`ProtoError`], never panic, and every
+//! decoder rejects trailing bytes, non-finite coordinates, and length
+//! prefixes that exceed the payload.
+//!
+//! Three conversations share this plane:
+//!
+//! * **Dispatch** — a coordinator's remote-worker proxy forwards the
+//!   engine's sequenced requests ([`ClusterRequest::Dispatch`],
+//!   [`ClusterRequest::WriteBlocks`], [`ClusterRequest::FetchBlocks`])
+//!   and the worker answers with [`ClusterResponse::WorkerReply`] /
+//!   acks. The `seq` numbers are the engine's PR 4 dispatch sequence
+//!   numbers, unchanged — the worker's dedup window and the proxy's
+//!   retransmits ride them verbatim.
+//! * **Liveness + leases** — [`ClusterRequest::Heartbeat`] probes,
+//!   [`ClusterRequest::LeaseGrant`] renewals. Every data-plane request
+//!   carries the issuing leader's `epoch` (its election term); a worker
+//!   rejects anything below its current epoch with
+//!   [`ClusterResponse::Fenced`], which is what makes a deposed leader
+//!   harmless.
+//! * **Election + replication** — [`ClusterRequest::VoteRequest`] /
+//!   [`ClusterRequest::MetaAppend`] between coordinators (workers also
+//!   vote, so a two-coordinator cluster keeps an electing majority when
+//!   one of them dies).
+
+use pargrid_geom::{Point, Rect, MAX_DIM};
+use pargrid_gridfile::Record;
+
+use crate::proto::{checked_dim, err, Cur, ProtoError};
+
+// Request type bytes (worker/election plane).
+const REQ_WORKER_JOIN: u8 = 0x20;
+const REQ_DISPATCH: u8 = 0x21;
+const REQ_WRITE_BLOCKS: u8 = 0x22;
+const REQ_FETCH_BLOCKS: u8 = 0x23;
+const REQ_HEARTBEAT: u8 = 0x24;
+const REQ_LEASE_GRANT: u8 = 0x25;
+const REQ_VOTE: u8 = 0x26;
+const REQ_META_APPEND: u8 = 0x27;
+
+// Response type bytes.
+const RESP_WELCOME: u8 = 0xA0;
+const RESP_WORKER_REPLY: u8 = 0xA1;
+const RESP_BLOCKS_ACK: u8 = 0xA2;
+const RESP_RAW_BLOCKS: u8 = 0xA3;
+const RESP_HEARTBEAT_ACK: u8 = 0xA4;
+const RESP_LEASE_ACK: u8 = 0xA5;
+const RESP_VOTE_REPLY: u8 = 0xA6;
+const RESP_META_ACK: u8 = 0xA7;
+const RESP_FENCED: u8 = 0xA8;
+const RESP_CLUSTER_ERR: u8 = 0xA9;
+
+/// Query priority on the wire (mirrors
+/// `pargrid_parallel::QueryPriority` without depending on its layout).
+pub const PRIORITY_INTERACTIVE: u8 = 0;
+/// Batch-class priority byte (see [`PRIORITY_INTERACTIVE`]).
+pub const PRIORITY_BATCH: u8 = 1;
+
+/// One replicated-metadata-log operation (the oplog a standby coordinator
+/// mirrors so it can take over without violating read-your-write).
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetaOp {
+    /// Leader liveness / commit-advance heartbeat entry.
+    Noop,
+    /// A client insert acknowledged by the leader.
+    Insert {
+        /// Record id.
+        id: u64,
+        /// Record key (the file's dimensionality).
+        key: Vec<f64>,
+    },
+    /// A client delete acknowledged by the leader.
+    Delete {
+        /// Record id.
+        id: u64,
+        /// Record key.
+        key: Vec<f64>,
+    },
+    /// The leader ran a rebalance; standbys mirror the epoch so a new
+    /// leader re-declusters from at least this topology generation.
+    Rebalance {
+        /// Monotonic rebalance epoch after the operation.
+        epoch: u64,
+    },
+}
+
+const OP_NOOP: u8 = 0;
+const OP_INSERT: u8 = 1;
+const OP_DELETE: u8 = 2;
+const OP_REBALANCE: u8 = 3;
+
+impl MetaOp {
+    fn encode_into(&self, p: &mut Vec<u8>) {
+        match self {
+            MetaOp::Noop => p.push(OP_NOOP),
+            MetaOp::Insert { id, key } => {
+                p.push(OP_INSERT);
+                encode_id_key(p, *id, key);
+            }
+            MetaOp::Delete { id, key } => {
+                p.push(OP_DELETE);
+                encode_id_key(p, *id, key);
+            }
+            MetaOp::Rebalance { epoch } => {
+                p.push(OP_REBALANCE);
+                p.extend_from_slice(&epoch.to_le_bytes());
+            }
+        }
+    }
+
+    fn decode(c: &mut Cur<'_>) -> Result<MetaOp, ProtoError> {
+        Ok(match c.u8()? {
+            OP_NOOP => MetaOp::Noop,
+            OP_INSERT => {
+                let (id, key) = decode_id_key(c)?;
+                MetaOp::Insert { id, key }
+            }
+            OP_DELETE => {
+                let (id, key) = decode_id_key(c)?;
+                MetaOp::Delete { id, key }
+            }
+            OP_REBALANCE => MetaOp::Rebalance { epoch: c.u64()? },
+            t => return Err(err(format!("unknown meta op tag {t}"))),
+        })
+    }
+}
+
+fn encode_id_key(p: &mut Vec<u8>, id: u64, key: &[f64]) {
+    p.extend_from_slice(&id.to_le_bytes());
+    p.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    for v in key {
+        p.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn decode_id_key(c: &mut Cur<'_>) -> Result<(u64, Vec<f64>), ProtoError> {
+    let id = c.u64()?;
+    let d = checked_dim(c.u16()?)?;
+    let mut key = Vec::with_capacity(d);
+    for _ in 0..d {
+        key.push(c.finite_f64("meta key coordinate")?);
+    }
+    Ok((id, key))
+}
+
+/// A worker's answer to one [`ClusterRequest::Dispatch`] — the wire form
+/// of the engine's `FromWorker` (minus its in-process reply channel).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireReply {
+    /// Echo of the dispatch's query id.
+    pub query_id: u64,
+    /// Echo of the dispatch's engine-global sequence number.
+    pub seq: u64,
+    /// The worker slot that serviced it.
+    pub worker: u32,
+    /// Blocks the dispatch asked for.
+    pub blocks_requested: u64,
+    /// Buffer-cache hits among them.
+    pub cache_hits: u64,
+    /// Virtual disk time charged to this request, microseconds.
+    pub disk_us: u64,
+    /// Virtual CPU time (decode + filter), microseconds.
+    pub cpu_us: u64,
+    /// Blocks whose stored checksum no longer matched (scrub candidates).
+    pub corrupt_blocks: Vec<u32>,
+    /// Service error, if the request failed (unreadable block, poison).
+    pub error: Option<String>,
+    /// Qualifying records.
+    pub records: Vec<Record>,
+}
+
+/// Requests on the worker/election plane.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClusterRequest {
+    /// First frame on a proxy→worker connection: claims slot `slot` for
+    /// leader epoch `epoch`. A join with a *higher* epoch resets the
+    /// worker's store, dedup window, and reply cache (a new regime); the
+    /// same epoch reattaches after a dropped connection, keeping all
+    /// three; a lower epoch is [`ClusterResponse::Fenced`].
+    WorkerJoin {
+        /// Worker slot index this connection serves.
+        slot: u32,
+        /// Issuing leader's epoch (election term).
+        epoch: u64,
+        /// Record payload size, needed to decode pages.
+        payload_bytes: u32,
+        /// Retransmit-dedup window size (PR 4's seen-seq window).
+        seen_seq_window: u32,
+    },
+    /// One sequenced read request (the engine's `ToWorker::Process` unit).
+    Dispatch {
+        /// Issuing leader's epoch; fenced if stale.
+        epoch: u64,
+        /// Engine query id.
+        query_id: u64,
+        /// Engine-global dispatch sequence number (dedup key).
+        seq: u64,
+        /// [`PRIORITY_INTERACTIVE`] or [`PRIORITY_BATCH`].
+        priority: u8,
+        /// Query rectangle.
+        rect: Rect,
+        /// Block ids to read (worker-local).
+        blocks: Vec<u32>,
+    },
+    /// Raw block upload/overwrite (bulk load on join, scrub repair,
+    /// mutation pages) — the engine's `ToWorker::WriteRaw` on the wire.
+    WriteBlocks {
+        /// Issuing leader's epoch; fenced if stale.
+        epoch: u64,
+        /// `(block id, page bytes)` pairs.
+        blocks: Vec<(u32, Vec<u8>)>,
+    },
+    /// Raw verified block read (scrub material) — `ToWorker::FetchRaw`.
+    FetchBlocks {
+        /// Issuing leader's epoch; fenced if stale.
+        epoch: u64,
+        /// Block ids wanted.
+        blocks: Vec<u32>,
+    },
+    /// Liveness probe; also how a proxy learns it has been deposed.
+    /// The leader piggybacks its committed metadata-log index so workers
+    /// can refuse votes to candidates whose log would lose acknowledged
+    /// writes (the election restriction, worker edition).
+    Heartbeat {
+        /// Sender's election term.
+        term: u64,
+        /// Sender's epoch (0 when probing without a lease).
+        epoch: u64,
+        /// Sender's committed metadata-log index (0 from non-leaders).
+        commit: u64,
+    },
+    /// Lease establishment/renewal: the worker records `epoch` as current
+    /// for `ttl_ms`. Bounds how long a partitioned deposed leader can
+    /// keep dispatching before its next renewal fails.
+    LeaseGrant {
+        /// Leader epoch taking the lease.
+        epoch: u64,
+        /// Lease duration, milliseconds.
+        ttl_ms: u32,
+    },
+    /// A candidate coordinator asks for this node's vote in `term`.
+    /// Workers vote too (first candidate per term wins the vote), so a
+    /// 2-coordinator cluster still has an electing majority after losing
+    /// its leader.
+    VoteRequest {
+        /// Candidate's proposed term.
+        term: u64,
+        /// Candidate's node id.
+        candidate: u32,
+        /// Candidate's metadata-log length (a voter may refuse shorter
+        /// logs than its own).
+        log_len: u64,
+    },
+    /// Leader→standby metadata replication: entries
+    /// `start_index..start_index + ops.len()` (1-based, consecutive),
+    /// plus the leader's commit index. An empty `ops` is the leader
+    /// heartbeat.
+    MetaAppend {
+        /// Leader's term.
+        term: u64,
+        /// Leader's node id.
+        leader: u32,
+        /// Highest log index known replicated on every standby; the
+        /// receiver applies its log up to here.
+        commit: u64,
+        /// Index of the first op in `ops` (1-based).
+        start_index: u64,
+        /// The operations themselves.
+        ops: Vec<MetaOp>,
+    },
+}
+
+/// Responses on the worker/election plane.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClusterResponse {
+    /// Join accepted.
+    Welcome {
+        /// Echo of the slot.
+        slot: u32,
+        /// The worker's current epoch after the join.
+        epoch: u64,
+        /// Blocks already held for this epoch (a same-epoch reattach
+        /// skips the upload when this matches the proxy's store).
+        blocks_held: u32,
+    },
+    /// Answer to a [`ClusterRequest::Dispatch`].
+    WorkerReply(WireReply),
+    /// Answer to a [`ClusterRequest::WriteBlocks`].
+    BlocksAck {
+        /// The worker's epoch.
+        epoch: u64,
+        /// Blocks written.
+        written: u32,
+    },
+    /// Answer to a [`ClusterRequest::FetchBlocks`]: per requested block,
+    /// its verified bytes, or `None` if missing/corrupt (never served as
+    /// scrub material).
+    RawBlocks {
+        /// The answering worker slot.
+        worker: u32,
+        /// `(block id, verified bytes or None)` pairs.
+        blocks: Vec<(u32, Option<Vec<u8>>)>,
+    },
+    /// Answer to a [`ClusterRequest::Heartbeat`].
+    HeartbeatAck {
+        /// Highest term this node has seen.
+        term: u64,
+        /// This node's current epoch (0 if it holds no lease).
+        epoch: u64,
+    },
+    /// Answer to a [`ClusterRequest::LeaseGrant`].
+    LeaseAck {
+        /// Whether the lease was granted/renewed.
+        granted: bool,
+        /// The node's current epoch after the request.
+        epoch: u64,
+    },
+    /// Answer to a [`ClusterRequest::VoteRequest`].
+    VoteReply {
+        /// The voter's term after considering the request.
+        term: u64,
+        /// Whether the vote was granted.
+        granted: bool,
+    },
+    /// Answer to a [`ClusterRequest::MetaAppend`].
+    MetaAck {
+        /// The follower's term.
+        term: u64,
+        /// Whether the entries were appended.
+        ok: bool,
+        /// The follower's log length after the append (the leader's
+        /// replication cursor).
+        log_len: u64,
+    },
+    /// The request carried a stale epoch — the issuer has been deposed.
+    /// Its proxy marks the worker dead and the old engine degrades to
+    /// incomplete answers instead of wrong ones.
+    Fenced {
+        /// The node's current (higher) epoch.
+        epoch: u64,
+    },
+    /// Typed catch-all rejection (no state for the slot, not a
+    /// coordinator, etc.).
+    ClusterErr(
+        /// Human-readable reason.
+        String,
+    ),
+}
+
+impl ClusterRequest {
+    /// Message type byte + payload for this request.
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        let mut p = Vec::new();
+        match self {
+            ClusterRequest::WorkerJoin {
+                slot,
+                epoch,
+                payload_bytes,
+                seen_seq_window,
+            } => {
+                p.extend_from_slice(&slot.to_le_bytes());
+                p.extend_from_slice(&epoch.to_le_bytes());
+                p.extend_from_slice(&payload_bytes.to_le_bytes());
+                p.extend_from_slice(&seen_seq_window.to_le_bytes());
+                (REQ_WORKER_JOIN, p)
+            }
+            ClusterRequest::Dispatch {
+                epoch,
+                query_id,
+                seq,
+                priority,
+                rect,
+                blocks,
+            } => {
+                p.reserve(37 + 16 * rect.dim() + 4 * blocks.len());
+                p.extend_from_slice(&epoch.to_le_bytes());
+                p.extend_from_slice(&query_id.to_le_bytes());
+                p.extend_from_slice(&seq.to_le_bytes());
+                p.push(*priority);
+                p.extend_from_slice(&(rect.dim() as u16).to_le_bytes());
+                for i in 0..rect.dim() {
+                    p.extend_from_slice(&rect.lo().get(i).to_le_bytes());
+                    p.extend_from_slice(&rect.hi().get(i).to_le_bytes());
+                }
+                p.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
+                for b in blocks {
+                    p.extend_from_slice(&b.to_le_bytes());
+                }
+                (REQ_DISPATCH, p)
+            }
+            ClusterRequest::WriteBlocks { epoch, blocks } => {
+                let bytes: usize = blocks.iter().map(|(_, b)| 8 + b.len()).sum();
+                p.reserve(12 + bytes);
+                p.extend_from_slice(&epoch.to_le_bytes());
+                p.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
+                for (id, bytes) in blocks {
+                    p.extend_from_slice(&id.to_le_bytes());
+                    p.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                    p.extend_from_slice(bytes);
+                }
+                (REQ_WRITE_BLOCKS, p)
+            }
+            ClusterRequest::FetchBlocks { epoch, blocks } => {
+                p.extend_from_slice(&epoch.to_le_bytes());
+                p.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
+                for b in blocks {
+                    p.extend_from_slice(&b.to_le_bytes());
+                }
+                (REQ_FETCH_BLOCKS, p)
+            }
+            ClusterRequest::Heartbeat {
+                term,
+                epoch,
+                commit,
+            } => {
+                p.extend_from_slice(&term.to_le_bytes());
+                p.extend_from_slice(&epoch.to_le_bytes());
+                p.extend_from_slice(&commit.to_le_bytes());
+                (REQ_HEARTBEAT, p)
+            }
+            ClusterRequest::LeaseGrant { epoch, ttl_ms } => {
+                p.extend_from_slice(&epoch.to_le_bytes());
+                p.extend_from_slice(&ttl_ms.to_le_bytes());
+                (REQ_LEASE_GRANT, p)
+            }
+            ClusterRequest::VoteRequest {
+                term,
+                candidate,
+                log_len,
+            } => {
+                p.extend_from_slice(&term.to_le_bytes());
+                p.extend_from_slice(&candidate.to_le_bytes());
+                p.extend_from_slice(&log_len.to_le_bytes());
+                (REQ_VOTE, p)
+            }
+            ClusterRequest::MetaAppend {
+                term,
+                leader,
+                commit,
+                start_index,
+                ops,
+            } => {
+                p.extend_from_slice(&term.to_le_bytes());
+                p.extend_from_slice(&leader.to_le_bytes());
+                p.extend_from_slice(&commit.to_le_bytes());
+                p.extend_from_slice(&start_index.to_le_bytes());
+                p.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+                for op in ops {
+                    op.encode_into(&mut p);
+                }
+                (REQ_META_APPEND, p)
+            }
+        }
+    }
+
+    /// Decodes a request payload. Total: hostile bytes fail typed, never
+    /// panic, and trailing bytes are rejected.
+    pub fn decode(msg_type: u8, payload: &[u8]) -> Result<ClusterRequest, ProtoError> {
+        let mut c = Cur::new(payload);
+        let req = match msg_type {
+            REQ_WORKER_JOIN => ClusterRequest::WorkerJoin {
+                slot: c.u32()?,
+                epoch: c.u64()?,
+                payload_bytes: c.u32()?,
+                seen_seq_window: c.u32()?,
+            },
+            REQ_DISPATCH => {
+                let epoch = c.u64()?;
+                let query_id = c.u64()?;
+                let seq = c.u64()?;
+                let priority = c.u8()?;
+                if priority > PRIORITY_BATCH {
+                    return Err(err(format!("bad priority byte {priority}")));
+                }
+                let d = checked_dim(c.u16()?)?;
+                let mut lo = [0.0; MAX_DIM];
+                let mut hi = [0.0; MAX_DIM];
+                for i in 0..d {
+                    lo[i] = c.finite_f64("rect lo coordinate")?;
+                    hi[i] = c.finite_f64("rect hi coordinate")?;
+                    if lo[i] > hi[i] {
+                        return Err(err(format!("rect interval {i} inverted")));
+                    }
+                }
+                let n = c.u32()? as usize;
+                if n > c.remaining() / 4 {
+                    return Err(err(format!("block count {n} exceeds payload")));
+                }
+                let mut blocks = Vec::with_capacity(n);
+                for _ in 0..n {
+                    blocks.push(c.u32()?);
+                }
+                ClusterRequest::Dispatch {
+                    epoch,
+                    query_id,
+                    seq,
+                    priority,
+                    rect: Rect::new(Point::new(&lo[..d]), Point::new(&hi[..d])),
+                    blocks,
+                }
+            }
+            REQ_WRITE_BLOCKS => {
+                let epoch = c.u64()?;
+                let n = c.u32()? as usize;
+                if n > c.remaining() / 8 {
+                    return Err(err(format!("write count {n} exceeds payload")));
+                }
+                let mut blocks = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let id = c.u32()?;
+                    let len = c.u32()? as usize;
+                    blocks.push((id, c.take(len)?.to_vec()));
+                }
+                ClusterRequest::WriteBlocks { epoch, blocks }
+            }
+            REQ_FETCH_BLOCKS => {
+                let epoch = c.u64()?;
+                let n = c.u32()? as usize;
+                if n > c.remaining() / 4 {
+                    return Err(err(format!("fetch count {n} exceeds payload")));
+                }
+                let mut blocks = Vec::with_capacity(n);
+                for _ in 0..n {
+                    blocks.push(c.u32()?);
+                }
+                ClusterRequest::FetchBlocks { epoch, blocks }
+            }
+            REQ_HEARTBEAT => ClusterRequest::Heartbeat {
+                term: c.u64()?,
+                epoch: c.u64()?,
+                commit: c.u64()?,
+            },
+            REQ_LEASE_GRANT => ClusterRequest::LeaseGrant {
+                epoch: c.u64()?,
+                ttl_ms: c.u32()?,
+            },
+            REQ_VOTE => ClusterRequest::VoteRequest {
+                term: c.u64()?,
+                candidate: c.u32()?,
+                log_len: c.u64()?,
+            },
+            REQ_META_APPEND => {
+                let term = c.u64()?;
+                let leader = c.u32()?;
+                let commit = c.u64()?;
+                let start_index = c.u64()?;
+                let n = c.u32()? as usize;
+                // A meta op is at least 1 byte (Noop).
+                if n > c.remaining() {
+                    return Err(err(format!("op count {n} exceeds payload")));
+                }
+                let mut ops = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ops.push(MetaOp::decode(&mut c)?);
+                }
+                ClusterRequest::MetaAppend {
+                    term,
+                    leader,
+                    commit,
+                    start_index,
+                    ops,
+                }
+            }
+            t => return Err(err(format!("unknown cluster request type {t:#04x}"))),
+        };
+        c.done()?;
+        Ok(req)
+    }
+}
+
+impl ClusterResponse {
+    /// Message type byte + payload for this response.
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        let mut p = Vec::new();
+        match self {
+            ClusterResponse::Welcome {
+                slot,
+                epoch,
+                blocks_held,
+            } => {
+                p.extend_from_slice(&slot.to_le_bytes());
+                p.extend_from_slice(&epoch.to_le_bytes());
+                p.extend_from_slice(&blocks_held.to_le_bytes());
+                (RESP_WELCOME, p)
+            }
+            ClusterResponse::WorkerReply(r) => {
+                p.reserve(64 + 4 * r.corrupt_blocks.len() + r.records.len() * (10 + 8 * MAX_DIM));
+                p.extend_from_slice(&r.query_id.to_le_bytes());
+                p.extend_from_slice(&r.seq.to_le_bytes());
+                p.extend_from_slice(&r.worker.to_le_bytes());
+                for v in [r.blocks_requested, r.cache_hits, r.disk_us, r.cpu_us] {
+                    p.extend_from_slice(&v.to_le_bytes());
+                }
+                p.extend_from_slice(&(r.corrupt_blocks.len() as u32).to_le_bytes());
+                for b in &r.corrupt_blocks {
+                    p.extend_from_slice(&b.to_le_bytes());
+                }
+                match &r.error {
+                    None => p.push(0),
+                    Some(msg) => {
+                        p.push(1);
+                        p.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+                        p.extend_from_slice(msg.as_bytes());
+                    }
+                }
+                p.extend_from_slice(&(r.records.len() as u32).to_le_bytes());
+                for rec in &r.records {
+                    p.extend_from_slice(&rec.id.to_le_bytes());
+                    let coords = rec.point.coords();
+                    p.extend_from_slice(&(coords.len() as u16).to_le_bytes());
+                    for v in coords {
+                        p.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+                (RESP_WORKER_REPLY, p)
+            }
+            ClusterResponse::BlocksAck { epoch, written } => {
+                p.extend_from_slice(&epoch.to_le_bytes());
+                p.extend_from_slice(&written.to_le_bytes());
+                (RESP_BLOCKS_ACK, p)
+            }
+            ClusterResponse::RawBlocks { worker, blocks } => {
+                let bytes: usize = blocks
+                    .iter()
+                    .map(|(_, b)| 9 + b.as_ref().map_or(0, Vec::len))
+                    .sum();
+                p.reserve(8 + bytes);
+                p.extend_from_slice(&worker.to_le_bytes());
+                p.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
+                for (id, bytes) in blocks {
+                    p.extend_from_slice(&id.to_le_bytes());
+                    match bytes {
+                        None => p.push(0),
+                        Some(b) => {
+                            p.push(1);
+                            p.extend_from_slice(&(b.len() as u32).to_le_bytes());
+                            p.extend_from_slice(b);
+                        }
+                    }
+                }
+                (RESP_RAW_BLOCKS, p)
+            }
+            ClusterResponse::HeartbeatAck { term, epoch } => {
+                p.extend_from_slice(&term.to_le_bytes());
+                p.extend_from_slice(&epoch.to_le_bytes());
+                (RESP_HEARTBEAT_ACK, p)
+            }
+            ClusterResponse::LeaseAck { granted, epoch } => {
+                p.push(*granted as u8);
+                p.extend_from_slice(&epoch.to_le_bytes());
+                (RESP_LEASE_ACK, p)
+            }
+            ClusterResponse::VoteReply { term, granted } => {
+                p.extend_from_slice(&term.to_le_bytes());
+                p.push(*granted as u8);
+                (RESP_VOTE_REPLY, p)
+            }
+            ClusterResponse::MetaAck { term, ok, log_len } => {
+                p.extend_from_slice(&term.to_le_bytes());
+                p.push(*ok as u8);
+                p.extend_from_slice(&log_len.to_le_bytes());
+                (RESP_META_ACK, p)
+            }
+            ClusterResponse::Fenced { epoch } => {
+                p.extend_from_slice(&epoch.to_le_bytes());
+                (RESP_FENCED, p)
+            }
+            ClusterResponse::ClusterErr(msg) => {
+                p.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+                p.extend_from_slice(msg.as_bytes());
+                (RESP_CLUSTER_ERR, p)
+            }
+        }
+    }
+
+    /// Decodes a response payload. Total, like [`ClusterRequest::decode`].
+    pub fn decode(msg_type: u8, payload: &[u8]) -> Result<ClusterResponse, ProtoError> {
+        let mut c = Cur::new(payload);
+        let resp = match msg_type {
+            RESP_WELCOME => ClusterResponse::Welcome {
+                slot: c.u32()?,
+                epoch: c.u64()?,
+                blocks_held: c.u32()?,
+            },
+            RESP_WORKER_REPLY => {
+                let query_id = c.u64()?;
+                let seq = c.u64()?;
+                let worker = c.u32()?;
+                let blocks_requested = c.u64()?;
+                let cache_hits = c.u64()?;
+                let disk_us = c.u64()?;
+                let cpu_us = c.u64()?;
+                let nc = c.u32()? as usize;
+                if nc > c.remaining() / 4 {
+                    return Err(err(format!("corrupt-block count {nc} exceeds payload")));
+                }
+                let mut corrupt_blocks = Vec::with_capacity(nc);
+                for _ in 0..nc {
+                    corrupt_blocks.push(c.u32()?);
+                }
+                let error = match c.u8()? {
+                    0 => None,
+                    1 => {
+                        let n = c.u32()? as usize;
+                        let bytes = c.take(n)?;
+                        Some(
+                            std::str::from_utf8(bytes)
+                                .map_err(|_| err("error text is not utf-8"))?
+                                .to_string(),
+                        )
+                    }
+                    t => return Err(err(format!("bad error flag {t}"))),
+                };
+                let n = c.u32()? as usize;
+                // 14 bytes is the smallest record (1-D), as in the client
+                // plane's records decoder.
+                if n > c.remaining() / 14 {
+                    return Err(err(format!("record count {n} exceeds payload")));
+                }
+                let mut records = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let id = c.u64()?;
+                    let d = checked_dim(c.u16()?)?;
+                    let mut coords = [0.0; MAX_DIM];
+                    for slot in coords.iter_mut().take(d) {
+                        *slot = c.finite_f64("record coordinate")?;
+                    }
+                    records.push(Record::new(id, Point::new(&coords[..d])));
+                }
+                ClusterResponse::WorkerReply(WireReply {
+                    query_id,
+                    seq,
+                    worker,
+                    blocks_requested,
+                    cache_hits,
+                    disk_us,
+                    cpu_us,
+                    corrupt_blocks,
+                    error,
+                    records,
+                })
+            }
+            RESP_BLOCKS_ACK => ClusterResponse::BlocksAck {
+                epoch: c.u64()?,
+                written: c.u32()?,
+            },
+            RESP_RAW_BLOCKS => {
+                let worker = c.u32()?;
+                let n = c.u32()? as usize;
+                // 5 bytes is the smallest entry (id + absent flag).
+                if n > c.remaining() / 5 {
+                    return Err(err(format!("raw-block count {n} exceeds payload")));
+                }
+                let mut blocks = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let id = c.u32()?;
+                    let bytes = match c.u8()? {
+                        0 => None,
+                        1 => {
+                            let len = c.u32()? as usize;
+                            Some(c.take(len)?.to_vec())
+                        }
+                        t => return Err(err(format!("bad presence flag {t}"))),
+                    };
+                    blocks.push((id, bytes));
+                }
+                ClusterResponse::RawBlocks { worker, blocks }
+            }
+            RESP_HEARTBEAT_ACK => ClusterResponse::HeartbeatAck {
+                term: c.u64()?,
+                epoch: c.u64()?,
+            },
+            RESP_LEASE_ACK => ClusterResponse::LeaseAck {
+                granted: decode_bool(&mut c, "granted flag")?,
+                epoch: c.u64()?,
+            },
+            RESP_VOTE_REPLY => {
+                let term = c.u64()?;
+                ClusterResponse::VoteReply {
+                    term,
+                    granted: decode_bool(&mut c, "granted flag")?,
+                }
+            }
+            RESP_META_ACK => {
+                let term = c.u64()?;
+                let ok = decode_bool(&mut c, "ok flag")?;
+                ClusterResponse::MetaAck {
+                    term,
+                    ok,
+                    log_len: c.u64()?,
+                }
+            }
+            RESP_FENCED => ClusterResponse::Fenced { epoch: c.u64()? },
+            RESP_CLUSTER_ERR => {
+                let n = c.u32()? as usize;
+                let bytes = c.take(n)?;
+                ClusterResponse::ClusterErr(
+                    std::str::from_utf8(bytes)
+                        .map_err(|_| err("cluster error text is not utf-8"))?
+                        .to_string(),
+                )
+            }
+            t => return Err(err(format!("unknown cluster response type {t:#04x}"))),
+        };
+        c.done()?;
+        Ok(resp)
+    }
+}
+
+fn decode_bool(c: &mut Cur<'_>, what: &str) -> Result<bool, ProtoError> {
+    match c.u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        t => Err(err(format!("bad {what} {t}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt_request(req: ClusterRequest) {
+        let (t, p) = req.encode();
+        let back = ClusterRequest::decode(t, &p).expect("round trip");
+        assert_eq!(req, back);
+    }
+
+    fn rt_response(resp: ClusterResponse) {
+        let (t, p) = resp.encode();
+        let back = ClusterResponse::decode(t, &p).expect("round trip");
+        assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        rt_request(ClusterRequest::WorkerJoin {
+            slot: 3,
+            epoch: 7,
+            payload_bytes: 42,
+            seen_seq_window: 4096,
+        });
+        rt_request(ClusterRequest::Dispatch {
+            epoch: 7,
+            query_id: 11,
+            seq: 99,
+            priority: PRIORITY_INTERACTIVE,
+            rect: Rect::new(Point::new2(0.0, -1.0), Point::new2(10.0, 1.0)),
+            blocks: vec![0, 5, 9],
+        });
+        rt_request(ClusterRequest::WriteBlocks {
+            epoch: 7,
+            blocks: vec![(0, vec![1, 2, 3]), (1, vec![])],
+        });
+        rt_request(ClusterRequest::FetchBlocks {
+            epoch: 7,
+            blocks: vec![2, 4],
+        });
+        rt_request(ClusterRequest::Heartbeat {
+            term: 3,
+            epoch: 7,
+            commit: 12,
+        });
+        rt_request(ClusterRequest::LeaseGrant {
+            epoch: 7,
+            ttl_ms: 500,
+        });
+        rt_request(ClusterRequest::VoteRequest {
+            term: 4,
+            candidate: 1,
+            log_len: 17,
+        });
+        rt_request(ClusterRequest::MetaAppend {
+            term: 4,
+            leader: 1,
+            commit: 16,
+            start_index: 17,
+            ops: vec![
+                MetaOp::Noop,
+                MetaOp::Insert {
+                    id: 9,
+                    key: vec![1.0, 2.0],
+                },
+                MetaOp::Delete {
+                    id: 9,
+                    key: vec![1.0, 2.0],
+                },
+                MetaOp::Rebalance { epoch: 2 },
+            ],
+        });
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        rt_response(ClusterResponse::Welcome {
+            slot: 3,
+            epoch: 7,
+            blocks_held: 12,
+        });
+        rt_response(ClusterResponse::WorkerReply(WireReply {
+            query_id: 11,
+            seq: 99,
+            worker: 3,
+            blocks_requested: 4,
+            cache_hits: 2,
+            disk_us: 1000,
+            cpu_us: 10,
+            corrupt_blocks: vec![5],
+            error: Some("bad block".into()),
+            records: vec![Record::new(1, Point::new2(3.0, 4.0))],
+        }));
+        rt_response(ClusterResponse::BlocksAck {
+            epoch: 7,
+            written: 2,
+        });
+        rt_response(ClusterResponse::RawBlocks {
+            worker: 1,
+            blocks: vec![(0, Some(vec![9, 9])), (1, None)],
+        });
+        rt_response(ClusterResponse::HeartbeatAck { term: 3, epoch: 7 });
+        rt_response(ClusterResponse::LeaseAck {
+            granted: true,
+            epoch: 7,
+        });
+        rt_response(ClusterResponse::VoteReply {
+            term: 4,
+            granted: false,
+        });
+        rt_response(ClusterResponse::MetaAck {
+            term: 4,
+            ok: true,
+            log_len: 17,
+        });
+        rt_response(ClusterResponse::Fenced { epoch: 9 });
+        rt_response(ClusterResponse::ClusterErr("nope".into()));
+    }
+
+    #[test]
+    fn inverted_rect_is_rejected_not_asserted() {
+        let (t, mut p) = ClusterRequest::Dispatch {
+            epoch: 1,
+            query_id: 1,
+            seq: 1,
+            priority: 0,
+            rect: Rect::new(Point::new2(0.0, 0.0), Point::new2(1.0, 1.0)),
+            blocks: vec![],
+        }
+        .encode();
+        // Swap lo/hi of dimension 0 (offsets 27..35 lo, 35..43 hi).
+        p[27..35].copy_from_slice(&5.0f64.to_le_bytes());
+        p[35..43].copy_from_slice(&1.0f64.to_le_bytes());
+        let e = ClusterRequest::decode(t, &p).expect_err("inverted rect");
+        assert!(e.0.contains("inverted"), "{e}");
+    }
+
+    #[test]
+    fn hostile_counts_cannot_overallocate() {
+        let mut p = Vec::new();
+        p.extend_from_slice(&7u64.to_le_bytes());
+        p.extend_from_slice(&u32::MAX.to_le_bytes());
+        let e = ClusterRequest::decode(REQ_FETCH_BLOCKS, &p).expect_err("hostile count");
+        assert!(e.0.contains("exceeds payload"), "{e}");
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let (t, mut p) = ClusterRequest::Heartbeat {
+            term: 1,
+            epoch: 2,
+            commit: 0,
+        }
+        .encode();
+        p.push(0);
+        assert!(ClusterRequest::decode(t, &p).is_err());
+        let (t, mut p) = ClusterResponse::Fenced { epoch: 3 }.encode();
+        p.push(0);
+        assert!(ClusterResponse::decode(t, &p).is_err());
+    }
+}

@@ -28,12 +28,14 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod cluster_proto;
 pub mod frame;
 pub mod loadgen;
 pub mod proto;
 pub mod server;
 
 pub use client::{Client, ClientError};
+pub use cluster_proto::{ClusterRequest, ClusterResponse, MetaOp, WireReply};
 pub use frame::{
     read_frame, write_frame, Frame, FrameBuilder, FrameError, MAX_PAYLOAD, PROTOCOL_VERSION,
 };
@@ -42,7 +44,7 @@ pub use proto::{
     MutationAck, ProtoError, RebalanceCmd, RebalanceSummary, RecordsReply, Request, Response,
     WireError,
 };
-pub use server::{Server, ServerConfig};
+pub use server::{ClusterHooks, Server, ServerConfig};
 
 /// The crate's most commonly used types, flat: client/server construction
 /// and the typed errors every wire surface reports ([`FrameError`],
@@ -50,10 +52,11 @@ pub use server::{Server, ServerConfig};
 /// per the workspace error convention).
 pub mod prelude {
     pub use crate::client::{Client, ClientError};
+    pub use crate::cluster_proto::{ClusterRequest, ClusterResponse, MetaOp, WireReply};
     pub use crate::frame::{Frame, FrameBuilder, FrameError};
     pub use crate::proto::{
         MutationAck, ProtoError, RebalanceCmd, RebalanceSummary, RecordsReply, Request, Response,
         WireError,
     };
-    pub use crate::server::{Server, ServerConfig};
+    pub use crate::server::{ClusterHooks, Server, ServerConfig};
 }

@@ -63,6 +63,7 @@ const ERR_MALFORMED: u8 = 1;
 const ERR_OVERLOADED: u8 = 2;
 const ERR_INCOMPLETE: u8 = 3;
 const ERR_MUTATION: u8 = 4;
+const ERR_NOT_LEADER: u8 = 5;
 
 /// A request a client can put on the wire.
 #[derive(Clone, Debug, PartialEq)]
@@ -219,8 +220,19 @@ pub enum WireError {
     Incomplete(String),
     /// An insert/delete could not be applied (WAL I/O failure, engine
     /// shut down). The write-ahead discipline guarantees a failed
-    /// mutation changed nothing.
+    /// mutation changed nothing. In cluster mode a replication failure
+    /// also reports this — there the outcome is *indeterminate* (the op
+    /// may commit if the leader's log survives failover), matching the
+    /// usual distributed-write contract.
     MutationFailed(String),
+    /// This node is a standby coordinator; retry against `hint` (the
+    /// current leader's client address, empty if unknown). Clients follow
+    /// the hint with jittered backoff — see `pargrid-cluster`'s
+    /// `ClusterClient`.
+    NotLeader {
+        /// Client address of the leader, if this standby knows it.
+        hint: String,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -232,6 +244,10 @@ impl fmt::Display for WireError {
             }
             WireError::Incomplete(m) => write!(f, "incomplete answer: {m}"),
             WireError::MutationFailed(m) => write!(f, "mutation failed: {m}"),
+            WireError::NotLeader { hint } if hint.is_empty() => {
+                write!(f, "not the leader (no leader known)")
+            }
+            WireError::NotLeader { hint } => write!(f, "not the leader; retry against {hint}"),
         }
     }
 }
@@ -251,22 +267,29 @@ impl fmt::Display for ProtoError {
 
 impl std::error::Error for ProtoError {}
 
-fn err(msg: impl Into<String>) -> ProtoError {
+pub(crate) fn err(msg: impl Into<String>) -> ProtoError {
     ProtoError(msg.into())
 }
 
 /// Little-endian cursor over a payload; every read is bounds-checked.
-struct Cur<'a> {
+/// Shared with [`crate::cluster_proto`], the worker/election plane.
+pub(crate) struct Cur<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cur<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Cur { buf, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+    /// Bytes not yet consumed — the bound hostile length prefixes are
+    /// checked against before any allocation.
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
         let end = self
             .pos
             .checked_add(n)
@@ -282,27 +305,27 @@ impl<'a> Cur<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8, ProtoError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, ProtoError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u16(&mut self) -> Result<u16, ProtoError> {
+    pub(crate) fn u16(&mut self) -> Result<u16, ProtoError> {
         Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
     }
 
-    fn u32(&mut self) -> Result<u32, ProtoError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, ProtoError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> Result<u64, ProtoError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, ProtoError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn f64(&mut self) -> Result<f64, ProtoError> {
+    pub(crate) fn f64(&mut self) -> Result<f64, ProtoError> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn finite_f64(&mut self, what: &str) -> Result<f64, ProtoError> {
+    pub(crate) fn finite_f64(&mut self, what: &str) -> Result<f64, ProtoError> {
         let v = self.f64()?;
         if !v.is_finite() {
             return Err(err(format!("{what} is not finite")));
@@ -310,7 +333,7 @@ impl<'a> Cur<'a> {
         Ok(v)
     }
 
-    fn done(&self) -> Result<(), ProtoError> {
+    pub(crate) fn done(&self) -> Result<(), ProtoError> {
         if self.pos != self.buf.len() {
             return Err(err(format!(
                 "{} trailing bytes after message",
@@ -323,7 +346,7 @@ impl<'a> Cur<'a> {
 
 /// `1..=MAX_DIM`, the range `Point::new`/`Rect::new` accept without
 /// asserting.
-fn checked_dim(dim: u16) -> Result<usize, ProtoError> {
+pub(crate) fn checked_dim(dim: u16) -> Result<usize, ProtoError> {
     let d = dim as usize;
     if d == 0 || d > MAX_DIM {
         return Err(err(format!("dimension {d} outside 1..={MAX_DIM}")));
@@ -544,6 +567,7 @@ impl Response {
                 WireError::Malformed(m)
                 | WireError::Incomplete(m)
                 | WireError::MutationFailed(m) => 5 + m.len(),
+                WireError::NotLeader { hint } => 5 + hint.len(),
             },
             Response::ShutdownAck => 0,
             Response::Mutation(_) => 13,
@@ -607,6 +631,10 @@ impl Response {
                     WireError::MutationFailed(m) => {
                         p.push(ERR_MUTATION);
                         m
+                    }
+                    WireError::NotLeader { hint } => {
+                        p.push(ERR_NOT_LEADER);
+                        hint
                     }
                 };
                 p.extend_from_slice(&(msg.len() as u32).to_le_bytes());
@@ -687,7 +715,7 @@ impl Response {
             RESP_ERROR => {
                 let code = c.u8()?;
                 let e = match code {
-                    ERR_MALFORMED | ERR_INCOMPLETE | ERR_MUTATION => {
+                    ERR_MALFORMED | ERR_INCOMPLETE | ERR_MUTATION | ERR_NOT_LEADER => {
                         let n = c.u32()? as usize;
                         let bytes = c.take(n)?;
                         let msg = std::str::from_utf8(bytes)
@@ -696,6 +724,7 @@ impl Response {
                         match code {
                             ERR_MALFORMED => WireError::Malformed(msg),
                             ERR_INCOMPLETE => WireError::Incomplete(msg),
+                            ERR_NOT_LEADER => WireError::NotLeader { hint: msg },
                             _ => WireError::MutationFailed(msg),
                         }
                     }

@@ -40,10 +40,39 @@ use pargrid_gridfile::Record;
 use pargrid_obs::{names, AtomicHistogram, PromWriter};
 use pargrid_parallel::{ParallelGridFile, RebalanceOp};
 
+use crate::cluster_proto::MetaOp;
 use crate::frame::{read_frame, FrameError};
 use crate::proto::{
     MutationAck, RebalanceCmd, RebalanceSummary, RecordsReply, Request, Response, WireError,
 };
+
+/// Pre-apply gate for mutations: `Err` refuses the op and is sent to the
+/// client verbatim.
+pub type MutationGate = Arc<dyn Fn(&MetaOp) -> Result<(), WireError> + Send + Sync>;
+
+/// Seams a cluster coordinator installs on its embedded server. The
+/// server itself stays cluster-agnostic: single-node serving passes
+/// `None` and behaves exactly as before.
+#[derive(Clone)]
+pub struct ClusterHooks {
+    /// Called with each acknowledged-to-be mutation *before* it is
+    /// applied to the engine. The coordinator uses it to replicate the
+    /// operation to every standby's metadata log; an `Err` (e.g. lost
+    /// leadership, standby unreachable) refuses the mutation and is sent
+    /// to the client verbatim. Holding a lock inside the gate serializes
+    /// mutations — the cluster trades single-node write concurrency for
+    /// read-your-write across failover.
+    pub mutation_gate: MutationGate,
+    /// Appends coordinator gauges (leadership, lease epoch, worker
+    /// liveness) to the server's Prometheus document.
+    pub extra_metrics: Arc<dyn Fn(&mut PromWriter) + Send + Sync>,
+}
+
+impl std::fmt::Debug for ClusterHooks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterHooks").finish_non_exhaustive()
+    }
+}
 
 /// Tunables for [`Server::start`].
 #[derive(Clone, Debug)]
@@ -71,6 +100,8 @@ pub struct ServerConfig {
     /// `allow_remote_shutdown`: off by default, enabled explicitly by the
     /// CLI's `serve` command and by tests.
     pub allow_remote_rebalance: bool,
+    /// Cluster-coordinator seams; `None` for single-node serving.
+    pub cluster: Option<ClusterHooks>,
 }
 
 impl Default for ServerConfig {
@@ -82,6 +113,7 @@ impl Default for ServerConfig {
             pace_us_per_block: 0,
             allow_remote_shutdown: false,
             allow_remote_rebalance: false,
+            cluster: None,
         }
     }
 }
@@ -310,6 +342,9 @@ impl Inner {
             "worker",
             &owned,
         );
+        if let Some(hooks) = &self.config.cluster {
+            (hooks.extra_metrics)(&mut pw);
+        }
         pw.finish()
     }
 }
@@ -771,14 +806,38 @@ fn dispatcher_loop(inner: &Arc<Inner>) {
                     })
                 }
             }
-            Work::Insert(rec) => mutation_response(inner, inner.engine.insert(rec)),
-            Work::Delete(id, p) => mutation_response(inner, inner.engine.delete(id, &p)),
+            Work::Insert(rec) => match gate_mutation(inner, || MetaOp::Insert {
+                id: rec.id,
+                key: rec.point.coords().to_vec(),
+            }) {
+                Err(e) => Response::Error(e),
+                Ok(()) => mutation_response(inner, inner.engine.insert(rec)),
+            },
+            Work::Delete(id, p) => match gate_mutation(inner, || MetaOp::Delete {
+                id,
+                key: p.coords().to_vec(),
+            }) {
+                Err(e) => Response::Error(e),
+                Ok(()) => mutation_response(inner, inner.engine.delete(id, &p)),
+            },
         };
         let sojourn = job.enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64;
         inner.metrics.sojourn_us.record(sojourn);
         send_response(&job.reply, &resp);
     }
     let _ = session.close();
+}
+
+/// Runs the cluster mutation gate, if installed. A gated mutation that
+/// later fails in the engine leaves the replicated log ahead of the
+/// engine — in cluster mode `MutationFailed` therefore means
+/// *indeterminate*, not "nothing changed" (documented on
+/// [`WireError::MutationFailed`]).
+fn gate_mutation(inner: &Arc<Inner>, op: impl FnOnce() -> MetaOp) -> Result<(), WireError> {
+    match &inner.config.cluster {
+        Some(hooks) => (hooks.mutation_gate)(&op()),
+        None => Ok(()),
+    }
 }
 
 /// Folds the engine's mutation result into a wire response. The

@@ -46,3 +46,20 @@ pub const NET_REBALANCE_MOVES_TOTAL: &str = "pargrid_net_rebalance_moves_total";
 pub const NET_REBALANCE_BYTES_TOTAL: &str = "pargrid_net_rebalance_bytes_total";
 /// Primary buckets owned per worker slot (gauge, label `worker`).
 pub const NET_WORKER_BUCKETS: &str = "pargrid_net_worker_buckets";
+/// Worker-process liveness as seen by the coordinator's remote backend:
+/// 1 while the proxy's connection + heartbeats are healthy, 0 once the
+/// worker is declared dead (gauge, label `worker`).
+pub const NET_WORKER_ALIVE: &str = "pargrid_net_worker_alive";
+/// The coordinator's current election term — also the fencing epoch its
+/// dispatches carry (gauge).
+pub const CLUSTER_LEADER_TERM: &str = "pargrid_cluster_leader_term";
+/// 1 if this coordinator currently leads, 0 on a standby (gauge).
+pub const CLUSTER_IS_LEADER: &str = "pargrid_cluster_is_leader";
+/// Leadership promotions this process has performed (counter; >0 on a
+/// node that took over from a failed leader).
+pub const CLUSTER_FAILOVERS_TOTAL: &str = "pargrid_cluster_failovers_total";
+/// Highest replicated-metadata-log index known committed (gauge).
+pub const CLUSTER_COMMIT_INDEX: &str = "pargrid_cluster_commit_index";
+/// Epoch of the most recent lease granted to this leader by its workers
+/// (gauge; trails `pargrid_cluster_leader_term` only transiently).
+pub const CLUSTER_LEASE_EPOCH: &str = "pargrid_cluster_lease_epoch";

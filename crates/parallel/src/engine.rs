@@ -60,7 +60,7 @@ use crate::fault::FaultPlan;
 use crate::message::{FromWorker, QueryPriority, ReadRequest, ToWorker};
 use crate::ring::{DispatchError, DispatchMode, RequestRing, WorkerOutbox};
 use crate::stats::{EngineStats, SharedStats};
-use crate::worker::{run_worker, WorkerState};
+use crate::worker::WorkerState;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use pargrid_core::{
     place_fresh_bucket, place_fresh_replica, Assignment, DeclusterInput, ReplicatedAssignment,
@@ -268,6 +268,13 @@ pub struct EngineConfig {
     /// activates them. Slot indices never renumber: data workers occupy
     /// slots `0..M`, standbys `M..M+standby_workers`.
     pub standby_workers: usize,
+    /// How worker service loops are launched: `None` spawns the in-process
+    /// worker threads ([`crate::backend::InProcessBackend`], the single-node
+    /// fast path); a remote backend (see the `pargrid-cluster` crate)
+    /// instead proxies each slot's messages to a worker *process* over TCP.
+    /// Everything above the transport — sequencing, dedup, retransmits,
+    /// failure detection, replica failover — is shared between the two.
+    pub backend: Option<Arc<dyn crate::backend::WorkerBackend>>,
     /// Fault-survival policy (timeouts, strikes, retransmits, injection).
     pub resilience: ResilienceConfig,
     /// Tail-latency policy (deadline, hedging).
@@ -308,6 +315,12 @@ impl EngineConfig {
     /// [`EngineConfig::standby_workers`]).
     pub fn with_standby_workers(mut self, k: usize) -> Self {
         self.standby_workers = k;
+        self
+    }
+
+    /// Installs a worker backend (see [`EngineConfig::backend`]).
+    pub fn with_backend(mut self, backend: Arc<dyn crate::backend::WorkerBackend>) -> Self {
+        self.backend = Some(backend);
         self
     }
 
@@ -875,6 +888,10 @@ impl ParallelGridFile {
         }
 
         let shared = Arc::new(SharedStats::new(n_workers));
+        let backend: Arc<dyn crate::backend::WorkerBackend> = config
+            .backend
+            .clone()
+            .unwrap_or_else(|| Arc::new(crate::backend::InProcessBackend));
         let mut to_workers = Vec::with_capacity(n_workers);
         let mut handles = Vec::with_capacity(n_workers);
         for (w, state) in workers.into_iter().enumerate() {
@@ -882,12 +899,17 @@ impl ParallelGridFile {
             match config.dispatch {
                 DispatchMode::Channel => {
                     let (to_tx, to_rx) = unbounded();
-                    handles.push(run_worker(state, to_rx, counters));
+                    handles.push(backend.spawn_worker(w, state, to_rx.into(), counters));
                     to_workers.push(WorkerOutbox::Channel(to_tx));
                 }
                 _ => {
                     let ring = Arc::new(RequestRing::new());
-                    handles.push(run_worker(state, Arc::clone(&ring), counters));
+                    handles.push(backend.spawn_worker(
+                        w,
+                        state,
+                        crate::ring::WorkerInbox::from(Arc::clone(&ring)),
+                        counters,
+                    ));
                     to_workers.push(WorkerOutbox::Ring(ring));
                 }
             }

@@ -75,6 +75,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cache;
 pub mod disk;
 pub mod engine;
@@ -86,6 +87,7 @@ pub mod stats;
 pub mod store;
 pub mod worker;
 
+pub use backend::{InProcessBackend, WorkerBackend};
 pub use cache::{BlockBuf, BufferPool, LruCache};
 pub use disk::{BlockCost, DiskModel, DiskParams};
 pub use engine::{
@@ -94,7 +96,7 @@ pub use engine::{
 };
 pub use error::{EngineError, StoreError};
 pub use fault::{FaultKind, FaultPlan, WorkerFault};
-pub use message::{QueryPriority, RawBlocks};
+pub use message::{FromWorker, QueryPriority, RawBlocks, ToWorker};
 pub use pargrid_sim::ThroughputStats;
 pub use ring::{DispatchMode, RequestRing, WorkerInbox, WorkerOutbox};
 pub use stats::{EngineStats, WorkerStats};

@@ -284,6 +284,19 @@ impl BlockStore {
         (self.pool.allocations(), self.pool.reuses())
     }
 
+    /// Every stored block id, ascending — the enumeration a remote worker
+    /// backend walks to upload this store's contents to a worker process.
+    pub fn block_ids(&self) -> Vec<u32> {
+        match &self.backend {
+            Backend::Memory(map) => {
+                let mut ids: Vec<u32> = map.keys().copied().collect();
+                ids.sort_unstable();
+                ids
+            }
+            Backend::File { n_blocks, .. } => (0..*n_blocks).collect(),
+        }
+    }
+
     /// Number of stored blocks.
     pub fn len(&self) -> usize {
         match &self.backend {

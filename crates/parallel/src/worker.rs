@@ -224,6 +224,53 @@ impl WorkerState {
         }
     }
 
+    /// Services one dispatched request end-to-end, retransmit dedup
+    /// included — the public surface a *wire* worker runtime (the
+    /// `pargrid-cluster` worker process) drives instead of [`WorkerState::run`].
+    ///
+    /// Returns `None` when `seq` is already inside the seen-seq window: the
+    /// request was serviced before and must not be re-executed. The caller
+    /// answers such a redelivery from its reply cache, so a retransmitted
+    /// dispatch whose original reply was lost with a dropped connection is
+    /// answered once, never executed twice.
+    pub fn service_dispatch(
+        &mut self,
+        query_id: u64,
+        seq: u64,
+        blocks: &[u32],
+        query: &Rect,
+        priority: QueryPriority,
+    ) -> Option<FromWorker> {
+        if self.seen_seqs.contains(&seq) {
+            return None;
+        }
+        let reply = self
+            .service_batch(&[RequestSpec {
+                query_id,
+                seq,
+                blocks,
+                query,
+                priority,
+            }])
+            .pop()
+            .expect("one request in, one reply out");
+        self.note_seen(seq);
+        Some(reply)
+    }
+
+    /// Raw verified block bytes (the scrub/repair read surface), public
+    /// for the wire-worker runtime. See [`crate::message::ToWorker::FetchRaw`].
+    pub fn fetch_raw_blocks(&self, blocks: &[u32]) -> RawBlocks {
+        self.fetch_raw(blocks)
+    }
+
+    /// Writes raw blocks — bulk upload, scrub repair material, or a
+    /// mutation's rewritten pages — public for the wire-worker runtime.
+    /// See [`crate::message::ToWorker::WriteRaw`].
+    pub fn write_raw_blocks(&mut self, blocks: Vec<(u32, Vec<u8>)>) {
+        self.write_raw(blocks)
+    }
+
     /// Handles one read request synchronously (also used directly by unit
     /// tests, without threads).
     pub fn handle_read(&mut self, query_id: u64, blocks: Vec<u32>, query: &Rect) -> FromWorker {

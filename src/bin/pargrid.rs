@@ -24,6 +24,11 @@
 //! pargrid rebalance --addr 127.0.0.1:7878 --add-workers 2      # grow the cluster live
 //! pargrid rebalance --addr 127.0.0.1:7878 --remove-worker 0    # drain + shrink
 //! pargrid rebalance --addr 127.0.0.1:7878 --add-workers 1 --dry-run   # preview the plan
+//! pargrid worker --listen 127.0.0.1:7901 --disks 2             # cluster worker process
+//! pargrid serve my.pgf --method minimax --disks 4 \
+//!     --workers 127.0.0.1:7901,127.0.0.1:7902 \
+//!     --node-id 0 --peer-listen 127.0.0.1:7951 \
+//!     --peers 1=127.0.0.1:7952=127.0.0.1:7879                  # replicated coordinator
 //! ```
 //!
 //! `--trace` writes a Chrome `trace_event` JSON of one traced engine run —
@@ -44,6 +49,8 @@ fn usage() -> ExitCode {
          pargrid decluster FILE.pgf --method M --disks N [--seed N] [--out FILE.csv]\n  \
          pargrid evaluate FILE.pgf --method M --disks N [--ratio R] [--queries N] [--seed N] [--clients K] [--replicate] [--fail K] [--chaos SEED] [--deadline-us N] [--trace FILE.json] [--metrics FILE.prom]\n  \
          pargrid serve FILE.pgf --method M --disks N [--addr H:P] [--seed N] [--queue N] [--dispatchers K] [--pace-us N] [--replicate] [--standby K] [--wal DIR]\n  \
+         pargrid serve FILE.pgf --method M --disks N --workers H:P[,H:P...] [--addr H:P] [--node-id N] [--peer-listen H:P] [--peers ID=PEER=CLIENT[,...]] [--heartbeat-ms N]\n  \
+         pargrid worker --listen H:P [--disks N]\n  \
          pargrid query --addr H:P --range LO..HI[,...] | --keys V|*[,...] | --insert ID,C[,...] | --delete ID,C[,...] | --ping | --stats | --shutdown\n  \
          pargrid rebalance --addr H:P --add-workers K | --remove-worker I [--dry-run]\n\n  \
          methods: dm fx gdm hcam zcam gcam scan ssp mst kl minimax minimax-euclid"
@@ -66,6 +73,7 @@ fn main() -> ExitCode {
         "decluster" => cmd_decluster(rest),
         "evaluate" => cmd_evaluate(rest),
         "serve" => cmd_serve(rest),
+        "worker" => cmd_worker(rest),
         "rebalance" => cmd_rebalance(rest),
         _ => Err("unknown command".into()),
     };
@@ -517,6 +525,20 @@ fn cmd_serve(args: &[String]) -> CliResult {
     let standby: usize = flag_parse(args, "--standby", 0)?;
     let wal_dir = flag_value(args, "--wal")?.map(|s| s.to_string());
 
+    // Cluster mode: --workers hands the data plane to remote worker
+    // processes and runs this node as a replicated coordinator.
+    if let Some(workers) = flag_value(args, "--workers")? {
+        if replicate || standby > 0 || wal_dir.is_some() {
+            return Err(
+                "--workers (cluster mode) is incompatible with --replicate/--standby/--wal \
+                 (durability is the replicated metadata log)"
+                    .into(),
+            );
+        }
+        let workers: Vec<String> = workers.split(',').map(|s| s.trim().to_string()).collect();
+        return cmd_serve_cluster(args, &path, gf, method, disks, seed, addr, workers);
+    }
+
     // Durable mode: the --wal directory is authoritative. First run seeds
     // its checkpoint from FILE.pgf; later runs recover checkpoint ⊕ WAL
     // (the .pgf is only a template after that). Declustering is rebuilt
@@ -605,6 +627,100 @@ fn cmd_serve(args: &[String]) -> CliResult {
     println!("server stopped; final metrics:");
     print!("{doc}");
     Ok(())
+}
+
+/// `serve --workers ...`: run this node as a replicated cluster
+/// coordinator over remote worker processes. Blocks until killed; the CI
+/// smoke job stops it with a signal, exactly like a deployment would.
+#[allow(clippy::too_many_arguments)]
+fn cmd_serve_cluster(
+    args: &[String],
+    path: &str,
+    gf: GridFile,
+    method: DeclusterMethod,
+    disks: usize,
+    seed: u64,
+    addr: &str,
+    workers: Vec<String>,
+) -> CliResult {
+    use pargrid::cluster::{Coordinator, CoordinatorConfig, PeerSpec};
+
+    let node_id: u32 = flag_parse(args, "--node-id", 0)?;
+    let peer_listen = flag_value(args, "--peer-listen")?
+        .map(|s| s.to_string())
+        .unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let mut cfg = CoordinatorConfig::new(node_id, addr.to_string(), peer_listen);
+    cfg.workers = workers;
+    cfg.seed = seed ^ u64::from(node_id);
+    cfg.heartbeat_ms = flag_parse(args, "--heartbeat-ms", cfg.heartbeat_ms)?;
+    if let Some(peers) = flag_value(args, "--peers")? {
+        for entry in peers.split(',') {
+            // ID=PEERADDR=CLIENTADDR ('=' because addresses contain ':').
+            let parts: Vec<&str> = entry.trim().split('=').collect();
+            let [id, peer_addr, client_addr] = parts[..] else {
+                return Err(format!("bad --peers entry {entry:?}; want ID=PEER=CLIENT"));
+            };
+            cfg.peers.push(PeerSpec {
+                id: id.parse().map_err(|_| format!("bad peer id {id:?}"))?,
+                peer_addr: peer_addr.to_string(),
+                client_addr: client_addr.to_string(),
+            });
+        }
+    }
+    let n_peers = cfg.peers.len();
+    let n_workers = cfg.workers.len();
+    let builder: pargrid::cluster::coordinator::EngineBuilder = Box::new(move |gf, backend| {
+        let input = DeclusterInput::from_grid_file(&gf);
+        let assignment = method.assign(&input, disks, seed);
+        let cfg = EngineConfig::default().with_backend(backend);
+        std::sync::Arc::new(ParallelGridFile::build(gf, &assignment, cfg))
+    });
+    let coord = Coordinator::start(cfg, gf, builder)
+        .map_err(|e| format!("cannot start coordinator: {e}"))?;
+    println!(
+        "coordinator {node_id} for {path} ({} over {disks} slots, {n_workers} workers, \
+         {n_peers} standby peers)",
+        method.label(),
+    );
+    println!("clients: {addr} (thin redirect while following)");
+    println!("stop with: kill {}", std::process::id());
+    let mut was_leader = coord.is_leader();
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        let leading = coord.is_leader();
+        if leading != was_leader {
+            was_leader = leading;
+            if leading {
+                println!(
+                    "leading term {} (failovers here: {})",
+                    coord.term(),
+                    coord.failovers()
+                );
+            } else {
+                println!("following (term {})", coord.term());
+            }
+        }
+    }
+}
+
+/// `pargrid worker`: one cluster worker process. Holds declustered blocks
+/// uploaded by the leading coordinator and executes its dispatches.
+fn cmd_worker(args: &[String]) -> CliResult {
+    use pargrid::cluster::{WorkerConfig, WorkerServer};
+
+    let listen = flag_value(args, "--listen")?.unwrap_or("127.0.0.1:7901");
+    let disks: usize = flag_parse(args, "--disks", 2)?;
+    let cfg = WorkerConfig {
+        disks,
+        ..WorkerConfig::default()
+    };
+    let server =
+        WorkerServer::start(listen, cfg).map_err(|e| format!("cannot bind {listen}: {e}"))?;
+    println!("worker on {} ({disks} virtual disks)", server.local_addr());
+    println!("stop with: kill {}", std::process::id());
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
 }
 
 fn cmd_rebalance(args: &[String]) -> CliResult {

@@ -15,6 +15,7 @@
 //! | [`parallel`] | `pargrid-parallel` | shared-nothing SPMD engine (SP-2 substitute) |
 //! | [`obs`] | `pargrid-obs` | tracing, latency histograms, Chrome-trace/Prometheus exporters |
 //! | [`net`] | `pargrid-net` | TCP serving layer: wire protocol, admission-controlled server, client, load generator |
+//! | [`cluster`] | `pargrid-cluster` | scale-out runtime: worker processes, replicated coordinators, leader election, failover |
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,7 @@
 
 #![warn(missing_docs)]
 
+pub use pargrid_cluster as cluster;
 pub use pargrid_core as decluster;
 pub use pargrid_datagen as datagen;
 pub use pargrid_geom as geom;
@@ -64,6 +66,10 @@ pub use pargrid_sim as sim;
 /// resilience/latency/obs sub-configs), and the workspace's
 /// `#[non_exhaustive]` error enums.
 pub mod prelude {
+    pub use pargrid_cluster::{
+        ClusterClient, ClusterClientError, Coordinator, CoordinatorConfig, PeerSpec, RemoteBackend,
+        WorkerConfig, WorkerServer,
+    };
     pub use pargrid_core::{
         Assignment, ConflictPolicy, DeclusterInput, DeclusterMethod, EdgeWeight, IndexScheme,
         ReplicatedAssignment,

@@ -1,0 +1,194 @@
+//! Cluster failover with **real operating-system processes**: three
+//! `pargrid worker` processes and two replicated `pargrid serve`
+//! coordinators, spawned as children of this test. The leading
+//! coordinator is killed with SIGKILL — no destructors, no goodbye
+//! frames — and the survivor must take over and keep serving every
+//! acknowledged write. The in-process e2e tests cover the same protocol;
+//! this one covers the actual deployment shape (process isolation, real
+//! pipes, real kill).
+
+use std::io::{BufRead, BufReader};
+use std::net::TcpListener;
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use pargrid::cluster::ClusterClient;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pargrid"))
+}
+
+fn free_addr() -> String {
+    let l = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+    let a = l.local_addr().expect("local addr");
+    drop(l);
+    format!("127.0.0.1:{}", a.port())
+}
+
+/// A child process whose stdout/stderr are streamed into a string buffer;
+/// killed on drop so a failing test leaves no orphans.
+struct Proc {
+    child: Child,
+    log: Arc<Mutex<String>>,
+}
+
+impl Proc {
+    fn spawn(mut cmd: Command) -> Proc {
+        cmd.stdout(Stdio::piped()).stderr(Stdio::piped());
+        let mut child = cmd.spawn().expect("spawn child process");
+        let log = Arc::new(Mutex::new(String::new()));
+        for stream in [
+            child
+                .stdout
+                .take()
+                .map(|s| Box::new(s) as Box<dyn std::io::Read + Send>),
+            child
+                .stderr
+                .take()
+                .map(|s| Box::new(s) as Box<dyn std::io::Read + Send>),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            let log = Arc::clone(&log);
+            std::thread::spawn(move || {
+                let reader = BufReader::new(stream);
+                for line in reader.lines().map_while(Result::ok) {
+                    let mut log = log.lock().unwrap();
+                    log.push_str(&line);
+                    log.push('\n');
+                }
+            });
+        }
+        Proc { child, log }
+    }
+
+    fn log(&self) -> String {
+        self.log.lock().unwrap().clone()
+    }
+
+    /// SIGKILL — the hard way, like a crashed machine.
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Proc {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+fn wait_for<F: FnMut() -> bool>(what: &str, timeout: Duration, mut f: F) {
+    let start = Instant::now();
+    while start.elapsed() < timeout {
+        if f() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+#[test]
+fn leader_sigkill_fails_over_across_processes() {
+    let dir = std::env::temp_dir().join("pargrid_cluster_failover");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let pgf = dir.join("data.pgf");
+
+    let out = bin()
+        .args(["gen", "uniform2d", "--seed", "7", "--out"])
+        .arg(&pgf)
+        .output()
+        .expect("gen");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Three worker processes.
+    let worker_addrs: Vec<String> = (0..3).map(|_| free_addr()).collect();
+    let _workers: Vec<Proc> = worker_addrs
+        .iter()
+        .map(|a| {
+            let mut cmd = bin();
+            cmd.args(["worker", "--listen", a, "--disks", "2"]);
+            Proc::spawn(cmd)
+        })
+        .collect();
+
+    // Two replicated coordinators, each naming the other in --peers.
+    let client_addrs: Vec<String> = (0..2).map(|_| free_addr()).collect();
+    let peer_addrs: Vec<String> = (0..2).map(|_| free_addr()).collect();
+    let workers_flag = worker_addrs.join(",");
+    let mut coords: Vec<Proc> = (0..2usize)
+        .map(|i| {
+            let o = 1 - i;
+            let mut cmd = bin();
+            cmd.arg("serve")
+                .arg(&pgf)
+                .args(["--method", "minimax", "--disks", "6"])
+                .args(["--workers", &workers_flag])
+                .args(["--addr", &client_addrs[i]])
+                .args(["--node-id", &i.to_string()])
+                .args(["--peer-listen", &peer_addrs[i]])
+                .args([
+                    "--peers",
+                    &format!("{o}={}={}", peer_addrs[o], client_addrs[o]),
+                ]);
+            Proc::spawn(cmd)
+        })
+        .collect();
+
+    // One of the two prints "leading term" once elected.
+    wait_for(
+        "a leader among the serve processes",
+        Duration::from_secs(60),
+        || coords.iter().any(|c| c.log().contains("leading term")),
+    );
+    let leader = coords
+        .iter()
+        .position(|c| c.log().contains("leading term"))
+        .unwrap();
+    let survivor = 1 - leader;
+
+    let mut client =
+        ClusterClient::new(client_addrs.clone()).with_deadline(Duration::from_secs(60));
+
+    // Write through the leader; an ack means the write is replicated.
+    for i in 0..20u64 {
+        client
+            .insert(5_000_000 + i, &[500.0 + i as f64, 500.0])
+            .expect("insert before kill");
+    }
+    let probe = |client: &mut ClusterClient| -> Vec<u64> {
+        let reply = client
+            .range_query(&[499.0, 499.0], &[521.0, 501.0])
+            .expect("range query");
+        assert!(!reply.incomplete, "replies must be complete");
+        let mut ids: Vec<u64> = reply.records.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids
+    };
+    let before = probe(&mut client);
+    assert!(
+        (0..20).all(|i| before.contains(&(5_000_000 + i))),
+        "all acknowledged inserts visible before the kill: {before:?}"
+    );
+
+    // SIGKILL the leading coordinator process.
+    let survivor_log_before = coords[survivor].log().len();
+    coords[leader].kill();
+
+    wait_for("the survivor to take over", Duration::from_secs(60), || {
+        coords[survivor].log()[survivor_log_before..].contains("leading term")
+    });
+
+    // Read-your-write across a process death: identical answer.
+    let after = probe(&mut client);
+    assert_eq!(after, before, "zero divergence across process failover");
+}
