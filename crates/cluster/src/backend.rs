@@ -271,10 +271,21 @@ impl Proxy {
     /// Connects, joins at our epoch, and uploads the mirror if the worker
     /// doesn't already hold it (same-epoch reconnects skip the upload).
     fn establish(&self) -> Result<Conn, RoundTripError> {
-        let stream = TcpStream::connect(&self.addr).map_err(|_| RoundTripError::Io)?;
+        // Bound the connect as well as the read: a blackholed worker
+        // (partition, no RST) must cost one read-timeout, not the OS
+        // connect default, or dead-worker detection blows its budget.
+        use std::net::ToSocketAddrs;
+        let timeout = Duration::from_millis(self.read_timeout_ms);
+        let sock_addr = self
+            .addr
+            .to_socket_addrs()
+            .map_err(|_| RoundTripError::Io)?
+            .next()
+            .ok_or(RoundTripError::Io)?;
+        let stream = TcpStream::connect_timeout(&sock_addr, timeout).map_err(|_| RoundTripError::Io)?;
         stream.set_nodelay(true).map_err(|_| RoundTripError::Io)?;
         stream
-            .set_read_timeout(Some(Duration::from_millis(self.read_timeout_ms)))
+            .set_read_timeout(Some(timeout))
             .map_err(|_| RoundTripError::Io)?;
         let reader = BufReader::new(stream.try_clone().map_err(|_| RoundTripError::Io)?);
         let mut conn = Conn {

@@ -131,6 +131,13 @@ struct PeerRepl {
     acked: u64,
     strikes: u32,
     online: bool,
+    /// Whether this standby has answered a replication round during the
+    /// current leadership term — i.e. it joined this regime's
+    /// replication set. Losing a joined standby forces mutation refusal;
+    /// a standby that was already dead at promotion never gates writes
+    /// (otherwise a 2-coordinator cluster could never accept a write
+    /// after failing over).
+    joined_term: bool,
 }
 
 /// Replication state: the log plus per-peer cursors.
@@ -139,6 +146,20 @@ struct Repl {
     peers: Vec<PeerRepl>,
     /// Client address of the current leader, for `NotLeader` hints.
     leader_hint: String,
+}
+
+impl Repl {
+    /// Whether unreplicated commits are permissible: no standby is
+    /// configured at all, or none has ever answered a replication round
+    /// this term — the regime was promoted over dead peers and runs in
+    /// *explicit* degraded mode (observable: the election itself, the
+    /// failover counter, the online-standbys gauge). The contrast is a
+    /// standby that was replicating and went dark mid-term: there the
+    /// leader must refuse rather than silently downgrade acknowledged
+    /// writes to zero-replica durability.
+    fn replication_waived(&self, no_peers_configured: bool) -> bool {
+        no_peers_configured || self.peers.iter().all(|p| !p.joined_term)
+    }
 }
 
 /// The thin standby listener answering redirects on the client address.
@@ -202,6 +223,7 @@ impl Coordinator {
                         acked: 0,
                         strikes: 0,
                         online: true,
+                        joined_term: false,
                     })
                     .collect(),
                 leader_hint: String::new(),
@@ -372,11 +394,25 @@ fn handle_peer(shared: &Arc<CoordShared>, req: ClusterRequest) -> ClusterRespons
             term,
             candidate,
             log_len,
+            last_log_term,
         } => {
             let mut el = shared.el.lock().unwrap();
-            // Election restriction, coordinator edition: refuse any
-            // candidate whose log is shorter than our committed prefix.
-            let log_ok = log_len >= shared.repl.lock().unwrap().log.commit;
+            // Election restriction, coordinator edition: the candidate's
+            // log must be at least as up-to-date as ours, compared as
+            // `(last entry term, length)` — Raft's rule. Length alone is
+            // not enough: a partitioned ex-leader keeps entries whose
+            // replication failed, so its log can tie ours on length
+            // while diverging in content; its older last-entry term is
+            // what gives it away.
+            let log_ok = {
+                let repl = shared.repl.lock().unwrap();
+                crate::election::log_up_to_date(
+                    last_log_term,
+                    log_len,
+                    repl.log.last_term(),
+                    repl.log.len(),
+                )
+            };
             let granted = el.grant_vote(term, candidate, log_ok, now);
             ClusterResponse::VoteReply {
                 term: el.term,
@@ -484,11 +520,15 @@ fn ticker_loop(shared: Arc<CoordShared>) {
 /// Solicits votes for `term` from every peer coordinator and worker;
 /// promotes on quorum.
 fn run_election(shared: &Arc<CoordShared>, term: u64) {
-    let log_len = shared.repl.lock().unwrap().log.len();
+    let (log_len, last_log_term) = {
+        let repl = shared.repl.lock().unwrap();
+        (repl.log.len(), repl.log.last_term())
+    };
     let req = ClusterRequest::VoteRequest {
         term,
         candidate: shared.cfg.id,
         log_len,
+        last_log_term,
     };
     let mut won = false;
     {
@@ -561,6 +601,7 @@ fn replicate_round(shared: &Arc<CoordShared>, term: u64, id: u32, round: u64) ->
                 let p = &mut repl.peers[i];
                 p.strikes = 0;
                 p.online = true;
+                p.joined_term = true;
                 p.acked = if ok { log_len } else { log_len.min(len) };
             }
             _ => {
@@ -572,21 +613,37 @@ fn replicate_round(shared: &Arc<CoordShared>, term: u64, id: u32, round: u64) ->
             }
         }
     }
-    let min_acked = repl
-        .peers
-        .iter()
-        .filter(|p| p.online)
-        .map(|p| p.acked)
-        .min()
-        .unwrap_or(len);
-    let new_commit = repl.log.commit.max(min_acked.min(len));
-    repl.log.commit = new_commit;
+    let waived = repl.replication_waived(shared.cfg.peers.is_empty());
+    let new_commit = advance_commit(&mut repl, waived, len);
     shared.commit_cell.store(new_commit, Ordering::Relaxed);
     // Keep the leader's own mirror warm so a future demotion resumes
     // from a consistent cursor.
     let mut gf = shared.gf.lock().unwrap();
     repl.log.apply_to(&mut gf, new_commit);
     false
+}
+
+/// Advances the commit index to the lowest ack among *online* standbys.
+/// With every standby offline the commit must NOT advance — `min()` over
+/// an empty set is no evidence at all, and treating it as `len` would
+/// ack writes held by zero replicas (lost on the next leader death).
+/// Only when replication is waived (no standbys configured, or none ever
+/// joined this regime — see [`Repl::replication_waived`]) does the
+/// leader commit on its own log.
+fn advance_commit(repl: &mut Repl, waived: bool, len: u64) -> u64 {
+    let min_acked = repl
+        .peers
+        .iter()
+        .filter(|p| p.online)
+        .map(|p| p.acked)
+        .min();
+    let new_commit = match min_acked {
+        Some(m) => repl.log.commit.max(m.min(len)),
+        None if waived => repl.log.commit.max(len),
+        None => repl.log.commit,
+    };
+    repl.log.commit = new_commit;
+    new_commit
 }
 
 // ---------------------------------------------------------------------
@@ -601,17 +658,31 @@ fn promote(shared: &Arc<CoordShared>, term: u64) {
     stop_thin(shared);
     let gf_snapshot = {
         let mut repl = shared.repl.lock().unwrap();
-        // Everything in the log — committed prefix *and* tail. The
+        // Stamp the new regime onto the log (Raft's leader no-op): the
+        // log now *ends* at this term, so the `(last term, length)`
+        // election restriction immediately distinguishes logs that
+        // followed this leader from any divergent same-length log a
+        // deposed predecessor kept.
+        repl.log.append(term, MetaOp::Noop);
+        // Apply everything in the log — committed prefix *and* tail. The
         // unanimous-ack rule guarantees every acknowledged mutation is
         // here; unacknowledged tail entries are indeterminate and safe
-        // to apply because applies are upserts.
+        // to apply because applies are upserts. The commit index is NOT
+        // advanced here: advertising `len` as committed before a single
+        // standby holds this log would poison the workers' vote guard —
+        // if this leader died pre-replication, no surviving log could
+        // ever satisfy `(commit_term, commit_seen)` and the cluster
+        // would stall unelectable. The first replication round (next
+        // heartbeat, or the first gated mutation) advances it instead.
         let len = repl.log.len();
-        repl.log.commit = len;
-        shared.commit_cell.store(len, Ordering::Relaxed);
         for p in repl.peers.iter_mut() {
             p.acked = 0;
             p.strikes = 0;
             p.online = true;
+            // A new term starts with an empty replication set: each
+            // standby re-joins by answering its first round. One that
+            // never does (it is the dead ex-leader) never gates writes.
+            p.joined_term = false;
         }
         repl.leader_hint = shared.cfg.client_listen.clone();
         let mut gf = shared.gf.lock().unwrap();
@@ -714,6 +785,21 @@ fn mutation_gate(weak: &Weak<CoordShared>, op: &MetaOp) -> Result<(), WireError>
         .map(|l| Arc::clone(&l.engine));
     {
         let mut repl = shared.repl.lock().unwrap();
+        // A regime that *had* a live standby must never ack a write held
+        // by zero replicas: if every joined standby is struck offline,
+        // refuse (cleanly — nothing appended, the client can retry
+        // later) rather than silently degrading to unreplicated
+        // durability. The ticker's probe rounds bring recovered standbys
+        // back online. A regime whose standbys were already dead at
+        // promotion (the post-failover survivor) is waived: its degraded
+        // mode began with an observable election, not a silent blip.
+        if !repl.replication_waived(shared.cfg.peers.is_empty())
+            && repl.peers.iter().all(|p| !p.online)
+        {
+            return Err(WireError::MutationFailed(
+                "no online standby to replicate to; refusing unreplicated write".into(),
+            ));
+        }
         repl.log.append(term, op.clone());
         let len = repl.log.len();
         for (i, peer) in shared.cfg.peers.iter().enumerate() {
@@ -738,6 +824,7 @@ fn mutation_gate(weak: &Weak<CoordShared>, op: &MetaOp) -> Result<(), WireError>
                     ok: true, log_len, ..
                 }) => {
                     repl.peers[i].acked = log_len;
+                    repl.peers[i].joined_term = true;
                 }
                 _ => {
                     repl.peers[i].strikes += 1;
@@ -750,15 +837,8 @@ fn mutation_gate(weak: &Weak<CoordShared>, op: &MetaOp) -> Result<(), WireError>
                 }
             }
         }
-        let min_acked = repl
-            .peers
-            .iter()
-            .filter(|p| p.online)
-            .map(|p| p.acked)
-            .min()
-            .unwrap_or(len);
-        let new_commit = repl.log.commit.max(min_acked.min(len));
-        repl.log.commit = new_commit;
+        let waived = repl.replication_waived(shared.cfg.peers.is_empty());
+        let new_commit = advance_commit(&mut repl, waived, len);
         shared.commit_cell.store(new_commit, Ordering::Relaxed);
     }
     if let (Some(engine), MetaOp::Insert { id, key }) = (engine, op) {
@@ -794,6 +874,15 @@ fn cluster_gauges(shared: &Arc<CoordShared>, pw: &mut PromWriter) {
         "Highest committed metadata-log index.",
         shared.commit_cell.load(Ordering::Relaxed) as f64,
     );
+    let online = {
+        let repl = shared.repl.lock().unwrap();
+        repl.peers.iter().filter(|p| p.online).count()
+    };
+    pw.gauge(
+        names::CLUSTER_ONLINE_STANDBYS,
+        "Standby coordinators currently online in the replication set.",
+        online as f64,
+    );
     // `try_lock`, not `lock`: a scrape racing a demotion/shutdown (which
     // holds `lead` briefly while taking the regime) must not deadlock the
     // metrics path — it just skips the per-worker gauges that scrape.
@@ -825,30 +914,33 @@ fn start_thin(shared: &Arc<CoordShared>) {
         return;
     }
     let stop = Arc::new(AtomicBool::new(false));
-    let listener = {
-        // The engine server may still be releasing the address.
-        let mut bound = None;
-        for _ in 0..50 {
-            match TcpListener::bind(&shared.cfg.client_listen) {
-                Ok(l) => {
-                    bound = Some(l);
-                    break;
-                }
-                Err(_) => thread::sleep(Duration::from_millis(20)),
-            }
-        }
-        match bound {
-            Some(l) => l,
-            None => return,
-        }
-    };
-    let _ = listener.set_nonblocking(true);
     let handle = {
         let stop = Arc::clone(&stop);
         let shared = Arc::clone(shared);
         thread::Builder::new()
             .name("pargrid-coord-thin".into())
-            .spawn(move || thin_accept_loop(listener, shared, stop))
+            .spawn(move || {
+                // The engine server may still be releasing the address.
+                // Retry inside the thread, without a cap: a standby that
+                // gives up here has no client-facing listener at all, so
+                // clients would see connection refused instead of
+                // `NotLeader` redirects until the next regime change.
+                loop {
+                    if stop.load(Ordering::SeqCst)
+                        || shared.shutdown.load(Ordering::SeqCst)
+                        || shared.killed.load(Ordering::SeqCst)
+                    {
+                        return;
+                    }
+                    match TcpListener::bind(&shared.cfg.client_listen) {
+                        Ok(listener) => {
+                            let _ = listener.set_nonblocking(true);
+                            return thin_accept_loop(listener, shared, stop);
+                        }
+                        Err(_) => thread::sleep(Duration::from_millis(20)),
+                    }
+                }
+            })
             .expect("spawn thin listener thread")
     };
     *slot = Some(Thin { stop, handle });
@@ -930,12 +1022,21 @@ fn thin_conn_loop(stream: TcpStream, shared: Arc<CoordShared>, stop: Arc<AtomicB
 
 /// One connect + frame round-trip with a short timeout; any failure is
 /// collapsed into `Err(())` (the caller treats it as a strike).
+///
+/// The *connect* is bounded too, not just the read: this runs under the
+/// `repl` mutex from the mutation gate and the heartbeat round, so a
+/// blackholed peer (SYN dropped, no RST) must cost one short timeout —
+/// not the OS's multi-second connect default, which would stall every
+/// client mutation and leader heartbeat long enough to trigger
+/// cascading spurious elections.
 fn quick_round_trip(addr: &str, req: &ClusterRequest) -> Result<ClusterResponse, ()> {
-    let stream = TcpStream::connect(addr).map_err(|_| ())?;
+    use std::net::ToSocketAddrs;
+    let timeout = Duration::from_millis(PEER_IO_TIMEOUT_MS);
+    let sock_addr = addr.to_socket_addrs().map_err(|_| ())?.next().ok_or(())?;
+    let stream = TcpStream::connect_timeout(&sock_addr, timeout).map_err(|_| ())?;
     stream.set_nodelay(true).map_err(|_| ())?;
-    stream
-        .set_read_timeout(Some(Duration::from_millis(PEER_IO_TIMEOUT_MS)))
-        .map_err(|_| ())?;
+    stream.set_read_timeout(Some(timeout)).map_err(|_| ())?;
+    stream.set_write_timeout(Some(timeout)).map_err(|_| ())?;
     let mut reader = BufReader::new(stream.try_clone().map_err(|_| ())?);
     let mut writer = BufWriter::new(stream);
     let (t, p) = req.encode();

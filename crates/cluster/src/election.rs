@@ -156,6 +156,22 @@ impl Election {
     }
 }
 
+/// The Raft election restriction: is a candidate log whose last entry is
+/// `(cand_last_term, cand_len)` at least as up-to-date as a reference
+/// log ending at `(ref_last_term, ref_len)`? Compared lexicographically
+/// — terms first, length only on a tie — so a divergent same-length log
+/// left behind by a deposed leader (whose entries carry its older term)
+/// can never outvote the regime that superseded it. Bare length vs
+/// commit is *not* enough for exactly that case.
+pub fn log_up_to_date(
+    cand_last_term: u64,
+    cand_len: u64,
+    ref_last_term: u64,
+    ref_len: u64,
+) -> bool {
+    cand_last_term > ref_last_term || (cand_last_term == ref_last_term && cand_len >= ref_len)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +202,21 @@ mod tests {
         assert_eq!(el.role, Role::Follower);
         assert_eq!(el.term, 2);
         assert!(!el.on_leader_message(1, 700), "stale leader refused");
+    }
+
+    #[test]
+    fn up_to_date_is_term_then_length() {
+        // Same term: longer (or equal) wins.
+        assert!(log_up_to_date(3, 10, 3, 10));
+        assert!(log_up_to_date(3, 11, 3, 10));
+        assert!(!log_up_to_date(3, 9, 3, 10));
+        // Higher last term wins regardless of length — a newer regime's
+        // log beats a longer stale one.
+        assert!(log_up_to_date(4, 1, 3, 100));
+        // The deposed-leader case: same length, older term — refused.
+        assert!(!log_up_to_date(2, 10, 3, 10));
+        // Empty logs (term 0) on both sides.
+        assert!(log_up_to_date(0, 0, 0, 0));
     }
 
     #[test]

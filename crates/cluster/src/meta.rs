@@ -57,6 +57,12 @@ impl MetaLog {
         self.len()
     }
 
+    /// Term of the last entry (0 when the log is empty) — one half of
+    /// the `(last_term, len)` pair the election restriction compares.
+    pub fn last_term(&self) -> u64 {
+        self.entries.last().map_or(0, |e| e.term)
+    }
+
     /// Entries from `start` (1-based) to the tail, for replication.
     pub fn from_index(&self, start: u64) -> Vec<MetaOp> {
         if start == 0 || start > self.len() {

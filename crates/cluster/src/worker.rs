@@ -21,14 +21,23 @@
 //! * **Voting.** Workers vote in coordinator elections (one vote per
 //!   term, refusing candidates whose log would lose committed writes),
 //!   which keeps a two-coordinator cluster electable after it loses one.
+//!   Because a vote is a durable promise, the voting state survives the
+//!   process: with a `state_path` configured the worker persists its
+//!   term/vote/epoch/commit record to disk *before* a granted vote
+//!   leaves the socket, and a restarted worker reloads it; without one,
+//!   a freshly started worker sits out elections for a grace period
+//!   longer than any election timeout, so a kill + restart mid-election
+//!   cannot produce a second vote in the same term (two same-term
+//!   leaders would carry the same fencing epoch — unfenceable).
 
 use std::collections::HashMap;
 use std::io::BufWriter;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use pargrid_net::cluster_proto::{ClusterRequest, ClusterResponse, WireReply};
 use pargrid_net::frame::{read_frame, write_frame, FrameError};
@@ -58,6 +67,21 @@ pub struct WorkerConfig {
     pub disk_params: DiskParams,
     /// Optional partition injection.
     pub chaos: Option<ChaosDrop>,
+    /// How long a freshly started worker refuses to vote when it has no
+    /// persisted voter state: any election in flight when a previous
+    /// incarnation died has either concluded or moved to a later term by
+    /// the time the grace expires, so the lost in-memory vote record
+    /// cannot be double-spent. Must exceed the coordinators' maximum
+    /// election timeout (default 300 ms); ignored when state was
+    /// restored from `state_path`.
+    pub vote_grace_ms: u64,
+    /// Voter-state file: term, vote, fencing epoch, and commit watermark
+    /// are persisted here *before* a granted vote is sent, and reloaded
+    /// on start, so a killed-and-restarted worker can neither vote twice
+    /// in one term nor accept a deposed leader's frames at epoch 0.
+    /// `None` (the default) keeps the worker stateless and relies on the
+    /// vote grace alone.
+    pub state_path: Option<PathBuf>,
 }
 
 impl Default for WorkerConfig {
@@ -66,6 +90,8 @@ impl Default for WorkerConfig {
             disks: 1,
             disk_params: DiskParams::default(),
             chaos: None,
+            vote_grace_ms: 750,
+            state_path: None,
         }
     }
 }
@@ -92,9 +118,20 @@ struct Plane {
     /// vote per term).
     term: u64,
     voted: Option<(u64, u32)>,
-    /// Highest committed log index any leader has advertised; candidates
-    /// with shorter logs are refused.
+    /// Highest committed log index any leader has advertised, and the
+    /// term of the leader that advertised it. Candidates whose
+    /// `(last_log_term, log_len)` is lexicographically behind this pair
+    /// are refused — bare length is not enough, because a deposed
+    /// leader's divergent log can tie on length while its entries carry
+    /// an older term.
     commit_seen: u64,
+    commit_term: u64,
+    /// Highest term at which this worker has observed an *active* leader
+    /// (heartbeat, join, or lease). Elections at or below it are already
+    /// decided, so votes there are refused outright: a restarted worker
+    /// whose in-memory vote record died with it cannot help elect a
+    /// second leader into a settled term.
+    leader_term_seen: u64,
 }
 
 struct Shared {
@@ -108,6 +145,11 @@ struct Shared {
     deduped: AtomicU64,
     /// Connection counter: gives each connection its own chaos stream.
     conn_seq: AtomicU64,
+    /// When the server started — the vote-grace clock.
+    started: Instant,
+    /// Whether voter state was restored from `state_path` (a restored
+    /// worker is informed and votes without waiting out the grace).
+    restored: bool,
 }
 
 /// A running worker server. [`WorkerServer::shutdown`] (or dropping the
@@ -125,19 +167,28 @@ impl WorkerServer {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        let mut plane = Plane {
+            slots: HashMap::new(),
+            epoch: 0,
+            term: 0,
+            voted: None,
+            commit_seen: 0,
+            commit_term: 0,
+            leader_term_seen: 0,
+        };
+        let restored = match &cfg.state_path {
+            Some(path) => load_state(path, &mut plane),
+            None => false,
+        };
         let shared = Arc::new(Shared {
             cfg,
-            plane: Mutex::new(Plane {
-                slots: HashMap::new(),
-                epoch: 0,
-                term: 0,
-                voted: None,
-                commit_seen: 0,
-            }),
+            plane: Mutex::new(plane),
             shutdown: AtomicBool::new(false),
             executed: AtomicU64::new(0),
             deduped: AtomicU64::new(0),
             conn_seq: AtomicU64::new(0),
+            started: Instant::now(),
+            restored,
         });
         let accept = {
             let shared = Arc::clone(&shared);
@@ -305,9 +356,14 @@ fn handle(
             }
             if epoch > plane.epoch {
                 // New regime: every slot's pages and dedup state belong
-                // to the old leader's upload; drop them all.
+                // to the old leader's upload; drop them all. Only a
+                // leader joins, and its epoch is its term, so this is
+                // also leader-observation evidence for the vote guard.
                 plane.slots.clear();
                 plane.epoch = epoch;
+                plane.leader_term_seen = plane.leader_term_seen.max(epoch);
+                plane.term = plane.term.max(epoch);
+                persist(shared, &plane);
             }
             let cfg = &shared.cfg;
             let cur_epoch = plane.epoch;
@@ -417,10 +473,36 @@ fn handle(
             epoch,
             commit,
         } => {
-            plane.term = plane.term.max(term);
-            plane.commit_seen = plane.commit_seen.max(commit);
+            // Heartbeats come from the active leader's proxies; record
+            // the evidence (term, epoch, commit watermark) the vote
+            // guard compares candidates against. A leader always stamps
+            // its own no-op before advertising a commit it advanced, so
+            // the advertising term IS the term of the entry at the
+            // commit index.
+            let mut changed = false;
+            if term > plane.term {
+                plane.term = term;
+                changed = true;
+            }
+            if term > plane.leader_term_seen {
+                plane.leader_term_seen = term;
+                changed = true;
+            }
+            if commit > plane.commit_seen {
+                plane.commit_seen = commit;
+                plane.commit_term = term;
+                changed = true;
+            }
             if epoch > plane.epoch {
                 plane.epoch = epoch;
+                changed = true;
+            }
+            if changed {
+                // Best-effort: a lost heartbeat watermark only makes a
+                // restarted worker more permissive as a voter, never
+                // able to double-vote (the vote record itself is always
+                // persisted before a grant leaves).
+                persist(shared, &plane);
             }
             ClusterResponse::HeartbeatAck {
                 term: plane.term,
@@ -431,7 +513,12 @@ fn handle(
             if epoch < plane.epoch {
                 return ClusterResponse::Fenced { epoch: plane.epoch };
             }
-            plane.epoch = epoch;
+            if epoch > plane.epoch || epoch > plane.leader_term_seen {
+                plane.epoch = epoch;
+                plane.leader_term_seen = plane.leader_term_seen.max(epoch);
+                plane.term = plane.term.max(epoch);
+                persist(shared, &plane);
+            }
             ClusterResponse::LeaseAck {
                 granted: true,
                 epoch: plane.epoch,
@@ -441,20 +528,46 @@ fn handle(
             term,
             candidate,
             log_len,
+            last_log_term,
         } => {
             if term > plane.term {
                 plane.term = term;
                 // New term: the old vote is void.
             }
-            let granted = term == plane.term
-                && log_len >= plane.commit_seen
+            // A stateless worker that just started must sit out any
+            // election that may have been in flight when a previous
+            // incarnation died: the grace outlasts every candidacy, so
+            // its lost vote record can no longer be paired with a fresh
+            // one in the same term. Restored state carries the actual
+            // vote record, so no grace is needed.
+            let informed = shared.restored
+                || shared.started.elapsed() >= Duration::from_millis(shared.cfg.vote_grace_ms);
+            // Election restriction, worker edition: the candidate's
+            // `(last entry term, length)` must not be behind the newest
+            // commit any leader has shown us.
+            let log_ok = crate::election::log_up_to_date(
+                last_log_term,
+                log_len,
+                plane.commit_term,
+                plane.commit_seen,
+            );
+            let granted = informed
+                && term == plane.term
+                // Terms with an observed leader are settled; a second
+                // term-T leader would share term-T's fencing epoch.
+                && term > plane.leader_term_seen
+                && log_ok
                 && match plane.voted {
                     Some((t, c)) => t < term || (t == term && c == candidate),
                     None => true,
                 };
-            if granted {
+            // A vote is a durable promise: record it, and refuse the
+            // grant if the record cannot be made durable before the
+            // reply leaves the socket.
+            let granted = granted && {
                 plane.voted = Some((term, candidate));
-            }
+                persist(shared, &plane)
+            };
             ClusterResponse::VoteReply {
                 term: plane.term,
                 granted,
@@ -468,6 +581,104 @@ fn handle(
                 log_len: 0,
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Voter-state persistence
+// ---------------------------------------------------------------------
+
+const STATE_MAGIC: [u8; 4] = *b"PGVS";
+const STATE_VERSION: u16 = 1;
+/// magic + version + 5×u64 + vote flag + vote (u64 term, u32 candidate)
+/// + crc32.
+const STATE_LEN: usize = 4 + 2 + 5 * 8 + 1 + 8 + 4 + 4;
+
+fn encode_state(plane: &Plane) -> Vec<u8> {
+    let mut b = Vec::with_capacity(STATE_LEN);
+    b.extend_from_slice(&STATE_MAGIC);
+    b.extend_from_slice(&STATE_VERSION.to_le_bytes());
+    for v in [
+        plane.epoch,
+        plane.term,
+        plane.leader_term_seen,
+        plane.commit_seen,
+        plane.commit_term,
+    ] {
+        b.extend_from_slice(&v.to_le_bytes());
+    }
+    match plane.voted {
+        Some((t, c)) => {
+            b.push(1);
+            b.extend_from_slice(&t.to_le_bytes());
+            b.extend_from_slice(&c.to_le_bytes());
+        }
+        None => {
+            b.push(0);
+            b.extend_from_slice(&0u64.to_le_bytes());
+            b.extend_from_slice(&0u32.to_le_bytes());
+        }
+    }
+    let crc = pargrid_gridfile::crc32(&b);
+    b.extend_from_slice(&crc.to_le_bytes());
+    b
+}
+
+/// Durably writes the voter state: tmp file, fsync, rename — a crash
+/// mid-write leaves the previous state intact, never a torn one.
+fn save_state(path: &Path, plane: &Plane) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&encode_state(plane))?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Loads persisted voter state into `plane`; returns whether anything
+/// valid was restored. A missing, short, corrupt, or version-skewed
+/// file restores nothing (the caller then falls back to the vote grace).
+fn load_state(path: &Path, plane: &mut Plane) -> bool {
+    let Ok(b) = std::fs::read(path) else {
+        return false;
+    };
+    if b.len() != STATE_LEN || b[0..4] != STATE_MAGIC {
+        return false;
+    }
+    if u16::from_le_bytes([b[4], b[5]]) != STATE_VERSION {
+        return false;
+    }
+    let body = &b[..STATE_LEN - 4];
+    let crc = u32::from_le_bytes(b[STATE_LEN - 4..].try_into().expect("crc slice"));
+    if pargrid_gridfile::crc32(body) != crc {
+        return false;
+    }
+    let u64_at = |i: usize| u64::from_le_bytes(b[i..i + 8].try_into().expect("u64 slice"));
+    plane.epoch = u64_at(6);
+    plane.term = u64_at(14);
+    plane.leader_term_seen = u64_at(22);
+    plane.commit_seen = u64_at(30);
+    plane.commit_term = u64_at(38);
+    plane.voted = if b[46] == 1 {
+        Some((
+            u64_at(47),
+            u32::from_le_bytes(b[55..59].try_into().expect("u32 slice")),
+        ))
+    } else {
+        None
+    };
+    true
+}
+
+/// Persists the plane if a state path is configured; `true` means the
+/// state is durable (or persistence is not configured and the caller's
+/// fallback protection applies).
+fn persist(shared: &Shared, plane: &Plane) -> bool {
+    match &shared.cfg.state_path {
+        Some(path) => save_state(path, plane).is_ok(),
+        None => true,
     }
 }
 

@@ -263,3 +263,113 @@ fn failover_preserves_acknowledged_writes() {
     assert!(survivor.failovers() >= 1);
     assert!(survivor.term() > 0);
 }
+
+#[test]
+fn mutations_refused_when_a_joined_standby_goes_dark() {
+    // A standby that was replicating this term and then goes dark must
+    // flip the leader from replicated to *refusing* — never to silently
+    // unreplicated acks (a network blip would otherwise convert every
+    // ack into zero-replica durability, lost on the next leader crash).
+    // Reads keep serving throughout; refused inserts never surface.
+    let n = 300;
+    let gf = tiny_grid(n);
+    let w1 = WorkerServer::start("127.0.0.1:0", worker_cfg()).expect("worker 1");
+    let w2 = WorkerServer::start("127.0.0.1:0", worker_cfg()).expect("worker 2");
+    let worker_addrs = vec![w1.local_addr().to_string(), w2.local_addr().to_string()];
+    let (c0_client, c0_peer) = (free_addr(), free_addr());
+    let (c1_client, c1_peer) = (free_addr(), free_addr());
+    let mk_cfg = |id: u32, client: &str, peer: &str, other: PeerSpec, seed: u64| {
+        let mut cfg = CoordinatorConfig::new(id, client.to_string(), peer.to_string());
+        cfg.peers = vec![other];
+        cfg.workers = worker_addrs.clone();
+        cfg.seed = seed;
+        cfg
+    };
+    let c0 = Coordinator::start(
+        mk_cfg(
+            0,
+            &c0_client,
+            &c0_peer,
+            PeerSpec {
+                id: 1,
+                peer_addr: c1_peer.clone(),
+                client_addr: c1_client.clone(),
+            },
+            11,
+        ),
+        gf.clone(),
+        test_builder(),
+    )
+    .expect("coordinator 0");
+    let c1 = Coordinator::start(
+        mk_cfg(
+            1,
+            &c1_client,
+            &c1_peer,
+            PeerSpec {
+                id: 0,
+                peer_addr: c0_peer.clone(),
+                client_addr: c0_client.clone(),
+            },
+            12,
+        ),
+        gf,
+        test_builder(),
+    )
+    .expect("coordinator 1");
+    wait_for("a leader", Duration::from_secs(15), || {
+        c0.is_leader() || c1.is_leader()
+    });
+    std::thread::sleep(Duration::from_millis(300));
+    let (leader, standby) = if c0.is_leader() { (&c0, &c1) } else { (&c1, &c0) };
+
+    let mut client = ClusterClient::new(vec![leader.client_addr().to_string()])
+        .with_deadline(Duration::from_millis(900));
+    // Replicated inserts while the standby is up: the standby joins the
+    // regime's replication set.
+    for i in 0..3u64 {
+        client
+            .insert(20_000 + i, &[400.0, 400.0 + i as f64])
+            .expect("replicated insert");
+    }
+
+    // The standby goes dark (silent, like a partition — not deposed).
+    standby.kill();
+
+    // Every insert from here on must fail: indeterminate while the
+    // standby burns its strikes, then the explicit refusal once it is
+    // struck offline. None may be acknowledged.
+    let mut last_err = String::new();
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let i = u64::from(last_err.len() as u32 % 97); // vary the key a little
+        match client.insert(21_000 + i, &[600.0, 600.0 + i as f64]) {
+            Ok(_) => panic!("insert acknowledged with zero replicas"),
+            Err(e) => last_err = e.to_string(),
+        }
+        if last_err.contains("no online standby") {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "standby never struck offline; last error: {last_err}"
+        );
+    }
+
+    // Reads are unaffected, the pre-kill acked inserts are visible, and
+    // none of the refused ones ever became visible.
+    let reply = client
+        .range_query(&[0.0, 0.0], &[1000.0, 1000.0])
+        .expect("read with standby dark");
+    let acked = reply.records.iter().filter(|r| r.id >= 20_000 && r.id < 21_000).count();
+    assert_eq!(acked, 3, "acked replicated inserts stay visible");
+    assert!(
+        !reply.records.iter().any(|r| r.id >= 21_000),
+        "a refused insert must not become visible"
+    );
+    assert_eq!(
+        reply.records.iter().filter(|r| r.id < 20_000).count(),
+        n,
+        "base records intact"
+    );
+}

@@ -112,6 +112,7 @@ fn start_cluster(chaos: Chaos, seed: u64) -> SoakCluster {
                     seed: seed ^ (i as u64 + 1),
                     rate: 0.01,
                 }),
+                ..WorkerConfig::default()
             };
             WorkerServer::start("127.0.0.1:0", cfg).expect("start worker")
         })

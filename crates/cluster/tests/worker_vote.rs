@@ -1,0 +1,188 @@
+//! Worker voting safety at the wire level: the grace period for
+//! stateless restarts, durable voter state under `state_path`, the
+//! settled-term guard (`leader_term_seen`), and the `(last entry term,
+//! length)` election restriction. Each is the worker-side half of a
+//! split-brain defence: a worker that forgets its vote — or grants one
+//! to a log that would lose committed writes — can help elect a second
+//! leader into a live term.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use pargrid_cluster::{WorkerConfig, WorkerServer};
+use pargrid_net::cluster_proto::{ClusterRequest, ClusterResponse};
+use pargrid_net::frame::{read_frame, write_frame};
+
+/// One raw-frame connection speaking the worker plane in lockstep.
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Conn {
+    fn open(addr: &str) -> Conn {
+        let stream = TcpStream::connect(addr).expect("connect to worker");
+        stream.set_nodelay(true).unwrap();
+        Conn {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: BufWriter::new(stream),
+        }
+    }
+
+    fn round_trip(&mut self, req: &ClusterRequest) -> ClusterResponse {
+        let (t, p) = req.encode();
+        write_frame(&mut self.writer, t, &p).expect("write frame");
+        self.writer.flush().expect("flush");
+        let frame = read_frame(&mut self.reader).expect("read frame");
+        ClusterResponse::decode(frame.msg_type, &frame.payload).expect("decode response")
+    }
+
+    /// Solicits a vote; returns whether it was granted.
+    fn vote(&mut self, term: u64, candidate: u32, log_len: u64, last_log_term: u64) -> bool {
+        match self.round_trip(&ClusterRequest::VoteRequest {
+            term,
+            candidate,
+            log_len,
+            last_log_term,
+        }) {
+            ClusterResponse::VoteReply { granted, .. } => granted,
+            other => panic!("expected a vote reply, got {other:?}"),
+        }
+    }
+}
+
+fn scratch(label: &str) -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "pargrid-vote-{label}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("scratch dir");
+    d
+}
+
+fn cfg(vote_grace_ms: u64, state_path: Option<PathBuf>) -> WorkerConfig {
+    WorkerConfig {
+        vote_grace_ms,
+        state_path,
+        ..WorkerConfig::default()
+    }
+}
+
+#[test]
+fn fresh_stateless_worker_sits_out_the_grace() {
+    // A grace far longer than the test: every vote is refused, because
+    // an election could have been in flight when a previous incarnation
+    // of this worker died holding an unremembered vote.
+    let mut worker = WorkerServer::start("127.0.0.1:0", cfg(60_000, None)).expect("start");
+    let mut conn = Conn::open(&worker.local_addr().to_string());
+    assert!(!conn.vote(5, 1, 0, 0), "no votes inside the grace");
+    assert!(!conn.vote(6, 2, 0, 0), "not even at a later term");
+    worker.shutdown();
+
+    // Grace zero: the same request is granted immediately.
+    let mut worker = WorkerServer::start("127.0.0.1:0", cfg(0, None)).expect("start");
+    let mut conn = Conn::open(&worker.local_addr().to_string());
+    assert!(conn.vote(5, 1, 0, 0), "grace elapsed, vote granted");
+    worker.shutdown();
+}
+
+#[test]
+fn restart_with_durable_state_cannot_double_vote() {
+    let dir = scratch("durable");
+    let path = dir.join("voter.state");
+
+    // First incarnation grants candidate 1 its term-5 vote.
+    let mut worker =
+        WorkerServer::start("127.0.0.1:0", cfg(0, Some(path.clone()))).expect("start");
+    let mut conn = Conn::open(&worker.local_addr().to_string());
+    assert!(conn.vote(5, 1, 0, 0));
+    assert!(conn.vote(5, 1, 0, 0), "idempotent re-grant, same candidate");
+    assert!(!conn.vote(5, 2, 0, 0), "one vote per term");
+    worker.shutdown();
+
+    // Kill + restart on the same state file, with a huge grace: the
+    // restored vote record is authoritative (no grace needed), and the
+    // term-5 vote stays spent — candidate 2 cannot collect a second one
+    // and complete a two-leaders-in-term-5 split.
+    let mut worker =
+        WorkerServer::start("127.0.0.1:0", cfg(60_000, Some(path.clone()))).expect("restart");
+    let mut conn = Conn::open(&worker.local_addr().to_string());
+    assert!(
+        !conn.vote(5, 2, 0, 0),
+        "restored state must remember the term-5 vote"
+    );
+    assert!(conn.vote(5, 1, 0, 0), "...but re-grants to the same candidate");
+    assert!(conn.vote(6, 2, 0, 0), "a genuinely new term gets a new vote");
+    worker.shutdown();
+
+    // A corrupted state file restores nothing — the worker falls back to
+    // the grace and refuses, rather than voting on garbage.
+    let mut bytes = std::fs::read(&path).expect("state file");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    std::fs::write(&path, &bytes).expect("corrupt state file");
+    let mut worker = WorkerServer::start("127.0.0.1:0", cfg(60_000, Some(path))).expect("start");
+    let mut conn = Conn::open(&worker.local_addr().to_string());
+    assert!(!conn.vote(7, 1, 0, 0), "corrupt state ⇒ grace applies");
+    worker.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn settled_terms_are_not_electable() {
+    let mut worker = WorkerServer::start("127.0.0.1:0", cfg(0, None)).expect("start");
+    let mut conn = Conn::open(&worker.local_addr().to_string());
+
+    // A term-7 leader heartbeats: term 7 (and everything below) is
+    // settled — a second term-7 leader would share its fencing epoch.
+    let hb = conn.round_trip(&ClusterRequest::Heartbeat {
+        term: 7,
+        epoch: 7,
+        commit: 0,
+    });
+    assert!(matches!(hb, ClusterResponse::HeartbeatAck { .. }), "{hb:?}");
+    assert!(!conn.vote(7, 1, 0, 0), "term with an observed leader");
+    assert!(!conn.vote(6, 1, 0, 0), "older term, trivially");
+    assert!(conn.vote(8, 1, 0, 0), "the next term is fair game");
+    worker.shutdown();
+}
+
+#[test]
+fn election_restriction_compares_term_then_length() {
+    let mut worker = WorkerServer::start("127.0.0.1:0", cfg(0, None)).expect("start");
+    let mut conn = Conn::open(&worker.local_addr().to_string());
+
+    // The term-3 leader advertises commit 10: ten entries are
+    // acknowledged, and the newest of them carries term 3.
+    let hb = conn.round_trip(&ClusterRequest::Heartbeat {
+        term: 3,
+        epoch: 3,
+        commit: 10,
+    });
+    assert!(matches!(hb, ClusterResponse::HeartbeatAck { .. }), "{hb:?}");
+
+    // Candidacies are all for later terms (3 itself is settled); what
+    // varies is the candidate's *log* — its last entry's (term, index).
+    assert!(
+        !conn.vote(4, 1, 10, 2),
+        "same length, older last term: a divergent ex-leader log"
+    );
+    assert!(
+        !conn.vote(5, 1, 9, 3),
+        "right term but short of the commit"
+    );
+    assert!(
+        conn.vote(6, 1, 10, 3),
+        "exactly the committed (term, length) is enough"
+    );
+    assert!(
+        conn.vote(7, 2, 1, 4),
+        "a higher last term wins regardless of length"
+    );
+    worker.shutdown();
+}

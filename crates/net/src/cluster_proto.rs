@@ -252,9 +252,14 @@ pub enum ClusterRequest {
         term: u64,
         /// Candidate's node id.
         candidate: u32,
-        /// Candidate's metadata-log length (a voter may refuse shorter
-        /// logs than its own).
+        /// Candidate's metadata-log length (its last entry's index).
         log_len: u64,
+        /// Term of the candidate's last metadata-log entry (0 when the
+        /// log is empty). Voters compare `(last_log_term, log_len)`
+        /// lexicographically against their own log — the Raft election
+        /// restriction — so a divergent same-length log from an older
+        /// regime cannot win.
+        last_log_term: u64,
     },
     /// Leader→standby metadata replication: entries
     /// `start_index..start_index + ops.len()` (1-based, consecutive),
@@ -432,10 +437,12 @@ impl ClusterRequest {
                 term,
                 candidate,
                 log_len,
+                last_log_term,
             } => {
                 p.extend_from_slice(&term.to_le_bytes());
                 p.extend_from_slice(&candidate.to_le_bytes());
                 p.extend_from_slice(&log_len.to_le_bytes());
+                p.extend_from_slice(&last_log_term.to_le_bytes());
                 (REQ_VOTE, p)
             }
             ClusterRequest::MetaAppend {
@@ -543,6 +550,7 @@ impl ClusterRequest {
                 term: c.u64()?,
                 candidate: c.u32()?,
                 log_len: c.u64()?,
+                last_log_term: c.u64()?,
             },
             REQ_META_APPEND => {
                 let term = c.u64()?;
@@ -873,6 +881,7 @@ mod tests {
             term: 4,
             candidate: 1,
             log_len: 17,
+            last_log_term: 3,
         });
         rt_request(ClusterRequest::MetaAppend {
             term: 4,

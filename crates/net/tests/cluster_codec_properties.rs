@@ -116,13 +116,14 @@ fn arb_request() -> impl Strategy<Value = ClusterRequest> {
         }),
         (any::<u64>(), any::<u32>())
             .prop_map(|(epoch, ttl_ms)| ClusterRequest::LeaseGrant { epoch, ttl_ms }),
-        (any::<u64>(), any::<u32>(), any::<u64>()).prop_map(|(term, candidate, log_len)| {
-            ClusterRequest::VoteRequest {
+        (any::<u64>(), any::<u32>(), any::<u64>(), any::<u64>()).prop_map(
+            |(term, candidate, log_len, last_log_term)| ClusterRequest::VoteRequest {
                 term,
                 candidate,
                 log_len,
+                last_log_term,
             }
-        }),
+        ),
         (
             (any::<u64>(), any::<u32>(), any::<u64>(), 1u64..1 << 32),
             prop::collection::vec(arb_meta_op(), 0..4),

@@ -63,3 +63,8 @@ pub const CLUSTER_COMMIT_INDEX: &str = "pargrid_cluster_commit_index";
 /// Epoch of the most recent lease granted to this leader by its workers
 /// (gauge; trails `pargrid_cluster_leader_term` only transiently).
 pub const CLUSTER_LEASE_EPOCH: &str = "pargrid_cluster_lease_epoch";
+/// Standby coordinators currently online in the leader's replication
+/// set (gauge). 0 with standbys configured means degraded durability:
+/// mutations are either refused (a joined standby went dark) or
+/// unreplicated (the regime was promoted over dead peers) — alert on it.
+pub const CLUSTER_ONLINE_STANDBYS: &str = "pargrid_cluster_online_standbys";

@@ -50,7 +50,7 @@ fn usage() -> ExitCode {
          pargrid evaluate FILE.pgf --method M --disks N [--ratio R] [--queries N] [--seed N] [--clients K] [--replicate] [--fail K] [--chaos SEED] [--deadline-us N] [--trace FILE.json] [--metrics FILE.prom]\n  \
          pargrid serve FILE.pgf --method M --disks N [--addr H:P] [--seed N] [--queue N] [--dispatchers K] [--pace-us N] [--replicate] [--standby K] [--wal DIR]\n  \
          pargrid serve FILE.pgf --method M --disks N --workers H:P[,H:P...] [--addr H:P] [--node-id N] [--peer-listen H:P] [--peers ID=PEER=CLIENT[,...]] [--heartbeat-ms N]\n  \
-         pargrid worker --listen H:P [--disks N]\n  \
+         pargrid worker --listen H:P [--disks N] [--state FILE]\n  \
          pargrid query --addr H:P --range LO..HI[,...] | --keys V|*[,...] | --insert ID,C[,...] | --delete ID,C[,...] | --ping | --stats | --shutdown\n  \
          pargrid rebalance --addr H:P --add-workers K | --remove-worker I [--dry-run]\n\n  \
          methods: dm fx gdm hcam zcam gcam scan ssp mst kl minimax minimax-euclid"
@@ -710,13 +710,20 @@ fn cmd_worker(args: &[String]) -> CliResult {
 
     let listen = flag_value(args, "--listen")?.unwrap_or("127.0.0.1:7901");
     let disks: usize = flag_parse(args, "--disks", 2)?;
+    let state_path = flag_value(args, "--state")?.map(std::path::PathBuf::from);
+    let durable = state_path.is_some();
     let cfg = WorkerConfig {
         disks,
+        state_path,
         ..WorkerConfig::default()
     };
     let server =
         WorkerServer::start(listen, cfg).map_err(|e| format!("cannot bind {listen}: {e}"))?;
-    println!("worker on {} ({disks} virtual disks)", server.local_addr());
+    println!(
+        "worker on {} ({disks} virtual disks, {} voter state)",
+        server.local_addr(),
+        if durable { "durable" } else { "in-memory" }
+    );
     println!("stop with: kill {}", std::process::id());
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
