@@ -31,6 +31,7 @@ const EXPERIMENTS: &[&str] = &[
     "degradation",
     "resilience",
     "serving",
+    "frontier",
     "rebalance",
     "failover",
     "ablation-curves",
@@ -114,6 +115,7 @@ fn main() -> ExitCode {
             "degradation" => exp::degradation::run(&params),
             "resilience" => exp::resilience::run(&params),
             "serving" => exp::serving::run(&params),
+            "frontier" => exp::frontier::run(&params),
             "rebalance" => exp::rebalance::run(&params),
             "failover" => exp::failover::run(&params),
             "ablation-curves" => exp::ablations::run_curves(&params),

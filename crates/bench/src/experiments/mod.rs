@@ -9,6 +9,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod frontier;
 pub mod growth;
 pub mod rebalance;
 pub mod resilience;

@@ -56,6 +56,14 @@ pub fn run(params: &Params) -> Vec<NamedTable> {
             pargrid_core::ConflictPolicy::DataBalance,
         ),
         DeclusterMethod::Minimax(EdgeWeight::Proximity),
+        DeclusterMethod::Index(
+            pargrid_core::IndexScheme::Onion,
+            pargrid_core::ConflictPolicy::DataBalance,
+        ),
+        DeclusterMethod::Index(
+            pargrid_core::IndexScheme::LatinHypercube,
+            pargrid_core::ConflictPolicy::DataBalance,
+        ),
     ];
     let disks = 8;
     // Wall time per load point. Short windows are noisy — the knee's

@@ -282,7 +282,8 @@ impl Proxy {
             .map_err(|_| RoundTripError::Io)?
             .next()
             .ok_or(RoundTripError::Io)?;
-        let stream = TcpStream::connect_timeout(&sock_addr, timeout).map_err(|_| RoundTripError::Io)?;
+        let stream =
+            TcpStream::connect_timeout(&sock_addr, timeout).map_err(|_| RoundTripError::Io)?;
         stream.set_nodelay(true).map_err(|_| RoundTripError::Io)?;
         stream
             .set_read_timeout(Some(timeout))

@@ -321,7 +321,11 @@ fn mutations_refused_when_a_joined_standby_goes_dark() {
         c0.is_leader() || c1.is_leader()
     });
     std::thread::sleep(Duration::from_millis(300));
-    let (leader, standby) = if c0.is_leader() { (&c0, &c1) } else { (&c1, &c0) };
+    let (leader, standby) = if c0.is_leader() {
+        (&c0, &c1)
+    } else {
+        (&c1, &c0)
+    };
 
     let mut client = ClusterClient::new(vec![leader.client_addr().to_string()])
         .with_deadline(Duration::from_millis(900));
@@ -361,7 +365,11 @@ fn mutations_refused_when_a_joined_standby_goes_dark() {
     let reply = client
         .range_query(&[0.0, 0.0], &[1000.0, 1000.0])
         .expect("read with standby dark");
-    let acked = reply.records.iter().filter(|r| r.id >= 20_000 && r.id < 21_000).count();
+    let acked = reply
+        .records
+        .iter()
+        .filter(|r| r.id >= 20_000 && r.id < 21_000)
+        .count();
     assert_eq!(acked, 3, "acked replicated inserts stay visible");
     assert!(
         !reply.records.iter().any(|r| r.id >= 21_000),

@@ -97,8 +97,7 @@ fn restart_with_durable_state_cannot_double_vote() {
     let path = dir.join("voter.state");
 
     // First incarnation grants candidate 1 its term-5 vote.
-    let mut worker =
-        WorkerServer::start("127.0.0.1:0", cfg(0, Some(path.clone()))).expect("start");
+    let mut worker = WorkerServer::start("127.0.0.1:0", cfg(0, Some(path.clone()))).expect("start");
     let mut conn = Conn::open(&worker.local_addr().to_string());
     assert!(conn.vote(5, 1, 0, 0));
     assert!(conn.vote(5, 1, 0, 0), "idempotent re-grant, same candidate");
@@ -116,8 +115,14 @@ fn restart_with_durable_state_cannot_double_vote() {
         !conn.vote(5, 2, 0, 0),
         "restored state must remember the term-5 vote"
     );
-    assert!(conn.vote(5, 1, 0, 0), "...but re-grants to the same candidate");
-    assert!(conn.vote(6, 2, 0, 0), "a genuinely new term gets a new vote");
+    assert!(
+        conn.vote(5, 1, 0, 0),
+        "...but re-grants to the same candidate"
+    );
+    assert!(
+        conn.vote(6, 2, 0, 0),
+        "a genuinely new term gets a new vote"
+    );
     worker.shutdown();
 
     // A corrupted state file restores nothing — the worker falls back to
@@ -172,10 +177,7 @@ fn election_restriction_compares_term_then_length() {
         !conn.vote(4, 1, 10, 2),
         "same length, older last term: a divergent ex-leader log"
     );
-    assert!(
-        !conn.vote(5, 1, 9, 3),
-        "right term but short of the commit"
-    );
+    assert!(!conn.vote(5, 1, 9, 3), "right term but short of the commit");
     assert!(
         conn.vote(6, 1, 10, 3),
         "exactly the committed (term, length) is enough"

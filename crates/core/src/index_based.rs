@@ -14,8 +14,10 @@
 //! per bucket, which a [`crate::conflict::ConflictPolicy`] resolves.
 
 use crate::input::DeclusterInput;
+use crate::latin::korobov_coeffs;
 use pargrid_geom::{
-    curves::bits_for_sides, GrayCurve, HilbertCurve, ScanCurve, SpaceFillingCurve, ZOrderCurve,
+    curves::bits_for_sides, GrayCurve, HilbertCurve, OnionCurve, ScanCurve, SpaceFillingCurve,
+    ZOrderCurve,
 };
 
 /// Which per-cell mapping to use.
@@ -38,6 +40,15 @@ pub enum IndexScheme {
     /// unit-coefficient symmetry spreads diagonal runs that plain DM maps to
     /// one disk (ablation).
     GeneralizedDiskModulo,
+    /// Onion-curve allocation (Xu, Nguyen & Tirthapura): linearize the cells
+    /// shell by shell and deal round-robin, like HCAM but with the onion
+    /// curve's near-optimal clustering.
+    Onion,
+    /// Latin-hypercube / low-discrepancy allocation (Doerr, Hebbinghaus &
+    /// Werth): `(sum a^(k-1) * i_k) mod M` with the golden-section Korobov
+    /// multiplier `a` coprime to `M`, so every 2-D slice of the cell table
+    /// is a latin square (see [`crate::latin`]).
+    LatinHypercube,
 }
 
 /// The coefficient vector used by [`IndexScheme::GeneralizedDiskModulo`].
@@ -54,6 +65,8 @@ impl IndexScheme {
             IndexScheme::GrayCode => "GCAM",
             IndexScheme::Scan => "SCAN",
             IndexScheme::GeneralizedDiskModulo => "GDM",
+            IndexScheme::Onion => "ONION",
+            IndexScheme::LatinHypercube => "LATIN",
         }
     }
 
@@ -66,6 +79,7 @@ impl IndexScheme {
             IndexScheme::DiskModulo => CellMapper::Sum,
             IndexScheme::FieldwiseXor => CellMapper::Xor,
             IndexScheme::GeneralizedDiskModulo => CellMapper::LinearSum(GDM_COEFFS),
+            IndexScheme::LatinHypercube => CellMapper::Korobov,
             _ => {
                 let sides: Vec<usize> = cells_per_dim.iter().map(|&c| c as usize).collect();
                 let bits = bits_for_sides(&sides);
@@ -74,6 +88,7 @@ impl IndexScheme {
                     IndexScheme::ZOrder => Box::new(ZOrderCurve::new(dim, bits)),
                     IndexScheme::GrayCode => Box::new(GrayCurve::new(dim, bits)),
                     IndexScheme::Scan => Box::new(ScanCurve::new(dim, bits)),
+                    IndexScheme::Onion => Box::new(OnionCurve::new(dim, bits)),
                     _ => unreachable!("non-curve schemes handled above"),
                 };
                 CellMapper::Curve(curve)
@@ -90,6 +105,11 @@ pub enum CellMapper {
     Xor,
     /// Generalized disk modulo with per-dimension coefficients.
     LinearSum([u64; pargrid_geom::MAX_DIM]),
+    /// Latin-hypercube linear sum whose coefficients `(1, a, a^2, ...)` are
+    /// derived from the disk count at lookup time (the golden-section
+    /// Korobov multiplier must be coprime to `m`, so it cannot be fixed
+    /// ahead of time like [`CellMapper::LinearSum`]).
+    Korobov,
     /// Space-filling curve round-robin.
     Curve(Box<dyn SpaceFillingCurve + Send + Sync>),
 }
@@ -109,6 +129,15 @@ impl CellMapper {
             }
             CellMapper::LinearSum(coeffs) => {
                 let s: u64 = cell.iter().zip(coeffs).map(|(&c, &a)| c as u64 * a).sum();
+                (s % m as u64) as u32
+            }
+            CellMapper::Korobov => {
+                let coeffs = korobov_coeffs(m, cell.len());
+                let s: u64 = cell
+                    .iter()
+                    .zip(&coeffs)
+                    .map(|(&c, &a)| c as u64 % m as u64 * a)
+                    .sum();
                 (s % m as u64) as u32
             }
             CellMapper::Curve(curve) => (curve.index_of(cell) % m as u128) as u32,

@@ -1,0 +1,130 @@
+//! Latin-hypercube (low-discrepancy) declustering.
+//!
+//! Doerr, Hebbinghaus & Werth ("Improved bounds and schemes for the
+//! declustering problem", 2006) study declustering schemes built from latin
+//! squares: an `m x m` table whose rows and columns are both permutations of
+//! the disks, so every row query and every column query of the cell grid is
+//! answered perfectly in parallel, and whose *discrepancy* controls the
+//! additive error on arbitrary rectangles.
+//!
+//! We realize the family as a **Korobov lattice**: cell `(i_1, ..., i_d)`
+//! goes to disk `(sum_k a^(k-1) * i_k) mod m`, where the multiplier `a` is
+//! the integer nearest `m / phi` (the golden section) that is coprime to
+//! `m`. Coprimality makes every axis-aligned 2-D slice of the table a latin
+//! square; the golden-section choice gives the classic Fibonacci
+//! low-discrepancy structure — consecutive cells along any axis land on
+//! disks that are maximally spread around the modular circle, which is
+//! exactly what thin-slab and diagonal range queries need. Unlike the fixed
+//! odd coefficients of generalized disk modulo, the coefficients here are
+//! derived from `m` itself, so the permutation structure holds for every
+//! disk count.
+
+/// Greatest common divisor (Euclid).
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// The golden-section multiplier for an `m`-disk farm: the integer closest
+/// to `m / phi` that lies in `[1, m-1]` and is coprime to `m` (ties broken
+/// toward the smaller candidate). For `m <= 2` the only choice is `1`.
+pub fn golden_multiplier(m: u32) -> u64 {
+    if m <= 2 {
+        return 1;
+    }
+    let m = m as u64;
+    let target = (m as f64 * 0.618_033_988_749_894_9).round() as i64;
+    for delta in 0..m as i64 {
+        for cand in [target - delta, target + delta] {
+            if (1..m as i64).contains(&cand) && gcd(cand as u64, m) == 1 {
+                return cand as u64;
+            }
+        }
+    }
+    1 // unreachable: 1 is always coprime to m
+}
+
+/// The per-dimension Korobov coefficients `(1, a, a^2, ..., a^(d-1)) mod m`
+/// for the golden-section multiplier `a`; unused trailing slots are zero.
+pub fn korobov_coeffs(m: u32, dim: usize) -> [u64; pargrid_geom::MAX_DIM] {
+    let a = golden_multiplier(m);
+    let modulus = (m as u64).max(1);
+    let mut coeffs = [0u64; pargrid_geom::MAX_DIM];
+    let mut c = 1u64 % modulus;
+    for slot in coeffs.iter_mut().take(dim.min(pargrid_geom::MAX_DIM)) {
+        *slot = c;
+        c = c * a % modulus;
+    }
+    coeffs
+}
+
+/// The full `m x m` latin square `L[i][j] = (i + a*j) mod m` — the 2-D slice
+/// structure of the Korobov mapping, exposed for tests and analysis.
+pub fn latin_square(m: u32) -> Vec<Vec<u32>> {
+    let a = golden_multiplier(m);
+    (0..m as u64)
+        .map(|i| {
+            (0..m as u64)
+                .map(|j| ((i + a * j) % m as u64) as u32)
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplier_is_coprime_and_near_golden() {
+        for m in 2..=64u32 {
+            let a = golden_multiplier(m);
+            assert!(a >= 1 && a < m.max(2) as u64, "m={m}, a={a}");
+            assert_eq!(gcd(a, m as u64), 1, "m={m}, a={a}");
+            if m > 4 {
+                let ideal = m as f64 * 0.618_033_988_749_894_9;
+                assert!(
+                    (a as f64 - ideal).abs() <= 3.0,
+                    "m={m}: a={a} drifted from golden target {ideal:.1}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fibonacci_disk_counts_get_fibonacci_multipliers() {
+        // round(F_n / phi) = F_{n-1}, and consecutive Fibonacci numbers are
+        // coprime — the textbook case of the construction.
+        assert_eq!(golden_multiplier(8), 5);
+        assert_eq!(golden_multiplier(13), 8);
+        assert_eq!(golden_multiplier(21), 13);
+    }
+
+    #[test]
+    fn squares_are_latin() {
+        for m in [2u32, 3, 5, 8, 12, 16, 30] {
+            let sq = latin_square(m);
+            for (i, sq_row) in sq.iter().enumerate() {
+                let mut row: Vec<u32> = sq_row.clone();
+                let mut col: Vec<u32> = (0..m as usize).map(|j| sq[j][i]).collect();
+                row.sort_unstable();
+                col.sort_unstable();
+                let want: Vec<u32> = (0..m).collect();
+                assert_eq!(row, want, "row {i} of m={m} is not a permutation");
+                assert_eq!(col, want, "column {i} of m={m} is not a permutation");
+            }
+        }
+    }
+
+    #[test]
+    fn coeffs_start_at_one_and_stay_reduced() {
+        for m in [2u32, 7, 16, 32] {
+            let c = korobov_coeffs(m, 6);
+            assert_eq!(c[0], 1 % m as u64);
+            assert!(c.iter().all(|&x| x < m as u64));
+            assert_eq!(c[2], c[1] * c[1] % m as u64, "geometric progression");
+        }
+    }
+}

@@ -49,6 +49,7 @@ pub mod incremental;
 pub mod index_based;
 pub mod input;
 pub mod kl;
+pub mod latin;
 pub mod method;
 pub mod minimax;
 pub mod mst;
@@ -62,6 +63,6 @@ pub use conflict::ConflictPolicy;
 pub use incremental::{place_fresh_bucket, place_fresh_replica};
 pub use index_based::IndexScheme;
 pub use input::{BucketInfo, DeclusterInput};
-pub use method::DeclusterMethod;
+pub use method::{DeclusterMethod, SchemeEntry, SCHEME_REGISTRY};
 pub use replicate::ReplicatedAssignment;
 pub use weights::EdgeWeight;

@@ -85,7 +85,130 @@ impl DeclusterMethod {
             DeclusterMethod::Minimax(EdgeWeight::Proximity),
         ]
     }
+
+    /// Looks a method up by its registry name (the CLI spelling, e.g.
+    /// `"hcam"` or `"onion"`).
+    pub fn parse(name: &str) -> Option<DeclusterMethod> {
+        SCHEME_REGISTRY
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| (e.build)())
+    }
+
+    /// Every registry name, in registry order — the CLI's `--method` menu.
+    pub fn names() -> Vec<&'static str> {
+        SCHEME_REGISTRY.iter().map(|e| e.name).collect()
+    }
+
+    /// The frontier comparison set: the paper's five plus the onion-curve
+    /// and latin-hypercube newcomers (HCAM/D is the Hilbert-curve entry).
+    pub fn frontier_set() -> Vec<DeclusterMethod> {
+        let mut set = DeclusterMethod::paper_five();
+        set.push(DeclusterMethod::Index(
+            IndexScheme::Onion,
+            ConflictPolicy::DataBalance,
+        ));
+        set.push(DeclusterMethod::Index(
+            IndexScheme::LatinHypercube,
+            ConflictPolicy::DataBalance,
+        ));
+        set
+    }
 }
+
+/// One row of the scheme registry: the canonical parse name, a one-line
+/// summary for help text, and a constructor for the default configuration
+/// (index schemes pair with the data-balance conflict policy, proximity
+/// schemes with the paper's proximity weight).
+pub struct SchemeEntry {
+    /// The CLI / config spelling (`"dm"`, `"hcam"`, `"onion"`, ...).
+    pub name: &'static str,
+    /// One-line human description, shown in `--help`-style listings.
+    pub summary: &'static str,
+    /// Builds the method in its default configuration.
+    pub build: fn() -> DeclusterMethod,
+}
+
+/// The single source of truth for scheme naming: the CLI, the `repro`
+/// harness, and experiment headers all parse and enumerate methods through
+/// this table, so adding a scheme means adding one row here.
+pub const SCHEME_REGISTRY: &[SchemeEntry] = &[
+    SchemeEntry {
+        name: "dm",
+        summary: "disk modulo (Du & Sobolewski), data-balance conflicts",
+        build: || DeclusterMethod::Index(IndexScheme::DiskModulo, ConflictPolicy::DataBalance),
+    },
+    SchemeEntry {
+        name: "fx",
+        summary: "fieldwise XOR (Kim & Pramanik), data-balance conflicts",
+        build: || DeclusterMethod::Index(IndexScheme::FieldwiseXor, ConflictPolicy::DataBalance),
+    },
+    SchemeEntry {
+        name: "gdm",
+        summary: "generalized disk modulo with fixed odd coefficients",
+        build: || {
+            DeclusterMethod::Index(
+                IndexScheme::GeneralizedDiskModulo,
+                ConflictPolicy::DataBalance,
+            )
+        },
+    },
+    SchemeEntry {
+        name: "hcam",
+        summary: "Hilbert-curve allocation (Faloutsos & Bhagwat)",
+        build: || DeclusterMethod::Index(IndexScheme::Hilbert, ConflictPolicy::DataBalance),
+    },
+    SchemeEntry {
+        name: "zcam",
+        summary: "Z-order-curve allocation (ablation)",
+        build: || DeclusterMethod::Index(IndexScheme::ZOrder, ConflictPolicy::DataBalance),
+    },
+    SchemeEntry {
+        name: "gcam",
+        summary: "Gray-code-curve allocation (ablation)",
+        build: || DeclusterMethod::Index(IndexScheme::GrayCode, ConflictPolicy::DataBalance),
+    },
+    SchemeEntry {
+        name: "scan",
+        summary: "row-major scan allocation (ablation)",
+        build: || DeclusterMethod::Index(IndexScheme::Scan, ConflictPolicy::DataBalance),
+    },
+    SchemeEntry {
+        name: "onion",
+        summary: "onion-curve allocation (Xu, Nguyen & Tirthapura)",
+        build: || DeclusterMethod::Index(IndexScheme::Onion, ConflictPolicy::DataBalance),
+    },
+    SchemeEntry {
+        name: "latin",
+        summary: "latin-hypercube low-discrepancy allocation (Doerr et al.)",
+        build: || DeclusterMethod::Index(IndexScheme::LatinHypercube, ConflictPolicy::DataBalance),
+    },
+    SchemeEntry {
+        name: "ssp",
+        summary: "short spanning path (Fang et al.)",
+        build: || DeclusterMethod::Ssp(EdgeWeight::Proximity),
+    },
+    SchemeEntry {
+        name: "mst",
+        summary: "maximum-similarity spanning tree coloring",
+        build: || DeclusterMethod::Mst(EdgeWeight::Proximity),
+    },
+    SchemeEntry {
+        name: "kl",
+        summary: "bounded Kernighan-Lin max-cut (ablation)",
+        build: || DeclusterMethod::KernighanLin(EdgeWeight::Proximity),
+    },
+    SchemeEntry {
+        name: "minimax",
+        summary: "minimax spanning tree (the paper's Algorithm 2)",
+        build: || DeclusterMethod::Minimax(EdgeWeight::Proximity),
+    },
+    SchemeEntry {
+        name: "minimax-euclid",
+        summary: "minimax with Euclidean-center edge weights (ablation)",
+        build: || DeclusterMethod::Minimax(EdgeWeight::EuclideanCenter),
+    },
+];
 
 #[cfg(test)]
 mod tests {
@@ -97,6 +220,33 @@ mod tests {
         let five = DeclusterMethod::paper_five();
         let labels: Vec<String> = five.iter().map(|m| m.label()).collect();
         assert_eq!(labels, vec!["DM/D", "FX/D", "HCAM/D", "SSP", "MiniMax"]);
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_parse_back() {
+        let names = DeclusterMethod::names();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate registry names");
+        for entry in SCHEME_REGISTRY {
+            let parsed = DeclusterMethod::parse(entry.name).expect("every name parses");
+            assert_eq!(parsed, (entry.build)());
+            assert!(!entry.summary.is_empty());
+        }
+        assert!(DeclusterMethod::parse("no-such-scheme").is_none());
+    }
+
+    #[test]
+    fn frontier_set_extends_paper_five_with_new_schemes() {
+        let labels: Vec<String> = DeclusterMethod::frontier_set()
+            .iter()
+            .map(|m| m.label())
+            .collect();
+        assert_eq!(
+            labels,
+            vec!["DM/D", "FX/D", "HCAM/D", "SSP", "MiniMax", "ONION/D", "LATIN/D"]
+        );
     }
 
     #[test]

@@ -32,6 +32,7 @@
 pub mod dataset;
 pub mod dsmc;
 pub mod mhd;
+pub mod nd;
 pub mod rng;
 pub mod stock;
 pub mod synthetic2d;
@@ -39,5 +40,6 @@ pub mod synthetic2d;
 pub use dataset::Dataset;
 pub use dsmc::{dsmc3d, dsmc3d_sized, dsmc4d, dsmc4d_paper_scale};
 pub use mhd::{mhd3d, mhd3d_sized, mhd4d};
+pub use nd::{hot_nd, uniform5d, uniform6d, uniform_nd};
 pub use stock::{stock3d, stock3d_sized};
 pub use synthetic2d::{correl2d, hot2d, uniform2d};

@@ -1,0 +1,146 @@
+//! High-dimensional datasets for the frontier experiments.
+//!
+//! The paper stops at 4 dimensions (the SP-2 spatio-temporal set); the
+//! declustering lower-bound literature predicts the gap from optimal grows
+//! like `(log M)^((d-1)/2)`, so the interesting regime is *higher* `d`.
+//! These generators produce 5–6-dimensional point sets sized to land in the
+//! same few-hundred-bucket regime as the 2-D sets, keeping every scheme —
+//! including the `O(N^2)` proximity-based ones — tractable.
+
+use crate::dataset::Dataset;
+use crate::rng::truncated_normal;
+use pargrid_geom::{Point, Rect, MAX_DIM};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N_POINTS: usize = 20_000;
+const DOMAIN_HI: f64 = 2000.0;
+
+fn domain_nd(dim: usize) -> Rect {
+    let lo = [0.0; MAX_DIM];
+    let hi = [DOMAIN_HI; MAX_DIM];
+    Rect::new(Point::new(&lo[..dim]), Point::new(&hi[..dim]))
+}
+
+/// Payload sized so a 4 KB page holds 64 records regardless of `dim`
+/// (record = 8-byte id + 8 bytes per coordinate + payload).
+fn payload_for(dim: usize) -> usize {
+    64usize.saturating_sub(8 + 8 * dim)
+}
+
+/// `uniform.{d}d`: 20,000 uniformly distributed points in `[0, 2000]^dim`.
+///
+/// # Panics
+/// Panics unless `2 <= dim <= MAX_DIM`.
+pub fn uniform_nd(dim: usize, seed: u64) -> Dataset {
+    assert!((2..=MAX_DIM).contains(&dim), "dim must be in 2..={MAX_DIM}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points = (0..N_POINTS)
+        .map(|_| {
+            let mut c = [0.0; MAX_DIM];
+            for slot in c.iter_mut().take(dim) {
+                *slot = rng.random::<f64>() * DOMAIN_HI;
+            }
+            Point::new(&c[..dim])
+        })
+        .collect();
+    Dataset::new(
+        format!("uniform.{dim}d"),
+        points,
+        domain_nd(dim),
+        4096,
+        payload_for(dim),
+    )
+}
+
+/// `hot.{d}d`: half uniform background, half a Gaussian hotspot at the
+/// domain center — the high-dimensional analogue of `hot.2d`.
+///
+/// # Panics
+/// Panics unless `2 <= dim <= MAX_DIM`.
+pub fn hot_nd(dim: usize, seed: u64) -> Dataset {
+    assert!((2..=MAX_DIM).contains(&dim), "dim must be in 2..={MAX_DIM}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let center = DOMAIN_HI / 2.0;
+    let sigma = DOMAIN_HI / 10.0;
+    let mut points = Vec::with_capacity(N_POINTS);
+    for i in 0..N_POINTS {
+        let mut c = [0.0; MAX_DIM];
+        for slot in c.iter_mut().take(dim) {
+            *slot = if i < N_POINTS / 2 {
+                rng.random::<f64>() * DOMAIN_HI
+            } else {
+                truncated_normal(&mut rng, center, sigma, 0.0, DOMAIN_HI)
+            };
+        }
+        points.push(Point::new(&c[..dim]));
+    }
+    Dataset::new(
+        format!("hot.{dim}d"),
+        points,
+        domain_nd(dim),
+        4096,
+        payload_for(dim),
+    )
+}
+
+/// `uniform.5d` — the frontier suite's high-dimensional workhorse.
+pub fn uniform5d(seed: u64) -> Dataset {
+    uniform_nd(5, seed)
+}
+
+/// `uniform.6d` — the maximum dimensionality the geometry layer supports.
+pub fn uniform6d(seed: u64) -> Dataset {
+    uniform_nd(6, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_domains_and_determinism() {
+        for dim in [2, 5, 6] {
+            let ds = uniform_nd(dim, 9);
+            assert_eq!(ds.len(), N_POINTS);
+            assert_eq!(ds.dim(), dim);
+            assert!(ds.points.iter().all(|p| ds.domain.contains_closed(p)));
+            assert_eq!(ds.points, uniform_nd(dim, 9).points);
+            assert_ne!(ds.points, uniform_nd(dim, 10).points);
+        }
+    }
+
+    #[test]
+    fn grid_files_stay_in_the_tractable_regime() {
+        for ds in [uniform5d(42), uniform6d(42), hot_nd(5, 42)] {
+            let gf = ds.build_grid_file();
+            let st = gf.stats();
+            assert!(
+                (100..=2000).contains(&st.n_buckets),
+                "{}: {} buckets",
+                ds.name,
+                st.n_buckets
+            );
+            gf.check_invariants();
+        }
+    }
+
+    #[test]
+    fn hot_nd_concentrates_mass_centrally() {
+        let ds = hot_nd(5, 3);
+        let central = ds
+            .points
+            .iter()
+            .filter(|p| (0..5).all(|k| (p.get(k) - 1000.0).abs() < 300.0))
+            .count();
+        // The central box holds (0.3)^5 ≈ 0.24% of the volume; uniform data
+        // would put ~49 points there, the hotspot thousands.
+        assert!(central > 1000, "only {central} central points");
+    }
+
+    #[test]
+    #[should_panic(expected = "dim must be")]
+    fn rejects_one_dimensional_request() {
+        let _ = uniform_nd(1, 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Adversarial workload scenarios for the frontier comparison.
+//!
+//! Each scenario bundles a dataset, its loaded grid file, the declustering
+//! input, and a query stream — everything a harness needs to score one
+//! (scheme, workload) cell. The five scenarios target distinct failure
+//! modes the paper's uniform-square methodology never probes:
+//!
+//! * **Uniform** — the paper's baseline, for context.
+//! * **Zipfian hot keys** — a handful of keys absorb most queries; a
+//!   scheme that happens to co-locate a hot neighborhood pays for it on
+//!   every repeat.
+//! * **Drifting hotspot** — the load marches across the domain, so a
+//!   layout balanced in aggregate can still serve every instant poorly.
+//! * **Diagonal thin slabs** — long thin ranges riding the main diagonal:
+//!   the discrepancy adversary, lethal to curve fragmentations and to
+//!   coordinate-sum symmetry alike.
+//! * **Five-dimensional** — square ranges on 5-d data, where the
+//!   `(log M)^((d-1)/2)` lower-bound floor grows and curve quality
+//!   degrades.
+
+use crate::oracle::LowerBound;
+use pargrid_core::DeclusterInput;
+use pargrid_datagen::{uniform2d, uniform5d};
+use pargrid_gridfile::GridFile;
+use pargrid_sim::workload::QueryWorkload;
+
+/// One of the frontier workload families.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Adversary {
+    /// The paper's uniform square queries on uniform 2-D data.
+    Uniform,
+    /// Zipf(1.1)-popular hot keys drawn from the data points.
+    ZipfHotKey,
+    /// A hotspot drifting along the main diagonal over the run.
+    DriftingHotspot,
+    /// Thin slabs centered on the main diagonal, alternating thin axis.
+    DiagonalSlabs,
+    /// Uniform square queries on 5-dimensional data.
+    FiveDim,
+}
+
+impl Adversary {
+    /// All five scenarios, in reporting order.
+    pub const ALL: [Adversary; 5] = [
+        Adversary::Uniform,
+        Adversary::ZipfHotKey,
+        Adversary::DriftingHotspot,
+        Adversary::DiagonalSlabs,
+        Adversary::FiveDim,
+    ];
+
+    /// The CSV / chart label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Adversary::Uniform => "uniform",
+            Adversary::ZipfHotKey => "zipf-hot",
+            Adversary::DriftingHotspot => "drift-hotspot",
+            Adversary::DiagonalSlabs => "diag-slabs",
+            Adversary::FiveDim => "uniform-5d",
+        }
+    }
+
+    /// Whether this scenario is one of the hostile ones (everything but
+    /// the uniform baseline).
+    pub fn is_adversarial(&self) -> bool {
+        !matches!(self, Adversary::Uniform)
+    }
+
+    /// Builds the scenario: dataset, grid file, declustering input and
+    /// `n_queries` queries, all deterministic in `seed`.
+    pub fn scenario(&self, n_queries: usize, seed: u64) -> Scenario {
+        let qseed = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let dataset = match self {
+            Adversary::FiveDim => uniform5d(seed),
+            _ => uniform2d(seed),
+        };
+        let gf = dataset.build_grid_file();
+        let domain = gf.config().domain;
+        let workload = match self {
+            Adversary::Uniform => QueryWorkload::square(&domain, 0.02, n_queries, qseed),
+            Adversary::ZipfHotKey => {
+                // Every 16th data point is a nameable key; Zipf decides
+                // which of the ~625 are hot.
+                let centers: Vec<_> = dataset.points.iter().step_by(16).copied().collect();
+                QueryWorkload::zipfian_hot_key(&domain, &centers, 0.01, n_queries, 1.1, qseed)
+            }
+            Adversary::DriftingHotspot => {
+                QueryWorkload::drifting_hotspot(&domain, 0.01, n_queries, 0.03, qseed)
+            }
+            Adversary::DiagonalSlabs => {
+                QueryWorkload::diagonal_slabs(&domain, 0.04, 0.7, n_queries, qseed)
+            }
+            Adversary::FiveDim => QueryWorkload::square(&domain, 0.02, n_queries, qseed),
+        };
+        let input = DeclusterInput::from_grid_file(&gf);
+        Scenario {
+            adversary: *self,
+            gf,
+            input,
+            workload,
+        }
+    }
+}
+
+/// A fully built (dataset, grid file, queries) scenario, reusable across
+/// schemes and disk counts.
+pub struct Scenario {
+    /// Which family this is.
+    pub adversary: Adversary,
+    /// The loaded grid file.
+    pub gf: GridFile,
+    /// The declustering input derived from it.
+    pub input: DeclusterInput,
+    /// The query stream.
+    pub workload: QueryWorkload,
+}
+
+impl Scenario {
+    /// Data dimensionality.
+    pub fn dim(&self) -> usize {
+        self.gf.config().domain.dim()
+    }
+
+    /// The oracle matching this scenario on an `m`-disk farm.
+    pub fn oracle(&self, m: usize) -> LowerBound {
+        LowerBound::new(m, self.dim())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenarios_build_and_are_deterministic() {
+        for adv in Adversary::ALL {
+            let s = adv.scenario(20, 7);
+            assert_eq!(s.workload.len(), 20, "{}", adv.label());
+            assert!(s.input.n_buckets() > 50, "{}", adv.label());
+            assert_eq!(s.dim(), if adv == Adversary::FiveDim { 5 } else { 2 });
+            let again = adv.scenario(20, 7);
+            assert_eq!(s.workload.queries, again.workload.queries);
+            for q in &s.workload.queries {
+                assert!(s.gf.config().domain.contains_rect(q), "{}", adv.label());
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<_> = Adversary::ALL.iter().map(|a| a.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), Adversary::ALL.len());
+    }
+
+    #[test]
+    fn only_uniform_is_benign() {
+        assert!(!Adversary::Uniform.is_adversarial());
+        assert!(Adversary::DiagonalSlabs.is_adversarial());
+        assert!(Adversary::FiveDim.is_adversarial());
+    }
+
+    #[test]
+    fn oracle_profile_runs_end_to_end_on_a_scenario() {
+        let s = Adversary::DiagonalSlabs.scenario(15, 3);
+        let method = pargrid_core::DeclusterMethod::parse("latin").unwrap();
+        let assign = method.assign(&s.input, 8, 1);
+        let profile = s.oracle(8).profile(&s.gf, &assign, &s.workload);
+        assert_eq!(profile.len(), 15);
+        assert!(profile.mean_response() >= profile.mean_bound());
+    }
+}

@@ -1,0 +1,32 @@
+//! The scheme frontier: how far is a declustering from *provably* optimal?
+//!
+//! The paper ranks schemes by raw response time; this crate sharpens the
+//! yardstick to the **additive gap** from a lower-bound oracle and supplies
+//! the hostile workloads that make the gap visible:
+//!
+//! * [`oracle`] — the [`oracle::LowerBound`] for a disk farm: the per-query
+//!   bound `ceil(|Q| / M)` (no scheme can answer a query touching `|Q|`
+//!   buckets faster on `M` disks), the Doerr–Hebbinghaus–Werth existential
+//!   discrepancy floor, and [`oracle::GapProfile`] aggregating per-query
+//!   gaps over a workload.
+//! * [`discrepancy`] — an exhaustive small-grid verifier that measures a
+//!   scheme's worst additive deviation over *all* axis-aligned ranges,
+//!   the quantity the declustering lower-bound literature bounds.
+//! * [`adversarial`] — self-contained scenarios (dataset + grid file +
+//!   query stream) for the five frontier workloads: uniform, Zipfian
+//!   hot-key, drifting hotspot, diagonal thin slabs, and 5-dimensional
+//!   data.
+//!
+//! The `repro frontier` experiment in `pargrid-bench` drives all scenarios
+//! against every scheme in `pargrid_core::SCHEME_REGISTRY`'s frontier set
+//! and ranks them by mean and p95 gap.
+
+#![warn(missing_docs)]
+
+pub mod adversarial;
+pub mod discrepancy;
+pub mod oracle;
+
+pub use adversarial::{Adversary, Scenario};
+pub use discrepancy::worst_additive_gap;
+pub use oracle::{GapProfile, LowerBound};

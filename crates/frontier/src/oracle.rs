@@ -1,0 +1,233 @@
+//! The per-query optimality oracle.
+//!
+//! For a query that touches `|Q|` buckets on an `M`-disk farm, the busiest
+//! disk must fetch at least `ceil(|Q| / M)` buckets — the integral
+//! pigeonhole bound, achievable query-by-query by a round-robin deal of
+//! exactly that query's buckets. It is therefore a *universally valid*
+//! per-query lower bound, and `response - bound` is a sound additive gap:
+//! zero means provably optimal parallelism for that query.
+//!
+//! Doerr, Hebbinghaus & Werth prove a complementary *existential* bound:
+//! for every declustering of the `d`-dimensional grid over `M` disks,
+//! **some** range query has gap `Omega((log M)^((d-1)/2))`. Because it
+//! quantifies over queries it cannot be asserted against any single
+//! measured response; [`LowerBound::discrepancy_floor`] reports it as the
+//! workload-level reference magnitude a scheme's *worst* gap must
+//! eventually meet.
+
+use pargrid_core::Assignment;
+use pargrid_gridfile::GridFile;
+use pargrid_sim::metrics::query_response;
+use pargrid_sim::workload::QueryWorkload;
+
+/// The lower-bound oracle for an `M`-disk farm over `dim`-dimensional data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LowerBound {
+    /// Number of disks.
+    pub m: usize,
+    /// Data dimensionality (drives the discrepancy floor).
+    pub dim: usize,
+}
+
+impl LowerBound {
+    /// Creates an oracle for `m` disks and `dim` dimensions.
+    ///
+    /// # Panics
+    /// Panics if `m == 0` or `dim == 0`.
+    pub fn new(m: usize, dim: usize) -> Self {
+        assert!(m >= 1, "need at least one disk");
+        assert!(dim >= 1, "need at least one dimension");
+        LowerBound { m, dim }
+    }
+
+    /// The per-query bound: `max(ceil(n_buckets / M), [n_buckets > 0])`.
+    /// The discrepancy term is existential over queries (see the module
+    /// docs), so the ceiling is the only term that may soundly join this
+    /// per-query `max`.
+    pub fn per_query(&self, n_buckets: u64) -> u64 {
+        n_buckets.div_ceil(self.m as u64)
+    }
+
+    /// The Doerr–Hebbinghaus–Werth existential floor
+    /// `(log2 M)^((d-1)/2)`, up to the unspecified constant of their
+    /// `Omega(.)`: every declustering of `d`-dimensional data over `M`
+    /// disks has *some* range query whose additive gap reaches this
+    /// magnitude. Workload-level reference, not a per-query bound.
+    pub fn discrepancy_floor(&self) -> f64 {
+        if self.m < 2 {
+            return 0.0;
+        }
+        (self.m as f64).log2().powf((self.dim as f64 - 1.0) / 2.0)
+    }
+
+    /// Runs a workload and collects the per-query responses, bounds and
+    /// gaps.
+    ///
+    /// # Panics
+    /// Panics if the assignment's disk count differs from the oracle's or
+    /// the workload is empty, and (the soundness guarantee) if any measured
+    /// response falls below its bound — impossible for real executions.
+    pub fn profile(
+        &self,
+        gf: &GridFile,
+        assign: &Assignment,
+        workload: &QueryWorkload,
+    ) -> GapProfile {
+        assert_eq!(assign.n_disks(), self.m, "oracle/assignment disk mismatch");
+        assert!(!workload.is_empty(), "empty workload");
+        let mut responses = Vec::with_capacity(workload.len());
+        let mut bounds = Vec::with_capacity(workload.len());
+        for q in &workload.queries {
+            let (resp, n) = query_response(gf, assign, q);
+            let bound = self.per_query(n);
+            assert!(
+                resp >= bound,
+                "measured response {resp} below the oracle bound {bound} — \
+                 the pigeonhole argument is violated, something is broken"
+            );
+            responses.push(resp);
+            bounds.push(bound);
+        }
+        GapProfile { responses, bounds }
+    }
+}
+
+/// Per-query responses and oracle bounds for one (scheme, workload) pair.
+#[derive(Clone, Debug, Default)]
+pub struct GapProfile {
+    /// Measured per-query response times (buckets on the busiest disk).
+    pub responses: Vec<u64>,
+    /// Per-query oracle bounds, same order.
+    pub bounds: Vec<u64>,
+}
+
+impl GapProfile {
+    /// Per-query additive gaps (`response - bound`, always `>= 0`).
+    pub fn gaps(&self) -> Vec<u64> {
+        self.responses
+            .iter()
+            .zip(&self.bounds)
+            .map(|(&r, &b)| r - b)
+            .collect()
+    }
+
+    /// Number of queries profiled.
+    pub fn len(&self) -> usize {
+        self.responses.len()
+    }
+
+    /// Whether the profile is empty.
+    pub fn is_empty(&self) -> bool {
+        self.responses.is_empty()
+    }
+
+    /// Mean additive gap.
+    pub fn mean_gap(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.gaps().iter().sum::<u64>() as f64 / self.len() as f64
+    }
+
+    /// 95th-percentile additive gap (nearest rank).
+    pub fn p95_gap(&self) -> u64 {
+        self.percentile_gap(0.95)
+    }
+
+    /// Worst additive gap.
+    pub fn max_gap(&self) -> u64 {
+        self.gaps().into_iter().max().unwrap_or(0)
+    }
+
+    /// Mean measured response.
+    pub fn mean_response(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.responses.iter().sum::<u64>() as f64 / self.len() as f64
+    }
+
+    /// Mean oracle bound — what an always-optimal scheme would score.
+    pub fn mean_bound(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.bounds.iter().sum::<u64>() as f64 / self.len() as f64
+    }
+
+    /// Fraction of queries answered exactly at the bound.
+    pub fn optimal_fraction(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let hits = self
+            .responses
+            .iter()
+            .zip(&self.bounds)
+            .filter(|&(&r, &b)| r == b)
+            .count();
+        hits as f64 / self.len() as f64
+    }
+
+    /// Nearest-rank percentile of the gap distribution.
+    pub fn percentile_gap(&self, p: f64) -> u64 {
+        if self.is_empty() {
+            return 0;
+        }
+        let mut gaps = self.gaps();
+        gaps.sort_unstable();
+        let rank = ((p * gaps.len() as f64).ceil() as usize).clamp(1, gaps.len());
+        gaps[rank - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_query_bound_is_the_integral_pigeonhole() {
+        let lb = LowerBound::new(4, 2);
+        assert_eq!(lb.per_query(0), 0);
+        assert_eq!(lb.per_query(1), 1);
+        assert_eq!(lb.per_query(4), 1);
+        assert_eq!(lb.per_query(5), 2);
+        assert_eq!(lb.per_query(17), 5);
+        assert_eq!(LowerBound::new(1, 2).per_query(9), 9);
+    }
+
+    #[test]
+    fn discrepancy_floor_grows_with_disks_and_dimension() {
+        let f = |m, d| LowerBound::new(m, d).discrepancy_floor();
+        assert_eq!(f(1, 3), 0.0);
+        assert!((f(4, 2) - 2.0f64.sqrt()).abs() < 1e-12); // (log2 4)^(1/2)
+        assert!(f(16, 2) > f(4, 2));
+        assert!(f(16, 5) > f(16, 2));
+        assert_eq!(f(16, 1), 1.0); // exponent 0: constant-gap regime
+    }
+
+    #[test]
+    fn profile_statistics_are_consistent() {
+        let p = GapProfile {
+            responses: vec![3, 2, 5, 2],
+            bounds: vec![2, 2, 2, 2],
+        };
+        assert_eq!(p.gaps(), vec![1, 0, 3, 0]);
+        assert!((p.mean_gap() - 1.0).abs() < 1e-12);
+        assert_eq!(p.max_gap(), 3);
+        assert_eq!(p.p95_gap(), 3);
+        assert_eq!(p.percentile_gap(0.5), 0);
+        assert!((p.optimal_fraction() - 0.5).abs() < 1e-12);
+        assert!((p.mean_response() - 3.0).abs() < 1e-12);
+        assert!((p.mean_bound() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_profile_is_all_zeros() {
+        let p = GapProfile::default();
+        assert!(p.is_empty());
+        assert_eq!(p.mean_gap(), 0.0);
+        assert_eq!(p.p95_gap(), 0);
+        assert_eq!(p.max_gap(), 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based coverage for the frontier subsystem: onion-curve
+//! bijectivity and locality, latin-square structure and balance, and
+//! soundness of the gap oracle.
+
+use pargrid_core::{latin, DeclusterInput, DeclusterMethod};
+use pargrid_frontier::{Adversary, LowerBound};
+use pargrid_geom::{OnionCurve, Point, Rect, SpaceFillingCurve};
+use pargrid_gridfile::{CartesianProductFile, GridConfig, GridFile, Record};
+use pargrid_sim::metrics::evaluate;
+use pargrid_sim::workload::QueryWorkload;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// A small shared grid file (one point per cell of a 16x16 lattice) so the
+/// oracle proptests do not rebuild datasets per case.
+fn lattice_file() -> &'static (GridFile, DeclusterInput) {
+    static FILE: OnceLock<(GridFile, DeclusterInput)> = OnceLock::new();
+    FILE.get_or_init(|| {
+        let cfg = GridConfig::with_capacity(Rect::new2(0.0, 0.0, 16.0, 16.0), 1);
+        let gf = GridFile::bulk_load(
+            cfg,
+            (0..256u64)
+                .map(|i| Record::new(i, Point::new2((i % 16) as f64 + 0.5, (i / 16) as f64 + 0.5))),
+        );
+        let input = DeclusterInput::from_grid_file(&gf);
+        (gf, input)
+    })
+}
+
+proptest! {
+    #[test]
+    fn onion_roundtrip_in_all_dims((dim, bits) in (2usize..=6, 1u32..=8), seed in any::<u64>()) {
+        // bits*dim stays within u128 for every pair in these ranges.
+        let curve = OnionCurve::new(dim, bits);
+        let mask = (1u64 << bits) - 1;
+        let coords: Vec<u32> =
+            (0..dim).map(|i| ((seed >> (i * 9)) & mask) as u32).collect();
+        let idx = curve.index_of(&coords);
+        prop_assert!(idx < curve.len());
+        let mut back = vec![0u32; dim];
+        curve.coords_of(idx, &mut back);
+        prop_assert_eq!(back, coords);
+    }
+
+    #[test]
+    fn onion_index_side_roundtrip((dim, bits) in (2usize..=6, 1u32..=4), seed in any::<u64>()) {
+        let curve = OnionCurve::new(dim, bits);
+        let idx = seed as u128 % curve.len();
+        let mut coords = vec![0u32; dim];
+        curve.coords_of(idx, &mut coords);
+        prop_assert_eq!(curve.index_of(&coords), idx);
+    }
+
+    #[test]
+    fn onion_two_dim_adjacent_indices_are_adjacent_cells(start in 0u64..4094) {
+        // The 2-D onion walk is fully continuous: consecutive indices are
+        // Chebyshev-adjacent everywhere, shell transitions included.
+        let curve = OnionCurve::new(2, 6);
+        let mut a = [0u32; 2];
+        let mut b = [0u32; 2];
+        curve.coords_of(start as u128, &mut a);
+        curve.coords_of(start as u128 + 1, &mut b);
+        let cheb = a[0].abs_diff(b[0]).max(a[1].abs_diff(b[1]));
+        prop_assert_eq!(cheb, 1);
+    }
+
+    #[test]
+    fn latin_square_structure_holds_for_every_disk_count(m in 2u32..=48) {
+        let sq = latin::latin_square(m);
+        let want: Vec<u32> = (0..m).collect();
+        for (i, sq_row) in sq.iter().enumerate() {
+            let mut row = sq_row.clone();
+            let mut col: Vec<u32> = (0..m as usize).map(|j| sq[j][i]).collect();
+            row.sort_unstable();
+            col.sort_unstable();
+            prop_assert_eq!(&row, &want);
+            prop_assert_eq!(&col, &want);
+        }
+    }
+
+    #[test]
+    fn latin_assignment_keeps_ceil_balance(m in 2usize..=12, reps in 1usize..=3) {
+        // On a Cartesian grid whose sides are multiples of m, the Korobov
+        // mapping deals disks perfectly: every disk gets exactly N/M
+        // buckets, which is ceil(N/M).
+        let file = CartesianProductFile::new(&[(m * reps) as u32, m as u32]);
+        let input = DeclusterInput::from_cartesian(&file);
+        let n = input.n_buckets();
+        let a = DeclusterMethod::parse("latin").unwrap().assign(&input, m, 5);
+        let counts = a.bucket_counts();
+        prop_assert_eq!(counts.len(), m);
+        for &c in &counts {
+            prop_assert_eq!(c, n / m);
+        }
+        prop_assert!(a.is_perfectly_balanced());
+    }
+
+    #[test]
+    fn oracle_gap_is_nonnegative_for_any_scheme_and_farm(
+        scheme_idx in 0usize..5,
+        m in 2usize..=8,
+        wl_seed in any::<u64>(),
+    ) {
+        let (gf, input) = lattice_file();
+        let name = ["dm", "fx", "hcam", "onion", "latin"][scheme_idx];
+        let assign = DeclusterMethod::parse(name).unwrap().assign(input, m, 3);
+        let w = QueryWorkload::square(&gf.config().domain, 0.05, 10, wl_seed);
+        // LowerBound::profile hard-asserts response >= bound per query.
+        let profile = LowerBound::new(m, 2).profile(gf, &assign, &w);
+        prop_assert!(profile.mean_gap() >= 0.0);
+        prop_assert!(profile.p95_gap() <= profile.max_gap());
+        // And the sim-side metric agrees.
+        let stats = evaluate(gf, &assign, &w);
+        prop_assert!(stats.mean_gap >= 0.0);
+        prop_assert!((stats.mean_gap - profile.mean_gap()).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn gap_reaches_zero_on_a_known_optimal_case() {
+    // One record per cell of an 8x8 grid; DM answers every aligned row
+    // query with all 4 disks equally busy: response == bound, gap == 0.
+    let cfg = GridConfig::with_capacity(Rect::new2(0.0, 0.0, 8.0, 8.0), 1);
+    let gf = GridFile::bulk_load(
+        cfg,
+        (0..64u64).map(|i| Record::new(i, Point::new2((i % 8) as f64 + 0.5, (i / 8) as f64 + 0.5))),
+    );
+    let input = DeclusterInput::from_grid_file(&gf);
+    let assign = DeclusterMethod::parse("dm").unwrap().assign(&input, 4, 1);
+    let queries: Vec<Rect> = (0..8)
+        .map(|row| Rect::new2(0.1, row as f64 + 0.1, 7.9, row as f64 + 0.9))
+        .collect();
+    let w = QueryWorkload { queries };
+    let profile = LowerBound::new(4, 2).profile(&gf, &assign, &w);
+    assert_eq!(profile.mean_gap(), 0.0);
+    assert_eq!(profile.max_gap(), 0);
+    assert_eq!(profile.optimal_fraction(), 1.0);
+}
+
+#[test]
+fn every_frontier_scheme_survives_every_adversary() {
+    // End-to-end smoke over the full scheme x scenario matrix at tiny
+    // scale: the oracle's internal soundness assert is the real check.
+    for adv in Adversary::ALL {
+        let s = adv.scenario(8, 11);
+        for method in DeclusterMethod::frontier_set() {
+            let assign = method.assign(&s.input, 8, 2);
+            let profile = s.oracle(8).profile(&s.gf, &assign, &s.workload);
+            assert_eq!(profile.len(), 8, "{} x {}", method.label(), adv.label());
+        }
+    }
+}

@@ -13,11 +13,13 @@
 
 mod gray;
 mod hilbert;
+mod onion;
 mod scan;
 mod zorder;
 
 pub use gray::GrayCurve;
 pub use hilbert::HilbertCurve;
+pub use onion::OnionCurve;
 pub use scan::ScanCurve;
 pub use zorder::ZOrderCurve;
 

@@ -1,0 +1,315 @@
+//! The onion curve: shell-by-shell linearization with near-optimal
+//! clustering (Xu, Nguyen & Tirthapura, "The onion curve", 2018).
+//!
+//! The curve visits the grid `[0, n)^d` (`n = 2^bits`) one concentric shell
+//! at a time, outermost first. Shell `l` holds the cells whose Chebyshev
+//! distance from the boundary is exactly `l`, i.e. `min_k min(x_k,
+//! n-1-x_k) = l`; peeling shells like the layers of an onion is what gives
+//! the curve its clustering property for range queries that hug the
+//! boundary or the center.
+//!
+//! Within a shell of side `s = n - 2l` the traversal is recursive in the
+//! dimension:
+//!
+//! * `d = 2` — the shell is a ring, walked as one continuous cycle
+//!   (bottom row, right column, top row reversed, left column reversed).
+//!   Consecutive indices are always Chebyshev-adjacent in 2-D, including
+//!   across shell boundaries: each ring ends at `(0, 1)` of its frame,
+//!   one step from the next ring's `(1, 1)` start.
+//! * `d >= 3` — the shell splits along the last coordinate `z` into a
+//!   bottom cap (`z = 0`, a full `(d-1)`-cube, serpentine order), `s - 2`
+//!   middle rings (each a `(d-1)`-dimensional shell, recursively), and a
+//!   top cap (`z = s-1`, serpentine). Like the published curve this
+//!   tolerates a bounded number of discontinuities at cap/ring seams —
+//!   `O(n^(d-2))` jump steps out of `n^d` cells — which the tests bound.
+//!
+//! Shell sizes telescope, so the rank of a whole shell prefix is closed
+//! form: cells strictly outside side-`s` shells number `n^d - s^d`. Both
+//! directions of the bijection therefore run in `O(d log n)`.
+
+use super::{check_coords, check_params, SpaceFillingCurve};
+
+/// Shell-ordered onion traversal of `[0, 2^bits)^dim`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OnionCurve {
+    dim: usize,
+    bits: u32,
+}
+
+impl OnionCurve {
+    /// Creates a curve over `[0, 2^bits)^dim`.
+    ///
+    /// # Panics
+    /// Panics if `dim` is not in `1..=MAX_DIM`, `bits` not in `1..=31`, or
+    /// the total index would overflow `u128`.
+    pub fn new(dim: usize, bits: u32) -> Self {
+        check_params(dim, bits);
+        OnionCurve { dim, bits }
+    }
+}
+
+/// `s^d` in `u128`; callers guarantee `s^d <= 2^126`.
+fn powd(s: u64, d: usize) -> u128 {
+    (s as u128).pow(d as u32)
+}
+
+/// Number of cells in one `d`-dimensional shell of side `s` (`s >= 2`).
+fn shell_size(d: usize, s: u64) -> u128 {
+    powd(s, d) - powd(s.saturating_sub(2), d)
+}
+
+/// Boustrophedon rank over the full cube `[0, s)^k`: the last coordinate
+/// varies slowest and every axis reverses direction whenever a more
+/// significant digit is odd, so consecutive ranks differ by one unit step.
+fn serp_rank(y: &[u32], s: u64) -> u128 {
+    let mut r: u128 = 0;
+    let mut flip = false;
+    for &c in y.iter().rev() {
+        let digit = if flip { s - 1 - c as u64 } else { c as u64 };
+        r = r * s as u128 + digit as u128;
+        if digit % 2 == 1 {
+            flip = !flip;
+        }
+    }
+    r
+}
+
+/// Inverse of [`serp_rank`].
+fn serp_unrank(mut r: u128, s: u64, out: &mut [u32]) {
+    let mut flip = false;
+    for i in (0..out.len()).rev() {
+        let w = powd(s, i);
+        let digit = (r / w) as u64;
+        r %= w;
+        out[i] = if flip { s - 1 - digit } else { digit } as u32;
+        if digit % 2 == 1 {
+            flip = !flip;
+        }
+    }
+}
+
+/// Rank of a cell within one `d`-dimensional shell of side `s`.
+///
+/// `y` is normalized to the shell's frame (`y_k` in `[0, s)`, at least one
+/// coordinate extreme).
+fn shell_rank(d: usize, s: u64, y: &[u32]) -> u128 {
+    match d {
+        1 => {
+            if y[0] == 0 {
+                0
+            } else {
+                1
+            }
+        }
+        2 => {
+            // One continuous ring cycle of 4(s-1) cells.
+            let (x, z) = (y[0] as u128, y[1] as u128);
+            let s = s as u128;
+            if z == 0 {
+                x
+            } else if x == s - 1 {
+                (s - 1) + z
+            } else if z == s - 1 {
+                3 * (s - 1) - x
+            } else {
+                4 * (s - 1) - z
+            }
+        }
+        _ => {
+            let cap = powd(s, d - 1);
+            let ring = shell_size(d - 1, s);
+            let z = y[d - 1] as u64;
+            if z == 0 {
+                serp_rank(&y[..d - 1], s)
+            } else if z < s - 1 {
+                cap + (z - 1) as u128 * ring + shell_rank(d - 1, s, &y[..d - 1])
+            } else {
+                cap + (s - 2) as u128 * ring + serp_rank(&y[..d - 1], s)
+            }
+        }
+    }
+}
+
+/// Inverse of [`shell_rank`].
+fn shell_unrank(d: usize, s: u64, r: u128, out: &mut [u32]) {
+    match d {
+        1 => out[0] = if r == 0 { 0 } else { (s - 1) as u32 },
+        2 => {
+            let p = s as u128 - 1;
+            let (x, z) = if r <= p {
+                (r, 0)
+            } else if r <= 2 * p {
+                (p, r - p)
+            } else if r <= 3 * p {
+                (3 * p - r, p)
+            } else {
+                (0, 4 * p - r)
+            };
+            out[0] = x as u32;
+            out[1] = z as u32;
+        }
+        _ => {
+            let cap = powd(s, d - 1);
+            let ring = shell_size(d - 1, s);
+            if r < cap {
+                out[d - 1] = 0;
+                serp_unrank(r, s, &mut out[..d - 1]);
+            } else if r < cap + (s - 2) as u128 * ring {
+                let t = r - cap;
+                out[d - 1] = 1 + (t / ring) as u32;
+                shell_unrank(d - 1, s, t % ring, &mut out[..d - 1]);
+            } else {
+                out[d - 1] = (s - 1) as u32;
+                serp_unrank(r - cap - (s - 2) as u128 * ring, s, &mut out[..d - 1]);
+            }
+        }
+    }
+}
+
+impl SpaceFillingCurve for OnionCurve {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn index_of(&self, coords: &[u32]) -> u128 {
+        check_coords(coords, self.dim, self.bits);
+        let n = 1u64 << self.bits;
+        let level = coords
+            .iter()
+            .map(|&c| (c as u64).min(n - 1 - c as u64))
+            .min()
+            .expect("dim >= 1");
+        let s = n - 2 * level;
+        let mut y = [0u32; crate::point::MAX_DIM];
+        for (o, &c) in y.iter_mut().zip(coords) {
+            *o = c - level as u32;
+        }
+        // Shells telescope: everything strictly outside side-s shells.
+        let outside = powd(n, self.dim) - powd(s, self.dim);
+        outside + shell_rank(self.dim, s, &y[..self.dim])
+    }
+
+    fn coords_of(&self, index: u128, out: &mut [u32]) {
+        assert_eq!(out.len(), self.dim, "coordinate count mismatch");
+        assert!(index < self.len(), "index {index} out of range");
+        let n = 1u64 << self.bits;
+        let total = powd(n, self.dim);
+        // Largest level whose shell prefix still fits under `index`.
+        let (mut lo, mut hi) = (0u64, n / 2 - 1);
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            if total - powd(n - 2 * mid, self.dim) <= index {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        let s = n - 2 * lo;
+        shell_unrank(self.dim, s, index - (total - powd(s, self.dim)), out);
+        for c in out.iter_mut() {
+            *c += lo as u32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chebyshev(a: &[u32], b: &[u32]) -> u32 {
+        a.iter().zip(b).map(|(&x, &y)| x.abs_diff(y)).max().unwrap()
+    }
+
+    #[test]
+    fn bijective_and_roundtrip_small() {
+        for (dim, bits) in [(1, 3), (2, 3), (3, 2), (4, 2), (5, 1), (6, 1), (2, 1)] {
+            let curve = OnionCurve::new(dim, bits);
+            let mut seen = vec![false; curve.len() as usize];
+            let mut coords = vec![0u32; dim];
+            for idx in 0..curve.len() {
+                curve.coords_of(idx, &mut coords);
+                let back = curve.index_of(&coords);
+                assert_eq!(back, idx, "roundtrip failed at dim={dim} bits={bits}");
+                assert!(!seen[idx as usize]);
+                seen[idx as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn two_dim_walk_is_fully_continuous() {
+        let curve = OnionCurve::new(2, 4);
+        let mut prev = [0u32; 2];
+        let mut cur = [0u32; 2];
+        curve.coords_of(0, &mut prev);
+        assert_eq!(prev, [0, 0], "curve starts at the origin corner");
+        for idx in 1..curve.len() {
+            curve.coords_of(idx, &mut cur);
+            assert_eq!(
+                chebyshev(&prev, &cur),
+                1,
+                "2-D onion walk must be continuous, broke at index {idx}"
+            );
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn shell_order_is_outside_in() {
+        let curve = OnionCurve::new(2, 3);
+        let n = 8u32;
+        let mut coords = [0u32; 2];
+        let mut last_level = 0;
+        for idx in 0..curve.len() {
+            curve.coords_of(idx, &mut coords);
+            let level = coords.iter().map(|&c| c.min(n - 1 - c)).min().unwrap();
+            assert!(level >= last_level, "shells must not interleave");
+            last_level = level;
+        }
+        assert_eq!(last_level, n / 2 - 1);
+    }
+
+    #[test]
+    fn higher_dim_jumps_are_rare() {
+        for (dim, bits) in [(3, 2), (4, 2), (5, 1), (6, 1)] {
+            let curve = OnionCurve::new(dim, bits);
+            let mut prev = vec![0u32; dim];
+            let mut cur = vec![0u32; dim];
+            curve.coords_of(0, &mut prev);
+            let mut jumps = 0u64;
+            for idx in 1..curve.len() {
+                curve.coords_of(idx, &mut cur);
+                if chebyshev(&prev, &cur) > 1 {
+                    jumps += 1;
+                }
+                prev.copy_from_slice(&cur);
+            }
+            let frac = jumps as f64 / (curve.len() - 1) as f64;
+            assert!(
+                frac <= 0.15,
+                "dim={dim} bits={bits}: {jumps} jumps ({frac:.3}) — onion \
+                 discontinuities should stay a small fraction"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_coord() {
+        let curve = OnionCurve::new(2, 2);
+        curve.index_of(&[4, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_index() {
+        let curve = OnionCurve::new(2, 2);
+        let mut out = [0u32; 2];
+        curve.coords_of(16, &mut out);
+    }
+}

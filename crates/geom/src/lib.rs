@@ -39,6 +39,6 @@ pub mod point;
 pub mod proximity;
 pub mod rect;
 
-pub use curves::{GrayCurve, HilbertCurve, ScanCurve, SpaceFillingCurve, ZOrderCurve};
+pub use curves::{GrayCurve, HilbertCurve, OnionCurve, ScanCurve, SpaceFillingCurve, ZOrderCurve};
 pub use point::{Point, MAX_DIM};
 pub use rect::Rect;

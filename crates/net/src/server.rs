@@ -222,6 +222,7 @@ struct NetMetrics {
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
     sojourn_us: AtomicHistogram,
+    gap_blocks: AtomicHistogram,
 }
 
 struct Inner {
@@ -302,6 +303,12 @@ impl Inner {
             names::NET_SOJOURN_US,
             "Enqueue-to-reply sojourn time (wall microseconds).",
             &m.sojourn_us.snapshot(),
+        );
+        pw.histogram(
+            names::FRONTIER_GAP_BLOCKS,
+            "Per-query additive gap from the ceil(|Q|/M) declustering lower \
+             bound (blocks on the busiest worker above provably optimal).",
+            &m.gap_blocks.snapshot(),
         );
         pw.counter(
             names::NET_REBALANCE_TOTAL,
@@ -795,6 +802,15 @@ fn dispatcher_loop(inner: &Arc<Inner>) {
                     )))
                 } else {
                     inner.metrics.served_total.fetch_add(1, Ordering::Relaxed);
+                    // Distance from the frontier oracle's per-query bound:
+                    // no layout can serve total_blocks on M live workers
+                    // with fewer than ceil(total/M) on the busiest one.
+                    let live = inner.engine.stats().live_workers().max(1) as u64;
+                    let bound = outcome.total_blocks.div_ceil(live);
+                    inner
+                        .metrics
+                        .gap_blocks
+                        .record(outcome.response_blocks.saturating_sub(bound));
                     Response::Records(RecordsReply {
                         incomplete: outcome.incomplete,
                         elapsed_us: outcome.elapsed_us,

@@ -118,6 +118,20 @@ fn eight_clients_get_byte_identical_answers() {
 
     let doc = server.shutdown();
     assert!(validate_prometheus(&doc).is_ok(), "{doc}");
+    // Every served query records its additive gap against the
+    // ceil(|Q|/M) oracle bound; the histogram count must match.
+    let gap_count_line = doc
+        .lines()
+        .find(|l| l.starts_with(&format!("{}_count", names::FRONTIER_GAP_BLOCKS)))
+        .unwrap_or_else(|| panic!("no {} histogram in:\n{doc}", names::FRONTIER_GAP_BLOCKS));
+    let gap_count: u64 = gap_count_line
+        .rsplit(' ')
+        .next()
+        .unwrap()
+        .parse()
+        .expect("histogram count");
+    // 8 clients x 6 rounds x (one range query + one partial match).
+    assert_eq!(gap_count, 8 * 6 * 2, "one gap sample per served query");
     assert!(
         engine.is_shut_down(),
         "server shutdown must join the engine"

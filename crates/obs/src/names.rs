@@ -50,6 +50,12 @@ pub const NET_WORKER_BUCKETS: &str = "pargrid_net_worker_buckets";
 /// 1 while the proxy's connection + heartbeats are healthy, 0 once the
 /// worker is declared dead (gauge, label `worker`).
 pub const NET_WORKER_ALIVE: &str = "pargrid_net_worker_alive";
+/// Per-query additive gap from the declustering lower bound: blocks on
+/// the busiest worker minus `ceil(total_blocks / live_workers)`, the
+/// frontier oracle's `ceil(|Q|/M)` pigeonhole bound (histogram, blocks).
+/// Zero means the live layout answered the query with provably optimal
+/// parallelism; a drifting mean is a layout-quality alarm.
+pub const FRONTIER_GAP_BLOCKS: &str = "pargrid_frontier_gap_blocks";
 /// The coordinator's current election term — also the fencing epoch its
 /// dispatches carry (gauge).
 pub const CLUSTER_LEADER_TERM: &str = "pargrid_cluster_leader_term";

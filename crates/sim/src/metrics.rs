@@ -33,6 +33,15 @@ pub struct EvalStats {
     pub p99_response: u64,
     /// Worst per-query response time.
     pub max_response: u64,
+    /// Mean additive gap from the per-query lower-bound oracle: for each
+    /// query, `response - ceil(buckets / disks)`. Zero means every query
+    /// was answered with provably optimal parallelism; always `>= 0`
+    /// because the busiest disk can never beat the integral average.
+    pub mean_gap: f64,
+    /// 95th percentile of per-query additive gaps.
+    pub p95_gap: u64,
+    /// Worst per-query additive gap.
+    pub max_gap: u64,
 }
 
 /// Response time of one query: buckets per disk are counted through the
@@ -59,13 +68,17 @@ pub fn evaluate(gf: &GridFile, assign: &Assignment, workload: &QueryWorkload) ->
     assert!(!workload.is_empty(), "empty workload");
     let m = assign.n_disks() as f64;
     let mut responses = Vec::with_capacity(workload.len());
+    let mut gaps = Vec::with_capacity(workload.len());
     let mut total_buckets = 0u64;
     let mut total_opt_ceil = 0u64;
     for q in &workload.queries {
         let (resp, n) = query_response(gf, assign, q);
+        let bound = n.div_ceil(assign.n_disks() as u64);
+        debug_assert!(resp >= bound, "response below the lower bound");
         responses.push(resp);
+        gaps.push(resp.saturating_sub(bound));
         total_buckets += n;
-        total_opt_ceil += n.div_ceil(assign.n_disks() as u64);
+        total_opt_ceil += bound;
     }
     let nq = workload.len() as f64;
     let total_response: u64 = responses.iter().sum();
@@ -76,6 +89,8 @@ pub fn evaluate(gf: &GridFile, assign: &Assignment, workload: &QueryWorkload) ->
         .sum::<f64>()
         / nq;
     responses.sort_unstable();
+    gaps.sort_unstable();
+    let total_gap: u64 = gaps.iter().sum();
     EvalStats {
         mean_response: mean,
         mean_optimal: total_buckets as f64 / nq / m,
@@ -88,6 +103,9 @@ pub fn evaluate(gf: &GridFile, assign: &Assignment, workload: &QueryWorkload) ->
         p95_response: responses[nearest_rank_index(responses.len(), 0.95)],
         p99_response: responses[nearest_rank_index(responses.len(), 0.99)],
         max_response: *responses.last().expect("non-empty"),
+        mean_gap: total_gap as f64 / nq,
+        p95_gap: gaps[nearest_rank_index(gaps.len(), 0.95)],
+        max_gap: *gaps.last().expect("non-empty"),
     }
 }
 
@@ -482,6 +500,42 @@ mod tests {
         let s = evaluate(&gf, &a, &w);
         assert!(s.p95_response <= s.p99_response);
         assert!(s.p99_response <= s.max_response);
+    }
+
+    #[test]
+    fn gap_is_nonnegative_and_consistent_with_means() {
+        let (gf, input) = small_file();
+        let n = input.n_buckets();
+        let a = Assignment::new(&input, 4, (0..n).map(|i| (i % 4) as u32).collect());
+        let w = QueryWorkload::square(&gf.config().domain, 0.1, 100, 3);
+        let s = evaluate(&gf, &a, &w);
+        assert!(s.mean_gap >= 0.0);
+        assert!(s.p95_gap <= s.max_gap);
+        // mean gap = mean response - mean integral optimum, exactly.
+        assert!((s.mean_gap - (s.mean_response - s.mean_optimal_ceil)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gap_is_zero_for_a_provably_optimal_layout() {
+        // One record per cell of an 8x8 grid, row-major bucket ids, disks
+        // dealt DM-style: every aligned row query hits 8 buckets spread
+        // over all 4 disks -> response == ceil(8/4) == 2 == bound.
+        let cfg = GridConfig::with_capacity(Rect::new2(0.0, 0.0, 8.0, 8.0), 1);
+        let gf = GridFile::bulk_load(
+            cfg,
+            (0..64u64)
+                .map(|i| Record::new(i, Point::new2((i % 8) as f64 + 0.5, (i / 8) as f64 + 0.5))),
+        );
+        let input = DeclusterInput::from_grid_file(&gf);
+        let method = pargrid_core::DeclusterMethod::parse("dm").unwrap();
+        let a = method.assign(&input, 4, 1);
+        let queries: Vec<Rect> = (0..8)
+            .map(|row| Rect::new2(0.1, row as f64 + 0.1, 7.9, row as f64 + 0.9))
+            .collect();
+        let w = QueryWorkload { queries };
+        let s = evaluate(&gf, &a, &w);
+        assert_eq!(s.mean_gap, 0.0, "DM is optimal on aligned row queries");
+        assert_eq!(s.max_gap, 0);
     }
 
     #[test]

@@ -73,6 +73,149 @@ impl QueryWorkload {
         QueryWorkload { queries }
     }
 
+    /// Zipfian hot-key workload: square queries whose centers are drawn
+    /// from `centers` with Zipf(`theta`) popularity — a seeded shuffle
+    /// decides which keys are hot, then key of popularity rank `i` is
+    /// drawn with weight `(i+1)^-theta`. With `theta` around 1 a handful
+    /// of keys absorb most of the workload, concentrating load on the few
+    /// disks that hold their neighborhoods — the classic hot-spot
+    /// adversary for declustering schemes.
+    ///
+    /// # Panics
+    /// Panics unless `0 < r < 1`, `theta > 0`, and `centers` is non-empty.
+    pub fn zipfian_hot_key(
+        domain: &Rect,
+        centers: &[Point],
+        r: f64,
+        n: usize,
+        theta: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(r > 0.0 && r < 1.0, "query ratio must be in (0, 1), got {r}");
+        assert!(theta > 0.0, "zipf exponent must be positive, got {theta}");
+        assert!(!centers.is_empty(), "need at least one center point");
+        let d = domain.dim();
+        let frac = r.powf(1.0 / d as f64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Which keys are hot is itself random: a Fisher-Yates shuffle maps
+        // popularity ranks to center indices.
+        let mut order: Vec<usize> = (0..centers.len()).collect();
+        for i in (1..order.len()).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut cum = Vec::with_capacity(order.len());
+        let mut total = 0.0;
+        for rank in 0..order.len() {
+            total += ((rank + 1) as f64).powf(-theta);
+            cum.push(total);
+        }
+        let queries = (0..n)
+            .map(|_| {
+                let u = rng.random::<f64>() * total;
+                let rank = cum.partition_point(|&c| c < u).min(order.len() - 1);
+                let c = &centers[order[rank]];
+                let mut lo = [0.0; MAX_DIM];
+                let mut hi = [0.0; MAX_DIM];
+                for k in 0..d {
+                    let side = frac * domain.side(k);
+                    lo[k] = c.get(k) - side / 2.0;
+                    hi[k] = c.get(k) + side / 2.0;
+                }
+                Rect::new(Point::new(&lo[..d]), Point::new(&hi[..d])).clamp_to(domain)
+            })
+            .collect();
+        QueryWorkload { queries }
+    }
+
+    /// Drifting-hotspot workload: a single hotspot marches along the main
+    /// diagonal of the domain over the course of the run (query `i` sits at
+    /// fraction `i / (n-1)` of the way), with per-query jitter of up to
+    /// `jitter_frac` of each extent. Early queries pound one corner's
+    /// disks, late queries the opposite corner's — a layout that balances
+    /// the *whole* workload can still serve every instant poorly, which is
+    /// exactly what this generator probes.
+    ///
+    /// # Panics
+    /// Panics unless `0 < r < 1` and `0 <= jitter_frac < 1`.
+    pub fn drifting_hotspot(domain: &Rect, r: f64, n: usize, jitter_frac: f64, seed: u64) -> Self {
+        assert!(r > 0.0 && r < 1.0, "query ratio must be in (0, 1), got {r}");
+        assert!(
+            (0.0..1.0).contains(&jitter_frac),
+            "jitter must be in [0, 1), got {jitter_frac}"
+        );
+        let d = domain.dim();
+        let frac = r.powf(1.0 / d as f64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let queries = (0..n)
+            .map(|i| {
+                let t = if n > 1 {
+                    i as f64 / (n - 1) as f64
+                } else {
+                    0.5
+                };
+                let mut lo = [0.0; MAX_DIM];
+                let mut hi = [0.0; MAX_DIM];
+                for k in 0..d {
+                    let full = domain.side(k);
+                    let jitter = (rng.random::<f64>() * 2.0 - 1.0) * jitter_frac * full;
+                    let center = domain.lo().get(k) + t * full + jitter;
+                    let side = frac * full;
+                    lo[k] = center - side / 2.0;
+                    hi[k] = center + side / 2.0;
+                }
+                Rect::new(Point::new(&lo[..d]), Point::new(&hi[..d])).clamp_to(domain)
+            })
+            .collect();
+        QueryWorkload { queries }
+    }
+
+    /// Diagonal thin-slab workload: query `i` is thin (`thin_frac` of the
+    /// extent) along dimension `i mod d` and long (`long_frac`) along every
+    /// other dimension, centered on a uniformly random point of the main
+    /// diagonal. Long thin runs are the worst case for linearizations that
+    /// fragment axis-aligned lines (Hilbert), while the diagonal placement
+    /// defeats the coordinate-sum symmetry of plain disk modulo — the
+    /// discrepancy adversary from the declustering lower-bound literature.
+    ///
+    /// # Panics
+    /// Panics unless both fractions are in `(0, 1]` and `thin_frac < 1`.
+    pub fn diagonal_slabs(
+        domain: &Rect,
+        thin_frac: f64,
+        long_frac: f64,
+        n: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            thin_frac > 0.0 && thin_frac < 1.0,
+            "thin fraction must be in (0, 1), got {thin_frac}"
+        );
+        assert!(
+            long_frac > 0.0 && long_frac <= 1.0,
+            "long fraction must be in (0, 1], got {long_frac}"
+        );
+        let d = domain.dim();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let queries = (0..n)
+            .map(|i| {
+                let thin_dim = i % d;
+                let t = rng.random::<f64>();
+                let mut lo = [0.0; MAX_DIM];
+                let mut hi = [0.0; MAX_DIM];
+                for k in 0..d {
+                    let full = domain.side(k);
+                    let side = if k == thin_dim { thin_frac } else { long_frac } * full;
+                    let center = domain.lo().get(k) + t * full;
+                    lo[k] = center - side / 2.0;
+                    hi[k] = center + side / 2.0;
+                }
+                Rect::new(Point::new(&lo[..d]), Point::new(&hi[..d])).clamp_to(domain)
+            })
+            .collect();
+        QueryWorkload { queries }
+    }
+
     /// Partial-match queries: each query specifies a random subset of
     /// attributes (at least one unspecified, as the paper defines them) at a
     /// uniformly drawn key value. Returned as key vectors rather than
@@ -361,6 +504,86 @@ mod tests {
             assert!(dom2().contains_rect(q));
             let c = q.center();
             assert!(c.get(0) < 400.0 && c.get(1) < 400.0, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn zipfian_concentrates_on_few_keys() {
+        use pargrid_geom::Point;
+        let centers: Vec<Point> = (0..100)
+            .map(|i| {
+                Point::new2(
+                    (i % 10) as f64 * 200.0 + 100.0,
+                    (i / 10) as f64 * 200.0 + 100.0,
+                )
+            })
+            .collect();
+        let w = QueryWorkload::zipfian_hot_key(&dom2(), &centers, 0.01, 1000, 1.1, 7);
+        assert_eq!(w.len(), 1000);
+        // Count queries per center (centers are far apart vs. query size).
+        let mut hits = vec![0usize; centers.len()];
+        for q in &w.queries {
+            let c = q.center();
+            let best = centers
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    let da = (a.get(0) - c.get(0)).abs() + (a.get(1) - c.get(1)).abs();
+                    let db = (b.get(0) - c.get(0)).abs() + (b.get(1) - c.get(1)).abs();
+                    da.partial_cmp(&db).unwrap()
+                })
+                .unwrap()
+                .0;
+            hits[best] += 1;
+            assert!(dom2().contains_rect(q));
+        }
+        hits.sort_unstable_by(|a, b| b.cmp(a));
+        // Zipf(1.1) over 100 keys: the hottest key should absorb far more
+        // than the uniform share of 10 queries.
+        assert!(hits[0] > 100, "hottest key got only {} queries", hits[0]);
+        // Determinism.
+        let w2 = QueryWorkload::zipfian_hot_key(&dom2(), &centers, 0.01, 1000, 1.1, 7);
+        assert_eq!(w.queries, w2.queries);
+    }
+
+    #[test]
+    fn drifting_hotspot_marches_across_the_domain() {
+        let w = QueryWorkload::drifting_hotspot(&dom2(), 0.01, 100, 0.02, 5);
+        assert_eq!(w.len(), 100);
+        for q in &w.queries {
+            assert!(dom2().contains_rect(q));
+        }
+        // Early queries sit near the low corner, late ones near the high.
+        let first = w.queries[0].center();
+        let last = w.queries[99].center();
+        assert!(first.get(0) < 300.0 && first.get(1) < 300.0, "{first:?}");
+        assert!(last.get(0) > 1700.0 && last.get(1) > 1700.0, "{last:?}");
+        // Monotone-ish drift: centers 20 apart always advance.
+        for i in 0..80 {
+            assert!(w.queries[i + 20].center().get(0) > w.queries[i].center().get(0));
+        }
+    }
+
+    #[test]
+    fn diagonal_slabs_are_thin_on_alternating_dims() {
+        let w = QueryWorkload::diagonal_slabs(&dom2(), 0.02, 0.9, 50, 11);
+        assert_eq!(w.len(), 50);
+        for (i, q) in w.queries.iter().enumerate() {
+            assert!(dom2().contains_rect(q));
+            let thin = i % 2;
+            let long = 1 - thin;
+            // Thin side is at most the requested sliver; long side is long
+            // (both can shrink at the boundary, so compare loosely).
+            assert!(q.side(thin) <= 0.02 * 2000.0 + 1e-9);
+            assert!(q.side(long) >= 0.45 * 2000.0, "query {i} not slab-shaped");
+            // Center rides the main diagonal.
+            let c = q.center();
+            let t0 = (c.get(long) - 0.0) / 2000.0;
+            // The unclamped center on the thin dim matches the same t.
+            if q.side(thin) >= 0.02 * 2000.0 - 1e-9 && q.side(long) >= 0.9 * 2000.0 - 1e-9 {
+                let t1 = c.get(thin) / 2000.0;
+                assert!((t0 - t1).abs() < 1e-9, "query {i} off the diagonal");
+            }
         }
     }
 

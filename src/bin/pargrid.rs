@@ -53,7 +53,8 @@ fn usage() -> ExitCode {
          pargrid worker --listen H:P [--disks N] [--state FILE]\n  \
          pargrid query --addr H:P --range LO..HI[,...] | --keys V|*[,...] | --insert ID,C[,...] | --delete ID,C[,...] | --ping | --stats | --shutdown\n  \
          pargrid rebalance --addr H:P --add-workers K | --remove-worker I [--dry-run]\n\n  \
-         methods: dm fx gdm hcam zcam gcam scan ssp mst kl minimax minimax-euclid"
+         methods: {}",
+        DeclusterMethod::names().join(" ")
     );
     ExitCode::FAILURE
 }
@@ -138,25 +139,12 @@ fn positional(args: &[String]) -> Option<&str> {
 }
 
 fn parse_method(name: &str) -> Result<DeclusterMethod, String> {
-    let m = match name {
-        "dm" => DeclusterMethod::Index(IndexScheme::DiskModulo, ConflictPolicy::DataBalance),
-        "fx" => DeclusterMethod::Index(IndexScheme::FieldwiseXor, ConflictPolicy::DataBalance),
-        "gdm" => DeclusterMethod::Index(
-            IndexScheme::GeneralizedDiskModulo,
-            ConflictPolicy::DataBalance,
-        ),
-        "hcam" => DeclusterMethod::Index(IndexScheme::Hilbert, ConflictPolicy::DataBalance),
-        "zcam" => DeclusterMethod::Index(IndexScheme::ZOrder, ConflictPolicy::DataBalance),
-        "gcam" => DeclusterMethod::Index(IndexScheme::GrayCode, ConflictPolicy::DataBalance),
-        "scan" => DeclusterMethod::Index(IndexScheme::Scan, ConflictPolicy::DataBalance),
-        "ssp" => DeclusterMethod::Ssp(EdgeWeight::Proximity),
-        "mst" => DeclusterMethod::Mst(EdgeWeight::Proximity),
-        "kl" => DeclusterMethod::KernighanLin(EdgeWeight::Proximity),
-        "minimax" => DeclusterMethod::Minimax(EdgeWeight::Proximity),
-        "minimax-euclid" => DeclusterMethod::Minimax(EdgeWeight::EuclideanCenter),
-        other => return Err(format!("unknown method: {other}")),
-    };
-    Ok(m)
+    DeclusterMethod::parse(name).ok_or_else(|| {
+        format!(
+            "unknown method: {name} (known: {})",
+            DeclusterMethod::names().join(" ")
+        )
+    })
 }
 
 fn load_file(args: &[String]) -> Result<GridFile, String> {
